@@ -1,0 +1,112 @@
+// Ablation: Collective Signing vs naive per-server signatures (§2.2).
+//
+// CoSi's pitch is constant-size, constant-cost verification: one aggregate
+// check replaces n Schnorr verifications. This bench quantifies that, plus
+// the per-phase costs the TFCommit rounds pay (commitment, response,
+// aggregation) across witness counts matching the Figure 14 sweep.
+#include <benchmark/benchmark.h>
+
+#include "crypto/cosi.hpp"
+
+namespace {
+
+using namespace fides;
+using namespace fides::crypto;
+
+struct Party {
+  std::vector<KeyPair> keys;
+  std::vector<PublicKey> pks;
+
+  explicit Party(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      keys.push_back(KeyPair::deterministic(i));
+      pks.push_back(keys.back().public_key());
+    }
+  }
+
+  CosiSignature sign(BytesView record) const {
+    std::vector<AffinePoint> vs;
+    std::vector<CosiCommitment> comms;
+    for (const auto& k : keys) {
+      comms.push_back(cosi_commit(k, record, 1));
+      vs.push_back(comms.back().v);
+    }
+    const auto v = cosi_aggregate_commitments(vs);
+    const auto ch = cosi_challenge(v, record);
+    std::vector<U256> rs;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      rs.push_back(cosi_respond(keys[i], comms[i].secret, ch));
+    }
+    return CosiSignature{v, cosi_aggregate_responses(rs)};
+  }
+};
+
+const Bytes kRecord = to_bytes("a block worth of transactions....");
+
+void BM_CosiVerifyAggregate(benchmark::State& state) {
+  const Party party(static_cast<std::size_t>(state.range(0)));
+  const CosiSignature sig = party.sign(kRecord);
+  for (auto _ : state) benchmark::DoNotOptimize(cosi_verify(kRecord, sig, party.pks));
+}
+BENCHMARK(BM_CosiVerifyAggregate)->Arg(3)->Arg(5)->Arg(7)->Arg(9)->Arg(16);
+
+void BM_NaiveVerifyNSignatures(benchmark::State& state) {
+  // The strawman TFCommit replaces: every server signs the block, every
+  // verifier checks n signatures.
+  const Party party(static_cast<std::size_t>(state.range(0)));
+  std::vector<Signature> sigs;
+  for (const auto& k : party.keys) sigs.push_back(k.sign(kRecord));
+  for (auto _ : state) {
+    bool ok = true;
+    for (std::size_t i = 0; i < sigs.size(); ++i) {
+      ok &= verify(party.pks[i], kRecord, sigs[i]);
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_NaiveVerifyNSignatures)->Arg(3)->Arg(5)->Arg(7)->Arg(9)->Arg(16);
+
+void BM_CosiWitnessCommit(benchmark::State& state) {
+  const Party party(1);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cosi_commit(party.keys[0], kRecord, ++round));
+  }
+}
+BENCHMARK(BM_CosiWitnessCommit);
+
+void BM_CosiWitnessRespond(benchmark::State& state) {
+  const Party party(1);
+  const auto comm = cosi_commit(party.keys[0], kRecord, 1);
+  const auto ch = cosi_challenge(comm.v, kRecord);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cosi_respond(party.keys[0], comm.secret, ch));
+  }
+}
+BENCHMARK(BM_CosiWitnessRespond);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  const Party party(1);
+  for (auto _ : state) benchmark::DoNotOptimize(party.keys[0].sign(kRecord));
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  const Party party(1);
+  const Signature sig = party.keys[0].sign(kRecord);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify(party.pks[0], kRecord, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_Sha256Block(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) benchmark::DoNotOptimize(sha256(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256Block)->Arg(64)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Ablation: Merkle hash tree costs (§6.3's "most expensive operation").
+//
+// Microbenchmarks the design choices behind the shard tree:
+//   * incremental leaf update vs full rebuild (Fides uses incremental);
+//   * the pure root_after overlay used in the TFCommit vote phase;
+//   * verification-object generation and folding (audit path).
+// Tree sizes span the Figure 15 sweep (1k..10k leaves, plus extremes).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "merkle/proof.hpp"
+
+namespace {
+
+using fides::merkle::MerkleTree;
+using fides::crypto::Digest;
+
+std::vector<Digest> leaves(std::size_t n) {
+  std::vector<Digest> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(fides::crypto::sha256(fides::to_bytes("leaf" + std::to_string(i))));
+  }
+  return out;
+}
+
+void BM_FullRebuild(benchmark::State& state) {
+  const auto ls = leaves(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    MerkleTree t(ls);
+    benchmark::DoNotOptimize(t.root());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FullRebuild)->Arg(1000)->Arg(4000)->Arg(10000)->Complexity();
+
+void BM_IncrementalLeafUpdate(benchmark::State& state) {
+  MerkleTree t(leaves(static_cast<std::size_t>(state.range(0))));
+  fides::Rng rng(7);
+  const Digest d = fides::crypto::sha256(fides::to_bytes("update"));
+  for (auto _ : state) {
+    t.set_leaf(rng.uniform(static_cast<std::uint64_t>(state.range(0))), d);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IncrementalLeafUpdate)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Complexity(benchmark::oLogN);
+
+// The vote-phase computation: hypothetical root over k writes on a 10k-leaf
+// shard without mutating it (k = ops landing on one shard per block).
+void BM_RootAfterOverlay(benchmark::State& state) {
+  MerkleTree t(leaves(10000));
+  fides::Rng rng(7);
+  const Digest d = fides::crypto::sha256(fides::to_bytes("w"));
+  std::vector<std::pair<std::size_t, Digest>> updates;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    updates.emplace_back(rng.uniform(10000), d);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(t.root_after(updates));
+}
+BENCHMARK(BM_RootAfterOverlay)->Arg(1)->Arg(20)->Arg(100)->Arg(500);
+
+void BM_MakeVerificationObject(benchmark::State& state) {
+  MerkleTree t(leaves(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) benchmark::DoNotOptimize(fides::merkle::make_vo(t, 17));
+}
+BENCHMARK(BM_MakeVerificationObject)->Arg(1000)->Arg(10000);
+
+void BM_FoldVerificationObject(benchmark::State& state) {
+  MerkleTree t(leaves(static_cast<std::size_t>(state.range(0))));
+  const auto vo = fides::merkle::make_vo(t, 17);
+  const Digest leaf = t.leaf(17);
+  for (auto _ : state) benchmark::DoNotOptimize(fides::merkle::fold_vo(leaf, vo));
+}
+BENCHMARK(BM_FoldVerificationObject)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Shared plumbing for the figure-reproduction benchmarks.
+//
+// Each bench binary regenerates one table/figure of the paper's §6: it runs
+// the experiment driver over the paper's parameter sweep and prints the
+// measured series next to the paper's reported shape. Absolute numbers
+// differ (the paper ran Python on EC2; we run C++ with from-scratch crypto
+// on one machine) — the *shape* is the reproduction target, as recorded in
+// EXPERIMENTS.md.
+//
+// Environment knobs:
+//   FIDES_BENCH_TXNS   client requests per data point   (default 200;
+//                      paper used 1000 — set 1000 for full fidelity)
+//   FIDES_BENCH_SEEDS  runs averaged per point          (default 2; paper 3)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "workload/driver.hpp"
+
+namespace fides::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const long parsed = std::atol(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+inline std::size_t bench_txns() { return env_size("FIDES_BENCH_TXNS", 200); }
+
+inline std::vector<std::uint64_t> bench_seeds() {
+  const std::size_t n = env_size("FIDES_BENCH_SEEDS", 2);
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < n; ++i) seeds.push_back(42 + i);
+  return seeds;
+}
+
+inline void print_header(const char* title, const char* paper_shape) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper shape: %s\n", paper_shape);
+  std::printf("txns/point=%zu, runs averaged=%zu\n", bench_txns(), bench_seeds().size());
+  std::printf("==============================================================\n");
+}
+
+inline workload::ExperimentResult run_point(workload::ExperimentConfig cfg) {
+  cfg.total_txns = bench_txns();
+  cfg.cluster.sign_data_path = false;  // §6 measures from end-transaction on
+  const auto seeds = bench_seeds();
+  return workload::run_averaged(cfg, seeds);
+}
+
+}  // namespace fides::bench

@@ -1,0 +1,32 @@
+// Figure 13 — varying transactions per block (§6.2).
+//
+// Sweep: 5 servers, 10000 items/shard, 2..120 transactions per block.
+// Paper result: per-transaction commit latency drops ~2.6x and throughput
+// rises ~2.5x once >= 80 transactions are batched per block.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fides;
+  bench::print_header(
+      "Figure 13: transactions per block, 5 servers",
+      "latency/txn falls ~2.6x, throughput rises ~2.5x by batch >= 80");
+
+  std::printf("%-12s %-16s %-14s %-12s %-10s\n", "txns/block", "latency_ms(txn)",
+              "throughput_tps", "blocks", "aborted");
+
+  for (const std::size_t batch : {2, 20, 40, 60, 80, 100, 120}) {
+    workload::ExperimentConfig cfg;
+    cfg.cluster.num_servers = 5;
+    cfg.cluster.items_per_shard = 10000;
+    cfg.cluster.max_batch_size = batch;
+    cfg.txns_per_block = batch;
+    const auto r = bench::run_point(cfg);
+    // Per-transaction commit latency: the block's latency divided across
+    // the batch (every transaction in the block terminates together).
+    const double per_txn_ms =
+        r.blocks > 0 ? r.avg_latency_ms / static_cast<double>(batch) : 0;
+    std::printf("%-12zu %-16.3f %-14.0f %-12zu %-10zu\n", batch, per_txn_ms,
+                r.throughput_tps, r.blocks, r.aborted_txns);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 14 — varying the number of servers/shards (§6.3).
+//
+// Sweep: 3..9 servers, 10000 items/shard, 100 transactions per block.
+// Paper result: +47% throughput and -33% latency from 3 to 9 servers; the
+// per-block Merkle (MHT) update time shrinks as the 500 operations per block
+// spread across more shards.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fides;
+  bench::print_header(
+      "Figure 14: number of servers, 100 txns/block",
+      "throughput +~47%, latency -~33%, MHT update time falls, 3 -> 9 servers");
+
+  std::printf("%-8s %-14s %-16s %-14s %-10s\n", "servers", "latency_ms", "throughput_tps",
+              "mht_update_ms", "aborted");
+
+  for (std::uint32_t servers = 3; servers <= 9; ++servers) {
+    workload::ExperimentConfig cfg;
+    cfg.cluster.num_servers = servers;
+    cfg.cluster.items_per_shard = 10000;
+    cfg.cluster.max_batch_size = 100;
+    cfg.txns_per_block = 100;
+    const auto r = bench::run_point(cfg);
+    std::printf("%-8u %-14.2f %-16.0f %-14.4f %-10zu\n", servers, r.avg_latency_ms,
+                r.throughput_tps, r.avg_mht_ms, r.aborted_txns);
+  }
+  return 0;
+}

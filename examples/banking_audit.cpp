@@ -1,0 +1,78 @@
+// Banking scenario — the paper's Figure 10 walkthrough.
+//
+// Two transfer transactions deduct $100 from accounts x and y. The server
+// storing x then turns malicious and serves a stale balance ($1000 instead
+// of $900) with up-to-date timestamps — invisible to the client, caught by
+// the auditor via Lemma 1, attributed to the exact server at the exact
+// block.
+#include <cstdio>
+
+#include "audit/auditor.hpp"
+#include "fides/cluster.hpp"
+
+namespace {
+
+using namespace fides;
+
+constexpr ItemId kAccountX = 0;  // lives on server 0
+constexpr ItemId kAccountY = 1;  // lives on server 1
+
+Bytes balance(long amount) { return to_bytes(std::to_string(amount)); }
+
+long parse(const Bytes& b) { return std::atol(to_string(b).c_str()); }
+
+/// Transfer: deduct `amount` from both accounts (the paper's T1/T2 shape).
+commit::SignedEndTxn deduct(Cluster& cluster, Client& client, long amount) {
+  ClientTxn txn = client.begin();
+  cluster.client_begin(client, txn.id(),
+                       std::vector<ItemId>{kAccountX, kAccountY});
+  const long x = parse(client.read(txn, kAccountX));
+  const long y = parse(client.read(txn, kAccountY));
+  std::printf("  client sees x=$%ld y=$%ld, deducting $%ld each\n", x, y, amount);
+  client.write(txn, kAccountX, balance(x - amount));
+  client.write(txn, kAccountY, balance(y - amount));
+  return client.end(std::move(txn));
+}
+
+}  // namespace
+
+int main() {
+  ClusterConfig config;
+  config.num_servers = 3;
+  config.items_per_shard = 100;
+  config.versioning = store::VersioningMode::kMulti;
+  config.initial_value = balance(1000);
+  Cluster cluster(config);
+  Client& client = cluster.make_client();
+
+  std::printf("block 10 equivalent — T1 deducts $100:\n");
+  cluster.run_block({deduct(cluster, client, 100)});
+
+  // The owner of account x starts serving stale balances: the previous
+  // version's value with *current* timestamps (Figure 10's T2 row).
+  Server& malicious = cluster.server(cluster.owner_of(kAccountX));
+  malicious.faults().read_fault = ReadFault::kStaleValue;
+  malicious.faults().read_fault_item = kAccountX;
+  std::printf("\n%s is now returning stale balances for account x\n",
+              to_string(malicious.id()).c_str());
+
+  std::printf("\nblock 11 equivalent — T2 deducts another $100:\n");
+  const auto metrics = cluster.run_block({deduct(cluster, client, 100)});
+  std::printf("  T2 committed: %s (the lie passes OCC — timestamps are honest)\n",
+              metrics.decision == ledger::Decision::kCommit ? "yes" : "no");
+
+  std::printf("\nauditor gathers all logs and replays the history:\n");
+  audit::Auditor auditor(cluster, {audit::DatastorePolicy::kNone});
+  const audit::AuditReport report = auditor.run();
+  std::printf("%s", report.to_string().c_str());
+
+  const auto findings = report.of_kind(audit::ViolationKind::kIncorrectRead);
+  if (findings.empty()) {
+    std::printf("FAILED: the incorrect read escaped the audit\n");
+    return 1;
+  }
+  std::printf("\n=> detected: %s returned a stale value, at block %zu — exactly\n"
+              "   the Figure 10 anomaly, detected and irrefutably attributed.\n",
+              to_string(*findings[0].server).c_str(), *findings[0].block);
+  return 0;
+}

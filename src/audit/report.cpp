@@ -1,0 +1,61 @@
+#include "audit/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace fides::audit {
+
+std::string to_string(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kTamperedLog: return "tampered-log";
+    case ViolationKind::kIncompleteLog: return "incomplete-log";
+    case ViolationKind::kIncorrectRead: return "incorrect-read";
+    case ViolationKind::kDatastoreCorruption: return "datastore-corruption";
+    case ViolationKind::kSerializabilityViolation: return "serializability-violation";
+    case ViolationKind::kInvalidCosign: return "invalid-cosign";
+    case ViolationKind::kAtomicityViolation: return "atomicity-violation";
+    case ViolationKind::kNoValidLog: return "no-valid-log";
+  }
+  return "unknown";
+}
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << "[" << audit::to_string(kind) << "]";
+  if (server) os << " server=" << fides::to_string(*server);
+  if (block) os << " block=" << *block;
+  if (version) os << " version=" << fides::to_string(*version);
+  if (!detail.empty()) os << " — " << detail;
+  return os.str();
+}
+
+bool AuditReport::has(ViolationKind kind) const {
+  return std::any_of(violations.begin(), violations.end(),
+                     [&](const Violation& v) { return v.kind == kind; });
+}
+
+std::vector<Violation> AuditReport::of_kind(ViolationKind kind) const {
+  std::vector<Violation> out;
+  for (const auto& v : violations) {
+    if (v.kind == kind) out.push_back(v);
+  }
+  return out;
+}
+
+std::string AuditReport::to_string() const {
+  std::ostringstream os;
+  os << "audit: " << blocks_audited << " blocks, " << items_authenticated
+     << " items authenticated";
+  if (adopted_log_source) {
+    os << ", adopted log of " << fides::to_string(*adopted_log_source);
+  }
+  os << "\n";
+  if (clean()) {
+    os << "  no violations detected\n";
+  } else {
+    for (const auto& v : violations) os << "  " << v.to_string() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fides::audit

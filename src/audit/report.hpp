@@ -1,0 +1,55 @@
+// Audit findings (§3.3).
+//
+// Fides' detection guarantee is two-part: (i) the precise point in the
+// transaction history where an anomaly occurred, and (ii) the exact
+// misbehaving server(s), irrefutably linked. A Violation captures both.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/timestamp.hpp"
+
+namespace fides::audit {
+
+enum class ViolationKind : std::uint8_t {
+  kTamperedLog,                ///< Lemma 6: modified or reordered blocks
+  kIncompleteLog,              ///< Lemma 7: omitted tail
+  kIncorrectRead,              ///< Lemma 1: wrong value returned for a read
+  kDatastoreCorruption,        ///< Lemma 2: store does not match signed root
+  kSerializabilityViolation,   ///< Lemma 3: RW/WW/WR conflict out of ts order
+  kInvalidCosign,              ///< Lemma 4: block signature does not verify
+  kAtomicityViolation,         ///< Lemma 5: divergent decisions across servers
+  kNoValidLog,                 ///< all collected logs invalid (n correct servers
+                               ///< assumption violated)
+};
+
+std::string to_string(ViolationKind k);
+
+struct Violation {
+  ViolationKind kind{};
+  std::optional<ServerId> server;      ///< culprit, when attributable
+  std::optional<std::size_t> block;    ///< block height of the anomaly
+  std::optional<Timestamp> version;    ///< offending version (datastore audits)
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+struct AuditReport {
+  std::vector<Violation> violations;
+  /// Which server's log the auditor adopted as correct & complete.
+  std::optional<ServerId> adopted_log_source;
+  std::size_t blocks_audited{0};
+  std::size_t items_authenticated{0};
+
+  bool clean() const { return violations.empty(); }
+  bool has(ViolationKind kind) const;
+  std::vector<Violation> of_kind(ViolationKind kind) const;
+
+  std::string to_string() const;
+};
+
+}  // namespace fides::audit

@@ -1,0 +1,56 @@
+// Serialization-graph analysis (Lemma 3).
+//
+// "This is equivalent to verifying that no cycle exists in the Serialization
+// Graph of the transactions being audited." We build the conflict graph of
+// the committed transactions in log order (RW, WR, WW edges from the earlier
+// to the later committed transaction), check the graph is acyclic, and check
+// every edge is consistent with the commit-timestamp order.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ledger/block.hpp"
+
+namespace fides::audit {
+
+/// Position of one transaction in the adopted log.
+struct TxnRef {
+  std::size_t block{0};
+  std::size_t index{0};  ///< within block.txns
+
+  friend constexpr auto operator<=>(const TxnRef&, const TxnRef&) = default;
+};
+
+enum class ConflictKind : std::uint8_t { kReadWrite, kWriteRead, kWriteWrite };
+
+struct ConflictEdge {
+  TxnRef from;
+  TxnRef to;
+  ItemId item{};
+  ConflictKind kind{};
+};
+
+class SerializationGraph {
+ public:
+  /// Builds the graph from committed blocks in log order.
+  static SerializationGraph build(std::span<const ledger::Block> log);
+
+  const std::vector<TxnRef>& nodes() const { return nodes_; }
+  const std::vector<ConflictEdge>& edges() const { return edges_; }
+
+  /// True iff a conflict cycle exists (serializability violated).
+  bool has_cycle() const;
+
+  /// Edges whose endpoints' commit timestamps contradict the edge direction
+  /// — the three Lemma-3 conflict rules expressed over the graph.
+  std::vector<ConflictEdge> timestamp_order_violations(
+      std::span<const ledger::Block> log) const;
+
+ private:
+  std::vector<TxnRef> nodes_;
+  std::vector<ConflictEdge> edges_;
+  std::vector<std::vector<std::size_t>> adjacency_;  // node index -> edge targets
+};
+
+}  // namespace fides::audit

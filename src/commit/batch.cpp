@@ -1,0 +1,41 @@
+#include "commit/batch.hpp"
+
+#include <algorithm>
+
+namespace fides::commit {
+
+bool batch_non_conflicting(std::span<const txn::Transaction> txns) {
+  std::unordered_set<ItemId> touched;
+  for (const auto& t : txns) {
+    for (const ItemId item : t.rw.touched_items()) {
+      if (!touched.insert(item).second) return false;
+    }
+  }
+  return true;
+}
+
+void BatchBuilder::enqueue(SignedEndTxn request) {
+  queue_.push_back(std::move(request));
+}
+
+std::vector<SignedEndTxn> BatchBuilder::next_batch() {
+  std::vector<SignedEndTxn> batch;
+  std::unordered_set<ItemId> touched;
+
+  for (auto it = queue_.begin(); it != queue_.end() && batch.size() < max_batch_;) {
+    const auto items = it->request.txn.rw.touched_items();
+    const bool conflicts = std::any_of(items.begin(), items.end(), [&](ItemId id) {
+      return touched.count(id) != 0;
+    });
+    if (conflicts) {
+      ++it;
+      continue;
+    }
+    for (const ItemId id : items) touched.insert(id);
+    batch.push_back(std::move(*it));
+    it = queue_.erase(it);
+  }
+  return batch;
+}
+
+}  // namespace fides::commit

@@ -1,0 +1,43 @@
+// Transaction batching (§4.6, first scaling dimension).
+//
+// "The coordinator collects and inserts a set of non-conflicting client
+// generated transactions and orders them within a single block at the start
+// of TFCommit." The builder greedily packs transactions whose item sets are
+// pairwise disjoint; conflicting transactions stay queued for a later block.
+#pragma once
+
+#include <deque>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "commit/messages.hpp"
+
+namespace fides::commit {
+
+/// True iff the transactions are pairwise non-conflicting (disjoint item
+/// sets) — the §4.6 block invariant. Cohorts re-check this on every block:
+/// a coordinator that packs conflicting transactions gets vetoed.
+bool batch_non_conflicting(std::span<const txn::Transaction> txns);
+
+class BatchBuilder {
+ public:
+  explicit BatchBuilder(std::size_t max_batch_size) : max_batch_(max_batch_size) {}
+
+  /// Enqueues a terminated-transaction request awaiting a block slot.
+  void enqueue(SignedEndTxn request);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Pops up to max_batch_size pairwise non-conflicting requests, preserving
+  /// arrival order among the selected. Skipped (conflicting) requests keep
+  /// their queue position for the next block.
+  std::vector<SignedEndTxn> next_batch();
+
+ private:
+  std::size_t max_batch_;
+  std::deque<SignedEndTxn> queue_;
+};
+
+}  // namespace fides::commit

@@ -1,0 +1,239 @@
+#include "commit/messages.hpp"
+
+namespace fides::commit {
+
+namespace {
+
+void encode_point(Writer& w, const crypto::AffinePoint& p) { w.bytes(p.serialize()); }
+
+crypto::AffinePoint decode_point(Reader& r) {
+  const Bytes b = r.bytes();
+  const auto p = crypto::AffinePoint::deserialize(b);
+  if (!p) throw DecodeError("invalid curve point");
+  return *p;
+}
+
+void encode_u256(Writer& w, const crypto::U256& v) {
+  const auto b = v.to_bytes_be();
+  w.raw(BytesView(b.data(), b.size()));
+}
+
+crypto::U256 decode_u256(Reader& r) { return crypto::U256::from_bytes_be(r.raw(32)); }
+
+void encode_digest(Writer& w, const crypto::Digest& d) { w.raw(d.view()); }
+
+crypto::Digest decode_digest(Reader& r) {
+  const Bytes raw = r.raw(32);
+  crypto::Digest d;
+  std::copy(raw.begin(), raw.end(), d.bytes.begin());
+  return d;
+}
+
+void encode_signature(Writer& w, const crypto::Signature& s) { w.bytes(s.serialize()); }
+
+crypto::Signature decode_signature(Reader& r) {
+  const Bytes b = r.bytes();
+  const auto s = crypto::Signature::deserialize(b);
+  if (!s) throw DecodeError("invalid signature");
+  return *s;
+}
+
+void encode_block(Writer& w, const Block& b) { w.bytes(b.serialize()); }
+
+Block decode_block(Reader& r) {
+  const Bytes raw = r.bytes();
+  const auto b = Block::deserialize(raw);
+  if (!b) throw DecodeError("invalid block");
+  return *b;
+}
+
+/// Shared try/catch wrapper: decode via `fn`, nullopt on malformed bytes.
+template <typename T, typename Fn>
+std::optional<T> safe_decode(BytesView bytes, Fn&& fn) {
+  try {
+    Reader r(bytes);
+    T msg = fn(r);
+    r.expect_done();
+    return msg;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+void encode_signed_end_txn(Writer& w, const SignedEndTxn& s) {
+  w.u32(s.client.value);
+  w.bytes(s.request.serialize());
+  encode_signature(w, s.signature);
+}
+
+SignedEndTxn decode_signed_end_txn(Reader& r) {
+  SignedEndTxn s;
+  s.client = ClientId{r.u32()};
+  const Bytes req = r.bytes();
+  const auto parsed = EndTxnRequest::deserialize(req);
+  if (!parsed) throw DecodeError("invalid end-txn request");
+  s.request = *parsed;
+  s.signature = decode_signature(r);
+  return s;
+}
+
+Bytes GetVoteMsg::serialize() const {
+  Writer w;
+  encode_block(w, partial_block);
+  w.u32(static_cast<std::uint32_t>(requests.size()));
+  for (const auto& req : requests) encode_signed_end_txn(w, req);
+  w.u64(round);
+  return std::move(w).take();
+}
+
+std::optional<GetVoteMsg> GetVoteMsg::deserialize(BytesView b) {
+  return safe_decode<GetVoteMsg>(b, [](Reader& r) {
+    GetVoteMsg m;
+    m.partial_block = decode_block(r);
+    const std::uint32_t n = r.u32();
+    m.requests.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) m.requests.push_back(decode_signed_end_txn(r));
+    m.round = r.u64();
+    return m;
+  });
+}
+
+Bytes VoteMsg::serialize() const {
+  Writer w;
+  w.u32(cohort.value);
+  encode_point(w, sch_commitment);
+  w.boolean(involved);
+  w.u8(static_cast<std::uint8_t>(vote));
+  w.str(abort_reason);
+  w.boolean(root.has_value());
+  if (root) encode_digest(w, *root);
+  return std::move(w).take();
+}
+
+std::optional<VoteMsg> VoteMsg::deserialize(BytesView b) {
+  return safe_decode<VoteMsg>(b, [](Reader& r) {
+    VoteMsg m;
+    m.cohort = ServerId{r.u32()};
+    m.sch_commitment = decode_point(r);
+    m.involved = r.boolean();
+    const std::uint8_t v = r.u8();
+    if (v > 1) throw DecodeError("invalid vote");
+    m.vote = static_cast<txn::Vote>(v);
+    m.abort_reason = r.str();
+    if (r.boolean()) m.root = decode_digest(r);
+    return m;
+  });
+}
+
+Bytes ChallengeMsg::serialize() const {
+  Writer w;
+  encode_u256(w, challenge);
+  encode_point(w, aggregate_commitment);
+  encode_block(w, block);
+  return std::move(w).take();
+}
+
+std::optional<ChallengeMsg> ChallengeMsg::deserialize(BytesView b) {
+  return safe_decode<ChallengeMsg>(b, [](Reader& r) {
+    ChallengeMsg m;
+    m.challenge = decode_u256(r);
+    m.aggregate_commitment = decode_point(r);
+    m.block = decode_block(r);
+    return m;
+  });
+}
+
+Bytes ResponseMsg::serialize() const {
+  Writer w;
+  w.u32(cohort.value);
+  w.boolean(refused);
+  w.str(refusal_reason);
+  encode_u256(w, sch_response);
+  return std::move(w).take();
+}
+
+std::optional<ResponseMsg> ResponseMsg::deserialize(BytesView b) {
+  return safe_decode<ResponseMsg>(b, [](Reader& r) {
+    ResponseMsg m;
+    m.cohort = ServerId{r.u32()};
+    m.refused = r.boolean();
+    m.refusal_reason = r.str();
+    m.sch_response = decode_u256(r);
+    return m;
+  });
+}
+
+Bytes DecisionMsg::serialize() const {
+  Writer w;
+  encode_block(w, final_block);
+  return std::move(w).take();
+}
+
+std::optional<DecisionMsg> DecisionMsg::deserialize(BytesView b) {
+  return safe_decode<DecisionMsg>(b, [](Reader& r) {
+    DecisionMsg m;
+    m.final_block = decode_block(r);
+    return m;
+  });
+}
+
+Bytes PrepareMsg::serialize() const {
+  Writer w;
+  encode_block(w, partial_block);
+  w.u32(static_cast<std::uint32_t>(requests.size()));
+  for (const auto& req : requests) encode_signed_end_txn(w, req);
+  return std::move(w).take();
+}
+
+std::optional<PrepareMsg> PrepareMsg::deserialize(BytesView b) {
+  return safe_decode<PrepareMsg>(b, [](Reader& r) {
+    PrepareMsg m;
+    m.partial_block = decode_block(r);
+    const std::uint32_t n = r.u32();
+    m.requests.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) m.requests.push_back(decode_signed_end_txn(r));
+    return m;
+  });
+}
+
+Bytes PrepareVoteMsg::serialize() const {
+  Writer w;
+  w.u32(cohort.value);
+  w.boolean(involved);
+  w.u8(static_cast<std::uint8_t>(vote));
+  w.str(abort_reason);
+  return std::move(w).take();
+}
+
+std::optional<PrepareVoteMsg> PrepareVoteMsg::deserialize(BytesView b) {
+  return safe_decode<PrepareVoteMsg>(b, [](Reader& r) {
+    PrepareVoteMsg m;
+    m.cohort = ServerId{r.u32()};
+    m.involved = r.boolean();
+    const std::uint8_t v = r.u8();
+    if (v > 1) throw DecodeError("invalid vote");
+    m.vote = static_cast<txn::Vote>(v);
+    m.abort_reason = r.str();
+    return m;
+  });
+}
+
+Bytes CommitDecisionMsg::serialize() const {
+  Writer w;
+  encode_block(w, final_block);
+  return std::move(w).take();
+}
+
+std::optional<CommitDecisionMsg> CommitDecisionMsg::deserialize(BytesView b) {
+  return safe_decode<CommitDecisionMsg>(b, [](Reader& r) {
+    CommitDecisionMsg m;
+    m.final_block = decode_block(r);
+    return m;
+  });
+}
+
+}  // namespace fides::commit

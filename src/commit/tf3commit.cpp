@@ -1,0 +1,97 @@
+#include "commit/tf3commit.hpp"
+
+#include <algorithm>
+
+namespace fides::commit {
+
+Bytes PreDecisionMsg::serialize() const {
+  Writer w;
+  w.bytes(block.serialize());
+  return std::move(w).take();
+}
+
+std::optional<PreDecisionMsg> PreDecisionMsg::deserialize(BytesView b) {
+  try {
+    Reader r(b);
+    const Bytes raw = r.bytes();
+    r.expect_done();
+    const auto block = Block::deserialize(raw);
+    if (!block) return std::nullopt;
+    return PreDecisionMsg{*block};
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+PreDecisionAck Tf3CommitCohort::handle_pre_decision(const PreDecisionMsg& msg) {
+  // Persisting is what makes the decision recoverable; a real server writes
+  // this to stable storage before acking. Full validation happens in the
+  // challenge phase (or, after a crash, implicitly: divergent pre-decisions
+  // make recovery abort, and a forged block still cannot gather a co-sign).
+  persisted_ = msg.block;
+  return PreDecisionAck{ServerId{}, true};
+}
+
+RecoveryOutcome recover_round(std::span<Tf3CommitCohort* const> cohorts,
+                              std::span<const ServerId> ids,
+                              std::span<const crypto::PublicKey> keys,
+                              std::span<const crypto::KeyPair* const> keypairs,
+                              std::uint64_t recovery_round_id) {
+  RecoveryOutcome out;
+
+  // Poll survivors for persisted pre-decisions; they must all agree.
+  const Block* chosen = nullptr;
+  for (Tf3CommitCohort* cohort : cohorts) {
+    const auto& persisted = cohort->persisted_pre_decision();
+    if (!persisted) continue;
+    if (chosen == nullptr) {
+      chosen = &*persisted;
+    } else if (!(chosen->digest() == persisted->digest())) {
+      // Divergent pre-decisions: the failed coordinator equivocated. No
+      // consistent decision is recoverable; the round aborts (nothing was
+      // applied anywhere — application requires a co-signed decision).
+      for (Tf3CommitCohort* c : cohorts) c->finish_round();
+      return out;
+    }
+  }
+  if (chosen == nullptr) {
+    // No cohort saw the pre-decision: the 3PC abort rule — the coordinator
+    // cannot have decided commit for anyone, so abort is safe.
+    for (Tf3CommitCohort* c : cohorts) c->finish_round();
+    return out;
+  }
+
+  // Complete the persisted decision: a fresh CoSi round over the same block,
+  // co-signed by the survivors (the crashed coordinator necessarily drops
+  // out of the witness set).
+  Block block = *chosen;
+  block.signers.assign(ids.begin(), ids.end());
+  std::sort(block.signers.begin(), block.signers.end());
+  const Bytes record = block.signing_bytes();
+
+  std::vector<crypto::CosiCommitment> secrets;
+  std::vector<crypto::AffinePoint> commitments;
+  for (const crypto::KeyPair* kp : keypairs) {
+    secrets.push_back(crypto::cosi_commit(*kp, record, recovery_round_id));
+    commitments.push_back(secrets.back().v);
+  }
+  const crypto::AffinePoint v = crypto::cosi_aggregate_commitments(commitments);
+  const crypto::U256 challenge = crypto::cosi_challenge(v, record);
+  std::vector<crypto::U256> responses;
+  for (std::size_t i = 0; i < keypairs.size(); ++i) {
+    responses.push_back(crypto::cosi_respond(*keypairs[i], secrets[i].secret, challenge));
+  }
+  block.cosign =
+      crypto::CosiSignature{v, crypto::cosi_aggregate_responses(responses)};
+
+  out.recovered_decision = true;
+  out.outcome.block = block;
+  out.outcome.decision = block.decision;
+  out.outcome.cosign_valid =
+      crypto::cosi_verify(record, *block.cosign,
+                          std::vector<crypto::PublicKey>(keys.begin(), keys.end()));
+  for (Tf3CommitCohort* c : cohorts) c->finish_round();
+  return out;
+}
+
+}  // namespace fides::commit

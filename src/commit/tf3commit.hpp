@@ -1,0 +1,91 @@
+// Non-blocking TFCommit — the paper's §4.3.1 future-work extension.
+//
+// "TFCommit, similar to 2PC, can be blocking if either the coordinator or
+// any cohort fails. TFCommit can be made non-blocking by adding another
+// phase that makes the chosen value available, as in the case of Three
+// Phase Commit [39]."
+//
+// TF3Commit inserts a <PreDecision> broadcast between the vote and
+// challenge phases: once every cohort has acknowledged (persisted) the
+// chosen decision and the completed block, the decision is recoverable —
+// if the coordinator fails anywhere after that point, any cohort can take
+// over, collect the persisted pre-decisions, and finish the CoSi rounds
+// itself. If the coordinator fails *before* every cohort persisted the
+// pre-decision, the recovery coordinator safely aborts the round (no cohort
+// can have applied anything: application only happens on a co-signed
+// decision).
+//
+// The CoSi half is unaffected: the recovered round co-signs the *same*
+// block the failed coordinator distributed, so the aggregate signature and
+// the audit trail are indistinguishable from a failure-free round.
+#pragma once
+
+#include "commit/tfcommit.hpp"
+
+namespace fides::commit {
+
+/// The extra phase's message: the completed block (decision + Σroots) ahead
+/// of the challenge.
+struct PreDecisionMsg {
+  Block block;
+
+  Bytes serialize() const;
+  static std::optional<PreDecisionMsg> deserialize(BytesView b);
+};
+
+/// Cohort acknowledgement that the pre-decision is persisted.
+struct PreDecisionAck {
+  ServerId cohort;
+  bool accepted{false};
+};
+
+/// Where a coordinator crash is injected, for tests and examples.
+enum class CrashPoint : std::uint8_t {
+  kNone,
+  kAfterVotes,        ///< before any cohort saw the pre-decision (round aborts)
+  kAfterPreDecision,  ///< decision recoverable: takeover must commit it
+};
+
+/// Cohort-side state for the extension: wraps the plain TFCommit cohort and
+/// adds pre-decision persistence. One per server.
+class Tf3CommitCohort {
+ public:
+  explicit Tf3CommitCohort(TfCommitCohort& inner) : inner_(&inner) {}
+
+  TfCommitCohort& inner() { return *inner_; }
+
+  /// Persists the pre-decision (crash-survivable state in a real system).
+  PreDecisionAck handle_pre_decision(const PreDecisionMsg& msg);
+
+  const std::optional<Block>& persisted_pre_decision() const { return persisted_; }
+
+  /// Clears round state (called when the decision finalizes).
+  void finish_round() { persisted_.reset(); }
+
+ private:
+  TfCommitCohort* inner_;
+  std::optional<Block> persisted_;
+};
+
+/// Outcome of a recovery takeover.
+struct RecoveryOutcome {
+  bool recovered_decision{false};  ///< true: the persisted block was completed
+  TfCommitOutcome outcome;         ///< valid iff recovered_decision
+};
+
+/// Recovery: a surviving cohort polls every reachable cohort for its
+/// persisted pre-decision. If any cohort persisted one, the block is
+/// completed (fresh CoSi round over the same block, led by the recovery
+/// coordinator); if none did, the round is declared aborted — safe because
+/// no server applies state without a co-signed decision block.
+///
+/// `cohorts` are the surviving cohorts' extension states (the crashed
+/// coordinator excluded), `ids`/`keys` their identities, `keypairs` their
+/// signing keys (the recovery coordinator acts with cohort 0's identity).
+RecoveryOutcome recover_round(std::span<Tf3CommitCohort* const> cohorts,
+                              std::span<const ServerId> ids,
+                              std::span<const crypto::PublicKey> keys,
+                              std::span<const crypto::KeyPair* const> keypairs,
+                              std::uint64_t recovery_round_id);
+
+}  // namespace fides::commit

@@ -1,0 +1,315 @@
+#include "commit/tfcommit.hpp"
+
+#include "commit/batch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+namespace fides::commit {
+
+namespace {
+
+/// A deliberately wrong curve point: a valid group element that is not the
+/// one the protocol expects (garbage-but-on-curve, so it passes syntactic
+/// checks and is only caught by the algebra — the interesting case).
+crypto::AffinePoint bogus_point() {
+  const auto& curve = crypto::Curve::instance();
+  return curve.to_affine(curve.mul_g(crypto::U256(0xBAD)));
+}
+
+}  // namespace
+
+Bytes EndTxnRequest::serialize() const {
+  Writer w;
+  txn.encode(w);
+  return std::move(w).take();
+}
+
+std::optional<EndTxnRequest> EndTxnRequest::deserialize(BytesView b) {
+  try {
+    Reader r(b);
+    EndTxnRequest req;
+    req.txn = txn::Transaction::decode(r);
+    r.expect_done();
+    return req;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+bool SignedEndTxn::verify(const crypto::PublicKey& client_key) const {
+  return crypto::verify(client_key, request.serialize(), signature);
+}
+
+// --- Cohort -----------------------------------------------------------------
+
+bool TfCommitCohort::involved_in(const Block& block) const {
+  for (const auto& t : block.txns) {
+    for (const ItemId item : t.rw.touched_items()) {
+      if (shard_->contains(item)) return true;
+    }
+  }
+  return false;
+}
+
+VoteMsg TfCommitCohort::handle_get_vote(const GetVoteMsg& msg, const CohortFaults& faults) {
+  round_ = msg.round;
+  involved_ = involved_in(msg.partial_block);
+  sent_root_.reset();
+
+  // CoSi commitment over the partial block — every cohort participates in
+  // co-signing even when its shard is untouched (§4.1 simplification).
+  commitment_ = crypto::cosi_commit(*keypair_, msg.partial_block.signing_bytes(), round_);
+
+  VoteMsg vote;
+  vote.cohort = id_;
+  vote.sch_commitment =
+      faults.corrupt_sch_commitment ? bogus_point() : commitment_->v;
+  vote.involved = involved_;
+  if (!involved_) {
+    last_vote_ = txn::Vote::kCommit;  // uninvolved cohorts never veto
+    return vote;
+  }
+
+  // Local 2PC vote: the batch must be internally non-conflicting (§4.6) and
+  // every transaction touching this shard must pass OCC validation.
+  txn::ValidationResult result{txn::Vote::kCommit, {}};
+  if (!batch_non_conflicting(msg.partial_block.txns)) {
+    result = {txn::Vote::kAbort, "block packs conflicting transactions"};
+  }
+  for (const auto& t : msg.partial_block.txns) {
+    if (!result.ok()) break;
+    result = txn::validate_occ(*shard_, t);
+  }
+  if (faults.always_vote_abort) result = {txn::Vote::kAbort, "byzantine veto"};
+
+  last_vote_ = result.vote;
+  vote.vote = result.vote;
+  vote.abort_reason = result.reason;
+  last_root_compute_us_ = 0;
+  if (result.ok()) {
+    // Hypothetical root: the shard state as if the block committed. The
+    // datastore itself is untouched until the decision arrives.
+    std::vector<std::pair<ItemId, Bytes>> writes;
+    for (const auto& t : msg.partial_block.txns) {
+      for (const auto& w : t.rw.writes) {
+        if (shard_->contains(w.id)) writes.emplace_back(w.id, w.new_value);
+      }
+    }
+    const auto start = std::chrono::steady_clock::now();
+    sent_root_ = shard_->root_after(writes);
+    last_root_compute_us_ = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    vote.root = sent_root_;
+  }
+  return vote;
+}
+
+ResponseMsg TfCommitCohort::handle_challenge(const ChallengeMsg& msg,
+                                             const CohortFaults& faults) {
+  ResponseMsg resp;
+  resp.cohort = id_;
+
+  if (!commitment_) {
+    resp.refused = true;
+    resp.refusal_reason = "challenge received without a pending round";
+    return resp;
+  }
+
+  const Block& block = msg.block;
+
+  // Decision/roots consistency (§4.3.1 phase 4): a commit block must carry
+  // a root from every involved server; an abort block must be missing at
+  // least one.
+  if (block.decision == Decision::kCommit) {
+    if (involved_) {
+      const crypto::Digest* mine = block.root_of(id_);
+      if (!faults.skip_root_check) {
+        if (mine == nullptr) {
+          resp.refused = true;
+          resp.refusal_reason = "commit block missing my root";
+          return resp;
+        }
+        if (!sent_root_ || !(*mine == *sent_root_)) {
+          resp.refused = true;
+          resp.refusal_reason = "root in block does not match the root I sent";
+          return resp;
+        }
+        if (last_vote_ == txn::Vote::kAbort) {
+          resp.refused = true;
+          resp.refusal_reason = "commit decision despite my abort vote";
+          return resp;
+        }
+      }
+    }
+  }
+  // For abort blocks there is nothing shard-specific to check: missing
+  // roots are expected ("if the decision is abort, b_i should have some
+  // missing roots"), and the challenge check below still binds the cohort
+  // to the abort variant it actually received.
+
+  // Challenge correctness: ch must equal H(X_sch ‖ block) for the block *I*
+  // received (Lemma 5 detection).
+  if (!faults.skip_challenge_check) {
+    const crypto::U256 expected =
+        crypto::cosi_challenge(msg.aggregate_commitment, block.signing_bytes());
+    if (!(expected == msg.challenge)) {
+      resp.refused = true;
+      resp.refusal_reason = "challenge does not correspond to the block I received";
+      return resp;
+    }
+  }
+
+  crypto::U256 r = crypto::cosi_respond(*keypair_, commitment_->secret, msg.challenge);
+  if (faults.corrupt_sch_response) {
+    r = crypto::U256(0xBADBAD);
+  }
+  resp.sch_response = r;
+  return resp;
+}
+
+// --- Coordinator ------------------------------------------------------------
+
+TfCommitCoordinator::TfCommitCoordinator(std::vector<ServerId> cohorts,
+                                         std::vector<crypto::PublicKey> keys)
+    : cohorts_(std::move(cohorts)), keys_(std::move(keys)) {}
+
+Block TfCommitCoordinator::make_partial_block(std::uint64_t height,
+                                              const crypto::Digest& prev_hash,
+                                              std::vector<txn::Transaction> txns,
+                                              std::vector<ServerId> signers) {
+  Block b;
+  b.height = height;
+  b.prev_hash = prev_hash;
+  b.txns = std::move(txns);
+  b.signers = std::move(signers);
+  b.decision = Decision::kAbort;  // filled in phase 3
+  return b;
+}
+
+GetVoteMsg TfCommitCoordinator::start(Block partial_block,
+                                      std::vector<SignedEndTxn> requests) {
+  block_ = std::move(partial_block);
+  commitments_.clear();
+  GetVoteMsg msg;
+  msg.partial_block = block_;
+  msg.requests = std::move(requests);
+  msg.round = block_.height;
+  return msg;
+}
+
+std::vector<ChallengeMsg> TfCommitCoordinator::on_votes(std::span<const VoteMsg> votes,
+                                                        const CoordinatorFaults& faults) {
+  // 2PC decision rule: commit iff no involved cohort voted abort.
+  bool all_commit = true;
+  for (const auto& v : votes) {
+    if (v.involved && v.vote == txn::Vote::kAbort) all_commit = false;
+  }
+  if (faults.force_commit) all_commit = true;
+
+  block_.decision = all_commit ? Decision::kCommit : Decision::kAbort;
+  block_.roots.clear();
+  for (const auto& v : votes) {
+    // Roots from cohorts that voted commit; on abort "the respective roots
+    // will be missing in the block" (§4.3.1 phase 3).
+    if (v.involved && v.root) block_.set_root(v.cohort, *v.root);
+  }
+  if (faults.fake_root_victim) {
+    block_.set_root(*faults.fake_root_victim,
+                    crypto::sha256(to_bytes("forged-root")));  // Scenario 2
+  }
+
+  commitments_.clear();
+  commitments_.reserve(votes.size());
+  for (const auto& v : votes) commitments_.push_back(v.sch_commitment);
+  aggregate_v_ = crypto::cosi_aggregate_commitments(commitments_);
+  challenge_ = crypto::cosi_challenge(aggregate_v_, block_.signing_bytes());
+
+  ChallengeMsg honest;
+  honest.challenge = challenge_;
+  honest.aggregate_commitment = aggregate_v_;
+  honest.block = block_;
+
+  if (faults.equivocate == CoordinatorFaults::Equivocation::kNone) {
+    // Broadcast: one message, every cohort receives the same bytes.
+    std::vector<ChallengeMsg> out;
+    out.push_back(std::move(honest));
+    return out;
+  }
+
+  std::vector<ChallengeMsg> out(cohorts_.size(), honest);
+  {
+    // Build the conflicting abort variant b_a of the block (Lemma 5).
+    Block abort_variant = block_;
+    abort_variant.decision = Decision::kAbort;
+    abort_variant.roots.clear();
+
+    ChallengeMsg lie;
+    lie.aggregate_commitment = aggregate_v_;
+    lie.block = abort_variant;
+    lie.challenge =
+        faults.equivocate == CoordinatorFaults::Equivocation::kSameChallenge
+            ? challenge_  // Case 1: challenge matches only the commit block
+            : crypto::cosi_challenge(aggregate_v_, abort_variant.signing_bytes());  // Case 2
+
+    for (const std::size_t victim : faults.equivocation_victims) {
+      if (victim < out.size()) out[victim] = lie;
+    }
+  }
+  return out;
+}
+
+TfCommitOutcome TfCommitCoordinator::on_responses(std::span<const ResponseMsg> responses) {
+  TfCommitOutcome outcome;
+
+  std::vector<crypto::U256> shares;
+  shares.reserve(responses.size());
+  bool any_refused = false;
+  for (const auto& r : responses) {
+    if (r.refused) {
+      any_refused = true;
+      outcome.refusals.emplace_back(r.cohort, r.refusal_reason);
+    }
+    shares.push_back(r.sch_response);
+  }
+
+  block_.cosign = crypto::CosiSignature{
+      aggregate_v_, crypto::cosi_aggregate_responses(shares)};
+
+  outcome.cosign_valid =
+      !any_refused &&
+      crypto::cosi_verify(block_.signing_bytes(), *block_.cosign, keys_);
+
+  if (!outcome.cosign_valid) {
+    // Lemma 4: binary-search-free attribution — check each share against its
+    // commitment; the server(s) with invalid shares are the culprits. The
+    // coordinator is incentivised to do this: an unverifiable block makes
+    // the auditor suspect the coordinator itself.
+    const auto faulty =
+        crypto::cosi_find_faulty(commitments_, shares, challenge_, keys_);
+    for (const std::size_t idx : faulty) outcome.faulty_cosigners.push_back(cohorts_[idx]);
+  }
+
+  outcome.decision = block_.decision;
+  outcome.block = block_;
+  return outcome;
+}
+
+std::vector<ServerId> involved_servers(const Block& block, std::uint32_t num_servers) {
+  std::unordered_set<std::uint32_t> set;
+  if (num_servers == 0) return {};
+  for (const auto& t : block.txns) {
+    for (const ItemId item : t.rw.touched_items()) {
+      set.insert(store::shard_for_item(item, num_servers).value);
+    }
+  }
+  std::vector<ServerId> out;
+  out.reserve(set.size());
+  for (const std::uint32_t s : set) out.push_back(ServerId{s});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fides::commit

@@ -1,0 +1,152 @@
+// TFCommit — TrustFree Commitment (§4.3).
+//
+// A 3-round, 5-phase protocol merging Two-Phase Commit with Collective
+// Signing:
+//
+//   1 <GetVote,  SchAnnouncement>  coordinator sends the partial block
+//   2 <Vote,     SchCommitment>    cohorts vote + Schnorr commitments
+//   3 <null,     SchChallenge>     coordinator fills decision/Σroots,
+//                                  broadcasts challenge over the block
+//   4 <null,     SchResponse>      cohorts validate the block and respond
+//   5 <Decision, null>             coordinator aggregates the co-sign and
+//                                  broadcasts the finalized block
+//
+// The classes here are pure protocol state machines: they consume messages
+// and produce messages/outcomes, with no I/O. The fides::Cluster drives them
+// over the signed transport. Fault knobs let a Byzantine node deviate at
+// every step the paper analyses (Lemmas 4 and 5, Scenario 2).
+#pragma once
+
+#include <span>
+
+#include "commit/messages.hpp"
+#include "store/shard.hpp"
+
+namespace fides::commit {
+
+/// Byzantine deviations of a cohort during TFCommit.
+struct CohortFaults {
+  bool corrupt_sch_commitment{false};  ///< garbage x_sch (Lemma 4)
+  bool corrupt_sch_response{false};    ///< garbage r_i (Lemma 4)
+  bool always_vote_abort{false};       ///< grief by vetoing every block
+  bool skip_root_check{false};         ///< collude: don't expose a fake root
+  bool skip_challenge_check{false};    ///< collude: don't verify the challenge
+};
+
+/// Byzantine deviations of the coordinator.
+struct CoordinatorFaults {
+  /// Lemma 5: send commit-blocks to one subset of cohorts and abort-blocks
+  /// to the rest. `kSameChallenge` reuses one challenge for both blocks
+  /// (Case 1); `kMatchingChallenges` computes a consistent challenge per
+  /// block (Case 2). Either way the final co-sign cannot verify.
+  enum class Equivocation : std::uint8_t { kNone, kSameChallenge, kMatchingChallenges };
+  Equivocation equivocate{Equivocation::kNone};
+  /// Cohorts (by index in the cohort list) that receive the abort variant.
+  std::vector<std::size_t> equivocation_victims;
+
+  /// Scenario 2: replace this server's Σroots entry with a fake digest.
+  std::optional<ServerId> fake_root_victim;
+
+  /// Ignore abort votes and declare commit anyway (atomicity attack; fails
+  /// because vetoing cohorts' roots are missing and they refuse to co-sign).
+  bool force_commit{false};
+};
+
+/// Cohort-side state machine. One instance per server; a new round starts
+/// with each handle_get_vote. Works against the server's shard (validation,
+/// hypothetical roots) and keypair (CoSi).
+class TfCommitCohort {
+ public:
+  TfCommitCohort(ServerId id, const crypto::KeyPair& keypair, store::Shard& shard)
+      : id_(id), keypair_(&keypair), shard_(&shard) {}
+
+  /// Phase 2. Validates the client requests (signatures verified by the
+  /// caller/transport layer against the client registry), runs OCC
+  /// validation for transactions touching this shard, computes the
+  /// hypothetical Merkle root, and produces the vote.
+  VoteMsg handle_get_vote(const GetVoteMsg& msg, const CohortFaults& faults = {});
+
+  /// Phase 4. Verifies the completed block against what this cohort voted
+  /// (root echo, decision/roots consistency, challenge correctness) and
+  /// responds or refuses.
+  ResponseMsg handle_challenge(const ChallengeMsg& msg, const CohortFaults& faults = {});
+
+  /// Whether this cohort's shard is touched by any transaction in `block`.
+  bool involved_in(const Block& block) const;
+
+  /// The vote this cohort cast in the current round (for tests/telemetry).
+  txn::Vote last_vote() const { return last_vote_; }
+
+  /// Wall time the last handle_get_vote spent computing the hypothetical
+  /// Merkle root — the dominant cost §6.3 plots as "MHT update time".
+  double last_root_compute_us() const { return last_root_compute_us_; }
+
+ private:
+  ServerId id_;
+  const crypto::KeyPair* keypair_;
+  store::Shard* shard_;
+
+  // Round state (reset by handle_get_vote).
+  std::optional<crypto::CosiCommitment> commitment_;
+  std::optional<crypto::Digest> sent_root_;
+  txn::Vote last_vote_{txn::Vote::kAbort};
+  bool involved_{false};
+  std::uint64_t round_{0};
+  double last_root_compute_us_{0};
+};
+
+/// Result of a full TFCommit round at the coordinator.
+struct TfCommitOutcome {
+  Block block;               ///< finalized block (cosign set if signable)
+  Decision decision{Decision::kAbort};
+  bool cosign_valid{false};  ///< aggregate signature verified OK
+  /// Servers whose CoSi share failed verification (Lemma 4 attribution).
+  std::vector<ServerId> faulty_cosigners;
+  /// Cohorts that refused to co-sign, with their reasons.
+  std::vector<std::pair<ServerId, std::string>> refusals;
+};
+
+/// Coordinator-side state machine for one block.
+class TfCommitCoordinator {
+ public:
+  /// `cohorts` lists every server participating in termination (§4.1: all
+  /// servers, including the coordinator itself, co-sign every block).
+  /// `keys[i]` is cohorts[i]'s public key.
+  TfCommitCoordinator(std::vector<ServerId> cohorts, std::vector<crypto::PublicKey> keys);
+
+  /// Assembles the phase-1 partial block from a batch. `signers` is the
+  /// witness set whose co-sign will seal the block (all servers under the
+  /// global protocol; the group under §4.6 group commit).
+  static Block make_partial_block(std::uint64_t height, const crypto::Digest& prev_hash,
+                                  std::vector<txn::Transaction> txns,
+                                  std::vector<ServerId> signers);
+
+  GetVoteMsg start(Block partial_block, std::vector<SignedEndTxn> requests);
+
+  /// Phase 3: consumes all votes (one per cohort, in cohort order) and
+  /// produces the challenge messages. An honest coordinator broadcasts —
+  /// the returned vector has a single element every cohort receives; an
+  /// equivocating one returns one (divergent) message per cohort.
+  std::vector<ChallengeMsg> on_votes(std::span<const VoteMsg> votes,
+                                     const CoordinatorFaults& faults = {});
+
+  /// Phase 5: consumes all responses and finalizes.
+  TfCommitOutcome on_responses(std::span<const ResponseMsg> responses);
+
+  const Block& block() const { return block_; }
+
+ private:
+  std::vector<ServerId> cohorts_;
+  std::vector<crypto::PublicKey> keys_;
+
+  Block block_;
+  std::vector<crypto::AffinePoint> commitments_;  // per cohort
+  crypto::AffinePoint aggregate_v_;
+  crypto::U256 challenge_;
+};
+
+/// Identifies which servers a block involves, via item placement: server i
+/// owns shard i. Exposed for the coordinator, OrdServ grouping, and audits.
+std::vector<ServerId> involved_servers(const Block& block, std::uint32_t num_servers);
+
+}  // namespace fides::commit

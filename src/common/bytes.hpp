@@ -1,0 +1,36 @@
+// Byte-buffer primitives shared by every module.
+//
+// `Bytes` is the canonical wire/storage representation used for message
+// payloads, serialized blocks, hash inputs, and stored values. Helpers here
+// are deliberately tiny; anything structured goes through serde.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fides {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a Bytes from a string's raw characters (no encoding applied).
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte span as text. Only for values known to be text.
+std::string to_string(BytesView b);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Concatenates any number of byte spans into one buffer.
+Bytes concat(std::initializer_list<BytesView> parts);
+
+/// Constant-time-ish equality (length leak is fine; content compare is not
+/// data-dependent in branch structure). Used for digest comparison.
+bool equal(BytesView a, BytesView b);
+
+}  // namespace fides

@@ -1,0 +1,17 @@
+// Hex encoding/decoding for digests, keys, and log dumps.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace fides {
+
+/// Lower-case hex encoding of a byte span.
+std::string hex_encode(BytesView data);
+
+/// Decodes a hex string; returns nullopt on odd length or non-hex chars.
+std::optional<Bytes> hex_decode(std::string_view hex);
+
+}  // namespace fides

@@ -1,0 +1,70 @@
+// Strong identifier types used across Fides.
+//
+// Servers, clients, shards, and data items are identified by small integer
+// ids wrapped in distinct types so they cannot be mixed up at call sites.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fides {
+
+/// CRTP-free tagged integer id. Distinct Tag => distinct type.
+template <typename Tag, typename Rep = std::uint32_t>
+struct TaggedId {
+  Rep value{0};
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(Rep v) : value(v) {}
+
+  friend constexpr auto operator<=>(TaggedId, TaggedId) = default;
+};
+
+struct ServerTag {};
+struct ClientTag {};
+struct ShardTag {};
+
+using ServerId = TaggedId<ServerTag>;
+using ClientId = TaggedId<ClientTag>;
+using ShardId = TaggedId<ShardTag>;
+
+/// Data items carry a global 64-bit identifier; the shard owning an item is
+/// derived by the cluster's placement function.
+using ItemId = std::uint64_t;
+
+/// Transaction identifier assigned by the issuing client at Begin
+/// Transaction: unique per (client, per-client sequence number).
+struct TxnId {
+  std::uint32_t client{0};
+  std::uint64_t seq{0};
+
+  friend constexpr auto operator<=>(const TxnId&, const TxnId&) = default;
+};
+
+inline std::string to_string(TxnId t) {
+  return "T" + std::to_string(t.client) + "." + std::to_string(t.seq);
+}
+
+inline std::string to_string(ServerId s) { return "S" + std::to_string(s.value); }
+inline std::string to_string(ClientId c) { return "C" + std::to_string(c.value); }
+inline std::string to_string(ShardId s) { return "shard" + std::to_string(s.value); }
+
+}  // namespace fides
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<fides::TaggedId<Tag, Rep>> {
+  size_t operator()(fides::TaggedId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value);
+  }
+};
+
+template <>
+struct hash<fides::TxnId> {
+  size_t operator()(const fides::TxnId& t) const noexcept {
+    return std::hash<std::uint64_t>{}(t.seq * 0x9E3779B97F4A7C15ULL + t.client);
+  }
+};
+}  // namespace std

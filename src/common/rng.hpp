@@ -1,0 +1,51 @@
+// Deterministic pseudo-random generator (xoshiro256**).
+//
+// All randomness in Fides — Schnorr nonces, workload generation, fault
+// injection choices — flows through this RNG so that tests and benchmarks
+// are reproducible from a seed. (A production deployment would swap the
+// nonce source for a CSPRNG; the protocol logic is agnostic.)
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace fides {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Fills `n` random bytes.
+  Bytes bytes(std::size_t n);
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Zipfian distribution over [0, n) with skew theta (YCSB-style).
+/// theta = 0 degenerates to uniform-ish; YCSB default is 0.99.
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double theta);
+
+  std::uint64_t sample(Rng& rng) const;
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace fides

@@ -1,0 +1,76 @@
+// Canonical binary serialization.
+//
+// Every structure that is hashed, signed, or exchanged between nodes goes
+// through this writer/reader pair. The encoding is fixed (little-endian
+// fixed-width integers, u32-length-prefixed buffers) so that a block has
+// exactly one byte representation — a prerequisite for tamper evidence:
+// the signing digest and the chain hash must be reproducible by every
+// server and by the auditor.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/timestamp.hpp"
+
+namespace fides {
+
+/// Thrown by Reader on malformed input (truncation, oversized lengths).
+/// Malformed bytes from an untrusted peer must never crash a server; callers
+/// at trust boundaries catch this and treat the message as invalid.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void boolean(bool v);
+  /// Length-prefixed byte buffer.
+  void bytes(BytesView b);
+  /// Length-prefixed UTF-8/raw string.
+  void str(std::string_view s);
+  /// Raw bytes, no length prefix (fixed-width fields like digests).
+  void raw(BytesView b);
+  void timestamp(const Timestamp& ts);
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  bool boolean();
+  Bytes bytes();
+  std::string str();
+  Bytes raw(std::size_t n);
+  Timestamp timestamp();
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Fails (throws DecodeError) unless the input is fully consumed.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_{0};
+};
+
+}  // namespace fides

@@ -1,0 +1,20 @@
+#include "common/timestamp.hpp"
+
+#include <algorithm>
+
+namespace fides {
+
+std::string to_string(const Timestamp& ts) {
+  return "ts-" + std::to_string(ts.logical) + ":" + std::to_string(ts.client);
+}
+
+Timestamp TimestampOracle::next() {
+  ++logical_;
+  return Timestamp{logical_, client_.value};
+}
+
+void TimestampOracle::observe(const Timestamp& ts) {
+  logical_ = std::max(logical_, ts.logical);
+}
+
+}  // namespace fides

@@ -1,0 +1,50 @@
+// Hybrid (Lamport-style) commit timestamps.
+//
+// The paper (§4.1, Table 1) lets clients assign commit timestamps using any
+// totally ordered scheme, e.g. a Lamport clock of <client_id : client_time>.
+// We implement exactly that: a logical counter with the client id as a
+// tiebreaker, giving a strict total order across all clients.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/ids.hpp"
+
+namespace fides {
+
+struct Timestamp {
+  std::uint64_t logical{0};  ///< client-local logical clock
+  std::uint32_t client{0};   ///< client id tiebreaker
+
+  friend constexpr auto operator<=>(const Timestamp&, const Timestamp&) = default;
+
+  constexpr bool is_zero() const { return logical == 0 && client == 0; }
+};
+
+/// The zero timestamp: "never accessed".
+inline constexpr Timestamp kTimestampZero{};
+
+std::string to_string(const Timestamp& ts);
+
+/// Client-side timestamp generator. Monotonic per client; merging a remote
+/// observation keeps the clock ahead of everything the client has seen
+/// (standard Lamport-clock update rule).
+class TimestampOracle {
+ public:
+  explicit TimestampOracle(ClientId client) : client_(client) {}
+
+  /// Returns a timestamp strictly greater than all previously issued or
+  /// observed ones.
+  Timestamp next();
+
+  /// Folds in a timestamp observed from a server or another client.
+  void observe(const Timestamp& ts);
+
+ private:
+  ClientId client_;
+  std::uint64_t logical_{0};
+};
+
+}  // namespace fides

@@ -1,0 +1,119 @@
+#include "crypto/cosi.hpp"
+
+#include "common/serde.hpp"
+
+namespace fides::crypto {
+
+Bytes CosiSignature::serialize() const {
+  Writer w;
+  w.bytes(v.serialize());
+  const auto rb = r.to_bytes_be();
+  w.raw(BytesView(rb.data(), rb.size()));
+  return std::move(w).take();
+}
+
+std::optional<CosiSignature> CosiSignature::deserialize(BytesView b) {
+  try {
+    Reader rd(b);
+    const Bytes vb = rd.bytes();
+    const Bytes rb = rd.raw(32);
+    rd.expect_done();
+    const auto point = AffinePoint::deserialize(vb);
+    if (!point) return std::nullopt;
+    CosiSignature sig;
+    sig.v = *point;
+    sig.r = U256::from_bytes_be(rb);
+    return sig;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+CosiCommitment cosi_commit(const KeyPair& kp, BytesView record, std::uint64_t round) {
+  const Curve& curve = Curve::instance();
+  const auto skb = kp.secret_key().to_bytes_be();
+  for (std::uint8_t ctr = 0;; ++ctr) {
+    Sha256 h;
+    h.update(to_bytes("cosi-nonce"));
+    h.update(BytesView(skb.data(), skb.size()));
+    h.update(record);
+    Writer w;
+    w.u64(round);
+    w.u8(ctr);
+    h.update(w.data());
+    const U256 v = scalar_from_digest(h.finalize());
+    if (v.is_zero()) continue;
+    return CosiCommitment{v, curve.to_affine(curve.mul_g(v))};
+  }
+}
+
+AffinePoint cosi_aggregate_commitments(std::span<const AffinePoint> commitments) {
+  const Curve& curve = Curve::instance();
+  Point acc = curve.infinity();
+  for (const auto& c : commitments) acc = curve.add(acc, curve.from_affine(c));
+  return curve.to_affine(acc);
+}
+
+U256 cosi_challenge(const AffinePoint& aggregate_v, BytesView record) {
+  Sha256 h;
+  h.update(aggregate_v.serialize());
+  h.update(record);
+  return scalar_from_digest(h.finalize());
+}
+
+U256 cosi_respond(const KeyPair& kp, const U256& secret, const U256& challenge) {
+  const auto& fn = Curve::instance().fn();
+  const Fe r = fn.add(fn.to_mont(secret),
+                      fn.mul(fn.to_mont(challenge), fn.to_mont(kp.secret_key())));
+  return fn.from_mont(r);
+}
+
+U256 cosi_aggregate_responses(std::span<const U256> responses) {
+  const auto& fn = Curve::instance().fn();
+  Fe acc = fn.zero();
+  for (const auto& r : responses) acc = fn.add(acc, fn.to_mont(r));
+  return fn.from_mont(acc);
+}
+
+bool cosi_verify(BytesView record, const CosiSignature& sig,
+                 std::span<const PublicKey> public_keys) {
+  const Curve& curve = Curve::instance();
+  if (public_keys.empty()) return false;
+  if (!curve.on_curve(sig.v)) return false;
+  if (!u256_less(sig.r, curve.order())) return false;
+
+  Point x_agg = curve.infinity();
+  for (const auto& pk : public_keys) {
+    if (pk.point.infinity || !curve.on_curve(pk.point)) return false;
+    x_agg = curve.add(x_agg, curve.from_affine(pk.point));
+  }
+  const U256 c = cosi_challenge(sig.v, record);
+  const Point lhs = curve.mul_g(sig.r);
+  const Point rhs = curve.add(curve.from_affine(sig.v), curve.mul(c, x_agg));
+  return curve.equal(lhs, rhs);
+}
+
+bool cosi_verify_share(const AffinePoint& commitment, const U256& response,
+                       const U256& challenge, const PublicKey& pk) {
+  const Curve& curve = Curve::instance();
+  if (!curve.on_curve(commitment) || !curve.on_curve(pk.point)) return false;
+  const Point lhs = curve.mul_g(response);
+  const Point rhs = curve.add(curve.from_affine(commitment),
+                              curve.mul(challenge, curve.from_affine(pk.point)));
+  return curve.equal(lhs, rhs);
+}
+
+std::vector<std::size_t> cosi_find_faulty(std::span<const AffinePoint> commitments,
+                                          std::span<const U256> responses,
+                                          const U256& challenge,
+                                          std::span<const PublicKey> public_keys) {
+  std::vector<std::size_t> faulty;
+  for (std::size_t i = 0; i < commitments.size(); ++i) {
+    if (!cosi_verify_share(commitments[i], responses[i], challenge, public_keys[i])) {
+      faulty.push_back(i);
+    }
+  }
+  return faulty;
+}
+
+}  // namespace fides::crypto

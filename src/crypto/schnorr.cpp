@@ -1,0 +1,100 @@
+#include "crypto/schnorr.hpp"
+
+#include "common/serde.hpp"
+
+namespace fides::crypto {
+
+namespace {
+
+/// Challenge scalar c = H(ser(R) ‖ ser(P) ‖ m) mod n.
+U256 challenge(const AffinePoint& r, const PublicKey& pk, BytesView message) {
+  Sha256 h;
+  const Bytes rb = r.serialize();
+  const Bytes pb = pk.serialize();
+  h.update(rb);
+  h.update(pb);
+  h.update(message);
+  return scalar_from_digest(h.finalize());
+}
+
+/// Deterministic nonce: k = H(sk ‖ m ‖ ctr) mod n, retried while zero.
+U256 derive_nonce(const U256& sk, BytesView message) {
+  const auto skb = sk.to_bytes_be();
+  for (std::uint8_t ctr = 0;; ++ctr) {
+    Sha256 h;
+    h.update(BytesView(skb.data(), skb.size()));
+    h.update(message);
+    h.update(BytesView(&ctr, 1));
+    const U256 k = scalar_from_digest(h.finalize());
+    if (!k.is_zero()) return k;
+  }
+}
+
+}  // namespace
+
+Bytes Signature::serialize() const {
+  Writer w;
+  w.bytes(r.serialize());
+  const auto sb = s.to_bytes_be();
+  w.raw(BytesView(sb.data(), sb.size()));
+  return std::move(w).take();
+}
+
+std::optional<Signature> Signature::deserialize(BytesView b) {
+  try {
+    Reader rd(b);
+    const Bytes rb = rd.bytes();
+    const Bytes sb = rd.raw(32);
+    rd.expect_done();
+    const auto point = AffinePoint::deserialize(rb);
+    if (!point) return std::nullopt;
+    Signature sig;
+    sig.r = *point;
+    sig.s = U256::from_bytes_be(sb);
+    return sig;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+KeyPair KeyPair::from_seed(BytesView seed32) {
+  const Digest d = sha256(seed32);
+  U256 sk = scalar_from_digest(d);
+  if (sk.is_zero()) sk = U256(1);  // astronomically unlikely; keep total
+  const Curve& curve = Curve::instance();
+  PublicKey pk{curve.to_affine(curve.mul_g(sk))};
+  return KeyPair(sk, pk);
+}
+
+KeyPair KeyPair::deterministic(std::uint64_t node_id) {
+  Writer w;
+  w.str("fides-node-key");
+  w.u64(node_id);
+  return from_seed(w.data());
+}
+
+Signature KeyPair::sign(BytesView message) const {
+  const Curve& curve = Curve::instance();
+  const U256 k = derive_nonce(sk_, message);
+  const AffinePoint r = curve.to_affine(curve.mul_g(k));
+  const U256 c = challenge(r, pk_, message);
+
+  // s = k + c*sk mod n, via the order-field Montgomery context.
+  const auto& fn = curve.fn();
+  const Fe s = fn.add(fn.to_mont(k), fn.mul(fn.to_mont(c), fn.to_mont(sk_)));
+  return Signature{r, fn.from_mont(s)};
+}
+
+bool verify(const PublicKey& pk, BytesView message, const Signature& sig) {
+  const Curve& curve = Curve::instance();
+  if (pk.point.infinity || sig.r.infinity) return false;
+  if (!curve.on_curve(pk.point) || !curve.on_curve(sig.r)) return false;
+  if (!u256_less(sig.s, curve.order())) return false;
+
+  const U256 c = challenge(sig.r, pk, message);
+  const Point lhs = curve.mul_g(sig.s);
+  const Point rhs = curve.add(curve.from_affine(sig.r), curve.mul(c, curve.from_affine(pk.point)));
+  return curve.equal(lhs, rhs);
+}
+
+}  // namespace fides::crypto

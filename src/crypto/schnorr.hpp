@@ -1,0 +1,58 @@
+// Schnorr digital signatures over secp256k1 (§2.1).
+//
+// Every server and client in Fides holds a Schnorr keypair; every message
+// exchanged is signed by the sender and verified by the receiver (§3.1).
+// Signatures are (R, s) with R = k·G, c = H(ser(R) ‖ ser(P) ‖ m) mod n,
+// s = k + c·x mod n; verification checks s·G == R + c·P.
+//
+// Nonces are derived deterministically from (secret key, message) in the
+// spirit of RFC 6979, so signing is reproducible and never reuses a nonce
+// across distinct messages.
+#pragma once
+
+#include "crypto/secp256k1.hpp"
+
+namespace fides::crypto {
+
+/// Serialized-affine public key. Comparable, hashable via its bytes.
+struct PublicKey {
+  AffinePoint point;
+
+  friend bool operator==(const PublicKey&, const PublicKey&) = default;
+
+  Bytes serialize() const { return point.serialize(); }
+};
+
+struct Signature {
+  AffinePoint r;  ///< commitment R = k·G
+  U256 s;         ///< response
+
+  Bytes serialize() const;
+  static std::optional<Signature> deserialize(BytesView b);
+};
+
+class KeyPair {
+ public:
+  /// Derives a keypair from 32 seed bytes (reduced mod n; must not reduce
+  /// to zero — the named constructors guarantee it).
+  static KeyPair from_seed(BytesView seed32);
+
+  /// Deterministic per-node keypair; convenient for tests and simulation.
+  static KeyPair deterministic(std::uint64_t node_id);
+
+  const PublicKey& public_key() const { return pk_; }
+  const U256& secret_key() const { return sk_; }
+
+  Signature sign(BytesView message) const;
+
+ private:
+  KeyPair(U256 sk, PublicKey pk) : sk_(sk), pk_(std::move(pk)) {}
+
+  U256 sk_;
+  PublicKey pk_;
+};
+
+/// Verifies sig over message under pk. Cheap rejection on malformed points.
+bool verify(const PublicKey& pk, BytesView message, const Signature& sig);
+
+}  // namespace fides::crypto

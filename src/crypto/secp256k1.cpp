@@ -1,0 +1,209 @@
+#include "crypto/secp256k1.hpp"
+
+#include <stdexcept>
+
+namespace fides::crypto {
+
+namespace {
+
+// secp256k1 domain parameters (SEC 2), little-endian 64-bit limbs.
+constexpr U256 kP = U256::from_limbs(0xFFFFFFFEFFFFFC2FULL, 0xFFFFFFFFFFFFFFFFULL,
+                                     0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL);
+constexpr U256 kN = U256::from_limbs(0xBFD25E8CD0364141ULL, 0xBAAEDCE6AF48A03BULL,
+                                     0xFFFFFFFFFFFFFFFEULL, 0xFFFFFFFFFFFFFFFFULL);
+constexpr U256 kGx = U256::from_limbs(0x59F2815B16F81798ULL, 0x029BFCDB2DCE28D9ULL,
+                                      0x55A06295CE870B07ULL, 0x79BE667EF9DCBBACULL);
+constexpr U256 kGy = U256::from_limbs(0x9C47D08FFB10D4B8ULL, 0xFD17B448A6855419ULL,
+                                      0x5DA4FBFC0E1108A8ULL, 0x483ADA7726A3C465ULL);
+
+}  // namespace
+
+Bytes AffinePoint::serialize() const {
+  if (infinity) return Bytes{0x00};
+  Bytes out;
+  out.reserve(65);
+  out.push_back(0x04);  // SEC1 uncompressed marker
+  const auto xb = x.to_bytes_be();
+  const auto yb = y.to_bytes_be();
+  out.insert(out.end(), xb.begin(), xb.end());
+  out.insert(out.end(), yb.begin(), yb.end());
+  return out;
+}
+
+std::optional<AffinePoint> AffinePoint::deserialize(BytesView b) {
+  if (b.size() == 1 && b[0] == 0x00) {
+    AffinePoint a;
+    a.infinity = true;
+    return a;
+  }
+  if (b.size() != 65 || b[0] != 0x04) return std::nullopt;
+  AffinePoint a;
+  a.x = U256::from_bytes_be(b.subspan(1, 32));
+  a.y = U256::from_bytes_be(b.subspan(33, 32));
+  if (!Curve::instance().on_curve(a)) return std::nullopt;
+  return a;
+}
+
+const Curve& Curve::instance() {
+  static const Curve curve;
+  return curve;
+}
+
+Curve::Curve() : fp_(kP), fn_(kN), b7_(fp_.to_mont(U256(7))) {
+  g_.x = fp_.to_mont(kGx);
+  g_.y = fp_.to_mont(kGy);
+  g_.z = fp_.one();
+
+  g_table_.resize(64);
+  Point window_base = g_;  // 16^i * G
+  for (int i = 0; i < 64; ++i) {
+    g_table_[i][0] = window_base;
+    for (int j = 1; j < 15; ++j) {
+      g_table_[i][j] = add(g_table_[i][j - 1], window_base);
+    }
+    for (int d = 0; d < 4; ++d) window_base = dbl(window_base);
+  }
+}
+
+Point Curve::infinity() const {
+  Point p;
+  p.x = fp_.one();
+  p.y = fp_.one();
+  p.z = fp_.zero();
+  return p;
+}
+
+Point Curve::negate(const Point& p) const {
+  Point r = p;
+  r.y = fp_.neg(p.y);
+  return r;
+}
+
+Point Curve::dbl(const Point& p) const {
+  // dbl-2009-l formulas (a = 0 special case).
+  if (p.is_infinity() || fp_.is_zero(p.y)) return infinity();
+  const auto& f = fp_;
+  const Fe a = f.sqr(p.x);                    // XX
+  const Fe b = f.sqr(p.y);                    // YY
+  const Fe c = f.sqr(b);                      // YYYY
+  Fe d = f.sub(f.sqr(f.add(p.x, b)), f.add(a, c));
+  d = f.add(d, d);                            // D = 2*((X+YY)^2 - XX - YYYY)
+  const Fe e = f.add(f.add(a, a), a);         // E = 3*XX
+  const Fe ff = f.sqr(e);                     // F = E^2
+  Point r;
+  r.x = f.sub(ff, f.add(d, d));               // X3 = F - 2D
+  Fe c8 = f.add(c, c);
+  c8 = f.add(c8, c8);
+  c8 = f.add(c8, c8);                         // 8*YYYY
+  r.y = f.sub(f.mul(e, f.sub(d, r.x)), c8);   // Y3 = E*(D-X3) - 8*YYYY
+  const Fe yz = f.mul(p.y, p.z);
+  r.z = f.add(yz, yz);                        // Z3 = 2*Y*Z
+  return r;
+}
+
+Point Curve::add(const Point& p, const Point& q) const {
+  if (p.is_infinity()) return q;
+  if (q.is_infinity()) return p;
+  const auto& f = fp_;
+  // add-2007-bl general Jacobian addition.
+  const Fe z1z1 = f.sqr(p.z);
+  const Fe z2z2 = f.sqr(q.z);
+  const Fe u1 = f.mul(p.x, z2z2);
+  const Fe u2 = f.mul(q.x, z1z1);
+  const Fe s1 = f.mul(f.mul(p.y, q.z), z2z2);
+  const Fe s2 = f.mul(f.mul(q.y, p.z), z1z1);
+  if (u1 == u2) {
+    if (s1 == s2) return dbl(p);
+    return infinity();  // P + (-P)
+  }
+  const Fe h = f.sub(u2, u1);
+  Fe i = f.add(h, h);
+  i = f.sqr(i);                                // I = (2H)^2
+  const Fe j = f.mul(h, i);                    // J = H*I
+  Fe rr = f.sub(s2, s1);
+  rr = f.add(rr, rr);                          // r = 2*(S2-S1)
+  const Fe v = f.mul(u1, i);                   // V = U1*I
+  Point out;
+  out.x = f.sub(f.sub(f.sqr(rr), j), f.add(v, v));  // X3 = r^2 - J - 2V
+  Fe s1j = f.mul(s1, j);
+  s1j = f.add(s1j, s1j);
+  out.y = f.sub(f.mul(rr, f.sub(v, out.x)), s1j);   // Y3 = r*(V-X3) - 2*S1*J
+  Fe z = f.add(p.z, q.z);
+  z = f.sub(f.sqr(z), f.add(z1z1, z2z2));
+  out.z = f.mul(z, h);                              // Z3 = ((Z1+Z2)^2-Z1Z1-Z2Z2)*H
+  return out;
+}
+
+Point Curve::mul(const U256& k, const Point& p) const {
+  Point acc = infinity();
+  const int top = k.bit_length();
+  for (int i = top; i >= 0; --i) {
+    acc = dbl(acc);
+    if (k.bit(i)) acc = add(acc, p);
+  }
+  return acc;
+}
+
+Point Curve::mul_g(const U256& k) const {
+  Point acc = infinity();
+  for (int i = 0; i < 64; ++i) {
+    const unsigned digit = static_cast<unsigned>((k.w[i / 16] >> (4 * (i % 16))) & 0xF);
+    if (digit != 0) acc = add(acc, g_table_[i][digit - 1]);
+  }
+  return acc;
+}
+
+AffinePoint Curve::to_affine(const Point& p) const {
+  AffinePoint a;
+  if (p.is_infinity()) {
+    a.infinity = true;
+    return a;
+  }
+  const auto& f = fp_;
+  const Fe zinv = f.inverse(p.z);
+  const Fe zinv2 = f.sqr(zinv);
+  const Fe zinv3 = f.mul(zinv2, zinv);
+  a.x = f.from_mont(f.mul(p.x, zinv2));
+  a.y = f.from_mont(f.mul(p.y, zinv3));
+  return a;
+}
+
+Point Curve::from_affine(const AffinePoint& a) const {
+  if (a.infinity) return infinity();
+  Point p;
+  p.x = fp_.to_mont(a.x);
+  p.y = fp_.to_mont(a.y);
+  p.z = fp_.one();
+  return p;
+}
+
+bool Curve::on_curve(const AffinePoint& a) const {
+  if (a.infinity) return true;
+  if (!u256_less(a.x, kP) || !u256_less(a.y, kP)) return false;
+  const auto& f = fp_;
+  const Fe x = f.to_mont(a.x);
+  const Fe y = f.to_mont(a.y);
+  const Fe lhs = f.sqr(y);
+  const Fe rhs = f.add(f.mul(f.sqr(x), x), b7_);
+  return lhs == rhs;
+}
+
+bool Curve::equal(const Point& p, const Point& q) const {
+  if (p.is_infinity() || q.is_infinity()) return p.is_infinity() == q.is_infinity();
+  // Cross-multiplied comparison avoids inversions:
+  // X1/Z1^2 == X2/Z2^2  <=>  X1*Z2^2 == X2*Z1^2, likewise for Y with cubes.
+  const auto& f = fp_;
+  const Fe z1z1 = f.sqr(p.z);
+  const Fe z2z2 = f.sqr(q.z);
+  if (!(f.mul(p.x, z2z2) == f.mul(q.x, z1z1))) return false;
+  const Fe z1c = f.mul(z1z1, p.z);
+  const Fe z2c = f.mul(z2z2, q.z);
+  return f.mul(p.y, z2c) == f.mul(q.y, z1c);
+}
+
+U256 scalar_from_digest(const Digest& d) {
+  const U256 x = U256::from_bytes_be(d.view());
+  return u256_mod(x, kN);
+}
+
+}  // namespace fides::crypto

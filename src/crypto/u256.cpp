@@ -1,0 +1,141 @@
+#include "crypto/u256.hpp"
+
+#include <stdexcept>
+
+#include "common/hex.hpp"
+
+namespace fides::crypto {
+
+int U256::bit_length() const {
+  for (int i = 3; i >= 0; --i) {
+    if (w[i] != 0) return 64 * i + 63 - __builtin_clzll(w[i]);
+  }
+  return -1;
+}
+
+std::array<std::uint8_t, 32> U256::to_bytes_be() const {
+  std::array<std::uint8_t, 32> out{};
+  for (int limb = 0; limb < 4; ++limb) {
+    for (int b = 0; b < 8; ++b) {
+      out[31 - (8 * limb + b)] = static_cast<std::uint8_t>(w[limb] >> (8 * b));
+    }
+  }
+  return out;
+}
+
+U256 U256::from_bytes_be(BytesView b) {
+  if (b.size() != 32) throw std::invalid_argument("U256::from_bytes_be: need 32 bytes");
+  U256 x;
+  for (int limb = 0; limb < 4; ++limb) {
+    for (int byte = 0; byte < 8; ++byte) {
+      x.w[limb] |= static_cast<std::uint64_t>(b[31 - (8 * limb + byte)]) << (8 * byte);
+    }
+  }
+  return x;
+}
+
+std::string U256::hex() const {
+  const auto b = to_bytes_be();
+  return hex_encode(BytesView(b.data(), b.size()));
+}
+
+std::optional<U256> U256::from_hex(std::string_view h) {
+  std::string padded(h);
+  if (padded.size() < 64) padded.insert(0, 64 - padded.size(), '0');
+  if (padded.size() != 64) return std::nullopt;
+  const auto bytes = hex_decode(padded);
+  if (!bytes) return std::nullopt;
+  return U256::from_bytes_be(*bytes);
+}
+
+bool u256_less(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.w[i] != b.w[i]) return a.w[i] < b.w[i];
+  }
+  return false;
+}
+
+std::uint64_t u256_add(U256& dst, const U256& a, const U256& b) {
+  std::uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t t;
+    const std::uint64_t c1 = __builtin_add_overflow(a.w[i], b.w[i], &t) ? 1u : 0u;
+    const std::uint64_t c2 = __builtin_add_overflow(t, carry, &dst.w[i]) ? 1u : 0u;
+    carry = c1 | c2;  // at most one of the two adds can carry
+  }
+  return carry;
+}
+
+std::uint64_t u256_sub(U256& dst, const U256& a, const U256& b) {
+  std::uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t t;
+    const std::uint64_t b1 = __builtin_sub_overflow(a.w[i], b.w[i], &t) ? 1u : 0u;
+    const std::uint64_t b2 = __builtin_sub_overflow(t, borrow, &dst.w[i]) ? 1u : 0u;
+    borrow = b1 | b2;
+  }
+  return borrow;
+}
+
+std::array<std::uint64_t, 8> u256_mul_wide(const U256& a, const U256& b) {
+  std::array<std::uint64_t, 8> r{};
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const unsigned __int128 cur =
+          static_cast<unsigned __int128>(a.w[i]) * b.w[j] + r[i + j] + carry;
+      r[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    r[i + 4] = carry;
+  }
+  return r;
+}
+
+U256 u256_mod(const U256& a, const U256& m) {
+  if (m.is_zero()) throw std::invalid_argument("u256_mod: zero modulus");
+  if (u256_less(a, m)) return a;
+  // Binary long division: shift-subtract from the top bit down.
+  U256 rem;
+  for (int i = a.bit_length(); i >= 0; --i) {
+    // rem = rem*2 + bit
+    U256 doubled;
+    u256_add(doubled, rem, rem);
+    if (a.bit(i)) {
+      const U256 one(1);
+      u256_add(doubled, doubled, one);
+    }
+    U256 reduced;
+    if (u256_sub(reduced, doubled, m) == 0) {
+      rem = reduced;
+    } else {
+      rem = doubled;
+    }
+  }
+  return rem;
+}
+
+U256 u512_mod(const std::array<std::uint64_t, 8>& v, const U256& m) {
+  if (m.is_zero()) throw std::invalid_argument("u512_mod: zero modulus");
+  // Process bits from the top; rem stays < m so rem*2+bit < 2m fits in
+  // 257 bits — track the carry from doubling explicitly.
+  U256 rem;
+  for (int i = 511; i >= 0; --i) {
+    U256 doubled;
+    std::uint64_t carry = u256_add(doubled, rem, rem);
+    if ((v[i / 64] >> (i % 64)) & 1) {
+      const U256 one(1);
+      carry += u256_add(doubled, doubled, one);
+    }
+    U256 reduced;
+    const std::uint64_t borrow = u256_sub(reduced, doubled, m);
+    if (carry != 0 || borrow == 0) {
+      rem = reduced;
+    } else {
+      rem = doubled;
+    }
+  }
+  return rem;
+}
+
+}  // namespace fides::crypto

@@ -1,0 +1,431 @@
+#include "fides/cluster.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace fides {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double since_us(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+/// Sorts a batch by commit timestamp: the coordinator "orders them within a
+/// single block at the start of TFCommit" (§4.6), and timestamp order is
+/// what OCC validation and the auditor expect.
+void order_batch(std::vector<commit::SignedEndTxn>& batch) {
+  std::sort(batch.begin(), batch.end(),
+            [](const commit::SignedEndTxn& a, const commit::SignedEndTxn& b) {
+              return a.request.txn.commit_ts < b.request.txn.commit_ts;
+            });
+}
+
+std::vector<txn::Transaction> batch_txns(const std::vector<commit::SignedEndTxn>& batch) {
+  std::vector<txn::Transaction> txns;
+  txns.reserve(batch.size());
+  for (const auto& s : batch) txns.push_back(s.request.txn);
+  return txns;
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  servers_.reserve(config_.num_servers);
+  server_keys_.reserve(config_.num_servers);
+  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+    servers_.push_back(std::make_unique<Server>(ServerId{i}, config_));
+    server_keys_.push_back(servers_.back()->public_key());
+    transport_.register_node(NodeId::server(ServerId{i}), server_keys_.back());
+  }
+}
+
+Client& Cluster::make_client() {
+  const ClientId id{static_cast<std::uint32_t>(clients_.size())};
+  clients_.push_back(std::make_unique<Client>(id, *this));
+  transport_.register_node(NodeId::client(id), clients_.back()->keypair().public_key());
+  return *clients_.back();
+}
+
+ServerId Cluster::owner_of(ItemId item) const {
+  return ServerId{store::shard_for_item(item, config_.num_servers).value};
+}
+
+// --- Data path ---------------------------------------------------------------
+
+void Cluster::client_begin(Client& client, TxnId txn, std::span<const ItemId> items) {
+  transport_.set_crypto_enabled(config_.sign_data_path);
+  for (const ItemId item : items) {
+    Server& server = *servers_[owner_of(item).value];
+    Writer w;
+    w.u32(txn.client);
+    w.u64(txn.seq);
+    Envelope env = transport_.seal(client.keypair(), NodeId::client(client.id()),
+                                   "begin_txn", std::move(w).take());
+    if (transport_.open(env, "begin_txn")) {
+      server.record_client_message(env);
+      server.handle_begin(client.id(), txn);
+    }
+  }
+  transport_.set_crypto_enabled(true);
+}
+
+store::ReadResult Cluster::client_read(Client& client, TxnId txn, ItemId item) {
+  transport_.set_crypto_enabled(config_.sign_data_path);
+  Server& server = *servers_[owner_of(item).value];
+
+  Writer w;
+  w.u32(txn.client);
+  w.u64(txn.seq);
+  w.u64(item);
+  Envelope env = transport_.seal(client.keypair(), NodeId::client(client.id()), "read",
+                                 std::move(w).take());
+  store::ReadResult result;
+  if (transport_.open(env, "read")) {
+    server.record_client_message(env);
+    result = server.handle_read(client.id(), txn, item);
+    // Response travels back signed by the server.
+    Writer resp;
+    resp.u64(result.id);
+    resp.bytes(result.value);
+    resp.timestamp(result.rts);
+    resp.timestamp(result.wts);
+    Envelope renv = transport_.seal(server.keypair(), NodeId::server(server.id()),
+                                    "read_resp", std::move(resp).take());
+    transport_.open(renv, "read_resp");
+  }
+  transport_.set_crypto_enabled(true);
+  return result;
+}
+
+WriteAck Cluster::client_write(Client& client, TxnId txn, ItemId item, Bytes value) {
+  transport_.set_crypto_enabled(config_.sign_data_path);
+  Server& server = *servers_[owner_of(item).value];
+
+  Writer w;
+  w.u32(txn.client);
+  w.u64(txn.seq);
+  w.u64(item);
+  w.bytes(value);
+  Envelope env = transport_.seal(client.keypair(), NodeId::client(client.id()), "write",
+                                 std::move(w).take());
+  WriteAck ack;
+  if (transport_.open(env, "write")) {
+    server.record_client_message(env);
+    ack = server.handle_write(client.id(), txn, item, std::move(value));
+    Writer resp;
+    resp.u64(ack.id);
+    resp.bytes(ack.old_value);
+    resp.timestamp(ack.rts);
+    resp.timestamp(ack.wts);
+    Envelope renv = transport_.seal(server.keypair(), NodeId::server(server.id()),
+                                    "write_ack", std::move(resp).take());
+    transport_.open(renv, "write_ack");
+  }
+  transport_.set_crypto_enabled(true);
+  return ack;
+}
+
+// --- TFCommit round ------------------------------------------------------------
+
+RoundMetrics Cluster::run_tfcommit_block(std::vector<commit::SignedEndTxn> batch) {
+  RoundMetrics metrics;
+  metrics.txns_in_block = batch.size();
+  order_batch(batch);
+
+  Server& coord_server = *servers_[coordinator_id().value];
+  const NodeId coord_node = NodeId::server(coordinator_id());
+
+  std::vector<ServerId> cohort_ids;
+  for (std::uint32_t i = 0; i < config_.num_servers; ++i) cohort_ids.push_back(ServerId{i});
+  commit::TfCommitCoordinator coordinator(cohort_ids, server_keys_);
+
+  // Phase 1 <GetVote, SchAnnouncement> — coordinator assembles and signs.
+  auto t0 = Clock::now();
+  commit::Block partial = commit::TfCommitCoordinator::make_partial_block(
+      coord_server.log().size(), coord_server.log().head_hash(), batch_txns(batch),
+      cohort_ids);
+  commit::GetVoteMsg get_vote = coordinator.start(std::move(partial), batch);
+  // Broadcast: sign once, every cohort gets (and verifies) the same envelope.
+  const Envelope get_vote_env = transport_.seal(coord_server.keypair(), coord_node,
+                                                "tf_get_vote", get_vote.serialize());
+  for (std::uint32_t i = 1; i < config_.num_servers; ++i) {
+    transport_.count_copy(get_vote_env);
+  }
+  metrics.coordinator_us += since_us(t0);
+
+  // Phase 2 <Vote, SchCommitment> — cohorts, in parallel in a real cluster.
+  std::vector<commit::VoteMsg> votes;
+  votes.reserve(servers_.size());
+  std::vector<Envelope> vote_envs;
+  double phase2_max = 0;
+  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+    Server& server = *servers_[i];
+    auto tc = Clock::now();
+    commit::VoteMsg vote;
+    if (transport_.open(get_vote_env, "tf_get_vote")) {
+      // "Every cohort verifies ... the encapsulated client request": each
+      // cohort checks the client signatures of the transactions that touch
+      // its shard (those are what it votes on).
+      bool requests_ok = true;
+      for (const auto& req : get_vote.requests) {
+        bool touches_me = false;
+        for (const ItemId item : req.request.txn.rw.touched_items()) {
+          if (server.shard().contains(item)) {
+            touches_me = true;
+            break;
+          }
+        }
+        if (!touches_me) continue;
+        const crypto::PublicKey* ck = transport_.key_of(NodeId::client(req.client));
+        ++transport_.stats().signatures_verified;
+        if (ck == nullptr || !req.verify(*ck)) {
+          requests_ok = false;
+          break;
+        }
+      }
+      commit::CohortFaults faults = server.faults().cohort;
+      if (!requests_ok) faults.always_vote_abort = true;  // refuse forged requests
+      vote = server.tf_cohort().handle_get_vote(get_vote, faults);
+      server.add_mht_time_us(server.tf_cohort().last_root_compute_us());
+      metrics.mht_us = std::max(metrics.mht_us, server.tf_cohort().last_root_compute_us());
+    }
+    vote_envs.push_back(transport_.seal(server.keypair(), NodeId::server(server.id()),
+                                        "tf_vote", vote.serialize()));
+    votes.push_back(std::move(vote));
+    phase2_max = std::max(phase2_max, since_us(tc));
+  }
+  metrics.cohort_critical_us += phase2_max;
+
+  // Phase 3 <null, SchChallenge> — coordinator aggregates and broadcasts.
+  t0 = Clock::now();
+  for (auto& env : vote_envs) transport_.open(env, "tf_vote");
+  std::vector<commit::ChallengeMsg> challenges =
+      coordinator.on_votes(votes, coord_server.faults().coordinator);
+  // Honest coordinators broadcast one challenge (single-element vector);
+  // an equivocating one crafts and signs divergent envelopes per cohort.
+  std::vector<Envelope> challenge_envs;
+  challenge_envs.reserve(challenges.size());
+  for (const auto& ch : challenges) {
+    challenge_envs.push_back(transport_.seal(coord_server.keypair(), coord_node,
+                                             "tf_challenge", ch.serialize()));
+  }
+  for (std::uint32_t i = 1; challenges.size() == 1 && i < config_.num_servers; ++i) {
+    transport_.count_copy(challenge_envs[0]);
+  }
+  metrics.coordinator_us += since_us(t0);
+
+  // Phase 4 <null, SchResponse> — cohorts validate the block and respond.
+  std::vector<commit::ResponseMsg> responses;
+  responses.reserve(servers_.size());
+  std::vector<Envelope> response_envs;
+  double phase4_max = 0;
+  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+    Server& server = *servers_[i];
+    auto tc = Clock::now();
+    const std::size_t slot = challenges.size() == 1 ? 0 : i;
+    commit::ResponseMsg resp;
+    if (transport_.open(challenge_envs[slot], "tf_challenge")) {
+      resp = server.tf_cohort().handle_challenge(challenges[slot],
+                                                 server.faults().cohort);
+    } else {
+      resp.cohort = server.id();
+      resp.refused = true;
+      resp.refusal_reason = "challenge envelope failed authentication";
+    }
+    response_envs.push_back(transport_.seal(server.keypair(), NodeId::server(server.id()),
+                                            "tf_response", resp.serialize()));
+    responses.push_back(std::move(resp));
+    phase4_max = std::max(phase4_max, since_us(tc));
+  }
+  metrics.cohort_critical_us += phase4_max;
+
+  // Phase 5 <Decision, null> — coordinator finalizes the co-sign.
+  t0 = Clock::now();
+  for (auto& env : response_envs) transport_.open(env, "tf_response");
+  commit::TfCommitOutcome outcome = coordinator.on_responses(responses);
+  metrics.cosign_valid = outcome.cosign_valid;
+  metrics.faulty_cosigners = outcome.faulty_cosigners;
+  metrics.refusals = outcome.refusals;
+  metrics.decision = outcome.decision;
+
+  commit::DecisionMsg decision{outcome.block};
+  const Envelope decision_env = transport_.seal(coord_server.keypair(), coord_node,
+                                                "tf_decision", decision.serialize());
+  for (std::uint32_t i = 1; i < config_.num_servers; ++i) {
+    transport_.count_copy(decision_env);
+  }
+  metrics.coordinator_us += since_us(t0);
+
+  // Log append + datastore update at every server (steps 6-7).
+  double apply_max = 0;
+  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+    Server& server = *servers_[i];
+    auto tc = Clock::now();
+    const double mht_before = server.mht_time_us();
+    if (transport_.open(decision_env, "tf_decision")) {
+      server.handle_decision(decision, server_keys_);
+    }
+    metrics.mht_us = std::max(metrics.mht_us, server.mht_time_us() - mht_before);
+    apply_max = std::max(apply_max, since_us(tc));
+  }
+  metrics.cohort_critical_us += apply_max;
+
+  // end_txn (client->coord) + get_vote + vote + challenge + response +
+  // decision (coord->cohorts/client in parallel) = 6 one-way legs.
+  metrics.network_legs = 6;
+  metrics.modeled_latency_us =
+      metrics.coordinator_us + metrics.cohort_critical_us +
+      static_cast<double>(metrics.network_legs) * config_.network.one_way_latency_us;
+  return metrics;
+}
+
+// --- 2PC round -----------------------------------------------------------------
+
+RoundMetrics Cluster::run_2pc_block(std::vector<commit::SignedEndTxn> batch) {
+  RoundMetrics metrics;
+  metrics.txns_in_block = batch.size();
+  order_batch(batch);
+
+  Server& coord_server = *servers_[coordinator_id().value];
+  const NodeId coord_node = NodeId::server(coordinator_id());
+
+  std::vector<ServerId> cohort_ids;
+  for (std::uint32_t i = 0; i < config_.num_servers; ++i) cohort_ids.push_back(ServerId{i});
+  commit::TwoPhaseCommitCoordinator coordinator(cohort_ids);
+
+  // Prepare phase.
+  auto t0 = Clock::now();
+  commit::Block partial = commit::TfCommitCoordinator::make_partial_block(
+      coord_server.log().size(), coord_server.log().head_hash(), batch_txns(batch),
+      cohort_ids);
+  commit::PrepareMsg prepare = coordinator.start(std::move(partial), batch);
+  const Envelope prepare_env = transport_.seal(coord_server.keypair(), coord_node,
+                                               "2pc_prepare", prepare.serialize());
+  for (std::uint32_t i = 1; i < config_.num_servers; ++i) {
+    transport_.count_copy(prepare_env);
+  }
+  metrics.coordinator_us += since_us(t0);
+
+  // Vote phase.
+  std::vector<commit::PrepareVoteMsg> votes;
+  std::vector<Envelope> vote_envs;
+  double vote_max = 0;
+  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+    Server& server = *servers_[i];
+    auto tc = Clock::now();
+    commit::PrepareVoteMsg vote;
+    if (transport_.open(prepare_env, "2pc_prepare")) {
+      bool requests_ok = true;
+      for (const auto& req : prepare.requests) {
+        bool touches_me = false;
+        for (const ItemId item : req.request.txn.rw.touched_items()) {
+          if (server.shard().contains(item)) {
+            touches_me = true;
+            break;
+          }
+        }
+        if (!touches_me) continue;
+        const crypto::PublicKey* ck = transport_.key_of(NodeId::client(req.client));
+        ++transport_.stats().signatures_verified;
+        if (ck == nullptr || !req.verify(*ck)) {
+          requests_ok = false;
+          break;
+        }
+      }
+      vote = server.tpc_cohort().handle_prepare(prepare);
+      if (!requests_ok) {
+        vote.vote = txn::Vote::kAbort;
+        vote.abort_reason = "client request signature invalid";
+      }
+    }
+    vote_envs.push_back(transport_.seal(server.keypair(), NodeId::server(server.id()),
+                                        "2pc_vote", vote.serialize()));
+    votes.push_back(std::move(vote));
+    vote_max = std::max(vote_max, since_us(tc));
+  }
+  metrics.cohort_critical_us += vote_max;
+
+  // Decision phase.
+  t0 = Clock::now();
+  for (auto& env : vote_envs) transport_.open(env, "2pc_vote");
+  commit::TwoPhaseCommitOutcome outcome = coordinator.on_votes(votes);
+  metrics.decision = outcome.decision;
+  commit::CommitDecisionMsg decision{outcome.block};
+  const Envelope decision_env = transport_.seal(coord_server.keypair(), coord_node,
+                                                "2pc_decision", decision.serialize());
+  for (std::uint32_t i = 1; i < config_.num_servers; ++i) {
+    transport_.count_copy(decision_env);
+  }
+  metrics.coordinator_us += since_us(t0);
+
+  double apply_max = 0;
+  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+    Server& server = *servers_[i];
+    auto tc = Clock::now();
+    if (transport_.open(decision_env, "2pc_decision")) {
+      server.handle_decision_2pc(decision);
+    }
+    apply_max = std::max(apply_max, since_us(tc));
+  }
+  metrics.cohort_critical_us += apply_max;
+
+  // end_txn + prepare + vote + decision = 4 one-way legs.
+  metrics.network_legs = 4;
+  metrics.modeled_latency_us =
+      metrics.coordinator_us + metrics.cohort_critical_us +
+      static_cast<double>(metrics.network_legs) * config_.network.one_way_latency_us;
+  return metrics;
+}
+
+RoundMetrics Cluster::run_block(std::vector<commit::SignedEndTxn> batch) {
+  return config_.protocol == Protocol::kTfCommit ? run_tfcommit_block(std::move(batch))
+                                                 : run_2pc_block(std::move(batch));
+}
+
+std::vector<RoundMetrics> Cluster::drain(commit::BatchBuilder& builder) {
+  std::vector<RoundMetrics> rounds;
+  while (!builder.empty()) {
+    rounds.push_back(run_block(builder.next_batch()));
+  }
+  return rounds;
+}
+
+std::optional<ledger::Checkpoint> Cluster::create_checkpoint() {
+  std::vector<ServerId> signers;
+  for (std::uint32_t i = 0; i < config_.num_servers; ++i) signers.push_back(ServerId{i});
+
+  // The coordinator proposes a checkpoint over its own log.
+  ledger::Checkpoint cp =
+      ledger::make_checkpoint(servers_[0]->log().blocks(), signers);
+  const Bytes record = cp.signing_bytes();
+
+  // CoSi round: each server only contributes after verifying that the
+  // proposal matches its own log (same height, same head hash) — a server
+  // with a divergent log refuses, and the checkpoint cannot form.
+  std::vector<crypto::AffinePoint> commitments;
+  std::vector<crypto::CosiCommitment> secrets;
+  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+    const Server& server = *servers_[i];
+    if (server.log().size() != cp.height || !(server.log().head_hash() == cp.head_hash)) {
+      return std::nullopt;
+    }
+    secrets.push_back(
+        crypto::cosi_commit(server.keypair(), record, 0xC0DE0000ULL + cp.height));
+    commitments.push_back(secrets.back().v);
+  }
+  const crypto::AffinePoint v = crypto::cosi_aggregate_commitments(commitments);
+  const crypto::U256 challenge = crypto::cosi_challenge(v, record);
+  std::vector<crypto::U256> responses;
+  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+    responses.push_back(
+        crypto::cosi_respond(servers_[i]->keypair(), secrets[i].secret, challenge));
+  }
+  cp.cosign = crypto::CosiSignature{v, crypto::cosi_aggregate_responses(responses)};
+  if (!ledger::validate_checkpoint(cp, server_keys_)) return std::nullopt;
+  return cp;
+}
+
+}  // namespace fides

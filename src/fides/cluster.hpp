@@ -1,0 +1,101 @@
+// Cluster wiring and the commit-round driver.
+//
+// The cluster owns all servers and the transport, executes the client data
+// path, and drives whole TFCommit / 2PC rounds through the protocol state
+// machines, message by message, over signed envelopes.
+//
+// Timing model: all nodes run in one process, so the driver measures the
+// wall time of every node's handler separately and reports the *critical
+// path* — coordinator work plus, per phase, the slowest cohort (cohorts of
+// one phase run in parallel in a real deployment) — plus one modeled network
+// leg per protocol message hop. This is what lets the Figure 14 shape
+// (more servers => more parallel Merkle work => higher throughput) emerge
+// from a single-machine reproduction.
+#pragma once
+
+#include <memory>
+
+#include "commit/batch.hpp"
+#include "fides/client.hpp"
+#include "fides/server.hpp"
+#include "ledger/checkpoint.hpp"
+
+namespace fides {
+
+/// Everything a commit round reports to the harness.
+struct RoundMetrics {
+  ledger::Decision decision{ledger::Decision::kAbort};
+  std::size_t txns_in_block{0};
+
+  double coordinator_us{0};     ///< total coordinator compute
+  double cohort_critical_us{0};  ///< sum over phases of max cohort compute
+  double mht_us{0};              ///< max per-server Merkle time in this round
+  std::size_t network_legs{0};   ///< protocol message hops on the latency path
+
+  /// critical-path compute + network_legs * one-way latency.
+  double modeled_latency_us{0};
+
+  /// Cosign health (TFCommit only).
+  bool cosign_valid{false};
+  std::vector<ServerId> faulty_cosigners;
+  std::vector<std::pair<ServerId, std::string>> refusals;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  const ClusterConfig& config() const { return config_; }
+  std::uint32_t num_servers() const { return config_.num_servers; }
+
+  Server& server(ServerId id) { return *servers_.at(id.value); }
+  const Server& server(ServerId id) const { return *servers_.at(id.value); }
+  ServerId coordinator_id() const { return ServerId{0}; }
+
+  /// All servers' public keys, indexed by server id.
+  const std::vector<crypto::PublicKey>& server_keys() const { return server_keys_; }
+
+  Transport& transport() { return transport_; }
+
+  /// Creates a client registered with the transport.
+  Client& make_client();
+
+  /// Which server owns an item.
+  ServerId owner_of(ItemId item) const;
+
+  // --- Data path (called by Client) -----------------------------------------
+
+  store::ReadResult client_read(Client& client, TxnId txn, ItemId item);
+  WriteAck client_write(Client& client, TxnId txn, ItemId item, Bytes value);
+  void client_begin(Client& client, TxnId txn, std::span<const ItemId> items);
+
+  // --- Commit rounds ---------------------------------------------------------
+
+  /// Runs one full TFCommit round over `batch` (Figure 7): get_vote, votes,
+  /// challenge, responses, decision, log append + datastore update.
+  RoundMetrics run_tfcommit_block(std::vector<commit::SignedEndTxn> batch);
+
+  /// Runs one 2PC round over `batch` (baseline, §6.1).
+  RoundMetrics run_2pc_block(std::vector<commit::SignedEndTxn> batch);
+
+  /// Dispatches on config().protocol.
+  RoundMetrics run_block(std::vector<commit::SignedEndTxn> batch);
+
+  /// Runs batches from `builder` until it drains; returns per-round metrics.
+  std::vector<RoundMetrics> drain(commit::BatchBuilder& builder);
+
+  /// Runs a collective-signing round over a checkpoint summarizing the
+  /// current log (§3.3's checkpointing optimization): every server verifies
+  /// the summary against its own log before contributing its share. Returns
+  /// nullopt if any server's log disagrees (the co-sign would not form).
+  std::optional<ledger::Checkpoint> create_checkpoint();
+
+ private:
+  ClusterConfig config_;
+  Transport transport_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<crypto::PublicKey> server_keys_;
+};
+
+}  // namespace fides

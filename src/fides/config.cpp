@@ -1,0 +1,4 @@
+#include "fides/config.hpp"
+
+// ClusterConfig is a plain aggregate; defaults live in the header. This
+// translation unit anchors the library target.

@@ -1,0 +1,45 @@
+// Cluster configuration.
+//
+// Defaults mirror the paper's evaluation setup (§6): 5 servers, one shard of
+// 10000 items per server, 100 transactions per block, a single-datacenter
+// network, YCSB-like transactions of 5 operations each.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "store/shard.hpp"
+
+namespace fides {
+
+enum class Protocol : std::uint8_t {
+  kTwoPhaseCommit,  ///< trusted baseline (§6.1)
+  kTfCommit,        ///< the paper's contribution
+};
+
+/// Network latency model for the in-process transport. The paper's servers
+/// sit in one AWS datacenter (US-West-2, m5.xlarge); we model each message
+/// leg as a fixed one-way latency added to the computed critical path.
+struct NetworkModel {
+  double one_way_latency_us{100.0};
+};
+
+struct ClusterConfig {
+  std::uint32_t num_servers{5};
+  std::uint32_t items_per_shard{10000};
+  store::VersioningMode versioning{store::VersioningMode::kSingle};
+  std::size_t max_batch_size{100};
+  Protocol protocol{Protocol::kTfCommit};
+  NetworkModel network;
+  std::uint64_t seed{42};
+  Bytes initial_value{'0'};
+
+  /// Sign/verify every message envelope (the system-model requirement,
+  /// §3.1). Commit-protocol messages are always signed; this toggle lets
+  /// benchmarks skip signatures on the *data path* (begin/read/write), whose
+  /// cost is not part of commit latency — the paper measures from the
+  /// end-transaction request onward.
+  bool sign_data_path{true};
+};
+
+}  // namespace fides

@@ -1,0 +1,5 @@
+#include "fides/fault_config.hpp"
+
+// FaultConfig is a plain aggregate; this translation unit exists so the
+// header has a home in the library and future non-inline helpers have a
+// landing spot.

@@ -1,0 +1,160 @@
+#include "fides/server.hpp"
+
+#include <chrono>
+
+#include "txn/occ.hpp"
+
+namespace fides {
+
+namespace {
+double elapsed_us(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+}  // namespace
+
+Server::Server(ServerId id, const ClusterConfig& config)
+    : id_(id),
+      keypair_(crypto::KeyPair::deterministic(0x5EB0'0000ULL + id.value)),
+      shard_(ShardId{id.value},
+             store::items_for_shard(ShardId{id.value}, config.num_servers,
+                                    config.items_per_shard),
+             config.initial_value, config.versioning),
+      tf_cohort_(id, keypair_, shard_),
+      tpc_cohort_(id, shard_) {}
+
+void Server::handle_begin(ClientId /*client*/, TxnId /*txn*/) {
+  // Begin Transaction carries no state in this design: reads/writes name
+  // their transaction explicitly and OCC validation happens at termination.
+  // The handler exists because the paper's client protocol sends it (§4.1
+  // step 1) and the signed envelope lands in the client-message log.
+}
+
+store::ReadResult Server::handle_read(ClientId /*client*/, TxnId /*txn*/, ItemId item) {
+  store::ReadResult result = shard_.read(item);
+
+  const bool strike =
+      faults_.read_fault != ReadFault::kNone &&
+      (!faults_.read_fault_item || *faults_.read_fault_item == item);
+  if (strike) {
+    switch (faults_.read_fault) {
+      case ReadFault::kStaleValue: {
+        // Figure 10: return a previous value with up-to-date timestamps.
+        const auto prev = shard_.mode() == store::VersioningMode::kMulti &&
+                                  shard_.peek(item).wts.logical > 0
+                              ? shard_.value_at_version(
+                                    item, Timestamp{shard_.peek(item).wts.logical - 1,
+                                                    ~std::uint32_t{0}})
+                              : std::nullopt;
+        result.value = prev ? *prev : to_bytes("stale");
+        break;
+      }
+      case ReadFault::kGarbageValue:
+        result.value = to_bytes("garbage");
+        break;
+      case ReadFault::kNone:
+        break;
+    }
+  }
+  return result;
+}
+
+WriteAck Server::handle_write(ClientId /*client*/, TxnId txn, ItemId item, Bytes value) {
+  const store::ItemRecord& old = shard_.peek(item);
+  WriteAck ack{item, old.value, old.rts, old.wts};
+  write_buffer_.stage(txn, item, std::move(value));
+  return ack;
+}
+
+bool Server::handle_decision(const commit::DecisionMsg& msg,
+                             std::span<const crypto::PublicKey> all_server_keys) {
+  const ledger::Block& block = msg.final_block;
+  if (!block.cosign || block.signers.empty()) return false;
+  std::vector<crypto::PublicKey> signer_keys;
+  signer_keys.reserve(block.signers.size());
+  for (const ServerId s : block.signers) {
+    if (s.value >= all_server_keys.size()) return false;
+    signer_keys.push_back(all_server_keys[s.value]);
+  }
+  if (!crypto::cosi_verify(block.signing_bytes(), *block.cosign, signer_keys)) {
+    return false;
+  }
+  log_.append(block);
+  if (block.committed()) apply_block(block);
+  return true;
+}
+
+void Server::handle_decision_2pc(const commit::CommitDecisionMsg& msg) {
+  log_.append(msg.final_block);
+  if (msg.final_block.committed()) apply_block(msg.final_block);
+}
+
+void Server::apply_block(const ledger::Block& block) {
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& t : block.txns) {
+    // Honest application first; datastore faults strike afterwards so the
+    // Merkle tree (and hence future signed roots) match the block while the
+    // actual stored value does not — the §5 Scenario 3 shape.
+    for (const auto& w : t.rw.writes) {
+      if (!shard_.contains(w.id)) continue;
+      if (faults_.skip_write_item && *faults_.skip_write_item == w.id) {
+        // Pretend to apply: tree and version chain advance (they feed the
+        // signed roots) but the live value silently keeps its old content.
+        const Bytes old_value = shard_.peek(w.id).value;
+        shard_.apply_write(w.id, w.new_value, t.commit_ts);
+        shard_.corrupt_value(w.id, old_value);
+        shard_.corrupt_version(w.id, t.commit_ts, old_value);
+        continue;
+      }
+      shard_.apply_write(w.id, w.new_value, t.commit_ts);
+    }
+    for (const ItemId id : t.rw.touched_items()) {
+      if (shard_.contains(id)) shard_.update_read_ts(id, t.commit_ts);
+    }
+    // Drop this transaction's buffered writes (they are now applied or, for
+    // aborted blocks, this code never runs and discard happens lazily).
+    write_buffer_.discard(t.id);
+
+    if (faults_.corrupt_after_commit_item) {
+      const ItemId victim = *faults_.corrupt_after_commit_item;
+      if (shard_.contains(victim)) {
+        shard_.corrupt_value(victim, to_bytes("corrupted"));
+        shard_.corrupt_version(victim, t.commit_ts, to_bytes("corrupted"));
+      }
+    }
+  }
+  add_mht_time_us(elapsed_us(start));
+}
+
+AuditItemProof Server::audit_item(ItemId item, const Timestamp& ts) const {
+  return audit_items(std::span(&item, 1), ts).front();
+}
+
+std::vector<AuditItemProof> Server::audit_items(std::span<const ItemId> items,
+                                                const Timestamp& ts) const {
+  std::vector<AuditItemProof> proofs;
+  proofs.reserve(items.size());
+  if (shard_.mode() == store::VersioningMode::kMulti) {
+    const merkle::MerkleTree tree = shard_.tree_at_version(ts);
+    for (const ItemId item : items) {
+      AuditItemProof proof;
+      proof.id = item;
+      const auto value = shard_.value_at_version(item, ts);
+      proof.value = value ? *value : Bytes{};
+      proof.vo = merkle::make_vo(tree, shard_.leaf_index(item));
+      proofs.push_back(std::move(proof));
+    }
+  } else {
+    for (const ItemId item : items) {
+      AuditItemProof proof;
+      proof.id = item;
+      proof.value = shard_.peek(item).value;
+      proof.vo = shard_.current_vo(item);
+      proofs.push_back(std::move(proof));
+    }
+  }
+  return proofs;
+}
+
+}  // namespace fides

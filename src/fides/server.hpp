@@ -1,0 +1,126 @@
+// A Fides database server (§3.1, Figure 3).
+//
+// Four components: an execution layer (transactional reads/writes against
+// the client), a commitment layer (TFCommit cohort / 2PC cohort), the
+// datastore (one shard), and the tamper-proof log. The server also keeps the
+// signed client-message log that §3.2 prescribes as a defence against
+// falsified client accusations.
+//
+// A server configured with a FaultConfig deviates exactly where the config
+// says; everything else stays honest, so each test isolates one failure.
+#pragma once
+
+#include <vector>
+
+#include "commit/two_phase_commit.hpp"
+#include "fides/fault_config.hpp"
+#include "fides/transport.hpp"
+#include "ledger/log.hpp"
+#include "store/write_buffer.hpp"
+
+namespace fides {
+
+/// Acknowledgement of a buffered write (§4.2.1): the old value and
+/// timestamps of the item, enabling blind-write bookkeeping at the client.
+struct WriteAck {
+  ItemId id{};
+  Bytes old_value;
+  Timestamp rts;
+  Timestamp wts;
+};
+
+/// What the server returns to an audit request for one item at one version:
+/// its claimed value and a Merkle Verification Object for it.
+struct AuditItemProof {
+  ItemId id{};
+  Bytes value;
+  merkle::VerificationObject vo;
+};
+
+class Server {
+ public:
+  Server(ServerId id, const ClusterConfig& config);
+
+  ServerId id() const { return id_; }
+  const crypto::KeyPair& keypair() const { return keypair_; }
+  const crypto::PublicKey& public_key() const { return keypair_.public_key(); }
+
+  store::Shard& shard() { return shard_; }
+  const store::Shard& shard() const { return shard_; }
+  ledger::TamperProofLog& log() { return log_; }
+  const ledger::TamperProofLog& log() const { return log_; }
+
+  FaultConfig& faults() { return faults_; }
+  const FaultConfig& faults() const { return faults_; }
+
+  // --- Execution layer -------------------------------------------------------
+
+  void handle_begin(ClientId client, TxnId txn);
+
+  /// Read path; a faulty execution layer corrupts the returned value here
+  /// while leaving timestamps intact (Scenario 1).
+  store::ReadResult handle_read(ClientId client, TxnId txn, ItemId item);
+
+  /// Buffers the write and acknowledges with the old item state.
+  WriteAck handle_write(ClientId client, TxnId txn, ItemId item, Bytes value);
+
+  // --- Commitment layer ------------------------------------------------------
+
+  commit::TfCommitCohort& tf_cohort() { return tf_cohort_; }
+  commit::TwoPhaseCommitCohort& tpc_cohort() { return tpc_cohort_; }
+
+  /// Phase-5 handling: verify the co-sign, append the block to the log, and
+  /// on commit apply the writes to the datastore (steps 6-7 of §4.1). The
+  /// datastore-layer faults strike inside this application step. Returns
+  /// false if the block was rejected (bad co-sign).
+  bool handle_decision(const commit::DecisionMsg& msg,
+                       std::span<const crypto::PublicKey> all_server_keys);
+
+  /// 2PC decision handling: append + apply without signature machinery.
+  void handle_decision_2pc(const commit::CommitDecisionMsg& msg);
+
+  // --- Audit interface -------------------------------------------------------
+
+  /// Produces (value, VO) for `item` at version `ts` (multi-versioned) or
+  /// for the current state (single-versioned; `ts` ignored). The proof is
+  /// built from the server's *actual* datastore: a corrupted store yields a
+  /// proof that cannot authenticate against the co-signed root (Lemma 2).
+  AuditItemProof audit_item(ItemId item, const Timestamp& ts) const;
+
+  /// Batched variant: one version-tree reconstruction serves all proofs —
+  /// how a real audit RPC would answer "prove these k items at version ts".
+  std::vector<AuditItemProof> audit_items(std::span<const ItemId> items,
+                                          const Timestamp& ts) const;
+
+  /// The server's log as handed to the auditor. A log-layer-faulty server
+  /// hands over its (tampered) log verbatim — the audit catches it.
+  const std::vector<ledger::Block>& audit_log() const { return log_.blocks(); }
+
+  // --- Client-message log (§3.2) ---------------------------------------------
+
+  void record_client_message(Envelope env) { client_messages_.push_back(std::move(env)); }
+  const std::vector<Envelope>& client_message_log() const { return client_messages_; }
+
+  /// Cumulative wall time spent in Merkle-root computation on this server
+  /// (vote-phase root_after + commit-phase leaf updates) — the "MHT update
+  /// time" series of Figure 14.
+  double mht_time_us() const { return mht_time_us_; }
+  void add_mht_time_us(double us) { mht_time_us_ += us; }
+  void reset_mht_time() { mht_time_us_ = 0; }
+
+ private:
+  void apply_block(const ledger::Block& block);
+
+  ServerId id_;
+  crypto::KeyPair keypair_;
+  store::Shard shard_;
+  store::WriteBuffer write_buffer_;
+  ledger::TamperProofLog log_;
+  commit::TfCommitCohort tf_cohort_;
+  commit::TwoPhaseCommitCohort tpc_cohort_;
+  FaultConfig faults_;
+  std::vector<Envelope> client_messages_;
+  double mht_time_us_{0};
+};
+
+}  // namespace fides

@@ -1,0 +1,70 @@
+#include "fides/transport.hpp"
+
+#include "common/serde.hpp"
+
+namespace fides {
+
+std::string to_string(NodeId n) {
+  return (n.kind == NodeId::Kind::kServer ? "S" : "C") + std::to_string(n.id);
+}
+
+void Transport::register_node(NodeId node, crypto::PublicKey key) {
+  registry_[node] = std::move(key);
+}
+
+const crypto::PublicKey* Transport::key_of(NodeId node) const {
+  const auto it = registry_.find(node);
+  return it != registry_.end() ? &it->second : nullptr;
+}
+
+Bytes Transport::signing_preimage(const Envelope& env) {
+  // Bind sender identity and type tag into the signature so an envelope
+  // cannot be replayed as a different message kind or attributed elsewhere.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(env.sender.kind));
+  w.u32(env.sender.id);
+  w.str(env.type);
+  w.bytes(env.payload);
+  return std::move(w).take();
+}
+
+Envelope Transport::seal(const crypto::KeyPair& sender_key, NodeId sender,
+                         std::string type, Bytes payload) {
+  Envelope env;
+  env.sender = sender;
+  env.type = std::move(type);
+  env.payload = std::move(payload);
+  ++stats_.messages;
+  stats_.bytes += env.payload.size();
+  if (crypto_enabled_) {
+    env.signature = sender_key.sign(signing_preimage(env));
+    ++stats_.signatures_created;
+  }
+  return env;
+}
+
+void Transport::count_copy(const Envelope& env) {
+  ++stats_.messages;
+  stats_.bytes += env.payload.size();
+}
+
+bool Transport::open(const Envelope& env, std::string_view expected_type) {
+  if (env.type != expected_type) {
+    ++stats_.rejected;
+    return false;
+  }
+  if (!crypto_enabled_) return true;
+  const crypto::PublicKey* key = key_of(env.sender);
+  if (key == nullptr) {
+    ++stats_.rejected;
+    return false;
+  }
+  ++stats_.signatures_verified;
+  if (!crypto::verify(*key, signing_preimage(env), env.signature)) {
+    ++stats_.rejected;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fides

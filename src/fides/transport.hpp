@@ -1,0 +1,101 @@
+// Signed in-process transport.
+//
+// "All message exchanges (client-server or server-server) are digitally
+// signed by the sender and verified by the receiver" (§3.1). Envelope =
+// sender + type tag + canonical payload bytes + Schnorr signature. The
+// transport keeps the public-key registry (servers and clients know each
+// other's keys) and the traffic statistics the benchmark harness reports.
+//
+// Delivery is a function call: the cluster passes the envelope to the
+// receiving node, which first `open()`s it (signature check) before acting.
+// The latency model is applied analytically by the round driver, not by
+// sleeping — see fides/cluster.hpp.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "crypto/schnorr.hpp"
+#include "fides/config.hpp"
+
+namespace fides {
+
+/// Uniform address space over servers and clients.
+struct NodeId {
+  enum class Kind : std::uint8_t { kServer = 0, kClient = 1 };
+  Kind kind{Kind::kServer};
+  std::uint32_t id{0};
+
+  static NodeId server(ServerId s) { return {Kind::kServer, s.value}; }
+  static NodeId client(ClientId c) { return {Kind::kClient, c.value}; }
+
+  friend constexpr auto operator<=>(const NodeId&, const NodeId&) = default;
+};
+
+std::string to_string(NodeId n);
+
+}  // namespace fides
+
+namespace std {
+template <>
+struct hash<fides::NodeId> {
+  size_t operator()(const fides::NodeId& n) const noexcept {
+    return (static_cast<size_t>(n.kind) << 32) ^ n.id;
+  }
+};
+}  // namespace std
+
+namespace fides {
+
+struct Envelope {
+  NodeId sender;
+  std::string type;  ///< message type tag, bound into the signature
+  Bytes payload;     ///< canonical message bytes
+  crypto::Signature signature;
+};
+
+class Transport {
+ public:
+  struct Stats {
+    std::uint64_t messages{0};
+    std::uint64_t bytes{0};
+    std::uint64_t signatures_created{0};
+    std::uint64_t signatures_verified{0};
+    std::uint64_t rejected{0};
+
+    void reset() { *this = Stats{}; }
+  };
+
+  void register_node(NodeId node, crypto::PublicKey key);
+  const crypto::PublicKey* key_of(NodeId node) const;
+
+  /// Wraps and signs a payload. Every seal counts as one message sent.
+  Envelope seal(const crypto::KeyPair& sender_key, NodeId sender, std::string type,
+                Bytes payload);
+
+  /// Accounts for one more copy of an already-sealed broadcast envelope:
+  /// the sender signs a broadcast once and sends the same envelope to every
+  /// recipient, but each copy is still a message on the wire.
+  void count_copy(const Envelope& env);
+
+  /// Verifies sender signature against the registry (and that the claimed
+  /// type matches). Returns false — and counts a rejection — on any failure.
+  bool open(const Envelope& env, std::string_view expected_type);
+
+  /// When disabled, seal/open skip the actual signature computation but
+  /// still count messages/bytes (data-path fast mode; see ClusterConfig).
+  void set_crypto_enabled(bool enabled) { crypto_enabled_ = enabled; }
+  bool crypto_enabled() const { return crypto_enabled_; }
+
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static Bytes signing_preimage(const Envelope& env);
+
+  std::unordered_map<NodeId, crypto::PublicKey> registry_;
+  Stats stats_;
+  bool crypto_enabled_{true};
+};
+
+}  // namespace fides

@@ -1,0 +1,103 @@
+#include "ledger/block.hpp"
+
+#include <algorithm>
+
+namespace fides::ledger {
+
+const crypto::Digest* Block::root_of(ServerId server) const {
+  const auto it = std::find_if(roots.begin(), roots.end(),
+                               [&](const ShardRoot& r) { return r.server == server; });
+  return it != roots.end() ? &it->root : nullptr;
+}
+
+void Block::set_root(ServerId server, const crypto::Digest& root) {
+  const auto it = std::find_if(roots.begin(), roots.end(),
+                               [&](const ShardRoot& r) { return r.server == server; });
+  if (it != roots.end()) {
+    it->root = root;
+  } else {
+    roots.push_back(ShardRoot{server, root});
+    std::sort(roots.begin(), roots.end(),
+              [](const ShardRoot& a, const ShardRoot& b) { return a.server < b.server; });
+  }
+}
+
+namespace {
+
+void encode_body(const Block& b, Writer& w) {
+  w.u64(b.height);
+  w.u32(static_cast<std::uint32_t>(b.txns.size()));
+  for (const auto& t : b.txns) t.encode(w);
+  w.u8(static_cast<std::uint8_t>(b.decision));
+  w.u32(static_cast<std::uint32_t>(b.signers.size()));
+  for (const ServerId s : b.signers) w.u32(s.value);
+  w.u32(static_cast<std::uint32_t>(b.roots.size()));
+  for (const auto& r : b.roots) {
+    w.u32(r.server.value);
+    w.raw(r.root.view());
+  }
+  w.raw(b.prev_hash.view());
+}
+
+crypto::Digest read_digest(Reader& r) {
+  const Bytes raw = r.raw(32);
+  crypto::Digest d;
+  std::copy(raw.begin(), raw.end(), d.bytes.begin());
+  return d;
+}
+
+}  // namespace
+
+Bytes Block::signing_bytes() const {
+  Writer w;
+  encode_body(*this, w);
+  return std::move(w).take();
+}
+
+Bytes Block::serialize() const {
+  Writer w;
+  encode_body(*this, w);
+  w.boolean(cosign.has_value());
+  if (cosign) w.bytes(cosign->serialize());
+  return std::move(w).take();
+}
+
+crypto::Digest Block::digest() const { return crypto::sha256(serialize()); }
+
+std::optional<Block> Block::deserialize(BytesView bytes) {
+  try {
+    Reader r(bytes);
+    Block b;
+    b.height = r.u64();
+    const std::uint32_t nt = r.u32();
+    b.txns.reserve(nt);
+    for (std::uint32_t i = 0; i < nt; ++i) b.txns.push_back(txn::Transaction::decode(r));
+    const std::uint8_t dec = r.u8();
+    if (dec > 1) return std::nullopt;
+    b.decision = static_cast<Decision>(dec);
+    const std::uint32_t ns = r.u32();
+    b.signers.reserve(ns);
+    for (std::uint32_t i = 0; i < ns; ++i) b.signers.push_back(ServerId{r.u32()});
+    const std::uint32_t nr = r.u32();
+    b.roots.reserve(nr);
+    for (std::uint32_t i = 0; i < nr; ++i) {
+      ShardRoot sr;
+      sr.server = ServerId{r.u32()};
+      sr.root = read_digest(r);
+      b.roots.push_back(sr);
+    }
+    b.prev_hash = read_digest(r);
+    if (r.boolean()) {
+      const Bytes cb = r.bytes();
+      const auto sig = crypto::CosiSignature::deserialize(cb);
+      if (!sig) return std::nullopt;
+      b.cosign = *sig;
+    }
+    r.expect_done();
+    return b;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace fides::ledger

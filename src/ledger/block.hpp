@@ -1,0 +1,79 @@
+// Blocks of the tamper-proof log (Table 1).
+//
+// Each block stores: the transactions with their commit timestamps and
+// read/write sets; the per-transaction decision; the Merkle roots of the
+// shards involved (Σroots); the hash of the previous block; and the
+// collective signature of all servers.
+//
+// The paper presents one transaction per block for exposition and batches
+// ~100 non-conflicting transactions per block in the evaluation (§4.6, §6);
+// we carry a vector of transactions and, matching Table 1, a single
+// block-level decision: a batch commits or aborts as a unit (a cohort that
+// rejects any transaction aborts the block; the coordinator's batcher only
+// groups non-conflicting transactions, so the all-commit case dominates).
+//
+// Two byte representations matter:
+//   signing_bytes() — the block minus the co-sign; this is the record the
+//                     CoSi rounds sign and the auditor re-verifies.
+//   serialize()     — the full block; its SHA-256 is the hash pointer the
+//                     next block's prev_hash links to.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/cosi.hpp"
+#include "txn/transaction.hpp"
+
+namespace fides::ledger {
+
+/// One shard root contribution: which server's datastore, and the Merkle
+/// root reflecting the block's updates on that shard.
+struct ShardRoot {
+  ServerId server;
+  crypto::Digest root;
+
+  friend bool operator==(const ShardRoot&, const ShardRoot&) = default;
+};
+
+enum class Decision : std::uint8_t {
+  kAbort = 0,
+  kCommit = 1,
+};
+
+struct Block {
+  std::uint64_t height{0};
+  std::vector<txn::Transaction> txns;
+  Decision decision{Decision::kAbort};
+  /// The servers whose collective signature covers this block. Under the
+  /// global protocol (§4.3) this is every server; under group commit (§4.6)
+  /// it is the group that terminated the batch. Part of the signed bytes, so
+  /// a malicious coordinator cannot shrink the witness set after the fact.
+  std::vector<ServerId> signers;
+  /// Σroots — sorted by server id; present only for involved servers on a
+  /// committed block. An aborted block leaves roots missing, which is
+  /// exactly the audit signal of §4.3.2.
+  std::vector<ShardRoot> roots;
+  crypto::Digest prev_hash;
+  std::optional<crypto::CosiSignature> cosign;
+
+  bool committed() const { return decision == Decision::kCommit; }
+
+  const crypto::Digest* root_of(ServerId server) const;
+  void set_root(ServerId server, const crypto::Digest& root);
+
+  /// Canonical bytes without the co-sign: the CoSi record.
+  Bytes signing_bytes() const;
+
+  /// Canonical bytes of the full block (co-sign included if present).
+  Bytes serialize() const;
+
+  /// SHA-256 of serialize(): the chain hash pointer.
+  crypto::Digest digest() const;
+
+  static std::optional<Block> deserialize(BytesView b);
+
+  friend bool operator==(const Block&, const Block&) = default;
+};
+
+}  // namespace fides::ledger

@@ -1,0 +1,79 @@
+#include "ledger/chain_validation.hpp"
+
+namespace fides::ledger {
+
+ChainCheckResult validate_chain(std::span<const Block> blocks,
+                                std::span<const crypto::PublicKey> server_keys,
+                                bool require_cosign) {
+  ChainCheckResult res;
+  crypto::Digest expected_prev = crypto::Digest::zero();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const Block& b = blocks[i];
+    if (b.height != i) {
+      res.issues.push_back({i, "height " + std::to_string(b.height) +
+                                   " does not match position " + std::to_string(i)});
+    }
+    if (!(b.prev_hash == expected_prev)) {
+      res.issues.push_back({i, "broken hash pointer: prev_hash does not match "
+                               "the digest of the preceding block"});
+    }
+    if (require_cosign) {
+      if (!b.cosign) {
+        res.issues.push_back({i, "missing collective signature"});
+      } else {
+        // The co-sign covers the block's declared signer set; resolve their
+        // keys from the full membership. An empty/bogus signer set or one
+        // naming an unknown server cannot validate.
+        std::vector<crypto::PublicKey> keys;
+        keys.reserve(b.signers.size());
+        bool signers_ok = !b.signers.empty();
+        for (const ServerId s : b.signers) {
+          if (s.value >= server_keys.size()) {
+            signers_ok = false;
+            break;
+          }
+          keys.push_back(server_keys[s.value]);
+        }
+        if (!signers_ok) {
+          res.issues.push_back({i, "block declares an invalid signer set"});
+        } else if (!crypto::cosi_verify(b.signing_bytes(), *b.cosign, keys)) {
+          res.issues.push_back({i, "collective signature does not verify against "
+                                   "the block contents"});
+        }
+      }
+    }
+    expected_prev = b.digest();
+  }
+  res.ok = res.issues.empty();
+  return res;
+}
+
+LogSelection select_correct_log(const std::vector<std::vector<Block>>& logs,
+                                std::span<const crypto::PublicKey> server_keys) {
+  LogSelection sel;
+  std::vector<bool> valid(logs.size(), false);
+  for (std::size_t i = 0; i < logs.size(); ++i) {
+    const auto check = validate_chain(logs[i], server_keys, /*require_cosign=*/true);
+    valid[i] = check.ok;
+    if (!check.ok) sel.invalid.push_back(i);
+  }
+
+  // Among valid logs, the longest is complete (>= the correct server's log,
+  // and validity rules out fabricated extensions).
+  std::size_t best_len = 0;
+  for (std::size_t i = 0; i < logs.size(); ++i) {
+    if (valid[i] && logs[i].size() >= best_len) {
+      if (!sel.chosen || logs[i].size() > best_len) sel.chosen = i;
+      best_len = std::max(best_len, logs[i].size());
+    }
+  }
+
+  if (sel.chosen) {
+    for (std::size_t i = 0; i < logs.size(); ++i) {
+      if (valid[i] && logs[i].size() < best_len) sel.incomplete.push_back(i);
+    }
+  }
+  return sel;
+}
+
+}  // namespace fides::ledger

@@ -1,0 +1,51 @@
+// Chain validation and correct-log selection (§3.3 step ii, Lemmas 6 & 7).
+//
+// During an audit the auditor gathers logs from all servers, validates each
+// (co-sign per block + hash-pointer chain), discards invalid logs, and —
+// because at least one server is correct — adopts the longest valid log as
+// the correct *and complete* history. Valid-but-shorter logs expose servers
+// that omitted the tail (Lemma 7); invalid logs expose tampering or
+// reordering (Lemma 6).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ledger/block.hpp"
+
+namespace fides::ledger {
+
+struct ChainIssue {
+  std::size_t block_index{0};
+  std::string what;
+};
+
+struct ChainCheckResult {
+  bool ok{true};
+  std::vector<ChainIssue> issues;
+};
+
+/// Validates a log: consecutive heights, prev_hash links, and (when
+/// `require_cosign`) a valid collective signature on every block under the
+/// full server membership. 2PC logs are validated with require_cosign=false.
+ChainCheckResult validate_chain(std::span<const Block> blocks,
+                                std::span<const crypto::PublicKey> server_keys,
+                                bool require_cosign);
+
+struct LogSelection {
+  /// Index (into the input vector) of the adopted correct & complete log.
+  std::optional<std::size_t> chosen;
+  /// Logs failing validate_chain — tampered or reordered (Lemma 6).
+  std::vector<std::size_t> invalid;
+  /// Valid logs strictly shorter than the chosen one — truncated (Lemma 7).
+  std::vector<std::size_t> incomplete;
+};
+
+/// Implements the auditor's log-selection step. `logs[i]` is the log
+/// collected from server i.
+LogSelection select_correct_log(const std::vector<std::vector<Block>>& logs,
+                                std::span<const crypto::PublicKey> server_keys);
+
+}  // namespace fides::ledger

@@ -1,0 +1,46 @@
+#include "ledger/log.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fides::ledger {
+
+void TamperProofLog::append(Block block) {
+  if (block.height != blocks_.size()) {
+    throw std::invalid_argument("TamperProofLog::append: height mismatch");
+  }
+  if (!(block.prev_hash == head_hash())) {
+    throw std::invalid_argument("TamperProofLog::append: prev_hash mismatch");
+  }
+  blocks_.push_back(std::move(block));
+}
+
+crypto::Digest TamperProofLog::head_hash() const {
+  return blocks_.empty() ? crypto::Digest::zero() : blocks_.back().digest();
+}
+
+const Block* TamperProofLog::latest_block_with_root(ServerId server) const {
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    if (it->root_of(server) != nullptr) return &*it;
+  }
+  return nullptr;
+}
+
+void TamperProofLog::tamper_block(std::size_t i, Block replacement) {
+  blocks_.at(i) = std::move(replacement);
+}
+
+void TamperProofLog::tamper_read_value(std::size_t block, std::size_t txn,
+                                       std::size_t read, Bytes value) {
+  blocks_.at(block).txns.at(txn).rw.reads.at(read).value = std::move(value);
+}
+
+void TamperProofLog::reorder(std::size_t i, std::size_t j) {
+  std::swap(blocks_.at(i), blocks_.at(j));
+}
+
+void TamperProofLog::truncate_tail(std::size_t keep_count) {
+  if (keep_count < blocks_.size()) blocks_.resize(keep_count);
+}
+
+}  // namespace fides::ledger

@@ -1,0 +1,61 @@
+// The globally replicated tamper-proof log (§3.1, §4.4).
+//
+// A linked list of blocks chained by hash pointers. Every server keeps a
+// full copy; immutability comes from the co-sign in each block (no subset of
+// servers can rewrite a block) plus the hash chain (no subset can reorder).
+//
+// The class enforces chain discipline on append for correct servers, and
+// exposes explicitly named *malicious* mutators (tamper/reorder/truncate)
+// used by fault injection — the behaviours of §4.4 "Detecting Malicious
+// Behavior" that the auditor must catch (Lemmas 6 and 7).
+#pragma once
+
+#include <vector>
+
+#include "ledger/block.hpp"
+
+namespace fides::ledger {
+
+class TamperProofLog {
+ public:
+  /// Appends a block; requires block.height == size() and
+  /// block.prev_hash == head_hash().
+  void append(Block block);
+
+  std::size_t size() const { return blocks_.size(); }
+  bool empty() const { return blocks_.empty(); }
+  const Block& at(std::size_t i) const { return blocks_.at(i); }
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// Digest of the last block, or the zero digest for an empty log — the
+  /// prev_hash the next block must carry.
+  crypto::Digest head_hash() const;
+
+  /// Scans for the most recent block at or before `height` whose Σroots
+  /// contain `server`; nullptr if none. (Single-versioned audits use the
+  /// latest root of a shard, §4.2.2.)
+  const Block* latest_block_with_root(ServerId server) const;
+
+  // --- Malicious mutations (fault injection only) -------------------------
+
+  /// Replaces the block at index i wholesale (contents no longer match the
+  /// co-sign — Lemma 6 target).
+  void tamper_block(std::size_t i, Block replacement);
+
+  /// Overwrites a transaction's read value inside block i (Scenario 1-style
+  /// history falsification).
+  void tamper_read_value(std::size_t block, std::size_t txn, std::size_t read,
+                         Bytes value);
+
+  /// Swaps blocks i and j (reordering — Lemma 6 target).
+  void reorder(std::size_t i, std::size_t j);
+
+  /// Drops every block after index `keep_count - 1` (tail omission —
+  /// Lemma 7 target).
+  void truncate_tail(std::size_t keep_count);
+
+ private:
+  std::vector<Block> blocks_;
+};
+
+}  // namespace fides::ledger

@@ -1,0 +1,56 @@
+#include "merkle/proof.hpp"
+
+namespace fides::merkle {
+
+Bytes VerificationObject::serialize() const {
+  Writer w;
+  w.u64(leaf_index);
+  w.u32(static_cast<std::uint32_t>(siblings.size()));
+  for (const auto& d : siblings) w.raw(d.view());
+  return std::move(w).take();
+}
+
+std::optional<VerificationObject> VerificationObject::deserialize(BytesView b) {
+  try {
+    Reader rd(b);
+    VerificationObject vo;
+    vo.leaf_index = rd.u64();
+    const std::uint32_t n = rd.u32();
+    if (n > 64) return std::nullopt;  // deeper than any 2^64-leaf tree: bogus
+    vo.siblings.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const Bytes raw = rd.raw(32);
+      Digest d;
+      std::copy(raw.begin(), raw.end(), d.bytes.begin());
+      vo.siblings.push_back(d);
+    }
+    rd.expect_done();
+    return vo;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+VerificationObject make_vo(const MerkleTree& tree, std::size_t i) {
+  VerificationObject vo;
+  vo.leaf_index = i;
+  vo.siblings = tree.sibling_path(i);
+  return vo;
+}
+
+Digest fold_vo(const Digest& leaf_digest, const VerificationObject& vo) {
+  Digest acc = leaf_digest;
+  std::uint64_t idx = vo.leaf_index;
+  for (const auto& sib : vo.siblings) {
+    acc = (idx & 1) ? crypto::sha256_pair(sib, acc) : crypto::sha256_pair(acc, sib);
+    idx >>= 1;
+  }
+  return acc;
+}
+
+bool verify_vo(const Digest& leaf_digest, const VerificationObject& vo,
+               const Digest& expected_root) {
+  return fold_vo(leaf_digest, vo) == expected_root;
+}
+
+}  // namespace fides::merkle

@@ -1,0 +1,38 @@
+// Verification Objects (§2.3) — Merkle membership proofs.
+//
+// A VO for data item `a` is the sibling digests along the path from h(a) to
+// the root. The auditor recomputes the root from the claimed value and the
+// VO and compares it with the root stored (collectively signed) in the log;
+// a mismatch proves datastore corruption at that server/version (Lemma 2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "merkle/merkle_tree.hpp"
+
+namespace fides::merkle {
+
+struct VerificationObject {
+  std::uint64_t leaf_index{0};
+  std::vector<Digest> siblings;  ///< bottom-up sibling digests
+
+  friend bool operator==(const VerificationObject&, const VerificationObject&) = default;
+
+  Bytes serialize() const;
+  static std::optional<VerificationObject> deserialize(BytesView b);
+};
+
+/// Produces the VO for leaf i of `tree`.
+VerificationObject make_vo(const MerkleTree& tree, std::size_t i);
+
+/// Folds `leaf_digest` up through vo.siblings and returns the implied root.
+Digest fold_vo(const Digest& leaf_digest, const VerificationObject& vo);
+
+/// True iff `leaf_digest` at vo.leaf_index hashes up to `expected_root`.
+bool verify_vo(const Digest& leaf_digest, const VerificationObject& vo,
+               const Digest& expected_root);
+
+}  // namespace fides::merkle

@@ -1,0 +1,29 @@
+#include "ordserv/group.hpp"
+
+#include <algorithm>
+
+#include "commit/tfcommit.hpp"
+
+namespace fides::ordserv {
+
+bool ServerGroup::contains(ServerId s) const {
+  return std::binary_search(members.begin(), members.end(), s);
+}
+
+bool ServerGroup::overlaps(const ServerGroup& other) const {
+  return std::any_of(members.begin(), members.end(),
+                     [&](ServerId s) { return other.contains(s); });
+}
+
+ServerGroup group_for(const std::vector<txn::Transaction>& txns,
+                      std::uint32_t num_servers) {
+  ledger::Block probe;
+  probe.txns = txns;
+  ServerGroup g;
+  g.members = commit::involved_servers(probe, num_servers);
+  if (g.members.empty()) g.members.push_back(ServerId{0});
+  g.coordinator = g.members.front();
+  return g;
+}
+
+}  // namespace fides::ordserv

@@ -1,0 +1,30 @@
+// Dynamic server groups (§4.6, second scaling dimension).
+//
+// "The servers accessed by a transaction form one group, in which one server
+// acts as the coordinator to terminate that transaction (instead of one
+// globally designated coordinator)."
+#pragma once
+
+#include <vector>
+
+#include "ledger/block.hpp"
+
+namespace fides::ordserv {
+
+struct ServerGroup {
+  std::vector<ServerId> members;  ///< sorted, unique
+  ServerId coordinator;           ///< lowest-id member by convention
+
+  bool contains(ServerId s) const;
+
+  /// Gi ∩ Gj != ∅ — groups with overlap may carry dependent transactions and
+  /// their blocks must keep submission order (§4.6).
+  bool overlaps(const ServerGroup& other) const;
+};
+
+/// The group a batch of transactions needs: every server owning an item the
+/// batch touches.
+ServerGroup group_for(const std::vector<txn::Transaction>& txns,
+                      std::uint32_t num_servers);
+
+}  // namespace fides::ordserv

@@ -1,0 +1,128 @@
+#include "ordserv/group_commit.hpp"
+
+#include <algorithm>
+
+#include "txn/occ.hpp"
+
+namespace fides::ordserv {
+
+namespace {
+
+/// The bytes the group actually co-signed: the block before OrdServ chained
+/// it (height and prev-hash zeroed).
+Bytes unchained_signing_bytes(const ledger::Block& block) {
+  ledger::Block copy = block;
+  copy.height = 0;
+  copy.prev_hash = crypto::Digest::zero();
+  return copy.signing_bytes();
+}
+
+}  // namespace
+
+std::optional<std::size_t> validate_stream(
+    std::span<const SequencedBlock> stream,
+    std::span<const crypto::PublicKey> all_server_keys) {
+  crypto::Digest expected_prev = crypto::Digest::zero();
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const SequencedBlock& entry = stream[i];
+    const ledger::Block& b = entry.block;
+
+    if (b.height != i) return i;
+    if (!(b.prev_hash == expected_prev)) return i;
+
+    if (!b.cosign || b.signers.empty()) return i;
+    std::vector<crypto::PublicKey> keys;
+    keys.reserve(b.signers.size());
+    for (const ServerId s : b.signers) {
+      if (s.value >= all_server_keys.size()) return i;
+      keys.push_back(all_server_keys[s.value]);
+    }
+    if (!crypto::cosi_verify(unchained_signing_bytes(b), *b.cosign, keys)) return i;
+
+    for (const std::uint64_t dep : entry.depends_on) {
+      if (dep >= b.height) return i;  // dependency order broken
+    }
+    expected_prev = b.digest();
+  }
+  return std::nullopt;
+}
+
+GroupRoundResult GroupCommitRunner::run_group_block(
+    std::vector<commit::SignedEndTxn> batch) {
+  GroupRoundResult result;
+
+  std::sort(batch.begin(), batch.end(),
+            [](const commit::SignedEndTxn& a, const commit::SignedEndTxn& b) {
+              return a.request.txn.commit_ts < b.request.txn.commit_ts;
+            });
+  std::vector<txn::Transaction> txns;
+  txns.reserve(batch.size());
+  for (const auto& s : batch) txns.push_back(s.request.txn);
+
+  const ServerGroup group = group_for(txns, cluster_->num_servers());
+  result.group = group;
+  result.group_size = group.members.size();
+
+  // TFCommit among the group members only.
+  std::vector<crypto::PublicKey> group_keys;
+  group_keys.reserve(group.members.size());
+  for (const ServerId s : group.members) {
+    group_keys.push_back(cluster_->server_keys()[s.value]);
+  }
+  commit::TfCommitCoordinator coordinator(group.members, group_keys);
+
+  commit::Block partial = commit::TfCommitCoordinator::make_partial_block(
+      /*height=*/0, crypto::Digest::zero(), std::move(txns), group.members);
+  commit::GetVoteMsg get_vote = coordinator.start(std::move(partial), std::move(batch));
+  get_vote.round = ++round_counter_;  // unique CoSi nonce domain per round
+
+  std::vector<commit::VoteMsg> votes;
+  votes.reserve(group.members.size());
+  for (const ServerId s : group.members) {
+    Server& server = cluster_->server(s);
+    votes.push_back(
+        server.tf_cohort().handle_get_vote(get_vote, server.faults().cohort));
+  }
+
+  Server& coord_server = cluster_->server(group.coordinator);
+  const std::vector<commit::ChallengeMsg> challenges =
+      coordinator.on_votes(votes, coord_server.faults().coordinator);
+
+  std::vector<commit::ResponseMsg> responses;
+  responses.reserve(group.members.size());
+  for (std::size_t i = 0; i < group.members.size(); ++i) {
+    Server& server = cluster_->server(group.members[i]);
+    const std::size_t slot = challenges.size() == 1 ? 0 : i;
+    responses.push_back(server.tf_cohort().handle_challenge(challenges[slot],
+                                                            server.faults().cohort));
+  }
+
+  const commit::TfCommitOutcome outcome = coordinator.on_responses(responses);
+  result.decision = outcome.decision;
+  result.cosign_valid = outcome.cosign_valid;
+  if (!outcome.cosign_valid) {
+    // An unsignable block never reaches OrdServ; the group retries or aborts
+    // out-of-band (and the refusals identify the culprit).
+    return result;
+  }
+
+  result.global_height = sequencer_->submit(outcome.block, group);
+  deliver_all();
+  return result;
+}
+
+void GroupCommitRunner::deliver_all() {
+  for (std::uint32_t s = 0; s < cluster_->num_servers(); ++s) {
+    Server& server = cluster_->server(ServerId{s});
+    for (const SequencedBlock* entry : sequencer_->fetch_new(ServerId{s})) {
+      delivered_[s].push_back(*entry);
+      if (entry->block.committed()) {
+        for (const auto& t : entry->block.txns) {
+          txn::apply_committed(server.shard(), t);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fides::ordserv

@@ -1,0 +1,60 @@
+// Group commit: scaled TFCommit (§4.6).
+//
+// Instead of one global coordinator and all-server participation, each batch
+// is terminated by the group of servers it actually touches; the group's
+// coordinator runs TFCommit among the members only, then publishes the
+// co-signed block to OrdServ, which broadcasts one consistently ordered,
+// hash-chained stream to every server.
+//
+// Note on what the co-sign covers: the group signs the block with
+// height 0 / zero prev-hash (OrdServ fills those afterwards — "the
+// coordinators of the groups do not fill in the hash of the previous block,
+// rather it is filled by the OrdServ"). Verifiers therefore check the inner
+// co-sign over the *unchained* bytes plus the outer OrdServ hash chain.
+#pragma once
+
+#include "fides/cluster.hpp"
+#include "ordserv/sequencer.hpp"
+
+namespace fides::ordserv {
+
+struct GroupRoundResult {
+  ledger::Decision decision{ledger::Decision::kAbort};
+  ServerGroup group;
+  std::uint64_t global_height{0};
+  bool cosign_valid{false};
+  std::size_t group_size{0};
+};
+
+/// Validates an OrdServ stream: inner co-sign per entry (over the unchained
+/// block bytes, under the entry's group), outer hash chain, and dependency
+/// order. Returns the index of the first bad entry, or nullopt when clean.
+std::optional<std::size_t> validate_stream(
+    std::span<const SequencedBlock> stream,
+    std::span<const crypto::PublicKey> all_server_keys);
+
+class GroupCommitRunner {
+ public:
+  GroupCommitRunner(Cluster& cluster, Sequencer& sequencer)
+      : cluster_(&cluster), sequencer_(&sequencer),
+        delivered_(cluster.num_servers()) {}
+
+  /// Runs TFCommit for `batch` inside its group, publishes to OrdServ, and
+  /// delivers + applies the stream at every server.
+  GroupRoundResult run_group_block(std::vector<commit::SignedEndTxn> batch);
+
+  /// The globally replicated (group-mode) log as seen by one server.
+  const std::vector<SequencedBlock>& log_of(ServerId server) const {
+    return delivered_.at(server.value);
+  }
+
+ private:
+  void deliver_all();
+
+  Cluster* cluster_;
+  Sequencer* sequencer_;
+  std::vector<std::vector<SequencedBlock>> delivered_;  // per server
+  std::uint64_t round_counter_{0};
+};
+
+}  // namespace fides::ordserv

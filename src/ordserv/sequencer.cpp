@@ -1,0 +1,49 @@
+#include "ordserv/sequencer.hpp"
+
+#include "common/serde.hpp"
+
+namespace fides::ordserv {
+
+std::uint64_t Sequencer::submit(ledger::Block block, ServerGroup group) {
+  SequencedBlock entry;
+  entry.group = std::move(group);
+
+  // Dependencies: earlier stream entries touching any common item. FIFO
+  // sequencing preserves their order by construction; the metadata lets
+  // consumers and tests verify the §4.6 contract explicitly.
+  for (const auto& t : block.txns) {
+    for (const ItemId item : t.rw.touched_items()) {
+      const auto it = last_touch_.find(item);
+      if (it != last_touch_.end()) entry.depends_on.push_back(it->second);
+    }
+  }
+  std::sort(entry.depends_on.begin(), entry.depends_on.end());
+  entry.depends_on.erase(
+      std::unique(entry.depends_on.begin(), entry.depends_on.end()),
+      entry.depends_on.end());
+
+  const std::uint64_t height = stream_.size();
+  // OrdServ owns the chaining: global height + hash pointer over the
+  // previous *sequenced* entry. The group's co-sign already seals the block
+  // contents; the outer chain seals the order.
+  block.height = height;
+  block.prev_hash = head_hash_;
+  head_hash_ = block.digest();
+
+  for (const auto& t : block.txns) {
+    for (const ItemId item : t.rw.touched_items()) last_touch_[item] = height;
+  }
+
+  entry.block = std::move(block);
+  stream_.push_back(std::move(entry));
+  return height;
+}
+
+std::vector<const SequencedBlock*> Sequencer::fetch_new(ServerId server) {
+  std::size_t& cur = cursor_[server.value];
+  std::vector<const SequencedBlock*> out;
+  while (cur < stream_.size()) out.push_back(&stream_[cur++]);
+  return out;
+}
+
+}  // namespace fides::ordserv

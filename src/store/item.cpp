@@ -1,0 +1,14 @@
+#include "store/item.hpp"
+
+#include "common/serde.hpp"
+
+namespace fides::store {
+
+crypto::Digest item_leaf_digest(ItemId id, BytesView value) {
+  Writer w;
+  w.u64(id);
+  w.bytes(value);
+  return crypto::sha256(w.data());
+}
+
+}  // namespace fides::store

@@ -1,0 +1,43 @@
+// Data items and their authenticated representation.
+//
+// Per the system model (§3.1), every data item has a unique identifier, a
+// value, a read timestamp rts and a write timestamp wts — the timestamps of
+// the last committed transaction that read / wrote the item.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/timestamp.hpp"
+#include "crypto/sha256.hpp"
+
+namespace fides::store {
+
+/// Current state of one data item in a shard.
+struct ItemRecord {
+  Bytes value;
+  Timestamp rts;  ///< last committed reader
+  Timestamp wts;  ///< last committed writer
+};
+
+/// One committed version of an item (multi-versioned datastores, §4.2.1).
+struct ItemVersion {
+  Timestamp wts;  ///< commit timestamp of the writing transaction
+  Bytes value;
+};
+
+/// What the execution layer returns for a read (§4.2.1): the value plus the
+/// timestamps the client must echo back in its end-transaction request.
+struct ReadResult {
+  ItemId id{};
+  Bytes value;
+  Timestamp rts;
+  Timestamp wts;
+};
+
+/// Merkle-leaf digest of an item: h(id ‖ value). Timestamps are
+/// intentionally excluded — the auditor recomputes this digest from the
+/// values recorded in the log (Lemma 2), which carries timestamps
+/// separately in the read/write sets.
+crypto::Digest item_leaf_digest(ItemId id, BytesView value);
+
+}  // namespace fides::store

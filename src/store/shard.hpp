@@ -1,0 +1,126 @@
+// A data shard: the datastore component of one Fides server (§3.1, Fig 3).
+//
+// The shard owns a fixed universe of items (established at provisioning, as
+// in the paper's evaluation where each server stores a shard of N items),
+// tracks per-item values and rts/wts timestamps, and mirrors the item set in
+// a Merkle hash tree whose root is what TFCommit signs into blocks.
+//
+// Single- vs multi-versioned mode (§4.2.1) is a per-shard choice; in
+// multi-versioned mode every committed write also appends to the item's
+// version chain so the auditor can authenticate any historical version.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "merkle/merkle_tree.hpp"
+#include "merkle/proof.hpp"
+#include "store/item.hpp"
+#include "store/versioned_store.hpp"
+
+namespace fides::store {
+
+enum class VersioningMode : std::uint8_t {
+  kSingle,
+  kMulti,
+};
+
+/// Cumulative shard statistics surfaced to the benchmark harness.
+struct ShardStats {
+  std::uint64_t reads{0};
+  std::uint64_t committed_writes{0};
+  std::uint64_t merkle_nodes_rehashed{0};
+};
+
+class Shard {
+ public:
+  /// `item_ids` is the shard's fixed item universe; every item starts with
+  /// `initial_value` and zero timestamps.
+  Shard(ShardId id, std::vector<ItemId> item_ids, Bytes initial_value,
+        VersioningMode mode);
+
+  ShardId id() const { return id_; }
+  VersioningMode mode() const { return mode_; }
+  std::size_t item_count() const { return order_.size(); }
+  const std::vector<ItemId>& item_ids() const { return order_; }
+
+  bool contains(ItemId item) const { return index_.count(item) != 0; }
+
+  /// Execution-layer read: current value + timestamps (§4.2.1).
+  ReadResult read(ItemId item);
+
+  /// Item state without bumping statistics (used by validation/audit).
+  const ItemRecord& peek(ItemId item) const;
+
+  /// Applies one committed write: installs the value, sets wts, and (in
+  /// multi-versioned mode) appends a version. Updates the Merkle leaf.
+  void apply_write(ItemId item, BytesView value, const Timestamp& commit_ts);
+
+  /// Bumps the read timestamp of an item to the committing reader's ts.
+  void update_read_ts(ItemId item, const Timestamp& commit_ts);
+
+  // --- Merkle integration -------------------------------------------------
+
+  /// Leaf index of an item within this shard's tree (item-id order).
+  std::size_t leaf_index(ItemId item) const;
+
+  crypto::Digest merkle_root() const { return tree_.root(); }
+
+  /// Root that would result from applying `writes` (id -> new value) without
+  /// mutating anything — the vote-phase computation of TFCommit (§4.3.1).
+  crypto::Digest root_after(
+      std::span<const std::pair<ItemId, Bytes>> writes) const;
+
+  /// Verification Object for an item against the *current* tree.
+  merkle::VerificationObject current_vo(ItemId item) const;
+
+  /// Rebuilds the Merkle tree of the shard as of version `ts` and returns
+  /// it (multi-versioned audits, Lemma 2). Expensive: O(n) hashing.
+  merkle::MerkleTree tree_at_version(const Timestamp& ts) const;
+
+  /// Value visible at version `ts` (multi-versioned mode only).
+  std::optional<Bytes> value_at_version(ItemId item, const Timestamp& ts) const;
+
+  const ShardStats& stats() const { return stats_; }
+
+  /// Recovery (§4.2.1): "if a failure occurs, the data can be reset to the
+  /// last sanitized version and the application can resume from there."
+  /// Multi-versioned mode only. Rolls every item back to its version at
+  /// `ts`, discards later versions, resets rts/wts to that version, and
+  /// rebuilds the Merkle tree. Returns the number of versions discarded.
+  std::size_t reset_to_version(const Timestamp& ts);
+
+  // --- Fault injection (malicious servers only) ---------------------------
+
+  /// Silently replaces the stored value *without* updating the Merkle leaf
+  /// or version chain — models datastore corruption (§5 Scenario 3).
+  void corrupt_value(ItemId item, Bytes bogus_value);
+
+  /// Corrupts the historical version visible at `ts` in the version chain.
+  bool corrupt_version(ItemId item, const Timestamp& ts, Bytes bogus_value);
+
+ private:
+  ItemRecord& record(ItemId item);
+
+  ShardId id_;
+  VersioningMode mode_;
+  std::vector<ItemId> order_;                      // sorted item ids == leaf order
+  std::unordered_map<ItemId, std::size_t> index_;  // item id -> leaf index
+  std::vector<ItemRecord> records_;                // parallel to order_
+  std::vector<VersionChain> chains_;               // parallel; empty in single mode
+  merkle::MerkleTree tree_;
+  ShardStats stats_;
+};
+
+/// Deterministic placement: item -> shard, round-robin by id. All clients and
+/// servers share this function (the "lookup and directory service" of §4.1).
+ShardId shard_for_item(ItemId item, std::uint32_t num_shards);
+
+/// The item universe assigned to one shard given `items_per_shard` and the
+/// round-robin placement above.
+std::vector<ItemId> items_for_shard(ShardId shard, std::uint32_t num_shards,
+                                    std::uint32_t items_per_shard);
+
+}  // namespace fides::store

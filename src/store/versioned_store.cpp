@@ -1,0 +1,49 @@
+#include "store/versioned_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fides::store {
+
+VersionChain::VersionChain(Bytes initial_value) {
+  versions_.push_back(ItemVersion{kTimestampZero, std::move(initial_value)});
+}
+
+void VersionChain::append(const Timestamp& wts, Bytes value) {
+  if (!(versions_.back().wts < wts)) {
+    throw std::invalid_argument("VersionChain::append: non-monotonic timestamp");
+  }
+  versions_.push_back(ItemVersion{wts, std::move(value)});
+}
+
+std::optional<ItemVersion> VersionChain::at(const Timestamp& ts) const {
+  // Last version with wts <= ts.
+  const auto it = std::upper_bound(
+      versions_.begin(), versions_.end(), ts,
+      [](const Timestamp& t, const ItemVersion& v) { return t < v.wts; });
+  if (it == versions_.begin()) return std::nullopt;
+  return *std::prev(it);
+}
+
+std::size_t VersionChain::truncate_after(const Timestamp& ts) {
+  const auto it = std::upper_bound(
+      versions_.begin(), versions_.end(), ts,
+      [](const Timestamp& t, const ItemVersion& v) { return t < v.wts; });
+  // Keep at least the initial version.
+  const auto first_removable = std::max(it, versions_.begin() + 1);
+  const std::size_t dropped =
+      static_cast<std::size_t>(versions_.end() - first_removable);
+  versions_.erase(first_removable, versions_.end());
+  return dropped;
+}
+
+bool VersionChain::corrupt_version_at(const Timestamp& ts, Bytes value) {
+  const auto it = std::upper_bound(
+      versions_.begin(), versions_.end(), ts,
+      [](const Timestamp& t, const ItemVersion& v) { return t < v.wts; });
+  if (it == versions_.begin()) return false;
+  std::prev(it)->value = std::move(value);
+  return true;
+}
+
+}  // namespace fides::store

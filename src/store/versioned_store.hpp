@@ -1,0 +1,51 @@
+// Version chains for multi-versioned datastores (§4.2.1).
+//
+// "For multi-versioned data, when a transaction commits, a correct server
+// additionally creates a new version of the data items accessed in the
+// transaction while maintaining the older versions." Versions enable both
+// recoverability (reset to last sanitized version) and per-version audits
+// (Lemma 2: the auditor detects the precise version at which the datastore
+// became inconsistent).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "store/item.hpp"
+
+namespace fides::store {
+
+/// Append-only chain of committed versions for one item, ordered by
+/// ascending commit timestamp.
+class VersionChain {
+ public:
+  /// Creates the chain with an initial version at timestamp zero.
+  explicit VersionChain(Bytes initial_value);
+
+  /// Appends a version; `wts` must exceed the latest version's timestamp.
+  void append(const Timestamp& wts, Bytes value);
+
+  /// Latest committed version.
+  const ItemVersion& latest() const { return versions_.back(); }
+
+  /// The version visible at `ts`: greatest wts <= ts. Nullopt if `ts`
+  /// precedes the initial version (cannot happen with ts >= zero).
+  std::optional<ItemVersion> at(const Timestamp& ts) const;
+
+  std::size_t version_count() const { return versions_.size(); }
+  const std::vector<ItemVersion>& versions() const { return versions_; }
+
+  /// Overwrites the value of the version visible at `ts` — a *malicious*
+  /// mutation used only by fault injection; a correct server never calls it.
+  bool corrupt_version_at(const Timestamp& ts, Bytes value);
+
+  /// Recovery (§4.2.1): discards every version with wts > ts, making the
+  /// version visible at `ts` the latest again. The initial version is never
+  /// discarded. Returns the number of versions dropped.
+  std::size_t truncate_after(const Timestamp& ts);
+
+ private:
+  std::vector<ItemVersion> versions_;
+};
+
+}  // namespace fides::store

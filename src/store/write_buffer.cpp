@@ -1,0 +1,33 @@
+#include "store/write_buffer.hpp"
+
+#include <algorithm>
+
+namespace fides::store {
+
+void WriteBuffer::stage(TxnId txn, ItemId item, Bytes new_value) {
+  auto& writes = buffers_[txn];
+  const auto it = std::find_if(writes.begin(), writes.end(),
+                               [&](const BufferedWrite& w) { return w.item == item; });
+  if (it != writes.end()) {
+    it->new_value = std::move(new_value);
+  } else {
+    writes.push_back(BufferedWrite{item, std::move(new_value)});
+  }
+}
+
+std::vector<BufferedWrite> WriteBuffer::staged(TxnId txn) const {
+  const auto it = buffers_.find(txn);
+  return it != buffers_.end() ? it->second : std::vector<BufferedWrite>{};
+}
+
+std::vector<BufferedWrite> WriteBuffer::take(TxnId txn) {
+  const auto it = buffers_.find(txn);
+  if (it == buffers_.end()) return {};
+  std::vector<BufferedWrite> out = std::move(it->second);
+  buffers_.erase(it);
+  return out;
+}
+
+void WriteBuffer::discard(TxnId txn) { buffers_.erase(txn); }
+
+}  // namespace fides::store

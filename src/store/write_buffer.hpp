@@ -1,0 +1,46 @@
+// Per-transaction write buffering (§4.2.1).
+//
+// "The write requests are buffered" — a correct server stages writes during
+// execution and applies them to the datastore only after the transaction
+// commits. The buffer also remembers the pre-image (old value + timestamps)
+// so blind writes can be acknowledged with the information Table 1 requires
+// (old_val populated only for blind writes).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/timestamp.hpp"
+
+namespace fides::store {
+
+struct BufferedWrite {
+  ItemId item{};
+  Bytes new_value;
+};
+
+class WriteBuffer {
+ public:
+  /// Stages a write; later writes to the same item within one transaction
+  /// overwrite earlier ones (last-writer-wins inside a transaction).
+  void stage(TxnId txn, ItemId item, Bytes new_value);
+
+  /// All staged writes of a transaction (empty if none).
+  std::vector<BufferedWrite> staged(TxnId txn) const;
+
+  /// Removes and returns the staged writes (commit path).
+  std::vector<BufferedWrite> take(TxnId txn);
+
+  /// Drops a transaction's staged writes (abort path).
+  void discard(TxnId txn);
+
+  std::size_t pending_transactions() const { return buffers_.size(); }
+
+ private:
+  std::unordered_map<TxnId, std::vector<BufferedWrite>> buffers_;
+};
+
+}  // namespace fides::store

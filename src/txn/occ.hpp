@@ -1,0 +1,43 @@
+// Timestamp-ordering optimistic concurrency control (§4.3.1).
+//
+// "Similar to timestamp based optimistic concurrency control, at commit
+// time, a server checks if the data accessed in the terminating transaction
+// has been updated since they were read. If yes, the server chooses to
+// abort." A server votes commit only when the transaction serializes at its
+// client-assigned commit timestamp:
+//   * every read still sees the current version (no intervening writer) and
+//     the commit timestamp exceeds the version it read;
+//   * every write targets items whose current rts and wts both precede the
+//     commit timestamp (no RW-, WW-, or WR-conflict per Lemma 3).
+#pragma once
+
+#include <string>
+
+#include "store/shard.hpp"
+#include "txn/transaction.hpp"
+
+namespace fides::txn {
+
+enum class Vote : std::uint8_t {
+  kCommit,
+  kAbort,
+};
+
+struct ValidationResult {
+  Vote vote{Vote::kAbort};
+  std::string reason;  ///< human-readable abort cause (empty on commit)
+
+  bool ok() const { return vote == Vote::kCommit; }
+};
+
+/// Validates the sub-RwSet of `txn` that touches items owned by `shard`.
+/// Items owned by other shards are ignored (each cohort validates only its
+/// own partition).
+ValidationResult validate_occ(const store::Shard& shard, const Transaction& txn);
+
+/// Applies the committed transaction's effects on `shard`: installs writes,
+/// advances rts on reads and rts+wts on writes to the commit timestamp
+/// (§4.1 step 7, "Update datastore").
+void apply_committed(store::Shard& shard, const Transaction& txn);
+
+}  // namespace fides::txn

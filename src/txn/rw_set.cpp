@@ -1,0 +1,40 @@
+#include "txn/rw_set.hpp"
+
+#include <algorithm>
+
+namespace fides::txn {
+
+void RwSetBuilder::record_read(ItemId id, Bytes value, const Timestamp& rts,
+                               const Timestamp& wts) {
+  ReadEntry e;
+  e.id = id;
+  e.value = std::move(value);
+  e.rts = rts;
+  e.wts = wts;
+  set_.reads.push_back(std::move(e));
+}
+
+bool RwSetBuilder::has_read(ItemId id) const { return set_.find_read(id) != nullptr; }
+
+void RwSetBuilder::record_write(ItemId id, Bytes new_value, Bytes observed_old_value,
+                                const Timestamp& rts, const Timestamp& wts) {
+  const auto it = std::find_if(set_.writes.begin(), set_.writes.end(),
+                               [&](const WriteEntry& w) { return w.id == id; });
+  if (it != set_.writes.end()) {
+    // Repeated write in the same transaction: only the value changes; the
+    // access-time timestamps and blind-ness were fixed at first access.
+    it->new_value = std::move(new_value);
+    return;
+  }
+  WriteEntry e;
+  e.id = id;
+  e.new_value = std::move(new_value);
+  if (!has_read(id)) e.old_value = std::move(observed_old_value);
+  e.rts = rts;
+  e.wts = wts;
+  set_.writes.push_back(std::move(e));
+}
+
+RwSet RwSetBuilder::build() && { return std::move(set_); }
+
+}  // namespace fides::txn

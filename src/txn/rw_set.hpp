@@ -1,0 +1,34 @@
+// Client-side read/write-set accumulation.
+//
+// During execution (§4.2.1) the client collects, per data item, the values
+// and timestamps returned by servers; at End Transaction it ships the
+// finished RwSet to the coordinator. The builder also patches blind writes:
+// when a Write acknowledgement reports the old value of an item the client
+// never read, that old value lands in the write entry (Table 1: "old_val is
+// populated only for blind writes").
+#pragma once
+
+#include "txn/transaction.hpp"
+
+namespace fides::txn {
+
+class RwSetBuilder {
+ public:
+  /// Records a read response from a server.
+  void record_read(ItemId id, Bytes value, const Timestamp& rts, const Timestamp& wts);
+
+  /// Records a write issued by the client. `observed` is the item state
+  /// returned in the server's acknowledgement; it supplies the timestamps
+  /// and — iff the item was not previously read (blind write) — old_value.
+  void record_write(ItemId id, Bytes new_value, Bytes observed_old_value,
+                    const Timestamp& rts, const Timestamp& wts);
+
+  bool has_read(ItemId id) const;
+
+  RwSet build() &&;
+
+ private:
+  RwSet set_;
+};
+
+}  // namespace fides::txn

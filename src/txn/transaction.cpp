@@ -1,0 +1,99 @@
+#include "txn/transaction.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fides::txn {
+
+const ReadEntry* RwSet::find_read(ItemId id) const {
+  const auto it = std::find_if(reads.begin(), reads.end(),
+                               [&](const ReadEntry& e) { return e.id == id; });
+  return it != reads.end() ? &*it : nullptr;
+}
+
+const WriteEntry* RwSet::find_write(ItemId id) const {
+  const auto it = std::find_if(writes.begin(), writes.end(),
+                               [&](const WriteEntry& e) { return e.id == id; });
+  return it != writes.end() ? &*it : nullptr;
+}
+
+std::vector<ItemId> RwSet::touched_items() const {
+  std::vector<ItemId> items;
+  items.reserve(reads.size() + writes.size());
+  for (const auto& r : reads) items.push_back(r.id);
+  for (const auto& w : writes) items.push_back(w.id);
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  return items;
+}
+
+void RwSet::encode(Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(reads.size()));
+  for (const auto& r : reads) {
+    w.u64(r.id);
+    w.bytes(r.value);
+    w.timestamp(r.rts);
+    w.timestamp(r.wts);
+  }
+  w.u32(static_cast<std::uint32_t>(writes.size()));
+  for (const auto& wr : writes) {
+    w.u64(wr.id);
+    w.bytes(wr.new_value);
+    w.boolean(wr.old_value.has_value());
+    if (wr.old_value) w.bytes(*wr.old_value);
+    w.timestamp(wr.rts);
+    w.timestamp(wr.wts);
+  }
+}
+
+RwSet RwSet::decode(Reader& r) {
+  RwSet set;
+  const std::uint32_t nr = r.u32();
+  set.reads.reserve(nr);
+  for (std::uint32_t i = 0; i < nr; ++i) {
+    ReadEntry e;
+    e.id = r.u64();
+    e.value = r.bytes();
+    e.rts = r.timestamp();
+    e.wts = r.timestamp();
+    set.reads.push_back(std::move(e));
+  }
+  const std::uint32_t nw = r.u32();
+  set.writes.reserve(nw);
+  for (std::uint32_t i = 0; i < nw; ++i) {
+    WriteEntry e;
+    e.id = r.u64();
+    e.new_value = r.bytes();
+    if (r.boolean()) e.old_value = r.bytes();
+    e.rts = r.timestamp();
+    e.wts = r.timestamp();
+    set.writes.push_back(std::move(e));
+  }
+  return set;
+}
+
+void Transaction::encode(Writer& w) const {
+  w.u32(id.client);
+  w.u64(id.seq);
+  w.timestamp(commit_ts);
+  rw.encode(w);
+}
+
+Transaction Transaction::decode(Reader& r) {
+  Transaction t;
+  t.id.client = r.u32();
+  t.id.seq = r.u64();
+  t.commit_ts = r.timestamp();
+  t.rw = RwSet::decode(r);
+  return t;
+}
+
+bool non_conflicting(const Transaction& a, const Transaction& b) {
+  const auto ia = a.rw.touched_items();
+  const auto ib = b.rw.touched_items();
+  std::unordered_set<ItemId> set(ia.begin(), ia.end());
+  return std::none_of(ib.begin(), ib.end(),
+                      [&](ItemId id) { return set.count(id) != 0; });
+}
+
+}  // namespace fides::txn

@@ -1,0 +1,77 @@
+// Transaction model: read/write sets per Table 1.
+//
+// A block entry carries, per transaction:
+//   R_set — list of <id : value, rts, wts>
+//   W_set — list of <id : new_val, old_val, rts, wts>
+// where old_val is populated only for blind writes, and rts/wts are the
+// item's timestamps observed at access time. These are exactly the fields
+// the auditor needs for Lemmas 1-3.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/serde.hpp"
+#include "common/timestamp.hpp"
+
+namespace fides::txn {
+
+struct ReadEntry {
+  ItemId id{};
+  Bytes value;    ///< value returned by the server
+  Timestamp rts;  ///< item's read-ts at access
+  Timestamp wts;  ///< item's write-ts at access (identifies the version read)
+
+  friend bool operator==(const ReadEntry&, const ReadEntry&) = default;
+};
+
+struct WriteEntry {
+  ItemId id{};
+  Bytes new_value;
+  std::optional<Bytes> old_value;  ///< populated only for blind writes
+  Timestamp rts;                   ///< item's read-ts at access
+  Timestamp wts;                   ///< item's write-ts at access
+
+  bool blind() const { return old_value.has_value(); }
+
+  friend bool operator==(const WriteEntry&, const WriteEntry&) = default;
+};
+
+struct RwSet {
+  std::vector<ReadEntry> reads;
+  std::vector<WriteEntry> writes;
+
+  friend bool operator==(const RwSet&, const RwSet&) = default;
+
+  bool empty() const { return reads.empty() && writes.empty(); }
+
+  const ReadEntry* find_read(ItemId id) const;
+  const WriteEntry* find_write(ItemId id) const;
+
+  /// Every distinct item this transaction touches.
+  std::vector<ItemId> touched_items() const;
+
+  void encode(Writer& w) const;
+  static RwSet decode(Reader& r);
+};
+
+/// A terminated (or terminating) transaction as it appears in a block.
+struct Transaction {
+  TxnId id;
+  Timestamp commit_ts;  ///< client-assigned commit timestamp (Table 1 TxnId)
+  RwSet rw;
+
+  friend bool operator==(const Transaction&, const Transaction&) = default;
+
+  void encode(Writer& w) const;
+  static Transaction decode(Reader& r);
+};
+
+/// True iff the two transactions access no common item — the batching
+/// criterion of §4.6 ("a set of non-conflicting client generated
+/// transactions" per block).
+bool non_conflicting(const Transaction& a, const Transaction& b);
+
+}  // namespace fides::txn

@@ -1,0 +1,89 @@
+#include "workload/driver.hpp"
+
+#include <chrono>
+
+namespace fides::workload {
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  Cluster cluster(config.cluster);
+  Client& client = cluster.make_client();
+  const std::uint64_t total_items =
+      static_cast<std::uint64_t>(config.cluster.num_servers) *
+      config.cluster.items_per_shard;
+  YcsbWorkload workload(config.workload, total_items, config.cluster.seed);
+
+  ExperimentResult result;
+  double total_latency_us = 0;
+  double total_mht_us = 0;
+
+  std::size_t remaining = config.total_txns;
+  commit::BatchBuilder batcher(config.txns_per_block);
+  while (remaining > 0) {
+    // Execute one block's worth of transactions against the data path, then
+    // terminate them together (§4.6 batching; the evaluation's 100
+    // non-conflicting transactions per block).
+    workload.begin_batch();
+    const std::size_t n = std::min(config.txns_per_block, remaining);
+    for (std::size_t i = 0; i < n; ++i) {
+      batcher.enqueue(workload.run_transaction(client));
+    }
+    remaining -= n;
+
+    while (!batcher.empty()) {
+      const RoundMetrics metrics = cluster.run_block(batcher.next_batch());
+      ++result.blocks;
+      total_latency_us += metrics.modeled_latency_us;
+      total_mht_us += metrics.mht_us;
+      if (metrics.decision == ledger::Decision::kCommit) {
+        result.committed_txns += metrics.txns_in_block;
+      } else {
+        result.aborted_txns += metrics.txns_in_block;
+      }
+    }
+  }
+
+  if (result.blocks > 0) {
+    result.avg_latency_ms = total_latency_us / 1000.0 / static_cast<double>(result.blocks);
+    result.avg_mht_ms = total_mht_us / 1000.0 / static_cast<double>(result.blocks);
+  }
+  if (total_latency_us > 0) {
+    result.throughput_tps =
+        static_cast<double>(result.committed_txns) / (total_latency_us / 1e6);
+  }
+  result.net = cluster.transport().stats();
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  return result;
+}
+
+ExperimentResult run_averaged(ExperimentConfig config,
+                              std::span<const std::uint64_t> seeds) {
+  ExperimentResult avg;
+  for (const std::uint64_t seed : seeds) {
+    config.cluster.seed = seed;
+    const ExperimentResult r = run_experiment(config);
+    avg.committed_txns += r.committed_txns;
+    avg.aborted_txns += r.aborted_txns;
+    avg.blocks += r.blocks;
+    avg.avg_latency_ms += r.avg_latency_ms;
+    avg.throughput_tps += r.throughput_tps;
+    avg.avg_mht_ms += r.avg_mht_ms;
+    avg.wall_seconds += r.wall_seconds;
+    avg.net.messages += r.net.messages;
+    avg.net.bytes += r.net.bytes;
+    avg.net.signatures_created += r.net.signatures_created;
+    avg.net.signatures_verified += r.net.signatures_verified;
+  }
+  const double n = static_cast<double>(seeds.size());
+  if (n > 0) {
+    avg.avg_latency_ms /= n;
+    avg.throughput_tps /= n;
+    avg.avg_mht_ms /= n;
+  }
+  return avg;
+}
+
+}  // namespace fides::workload

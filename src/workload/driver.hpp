@@ -1,0 +1,45 @@
+// Experiment driver shared by the figure-reproduction benchmarks.
+//
+// Runs the paper's measurement loop: generate client transactions, terminate
+// them block by block through the configured commit protocol, and aggregate
+// the two §6 metrics — commit latency (time from the end-transaction request
+// to the decision) and throughput (committed transactions per second) —
+// plus the Merkle-update time Figure 14 breaks out.
+#pragma once
+
+#include "workload/ycsb.hpp"
+
+namespace fides::workload {
+
+struct ExperimentConfig {
+  ClusterConfig cluster;
+  WorkloadConfig workload;
+  std::size_t total_txns{1000};
+  std::size_t txns_per_block{100};
+};
+
+struct ExperimentResult {
+  std::size_t committed_txns{0};
+  std::size_t aborted_txns{0};
+  std::size_t blocks{0};
+
+  /// Mean modeled commit latency per block, in milliseconds.
+  double avg_latency_ms{0};
+  /// Committed transactions per second of modeled time.
+  double throughput_tps{0};
+  /// Mean per-block Merkle update time (max across servers), in ms.
+  double avg_mht_ms{0};
+
+  double wall_seconds{0};  ///< harness wall time, for scheduling runs
+  Transport::Stats net;
+};
+
+/// One full run (the paper averages 3 runs per data point; the benches call
+/// this with three seeds and average).
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Averages results over `seeds` runs, paper-style.
+ExperimentResult run_averaged(ExperimentConfig config,
+                              std::span<const std::uint64_t> seeds);
+
+}  // namespace fides::workload

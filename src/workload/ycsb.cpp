@@ -1,0 +1,50 @@
+#include "workload/ycsb.hpp"
+
+#include <algorithm>
+
+namespace fides::workload {
+
+YcsbWorkload::YcsbWorkload(WorkloadConfig config, std::uint64_t total_items,
+                           std::uint64_t seed)
+    : config_(config),
+      total_items_(total_items),
+      rng_(seed),
+      zipf_(std::max<std::uint64_t>(total_items, 1), config.zipf_theta) {}
+
+std::vector<ItemId> YcsbWorkload::pick_items() {
+  std::vector<ItemId> items;
+  items.reserve(config_.ops_per_txn);
+  // If the batch window has nearly exhausted the keyspace, disjointness is
+  // impossible; fall back to plain distinct-within-txn sampling.
+  const bool disjoint =
+      config_.disjoint_batches &&
+      batch_used_.size() + config_.ops_per_txn * 4 < total_items_;
+  while (items.size() < config_.ops_per_txn) {
+    const ItemId candidate = config_.distribution == Distribution::kUniform
+                                 ? rng_.uniform(total_items_)
+                                 : zipf_.sample(rng_);
+    if (disjoint && batch_used_.count(candidate) != 0) continue;
+    if (std::find(items.begin(), items.end(), candidate) == items.end()) {
+      items.push_back(candidate);
+    }
+  }
+  if (disjoint) batch_used_.insert(items.begin(), items.end());
+  return items;
+}
+
+Bytes YcsbWorkload::next_value() {
+  return to_bytes("v" + std::to_string(++value_counter_));
+}
+
+commit::SignedEndTxn YcsbWorkload::run_transaction(Client& client) {
+  const std::vector<ItemId> items = pick_items();
+  ClientTxn txn = client.begin();
+  for (const ItemId item : items) {
+    client.read(txn, item);
+    const bool read_only = rng_.uniform01() < config_.read_only_fraction;
+    if (!read_only) client.write(txn, item, next_value());
+  }
+  return client.end(std::move(txn));
+}
+
+}  // namespace fides::workload

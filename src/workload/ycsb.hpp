@@ -1,0 +1,62 @@
+// Transactional-YCSB-like workload (§6).
+//
+// "Each transaction consisted of 5 operations on different data items thus
+// generating a multi-record workload. The data items were picked at random
+// from a pool of all the data partitions combined, resulting in distributed
+// transactions." Operations are read-modify-writes; item choice is uniform
+// by default with an optional zipfian skew.
+#pragma once
+
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "fides/client.hpp"
+#include "fides/cluster.hpp"
+
+namespace fides::workload {
+
+enum class Distribution : std::uint8_t { kUniform, kZipfian };
+
+struct WorkloadConfig {
+  std::uint32_t ops_per_txn{5};
+  Distribution distribution{Distribution::kUniform};
+  double zipf_theta{0.99};
+  /// Fraction of operations that only read (the rest read-modify-write).
+  double read_only_fraction{0.0};
+  /// Sample items without replacement within a batch window, so the
+  /// transactions of one block are pairwise non-conflicting — the paper's
+  /// §6 methodology ("we typically stored 100 non-conflicting transactions
+  /// in each block"). Call begin_batch() at each block boundary.
+  bool disjoint_batches{true};
+};
+
+class YcsbWorkload {
+ public:
+  YcsbWorkload(WorkloadConfig config, std::uint64_t total_items, std::uint64_t seed);
+
+  /// Picks ops_per_txn distinct item ids (also disjoint from every other
+  /// transaction generated since the last begin_batch(), when
+  /// disjoint_batches is set).
+  std::vector<ItemId> pick_items();
+
+  /// Marks a block boundary for disjoint-batch sampling.
+  void begin_batch() { batch_used_.clear(); }
+
+  /// Executes one transaction through the client data path (begin, reads,
+  /// buffered writes) and returns the signed end-transaction request.
+  commit::SignedEndTxn run_transaction(Client& client);
+
+  /// Monotonic per-workload value generator (so every write is distinct and
+  /// audits can distinguish versions).
+  Bytes next_value();
+
+ private:
+  WorkloadConfig config_;
+  std::uint64_t total_items_;
+  Rng rng_;
+  Zipf zipf_;
+  std::uint64_t value_counter_{0};
+  std::unordered_set<ItemId> batch_used_;
+};
+
+}  // namespace fides::workload

@@ -1,0 +1,369 @@
+// Auditor tests: every lemma and §5 scenario, end-to-end through the real
+// cluster — honest runs audit clean; each injected fault is detected and
+// attributed to the right server at the right block/version.
+#include <gtest/gtest.h>
+
+#include "audit/auditor.hpp"
+#include "workload/ycsb.hpp"
+
+namespace fides::audit {
+namespace {
+
+ClusterConfig config(store::VersioningMode mode = store::VersioningMode::kMulti) {
+  ClusterConfig cfg;
+  cfg.num_servers = 3;
+  cfg.items_per_shard = 32;
+  cfg.versioning = mode;
+  return cfg;
+}
+
+commit::SignedEndTxn rw_txn(Cluster& cluster, Client& client, std::vector<ItemId> items,
+                            const std::string& tag) {
+  ClientTxn txn = client.begin();
+  cluster.client_begin(client, txn.id(), items);
+  for (const ItemId item : items) {
+    client.read(txn, item);
+    client.write(txn, item, to_bytes(tag + "-" + std::to_string(item)));
+  }
+  return client.end(std::move(txn));
+}
+
+/// Runs `blocks` honest single-txn blocks over distinct items.
+void run_honest_history(Cluster& cluster, Client& client, int blocks) {
+  for (int i = 0; i < blocks; ++i) {
+    const auto metrics = cluster.run_block(
+        {rw_txn(cluster, client, {static_cast<ItemId>(i), static_cast<ItemId>(i + 10)},
+                "b" + std::to_string(i))});
+    ASSERT_EQ(metrics.decision, ledger::Decision::kCommit);
+  }
+}
+
+TEST(Auditor, HonestRunAuditsClean) {
+  Cluster cluster(config());
+  Client& client = cluster.make_client();
+  run_honest_history(cluster, client, 5);
+  Auditor auditor(cluster);
+  const AuditReport report = auditor.run();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  EXPECT_EQ(report.blocks_audited, 5u);
+  EXPECT_GT(report.items_authenticated, 0u);
+}
+
+TEST(Auditor, HonestSingleVersionedRunAuditsClean) {
+  Cluster cluster(config(store::VersioningMode::kSingle));
+  Client& client = cluster.make_client();
+  run_honest_history(cluster, client, 5);
+  Auditor auditor(cluster);
+  EXPECT_TRUE(auditor.run().clean());
+}
+
+TEST(Auditor, HonestWorkloadManySeedsClean) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    ClusterConfig cfg = config();
+    cfg.seed = seed;
+    Cluster cluster(cfg);
+    Client& client = cluster.make_client();
+    workload::YcsbWorkload wl({}, cfg.num_servers * cfg.items_per_shard, seed);
+    for (int block = 0; block < 4; ++block) {
+      std::vector<commit::SignedEndTxn> batch;
+      for (int i = 0; i < 3; ++i) batch.push_back(wl.run_transaction(client));
+      cluster.run_block(std::move(batch));
+    }
+    Auditor auditor(cluster);
+    const auto report = auditor.run();
+    EXPECT_TRUE(report.clean()) << "seed " << seed << "\n" << report.to_string();
+  }
+}
+
+// --- Lemma 1 / Scenario 1: incorrect reads ---------------------------------------
+
+TEST(Auditor, IncorrectReadDetectedAndAttributed) {
+  Cluster cluster(config());
+  Client& client = cluster.make_client();
+  // Block 0 writes item 0 honestly; then the owner starts lying on reads.
+  cluster.run_block({rw_txn(cluster, client, {0}, "honest")});
+  Server& liar = cluster.server(cluster.owner_of(0));
+  liar.faults().read_fault = ReadFault::kGarbageValue;
+  liar.faults().read_fault_item = 0;
+  // The lied-to transaction commits (the value content is not what OCC
+  // checks — timestamps still match), embedding the wrong value in block 1.
+  const auto metrics = cluster.run_block({rw_txn(cluster, client, {0}, "next")});
+  ASSERT_EQ(metrics.decision, ledger::Decision::kCommit);
+
+  Auditor auditor(cluster, {DatastorePolicy::kNone});
+  const AuditReport report = auditor.run();
+  ASSERT_TRUE(report.has(ViolationKind::kIncorrectRead)) << report.to_string();
+  const auto v = report.of_kind(ViolationKind::kIncorrectRead);
+  EXPECT_EQ(v[0].server, cluster.owner_of(0));
+  EXPECT_EQ(v[0].block, 1u);  // precise point in history
+}
+
+// --- Lemma 2 / Scenario 3: datastore corruption ----------------------------------
+
+TEST(Auditor, SkippedWriteDetectedAtPreciseVersion) {
+  Cluster cluster(config());
+  Client& client = cluster.make_client();
+  Server& faulty = cluster.server(cluster.owner_of(0));
+  faulty.faults().skip_write_item = 0;
+
+  cluster.run_block({rw_txn(cluster, client, {0}, "expected")});
+  cluster.run_block({rw_txn(cluster, client, {10}, "unrelated")});
+
+  Auditor auditor(cluster);
+  const AuditReport report = auditor.run();
+  ASSERT_TRUE(report.has(ViolationKind::kDatastoreCorruption)) << report.to_string();
+  const auto v = report.of_kind(ViolationKind::kDatastoreCorruption);
+  EXPECT_EQ(v[0].server, cluster.owner_of(0));
+  EXPECT_EQ(v[0].block, 0u);  // corruption entered at block 0's version
+}
+
+TEST(Auditor, PostCommitCorruptionDetectedMultiVersioned) {
+  Cluster cluster(config());
+  Client& client = cluster.make_client();
+  cluster.run_block({rw_txn(cluster, client, {0}, "v1")});
+  Server& faulty = cluster.server(cluster.owner_of(0));
+  const Timestamp version = faulty.log().at(0).txns[0].commit_ts;
+  faulty.shard().corrupt_value(0, to_bytes("evil"));
+  faulty.shard().corrupt_version(0, version, to_bytes("evil"));
+
+  Auditor auditor(cluster);
+  const AuditReport report = auditor.run();
+  EXPECT_TRUE(report.has(ViolationKind::kDatastoreCorruption)) << report.to_string();
+}
+
+TEST(Auditor, PostCommitCorruptionDetectedSingleVersioned) {
+  Cluster cluster(config(store::VersioningMode::kSingle));
+  Client& client = cluster.make_client();
+  cluster.run_block({rw_txn(cluster, client, {0}, "v1")});
+  cluster.server(cluster.owner_of(0)).shard().corrupt_value(0, to_bytes("evil"));
+
+  Auditor auditor(cluster, {DatastorePolicy::kLatestOnly});
+  const AuditReport report = auditor.run();
+  ASSERT_TRUE(report.has(ViolationKind::kDatastoreCorruption)) << report.to_string();
+  EXPECT_EQ(report.of_kind(ViolationKind::kDatastoreCorruption)[0].server,
+            cluster.owner_of(0));
+}
+
+TEST(Auditor, Scenario3Walkthrough) {
+  // The paper's §5 example: server claims to have updated x at ts-100 but
+  // did not; the auditor folds the claimed value through the VO and the
+  // computed root mismatches the co-signed one.
+  Cluster cluster(config());
+  Client& client = cluster.make_client();
+  Server& sm = cluster.server(cluster.owner_of(0));
+  sm.faults().skip_write_item = 0;
+  cluster.run_block({rw_txn(cluster, client, {0}, "900")});
+
+  const ledger::Block& block10 = sm.log().at(0);
+  AuditReport report;
+  Auditor auditor(cluster);
+  const bool clean = auditor.authenticate_item(
+      sm.id(), 0, Auditor::block_version(block10), block10,
+      &block10.txns[0].rw.writes[0].new_value, report);
+  EXPECT_FALSE(clean);
+  EXPECT_TRUE(report.has(ViolationKind::kDatastoreCorruption));
+}
+
+// --- Lemma 3: serializability ------------------------------------------------------
+
+TEST(Auditor, SerializabilityViolationDetected) {
+  // Craft a log where a later block's transaction carries a commit
+  // timestamp below the previous writer's (the colluding-servers case: OCC
+  // was "skipped"). All servers sign it, so only the audit catches it.
+  // Single-versioned store: a multi-versioned one would refuse the
+  // out-of-order append outright.
+  Cluster cluster(config(store::VersioningMode::kSingle));
+  Client& client = cluster.make_client();
+  cluster.run_block({rw_txn(cluster, client, {0}, "first")});
+
+  // Second transaction: reads item 0's *current* state but claims an older
+  // commit timestamp, violating RW timestamp order.
+  ClientTxn txn = client.begin();
+  client.read(txn, 0);
+  client.write(txn, 0, to_bytes("second"));
+  commit::SignedEndTxn req = client.end(std::move(txn));
+  req.request.txn.commit_ts = Timestamp{1, 0};  // in the past
+  req.signature = client.keypair().sign(req.request.serialize());
+
+  // Servers would abort this; make them all colluding-permissive by
+  // injecting the block through a coordinator that ignores votes.
+  for (std::uint32_t i = 0; i < cluster.num_servers(); ++i) {
+    cluster.server(ServerId{i}).faults().cohort.skip_root_check = true;
+  }
+  cluster.server(ServerId{0}).faults().coordinator.force_commit = true;
+  cluster.run_block({req});
+
+  Auditor auditor(cluster, {DatastorePolicy::kNone});
+  const AuditReport report = auditor.run();
+  EXPECT_TRUE(report.has(ViolationKind::kSerializabilityViolation))
+      << report.to_string();
+}
+
+// --- Lemmas 6 & 7: log integrity ----------------------------------------------------
+
+class LogFaultAuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster = std::make_unique<Cluster>(config());
+    client = &cluster->make_client();
+    for (int i = 0; i < 4; ++i) {
+      cluster->run_block({rw_txn(*cluster, *client, {static_cast<ItemId>(i)},
+                                 "b" + std::to_string(i))});
+    }
+  }
+  std::unique_ptr<Cluster> cluster;
+  Client* client{};
+};
+
+TEST_F(LogFaultAuditTest, TamperedBlockAttributed) {
+  Server& faulty = cluster->server(ServerId{1});
+  ledger::Block bad = faulty.log().at(2);
+  bad.txns[0].rw.writes[0].new_value = to_bytes("rewritten-history");
+  faulty.log().tamper_block(2, bad);
+
+  Auditor auditor(*cluster, {DatastorePolicy::kNone});
+  const AuditReport report = auditor.run();
+  const auto tampered = report.of_kind(ViolationKind::kInvalidCosign);
+  ASSERT_FALSE(tampered.empty()) << report.to_string();
+  EXPECT_EQ(tampered[0].server, ServerId{1});
+  EXPECT_EQ(tampered[0].block, 2u);
+  // The audit still proceeds on the correct log from another server.
+  EXPECT_NE(report.adopted_log_source, ServerId{1});
+  EXPECT_EQ(report.blocks_audited, 4u);
+}
+
+TEST_F(LogFaultAuditTest, ReorderedLogDetected) {
+  cluster->server(ServerId{2}).log().reorder(1, 3);
+  Auditor auditor(*cluster, {DatastorePolicy::kNone});
+  const AuditReport report = auditor.run();
+  bool attributed = false;
+  for (const auto& v : report.violations) {
+    attributed |= (v.kind == ViolationKind::kTamperedLog ||
+                   v.kind == ViolationKind::kInvalidCosign) &&
+                  v.server == ServerId{2};
+  }
+  EXPECT_TRUE(attributed) << report.to_string();
+}
+
+TEST_F(LogFaultAuditTest, TruncatedTailDetected) {
+  cluster->server(ServerId{0}).log().truncate_tail(2);
+  Auditor auditor(*cluster, {DatastorePolicy::kNone});
+  const AuditReport report = auditor.run();
+  const auto v = report.of_kind(ViolationKind::kIncompleteLog);
+  ASSERT_EQ(v.size(), 1u) << report.to_string();
+  EXPECT_EQ(v[0].server, ServerId{0});
+  EXPECT_EQ(report.blocks_audited, 4u);  // adopted a complete log elsewhere
+}
+
+TEST_F(LogFaultAuditTest, MultipleFaultyLogsStillAudited) {
+  // n-1 = 2 of 3 servers corrupt their logs; one correct server suffices.
+  cluster->server(ServerId{0}).log().truncate_tail(1);
+  ledger::Block bad = cluster->server(ServerId{1}).log().at(0);
+  bad.decision = ledger::Decision::kAbort;
+  cluster->server(ServerId{1}).log().tamper_block(0, bad);
+
+  Auditor auditor(*cluster, {DatastorePolicy::kNone});
+  const AuditReport report = auditor.run();
+  EXPECT_EQ(report.adopted_log_source, ServerId{2});
+  EXPECT_TRUE(report.has(ViolationKind::kIncompleteLog));
+  EXPECT_TRUE(report.has(ViolationKind::kInvalidCosign) ||
+              report.has(ViolationKind::kTamperedLog));
+  EXPECT_EQ(report.blocks_audited, 4u);
+}
+
+TEST_F(LogFaultAuditTest, AllLogsInvalidReported) {
+  for (std::uint32_t i = 0; i < cluster->num_servers(); ++i) {
+    ledger::Block bad = cluster->server(ServerId{i}).log().at(0);
+    bad.height = 42;
+    cluster->server(ServerId{i}).log().tamper_block(0, bad);
+  }
+  Auditor auditor(*cluster, {DatastorePolicy::kNone});
+  const AuditReport report = auditor.run();
+  EXPECT_TRUE(report.has(ViolationKind::kNoValidLog));
+  EXPECT_EQ(report.blocks_audited, 0u);
+}
+
+// --- Lemma 5: atomicity / divergent logs ---------------------------------------------
+
+TEST_F(LogFaultAuditTest, DivergentBlockAppendedByColluderDetected) {
+  // Lemma 5 Case 1 epilogue: a colluding victim appends the abort variant
+  // b_a whose co-sign corresponds to b_c. Its log fails validation at
+  // exactly that block.
+  Server& colluder = cluster->server(ServerId{1});
+  ledger::Block ba = colluder.log().at(3);
+  ba.decision = ledger::Decision::kAbort;
+  ba.roots.clear();  // abort variant: roots missing
+  colluder.log().tamper_block(3, ba);
+
+  Auditor auditor(*cluster, {DatastorePolicy::kNone});
+  const AuditReport report = auditor.run();
+  const auto bad = report.of_kind(ViolationKind::kInvalidCosign);
+  ASSERT_FALSE(bad.empty()) << report.to_string();
+  EXPECT_EQ(bad[0].server, ServerId{1});
+  EXPECT_EQ(bad[0].block, 3u);
+}
+
+// --- Serialization-graph unit coverage ----------------------------------------------
+
+TEST(SerializationGraph, BuildsConflictEdges) {
+  std::vector<ledger::Block> log(2);
+  for (auto& b : log) b.decision = ledger::Decision::kCommit;
+  txn::Transaction t1;
+  t1.commit_ts = Timestamp{1, 0};
+  t1.rw.writes.push_back(txn::WriteEntry{7, to_bytes("a"), std::nullopt, {}, {}});
+  txn::Transaction t2;
+  t2.commit_ts = Timestamp{2, 0};
+  t2.rw.reads.push_back(txn::ReadEntry{7, to_bytes("a"), {}, Timestamp{1, 0}});
+  t2.rw.writes.push_back(txn::WriteEntry{7, to_bytes("b"), std::nullopt, {}, {}});
+  log[0].txns.push_back(t1);
+  log[1].height = 1;
+  log[1].txns.push_back(t2);
+
+  const auto g = SerializationGraph::build(log);
+  EXPECT_EQ(g.nodes().size(), 2u);
+  EXPECT_FALSE(g.edges().empty());
+  EXPECT_FALSE(g.has_cycle());
+  EXPECT_TRUE(g.timestamp_order_violations(log).empty());
+}
+
+TEST(SerializationGraph, TimestampOrderViolationFlagged) {
+  std::vector<ledger::Block> log(2);
+  for (auto& b : log) b.decision = ledger::Decision::kCommit;
+  txn::Transaction t1;
+  t1.commit_ts = Timestamp{5, 0};
+  t1.rw.writes.push_back(txn::WriteEntry{7, to_bytes("a"), std::nullopt, {}, {}});
+  txn::Transaction t2;
+  t2.commit_ts = Timestamp{2, 0};  // commits "later" in the log, earlier in ts
+  t2.rw.writes.push_back(txn::WriteEntry{7, to_bytes("b"), std::nullopt, {}, {}});
+  log[0].txns.push_back(t1);
+  log[1].height = 1;
+  log[1].txns.push_back(t2);
+
+  const auto g = SerializationGraph::build(log);
+  EXPECT_FALSE(g.timestamp_order_violations(log).empty());
+}
+
+TEST(SerializationGraph, AbortedBlocksExcluded) {
+  std::vector<ledger::Block> log(1);
+  log[0].decision = ledger::Decision::kAbort;
+  txn::Transaction t;
+  t.rw.writes.push_back(txn::WriteEntry{1, to_bytes("x"), std::nullopt, {}, {}});
+  log[0].txns.push_back(t);
+  EXPECT_TRUE(SerializationGraph::build(log).nodes().empty());
+}
+
+TEST(Report, PrintingAndQueries) {
+  AuditReport report;
+  EXPECT_TRUE(report.clean());
+  report.violations.push_back(Violation{ViolationKind::kIncorrectRead, ServerId{2},
+                                        std::size_t{4}, Timestamp{9, 0}, "detail"});
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(report.has(ViolationKind::kIncorrectRead));
+  EXPECT_FALSE(report.has(ViolationKind::kTamperedLog));
+  const std::string s = report.to_string();
+  EXPECT_NE(s.find("incorrect-read"), std::string::npos);
+  EXPECT_NE(s.find("S2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fides::audit

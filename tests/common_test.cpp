@@ -1,0 +1,203 @@
+// Unit tests for the common substrate: bytes, hex, serde, rng, timestamps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+#include "common/hex.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+#include "common/timestamp.hpp"
+
+namespace fides {
+namespace {
+
+TEST(Bytes, RoundTripString) {
+  const Bytes b = to_bytes("hello");
+  EXPECT_EQ(to_string(b), "hello");
+  EXPECT_EQ(b.size(), 5u);
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = to_bytes("ab");
+  const Bytes b = to_bytes("cd");
+  const Bytes c = concat({a, b});
+  EXPECT_EQ(to_string(c), "abcd");
+}
+
+TEST(Bytes, ConcatEmptyParts) {
+  EXPECT_TRUE(concat({}).empty());
+  const Bytes a = to_bytes("x");
+  EXPECT_EQ(to_string(concat({a, Bytes{}, a})), "xx");
+}
+
+TEST(Bytes, EqualConstantTime) {
+  EXPECT_TRUE(equal(to_bytes("abc"), to_bytes("abc")));
+  EXPECT_FALSE(equal(to_bytes("abc"), to_bytes("abd")));
+  EXPECT_FALSE(equal(to_bytes("abc"), to_bytes("abcd")));
+  EXPECT_TRUE(equal(Bytes{}, Bytes{}));
+}
+
+TEST(Hex, EncodeDecodeRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xAB, 0xFF};
+  const std::string hex = hex_encode(data);
+  EXPECT_EQ(hex, "0001abff");
+  const auto decoded = hex_decode(hex);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(Hex, DecodeRejectsOddLength) { EXPECT_FALSE(hex_decode("abc").has_value()); }
+
+TEST(Hex, DecodeRejectsNonHex) { EXPECT_FALSE(hex_decode("zz").has_value()); }
+
+TEST(Hex, DecodeAcceptsUpperCase) {
+  const auto d = hex_decode("AbFf");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ((*d)[0], 0xAB);
+  EXPECT_EQ((*d)[1], 0xFF);
+}
+
+TEST(Serde, IntegerRoundTrip) {
+  Writer w;
+  w.u8(7);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.boolean(true);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, BytesAndStringsRoundTrip) {
+  Writer w;
+  w.bytes(to_bytes("payload"));
+  w.str("name");
+  w.raw(to_bytes("xy"));
+  Reader r(w.data());
+  EXPECT_EQ(to_string(r.bytes()), "payload");
+  EXPECT_EQ(r.str(), "name");
+  EXPECT_EQ(to_string(r.raw(2)), "xy");
+  r.expect_done();
+}
+
+TEST(Serde, TimestampRoundTrip) {
+  Writer w;
+  w.timestamp(Timestamp{42, 3});
+  Reader r(w.data());
+  EXPECT_EQ(r.timestamp(), (Timestamp{42, 3}));
+}
+
+TEST(Serde, TruncationThrows) {
+  Writer w;
+  w.u32(1);
+  Reader r(w.data());
+  EXPECT_THROW(r.u64(), DecodeError);
+}
+
+TEST(Serde, TrailingBytesDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), DecodeError);
+}
+
+TEST(Serde, InvalidBooleanRejected) {
+  const Bytes b = {0x02};
+  Reader r(b);
+  EXPECT_THROW(r.boolean(), DecodeError);
+}
+
+TEST(Serde, OversizedLengthPrefixThrows) {
+  Writer w;
+  w.u32(0xFFFFFFFF);  // length prefix far beyond the buffer
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes(), DecodeError);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformWithinBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BytesLengthAndVariety) {
+  Rng rng(1);
+  const Bytes b = rng.bytes(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(std::adjacent_find(b.begin(), b.end(),
+                                 [](auto x, auto y) { return x != y; }) != b.end());
+}
+
+TEST(Zipf, SamplesWithinRange) {
+  Rng rng(5);
+  Zipf zipf(1000, 0.99);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(zipf.sample(rng), 1000u);
+}
+
+TEST(Zipf, SkewPrefersSmallIds) {
+  Rng rng(5);
+  Zipf zipf(1000, 0.99);
+  std::size_t low = 0;
+  const int kSamples = 5000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.sample(rng) < 100) ++low;
+  }
+  // Top 10% of ids should absorb far more than 10% of samples.
+  EXPECT_GT(low, static_cast<std::size_t>(kSamples) / 4);
+}
+
+TEST(Timestamp, TotalOrder) {
+  EXPECT_LT((Timestamp{1, 5}), (Timestamp{2, 0}));
+  EXPECT_LT((Timestamp{2, 0}), (Timestamp{2, 1}));
+  EXPECT_EQ((Timestamp{3, 3}), (Timestamp{3, 3}));
+  EXPECT_TRUE(kTimestampZero.is_zero());
+}
+
+TEST(TimestampOracle, MonotonicAndObservant) {
+  TimestampOracle oracle(ClientId{2});
+  const Timestamp a = oracle.next();
+  const Timestamp b = oracle.next();
+  EXPECT_LT(a, b);
+  oracle.observe(Timestamp{100, 9});
+  const Timestamp c = oracle.next();
+  EXPECT_GT(c.logical, 100u);
+  EXPECT_EQ(c.client, 2u);
+}
+
+TEST(Ids, TaggedIdsCompareAndHash) {
+  EXPECT_EQ(ServerId{3}, ServerId{3});
+  EXPECT_LT(ServerId{1}, ServerId{2});
+  EXPECT_EQ(std::hash<ServerId>{}(ServerId{3}), std::hash<ServerId>{}(ServerId{3}));
+  EXPECT_EQ(to_string(ServerId{4}), "S4");
+  EXPECT_EQ(to_string(ClientId{4}), "C4");
+}
+
+TEST(Ids, TxnIdOrderAndPrint) {
+  EXPECT_LT((TxnId{1, 5}), (TxnId{2, 0}));
+  EXPECT_LT((TxnId{1, 5}), (TxnId{1, 6}));
+  EXPECT_EQ(to_string(TxnId{2, 9}), "T2.9");
+}
+
+}  // namespace
+}  // namespace fides

@@ -1,0 +1,440 @@
+// Unit tests for the crypto substrate: SHA-256, U256, Montgomery fields,
+// secp256k1 group law, Schnorr signatures, CoSi collective signing.
+#include <gtest/gtest.h>
+
+#include "crypto/cosi.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace fides::crypto {
+namespace {
+
+// --- SHA-256 (FIPS 180-4 vectors) -------------------------------------------
+
+TEST(Sha256, EmptyVector) {
+  EXPECT_EQ(sha256({}).hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector) {
+  EXPECT_EQ(sha256(to_bytes("abc")).hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockVector) {
+  EXPECT_EQ(sha256(to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")).hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  const std::string big(1000000, 'a');
+  EXPECT_EQ(sha256(to_bytes(big)).hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const Bytes data = to_bytes("the quick brown fox jumps over the lazy dog!!");
+  Sha256 h;
+  for (std::size_t i = 0; i < data.size(); i += 7) {
+    h.update(BytesView(data).subspan(i, std::min<std::size_t>(7, data.size() - i)));
+  }
+  EXPECT_EQ(h.finalize(), sha256(data));
+}
+
+TEST(Sha256, PairMatchesConcatenation) {
+  const Digest a = sha256(to_bytes("a"));
+  const Digest b = sha256(to_bytes("b"));
+  EXPECT_EQ(sha256_pair(a, b), sha256(concat({a.view(), b.view()})));
+}
+
+TEST(Digest, ZeroAndComparison) {
+  EXPECT_TRUE(Digest::zero().is_zero());
+  EXPECT_FALSE(sha256(to_bytes("x")).is_zero());
+  EXPECT_NE(sha256(to_bytes("x")), sha256(to_bytes("y")));
+}
+
+// --- U256 ---------------------------------------------------------------------
+
+TEST(U256, BytesRoundTrip) {
+  const U256 x = U256::from_limbs(0x1111, 0x2222, 0x3333, 0x4444);
+  const auto bytes = x.to_bytes_be();
+  EXPECT_EQ(U256::from_bytes_be(BytesView(bytes.data(), bytes.size())), x);
+}
+
+TEST(U256, HexRoundTrip) {
+  const auto x = U256::from_hex("deadbeef");
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(x->w[0], 0xDEADBEEFULL);
+  EXPECT_EQ(x->hex().substr(56), "deadbeef");
+}
+
+TEST(U256, AddCarryChain) {
+  const U256 max = U256::from_limbs(~0ULL, ~0ULL, ~0ULL, ~0ULL);
+  U256 out;
+  EXPECT_EQ(u256_add(out, max, U256(1)), 1u);  // wraps with carry-out
+  EXPECT_TRUE(out.is_zero());
+}
+
+TEST(U256, SubBorrowChain) {
+  U256 out;
+  EXPECT_EQ(u256_sub(out, U256(0), U256(1)), 1u);
+  EXPECT_EQ(out, U256::from_limbs(~0ULL, ~0ULL, ~0ULL, ~0ULL));
+}
+
+TEST(U256, AddSubInverse) {
+  const U256 a = U256::from_limbs(0x123456789ABCDEF0, 0xFEDCBA9876543210, 7, 9);
+  const U256 b = U256::from_limbs(0xAAAAAAAAAAAAAAAA, 0x5555555555555555, 1, 2);
+  U256 sum, back;
+  u256_add(sum, a, b);
+  u256_sub(back, sum, b);
+  EXPECT_EQ(back, a);
+}
+
+TEST(U256, MulWideSmall) {
+  const auto r = u256_mul_wide(U256(0xFFFFFFFFFFFFFFFFULL), U256(2));
+  EXPECT_EQ(r[0], 0xFFFFFFFFFFFFFFFEULL);
+  EXPECT_EQ(r[1], 1u);
+  for (int i = 2; i < 8; ++i) EXPECT_EQ(r[i], 0u);
+}
+
+TEST(U256, ModSmallCases) {
+  EXPECT_EQ(u256_mod(U256(17), U256(5)), U256(2));
+  EXPECT_EQ(u256_mod(U256(4), U256(5)), U256(4));
+  EXPECT_EQ(u256_mod(U256(0), U256(5)), U256(0));
+}
+
+TEST(U256, U512ModMatchesMulMod) {
+  // (a * b) mod m computed wide must equal ((a mod m)*(b mod m)) mod m for
+  // small values checkable with __int128.
+  const std::uint64_t m64 = 0xFFFFFFFFFFFFFFC5ULL;  // large prime < 2^64
+  const U256 m(m64);
+  const std::uint64_t a = 0x123456789ABCDEFULL, b = 0xFEDCBA987654321ULL;
+  const auto wide = u256_mul_wide(U256(a), U256(b));
+  const U256 got = u512_mod(wide, m);
+  const unsigned __int128 expect =
+      static_cast<unsigned __int128>(a) * b % m64;
+  EXPECT_EQ(got, U256(static_cast<std::uint64_t>(expect)));
+}
+
+TEST(U256, BitLength) {
+  EXPECT_EQ(U256(0).bit_length(), -1);
+  EXPECT_EQ(U256(1).bit_length(), 0);
+  EXPECT_EQ(U256(0x8000).bit_length(), 15);
+  EXPECT_EQ(U256::from_limbs(0, 0, 0, 1).bit_length(), 192);
+}
+
+// --- Montgomery field ----------------------------------------------------------
+
+class FieldTest : public ::testing::Test {
+ protected:
+  const MontgomeryField& fn() { return Curve::instance().fn(); }
+  const MontgomeryField& fp() { return Curve::instance().fp(); }
+};
+
+TEST_F(FieldTest, ToFromMontRoundTrip) {
+  const U256 x = U256::from_limbs(0xABCD, 0x1234, 0x9999, 0x0042);
+  EXPECT_EQ(fp().from_mont(fp().to_mont(x)), x);
+  EXPECT_EQ(fn().from_mont(fn().to_mont(x)), x);
+}
+
+TEST_F(FieldTest, MulMatchesSchoolbook) {
+  const U256 a(123456789), b(987654321);
+  const Fe prod = fp().mul(fp().to_mont(a), fp().to_mont(b));
+  EXPECT_EQ(fp().from_mont(prod), U256(123456789ULL * 987654321ULL));
+}
+
+TEST_F(FieldTest, AddSubNegIdentities) {
+  const Fe a = fp().to_mont(U256(77));
+  const Fe b = fp().to_mont(U256(33));
+  EXPECT_EQ(fp().from_mont(fp().sub(fp().add(a, b), b)), U256(77));
+  EXPECT_TRUE(fp().is_zero(fp().add(a, fp().neg(a))));
+  EXPECT_EQ(fp().neg(fp().zero()), fp().zero());
+}
+
+TEST_F(FieldTest, InverseIsMultiplicative) {
+  const Fe a = fp().to_mont(U256::from_limbs(0xDEAD, 0xBEEF, 0xCAFE, 0x0B0E));
+  const Fe inv = fp().inverse(a);
+  EXPECT_EQ(fp().mul(a, inv), fp().one());
+}
+
+TEST_F(FieldTest, InverseOfZeroThrows) {
+  EXPECT_THROW(fp().inverse(fp().zero()), std::domain_error);
+}
+
+TEST_F(FieldTest, PowFermatLittle) {
+  // a^(p-1) == 1 mod p for prime p.
+  const Fe a = fp().to_mont(U256(0xABCDEF));
+  U256 exp;
+  u256_sub(exp, fp().modulus(), U256(1));
+  EXPECT_EQ(fp().pow(a, exp), fp().one());
+}
+
+TEST_F(FieldTest, RejectsEvenModulus) {
+  EXPECT_THROW(MontgomeryField(U256(10)), std::invalid_argument);
+}
+
+// --- secp256k1 ------------------------------------------------------------------
+
+class CurveTest : public ::testing::Test {
+ protected:
+  const Curve& c = Curve::instance();
+};
+
+TEST_F(CurveTest, GeneratorOnCurve) {
+  EXPECT_TRUE(c.on_curve(c.to_affine(c.generator())));
+}
+
+TEST_F(CurveTest, OrderTimesGeneratorIsInfinity) {
+  EXPECT_TRUE(c.mul(c.order(), c.generator()).is_infinity());
+}
+
+TEST_F(CurveTest, KnownDoubleOfG) {
+  const AffinePoint g2 = c.to_affine(c.dbl(c.generator()));
+  EXPECT_EQ(g2.x.hex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(g2.y.hex(),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+}
+
+TEST_F(CurveTest, AddDblConsistency) {
+  // G + G (general addition) must equal dbl(G).
+  const Point sum = c.add(c.generator(), c.generator());
+  EXPECT_TRUE(c.equal(sum, c.dbl(c.generator())));
+}
+
+TEST_F(CurveTest, MulDistributesOverScalarAddition) {
+  const U256 k1(123456), k2(654321);
+  U256 k3;
+  u256_add(k3, k1, k2);
+  const Point lhs = c.add(c.mul_g(k1), c.mul_g(k2));
+  EXPECT_TRUE(c.equal(lhs, c.mul_g(k3)));
+}
+
+TEST_F(CurveTest, FixedBaseTableMatchesGenericMul) {
+  for (std::uint64_t k : {1ULL, 2ULL, 16ULL, 0xFFFFULL, 0x123456789ABCDEFULL}) {
+    EXPECT_TRUE(c.equal(c.mul_g(U256(k)), c.mul(U256(k), c.generator())));
+  }
+  // Also a full-width scalar.
+  const U256 big = U256::from_limbs(0x1111111111111111, 0x2222222222222222,
+                                    0x3333333333333333, 0x4444444444444444);
+  EXPECT_TRUE(c.equal(c.mul_g(big), c.mul(big, c.generator())));
+}
+
+TEST_F(CurveTest, AddInfinityIdentity) {
+  const Point inf = c.infinity();
+  EXPECT_TRUE(c.equal(c.add(inf, c.generator()), c.generator()));
+  EXPECT_TRUE(c.equal(c.add(c.generator(), inf), c.generator()));
+  EXPECT_TRUE(c.add(inf, inf).is_infinity());
+}
+
+TEST_F(CurveTest, AddPointAndNegationIsInfinity) {
+  EXPECT_TRUE(c.add(c.generator(), c.negate(c.generator())).is_infinity());
+}
+
+TEST_F(CurveTest, AffineSerializationRoundTrip) {
+  const AffinePoint p = c.to_affine(c.mul_g(U256(777)));
+  const auto back = AffinePoint::deserialize(p.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p);
+}
+
+TEST_F(CurveTest, InfinitySerializationRoundTrip) {
+  AffinePoint inf;
+  inf.infinity = true;
+  const auto back = AffinePoint::deserialize(inf.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->infinity);
+}
+
+TEST_F(CurveTest, DeserializeRejectsOffCurvePoints) {
+  AffinePoint bogus = c.to_affine(c.mul_g(U256(5)));
+  U256 y = bogus.y;
+  U256 tweaked;
+  u256_add(tweaked, y, U256(1));
+  bogus.y = tweaked;
+  EXPECT_FALSE(AffinePoint::deserialize(bogus.serialize()).has_value());
+}
+
+TEST_F(CurveTest, ScalarFromDigestBelowOrder) {
+  const U256 s = scalar_from_digest(sha256(to_bytes("anything")));
+  EXPECT_TRUE(u256_less(s, c.order()));
+}
+
+// --- Schnorr --------------------------------------------------------------------
+
+TEST(Schnorr, SignVerifyRoundTrip) {
+  const KeyPair kp = KeyPair::deterministic(1);
+  const Bytes msg = to_bytes("transaction payload");
+  EXPECT_TRUE(verify(kp.public_key(), msg, kp.sign(msg)));
+}
+
+TEST(Schnorr, RejectsWrongMessage) {
+  const KeyPair kp = KeyPair::deterministic(1);
+  const Signature sig = kp.sign(to_bytes("m1"));
+  EXPECT_FALSE(verify(kp.public_key(), to_bytes("m2"), sig));
+}
+
+TEST(Schnorr, RejectsWrongKey) {
+  const KeyPair a = KeyPair::deterministic(1);
+  const KeyPair b = KeyPair::deterministic(2);
+  const Bytes msg = to_bytes("m");
+  EXPECT_FALSE(verify(b.public_key(), msg, a.sign(msg)));
+}
+
+TEST(Schnorr, RejectsTamperedSignature) {
+  const KeyPair kp = KeyPair::deterministic(3);
+  const Bytes msg = to_bytes("m");
+  Signature sig = kp.sign(msg);
+  U256 s2;
+  u256_add(s2, sig.s, U256(1));
+  sig.s = s2;
+  EXPECT_FALSE(verify(kp.public_key(), msg, sig));
+}
+
+TEST(Schnorr, DeterministicSigning) {
+  const KeyPair kp = KeyPair::deterministic(4);
+  const Bytes msg = to_bytes("m");
+  const Signature s1 = kp.sign(msg);
+  const Signature s2 = kp.sign(msg);
+  EXPECT_EQ(s1.r, s2.r);
+  EXPECT_EQ(s1.s, s2.s);
+}
+
+TEST(Schnorr, DistinctKeysFromDistinctSeeds) {
+  EXPECT_NE(KeyPair::deterministic(1).public_key(),
+            KeyPair::deterministic(2).public_key());
+}
+
+TEST(Schnorr, SignatureSerializationRoundTrip) {
+  const KeyPair kp = KeyPair::deterministic(5);
+  const Bytes msg = to_bytes("serialize me");
+  const Signature sig = kp.sign(msg);
+  const auto back = Signature::deserialize(sig.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(verify(kp.public_key(), msg, *back));
+}
+
+TEST(Schnorr, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Signature::deserialize(to_bytes("not a signature")).has_value());
+  EXPECT_FALSE(Signature::deserialize({}).has_value());
+}
+
+// --- CoSi ------------------------------------------------------------------------
+
+class CosiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      keypairs.push_back(KeyPair::deterministic(100 + i));
+      pks.push_back(keypairs.back().public_key());
+    }
+  }
+
+  CosiSignature collective_sign(BytesView record, std::uint64_t round) {
+    commitments.clear();
+    vs.clear();
+    for (const auto& kp : keypairs) {
+      commitments.push_back(cosi_commit(kp, record, round));
+      vs.push_back(commitments.back().v);
+    }
+    const AffinePoint v_agg = cosi_aggregate_commitments(vs);
+    challenge = cosi_challenge(v_agg, record);
+    responses.clear();
+    for (std::size_t i = 0; i < keypairs.size(); ++i) {
+      responses.push_back(cosi_respond(keypairs[i], commitments[i].secret, challenge));
+    }
+    return CosiSignature{v_agg, cosi_aggregate_responses(responses)};
+  }
+
+  std::vector<KeyPair> keypairs;
+  std::vector<PublicKey> pks;
+  std::vector<CosiCommitment> commitments;
+  std::vector<AffinePoint> vs;
+  std::vector<U256> responses;
+  U256 challenge;
+};
+
+TEST_F(CosiTest, FullRoundVerifies) {
+  const Bytes record = to_bytes("block-contents");
+  const CosiSignature sig = collective_sign(record, 1);
+  EXPECT_TRUE(cosi_verify(record, sig, pks));
+}
+
+TEST_F(CosiTest, RejectsDifferentRecord) {
+  const CosiSignature sig = collective_sign(to_bytes("block-1"), 1);
+  EXPECT_FALSE(cosi_verify(to_bytes("block-2"), sig, pks));
+}
+
+TEST_F(CosiTest, RejectsWrongWitnessSet) {
+  const Bytes record = to_bytes("block");
+  const CosiSignature sig = collective_sign(record, 1);
+  std::vector<PublicKey> missing(pks.begin(), pks.end() - 1);
+  EXPECT_FALSE(cosi_verify(record, sig, missing));
+  auto extra = pks;
+  extra.push_back(KeyPair::deterministic(999).public_key());
+  EXPECT_FALSE(cosi_verify(record, sig, extra));
+}
+
+TEST_F(CosiTest, RejectsEmptyWitnessSet) {
+  const CosiSignature sig = collective_sign(to_bytes("b"), 1);
+  EXPECT_FALSE(cosi_verify(to_bytes("b"), sig, {}));
+}
+
+TEST_F(CosiTest, PerShareVerification) {
+  const Bytes record = to_bytes("block");
+  collective_sign(record, 2);
+  for (std::size_t i = 0; i < keypairs.size(); ++i) {
+    EXPECT_TRUE(cosi_verify_share(vs[i], responses[i], challenge, pks[i]));
+  }
+}
+
+TEST_F(CosiTest, FaultyWitnessIdentified) {
+  // Lemma 4: a corrupt response invalidates the aggregate and the per-share
+  // check pinpoints exactly the misbehaving witness.
+  const Bytes record = to_bytes("block");
+  collective_sign(record, 3);
+  responses[1] = U256(424242);
+  const CosiSignature bad{cosi_aggregate_commitments(vs),
+                          cosi_aggregate_responses(responses)};
+  EXPECT_FALSE(cosi_verify(record, bad, pks));
+  const auto faulty = cosi_find_faulty(vs, responses, challenge, pks);
+  ASSERT_EQ(faulty.size(), 1u);
+  EXPECT_EQ(faulty[0], 1u);
+}
+
+TEST_F(CosiTest, MultipleFaultyWitnessesIdentified) {
+  const Bytes record = to_bytes("block");
+  collective_sign(record, 4);
+  responses[0] = U256(1);
+  responses[3] = U256(2);
+  const auto faulty = cosi_find_faulty(vs, responses, challenge, pks);
+  EXPECT_EQ(faulty, (std::vector<std::size_t>{0, 3}));
+}
+
+TEST_F(CosiTest, DistinctRoundsDistinctNonces) {
+  const Bytes record = to_bytes("block");
+  const CosiCommitment c1 = cosi_commit(keypairs[0], record, 1);
+  const CosiCommitment c2 = cosi_commit(keypairs[0], record, 2);
+  EXPECT_NE(c1.secret, c2.secret);
+  EXPECT_FALSE(c1.v == c2.v);
+}
+
+TEST_F(CosiTest, SignatureSerializationRoundTrip) {
+  const Bytes record = to_bytes("block");
+  const CosiSignature sig = collective_sign(record, 5);
+  const auto back = CosiSignature::deserialize(sig.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(cosi_verify(record, *back, pks));
+}
+
+TEST_F(CosiTest, SingleWitnessDegeneratesToSchnorr) {
+  // One witness: CoSi is plain Schnorr over the record.
+  const Bytes record = to_bytes("solo");
+  const CosiCommitment c = cosi_commit(keypairs[0], record, 1);
+  const U256 ch = cosi_challenge(c.v, record);
+  const U256 r = cosi_respond(keypairs[0], c.secret, ch);
+  const CosiSignature sig{c.v, r};
+  EXPECT_TRUE(cosi_verify(record, sig, std::span(&pks[0], 1)));
+}
+
+}  // namespace
+}  // namespace fides::crypto

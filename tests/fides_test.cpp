@@ -1,0 +1,281 @@
+// Integration tests for the Fides system layer: transport, server, client,
+// cluster rounds, fault injection at the execution/datastore layers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fides/cluster.hpp"
+#include "workload/ycsb.hpp"
+
+namespace fides {
+namespace {
+
+ClusterConfig small_config() {
+  ClusterConfig cfg;
+  cfg.num_servers = 3;
+  cfg.items_per_shard = 32;
+  cfg.versioning = store::VersioningMode::kMulti;
+  cfg.max_batch_size = 8;
+  return cfg;
+}
+
+commit::SignedEndTxn simple_txn(Cluster& cluster, Client& client,
+                                std::vector<ItemId> items, const std::string& tag) {
+  ClientTxn txn = client.begin();
+  cluster.client_begin(client, txn.id(), items);
+  for (const ItemId item : items) {
+    client.read(txn, item);
+    client.write(txn, item, to_bytes(tag + "-" + std::to_string(item)));
+  }
+  return client.end(std::move(txn));
+}
+
+TEST(Transport, SealOpenRoundTrip) {
+  Transport t;
+  const auto kp = crypto::KeyPair::deterministic(1);
+  t.register_node(NodeId::server(ServerId{0}), kp.public_key());
+  Envelope env = t.seal(kp, NodeId::server(ServerId{0}), "msg", to_bytes("hello"));
+  EXPECT_TRUE(t.open(env, "msg"));
+  EXPECT_EQ(t.stats().messages, 1u);
+  EXPECT_EQ(t.stats().signatures_verified, 1u);
+}
+
+TEST(Transport, RejectsTamperedPayload) {
+  Transport t;
+  const auto kp = crypto::KeyPair::deterministic(1);
+  t.register_node(NodeId::server(ServerId{0}), kp.public_key());
+  Envelope env = t.seal(kp, NodeId::server(ServerId{0}), "msg", to_bytes("hello"));
+  env.payload[0] ^= 1;
+  EXPECT_FALSE(t.open(env, "msg"));
+  EXPECT_EQ(t.stats().rejected, 1u);
+}
+
+TEST(Transport, RejectsWrongTypeAndUnknownSender) {
+  Transport t;
+  const auto kp = crypto::KeyPair::deterministic(1);
+  t.register_node(NodeId::server(ServerId{0}), kp.public_key());
+  Envelope env = t.seal(kp, NodeId::server(ServerId{0}), "msg", to_bytes("x"));
+  EXPECT_FALSE(t.open(env, "other"));  // type tag mismatch
+  Envelope forged = env;
+  forged.sender = NodeId::server(ServerId{7});  // not registered
+  EXPECT_FALSE(t.open(forged, "msg"));
+}
+
+TEST(Transport, RejectsSenderSpoofing) {
+  // A registered node must not be able to pass off its envelope as another
+  // registered node's — the sender id is bound into the signature.
+  Transport t;
+  const auto kp0 = crypto::KeyPair::deterministic(1);
+  const auto kp1 = crypto::KeyPair::deterministic(2);
+  t.register_node(NodeId::server(ServerId{0}), kp0.public_key());
+  t.register_node(NodeId::server(ServerId{1}), kp1.public_key());
+  Envelope env = t.seal(kp0, NodeId::server(ServerId{0}), "msg", to_bytes("x"));
+  env.sender = NodeId::server(ServerId{1});
+  EXPECT_FALSE(t.open(env, "msg"));
+}
+
+TEST(Transport, CryptoDisabledStillCounts) {
+  Transport t;
+  const auto kp = crypto::KeyPair::deterministic(1);
+  t.set_crypto_enabled(false);
+  Envelope env = t.seal(kp, NodeId::server(ServerId{0}), "msg", to_bytes("x"));
+  EXPECT_TRUE(t.open(env, "msg"));
+  EXPECT_EQ(t.stats().messages, 1u);
+  EXPECT_EQ(t.stats().signatures_created, 0u);
+}
+
+TEST(Cluster, TfCommitRoundCommitsAndReplicatesLog) {
+  Cluster cluster(small_config());
+  Client& client = cluster.make_client();
+  const auto metrics =
+      cluster.run_block({simple_txn(cluster, client, {0, 1, 2}, "a")});
+  EXPECT_EQ(metrics.decision, ledger::Decision::kCommit);
+  EXPECT_TRUE(metrics.cosign_valid);
+
+  // Every server appended the same block; datastores agree with the writes.
+  const auto head = cluster.server(ServerId{0}).log().head_hash();
+  for (std::uint32_t i = 0; i < cluster.num_servers(); ++i) {
+    const Server& s = cluster.server(ServerId{i});
+    EXPECT_EQ(s.log().size(), 1u);
+    EXPECT_EQ(s.log().head_hash(), head);
+  }
+  EXPECT_EQ(to_string(cluster.server(cluster.owner_of(0)).shard().peek(0).value),
+            "a-0");
+}
+
+TEST(Cluster, ClientVerifiesCosignOnDecision) {
+  Cluster cluster(small_config());
+  Client& client = cluster.make_client();
+  cluster.run_block({simple_txn(cluster, client, {0}, "a")});
+  const ledger::Block& block = cluster.server(ServerId{0}).log().at(0);
+  EXPECT_TRUE(client.accept_decision(block, cluster.server_keys()));
+
+  ledger::Block tampered = block;
+  tampered.decision = ledger::Decision::kAbort;
+  EXPECT_FALSE(client.accept_decision(tampered, cluster.server_keys()));
+}
+
+TEST(Cluster, SequentialBlocksChain) {
+  Cluster cluster(small_config());
+  Client& client = cluster.make_client();
+  for (int i = 0; i < 3; ++i) {
+    const auto metrics = cluster.run_block(
+        {simple_txn(cluster, client, {static_cast<ItemId>(i)}, "t" + std::to_string(i))});
+    EXPECT_EQ(metrics.decision, ledger::Decision::kCommit);
+  }
+  const auto& log = cluster.server(ServerId{1}).log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.at(1).prev_hash, log.at(0).digest());
+  EXPECT_EQ(log.at(2).prev_hash, log.at(1).digest());
+}
+
+TEST(Cluster, ConflictingSecondTransactionAborts) {
+  Cluster cluster(small_config());
+  Client& client = cluster.make_client();
+  // Both transactions executed (read) before either commits: the second is
+  // stale by the time its block runs.
+  auto t1 = simple_txn(cluster, client, {5}, "x");
+  auto t2 = simple_txn(cluster, client, {5}, "y");
+  EXPECT_EQ(cluster.run_block({t1}).decision, ledger::Decision::kCommit);
+  EXPECT_EQ(cluster.run_block({t2}).decision, ledger::Decision::kAbort);
+  // The abort block is still logged and co-signed.
+  const auto& log = cluster.server(ServerId{0}).log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_FALSE(log.at(1).committed());
+  EXPECT_TRUE(log.at(1).cosign.has_value());
+}
+
+TEST(Cluster, TwoPhaseCommitRoundWorks) {
+  ClusterConfig cfg = small_config();
+  cfg.protocol = Protocol::kTwoPhaseCommit;
+  Cluster cluster(cfg);
+  Client& client = cluster.make_client();
+  const auto metrics = cluster.run_block({simple_txn(cluster, client, {0, 1}, "a")});
+  EXPECT_EQ(metrics.decision, ledger::Decision::kCommit);
+  const auto& log = cluster.server(ServerId{2}).log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_FALSE(log.at(0).cosign.has_value());
+}
+
+TEST(Cluster, MetricsPopulated) {
+  Cluster cluster(small_config());
+  Client& client = cluster.make_client();
+  const auto metrics = cluster.run_block({simple_txn(cluster, client, {0, 1}, "a")});
+  EXPECT_GT(metrics.coordinator_us, 0.0);
+  EXPECT_GT(metrics.cohort_critical_us, 0.0);
+  EXPECT_EQ(metrics.network_legs, 6u);
+  EXPECT_GT(metrics.modeled_latency_us,
+            6 * cluster.config().network.one_way_latency_us);
+  EXPECT_EQ(metrics.txns_in_block, 1u);
+  EXPECT_GT(cluster.transport().stats().messages, 0u);
+}
+
+TEST(Cluster, ServerKeepsClientMessageLog) {
+  Cluster cluster(small_config());
+  Client& client = cluster.make_client();
+  simple_txn(cluster, client, {0}, "a");
+  // Item 0 lives on server 0: begin + read + write recorded.
+  EXPECT_GE(cluster.server(ServerId{0}).client_message_log().size(), 3u);
+}
+
+TEST(Server, ReadFaultStaleValue) {
+  ClusterConfig cfg = small_config();
+  Cluster cluster(cfg);
+  Client& client = cluster.make_client();
+  // Commit an honest write first so there is a previous version.
+  cluster.run_block({simple_txn(cluster, client, {0}, "v1")});
+  cluster.run_block({simple_txn(cluster, client, {0}, "v2")});
+
+  Server& owner = cluster.server(cluster.owner_of(0));
+  owner.faults().read_fault = ReadFault::kStaleValue;
+  const auto result = owner.handle_read(client.id(), TxnId{0, 99}, 0);
+  EXPECT_NE(to_string(result.value), "v2-0");           // not the current value
+  EXPECT_EQ(result.wts, owner.shard().peek(0).wts);     // timestamps up to date
+}
+
+TEST(Server, ReadFaultGarbageValueScopedToItem) {
+  Cluster cluster(small_config());
+  Client& client = cluster.make_client();
+  Server& owner = cluster.server(cluster.owner_of(0));
+  owner.faults().read_fault = ReadFault::kGarbageValue;
+  owner.faults().read_fault_item = 0;
+  EXPECT_EQ(to_string(owner.handle_read(client.id(), TxnId{0, 1}, 0).value), "garbage");
+  // Another item on the same shard is served honestly.
+  const ItemId other = cluster.num_servers() + 0;  // next item on shard 0
+  EXPECT_EQ(to_string(owner.handle_read(client.id(), TxnId{0, 1}, other).value), "0");
+}
+
+TEST(Server, SkipWriteFaultLeavesStaleDatastoreButHonestRoot) {
+  Cluster cluster(small_config());
+  Client& client = cluster.make_client();
+  Server& owner = cluster.server(cluster.owner_of(0));
+  owner.faults().skip_write_item = 0;
+
+  cluster.run_block({simple_txn(cluster, client, {0}, "new")});
+  // The block committed with a root reflecting the write...
+  EXPECT_EQ(owner.log().size(), 1u);
+  EXPECT_TRUE(owner.log().at(0).committed());
+  // ...but the live value silently kept its old content.
+  EXPECT_EQ(to_string(owner.shard().peek(0).value), "0");
+}
+
+TEST(Server, AuditItemProofAuthenticatesHonestState) {
+  Cluster cluster(small_config());
+  Client& client = cluster.make_client();
+  cluster.run_block({simple_txn(cluster, client, {0}, "x")});
+  Server& owner = cluster.server(cluster.owner_of(0));
+  const ledger::Block& block = owner.log().at(0);
+  const Timestamp version = block.txns[0].commit_ts;
+  const AuditItemProof proof = owner.audit_item(0, version);
+  EXPECT_EQ(to_string(proof.value), "x-0");
+  EXPECT_TRUE(merkle::verify_vo(store::item_leaf_digest(0, proof.value), proof.vo,
+                                *block.root_of(owner.id())));
+}
+
+TEST(Server, RejectsDecisionWithInvalidCosign) {
+  Cluster cluster(small_config());
+  Client& client = cluster.make_client();
+  cluster.run_block({simple_txn(cluster, client, {0}, "x")});
+  Server& server = cluster.server(ServerId{1});
+
+  ledger::Block forged = server.log().at(0);
+  forged.height = 1;
+  forged.prev_hash = server.log().head_hash();
+  forged.txns[0].rw.writes[0].new_value = to_bytes("evil");
+  // Old cosign no longer matches the altered contents.
+  EXPECT_FALSE(server.handle_decision(commit::DecisionMsg{forged},
+                                      cluster.server_keys()));
+  EXPECT_EQ(server.log().size(), 1u);  // nothing appended
+}
+
+TEST(Workload, GeneratesDistinctItemsAndCommits) {
+  ClusterConfig cfg = small_config();
+  Cluster cluster(cfg);
+  Client& client = cluster.make_client();
+  workload::YcsbWorkload wl({}, cfg.num_servers * cfg.items_per_shard, 42);
+
+  const auto items = wl.pick_items();
+  EXPECT_EQ(items.size(), 5u);
+  EXPECT_EQ(std::set<ItemId>(items.begin(), items.end()).size(), 5u);
+
+  const auto req = wl.run_transaction(client);
+  EXPECT_EQ(req.request.txn.rw.reads.size(), 5u);
+  EXPECT_EQ(req.request.txn.rw.writes.size(), 5u);
+  const auto metrics = cluster.run_block({req});
+  EXPECT_EQ(metrics.decision, ledger::Decision::kCommit);
+}
+
+TEST(Workload, ReadOnlyFractionRespected) {
+  ClusterConfig cfg = small_config();
+  Cluster cluster(cfg);
+  Client& client = cluster.make_client();
+  workload::WorkloadConfig wcfg;
+  wcfg.read_only_fraction = 1.0;  // never write
+  workload::YcsbWorkload wl(wcfg, cfg.num_servers * cfg.items_per_shard, 42);
+  const auto req = wl.run_transaction(client);
+  EXPECT_EQ(req.request.txn.rw.reads.size(), 5u);
+  EXPECT_TRUE(req.request.txn.rw.writes.empty());
+}
+
+}  // namespace
+}  // namespace fides

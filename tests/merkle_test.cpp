@@ -1,0 +1,187 @@
+// Unit + property tests for the Merkle hash tree and Verification Objects.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "merkle/proof.hpp"
+
+namespace fides::merkle {
+namespace {
+
+using crypto::Digest;
+using crypto::sha256;
+
+Digest leaf(std::uint64_t i) {
+  return sha256(to_bytes("leaf-" + std::to_string(i)));
+}
+
+std::vector<Digest> make_leaves(std::size_t n) {
+  std::vector<Digest> leaves;
+  leaves.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) leaves.push_back(leaf(i));
+  return leaves;
+}
+
+TEST(MerkleTree, SingleLeafRootIsLeaf) {
+  const auto leaves = make_leaves(1);
+  MerkleTree t(leaves);
+  EXPECT_EQ(t.root(), leaves[0]);
+}
+
+TEST(MerkleTree, TwoLeavesMatchManualHash) {
+  const auto leaves = make_leaves(2);
+  MerkleTree t(leaves);
+  EXPECT_EQ(t.root(), crypto::sha256_pair(leaves[0], leaves[1]));
+}
+
+TEST(MerkleTree, FourLeavesMatchFigure2) {
+  // The §2.3 example shape: h_{a,b,c,d} = h(h(h(a)|h(b)) | h(h(c)|h(d))).
+  const auto leaves = make_leaves(4);
+  MerkleTree t(leaves);
+  const Digest left = crypto::sha256_pair(leaves[0], leaves[1]);
+  const Digest right = crypto::sha256_pair(leaves[2], leaves[3]);
+  EXPECT_EQ(t.root(), crypto::sha256_pair(left, right));
+}
+
+TEST(MerkleTree, NonPowerOfTwoPadsWithZero) {
+  const auto leaves = make_leaves(3);
+  MerkleTree t(leaves);
+  const Digest left = crypto::sha256_pair(leaves[0], leaves[1]);
+  const Digest right = crypto::sha256_pair(leaves[2], Digest::zero());
+  EXPECT_EQ(t.root(), crypto::sha256_pair(left, right));
+}
+
+TEST(MerkleTree, SetLeafMatchesFullRebuild) {
+  auto leaves = make_leaves(10);
+  MerkleTree t(leaves);
+  leaves[7] = leaf(99);
+  t.set_leaf(7, leaf(99));
+  EXPECT_EQ(t.root(), MerkleTree(leaves).root());
+}
+
+TEST(MerkleTree, SetLeafRehashCountIsDepth) {
+  MerkleTree t(make_leaves(16));
+  EXPECT_EQ(t.set_leaf(3, leaf(50)), 4u);  // 16 leaves -> depth 4
+}
+
+TEST(MerkleTree, RootAfterDoesNotMutate) {
+  MerkleTree t(make_leaves(8));
+  const Digest before = t.root();
+  const std::vector<std::pair<std::size_t, Digest>> updates = {{2, leaf(77)}};
+  const Digest hypothetical = t.root_after(updates);
+  EXPECT_EQ(t.root(), before);
+  EXPECT_NE(hypothetical, before);
+}
+
+TEST(MerkleTree, RootAfterMatchesApplying) {
+  MerkleTree t(make_leaves(8));
+  const std::vector<std::pair<std::size_t, Digest>> updates = {
+      {1, leaf(70)}, {5, leaf(71)}, {6, leaf(72)}};
+  const Digest hypothetical = t.root_after(updates);
+  for (const auto& [i, d] : updates) t.set_leaf(i, d);
+  EXPECT_EQ(t.root(), hypothetical);
+}
+
+TEST(MerkleTree, RootAfterEmptyUpdatesIsRoot) {
+  MerkleTree t(make_leaves(8));
+  EXPECT_EQ(t.root_after({}), t.root());
+}
+
+TEST(MerkleTree, RootAfterLastWriteWins) {
+  MerkleTree t(make_leaves(4));
+  const std::vector<std::pair<std::size_t, Digest>> updates = {{2, leaf(70)},
+                                                               {2, leaf(71)}};
+  MerkleTree expect(make_leaves(4));
+  expect.set_leaf(2, leaf(71));
+  EXPECT_EQ(t.root_after(updates), expect.root());
+}
+
+TEST(MerkleTree, SiblingUpdatesInOneOverlay) {
+  // Adjacent leaves share a parent; the overlay must combine them.
+  MerkleTree t(make_leaves(8));
+  const std::vector<std::pair<std::size_t, Digest>> updates = {{4, leaf(80)},
+                                                               {5, leaf(81)}};
+  const Digest hypothetical = t.root_after(updates);
+  t.set_leaf(4, leaf(80));
+  t.set_leaf(5, leaf(81));
+  EXPECT_EQ(t.root(), hypothetical);
+}
+
+TEST(MerkleTree, OutOfRangeThrows) {
+  MerkleTree t(make_leaves(4));
+  EXPECT_THROW(t.set_leaf(4, leaf(1)), std::out_of_range);
+  EXPECT_THROW(t.leaf(4), std::out_of_range);
+  EXPECT_THROW(t.sibling_path(4), std::out_of_range);
+  const std::vector<std::pair<std::size_t, Digest>> bad = {{9, leaf(1)}};
+  EXPECT_THROW(t.root_after(bad), std::out_of_range);
+}
+
+TEST(VerificationObject, ProvesMembership) {
+  const auto leaves = make_leaves(10);
+  MerkleTree t(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    const VerificationObject vo = make_vo(t, i);
+    EXPECT_TRUE(verify_vo(leaves[i], vo, t.root())) << "leaf " << i;
+  }
+}
+
+TEST(VerificationObject, RejectsWrongValue) {
+  const auto leaves = make_leaves(10);
+  MerkleTree t(leaves);
+  const VerificationObject vo = make_vo(t, 3);
+  EXPECT_FALSE(verify_vo(leaf(999), vo, t.root()));
+}
+
+TEST(VerificationObject, RejectsWrongPosition) {
+  const auto leaves = make_leaves(10);
+  MerkleTree t(leaves);
+  VerificationObject vo = make_vo(t, 3);
+  vo.leaf_index = 2;  // right value, wrong claimed position
+  EXPECT_FALSE(verify_vo(leaves[3], vo, t.root()));
+}
+
+TEST(VerificationObject, SizeIsLogN) {
+  MerkleTree t(make_leaves(1024));
+  EXPECT_EQ(make_vo(t, 0).siblings.size(), 10u);  // log2(1024)
+}
+
+TEST(VerificationObject, SerializationRoundTrip) {
+  MerkleTree t(make_leaves(10));
+  const VerificationObject vo = make_vo(t, 6);
+  const auto back = VerificationObject::deserialize(vo.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, vo);
+}
+
+TEST(VerificationObject, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(VerificationObject::deserialize(to_bytes("junk")).has_value());
+}
+
+// Property sweep: over a range of tree sizes, random incremental updates
+// stay consistent with full rebuilds and all VOs keep verifying.
+class MerklePropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerklePropertyTest, IncrementalUpdatesMatchRebuildAndProofsHold) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 31 + 7);
+  auto leaves = make_leaves(n);
+  MerkleTree t(leaves);
+
+  for (int step = 0; step < 20; ++step) {
+    const std::size_t idx = rng.uniform(n);
+    const Digest d = leaf(1000 + rng.uniform(100000));
+    leaves[idx] = d;
+    t.set_leaf(idx, d);
+  }
+  EXPECT_EQ(t.root(), MerkleTree(leaves).root());
+
+  for (int probe = 0; probe < 5; ++probe) {
+    const std::size_t idx = rng.uniform(n);
+    EXPECT_TRUE(verify_vo(leaves[idx], make_vo(t, idx), t.root()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerklePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 17, 64, 100, 1000));
+
+}  // namespace
+}  // namespace fides::merkle

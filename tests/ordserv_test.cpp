@@ -1,0 +1,202 @@
+// Tests for the §4.6 scaling path: server groups, the OrdServ sequencer,
+// and group-commit rounds.
+#include <gtest/gtest.h>
+
+#include "ordserv/group_commit.hpp"
+
+namespace fides::ordserv {
+namespace {
+
+ClusterConfig config() {
+  ClusterConfig cfg;
+  cfg.num_servers = 5;
+  cfg.items_per_shard = 20;
+  cfg.versioning = store::VersioningMode::kSingle;
+  return cfg;
+}
+
+commit::SignedEndTxn rw_txn(Cluster& /*cluster*/, Client& client, std::vector<ItemId> items,
+                            const std::string& tag) {
+  ClientTxn txn = client.begin();
+  for (const ItemId item : items) {
+    client.read(txn, item);
+    client.write(txn, item, to_bytes(tag + "-" + std::to_string(item)));
+  }
+  return client.end(std::move(txn));
+}
+
+txn::Transaction touching(std::vector<ItemId> items) {
+  txn::Transaction t;
+  for (const ItemId i : items) {
+    t.rw.writes.push_back(txn::WriteEntry{i, to_bytes("v"), std::nullopt, {}, {}});
+  }
+  return t;
+}
+
+TEST(ServerGroup, GroupForPicksInvolvedServers) {
+  // 5 servers; items 0 and 6 live on servers 0 and 1.
+  const ServerGroup g = group_for({touching({0, 6})}, 5);
+  EXPECT_EQ(g.members, (std::vector<ServerId>{ServerId{0}, ServerId{1}}));
+  EXPECT_EQ(g.coordinator, ServerId{0});
+  EXPECT_TRUE(g.contains(ServerId{1}));
+  EXPECT_FALSE(g.contains(ServerId{2}));
+}
+
+TEST(ServerGroup, OverlapDetection) {
+  const ServerGroup a = group_for({touching({0})}, 5);   // server 0
+  const ServerGroup b = group_for({touching({1})}, 5);   // server 1
+  const ServerGroup c = group_for({touching({0, 1})}, 5);  // servers 0,1
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(b));
+}
+
+TEST(Sequencer, AssignsHeightsAndChains) {
+  Sequencer seq;
+  ledger::Block b1, b2;
+  b1.txns.push_back(touching({0}));
+  b2.txns.push_back(touching({1}));
+  EXPECT_EQ(seq.submit(b1, group_for(b1.txns, 5)), 0u);
+  EXPECT_EQ(seq.submit(b2, group_for(b2.txns, 5)), 1u);
+  ASSERT_EQ(seq.size(), 2u);
+  EXPECT_EQ(seq.stream()[1].block.prev_hash, seq.stream()[0].block.digest());
+  EXPECT_TRUE(seq.stream()[0].block.prev_hash.is_zero());
+}
+
+TEST(Sequencer, TracksDependencies) {
+  Sequencer seq;
+  ledger::Block b1, b2, b3;
+  b1.txns.push_back(touching({0}));
+  b2.txns.push_back(touching({1}));     // independent of b1
+  b3.txns.push_back(touching({0, 1}));  // depends on both
+  seq.submit(b1, group_for(b1.txns, 5));
+  seq.submit(b2, group_for(b2.txns, 5));
+  seq.submit(b3, group_for(b3.txns, 5));
+  EXPECT_TRUE(seq.stream()[0].depends_on.empty());
+  EXPECT_TRUE(seq.stream()[1].depends_on.empty());
+  EXPECT_EQ(seq.stream()[2].depends_on, (std::vector<std::uint64_t>{0, 1}));
+}
+
+TEST(Sequencer, FetchNewDeliversOnce) {
+  Sequencer seq;
+  ledger::Block b;
+  b.txns.push_back(touching({0}));
+  seq.submit(b, group_for(b.txns, 5));
+  EXPECT_EQ(seq.fetch_new(ServerId{0}).size(), 1u);
+  EXPECT_TRUE(seq.fetch_new(ServerId{0}).empty());
+  EXPECT_EQ(seq.fetch_new(ServerId{1}).size(), 1u);
+}
+
+TEST(GroupCommit, RoundCommitsWithinGroupOnly) {
+  Cluster cluster(config());
+  Client& client = cluster.make_client();
+  Sequencer seq;
+  GroupCommitRunner runner(cluster, seq);
+
+  // Items 0 and 6 involve servers 0 and 1 only.
+  const auto result = runner.run_group_block({rw_txn(cluster, client, {0, 6}, "a")});
+  EXPECT_EQ(result.decision, ledger::Decision::kCommit);
+  EXPECT_TRUE(result.cosign_valid);
+  EXPECT_EQ(result.group_size, 2u);
+  EXPECT_EQ(result.group.members,
+            (std::vector<ServerId>{ServerId{0}, ServerId{1}}));
+
+  // The block reached every server's stream, and the write applied.
+  for (std::uint32_t i = 0; i < cluster.num_servers(); ++i) {
+    EXPECT_EQ(runner.log_of(ServerId{i}).size(), 1u);
+  }
+  EXPECT_EQ(to_string(cluster.server(ServerId{0}).shard().peek(0).value), "a-0");
+}
+
+TEST(GroupCommit, StreamValidates) {
+  Cluster cluster(config());
+  Client& client = cluster.make_client();
+  Sequencer seq;
+  GroupCommitRunner runner(cluster, seq);
+  runner.run_group_block({rw_txn(cluster, client, {0}, "a")});
+  runner.run_group_block({rw_txn(cluster, client, {1}, "b")});
+  runner.run_group_block({rw_txn(cluster, client, {0, 1}, "c")});
+
+  const auto& stream = runner.log_of(ServerId{4});
+  ASSERT_EQ(stream.size(), 3u);
+  EXPECT_FALSE(validate_stream(stream, cluster.server_keys()).has_value());
+  // Dependency metadata: block 2 depends on blocks 0 and 1.
+  EXPECT_EQ(stream[2].depends_on, (std::vector<std::uint64_t>{0, 1}));
+}
+
+TEST(GroupCommit, StreamDetectsTampering) {
+  Cluster cluster(config());
+  Client& client = cluster.make_client();
+  Sequencer seq;
+  GroupCommitRunner runner(cluster, seq);
+  runner.run_group_block({rw_txn(cluster, client, {0}, "a")});
+  runner.run_group_block({rw_txn(cluster, client, {1}, "b")});
+
+  auto stream = runner.log_of(ServerId{0});
+  stream[0].block.txns[0].rw.writes[0].new_value = to_bytes("evil");
+  const auto bad = validate_stream(stream, cluster.server_keys());
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(*bad, 0u);
+}
+
+TEST(GroupCommit, StreamDetectsReorder) {
+  Cluster cluster(config());
+  Client& client = cluster.make_client();
+  Sequencer seq;
+  GroupCommitRunner runner(cluster, seq);
+  runner.run_group_block({rw_txn(cluster, client, {0}, "a")});
+  runner.run_group_block({rw_txn(cluster, client, {1}, "b")});
+
+  auto stream = runner.log_of(ServerId{0});
+  std::swap(stream[0], stream[1]);
+  EXPECT_TRUE(validate_stream(stream, cluster.server_keys()).has_value());
+}
+
+TEST(GroupCommit, DisjointGroupsProgressIndependently) {
+  Cluster cluster(config());
+  Client& client = cluster.make_client();
+  Sequencer seq;
+  GroupCommitRunner runner(cluster, seq);
+
+  // Server pairs (0) and (1): Gi ∩ Gj = ∅ — any order is fine, FIFO used.
+  const auto r1 = runner.run_group_block({rw_txn(cluster, client, {0}, "a")});
+  const auto r2 = runner.run_group_block({rw_txn(cluster, client, {1}, "b")});
+  EXPECT_EQ(r1.decision, ledger::Decision::kCommit);
+  EXPECT_EQ(r2.decision, ledger::Decision::kCommit);
+  EXPECT_FALSE(r1.group.overlaps(r2.group));
+  EXPECT_EQ(to_string(cluster.server(ServerId{0}).shard().peek(0).value), "a-0");
+  EXPECT_EQ(to_string(cluster.server(ServerId{1}).shard().peek(1).value), "b-1");
+}
+
+TEST(GroupCommit, DependentGroupsKeepOrder) {
+  Cluster cluster(config());
+  Client& client = cluster.make_client();
+  Sequencer seq;
+  GroupCommitRunner runner(cluster, seq);
+
+  // Two sequential writes to the same item through different group rounds:
+  // the second must see the first (no lost update).
+  auto t1 = rw_txn(cluster, client, {0}, "first");
+  ASSERT_EQ(runner.run_group_block({t1}).decision, ledger::Decision::kCommit);
+  auto t2 = rw_txn(cluster, client, {0}, "second");
+  ASSERT_EQ(runner.run_group_block({t2}).decision, ledger::Decision::kCommit);
+  EXPECT_EQ(to_string(cluster.server(ServerId{0}).shard().peek(0).value), "second-0");
+  const auto& stream = runner.log_of(ServerId{0});
+  EXPECT_EQ(stream[1].depends_on, (std::vector<std::uint64_t>{0}));
+}
+
+TEST(GroupCommit, ByzantineGroupMemberBlocksSigning) {
+  Cluster cluster(config());
+  Client& client = cluster.make_client();
+  Sequencer seq;
+  GroupCommitRunner runner(cluster, seq);
+
+  cluster.server(ServerId{1}).faults().cohort.corrupt_sch_response = true;
+  // Items 0 and 6 -> servers 0 and 1; member 1 sabotages the co-sign.
+  const auto result = runner.run_group_block({rw_txn(cluster, client, {0, 6}, "a")});
+  EXPECT_FALSE(result.cosign_valid);
+  EXPECT_EQ(seq.size(), 0u);  // never published
+}
+
+}  // namespace
+}  // namespace fides::ordserv

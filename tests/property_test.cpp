@@ -1,0 +1,299 @@
+// System-level property tests (parameterized sweeps):
+//   P1. Honest runs always audit clean, across cluster sizes, batch sizes,
+//       versioning modes, and seeds.
+//   P2. Replaying the adopted log reproduces exactly the datastore state of
+//       every honest server (log completeness / durability).
+//   P3. Any single injected fault is detected by the audit (fault-detection
+//       totality — the paper's central claim: n-1 faulty servers tolerated,
+//       every failure detectable).
+//   P4. 2PC and TFCommit reach identical commit/abort decisions on identical
+//       histories (TFCommit adds trust-freedom, not different semantics).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+#include "audit/auditor.hpp"
+#include "workload/driver.hpp"
+
+namespace fides {
+namespace {
+
+struct SweepParam {
+  std::uint32_t servers;
+  std::size_t batch;
+  store::VersioningMode mode;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  const auto& p = info.param;
+  return "s" + std::to_string(p.servers) + "_b" + std::to_string(p.batch) + "_" +
+         (p.mode == store::VersioningMode::kMulti ? "multi" : "single") + "_seed" +
+         std::to_string(p.seed);
+}
+
+ClusterConfig cluster_config(const SweepParam& p) {
+  ClusterConfig cfg;
+  cfg.num_servers = p.servers;
+  cfg.items_per_shard = 64;
+  cfg.versioning = p.mode;
+  cfg.seed = p.seed;
+  cfg.sign_data_path = false;  // keep sweeps fast; commit path stays signed
+  return cfg;
+}
+
+/// Runs a workload through the cluster; returns committed transactions.
+std::vector<txn::Transaction> run_workload(Cluster& cluster, std::size_t total,
+                                           std::size_t batch, std::uint64_t seed) {
+  Client& client = cluster.make_client();
+  workload::YcsbWorkload wl(
+      {}, cluster.num_servers() * cluster.config().items_per_shard, seed);
+  std::vector<txn::Transaction> committed;
+  std::size_t remaining = total;
+  while (remaining > 0) {
+    commit::BatchBuilder builder(batch);
+    const std::size_t n = std::min(batch, remaining);
+    for (std::size_t i = 0; i < n; ++i) builder.enqueue(wl.run_transaction(client));
+    remaining -= n;
+    while (!builder.empty()) {
+      const auto selected = builder.next_batch();
+      const auto metrics = cluster.run_block(selected);
+      if (metrics.decision == ledger::Decision::kCommit) {
+        for (const auto& s : selected) committed.push_back(s.request.txn);
+      }
+    }
+  }
+  return committed;
+}
+
+class HonestSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(HonestSweep, AuditsCleanAndReplayMatchesDatastore) {
+  Cluster cluster(cluster_config(GetParam()));
+  run_workload(cluster, 24, GetParam().batch, GetParam().seed);
+
+  // P1: audit clean.
+  audit::Auditor auditor(cluster);
+  const auto report = auditor.run();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+
+  // P2: replay the adopted log and compare to every shard's live state.
+  audit::AuditReport scratch;
+  const auto log = auditor.collect_and_select(scratch);
+  std::map<ItemId, Bytes> replay;
+  for (const auto& block : log) {
+    if (!block.committed()) continue;
+    for (const auto& t : block.txns) {
+      for (const auto& w : t.rw.writes) replay[w.id] = w.new_value;
+    }
+  }
+  for (const auto& [item, value] : replay) {
+    const Server& owner = cluster.server(cluster.owner_of(item));
+    EXPECT_EQ(owner.shard().peek(item).value, value) << "item " << item;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HonestSweep,
+    ::testing::Values(SweepParam{3, 1, store::VersioningMode::kMulti, 1},
+                      SweepParam{3, 8, store::VersioningMode::kMulti, 2},
+                      SweepParam{4, 4, store::VersioningMode::kSingle, 3},
+                      SweepParam{5, 8, store::VersioningMode::kMulti, 4},
+                      SweepParam{7, 6, store::VersioningMode::kSingle, 5},
+                      SweepParam{2, 2, store::VersioningMode::kMulti, 6}),
+    param_name);
+
+// --- P3: single-fault detection totality ----------------------------------------
+
+enum class FaultKind {
+  kGarbageRead,
+  kSkipWrite,
+  kCorruptAfterCommit,
+  kTamperLogBlock,
+  kReorderLog,
+  kTruncateLog,
+};
+
+struct FaultParam {
+  FaultKind kind;
+  std::uint32_t victim_server;
+  std::uint64_t seed;
+};
+
+std::string fault_name(const ::testing::TestParamInfo<FaultParam>& info) {
+  static const std::map<FaultKind, std::string> names = {
+      {FaultKind::kGarbageRead, "GarbageRead"},
+      {FaultKind::kSkipWrite, "SkipWrite"},
+      {FaultKind::kCorruptAfterCommit, "CorruptAfterCommit"},
+      {FaultKind::kTamperLogBlock, "TamperLog"},
+      {FaultKind::kReorderLog, "ReorderLog"},
+      {FaultKind::kTruncateLog, "TruncateLog"},
+  };
+  return names.at(info.param.kind) + "_v" + std::to_string(info.param.victim_server) +
+         "_seed" + std::to_string(info.param.seed);
+}
+
+class FaultSweep : public ::testing::TestWithParam<FaultParam> {};
+
+TEST_P(FaultSweep, SingleFaultAlwaysDetectedAndAttributed) {
+  const FaultParam& p = GetParam();
+  ClusterConfig cfg;
+  cfg.num_servers = 3;
+  cfg.items_per_shard = 64;
+  cfg.versioning = store::VersioningMode::kMulti;
+  cfg.seed = p.seed;
+  cfg.sign_data_path = false;
+  Cluster cluster(cfg);
+  Server& victim = cluster.server(ServerId{p.victim_server});
+
+  // Pick an item owned by the victim so execution/datastore faults bite.
+  const ItemId victim_item = victim.shard().item_ids()[3];
+
+  // Pre-fault honest history so reads/writes of the item exist in the log.
+  Client& client = cluster.make_client();
+  auto one_txn = [&](const std::string& tag) {
+    ClientTxn txn = client.begin();
+    client.read(txn, victim_item);
+    client.write(txn, victim_item, to_bytes(tag));
+    return client.end(std::move(txn));
+  };
+  ASSERT_EQ(cluster.run_block({one_txn("t0")}).decision, ledger::Decision::kCommit);
+
+  switch (p.kind) {
+    case FaultKind::kGarbageRead:
+      victim.faults().read_fault = ReadFault::kGarbageValue;
+      victim.faults().read_fault_item = victim_item;
+      break;
+    case FaultKind::kSkipWrite:
+      victim.faults().skip_write_item = victim_item;
+      break;
+    case FaultKind::kCorruptAfterCommit:
+      victim.faults().corrupt_after_commit_item = victim_item;
+      break;
+    default:
+      break;  // log faults injected after the fact
+  }
+
+  // Two more blocks: the fault (if execution/datastore) lands in history.
+  ASSERT_EQ(cluster.run_block({one_txn("t1")}).decision, ledger::Decision::kCommit);
+  ASSERT_EQ(cluster.run_block({one_txn("t2")}).decision, ledger::Decision::kCommit);
+
+  switch (p.kind) {
+    case FaultKind::kTamperLogBlock: {
+      ledger::Block bad = victim.log().at(1);
+      bad.txns[0].rw.writes[0].new_value = to_bytes("rewritten");
+      victim.log().tamper_block(1, bad);
+      break;
+    }
+    case FaultKind::kReorderLog:
+      victim.log().reorder(0, 2);
+      break;
+    case FaultKind::kTruncateLog:
+      victim.log().truncate_tail(1);
+      break;
+    default:
+      break;
+  }
+
+  audit::Auditor auditor(cluster);
+  const auto report = auditor.run();
+  ASSERT_FALSE(report.clean()) << "fault escaped the audit";
+
+  // Attribution: some violation names the victim.
+  bool attributed = false;
+  for (const auto& v : report.violations) {
+    attributed |= v.server == ServerId{p.victim_server};
+  }
+  EXPECT_TRUE(attributed) << report.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaults, FaultSweep,
+    ::testing::Values(FaultParam{FaultKind::kGarbageRead, 0, 11},
+                      FaultParam{FaultKind::kGarbageRead, 2, 12},
+                      FaultParam{FaultKind::kSkipWrite, 0, 13},
+                      FaultParam{FaultKind::kSkipWrite, 1, 14},
+                      FaultParam{FaultKind::kCorruptAfterCommit, 1, 15},
+                      FaultParam{FaultKind::kCorruptAfterCommit, 2, 16},
+                      FaultParam{FaultKind::kTamperLogBlock, 0, 17},
+                      FaultParam{FaultKind::kTamperLogBlock, 1, 18},
+                      FaultParam{FaultKind::kReorderLog, 2, 19},
+                      FaultParam{FaultKind::kReorderLog, 0, 20},
+                      FaultParam{FaultKind::kTruncateLog, 1, 21},
+                      FaultParam{FaultKind::kTruncateLog, 2, 22}),
+    fault_name);
+
+// --- Skewed workloads: zipfian access patterns stay audit-clean --------------------
+
+TEST(ZipfianWorkload, HonestSkewedRunAuditsClean) {
+  ClusterConfig cfg;
+  cfg.num_servers = 3;
+  cfg.items_per_shard = 64;
+  cfg.versioning = store::VersioningMode::kMulti;
+  cfg.sign_data_path = false;
+  Cluster cluster(cfg);
+  Client& client = cluster.make_client();
+
+  workload::WorkloadConfig wcfg;
+  wcfg.distribution = workload::Distribution::kZipfian;
+  wcfg.zipf_theta = 0.99;
+  workload::YcsbWorkload wl(wcfg, 192, 77);
+
+  std::size_t committed = 0;
+  for (int block = 0; block < 6; ++block) {
+    wl.begin_batch();
+    std::vector<commit::SignedEndTxn> batch;
+    for (int i = 0; i < 4; ++i) batch.push_back(wl.run_transaction(client));
+    const auto metrics = cluster.run_block(std::move(batch));
+    if (metrics.decision == ledger::Decision::kCommit) committed += 4;
+  }
+  // Disjoint batches make skew harmless within a block; most blocks commit.
+  EXPECT_GT(committed, 0u);
+  audit::Auditor auditor(cluster);
+  const auto report = auditor.run();
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(ZipfianWorkload, DisjointBatchesNeverConflictInsideABlock) {
+  workload::WorkloadConfig wcfg;
+  wcfg.distribution = workload::Distribution::kZipfian;
+  wcfg.zipf_theta = 0.99;  // heavy skew: without the mechanism, hot keys repeat
+  workload::YcsbWorkload wl(wcfg, 1000, 5);
+  for (int round = 0; round < 10; ++round) {
+    wl.begin_batch();
+    std::unordered_set<ItemId> seen;
+    for (int t = 0; t < 20; ++t) {
+      for (const ItemId item : wl.pick_items()) {
+        EXPECT_TRUE(seen.insert(item).second) << "duplicate item " << item;
+      }
+    }
+  }
+}
+
+// --- P4: decision equivalence between 2PC and TFCommit ----------------------------
+
+TEST(ProtocolEquivalence, SameDecisionsOnSameHistory) {
+  for (const std::uint64_t seed : {31ULL, 32ULL, 33ULL}) {
+    std::vector<ledger::Decision> decisions_2pc, decisions_tfc;
+    for (const Protocol proto : {Protocol::kTwoPhaseCommit, Protocol::kTfCommit}) {
+      ClusterConfig cfg;
+      cfg.num_servers = 3;
+      cfg.items_per_shard = 16;  // small: force some conflicts
+      cfg.protocol = proto;
+      cfg.seed = seed;
+      cfg.sign_data_path = false;
+      Cluster cluster(cfg);
+      Client& client = cluster.make_client();
+      workload::YcsbWorkload wl({}, 48, seed);
+      auto& out = proto == Protocol::kTwoPhaseCommit ? decisions_2pc : decisions_tfc;
+      for (int i = 0; i < 10; ++i) {
+        out.push_back(cluster.run_block({wl.run_transaction(client)}).decision);
+      }
+    }
+    EXPECT_EQ(decisions_2pc, decisions_tfc) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fides

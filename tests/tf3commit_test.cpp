@@ -1,0 +1,204 @@
+// Tests for the non-blocking TFCommit extension (TF3Commit): pre-decision
+// persistence, coordinator-crash recovery, and the 3PC safety rules.
+#include <gtest/gtest.h>
+
+#include "commit/tf3commit.hpp"
+
+namespace fides::commit {
+namespace {
+
+constexpr std::uint32_t kServers = 4;
+
+class Tf3CommitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (std::uint32_t i = 0; i < kServers; ++i) {
+      keypairs.push_back(crypto::KeyPair::deterministic(i));
+      keys.push_back(keypairs.back().public_key());
+      shards.push_back(std::make_unique<store::Shard>(
+          ShardId{i}, store::items_for_shard(ShardId{i}, kServers, 16),
+          to_bytes("init"), store::VersioningMode::kSingle));
+      cohort_ids.push_back(ServerId{i});
+    }
+    for (std::uint32_t i = 0; i < kServers; ++i) {
+      inner.push_back(
+          std::make_unique<TfCommitCohort>(ServerId{i}, keypairs[i], *shards[i]));
+      cohorts.push_back(std::make_unique<Tf3CommitCohort>(*inner.back()));
+    }
+  }
+
+  txn::Transaction make_txn(std::uint64_t ts, std::vector<ItemId> items) {
+    txn::Transaction t;
+    t.id = TxnId{0, ts};
+    t.commit_ts = Timestamp{ts, 0};
+    for (const ItemId item : items) {
+      const auto& rec = shards[item % kServers]->peek(item);
+      t.rw.reads.push_back(txn::ReadEntry{item, rec.value, rec.rts, rec.wts});
+      t.rw.writes.push_back(
+          txn::WriteEntry{item, to_bytes("w"), std::nullopt, rec.rts, rec.wts});
+    }
+    return t;
+  }
+
+  /// Runs TF3Commit with an injected coordinator crash. The coordinator is
+  /// server 0; the survivors are 1..n-1.
+  struct RunResult {
+    bool completed_normally{false};
+    RecoveryOutcome recovery;
+    TfCommitOutcome outcome;  // valid iff completed_normally
+  };
+
+  RunResult run_with_crash(CrashPoint crash) {
+    TfCommitCoordinator coordinator(cohort_ids, keys);
+    Block partial = TfCommitCoordinator::make_partial_block(
+        0, crypto::Digest::zero(), {make_txn(1, {0, 1})}, cohort_ids);
+    const GetVoteMsg get_vote = coordinator.start(std::move(partial), {});
+
+    std::vector<VoteMsg> votes;
+    for (auto& c : inner) votes.push_back(c->handle_get_vote(get_vote));
+
+    RunResult result;
+    if (crash == CrashPoint::kAfterVotes) {
+      result.recovery = recover_survivors();
+      return result;
+    }
+
+    // Pre-decision phase: fill decision + roots, broadcast, collect acks.
+    const auto challenges = coordinator.on_votes(votes);
+    const PreDecisionMsg pre{challenges[0].block};
+    for (auto& c : cohorts) {
+      EXPECT_TRUE(c->handle_pre_decision(pre).accepted);
+    }
+    if (crash == CrashPoint::kAfterPreDecision) {
+      result.recovery = recover_survivors();
+      return result;
+    }
+
+    std::vector<ResponseMsg> responses;
+    for (auto& c : inner) responses.push_back(c->handle_challenge(challenges[0]));
+    result.outcome = coordinator.on_responses(responses);
+    result.completed_normally = true;
+    for (auto& c : cohorts) c->finish_round();
+    return result;
+  }
+
+  RecoveryOutcome recover_survivors() {
+    // Server 0 (the coordinator) crashed; 1..n-1 recover.
+    std::vector<Tf3CommitCohort*> survivors;
+    std::vector<ServerId> ids;
+    std::vector<crypto::PublicKey> survivor_keys;
+    std::vector<const crypto::KeyPair*> survivor_keypairs;
+    for (std::uint32_t i = 1; i < kServers; ++i) {
+      survivors.push_back(cohorts[i].get());
+      ids.push_back(ServerId{i});
+      survivor_keys.push_back(keys[i]);
+      survivor_keypairs.push_back(&keypairs[i]);
+    }
+    return recover_round(survivors, ids, survivor_keys, survivor_keypairs, 999);
+  }
+
+  std::vector<crypto::KeyPair> keypairs;
+  std::vector<crypto::PublicKey> keys;
+  std::vector<std::unique_ptr<store::Shard>> shards;
+  std::vector<std::unique_ptr<TfCommitCohort>> inner;
+  std::vector<std::unique_ptr<Tf3CommitCohort>> cohorts;
+  std::vector<ServerId> cohort_ids;
+};
+
+TEST_F(Tf3CommitTest, FailureFreeRoundMatchesTfCommit) {
+  const auto result = run_with_crash(CrashPoint::kNone);
+  ASSERT_TRUE(result.completed_normally);
+  EXPECT_EQ(result.outcome.decision, Decision::kCommit);
+  EXPECT_TRUE(result.outcome.cosign_valid);
+}
+
+TEST_F(Tf3CommitTest, CrashBeforePreDecisionAbortsSafely) {
+  // 3PC abort rule: nobody persisted a decision, so nobody may have acted
+  // on one — the survivors abort the round.
+  const auto result = run_with_crash(CrashPoint::kAfterVotes);
+  EXPECT_FALSE(result.completed_normally);
+  EXPECT_FALSE(result.recovery.recovered_decision);
+}
+
+TEST_F(Tf3CommitTest, CrashAfterPreDecisionRecoversCommit) {
+  const auto result = run_with_crash(CrashPoint::kAfterPreDecision);
+  EXPECT_FALSE(result.completed_normally);
+  ASSERT_TRUE(result.recovery.recovered_decision);
+  const TfCommitOutcome& outcome = result.recovery.outcome;
+  EXPECT_EQ(outcome.decision, Decision::kCommit);
+  EXPECT_TRUE(outcome.cosign_valid);
+  // The recovered block is co-signed by the survivors only.
+  EXPECT_EQ(outcome.block.signers,
+            (std::vector<ServerId>{ServerId{1}, ServerId{2}, ServerId{3}}));
+  // Its contents (transactions, roots, decision) are the persisted ones.
+  EXPECT_EQ(outcome.block.txns.size(), 1u);
+  EXPECT_NE(outcome.block.root_of(ServerId{0}), nullptr);
+  EXPECT_NE(outcome.block.root_of(ServerId{1}), nullptr);
+}
+
+TEST_F(Tf3CommitTest, RecoveredBlockVerifiesUnderSurvivorKeys) {
+  const auto result = run_with_crash(CrashPoint::kAfterPreDecision);
+  ASSERT_TRUE(result.recovery.recovered_decision);
+  const Block& block = result.recovery.outcome.block;
+  std::vector<crypto::PublicKey> survivor_keys(keys.begin() + 1, keys.end());
+  EXPECT_TRUE(
+      crypto::cosi_verify(block.signing_bytes(), *block.cosign, survivor_keys));
+  // ...and NOT under the full original membership (the crashed coordinator
+  // could not contribute a share).
+  EXPECT_FALSE(crypto::cosi_verify(block.signing_bytes(), *block.cosign, keys));
+}
+
+TEST_F(Tf3CommitTest, PartialPreDecisionStillRecovers) {
+  // Only one survivor persisted the pre-decision before the crash — that is
+  // enough: the decision was "made available" and must be completed.
+  TfCommitCoordinator coordinator(cohort_ids, keys);
+  Block partial = TfCommitCoordinator::make_partial_block(
+      0, crypto::Digest::zero(), {make_txn(1, {0, 1})}, cohort_ids);
+  const GetVoteMsg get_vote = coordinator.start(std::move(partial), {});
+  std::vector<VoteMsg> votes;
+  for (auto& c : inner) votes.push_back(c->handle_get_vote(get_vote));
+  const auto challenges = coordinator.on_votes(votes);
+  cohorts[2]->handle_pre_decision(PreDecisionMsg{challenges[0].block});
+
+  const auto recovery = recover_survivors();
+  ASSERT_TRUE(recovery.recovered_decision);
+  EXPECT_EQ(recovery.outcome.decision, Decision::kCommit);
+  EXPECT_TRUE(recovery.outcome.cosign_valid);
+}
+
+TEST_F(Tf3CommitTest, DivergentPreDecisionsAbortRecovery) {
+  // A Byzantine-then-crashed coordinator equivocated in the pre-decision
+  // phase: survivors hold different blocks, recovery refuses to pick one.
+  TfCommitCoordinator coordinator(cohort_ids, keys);
+  Block partial = TfCommitCoordinator::make_partial_block(
+      0, crypto::Digest::zero(), {make_txn(1, {0, 1})}, cohort_ids);
+  const GetVoteMsg get_vote = coordinator.start(std::move(partial), {});
+  std::vector<VoteMsg> votes;
+  for (auto& c : inner) votes.push_back(c->handle_get_vote(get_vote));
+  const auto challenges = coordinator.on_votes(votes);
+
+  Block commit_variant = challenges[0].block;
+  Block abort_variant = commit_variant;
+  abort_variant.decision = Decision::kAbort;
+  abort_variant.roots.clear();
+  cohorts[1]->handle_pre_decision(PreDecisionMsg{commit_variant});
+  cohorts[2]->handle_pre_decision(PreDecisionMsg{abort_variant});
+
+  const auto recovery = recover_survivors();
+  EXPECT_FALSE(recovery.recovered_decision);
+}
+
+TEST(PreDecisionMsg, SerializationRoundTrip) {
+  Block b;
+  b.height = 3;
+  b.decision = Decision::kCommit;
+  b.signers = {ServerId{0}, ServerId{1}};
+  const PreDecisionMsg msg{b};
+  const auto back = PreDecisionMsg::deserialize(msg.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->block, b);
+  EXPECT_FALSE(PreDecisionMsg::deserialize(to_bytes("junk")).has_value());
+}
+
+}  // namespace
+}  // namespace fides::commit
