@@ -11,6 +11,9 @@
 //   FIDES_BENCH_TXNS   client requests per data point   (default 200;
 //                      paper used 1000 — set 1000 for full fidelity)
 //   FIDES_BENCH_SEEDS  runs averaged per point          (default 2; paper 3)
+//   FIDES_THREADS      threads for the parallel round engine (default 1 =
+//                      the sequential driver; 0 or garbage falls back to 1
+//                      — set an explicit count to go parallel)
 #pragma once
 
 #include <cstdio>
@@ -31,6 +34,11 @@ inline std::size_t env_size(const char* name, std::size_t fallback) {
 
 inline std::size_t bench_txns() { return env_size("FIDES_BENCH_TXNS", 200); }
 
+/// Worker threads for commit rounds: FIDES_THREADS, default 1 (sequential).
+inline std::uint32_t bench_threads() {
+  return static_cast<std::uint32_t>(env_size("FIDES_THREADS", 1));
+}
+
 inline std::vector<std::uint64_t> bench_seeds() {
   const std::size_t n = env_size("FIDES_BENCH_SEEDS", 2);
   std::vector<std::uint64_t> seeds;
@@ -42,13 +50,15 @@ inline void print_header(const char* title, const char* paper_shape) {
   std::printf("==============================================================\n");
   std::printf("%s\n", title);
   std::printf("paper shape: %s\n", paper_shape);
-  std::printf("txns/point=%zu, runs averaged=%zu\n", bench_txns(), bench_seeds().size());
+  std::printf("txns/point=%zu, runs averaged=%zu, threads=%u\n", bench_txns(),
+              bench_seeds().size(), bench_threads());
   std::printf("==============================================================\n");
 }
 
 inline workload::ExperimentResult run_point(workload::ExperimentConfig cfg) {
   cfg.total_txns = bench_txns();
   cfg.cluster.sign_data_path = false;  // §6 measures from end-transaction on
+  cfg.cluster.num_threads = bench_threads();
   const auto seeds = bench_seeds();
   return workload::run_averaged(cfg, seeds);
 }

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <chrono>
+
+#include "common/cpu_time.hpp"
 #include <unordered_set>
 
 namespace fides::commit {
@@ -97,11 +99,11 @@ VoteMsg TfCommitCohort::handle_get_vote(const GetVoteMsg& msg, const CohortFault
         if (shard_->contains(w.id)) writes.emplace_back(w.id, w.new_value);
       }
     }
-    const auto start = std::chrono::steady_clock::now();
+    // Thread CPU time: the Figure 14 "MHT update time" series must not be
+    // inflated by time slices when cohorts run concurrently on the pool.
+    const double start = common::thread_cpu_time_us();
     sent_root_ = shard_->root_after(writes);
-    last_root_compute_us_ = std::chrono::duration<double, std::micro>(
-                                std::chrono::steady_clock::now() - start)
-                                .count();
+    last_root_compute_us_ = common::thread_cpu_time_us() - start;
     vote.root = sent_root_;
   }
   return vote;

@@ -1,0 +1,140 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace fides::common {
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_available;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> workers;
+  bool stopping{false};
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_available.wait(lock, [this] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping and drained
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+namespace {
+
+/// Shared state of one parallel_for: self-contained so late-running pool
+/// tasks stay valid even after the submitting frame has returned (they then
+/// find no indices left to claim and finish immediately).
+struct ForLoop {
+  std::function<void(std::size_t)> body;
+  std::size_t n{0};
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::exception_ptr error;  // first exception, guarded by mutex
+
+  explicit ForLoop(std::function<void(std::size_t)> b, std::size_t count)
+      : body(std::move(b)), n(count) {}
+
+  /// Claims and runs indices until none remain. Any thread may call this.
+  void drain() {
+    std::size_t finished = 0;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      ++finished;
+    }
+    if (finished == 0) return;
+    if (done.fetch_add(finished, std::memory_order_acq_rel) + finished == n) {
+      std::lock_guard<std::mutex> lock(mutex);  // pairs with the waiter
+      all_done.notify_all();
+    }
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    all_done.wait(lock, [this] { return done.load(std::memory_order_acquire) == n; });
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) : impl_(new Impl) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // num_threads counts the caller: parallel_for always participates, so a
+  // pool asked for N total executors spawns N-1 workers (and never
+  // oversubscribes by one when N == hardware_concurrency).
+  const std::size_t workers = num_threads - 1;
+  impl_->workers.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    impl_->workers.emplace_back([impl = impl_] { impl->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->work_available.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+std::size_t ThreadPool::size() const { return impl_->workers.size(); }
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (impl_->workers.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->work_available.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::function<void(std::size_t)> body) {
+  if (n == 0) return;
+  if (impl_->workers.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto loop = std::make_shared<ForLoop>(std::move(body), n);
+  // One helper task per worker (capped by n-1: the caller takes a share).
+  const std::size_t helpers = std::min(impl_->workers.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      impl_->queue.push_back([loop] { loop->drain(); });
+    }
+  }
+  impl_->work_available.notify_all();
+  loop->drain();
+  loop->wait();
+}
+
+}  // namespace fides::common

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/cpu_time.hpp"
+
 namespace fides {
 
 namespace {
@@ -32,14 +34,29 @@ std::vector<txn::Transaction> batch_txns(const std::vector<commit::SignedEndTxn>
 
 }  // namespace
 
-Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
-  servers_.reserve(config_.num_servers);
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)),
+      pool_(std::make_unique<common::ThreadPool>(config_.num_threads)) {
+  // Server provisioning builds a full Merkle tree over every shard; with a
+  // parallel pool the servers provision concurrently (and each server's tree
+  // build fans out further — nested parallel_for is safe, the caller helps).
+  servers_.resize(config_.num_servers);
+  for_each_server([this](std::size_t i) {
+    servers_[i] = std::make_unique<Server>(ServerId{static_cast<std::uint32_t>(i)},
+                                           config_, pool_.get());
+  });
+  // Key registration mutates the shared transport registry: sequential.
   server_keys_.reserve(config_.num_servers);
   for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
-    servers_.push_back(std::make_unique<Server>(ServerId{i}, config_));
-    server_keys_.push_back(servers_.back()->public_key());
+    server_keys_.push_back(servers_[i]->public_key());
     transport_.register_node(NodeId::server(ServerId{i}), server_keys_.back());
   }
+}
+
+std::size_t Cluster::round_threads() const { return pool_->concurrency(); }
+
+void Cluster::for_each_server(const std::function<void(std::size_t)>& fn) {
+  pool_->parallel_for(config_.num_servers, fn);
 }
 
 Client& Cluster::make_client() {
@@ -133,13 +150,16 @@ WriteAck Cluster::client_write(Client& client, TxnId txn, ItemId item, Bytes val
 RoundMetrics Cluster::run_tfcommit_block(std::vector<commit::SignedEndTxn> batch) {
   RoundMetrics metrics;
   metrics.txns_in_block = batch.size();
+  metrics.threads_used = round_threads();
+  const auto round_start = Clock::now();
   order_batch(batch);
 
+  const std::uint32_t n = config_.num_servers;
   Server& coord_server = *servers_[coordinator_id().value];
   const NodeId coord_node = NodeId::server(coordinator_id());
 
   std::vector<ServerId> cohort_ids;
-  for (std::uint32_t i = 0; i < config_.num_servers; ++i) cohort_ids.push_back(ServerId{i});
+  for (std::uint32_t i = 0; i < n; ++i) cohort_ids.push_back(ServerId{i});
   commit::TfCommitCoordinator coordinator(cohort_ids, server_keys_);
 
   // Phase 1 <GetVote, SchAnnouncement> — coordinator assembles and signs.
@@ -151,19 +171,20 @@ RoundMetrics Cluster::run_tfcommit_block(std::vector<commit::SignedEndTxn> batch
   // Broadcast: sign once, every cohort gets (and verifies) the same envelope.
   const Envelope get_vote_env = transport_.seal(coord_server.keypair(), coord_node,
                                                 "tf_get_vote", get_vote.serialize());
-  for (std::uint32_t i = 1; i < config_.num_servers; ++i) {
+  for (std::uint32_t i = 1; i < n; ++i) {
     transport_.count_copy(get_vote_env);
   }
   metrics.coordinator_us += since_us(t0);
 
-  // Phase 2 <Vote, SchCommitment> — cohorts, in parallel in a real cluster.
-  std::vector<commit::VoteMsg> votes;
-  votes.reserve(servers_.size());
-  std::vector<Envelope> vote_envs;
-  double phase2_max = 0;
-  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+  // Phase 2 <Vote, SchCommitment> — every cohort concurrently on the pool
+  // (each worker touches only its own server and its own output slots).
+  std::vector<commit::VoteMsg> votes(n);
+  std::vector<Envelope> vote_envs(n);
+  std::vector<double> phase2_us(n, 0);
+  std::vector<double> phase2_mht_us(n, 0);
+  for_each_server([&](std::size_t i) {
     Server& server = *servers_[i];
-    auto tc = Clock::now();
+    const double tc = common::thread_cpu_time_us();
     commit::VoteMsg vote;
     if (transport_.open(get_vote_env, "tf_get_vote")) {
       // "Every cohort verifies ... the encapsulated client request": each
@@ -190,18 +211,21 @@ RoundMetrics Cluster::run_tfcommit_block(std::vector<commit::SignedEndTxn> batch
       if (!requests_ok) faults.always_vote_abort = true;  // refuse forged requests
       vote = server.tf_cohort().handle_get_vote(get_vote, faults);
       server.add_mht_time_us(server.tf_cohort().last_root_compute_us());
-      metrics.mht_us = std::max(metrics.mht_us, server.tf_cohort().last_root_compute_us());
+      phase2_mht_us[i] = server.tf_cohort().last_root_compute_us();
     }
-    vote_envs.push_back(transport_.seal(server.keypair(), NodeId::server(server.id()),
-                                        "tf_vote", vote.serialize()));
-    votes.push_back(std::move(vote));
-    phase2_max = std::max(phase2_max, since_us(tc));
-  }
-  metrics.cohort_critical_us += phase2_max;
+    vote_envs[i] = transport_.seal(server.keypair(), NodeId::server(server.id()),
+                                   "tf_vote", vote.serialize());
+    votes[i] = std::move(vote);
+    phase2_us[i] = common::thread_cpu_time_us() - tc;
+  });
+  metrics.cohort_critical_us += *std::max_element(phase2_us.begin(), phase2_us.end());
+  metrics.mht_us = std::max(
+      metrics.mht_us, *std::max_element(phase2_mht_us.begin(), phase2_mht_us.end()));
 
-  // Phase 3 <null, SchChallenge> — coordinator aggregates and broadcasts.
+  // Phase 3 <null, SchChallenge> — coordinator verifies the vote envelopes
+  // (in parallel: n independent Schnorr checks) then aggregates.
   t0 = Clock::now();
-  for (auto& env : vote_envs) transport_.open(env, "tf_vote");
+  transport_.open_all(vote_envs, "tf_vote", pool_.get());
   std::vector<commit::ChallengeMsg> challenges =
       coordinator.on_votes(votes, coord_server.faults().coordinator);
   // Honest coordinators broadcast one challenge (single-element vector);
@@ -212,19 +236,19 @@ RoundMetrics Cluster::run_tfcommit_block(std::vector<commit::SignedEndTxn> batch
     challenge_envs.push_back(transport_.seal(coord_server.keypair(), coord_node,
                                              "tf_challenge", ch.serialize()));
   }
-  for (std::uint32_t i = 1; challenges.size() == 1 && i < config_.num_servers; ++i) {
+  for (std::uint32_t i = 1; challenges.size() == 1 && i < n; ++i) {
     transport_.count_copy(challenge_envs[0]);
   }
   metrics.coordinator_us += since_us(t0);
 
-  // Phase 4 <null, SchResponse> — cohorts validate the block and respond.
-  std::vector<commit::ResponseMsg> responses;
-  responses.reserve(servers_.size());
-  std::vector<Envelope> response_envs;
-  double phase4_max = 0;
-  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+  // Phase 4 <null, SchResponse> — cohorts validate the block and respond,
+  // concurrently.
+  std::vector<commit::ResponseMsg> responses(n);
+  std::vector<Envelope> response_envs(n);
+  std::vector<double> phase4_us(n, 0);
+  for_each_server([&](std::size_t i) {
     Server& server = *servers_[i];
-    auto tc = Clock::now();
+    const double tc = common::thread_cpu_time_us();
     const std::size_t slot = challenges.size() == 1 ? 0 : i;
     commit::ResponseMsg resp;
     if (transport_.open(challenge_envs[slot], "tf_challenge")) {
@@ -235,16 +259,17 @@ RoundMetrics Cluster::run_tfcommit_block(std::vector<commit::SignedEndTxn> batch
       resp.refused = true;
       resp.refusal_reason = "challenge envelope failed authentication";
     }
-    response_envs.push_back(transport_.seal(server.keypair(), NodeId::server(server.id()),
-                                            "tf_response", resp.serialize()));
-    responses.push_back(std::move(resp));
-    phase4_max = std::max(phase4_max, since_us(tc));
-  }
-  metrics.cohort_critical_us += phase4_max;
+    response_envs[i] = transport_.seal(server.keypair(), NodeId::server(server.id()),
+                                       "tf_response", resp.serialize());
+    responses[i] = std::move(resp);
+    phase4_us[i] = common::thread_cpu_time_us() - tc;
+  });
+  metrics.cohort_critical_us += *std::max_element(phase4_us.begin(), phase4_us.end());
 
-  // Phase 5 <Decision, null> — coordinator finalizes the co-sign.
+  // Phase 5 <Decision, null> — coordinator verifies the response envelopes
+  // in parallel and finalizes the co-sign.
   t0 = Clock::now();
-  for (auto& env : response_envs) transport_.open(env, "tf_response");
+  transport_.open_all(response_envs, "tf_response", pool_.get());
   commit::TfCommitOutcome outcome = coordinator.on_responses(responses);
   metrics.cosign_valid = outcome.cosign_valid;
   metrics.faulty_cosigners = outcome.faulty_cosigners;
@@ -254,24 +279,29 @@ RoundMetrics Cluster::run_tfcommit_block(std::vector<commit::SignedEndTxn> batch
   commit::DecisionMsg decision{outcome.block};
   const Envelope decision_env = transport_.seal(coord_server.keypair(), coord_node,
                                                 "tf_decision", decision.serialize());
-  for (std::uint32_t i = 1; i < config_.num_servers; ++i) {
+  for (std::uint32_t i = 1; i < n; ++i) {
     transport_.count_copy(decision_env);
   }
   metrics.coordinator_us += since_us(t0);
 
-  // Log append + datastore update at every server (steps 6-7).
-  double apply_max = 0;
-  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+  // Log append + datastore update at every server (steps 6-7), concurrently:
+  // each server verifies the co-sign, appends to its own log, and applies
+  // the writes to its own shard.
+  std::vector<double> apply_us(n, 0);
+  std::vector<double> apply_mht_us(n, 0);
+  for_each_server([&](std::size_t i) {
     Server& server = *servers_[i];
-    auto tc = Clock::now();
+    const double tc = common::thread_cpu_time_us();
     const double mht_before = server.mht_time_us();
     if (transport_.open(decision_env, "tf_decision")) {
       server.handle_decision(decision, server_keys_);
     }
-    metrics.mht_us = std::max(metrics.mht_us, server.mht_time_us() - mht_before);
-    apply_max = std::max(apply_max, since_us(tc));
-  }
-  metrics.cohort_critical_us += apply_max;
+    apply_mht_us[i] = server.mht_time_us() - mht_before;
+    apply_us[i] = common::thread_cpu_time_us() - tc;
+  });
+  metrics.cohort_critical_us += *std::max_element(apply_us.begin(), apply_us.end());
+  metrics.mht_us = std::max(
+      metrics.mht_us, *std::max_element(apply_mht_us.begin(), apply_mht_us.end()));
 
   // end_txn (client->coord) + get_vote + vote + challenge + response +
   // decision (coord->cohorts/client in parallel) = 6 one-way legs.
@@ -279,6 +309,7 @@ RoundMetrics Cluster::run_tfcommit_block(std::vector<commit::SignedEndTxn> batch
   metrics.modeled_latency_us =
       metrics.coordinator_us + metrics.cohort_critical_us +
       static_cast<double>(metrics.network_legs) * config_.network.one_way_latency_us;
+  metrics.measured_latency_us = since_us(round_start);
   return metrics;
 }
 
@@ -287,13 +318,16 @@ RoundMetrics Cluster::run_tfcommit_block(std::vector<commit::SignedEndTxn> batch
 RoundMetrics Cluster::run_2pc_block(std::vector<commit::SignedEndTxn> batch) {
   RoundMetrics metrics;
   metrics.txns_in_block = batch.size();
+  metrics.threads_used = round_threads();
+  const auto round_start = Clock::now();
   order_batch(batch);
 
+  const std::uint32_t n = config_.num_servers;
   Server& coord_server = *servers_[coordinator_id().value];
   const NodeId coord_node = NodeId::server(coordinator_id());
 
   std::vector<ServerId> cohort_ids;
-  for (std::uint32_t i = 0; i < config_.num_servers; ++i) cohort_ids.push_back(ServerId{i});
+  for (std::uint32_t i = 0; i < n; ++i) cohort_ids.push_back(ServerId{i});
   commit::TwoPhaseCommitCoordinator coordinator(cohort_ids);
 
   // Prepare phase.
@@ -304,18 +338,18 @@ RoundMetrics Cluster::run_2pc_block(std::vector<commit::SignedEndTxn> batch) {
   commit::PrepareMsg prepare = coordinator.start(std::move(partial), batch);
   const Envelope prepare_env = transport_.seal(coord_server.keypair(), coord_node,
                                                "2pc_prepare", prepare.serialize());
-  for (std::uint32_t i = 1; i < config_.num_servers; ++i) {
+  for (std::uint32_t i = 1; i < n; ++i) {
     transport_.count_copy(prepare_env);
   }
   metrics.coordinator_us += since_us(t0);
 
-  // Vote phase.
-  std::vector<commit::PrepareVoteMsg> votes;
-  std::vector<Envelope> vote_envs;
-  double vote_max = 0;
-  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+  // Vote phase — all cohorts concurrently.
+  std::vector<commit::PrepareVoteMsg> votes(n);
+  std::vector<Envelope> vote_envs(n);
+  std::vector<double> vote_us(n, 0);
+  for_each_server([&](std::size_t i) {
     Server& server = *servers_[i];
-    auto tc = Clock::now();
+    const double tc = common::thread_cpu_time_us();
     commit::PrepareVoteMsg vote;
     if (transport_.open(prepare_env, "2pc_prepare")) {
       bool requests_ok = true;
@@ -341,42 +375,44 @@ RoundMetrics Cluster::run_2pc_block(std::vector<commit::SignedEndTxn> batch) {
         vote.abort_reason = "client request signature invalid";
       }
     }
-    vote_envs.push_back(transport_.seal(server.keypair(), NodeId::server(server.id()),
-                                        "2pc_vote", vote.serialize()));
-    votes.push_back(std::move(vote));
-    vote_max = std::max(vote_max, since_us(tc));
-  }
-  metrics.cohort_critical_us += vote_max;
+    vote_envs[i] = transport_.seal(server.keypair(), NodeId::server(server.id()),
+                                   "2pc_vote", vote.serialize());
+    votes[i] = std::move(vote);
+    vote_us[i] = common::thread_cpu_time_us() - tc;
+  });
+  metrics.cohort_critical_us += *std::max_element(vote_us.begin(), vote_us.end());
 
-  // Decision phase.
+  // Decision phase — vote envelopes verified in parallel at the coordinator.
   t0 = Clock::now();
-  for (auto& env : vote_envs) transport_.open(env, "2pc_vote");
+  transport_.open_all(vote_envs, "2pc_vote", pool_.get());
   commit::TwoPhaseCommitOutcome outcome = coordinator.on_votes(votes);
   metrics.decision = outcome.decision;
   commit::CommitDecisionMsg decision{outcome.block};
   const Envelope decision_env = transport_.seal(coord_server.keypair(), coord_node,
                                                 "2pc_decision", decision.serialize());
-  for (std::uint32_t i = 1; i < config_.num_servers; ++i) {
+  for (std::uint32_t i = 1; i < n; ++i) {
     transport_.count_copy(decision_env);
   }
   metrics.coordinator_us += since_us(t0);
 
-  double apply_max = 0;
-  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+  // Log append + apply at every server, concurrently.
+  std::vector<double> apply_us(n, 0);
+  for_each_server([&](std::size_t i) {
     Server& server = *servers_[i];
-    auto tc = Clock::now();
+    const double tc = common::thread_cpu_time_us();
     if (transport_.open(decision_env, "2pc_decision")) {
       server.handle_decision_2pc(decision);
     }
-    apply_max = std::max(apply_max, since_us(tc));
-  }
-  metrics.cohort_critical_us += apply_max;
+    apply_us[i] = common::thread_cpu_time_us() - tc;
+  });
+  metrics.cohort_critical_us += *std::max_element(apply_us.begin(), apply_us.end());
 
   // end_txn + prepare + vote + decision = 4 one-way legs.
   metrics.network_legs = 4;
   metrics.modeled_latency_us =
       metrics.coordinator_us + metrics.cohort_critical_us +
       static_cast<double>(metrics.network_legs) * config_.network.one_way_latency_us;
+  metrics.measured_latency_us = since_us(round_start);
   return metrics;
 }
 
@@ -404,25 +440,30 @@ std::optional<ledger::Checkpoint> Cluster::create_checkpoint() {
 
   // CoSi round: each server only contributes after verifying that the
   // proposal matches its own log (same height, same head hash) — a server
-  // with a divergent log refuses, and the checkpoint cannot form.
-  std::vector<crypto::AffinePoint> commitments;
-  std::vector<crypto::CosiCommitment> secrets;
-  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+  // with a divergent log refuses, and the checkpoint cannot form. The
+  // per-server commitment and response computations fan out over the pool.
+  const std::uint32_t n = config_.num_servers;
+  std::vector<crypto::AffinePoint> commitments(n);
+  std::vector<crypto::CosiCommitment> secrets(n);
+  std::vector<unsigned char> agrees(n, 0);
+  for_each_server([&](std::size_t i) {
     const Server& server = *servers_[i];
     if (server.log().size() != cp.height || !(server.log().head_hash() == cp.head_hash)) {
-      return std::nullopt;
+      return;  // agrees[i] stays 0: this server refuses
     }
-    secrets.push_back(
-        crypto::cosi_commit(server.keypair(), record, 0xC0DE0000ULL + cp.height));
-    commitments.push_back(secrets.back().v);
+    agrees[i] = 1;
+    secrets[i] = crypto::cosi_commit(server.keypair(), record, 0xC0DE0000ULL + cp.height);
+    commitments[i] = secrets[i].v;
+  });
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!agrees[i]) return std::nullopt;
   }
   const crypto::AffinePoint v = crypto::cosi_aggregate_commitments(commitments);
   const crypto::U256 challenge = crypto::cosi_challenge(v, record);
-  std::vector<crypto::U256> responses;
-  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
-    responses.push_back(
-        crypto::cosi_respond(servers_[i]->keypair(), secrets[i].secret, challenge));
-  }
+  std::vector<crypto::U256> responses(n);
+  for_each_server([&](std::size_t i) {
+    responses[i] = crypto::cosi_respond(servers_[i]->keypair(), secrets[i].secret, challenge);
+  });
   cp.cosign = crypto::CosiSignature{v, crypto::cosi_aggregate_responses(responses)};
   if (!ledger::validate_checkpoint(cp, server_keys_)) return std::nullopt;
   return cp;

@@ -34,6 +34,15 @@ struct ClusterConfig {
   std::uint64_t seed{42};
   Bytes initial_value{'0'};
 
+  /// Worker threads for intra-round parallelism: per-cohort phase work
+  /// (votes, responses, decision application), batched signature
+  /// verification, and Merkle tree builds all fan out across this many
+  /// threads. 1 = strictly sequential (bit-identical to the original
+  /// single-threaded driver); 0 = one thread per hardware core. Parallel
+  /// and sequential runs of the same batch produce identical decisions,
+  /// blocks, and ledger state — only wall-clock time changes.
+  std::uint32_t num_threads{1};
+
   /// Sign/verify every message envelope (the system-model requirement,
   /// §3.1). Commit-protocol messages are always signed; this toggle lets
   /// benchmarks skip signatures on the *data path* (begin/read/write), whose

@@ -1,26 +1,17 @@
 #include "fides/server.hpp"
 
-#include <chrono>
-
+#include "common/cpu_time.hpp"
 #include "txn/occ.hpp"
 
 namespace fides {
 
-namespace {
-double elapsed_us(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
-                                                   start)
-      .count();
-}
-}  // namespace
-
-Server::Server(ServerId id, const ClusterConfig& config)
+Server::Server(ServerId id, const ClusterConfig& config, common::ThreadPool* pool)
     : id_(id),
       keypair_(crypto::KeyPair::deterministic(0x5EB0'0000ULL + id.value)),
       shard_(ShardId{id.value},
              store::items_for_shard(ShardId{id.value}, config.num_servers,
                                     config.items_per_shard),
-             config.initial_value, config.versioning),
+             config.initial_value, config.versioning, pool),
       tf_cohort_(id, keypair_, shard_),
       tpc_cohort_(id, shard_) {}
 
@@ -91,7 +82,7 @@ void Server::handle_decision_2pc(const commit::CommitDecisionMsg& msg) {
 }
 
 void Server::apply_block(const ledger::Block& block) {
-  const auto start = std::chrono::steady_clock::now();
+  const double start = common::thread_cpu_time_us();
   for (const auto& t : block.txns) {
     // Honest application first; datastore faults strike afterwards so the
     // Merkle tree (and hence future signed roots) match the block while the
@@ -124,7 +115,7 @@ void Server::apply_block(const ledger::Block& block) {
       }
     }
   }
-  add_mht_time_us(elapsed_us(start));
+  add_mht_time_us(common::thread_cpu_time_us() - start);
 }
 
 AuditItemProof Server::audit_item(ItemId item, const Timestamp& ts) const {

@@ -39,7 +39,10 @@ struct AuditItemProof {
 
 class Server {
  public:
-  Server(ServerId id, const ClusterConfig& config);
+  /// `pool`, when given, parallelizes this server's Merkle tree builds
+  /// (initial provisioning, audit rebuilds). Not owned; must outlive the
+  /// server. Null keeps everything on the calling thread.
+  Server(ServerId id, const ClusterConfig& config, common::ThreadPool* pool = nullptr);
 
   ServerId id() const { return id_; }
   const crypto::KeyPair& keypair() const { return keypair_; }

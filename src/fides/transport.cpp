@@ -36,7 +36,7 @@ Envelope Transport::seal(const crypto::KeyPair& sender_key, NodeId sender,
   env.payload = std::move(payload);
   ++stats_.messages;
   stats_.bytes += env.payload.size();
-  if (crypto_enabled_) {
+  if (crypto_enabled()) {
     env.signature = sender_key.sign(signing_preimage(env));
     ++stats_.signatures_created;
   }
@@ -53,7 +53,7 @@ bool Transport::open(const Envelope& env, std::string_view expected_type) {
     ++stats_.rejected;
     return false;
   }
-  if (!crypto_enabled_) return true;
+  if (!crypto_enabled()) return true;
   const crypto::PublicKey* key = key_of(env.sender);
   if (key == nullptr) {
     ++stats_.rejected;
@@ -65,6 +65,21 @@ bool Transport::open(const Envelope& env, std::string_view expected_type) {
     return false;
   }
   return true;
+}
+
+std::vector<unsigned char> Transport::open_all(std::span<const Envelope> envelopes,
+                                               std::string_view expected_type,
+                                               common::ThreadPool* pool) {
+  std::vector<unsigned char> ok(envelopes.size(), 0);
+  auto verify_one = [&](std::size_t i) {
+    ok[i] = open(envelopes[i], expected_type) ? 1 : 0;
+  };
+  if (pool != nullptr && pool->parallel()) {
+    pool->parallel_for(envelopes.size(), verify_one);
+  } else {
+    for (std::size_t i = 0; i < envelopes.size(); ++i) verify_one(i);
+  }
+  return ok;
 }
 
 }  // namespace fides

@@ -12,9 +12,12 @@
 // sleeping — see fides/cluster.hpp.
 #pragma once
 
+#include <atomic>
+#include <span>
 #include <string>
 #include <unordered_map>
 
+#include "common/thread_pool.hpp"
 #include "crypto/schnorr.hpp"
 #include "fides/config.hpp"
 
@@ -56,12 +59,33 @@ struct Envelope {
 
 class Transport {
  public:
+  /// Traffic counters. Thread-safe: the round driver seals/opens envelopes
+  /// from pool workers concurrently, so every counter is an atomic. Copying
+  /// a Stats takes a (non-atomic-across-fields) snapshot — fine for the
+  /// reporting paths, which copy only between rounds.
   struct Stats {
-    std::uint64_t messages{0};
-    std::uint64_t bytes{0};
-    std::uint64_t signatures_created{0};
-    std::uint64_t signatures_verified{0};
-    std::uint64_t rejected{0};
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> signatures_created{0};
+    std::atomic<std::uint64_t> signatures_verified{0};
+    std::atomic<std::uint64_t> rejected{0};
+
+    Stats() = default;
+    Stats(const Stats& o) { *this = o; }
+    Stats& operator=(const Stats& o) {
+      if (this != &o) {
+        messages.store(o.messages.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+        bytes.store(o.bytes.load(std::memory_order_relaxed), std::memory_order_relaxed);
+        signatures_created.store(o.signatures_created.load(std::memory_order_relaxed),
+                                 std::memory_order_relaxed);
+        signatures_verified.store(o.signatures_verified.load(std::memory_order_relaxed),
+                                  std::memory_order_relaxed);
+        rejected.store(o.rejected.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      }
+      return *this;
+    }
 
     void reset() { *this = Stats{}; }
   };
@@ -80,12 +104,27 @@ class Transport {
 
   /// Verifies sender signature against the registry (and that the claimed
   /// type matches). Returns false — and counts a rejection — on any failure.
+  /// Thread-safe against concurrent open/seal calls (stats are atomic and
+  /// the key registry is read-only while rounds run).
   bool open(const Envelope& env, std::string_view expected_type);
+
+  /// Verifies a batch of envelopes, fanning the signature checks out over
+  /// `pool` when one is given — the coordinator's per-phase inbox (n vote or
+  /// response envelopes) verified in parallel. Result slot i is 1 iff
+  /// open(envelopes[i]) would return true; accounting is identical to
+  /// calling open() serially on each. (Plain bytes, not vector<bool>, so
+  /// pool workers write independently addressable slots.)
+  std::vector<unsigned char> open_all(std::span<const Envelope> envelopes,
+                                      std::string_view expected_type,
+                                      common::ThreadPool* pool = nullptr);
 
   /// When disabled, seal/open skip the actual signature computation but
   /// still count messages/bytes (data-path fast mode; see ClusterConfig).
-  void set_crypto_enabled(bool enabled) { crypto_enabled_ = enabled; }
-  bool crypto_enabled() const { return crypto_enabled_; }
+  /// Only toggled between rounds, never while pool workers are in flight.
+  void set_crypto_enabled(bool enabled) {
+    crypto_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool crypto_enabled() const { return crypto_enabled_.load(std::memory_order_relaxed); }
 
   Stats& stats() { return stats_; }
   const Stats& stats() const { return stats_; }
@@ -95,7 +134,7 @@ class Transport {
 
   std::unordered_map<NodeId, crypto::PublicKey> registry_;
   Stats stats_;
-  bool crypto_enabled_{true};
+  std::atomic<bool> crypto_enabled_{true};
 };
 
 }  // namespace fides

@@ -13,21 +13,44 @@ std::size_t next_pow2(std::size_t n) {
 }
 }  // namespace
 
-MerkleTree::MerkleTree(std::size_t leaf_count) : leaf_count_(leaf_count) {
+MerkleTree::MerkleTree(std::size_t leaf_count, DeferInterior) : leaf_count_(leaf_count) {
   cap_ = next_pow2(std::max<std::size_t>(leaf_count, 1));
   depth_ = 0;
   for (std::size_t c = cap_; c > 1; c >>= 1) ++depth_;
   nodes_.assign(2 * cap_, Digest::zero());
-  // Interior nodes over all-zero leaves still need consistent hashes.
-  for (std::size_t k = cap_ - 1; k >= 1; --k) {
-    nodes_[k] = crypto::sha256_pair(nodes_[2 * k], nodes_[2 * k + 1]);
-  }
 }
 
-MerkleTree::MerkleTree(std::span<const Digest> leaves) : MerkleTree(leaves.size()) {
+MerkleTree::MerkleTree(std::size_t leaf_count) : MerkleTree(leaf_count, DeferInterior{}) {
+  // Interior nodes over all-zero leaves still need consistent hashes.
+  build_interior(nullptr);
+}
+
+MerkleTree::MerkleTree(std::span<const Digest> leaves, common::ThreadPool* pool)
+    : MerkleTree(leaves.size(), DeferInterior{}) {
   for (std::size_t i = 0; i < leaves.size(); ++i) nodes_[node_index(i)] = leaves[i];
-  for (std::size_t k = cap_ - 1; k >= 1; --k) {
-    nodes_[k] = crypto::sha256_pair(nodes_[2 * k], nodes_[2 * k + 1]);
+  build_interior(pool);
+}
+
+void MerkleTree::build_interior(common::ThreadPool* pool) {
+  // Below this width a level's hash work is too small to amortize fan-out.
+  constexpr std::size_t kParallelLevelWidth = 512;
+  for (std::size_t width = cap_ / 2; width >= 1; width >>= 1) {
+    // Level nodes are [width, 2*width); children live one level down.
+    if (pool != nullptr && pool->parallel() && width >= kParallelLevelWidth) {
+      const std::size_t chunks = std::min(width, pool->concurrency() * 4);
+      const std::size_t per_chunk = (width + chunks - 1) / chunks;
+      pool->parallel_for(chunks, [this, width, per_chunk](std::size_t c) {
+        const std::size_t begin = width + c * per_chunk;
+        const std::size_t end = std::min(begin + per_chunk, 2 * width);
+        for (std::size_t k = begin; k < end; ++k) {
+          nodes_[k] = crypto::sha256_pair(nodes_[2 * k], nodes_[2 * k + 1]);
+        }
+      });
+    } else {
+      for (std::size_t k = width; k < 2 * width; ++k) {
+        nodes_[k] = crypto::sha256_pair(nodes_[2 * k], nodes_[2 * k + 1]);
+      }
+    }
   }
 }
 

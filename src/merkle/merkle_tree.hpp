@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "crypto/sha256.hpp"
 
 namespace fides::merkle {
@@ -31,8 +32,12 @@ class MerkleTree {
   /// An empty tree over `leaf_count` zero leaves.
   explicit MerkleTree(std::size_t leaf_count);
 
-  /// Builds from initial leaf digests (defines leaf_count).
-  explicit MerkleTree(std::span<const Digest> leaves);
+  /// Builds from initial leaf digests (defines leaf_count). When `pool` is
+  /// given and parallel, interior levels are hashed level-by-level with the
+  /// nodes of each level fanned out across workers — same tree, built on
+  /// however many cores are available (bulk provisioning / audit rebuilds).
+  explicit MerkleTree(std::span<const Digest> leaves,
+                      common::ThreadPool* pool = nullptr);
 
   std::size_t leaf_count() const { return leaf_count_; }
 
@@ -57,6 +62,16 @@ class MerkleTree {
   // Heap layout: nodes_[1] is the root; children of k are 2k and 2k+1;
   // leaves occupy [cap_, 2*cap_).
   std::size_t node_index(std::size_t leaf) const { return cap_ + leaf; }
+
+  /// Recomputes every interior node from the leaves, bottom-up. Each level
+  /// only reads the level below it, so the nodes of one level hash in
+  /// parallel; small levels stay serial (fan-out overhead dominates).
+  void build_interior(common::ThreadPool* pool);
+
+  /// Allocates the node array over zero leaves without hashing the interior
+  /// — for constructors that install real leaves and rebuild immediately.
+  struct DeferInterior {};
+  MerkleTree(std::size_t leaf_count, DeferInterior);
 
   std::size_t leaf_count_;
   std::size_t cap_;    // leaf capacity, power of two

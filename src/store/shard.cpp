@@ -8,8 +8,8 @@
 namespace fides::store {
 
 Shard::Shard(ShardId id, std::vector<ItemId> item_ids, Bytes initial_value,
-             VersioningMode mode)
-    : id_(id), mode_(mode), order_(std::move(item_ids)), tree_(1) {
+             VersioningMode mode, common::ThreadPool* pool)
+    : id_(id), mode_(mode), order_(std::move(item_ids)), tree_(1), pool_(pool) {
   std::sort(order_.begin(), order_.end());
   order_.erase(std::unique(order_.begin(), order_.end()), order_.end());
 
@@ -23,7 +23,7 @@ Shard::Shard(ShardId id, std::vector<ItemId> item_ids, Bytes initial_value,
     leaves.push_back(item_leaf_digest(order_[i], initial_value));
     if (mode_ == VersioningMode::kMulti) chains_.emplace_back(initial_value);
   }
-  tree_ = merkle::MerkleTree(leaves);
+  tree_ = merkle::MerkleTree(leaves, pool_);
 }
 
 ItemRecord& Shard::record(ItemId item) {
@@ -92,7 +92,7 @@ merkle::MerkleTree Shard::tree_at_version(const Timestamp& ts) const {
     // Every chain has a version at timestamp zero, so `v` is always set.
     leaves.push_back(item_leaf_digest(order_[i], v->value));
   }
-  return merkle::MerkleTree(leaves);
+  return merkle::MerkleTree(leaves, pool_);
 }
 
 std::optional<Bytes> Shard::value_at_version(ItemId item, const Timestamp& ts) const {
@@ -120,7 +120,7 @@ std::size_t Shard::reset_to_version(const Timestamp& ts) {
     records_[i].rts = latest.wts;
     leaves.push_back(item_leaf_digest(order_[i], latest.value));
   }
-  tree_ = merkle::MerkleTree(leaves);
+  tree_ = merkle::MerkleTree(leaves, pool_);
   return dropped;
 }
 

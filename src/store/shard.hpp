@@ -37,9 +37,11 @@ struct ShardStats {
 class Shard {
  public:
   /// `item_ids` is the shard's fixed item universe; every item starts with
-  /// `initial_value` and zero timestamps.
+  /// `initial_value` and zero timestamps. `pool`, when given, parallelizes
+  /// the initial Merkle build and later full-tree rebuilds (audits,
+  /// recovery); the shard does not own it and it must outlive the shard.
   Shard(ShardId id, std::vector<ItemId> item_ids, Bytes initial_value,
-        VersioningMode mode);
+        VersioningMode mode, common::ThreadPool* pool = nullptr);
 
   ShardId id() const { return id_; }
   VersioningMode mode() const { return mode_; }
@@ -111,6 +113,7 @@ class Shard {
   std::vector<ItemRecord> records_;                // parallel to order_
   std::vector<VersionChain> chains_;               // parallel; empty in single mode
   merkle::MerkleTree tree_;
+  common::ThreadPool* pool_{nullptr};              // not owned; may be null
   ShardStats stats_;
 };
 

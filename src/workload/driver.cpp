@@ -15,7 +15,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   YcsbWorkload workload(config.workload, total_items, config.cluster.seed);
 
   ExperimentResult result;
+  result.threads = cluster.round_threads();
   double total_latency_us = 0;
+  double total_measured_us = 0;
   double total_mht_us = 0;
 
   std::size_t remaining = config.total_txns;
@@ -35,6 +37,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       const RoundMetrics metrics = cluster.run_block(batcher.next_batch());
       ++result.blocks;
       total_latency_us += metrics.modeled_latency_us;
+      total_measured_us += metrics.measured_latency_us;
       total_mht_us += metrics.mht_us;
       if (metrics.decision == ledger::Decision::kCommit) {
         result.committed_txns += metrics.txns_in_block;
@@ -46,6 +49,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   if (result.blocks > 0) {
     result.avg_latency_ms = total_latency_us / 1000.0 / static_cast<double>(result.blocks);
+    result.avg_measured_ms =
+        total_measured_us / 1000.0 / static_cast<double>(result.blocks);
     result.avg_mht_ms = total_mht_us / 1000.0 / static_cast<double>(result.blocks);
   }
   if (total_latency_us > 0) {
@@ -71,6 +76,8 @@ ExperimentResult run_averaged(ExperimentConfig config,
     avg.avg_latency_ms += r.avg_latency_ms;
     avg.throughput_tps += r.throughput_tps;
     avg.avg_mht_ms += r.avg_mht_ms;
+    avg.avg_measured_ms += r.avg_measured_ms;
+    avg.threads = r.threads;
     avg.wall_seconds += r.wall_seconds;
     avg.net.messages += r.net.messages;
     avg.net.bytes += r.net.bytes;
@@ -82,6 +89,7 @@ ExperimentResult run_averaged(ExperimentConfig config,
     avg.avg_latency_ms /= n;
     avg.throughput_tps /= n;
     avg.avg_mht_ms /= n;
+    avg.avg_measured_ms /= n;
   }
   return avg;
 }

@@ -30,6 +30,14 @@ struct ExperimentResult {
   /// Mean per-block Merkle update time (max across servers), in ms.
   double avg_mht_ms{0};
 
+  /// Mean *measured* wall-clock latency per block, in milliseconds — what
+  /// the round actually took in this process, with the thread pool doing
+  /// per-cohort work concurrently. Compare against avg_latency_ms to
+  /// validate the analytical model against real concurrency.
+  double avg_measured_ms{0};
+  /// Threads the commit rounds ran on.
+  std::size_t threads{1};
+
   double wall_seconds{0};  ///< harness wall time, for scheduling runs
   Transport::Stats net;
 };

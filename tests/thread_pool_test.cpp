@@ -1,0 +1,120 @@
+// Unit tests for the worker pool the parallel round engine runs on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace fides::common {
+namespace {
+
+TEST(ThreadPool, ParallelForExecutesEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForResultsVisibleAfterJoin) {
+  // Workers write plain (non-atomic) slots; the join must publish them.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 512;
+  std::vector<std::size_t> out(kN, 0);
+  pool.parallel_for(kN, [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_FALSE(pool.parallel());
+  std::vector<std::size_t> order;
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ZeroAndOneElementLoops) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, MoreWorkersThanWork) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // The round engine nests: per-server fan-out, then per-level Merkle
+  // fan-out inside each server's build. The caller participates in its own
+  // loop, so even a saturated pool makes progress.
+  ThreadPool pool(2);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(kOuter, [&](std::size_t o) {
+    pool.parallel_for(kInner, [&, o](std::size_t i) { hits[o * kInner + i].fetch_add(1); });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAfterAllIndicesRun) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          hits[i].fetch_add(1);
+                          if (i == 41) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The loop still completed every index: no index was dropped.
+  int total = 0;
+  for (auto& h : hits) total += h.load();
+  EXPECT_EQ(total, 100);
+}
+
+TEST(ThreadPool, DestructorDrainsSubmittedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, SubmitOnInlinePoolRunsImmediately) {
+  ThreadPool pool(1);
+  int calls = 0;
+  pool.submit([&calls] { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ManySmallLoopsStress) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> sum{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(7, [&](std::size_t i) { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 200u * (0 + 1 + 2 + 3 + 4 + 5 + 6));
+}
+
+}  // namespace
+}  // namespace fides::common
