@@ -14,6 +14,11 @@
 //   FIDES_THREADS      threads for the parallel round engine (default 1 =
 //                      the sequential driver; 0 or garbage falls back to 1
 //                      — set an explicit count to go parallel)
+//   FIDES_NET          "sim" routes commit rounds through the deterministic
+//                      SimNet (seeded by FIDES_SIM_SEED, default 1); the
+//                      modeled latency then reports the simulated
+//                      schedule's virtual network time instead of the fixed
+//                      per-leg constant
 #pragma once
 
 #include <cstdio>
@@ -55,10 +60,21 @@ inline void print_header(const char* title, const char* paper_shape) {
   std::printf("==============================================================\n");
 }
 
+/// Applies the FIDES_NET knob: "sim" switches the cluster onto the
+/// discrete-event simulated network (direct delivery otherwise).
+inline void apply_network_env(ClusterConfig& cluster) {
+  const char* v = std::getenv("FIDES_NET");
+  if (v != nullptr && std::string(v) == "sim") {
+    cluster.network.mode = sim::NetworkMode::kSimulated;
+    cluster.network.sim.seed = env_size("FIDES_SIM_SEED", 1);
+  }
+}
+
 inline workload::ExperimentResult run_point(workload::ExperimentConfig cfg) {
   cfg.total_txns = bench_txns();
   cfg.cluster.sign_data_path = false;  // §6 measures from end-transaction on
   cfg.cluster.num_threads = bench_threads();
+  apply_network_env(cfg.cluster);
   const auto seeds = bench_seeds();
   return workload::run_averaged(cfg, seeds);
 }

@@ -14,6 +14,20 @@ bool batch_non_conflicting(std::span<const txn::Transaction> txns) {
   return true;
 }
 
+void order_batch(std::vector<SignedEndTxn>& batch) {
+  std::sort(batch.begin(), batch.end(),
+            [](const SignedEndTxn& a, const SignedEndTxn& b) {
+              return a.request.txn.commit_ts < b.request.txn.commit_ts;
+            });
+}
+
+std::vector<txn::Transaction> batch_txns(std::span<const SignedEndTxn> batch) {
+  std::vector<txn::Transaction> txns;
+  txns.reserve(batch.size());
+  for (const auto& s : batch) txns.push_back(s.request.txn);
+  return txns;
+}
+
 void BatchBuilder::enqueue(SignedEndTxn request) {
   queue_.push_back(std::move(request));
 }

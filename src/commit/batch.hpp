@@ -20,6 +20,15 @@ namespace fides::commit {
 /// a coordinator that packs conflicting transactions gets vetoed.
 bool batch_non_conflicting(std::span<const txn::Transaction> txns);
 
+/// Sorts a batch by commit timestamp — the §4.6 block order that OCC
+/// validation and the auditor expect. One definition shared by the direct
+/// and simulated round drivers, whose block contents must stay
+/// bit-identical.
+void order_batch(std::vector<SignedEndTxn>& batch);
+
+/// The bare transactions of a batch, in batch order.
+std::vector<txn::Transaction> batch_txns(std::span<const SignedEndTxn> batch);
+
 class BatchBuilder {
  public:
   explicit BatchBuilder(std::size_t max_batch_size) : max_batch_(max_batch_size) {}

@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "common/cpu_time.hpp"
+#include "sim/sim_round.hpp"
+#include "sim/simnet.hpp"
 
 namespace fides {
 
@@ -15,28 +17,32 @@ double since_us(Clock::time_point start) {
   return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
 }
 
-/// Sorts a batch by commit timestamp: the coordinator "orders them within a
-/// single block at the start of TFCommit" (§4.6), and timestamp order is
-/// what OCC validation and the auditor expect.
-void order_batch(std::vector<commit::SignedEndTxn>& batch) {
-  std::sort(batch.begin(), batch.end(),
-            [](const commit::SignedEndTxn& a, const commit::SignedEndTxn& b) {
-              return a.request.txn.commit_ts < b.request.txn.commit_ts;
-            });
-}
-
-std::vector<txn::Transaction> batch_txns(const std::vector<commit::SignedEndTxn>& batch) {
-  std::vector<txn::Transaction> txns;
-  txns.reserve(batch.size());
-  for (const auto& s : batch) txns.push_back(s.request.txn);
-  return txns;
-}
-
 }  // namespace
+
+bool verify_touching_requests(Transport& transport, const Server& server,
+                              std::span<const commit::SignedEndTxn> requests) {
+  for (const auto& req : requests) {
+    bool touches_me = false;
+    for (const ItemId item : req.request.txn.rw.touched_items()) {
+      if (server.shard().contains(item)) {
+        touches_me = true;
+        break;
+      }
+    }
+    if (!touches_me) continue;
+    const crypto::PublicKey* ck = transport.key_of(NodeId::client(req.client));
+    ++transport.stats().signatures_verified;
+    if (ck == nullptr || !req.verify(*ck)) return false;
+  }
+  return true;
+}
 
 Cluster::Cluster(ClusterConfig config)
     : config_(std::move(config)),
       pool_(std::make_unique<common::ThreadPool>(config_.num_threads)) {
+  if (config_.network.mode == sim::NetworkMode::kSimulated) {
+    simnet_ = std::make_unique<sim::SimNet>(config_.network.sim);
+  }
   // Server provisioning builds a full Merkle tree over every shard; with a
   // parallel pool the servers provision concurrently (and each server's tree
   // build fans out further — nested parallel_for is safe, the caller helps).
@@ -52,6 +58,8 @@ Cluster::Cluster(ClusterConfig config)
     transport_.register_node(NodeId::server(ServerId{i}), server_keys_.back());
   }
 }
+
+Cluster::~Cluster() = default;
 
 std::size_t Cluster::round_threads() const { return pool_->concurrency(); }
 
@@ -148,11 +156,14 @@ WriteAck Cluster::client_write(Client& client, TxnId txn, ItemId item, Bytes val
 // --- TFCommit round ------------------------------------------------------------
 
 RoundMetrics Cluster::run_tfcommit_block(std::vector<commit::SignedEndTxn> batch) {
+  if (simnet_ != nullptr) {
+    return sim::run_tfcommit_block_sim(*this, std::move(batch), *simnet_);
+  }
   RoundMetrics metrics;
   metrics.txns_in_block = batch.size();
   metrics.threads_used = round_threads();
   const auto round_start = Clock::now();
-  order_batch(batch);
+  commit::order_batch(batch);
 
   const std::uint32_t n = config_.num_servers;
   Server& coord_server = *servers_[coordinator_id().value];
@@ -165,7 +176,7 @@ RoundMetrics Cluster::run_tfcommit_block(std::vector<commit::SignedEndTxn> batch
   // Phase 1 <GetVote, SchAnnouncement> — coordinator assembles and signs.
   auto t0 = Clock::now();
   commit::Block partial = commit::TfCommitCoordinator::make_partial_block(
-      coord_server.log().size(), coord_server.log().head_hash(), batch_txns(batch),
+      coord_server.log().size(), coord_server.log().head_hash(), commit::batch_txns(batch),
       cohort_ids);
   commit::GetVoteMsg get_vote = coordinator.start(std::move(partial), batch);
   // Broadcast: sign once, every cohort gets (and verifies) the same envelope.
@@ -187,26 +198,8 @@ RoundMetrics Cluster::run_tfcommit_block(std::vector<commit::SignedEndTxn> batch
     const double tc = common::thread_cpu_time_us();
     commit::VoteMsg vote;
     if (transport_.open(get_vote_env, "tf_get_vote")) {
-      // "Every cohort verifies ... the encapsulated client request": each
-      // cohort checks the client signatures of the transactions that touch
-      // its shard (those are what it votes on).
-      bool requests_ok = true;
-      for (const auto& req : get_vote.requests) {
-        bool touches_me = false;
-        for (const ItemId item : req.request.txn.rw.touched_items()) {
-          if (server.shard().contains(item)) {
-            touches_me = true;
-            break;
-          }
-        }
-        if (!touches_me) continue;
-        const crypto::PublicKey* ck = transport_.key_of(NodeId::client(req.client));
-        ++transport_.stats().signatures_verified;
-        if (ck == nullptr || !req.verify(*ck)) {
-          requests_ok = false;
-          break;
-        }
-      }
+      const bool requests_ok =
+          verify_touching_requests(transport_, server, get_vote.requests);
       commit::CohortFaults faults = server.faults().cohort;
       if (!requests_ok) faults.always_vote_abort = true;  // refuse forged requests
       vote = server.tf_cohort().handle_get_vote(get_vote, faults);
@@ -316,11 +309,14 @@ RoundMetrics Cluster::run_tfcommit_block(std::vector<commit::SignedEndTxn> batch
 // --- 2PC round -----------------------------------------------------------------
 
 RoundMetrics Cluster::run_2pc_block(std::vector<commit::SignedEndTxn> batch) {
+  if (simnet_ != nullptr) {
+    return sim::run_2pc_block_sim(*this, std::move(batch), *simnet_);
+  }
   RoundMetrics metrics;
   metrics.txns_in_block = batch.size();
   metrics.threads_used = round_threads();
   const auto round_start = Clock::now();
-  order_batch(batch);
+  commit::order_batch(batch);
 
   const std::uint32_t n = config_.num_servers;
   Server& coord_server = *servers_[coordinator_id().value];
@@ -333,7 +329,7 @@ RoundMetrics Cluster::run_2pc_block(std::vector<commit::SignedEndTxn> batch) {
   // Prepare phase.
   auto t0 = Clock::now();
   commit::Block partial = commit::TfCommitCoordinator::make_partial_block(
-      coord_server.log().size(), coord_server.log().head_hash(), batch_txns(batch),
+      coord_server.log().size(), coord_server.log().head_hash(), commit::batch_txns(batch),
       cohort_ids);
   commit::PrepareMsg prepare = coordinator.start(std::move(partial), batch);
   const Envelope prepare_env = transport_.seal(coord_server.keypair(), coord_node,
@@ -352,23 +348,8 @@ RoundMetrics Cluster::run_2pc_block(std::vector<commit::SignedEndTxn> batch) {
     const double tc = common::thread_cpu_time_us();
     commit::PrepareVoteMsg vote;
     if (transport_.open(prepare_env, "2pc_prepare")) {
-      bool requests_ok = true;
-      for (const auto& req : prepare.requests) {
-        bool touches_me = false;
-        for (const ItemId item : req.request.txn.rw.touched_items()) {
-          if (server.shard().contains(item)) {
-            touches_me = true;
-            break;
-          }
-        }
-        if (!touches_me) continue;
-        const crypto::PublicKey* ck = transport_.key_of(NodeId::client(req.client));
-        ++transport_.stats().signatures_verified;
-        if (ck == nullptr || !req.verify(*ck)) {
-          requests_ok = false;
-          break;
-        }
-      }
+      const bool requests_ok =
+          verify_touching_requests(transport_, server, prepare.requests);
       vote = server.tpc_cohort().handle_prepare(prepare);
       if (!requests_ok) {
         vote.vote = txn::Vote::kAbort;
@@ -430,12 +411,15 @@ std::vector<RoundMetrics> Cluster::drain(commit::BatchBuilder& builder) {
 }
 
 std::optional<ledger::Checkpoint> Cluster::create_checkpoint() {
+  if (simnet_ != nullptr) {
+    return sim::create_checkpoint_sim(*this, *simnet_);
+  }
   std::vector<ServerId> signers;
   for (std::uint32_t i = 0; i < config_.num_servers; ++i) signers.push_back(ServerId{i});
 
   // The coordinator proposes a checkpoint over its own log.
-  ledger::Checkpoint cp =
-      ledger::make_checkpoint(servers_[0]->log().blocks(), signers);
+  ledger::Checkpoint cp = ledger::make_checkpoint(
+      servers_[coordinator_id().value]->log().blocks(), signers);
   const Bytes record = cp.signing_bytes();
 
   // CoSi round: each server only contributes after verifying that the
@@ -452,7 +436,8 @@ std::optional<ledger::Checkpoint> Cluster::create_checkpoint() {
       return;  // agrees[i] stays 0: this server refuses
     }
     agrees[i] = 1;
-    secrets[i] = crypto::cosi_commit(server.keypair(), record, 0xC0DE0000ULL + cp.height);
+    secrets[i] = crypto::cosi_commit(server.keypair(), record,
+                                     ledger::checkpoint_cosi_round(cp.height));
     commitments[i] = secrets[i].v;
   });
   for (std::uint32_t i = 0; i < n; ++i) {

@@ -36,6 +36,10 @@
 
 namespace fides {
 
+namespace sim {
+class SimNet;
+}
+
 /// Everything a commit round reports to the harness.
 struct RoundMetrics {
   ledger::Decision decision{ledger::Decision::kAbort};
@@ -63,9 +67,18 @@ struct RoundMetrics {
   std::vector<std::pair<ServerId, std::string>> refusals;
 };
 
+/// "Every cohort verifies ... the encapsulated client request": Schnorr
+/// check of every request touching `server`'s shard, counting one
+/// verification per checked request and failing fast on the first bad
+/// signature. One definition shared by the direct and simulated round
+/// drivers — their outcomes and stats accounting must stay bit-identical.
+bool verify_touching_requests(Transport& transport, const Server& server,
+                              std::span<const commit::SignedEndTxn> requests);
+
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config);
+  ~Cluster();  // out of line: sim::SimNet is incomplete here
 
   const ClusterConfig& config() const { return config_; }
   std::uint32_t num_servers() const { return config_.num_servers; }
@@ -85,6 +98,13 @@ class Cluster {
 
   /// Threads commit rounds run on (1 when sequential).
   std::size_t round_threads() const;
+
+  /// The simulated network carrying commit-round and checkpoint traffic, or
+  /// nullptr in direct-delivery mode. One instance persists across rounds:
+  /// the virtual clock, RNG stream, and trace hash cover the whole run, so
+  /// a multi-round schedule reproduces from ClusterConfig::network.sim.seed.
+  sim::SimNet* simnet() { return simnet_.get(); }
+  const sim::SimNet* simnet() const { return simnet_.get(); }
 
   /// Creates a client registered with the transport.
   Client& make_client();
@@ -125,6 +145,7 @@ class Cluster {
 
   ClusterConfig config_;
   Transport transport_;
+  std::unique_ptr<sim::SimNet> simnet_;  ///< non-null iff network.mode == kSimulated
   // Declared before servers_: shards keep a pointer to the pool for Merkle
   // rebuilds, so the pool must outlive them.
   std::unique_ptr<common::ThreadPool> pool_;

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "common/bytes.hpp"
+#include "sim/sim_config.hpp"
 #include "store/shard.hpp"
 
 namespace fides {
@@ -17,11 +18,21 @@ enum class Protocol : std::uint8_t {
   kTfCommit,        ///< the paper's contribution
 };
 
-/// Network latency model for the in-process transport. The paper's servers
-/// sit in one AWS datacenter (US-West-2, m5.xlarge); we model each message
-/// leg as a fixed one-way latency added to the computed critical path.
+/// Network model for the in-process transport. Two modes:
+///
+///   * kDirect (default): delivery is a direct function call, exactly the
+///     original engine. Each message leg contributes a fixed one-way
+///     latency to the analytically computed critical path (the paper's
+///     servers sit in one AWS datacenter, US-West-2, m5.xlarge). The `sim`
+///     knobs are ignored in this mode.
+///   * kSimulated: commit-round and checkpoint traffic is routed through a
+///     seeded discrete-event network (sim::SimNet) with per-link delay
+///     distributions, drop/retransmit, duplication, reorder, and
+///     partition/heal faults. Same seed => byte-identical event trace.
 struct NetworkModel {
   double one_way_latency_us{100.0};
+  sim::NetworkMode mode{sim::NetworkMode::kDirect};
+  sim::SimNetConfig sim;
 };
 
 struct ClusterConfig {

@@ -43,7 +43,18 @@ namespace std {
 template <>
 struct hash<fides::NodeId> {
   size_t operator()(const fides::NodeId& n) const noexcept {
-    return (static_cast<size_t>(n.kind) << 32) ^ n.id;
+    // Pack into 64 bits, then splitmix64-finalize. The mix is computed in
+    // uint64_t regardless of the platform's size_t width (a size_t shift by
+    // 32 would be UB where size_t is 32-bit), and the high kind bits still
+    // influence the truncated result on 32-bit targets.
+    std::uint64_t x =
+        (static_cast<std::uint64_t>(n.kind) << 32) | static_cast<std::uint64_t>(n.id);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
   }
 };
 }  // namespace std

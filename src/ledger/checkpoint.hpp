@@ -30,6 +30,14 @@ struct Checkpoint {
   friend bool operator==(const Checkpoint&, const Checkpoint&) = default;
 };
 
+/// CoSi round id under which a checkpoint at `height` is co-signed. Nonces
+/// derive from (key, record, round), so the direct and simulated drivers
+/// must share this definition for their signature bytes to stay
+/// bit-identical.
+constexpr std::uint64_t checkpoint_cosi_round(std::uint64_t height) {
+  return 0xC0DE0000ULL + height;
+}
+
 /// Builds the (unsigned) checkpoint summarizing `log` as of its full length:
 /// head hash plus each server's most recent committed root.
 Checkpoint make_checkpoint(std::span<const Block> log,

@@ -1,0 +1,460 @@
+#include "sim/schedule_fuzz.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "audit/auditor.hpp"
+#include "common/rng.hpp"
+#include "sim/simnet.hpp"
+#include "workload/ycsb.hpp"
+
+namespace fides::sim {
+
+namespace {
+
+/// The Byzantine deviation menu, one layer at a time — each entry maps to a
+/// lemma or §5 scenario and to the evidence the harness demands.
+enum class Fault : std::uint8_t {
+  kNone,
+  kReadGarbage,         // Lemma 1 / Scenario 1
+  kReadStale,           // Lemma 1 / Figure 10
+  kSkipWrite,           // Lemma 2 / Scenario 3
+  kCorruptAfterCommit,  // Lemma 2
+  kCorruptCommitment,   // Lemma 4
+  kCorruptResponse,     // Lemma 4
+  kVoteAbort,           // griefing veto (legal but visible: nothing commits)
+  kEquivSame,           // Lemma 5 case 1
+  kEquivMatching,       // Lemma 5 case 2
+  kFakeRoot,            // Scenario 2
+  kForceCommit,         // atomicity attack (Lemma 5)
+  kTamperLog,           // Lemma 6
+  kTruncateLog,         // Lemma 7
+  kCount_,
+};
+
+const char* fault_name(Fault f) {
+  switch (f) {
+    case Fault::kNone: return "none";
+    case Fault::kReadGarbage: return "read-garbage";
+    case Fault::kReadStale: return "read-stale";
+    case Fault::kSkipWrite: return "skip-write";
+    case Fault::kCorruptAfterCommit: return "corrupt-after-commit";
+    case Fault::kCorruptCommitment: return "corrupt-sch-commitment";
+    case Fault::kCorruptResponse: return "corrupt-sch-response";
+    case Fault::kVoteAbort: return "always-vote-abort";
+    case Fault::kEquivSame: return "equivocate-same-challenge";
+    case Fault::kEquivMatching: return "equivocate-matching-challenges";
+    case Fault::kFakeRoot: return "fake-root";
+    case Fault::kForceCommit: return "force-commit";
+    case Fault::kTamperLog: return "tamper-log";
+    case Fault::kTruncateLog: return "truncate-log";
+    case Fault::kCount_: break;
+  }
+  return "?";
+}
+
+bool is_coordinator_fault(Fault f) {
+  return f == Fault::kEquivSame || f == Fault::kEquivMatching ||
+         f == Fault::kFakeRoot || f == Fault::kForceCommit;
+}
+
+/// Faults whose evidence the auditor produces (as opposed to in-round
+/// metrics). These leave a committed history behind, so the audit has
+/// blocks to replay.
+bool is_audit_fault(Fault f) {
+  return f == Fault::kReadGarbage || f == Fault::kReadStale ||
+         f == Fault::kSkipWrite || f == Fault::kCorruptAfterCommit ||
+         f == Fault::kTamperLog || f == Fault::kTruncateLog;
+}
+
+commit::SignedEndTxn scripted_txn(Cluster& cluster, Client& client,
+                                  const std::vector<ItemId>& items,
+                                  const std::string& tag) {
+  ClientTxn txn = client.begin();
+  cluster.client_begin(client, txn.id(), items);
+  for (const ItemId item : items) {
+    client.read(txn, item);
+    client.write(txn, item, to_bytes(tag + "-" + std::to_string(item)));
+  }
+  return client.end(std::move(txn));
+}
+
+struct Scenario {
+  ClusterConfig cfg;
+  Fault fault{Fault::kNone};
+  std::uint32_t culprit{0};
+  std::string description;
+};
+
+Scenario derive_scenario(std::uint64_t seed) {
+  // Independent stream from SimNet's (which gets its own derived seed), so
+  // scenario shape and schedule don't alias.
+  Rng rng(seed ^ 0x51AF'F00D'5EED'F00DULL);
+  Scenario s;
+
+  ClusterConfig& cfg = s.cfg;
+  cfg.num_servers = 3 + static_cast<std::uint32_t>(rng.uniform(4));  // 3..6
+  cfg.items_per_shard = 24;
+  cfg.max_batch_size = 8;
+  cfg.num_threads = 1 + static_cast<std::uint32_t>(rng.uniform(2));
+  cfg.seed = seed;
+  cfg.versioning = rng.uniform(2) == 0 ? store::VersioningMode::kSingle
+                                       : store::VersioningMode::kMulti;
+  cfg.network.mode = NetworkMode::kSimulated;
+
+  SimNetConfig& net = cfg.network.sim;
+  net.seed = seed * 0x9E37'79B9'7F4A'7C15ULL + 0xD1B5'4A32'D192'ED03ULL;
+  net.link.min_delay_us = 10 + rng.uniform01() * 90;
+  net.link.max_delay_us = net.link.min_delay_us + rng.uniform01() * 600;
+  net.link.drop_prob = rng.uniform01() < 0.5 ? rng.uniform01() * 0.3 : 0.0;
+  net.link.dup_prob = rng.uniform01() < 0.5 ? rng.uniform01() * 0.25 : 0.0;
+  net.link.reorder_prob = rng.uniform01() < 0.5 ? rng.uniform01() * 0.5 : 0.0;
+  net.link.reorder_extra_us = 200 + rng.uniform01() * 2000;
+  bool partitioned = false;
+  if (rng.uniform01() < 0.35) {
+    Partition p;
+    p.start_us = rng.uniform01() * 1500;
+    p.heal_us = p.start_us + 200 + rng.uniform01() * 3000;
+    for (std::uint32_t i = 0; i < cfg.num_servers; ++i) {
+      if (rng.uniform(2) == 0) p.island.push_back(i);
+    }
+    if (p.island.empty()) p.island.push_back(static_cast<std::uint32_t>(
+        rng.uniform(cfg.num_servers)));
+    if (p.island.size() == cfg.num_servers) p.island.pop_back();
+    net.partitions.push_back(std::move(p));
+    partitioned = true;
+  }
+
+  const bool use_2pc = rng.uniform(5) == 0;
+  cfg.protocol = use_2pc ? Protocol::kTwoPhaseCommit : Protocol::kTfCommit;
+
+  // Byzantine deviations exist in the TFCommit stack only; 2PC schedules
+  // fuzz the network dimension alone.
+  if (!use_2pc && rng.uniform01() < 0.65) {
+    s.fault = static_cast<Fault>(
+        1 + rng.uniform(static_cast<std::uint64_t>(Fault::kCount_) - 1));
+  }
+  // Faults that rely on version history need the multi-versioned store.
+  if (s.fault == Fault::kReadStale || s.fault == Fault::kCorruptAfterCommit) {
+    cfg.versioning = store::VersioningMode::kMulti;
+  }
+  s.culprit = is_coordinator_fault(s.fault)
+                  ? 0
+                  : static_cast<std::uint32_t>(rng.uniform(cfg.num_servers));
+
+  std::ostringstream d;
+  d << (use_2pc ? "2pc" : "tfcommit") << " n=" << cfg.num_servers
+    << " threads=" << cfg.num_threads << " drop=" << net.link.drop_prob
+    << " dup=" << net.link.dup_prob << " reorder=" << net.link.reorder_prob
+    << (partitioned ? " partition" : "") << " fault=" << fault_name(s.fault);
+  if (s.fault != Fault::kNone) d << "@S" << s.culprit;
+  s.description = d.str();
+  return s;
+}
+
+/// First item owned by server `owner`.
+ItemId item_owned_by(const Cluster& cluster, std::uint32_t owner) {
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(cluster.num_servers()) *
+      cluster.config().items_per_shard;
+  for (ItemId item = 0; item < total; ++item) {
+    if (cluster.owner_of(item).value == owner) return item;
+  }
+  return 0;
+}
+
+void fold(crypto::Digest& acc, BytesView data) {
+  Writer w;
+  w.raw(acc.view());
+  w.bytes(data);
+  acc = crypto::sha256(w.data());
+}
+
+}  // namespace
+
+FuzzOutcome run_schedule(std::uint64_t seed) {
+  FuzzOutcome out;
+  out.seed = seed;
+
+  const Scenario scenario = derive_scenario(seed);
+  out.scenario = scenario.description;
+  out.byzantine = scenario.fault != Fault::kNone;
+  const Fault fault = scenario.fault;
+  const bool use_2pc = scenario.cfg.protocol == Protocol::kTwoPhaseCommit;
+  const std::uint32_t n = scenario.cfg.num_servers;
+  const std::uint32_t culprit = scenario.culprit;
+
+  Cluster cluster(scenario.cfg);
+  Client& client = cluster.make_client();
+  Rng rng(seed ^ 0xF022'CE55'0000'0001ULL);  // history-shape choices
+
+  auto fail = [&](const std::string& why) {
+    if (out.ok) {
+      out.ok = false;
+      out.failure = why;
+    }
+  };
+
+  // Items the scripted history targets: A on the culprit's shard, B on the
+  // next server's — so the deviation is guaranteed to be exercised.
+  const ItemId item_a = item_owned_by(cluster, culprit);
+  const ItemId item_b = item_owned_by(cluster, (culprit + 1) % n);
+  std::optional<ServerId> fake_root_victim;
+
+  // --- Install the pre-run deviation -----------------------------------------
+  Server& culprit_server = cluster.server(ServerId{culprit});
+  switch (fault) {
+    case Fault::kReadGarbage:
+      culprit_server.faults().read_fault = ReadFault::kGarbageValue;
+      break;
+    case Fault::kReadStale:
+      culprit_server.faults().read_fault = ReadFault::kStaleValue;
+      break;
+    case Fault::kSkipWrite:
+      culprit_server.faults().skip_write_item = item_a;
+      break;
+    case Fault::kCorruptAfterCommit:
+      culprit_server.faults().corrupt_after_commit_item = item_a;
+      break;
+    case Fault::kCorruptCommitment:
+      culprit_server.faults().cohort.corrupt_sch_commitment = true;
+      break;
+    case Fault::kCorruptResponse:
+      culprit_server.faults().cohort.corrupt_sch_response = true;
+      break;
+    case Fault::kVoteAbort:
+      culprit_server.faults().cohort.always_vote_abort = true;
+      break;
+    case Fault::kEquivSame:
+    case Fault::kEquivMatching: {
+      auto& cf = culprit_server.faults().coordinator;
+      cf.equivocate = fault == Fault::kEquivSame
+                          ? commit::CoordinatorFaults::Equivocation::kSameChallenge
+                          : commit::CoordinatorFaults::Equivocation::kMatchingChallenges;
+      cf.equivocation_victims = {static_cast<std::size_t>(1 + rng.uniform(n - 1))};
+      break;
+    }
+    case Fault::kFakeRoot:
+      // Forge the root of an involved non-coordinator server (B's owner).
+      fake_root_victim = ServerId{(culprit + 1) % n};
+      culprit_server.faults().coordinator.fake_root_victim = fake_root_victim;
+      break;
+    case Fault::kForceCommit:
+      culprit_server.faults().coordinator.force_commit = true;
+      break;
+    default:
+      break;  // none / post-run log faults
+  }
+
+  // --- Scripted history + noise ----------------------------------------------
+  std::vector<RoundMetrics> rounds;
+  std::map<ItemId, Bytes> committed;  // last committed value per item
+
+  auto run_round = [&](std::vector<commit::SignedEndTxn> batch) {
+    std::vector<std::pair<ItemId, Bytes>> writes;
+    for (const auto& req : batch) {
+      for (const auto& w : req.request.txn.rw.writes) {
+        writes.emplace_back(w.id, w.new_value);
+      }
+    }
+    RoundMetrics m = cluster.run_block(std::move(batch));
+    const bool applied =
+        m.decision == ledger::Decision::kCommit && (use_2pc || m.cosign_valid);
+    if (applied) {
+      for (auto& [item, value] : writes) committed[item] = std::move(value);
+    }
+    rounds.push_back(std::move(m));
+  };
+
+  if (fault == Fault::kForceCommit) {
+    // The atomicity attack needs an abort vote to override: t2 reads B, then
+    // t1 commits a newer version of B, then t2's block arrives stale.
+    run_round({scripted_txn(cluster, client, {item_a, item_b}, "s0")});
+    auto t_stale = scripted_txn(cluster, client, {item_b}, "s1");
+    run_round({scripted_txn(cluster, client, {item_b}, "s2")});
+    run_round({std::move(t_stale)});
+  } else {
+    run_round({scripted_txn(cluster, client, {item_a, item_b}, "r0")});
+    run_round({scripted_txn(cluster, client, {item_a, item_b}, "r1")});
+    // Noise round: workload transactions over the whole keyspace.
+    workload::YcsbWorkload workload(
+        {}, static_cast<std::uint64_t>(n) * scenario.cfg.items_per_shard, seed);
+    workload.begin_batch();
+    std::vector<commit::SignedEndTxn> batch;
+    const std::size_t noise = 1 + rng.uniform(3);
+    for (std::size_t i = 0; i < noise; ++i) {
+      batch.push_back(workload.run_transaction(client));
+    }
+    run_round(std::move(batch));
+  }
+
+  // --- Checkpoint round (TFCommit): must form whenever honest logs agree ------
+  if (!use_2pc && rng.uniform(2) == 0) {
+    if (!cluster.create_checkpoint().has_value()) {
+      fail("checkpoint co-sign failed to form on agreeing logs");
+    }
+  }
+
+  // --- Post-run log-layer deviations ------------------------------------------
+  Fault effective_fault = fault;
+  if (fault == Fault::kTamperLog || fault == Fault::kTruncateLog) {
+    auto& log = culprit_server.log();
+    if (log.size() < 2) {
+      effective_fault = Fault::kNone;  // nothing committed to tamper with
+      out.byzantine = false;
+    } else if (fault == Fault::kTamperLog) {
+      const std::size_t h = rng.uniform(log.size());
+      ledger::Block forged = log.at(h);
+      forged.decision = forged.committed() ? ledger::Decision::kAbort
+                                           : ledger::Decision::kCommit;
+      log.tamper_block(h, forged);
+    } else {
+      log.truncate_tail(log.size() - 1);
+    }
+  }
+
+  // --- Invariant 1: honest agreement ------------------------------------------
+  std::vector<std::uint32_t> honest;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (effective_fault == Fault::kNone || i != culprit) honest.push_back(i);
+  }
+  const Server& ref = cluster.server(ServerId{honest[0]});
+  for (const std::uint32_t i : honest) {
+    const Server& s = cluster.server(ServerId{i});
+    if (s.log().size() != ref.log().size()) {
+      fail("honest logs diverge in length (S" + std::to_string(i) + ")");
+      break;
+    }
+    if (!(s.log().head_hash() == ref.log().head_hash())) {
+      fail("honest log head hashes diverge (S" + std::to_string(i) + ")");
+      break;
+    }
+    bool blocks_equal = true;
+    for (std::size_t b = 0; b < s.log().size(); ++b) {
+      if (!(s.log().at(b).digest() == ref.log().at(b).digest())) blocks_equal = false;
+    }
+    if (!blocks_equal) {
+      fail("honest logs diverge in block contents (S" + std::to_string(i) + ")");
+      break;
+    }
+  }
+
+  // --- Invariant 2: no committed transaction is lost ---------------------------
+  for (const auto& [item, value] : committed) {
+    const std::uint32_t owner = cluster.owner_of(item).value;
+    if (std::find(honest.begin(), honest.end(), owner) == honest.end()) continue;
+    if (cluster.server(ServerId{owner}).shard().peek(item).value != value) {
+      fail("committed write to item " + std::to_string(item) +
+           " lost on honest server S" + std::to_string(owner));
+    }
+  }
+
+  // --- Invariant 3: detection --------------------------------------------------
+  const auto any_round = [&](auto&& pred) {
+    return std::any_of(rounds.begin(), rounds.end(), pred);
+  };
+  const auto attributed = [&](const RoundMetrics& m) {
+    return !m.cosign_valid &&
+           std::find(m.faulty_cosigners.begin(), m.faulty_cosigners.end(),
+                     ServerId{culprit}) != m.faulty_cosigners.end();
+  };
+  const auto refused = [&](const RoundMetrics& m) {
+    return !m.cosign_valid && !m.refusals.empty();
+  };
+
+  audit::AuditReport report;
+  if (!use_2pc && (effective_fault == Fault::kNone || is_audit_fault(effective_fault))) {
+    audit::Auditor auditor(cluster);
+    report = auditor.run();
+  }
+  const auto audit_flags = [&](audit::ViolationKind kind) {
+    for (const auto& v : report.of_kind(kind)) {
+      if (v.server == ServerId{culprit}) return true;
+    }
+    return false;
+  };
+
+  switch (effective_fault) {
+    case Fault::kNone:
+      if (!use_2pc && !report.clean()) {
+        fail("honest run audited dirty: " + report.to_string());
+      }
+      break;
+    case Fault::kReadGarbage:
+    case Fault::kReadStale:
+      out.detected = audit_flags(audit::ViolationKind::kIncorrectRead);
+      break;
+    case Fault::kSkipWrite:
+    case Fault::kCorruptAfterCommit:
+      out.detected = audit_flags(audit::ViolationKind::kDatastoreCorruption);
+      break;
+    case Fault::kCorruptCommitment:
+    case Fault::kCorruptResponse:
+      out.detected = any_round(attributed);
+      break;
+    case Fault::kVoteAbort:
+      // A vetoing cohort is visible as aborted (but co-signed) rounds: the
+      // scripted rounds 0 and 1 both touch the griefer's shard, so its veto
+      // must have blocked them. (The noise round may not involve it.)
+      out.detected = rounds.size() >= 2 &&
+                     rounds[0].decision == ledger::Decision::kAbort &&
+                     rounds[1].decision == ledger::Decision::kAbort;
+      break;
+    case Fault::kEquivSame:
+    case Fault::kForceCommit:
+      out.detected = any_round(refused);
+      break;
+    case Fault::kEquivMatching:
+      // Nobody can refuse locally (the abort variant looks legitimate), but
+      // the aggregate co-sign cannot verify and share verification localizes
+      // the inconsistency (commit_test: refusals empty, faulty set not).
+      out.detected = any_round([&](const RoundMetrics& m) {
+        return !m.cosign_valid && (!m.refusals.empty() || !m.faulty_cosigners.empty());
+      });
+      break;
+    case Fault::kFakeRoot:
+      out.detected = any_round([&](const RoundMetrics& m) {
+        if (m.cosign_valid) return false;
+        for (const auto& [server, reason] : m.refusals) {
+          if (server == *fake_root_victim) return true;
+        }
+        return false;
+      });
+      break;
+    case Fault::kTamperLog:
+      // A rewritten block surfaces as kInvalidCosign (its co-sign no longer
+      // matches the contents) or as kTamperedLog (chain breakage) depending
+      // on where it sits — audit_test pins both classifications.
+      out.detected = audit_flags(audit::ViolationKind::kTamperedLog) ||
+                     audit_flags(audit::ViolationKind::kInvalidCosign);
+      break;
+    case Fault::kTruncateLog:
+      out.detected = audit_flags(audit::ViolationKind::kIncompleteLog);
+      break;
+    case Fault::kCount_:
+      break;
+  }
+  if (out.byzantine && !out.detected) {
+    fail(std::string("undetected Byzantine fault: ") + fault_name(effective_fault) +
+         " at S" + std::to_string(culprit));
+  }
+
+  // --- Reproduction tokens -----------------------------------------------------
+  out.trace_hash = cluster.simnet()->trace_hash();
+  crypto::Digest acc;
+  for (const RoundMetrics& m : rounds) {
+    Bytes d{static_cast<std::uint8_t>(m.decision == ledger::Decision::kCommit),
+            static_cast<std::uint8_t>(m.cosign_valid)};
+    fold(acc, d);
+  }
+  for (const std::uint32_t i : honest) {
+    const Server& s = cluster.server(ServerId{i});
+    fold(acc, s.log().head_hash().view());
+    fold(acc, s.shard().merkle_root().view());
+  }
+  out.result_hash = acc;
+  return out;
+}
+
+}  // namespace fides::sim

@@ -1,0 +1,47 @@
+// Seeded schedule fuzzing of TFCommit/2PC rounds over SimNet.
+//
+// One seed = one fully determined scenario: cluster shape, network fault
+// profile (delays, loss, duplication, reorder, partition window), an
+// optional Byzantine deviation from the existing FaultConfig menu, and the
+// message schedule itself. run_schedule executes the scenario and checks
+// the paper's safety story as machine invariants:
+//
+//   * Agreement  — every honest server ends with the same log (sizes, head
+//     hashes, per-block digests), no matter how the schedule interleaved.
+//   * Durability — no committed transaction is lost: the last committed
+//     write of every item is present in the owning honest server's store.
+//   * Detection  — every injected Byzantine deviation leaves evidence:
+//     commit-layer faults surface in-round (invalid co-sign, attributed
+//     faulty cosigners, refusals — Lemmas 4 & 5); data/log-layer faults are
+//     flagged by the auditor (Lemmas 1, 2, 6, 7).
+//   * Honest runs audit clean (no false accusations), and a checkpoint
+//     co-sign forms whenever all honest logs agree.
+//
+// Determinism: two calls with the same seed produce identical trace hashes,
+// decisions, and result hashes — so any failure reproduces from the one
+// seed printed by the runner (FIDES_SIM_SEED workflow, see README).
+#pragma once
+
+#include <string>
+
+#include "crypto/sha256.hpp"
+
+namespace fides::sim {
+
+struct FuzzOutcome {
+  std::uint64_t seed{0};
+  bool ok{true};
+  std::string failure;   ///< first violated invariant (empty when ok)
+  std::string scenario;  ///< human-readable description of the scenario
+
+  crypto::Digest trace_hash;   ///< SimNet event trace (schedule identity)
+  crypto::Digest result_hash;  ///< decisions + honest ledger fingerprint
+
+  bool byzantine{false};  ///< a Byzantine deviation was injected
+  bool detected{false};   ///< the deviation left the expected evidence
+};
+
+/// Executes the scenario derived from `seed` and checks all invariants.
+FuzzOutcome run_schedule(std::uint64_t seed);
+
+}  // namespace fides::sim

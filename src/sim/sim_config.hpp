@@ -1,0 +1,73 @@
+// Configuration of the deterministic simulated network (SimNet).
+//
+// Kept dependency-free (plain integers/doubles) so ClusterConfig can embed
+// it without pulling the event machinery into every translation unit. The
+// knobs model the classic network adversary: per-link delay distributions
+// (reordering falls out of randomized delays), message loss with bounded
+// retransmission, duplication, and partition/heal windows. Everything is
+// driven by one seed — the same seed always yields the same schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fides::sim {
+
+/// Per-link fault/delay model. One instance applies to every server↔server
+/// link (self-delivery is ideal: fixed small delay, no faults — a node's
+/// loopback does not traverse the adversary's network).
+struct LinkFaults {
+  /// One-way delay is drawn uniformly from [min_delay_us, max_delay_us].
+  /// A wide window is the reorder mechanism: a message sent earlier can
+  /// arrive later than one sent after it.
+  double min_delay_us{20.0};
+  double max_delay_us{200.0};
+
+  /// Probability a given copy is dropped. Loss is transient: a dropped copy
+  /// is retransmitted after retransmit_timeout_us (see SimNetConfig), so
+  /// every logical message is eventually delivered — the blocking-commit
+  /// protocols assume reliable eventual delivery, and the fuzzer explores
+  /// the delay/reorder consequences of loss rather than infinite loss.
+  double drop_prob{0.0};
+
+  /// Probability a delivered message is delivered a second time (with an
+  /// independently drawn delay). Receivers must deduplicate.
+  double dup_prob{0.0};
+
+  /// Probability a message is additionally jittered by up to
+  /// reorder_extra_us — a heavier reorder tail than the base delay window.
+  double reorder_prob{0.0};
+  double reorder_extra_us{1000.0};
+};
+
+/// A temporary network partition: while the virtual clock is inside
+/// [start_us, heal_us), traffic between `island` servers and the rest is
+/// held and released at heal time (plus a normal link delay). Partitions
+/// heal — a permanent partition would block the commit protocols forever,
+/// which is a liveness question outside the safety fuzzer's scope.
+struct Partition {
+  std::vector<std::uint32_t> island;  ///< server ids on one side
+  double start_us{0.0};
+  double heal_us{0.0};
+};
+
+enum class NetworkMode : std::uint8_t {
+  kDirect,     ///< delivery is a direct function call (the original engine)
+  kSimulated,  ///< delivery goes through the seeded discrete-event SimNet
+};
+
+struct SimNetConfig {
+  std::uint64_t seed{1};
+  LinkFaults link;
+  std::vector<Partition> partitions;
+
+  /// Backoff before a dropped copy is retransmitted.
+  double retransmit_timeout_us{500.0};
+  /// Bound on copies per logical message; the final attempt is never
+  /// dropped, so event queues always drain (termination is deterministic).
+  std::uint32_t max_attempts{16};
+  /// Loopback delay for self-addressed messages (no faults applied).
+  double self_delay_us{1.0};
+};
+
+}  // namespace fides::sim

@@ -1,0 +1,481 @@
+#include "sim/sim_round.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <tuple>
+
+#include "common/cpu_time.hpp"
+#include "crypto/cosi.hpp"
+#include "sim/simnet.hpp"
+
+namespace fides::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double since_us(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+/// Receiver-side at-most-once filter: the first copy of a (sender,
+/// receiver, type) message in a round is processed, later copies (SimNet
+/// duplicates) are ignored.
+class Dedup {
+ public:
+  bool first(NodeId src, NodeId dst, const std::string& type) {
+    return seen_.emplace(src, dst, type).second;
+  }
+
+ private:
+  std::set<std::tuple<NodeId, NodeId, std::string>> seen_;
+};
+
+NodeId server_node(std::uint32_t i) { return NodeId::server(ServerId{i}); }
+
+/// Broadcasts one sealed envelope to servers [0, n): the sender signs once
+/// (counted by seal) and each further recipient is one more wire copy.
+void broadcast(Cluster& cluster, SimNet& net, NodeId src, const Envelope& env,
+               std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (i > 0) cluster.transport().count_copy(env);
+    net.send(src, server_node(i), env);
+  }
+}
+
+}  // namespace
+
+RoundMetrics run_tfcommit_block_sim(Cluster& cluster,
+                                    std::vector<commit::SignedEndTxn> batch,
+                                    SimNet& net) {
+  RoundMetrics metrics;
+  metrics.txns_in_block = batch.size();
+  metrics.threads_used = 1;  // the event loop is single-threaded by design
+  const auto round_start = Clock::now();
+  const double net_start_us = net.now_us();
+  commit::order_batch(batch);
+
+  const std::uint32_t n = cluster.num_servers();
+  Transport& transport = cluster.transport();
+  Server& coord_server = cluster.server(cluster.coordinator_id());
+  const NodeId coord_node = NodeId::server(cluster.coordinator_id());
+
+  std::vector<ServerId> cohort_ids;
+  for (std::uint32_t i = 0; i < n; ++i) cohort_ids.push_back(ServerId{i});
+  commit::TfCommitCoordinator coordinator(cohort_ids, cluster.server_keys());
+
+  // Phase 1 <GetVote, SchAnnouncement> — assembled up front; everything
+  // after this reacts to deliveries.
+  auto t0 = Clock::now();
+  commit::Block partial = commit::TfCommitCoordinator::make_partial_block(
+      coord_server.log().size(), coord_server.log().head_hash(), commit::batch_txns(batch),
+      cohort_ids);
+  commit::GetVoteMsg get_vote = coordinator.start(std::move(partial), batch);
+  const Envelope get_vote_env = transport.seal(coord_server.keypair(), coord_node,
+                                               "tf_get_vote", get_vote.serialize());
+  double coord_us = since_us(t0);
+
+  // Round state, owned by the driver but logically located at the nodes:
+  // slot i belongs to server i (or, for vote/response inboxes, to the
+  // coordinator's view of cohort i).
+  std::vector<commit::VoteMsg> votes(n);
+  std::vector<unsigned char> vote_in(n, 0);
+  std::size_t votes_seen = 0;
+  std::vector<commit::ChallengeMsg> challenges;
+  std::vector<commit::ResponseMsg> responses(n);
+  std::vector<unsigned char> resp_in(n, 0);
+  std::size_t resps_seen = 0;
+  std::optional<commit::TfCommitOutcome> outcome;
+  std::vector<double> cohort_us(n, 0);
+  Dedup seen;
+
+  broadcast(cluster, net, coord_node, get_vote_env, n);
+
+  net.run([&](NodeId src, NodeId dst, const Envelope& env) {
+    if (!seen.first(src, dst, env.type)) return;  // duplicate copy
+
+    if (env.type == "tf_get_vote") {
+      // Phase 2 <Vote, SchCommitment> at cohort dst.
+      Server& server = cluster.server(ServerId{dst.id});
+      const double tc = common::thread_cpu_time_us();
+      commit::VoteMsg vote;
+      if (transport.open(env, "tf_get_vote")) {
+        if (const auto msg = commit::GetVoteMsg::deserialize(env.payload)) {
+          commit::CohortFaults faults = server.faults().cohort;
+          if (!verify_touching_requests(transport, server, msg->requests)) {
+            faults.always_vote_abort = true;  // refuse forged requests
+          }
+          vote = server.tf_cohort().handle_get_vote(*msg, faults);
+          server.add_mht_time_us(server.tf_cohort().last_root_compute_us());
+          metrics.mht_us =
+              std::max(metrics.mht_us, server.tf_cohort().last_root_compute_us());
+        }
+      }
+      Envelope vote_env = transport.seal(server.keypair(), NodeId::server(server.id()),
+                                         "tf_vote", vote.serialize());
+      cohort_us[dst.id] += common::thread_cpu_time_us() - tc;
+      net.send(NodeId::server(server.id()), coord_node, std::move(vote_env));
+
+    } else if (env.type == "tf_vote") {
+      // Phase 3 <null, SchChallenge> at the coordinator, once the last vote
+      // is in. Votes land in cohort order regardless of arrival order.
+      const auto t = Clock::now();
+      const bool authentic = transport.open(env, "tf_vote");
+      if (src.id < n && !vote_in[src.id]) {
+        // An unauthenticated or malformed vote is never ingested; the slot
+        // is conservatively filled with an involved abort so the round
+        // still terminates — with a deny. (Unreachable for honestly sealed
+        // traffic: SimNet never corrupts payloads.)
+        commit::VoteMsg vote;
+        vote.cohort = ServerId{src.id};
+        vote.involved = true;
+        vote.abort_reason = "vote envelope failed authentication";
+        if (authentic) {
+          if (const auto msg = commit::VoteMsg::deserialize(env.payload)) vote = *msg;
+        }
+        votes[src.id] = std::move(vote);
+        vote_in[src.id] = 1;
+        ++votes_seen;
+      }
+      if (votes_seen == n && challenges.empty()) {
+        challenges = coordinator.on_votes(votes, coord_server.faults().coordinator);
+        // Honest coordinators broadcast one challenge; an equivocating one
+        // signs a divergent envelope per cohort.
+        std::vector<Envelope> challenge_envs;
+        for (const auto& ch : challenges) {
+          challenge_envs.push_back(transport.seal(coord_server.keypair(), coord_node,
+                                                  "tf_challenge", ch.serialize()));
+        }
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const std::size_t slot = challenges.size() == 1 ? 0 : i;
+          if (challenges.size() == 1 && i > 0) transport.count_copy(challenge_envs[0]);
+          net.send(coord_node, server_node(i), challenge_envs[slot]);
+        }
+      }
+      coord_us += since_us(t);
+
+    } else if (env.type == "tf_challenge") {
+      // Phase 4 <null, SchResponse> at cohort dst.
+      Server& server = cluster.server(ServerId{dst.id});
+      const double tc = common::thread_cpu_time_us();
+      commit::ResponseMsg resp;
+      resp.cohort = server.id();
+      if (transport.open(env, "tf_challenge")) {
+        if (const auto msg = commit::ChallengeMsg::deserialize(env.payload)) {
+          resp = server.tf_cohort().handle_challenge(*msg, server.faults().cohort);
+        } else {
+          resp.refused = true;
+          resp.refusal_reason = "malformed challenge payload";
+        }
+      } else {
+        resp.refused = true;
+        resp.refusal_reason = "challenge envelope failed authentication";
+      }
+      Envelope resp_env = transport.seal(server.keypair(), NodeId::server(server.id()),
+                                         "tf_response", resp.serialize());
+      cohort_us[dst.id] += common::thread_cpu_time_us() - tc;
+      net.send(NodeId::server(server.id()), coord_node, std::move(resp_env));
+
+    } else if (env.type == "tf_response") {
+      // Phase 5 <Decision, null> at the coordinator, once all responses are
+      // in: aggregate the co-sign and broadcast the finalized block.
+      const auto t = Clock::now();
+      const bool authentic = transport.open(env, "tf_response");
+      if (src.id < n && !resp_in[src.id]) {
+        commit::ResponseMsg resp;
+        resp.cohort = ServerId{src.id};
+        resp.refused = true;
+        resp.refusal_reason = "response envelope failed authentication";
+        if (authentic) {
+          if (const auto msg = commit::ResponseMsg::deserialize(env.payload)) resp = *msg;
+        }
+        responses[src.id] = std::move(resp);
+        resp_in[src.id] = 1;
+        ++resps_seen;
+      }
+      if (resps_seen == n && !outcome.has_value()) {
+        outcome = coordinator.on_responses(responses);
+        const commit::DecisionMsg decision{outcome->block};
+        const Envelope decision_env = transport.seal(
+            coord_server.keypair(), coord_node, "tf_decision", decision.serialize());
+        broadcast(cluster, net, coord_node, decision_env, n);
+      }
+      coord_us += since_us(t);
+
+    } else if (env.type == "tf_decision") {
+      // Log append + datastore update at server dst (steps 6-7). The apply
+      // step rebuilds Merkle leaves — fold it into mht_us like the direct
+      // driver does.
+      Server& server = cluster.server(ServerId{dst.id});
+      const double tc = common::thread_cpu_time_us();
+      const double mht_before = server.mht_time_us();
+      if (transport.open(env, "tf_decision")) {
+        if (const auto msg = commit::DecisionMsg::deserialize(env.payload)) {
+          server.handle_decision(*msg, cluster.server_keys());
+        }
+      }
+      metrics.mht_us = std::max(metrics.mht_us, server.mht_time_us() - mht_before);
+      cohort_us[dst.id] += common::thread_cpu_time_us() - tc;
+    }
+  });
+
+  metrics.coordinator_us = coord_us;
+  metrics.cohort_critical_us = *std::max_element(cohort_us.begin(), cohort_us.end());
+  if (outcome.has_value()) {
+    metrics.decision = outcome->decision;
+    metrics.cosign_valid = outcome->cosign_valid;
+    metrics.faulty_cosigners = outcome->faulty_cosigners;
+    metrics.refusals = outcome->refusals;
+  }
+  metrics.network_legs = 6;
+  // In simulated mode the network term of the critical path is not modeled
+  // analytically — it is the virtual time the schedule actually took.
+  metrics.modeled_latency_us =
+      metrics.coordinator_us + metrics.cohort_critical_us + (net.now_us() - net_start_us);
+  metrics.measured_latency_us = since_us(round_start);
+  return metrics;
+}
+
+RoundMetrics run_2pc_block_sim(Cluster& cluster,
+                               std::vector<commit::SignedEndTxn> batch, SimNet& net) {
+  RoundMetrics metrics;
+  metrics.txns_in_block = batch.size();
+  metrics.threads_used = 1;
+  const auto round_start = Clock::now();
+  const double net_start_us = net.now_us();
+  commit::order_batch(batch);
+
+  const std::uint32_t n = cluster.num_servers();
+  Transport& transport = cluster.transport();
+  Server& coord_server = cluster.server(cluster.coordinator_id());
+  const NodeId coord_node = NodeId::server(cluster.coordinator_id());
+
+  std::vector<ServerId> cohort_ids;
+  for (std::uint32_t i = 0; i < n; ++i) cohort_ids.push_back(ServerId{i});
+  commit::TwoPhaseCommitCoordinator coordinator(cohort_ids);
+
+  auto t0 = Clock::now();
+  commit::Block partial = commit::TfCommitCoordinator::make_partial_block(
+      coord_server.log().size(), coord_server.log().head_hash(), commit::batch_txns(batch),
+      cohort_ids);
+  commit::PrepareMsg prepare = coordinator.start(std::move(partial), batch);
+  const Envelope prepare_env = transport.seal(coord_server.keypair(), coord_node,
+                                              "2pc_prepare", prepare.serialize());
+  double coord_us = since_us(t0);
+
+  std::vector<commit::PrepareVoteMsg> votes(n);
+  std::vector<unsigned char> vote_in(n, 0);
+  std::size_t votes_seen = 0;
+  std::optional<commit::TwoPhaseCommitOutcome> outcome;
+  std::vector<double> cohort_us(n, 0);
+  Dedup seen;
+
+  broadcast(cluster, net, coord_node, prepare_env, n);
+
+  net.run([&](NodeId src, NodeId dst, const Envelope& env) {
+    if (!seen.first(src, dst, env.type)) return;
+
+    if (env.type == "2pc_prepare") {
+      Server& server = cluster.server(ServerId{dst.id});
+      const double tc = common::thread_cpu_time_us();
+      commit::PrepareVoteMsg vote;
+      if (transport.open(env, "2pc_prepare")) {
+        if (const auto msg = commit::PrepareMsg::deserialize(env.payload)) {
+          const bool requests_ok =
+              verify_touching_requests(transport, server, msg->requests);
+          vote = server.tpc_cohort().handle_prepare(*msg);
+          if (!requests_ok) {
+            vote.vote = txn::Vote::kAbort;
+            vote.abort_reason = "client request signature invalid";
+          }
+        }
+      }
+      Envelope vote_env = transport.seal(server.keypair(), NodeId::server(server.id()),
+                                         "2pc_vote", vote.serialize());
+      cohort_us[dst.id] += common::thread_cpu_time_us() - tc;
+      net.send(NodeId::server(server.id()), coord_node, std::move(vote_env));
+
+    } else if (env.type == "2pc_vote") {
+      const auto t = Clock::now();
+      const bool authentic = transport.open(env, "2pc_vote");
+      if (src.id < n && !vote_in[src.id]) {
+        commit::PrepareVoteMsg vote;
+        vote.cohort = ServerId{src.id};
+        vote.involved = true;
+        vote.abort_reason = "vote envelope failed authentication";
+        if (authentic) {
+          if (const auto msg = commit::PrepareVoteMsg::deserialize(env.payload)) {
+            vote = *msg;
+          }
+        }
+        votes[src.id] = std::move(vote);
+        vote_in[src.id] = 1;
+        ++votes_seen;
+      }
+      if (votes_seen == n && !outcome.has_value()) {
+        outcome = coordinator.on_votes(votes);
+        const commit::CommitDecisionMsg decision{outcome->block};
+        const Envelope decision_env = transport.seal(
+            coord_server.keypair(), coord_node, "2pc_decision", decision.serialize());
+        broadcast(cluster, net, coord_node, decision_env, n);
+      }
+      coord_us += since_us(t);
+
+    } else if (env.type == "2pc_decision") {
+      Server& server = cluster.server(ServerId{dst.id});
+      const double tc = common::thread_cpu_time_us();
+      if (transport.open(env, "2pc_decision")) {
+        if (const auto msg = commit::CommitDecisionMsg::deserialize(env.payload)) {
+          server.handle_decision_2pc(*msg);
+        }
+      }
+      cohort_us[dst.id] += common::thread_cpu_time_us() - tc;
+    }
+  });
+
+  metrics.coordinator_us = coord_us;
+  metrics.cohort_critical_us = *std::max_element(cohort_us.begin(), cohort_us.end());
+  if (outcome.has_value()) metrics.decision = outcome->decision;
+  metrics.network_legs = 4;
+  metrics.modeled_latency_us =
+      metrics.coordinator_us + metrics.cohort_critical_us + (net.now_us() - net_start_us);
+  metrics.measured_latency_us = since_us(round_start);
+  return metrics;
+}
+
+std::optional<ledger::Checkpoint> create_checkpoint_sim(Cluster& cluster, SimNet& net) {
+  const std::uint32_t n = cluster.num_servers();
+  Transport& transport = cluster.transport();
+  Server& coord_server = cluster.server(cluster.coordinator_id());
+  const NodeId coord_node = NodeId::server(cluster.coordinator_id());
+
+  std::vector<ServerId> signers;
+  for (std::uint32_t i = 0; i < n; ++i) signers.push_back(ServerId{i});
+  ledger::Checkpoint cp = ledger::make_checkpoint(coord_server.log().blocks(), signers);
+  const Bytes record = cp.signing_bytes();
+
+  // CoSi round over SimNet: propose -> commit -> challenge -> response.
+  // Each server contributes only after verifying the proposal against its
+  // own log; one refusal sinks the checkpoint (same contract as direct
+  // mode). The per-witness nonce secrets live in `secrets`, slot i written
+  // and read only by server i's handlers.
+  std::vector<crypto::CosiCommitment> secrets(n);
+  std::vector<crypto::AffinePoint> commitments(n);
+  std::vector<unsigned char> agrees(n, 0);
+  std::vector<unsigned char> commit_in(n, 0);
+  std::size_t commits_seen = 0;
+  std::vector<crypto::U256> responses(n);
+  std::vector<unsigned char> resp_in(n, 0);
+  std::size_t resps_seen = 0;
+  crypto::U256 challenge;
+  bool refused = false;
+  bool finalized = false;
+  Dedup seen;
+
+  const Envelope propose_env = transport.seal(coord_server.keypair(), coord_node,
+                                              "cp_propose", cp.serialize());
+  broadcast(cluster, net, coord_node, propose_env, n);
+
+  net.run([&](NodeId src, NodeId dst, const Envelope& env) {
+    if (!seen.first(src, dst, env.type)) return;
+
+    if (env.type == "cp_propose") {
+      Server& server = cluster.server(ServerId{dst.id});
+      Writer w;
+      w.u32(dst.id);
+      bool agree = false;
+      if (transport.open(env, "cp_propose")) {
+        if (const auto prop = ledger::Checkpoint::deserialize(env.payload)) {
+          agree = server.log().size() == prop->height &&
+                  server.log().head_hash() == prop->head_hash;
+          if (agree) {
+            secrets[dst.id] =
+                crypto::cosi_commit(server.keypair(), prop->signing_bytes(),
+                                    ledger::checkpoint_cosi_round(prop->height));
+          }
+        }
+      }
+      w.boolean(agree);
+      if (agree) w.bytes(secrets[dst.id].v.serialize());
+      Envelope commit_env = transport.seal(server.keypair(), NodeId::server(server.id()),
+                                           "cp_commit", std::move(w).take());
+      net.send(NodeId::server(server.id()), coord_node, std::move(commit_env));
+
+    } else if (env.type == "cp_commit") {
+      // The authenticated sender — not the payload — names the slot; an
+      // unauthenticated or mislabelled commit counts as a refusal.
+      const bool authentic = transport.open(env, "cp_commit");
+      if (src.id < n && !commit_in[src.id]) {
+        commit_in[src.id] = 1;
+        ++commits_seen;
+        if (authentic) {
+          Reader r(env.payload);
+          const std::uint32_t i = r.u32();
+          const bool agree = r.boolean();
+          if (i == src.id && agree) {
+            if (const auto pt = crypto::AffinePoint::deserialize(r.bytes())) {
+              agrees[src.id] = 1;
+              commitments[src.id] = *pt;
+            }
+          }
+        }
+      }
+      if (commits_seen == n) {
+        for (std::uint32_t j = 0; j < n; ++j) {
+          if (!agrees[j]) refused = true;
+        }
+        if (!refused) {
+          const crypto::AffinePoint v = crypto::cosi_aggregate_commitments(commitments);
+          challenge = crypto::cosi_challenge(v, record);
+          cp.cosign = crypto::CosiSignature{v, crypto::U256{}};  // r filled later
+          Writer w;
+          const auto cb = challenge.to_bytes_be();
+          w.raw(BytesView(cb.data(), cb.size()));
+          const Envelope challenge_env = transport.seal(
+              coord_server.keypair(), coord_node, "cp_challenge", std::move(w).take());
+          broadcast(cluster, net, coord_node, challenge_env, n);
+        }
+      }
+
+    } else if (env.type == "cp_challenge") {
+      Server& server = cluster.server(ServerId{dst.id});
+      if (!transport.open(env, "cp_challenge")) return;
+      Reader r(env.payload);
+      const crypto::U256 c = crypto::U256::from_bytes_be(r.raw(32));
+      Writer w;
+      w.u32(dst.id);
+      const auto rb = crypto::cosi_respond(server.keypair(), secrets[dst.id].secret, c)
+                          .to_bytes_be();
+      w.raw(BytesView(rb.data(), rb.size()));
+      Envelope resp_env = transport.seal(server.keypair(), NodeId::server(server.id()),
+                                         "cp_response", std::move(w).take());
+      net.send(NodeId::server(server.id()), coord_node, std::move(resp_env));
+
+    } else if (env.type == "cp_response") {
+      const bool authentic = transport.open(env, "cp_response");
+      if (src.id < n && !resp_in[src.id]) {
+        resp_in[src.id] = 1;
+        ++resps_seen;
+        if (authentic) {
+          Reader r(env.payload);
+          const std::uint32_t i = r.u32();
+          const crypto::U256 ri = crypto::U256::from_bytes_be(r.raw(32));
+          // Unauthenticated => the share stays zero and the aggregate
+          // co-sign fails validation, sinking the checkpoint.
+          if (i == src.id) responses[src.id] = ri;
+        }
+      }
+      if (resps_seen == n && !finalized) {
+        finalized = true;
+        cp.cosign->r = crypto::cosi_aggregate_responses(responses);
+      }
+    }
+  });
+
+  if (refused || !finalized || !cp.cosign.has_value()) return std::nullopt;
+  if (!ledger::validate_checkpoint(cp, cluster.server_keys())) return std::nullopt;
+  return cp;
+}
+
+}  // namespace fides::sim

@@ -1,0 +1,47 @@
+// Event-driven commit-round drivers over SimNet.
+//
+// The direct-mode engine in fides/cluster.cpp executes each protocol phase
+// as a lock-step loop over cohorts — delivery is a function call, so there
+// is exactly one schedule. These drivers run the *same* protocol state
+// machines (commit/tfcommit, commit/two_phase_commit, the checkpoint CoSi
+// round) but trigger every handler from a SimNet delivery event: a cohort
+// votes when its get_vote envelope *arrives*, the coordinator aggregates
+// when the last vote *arrives*, and so on. Message payloads cross the
+// simulated wire as canonical bytes and are deserialized at the receiver,
+// so the serialization layer is exercised on every hop.
+//
+// Duplicates are suppressed receiver-side (at most one logical message per
+// (sender, receiver, type) per round — the idempotence a real node needs
+// under at-least-once delivery), and SimNet's bounded retransmission
+// guarantees every logical message eventually arrives, so a round always
+// terminates with the queue drained.
+//
+// For an honest cluster the outcome is bit-identical to direct mode:
+// decisions, blocks, co-signs (deterministic nonces), and ledger state do
+// not depend on the delivery schedule — which is exactly the property the
+// schedule fuzzer (sim/schedule_fuzz.*) checks en masse.
+#pragma once
+
+#include "fides/cluster.hpp"
+
+namespace fides::sim {
+
+class SimNet;
+
+/// One full TFCommit round over `batch`, all five phases driven by SimNet
+/// delivery events. Mirrors Cluster::run_tfcommit_block.
+RoundMetrics run_tfcommit_block_sim(Cluster& cluster,
+                                    std::vector<commit::SignedEndTxn> batch,
+                                    SimNet& net);
+
+/// One 2PC round over `batch`, driven by SimNet delivery events.
+RoundMetrics run_2pc_block_sim(Cluster& cluster,
+                               std::vector<commit::SignedEndTxn> batch, SimNet& net);
+
+/// The checkpoint CoSi round (propose / commit / challenge / response) over
+/// SimNet. Returns nullopt when any server's log disagrees with the
+/// proposal or the final co-sign does not validate — same contract as
+/// Cluster::create_checkpoint.
+std::optional<ledger::Checkpoint> create_checkpoint_sim(Cluster& cluster, SimNet& net);
+
+}  // namespace fides::sim

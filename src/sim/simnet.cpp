@@ -1,0 +1,142 @@
+#include "sim/simnet.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/serde.hpp"
+
+namespace fides::sim {
+
+namespace {
+
+bool contains(const std::vector<std::uint32_t>& ids, NodeId n) {
+  return n.kind == NodeId::Kind::kServer &&
+         std::find(ids.begin(), ids.end(), n.id) != ids.end();
+}
+
+}  // namespace
+
+SimNet::SimNet(SimNetConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+double SimNet::draw_delay() {
+  const double lo = config_.link.min_delay_us;
+  const double hi = std::max(config_.link.max_delay_us, lo);
+  double d = lo + rng_.uniform01() * (hi - lo);
+  if (config_.link.reorder_prob > 0 && rng_.uniform01() < config_.link.reorder_prob) {
+    d += rng_.uniform01() * config_.link.reorder_extra_us;
+  }
+  return d;
+}
+
+double SimNet::release_time(NodeId src, NodeId dst, double t, bool& was_held) const {
+  // Fixpoint: healing one window may land inside another, in any config
+  // order — keep bumping until no active window separates src from dst.
+  // Terminates because release only ever advances to one of finitely many
+  // heal times.
+  double release = t;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Partition& p : config_.partitions) {
+      if (release >= p.start_us && release < p.heal_us &&
+          contains(p.island, src) != contains(p.island, dst)) {
+        release = p.heal_us;
+        was_held = true;
+        changed = true;
+      }
+    }
+  }
+  return release;
+}
+
+void SimNet::fold_event(const char* tag, double at_us, NodeId src, NodeId dst,
+                        const Envelope& env, const crypto::Digest& payload_digest) {
+  Writer w;
+  w.raw(trace_hash_.view());
+  w.str(tag);
+  w.u64(std::bit_cast<std::uint64_t>(at_us));
+  w.u8(static_cast<std::uint8_t>(src.kind));
+  w.u32(src.id);
+  w.u8(static_cast<std::uint8_t>(dst.kind));
+  w.u32(dst.id);
+  w.str(env.type);
+  w.raw(payload_digest.view());
+  trace_hash_ = crypto::sha256(w.data());
+}
+
+void SimNet::schedule(double at_us, NodeId src, NodeId dst, Envelope env,
+                      const crypto::Digest& payload_digest, bool duplicate) {
+  Event ev;
+  ev.at_us = at_us;
+  ev.seq = next_seq_++;
+  ev.src = src;
+  ev.dst = dst;
+  ev.env = std::move(env);
+  ev.payload_digest = payload_digest;
+  ev.duplicate = duplicate;
+  queue_.push(std::move(ev));
+}
+
+void SimNet::send(NodeId src, NodeId dst, Envelope env) {
+  ++stats_.sent;
+  const crypto::Digest payload_digest = crypto::sha256(env.payload);
+  fold_event("SEND", now_us_, src, dst, env, payload_digest);
+
+  if (src == dst) {
+    // Loopback: ideal link, no RNG draws (keeps the random stream — and
+    // hence the schedule of real links — independent of self-traffic).
+    schedule(now_us_ + config_.self_delay_us, src, dst, std::move(env),
+             payload_digest, false);
+    return;
+  }
+
+  // Loss with retransmission: each dropped copy costs one timeout before
+  // the next attempt; the final attempt always goes through, so the round
+  // terminates deterministically.
+  double t = now_us_;
+  for (std::uint32_t attempt = 1; attempt < config_.max_attempts; ++attempt) {
+    if (config_.link.drop_prob <= 0 || rng_.uniform01() >= config_.link.drop_prob) break;
+    ++stats_.dropped;
+    fold_event("DROP", t, src, dst, env, payload_digest);
+    t += config_.retransmit_timeout_us;
+  }
+
+  bool held = false;
+  const double delay = draw_delay();
+  double deliver_at = release_time(src, dst, t, held) + delay;
+  if (held) {
+    ++stats_.held;
+    fold_event("HOLD", deliver_at, src, dst, env, payload_digest);
+  }
+
+  const bool dup =
+      config_.link.dup_prob > 0 && rng_.uniform01() < config_.link.dup_prob;
+  if (dup) {
+    ++stats_.duplicated;
+    bool dup_held = false;
+    const double dup_at = release_time(src, dst, t, dup_held) + draw_delay();
+    if (dup_held) {
+      ++stats_.held;
+      fold_event("HOLD", dup_at, src, dst, env, payload_digest);
+    }
+    fold_event("DUP", dup_at, src, dst, env, payload_digest);
+    schedule(dup_at, src, dst, env, payload_digest, true);
+  }
+  schedule(deliver_at, src, dst, std::move(env), payload_digest, false);
+}
+
+void SimNet::run(const DeliverFn& on_deliver) {
+  while (!queue_.empty()) {
+    // Copy out (priority_queue::top is const): envelopes in round traffic
+    // are small relative to the crypto work they trigger.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_us_ = std::max(now_us_, ev.at_us);
+    ++stats_.delivered;
+    fold_event("DELIVER", ev.at_us, ev.src, ev.dst, ev.env, ev.payload_digest);
+    on_deliver(ev.src, ev.dst, ev.env);
+  }
+}
+
+}  // namespace fides::sim

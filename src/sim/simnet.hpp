@@ -1,0 +1,106 @@
+// SimNet — a deterministic discrete-event simulated network.
+//
+// FoundationDB-style simulation testing for the message layer: instead of
+// delivering an envelope by direct function call, a sender schedules it as
+// an event on a virtual clock. Per-link delays are drawn from a seeded RNG,
+// so delivery *order* is a deterministic function of the seed — and the
+// fuzzer can enumerate thousands of distinct schedules (reorderings, losses
+// with retransmission, duplicates, partition/heal windows) simply by
+// enumerating seeds.
+//
+// Determinism contract: SimNet is single-threaded and every random draw
+// happens in a fixed program order, so two runs with the same seed and the
+// same send sequence produce byte-identical event traces. The running trace
+// hash (SHA-256 folded over every SEND/DROP/DUP/HOLD/DELIVER event,
+// including payload digests) is the reproduction token: equal hashes mean
+// equal schedules, and a failing fuzz case reproduces from its seed alone.
+#pragma once
+
+#include <functional>
+#include <queue>
+
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "fides/transport.hpp"
+
+namespace fides::sim {
+
+class SimNet {
+ public:
+  struct Stats {
+    std::uint64_t sent{0};        ///< logical messages handed to send()
+    std::uint64_t delivered{0};   ///< delivery callbacks fired (incl. dups)
+    std::uint64_t dropped{0};     ///< copies lost; each costs one retransmit
+    std::uint64_t duplicated{0};  ///< extra copies delivered
+    std::uint64_t held{0};        ///< copies delayed by an active partition
+  };
+
+  /// Delivery callback: the receiver-side dispatch. `dst` is the addressee;
+  /// `env` is the (signed) envelope as sent — SimNet never mutates payloads.
+  using DeliverFn =
+      std::function<void(NodeId src, NodeId dst, const Envelope& env)>;
+
+  explicit SimNet(SimNetConfig config);
+
+  /// Schedules delivery of `env` from src to dst. Draws delay/drop/dup
+  /// choices from the seeded RNG; a dropped copy is retransmitted after the
+  /// configured timeout (bounded by max_attempts, last attempt always
+  /// delivered), and traffic crossing an active partition is held until the
+  /// heal time. May be called from inside a delivery callback.
+  void send(NodeId src, NodeId dst, Envelope env);
+
+  /// Pops events in virtual-time order, invoking `on_deliver` for each
+  /// delivery, until the queue drains. Handlers may call send() to schedule
+  /// further traffic — the loop keeps going until the network is quiescent.
+  void run(const DeliverFn& on_deliver);
+
+  /// Virtual time of the most recently processed event.
+  double now_us() const { return now_us_; }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Running hash over every scheduled and processed event. Two runs with
+  /// the same seed and send sequence yield the same hash; any divergence
+  /// (different payload bytes, different order, different fault choices)
+  /// changes it.
+  const crypto::Digest& trace_hash() const { return trace_hash_; }
+
+  const SimNetConfig& config() const { return config_; }
+
+ private:
+  struct Event {
+    double at_us{0};
+    std::uint64_t seq{0};  ///< scheduling order; total-orders equal times
+    NodeId src;
+    NodeId dst;
+    Envelope env;
+    crypto::Digest payload_digest;  ///< computed once per send()
+    bool duplicate{false};
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at_us != b.at_us) return a.at_us > b.at_us;
+      return a.seq > b.seq;
+    }
+  };
+
+  double draw_delay();
+  /// Earliest time >= `t` at which src->dst traffic is not partitioned.
+  double release_time(NodeId src, NodeId dst, double t, bool& was_held) const;
+  void schedule(double at_us, NodeId src, NodeId dst, Envelope env,
+                const crypto::Digest& payload_digest, bool duplicate);
+  /// `payload_digest` = sha256 of the envelope payload, computed once per
+  /// send (SimNet never mutates payloads).
+  void fold_event(const char* tag, double at_us, NodeId src, NodeId dst,
+                  const Envelope& env, const crypto::Digest& payload_digest);
+
+  SimNetConfig config_;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::uint64_t next_seq_{0};
+  double now_us_{0};
+  Stats stats_;
+  crypto::Digest trace_hash_;
+};
+
+}  // namespace fides::sim

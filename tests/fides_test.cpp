@@ -30,6 +30,29 @@ commit::SignedEndTxn simple_txn(Cluster& cluster, Client& client,
   return client.end(std::move(txn));
 }
 
+TEST(Transport, NodeIdHashMixesKindIntoEveryWord) {
+  const std::hash<NodeId> h;
+  // Deterministic and kind-sensitive: a server and a client with the same
+  // numeric id must not collide.
+  EXPECT_EQ(h(NodeId::server(ServerId{5})), h(NodeId::server(ServerId{5})));
+  EXPECT_NE(h(NodeId::server(ServerId{5})), h(NodeId::client(ClientId{5})));
+  // The old hash shifted the kind by 32 inside size_t — UB and a guaranteed
+  // collision where size_t is 32-bit. The mix must fold the kind into the
+  // low 32 bits so even a truncated result separates kinds.
+  for (std::uint32_t id : {0u, 1u, 7u, 1000u}) {
+    EXPECT_NE(static_cast<std::uint32_t>(h(NodeId::server(ServerId{id}))),
+              static_cast<std::uint32_t>(h(NodeId::client(ClientId{id}))))
+        << "id " << id;
+  }
+  // No collisions across a realistic address space.
+  std::set<std::size_t> hashes;
+  for (std::uint32_t id = 0; id < 1000; ++id) {
+    hashes.insert(h(NodeId::server(ServerId{id})));
+    hashes.insert(h(NodeId::client(ClientId{id})));
+  }
+  EXPECT_EQ(hashes.size(), 2000u);
+}
+
 TEST(Transport, SealOpenRoundTrip) {
   Transport t;
   const auto kp = crypto::KeyPair::deterministic(1);

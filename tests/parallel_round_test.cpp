@@ -245,6 +245,66 @@ TEST(ParallelRound, TransportOpenAllMatchesSerialOpen) {
   EXPECT_EQ(pooled_t.stats().rejected.load(), 2u);
 }
 
+TEST(ParallelRound, TransportOpenAllMixedBatchesAcrossPoolWidths) {
+  // Rejection accounting under concurrency: batches mixing every failure
+  // mode (tampered payload, wrong type tag, unregistered sender, spoofed
+  // sender) must produce the same per-slot verdicts and the same
+  // verified/rejected counters as a serial open() loop, at every pool width.
+  const auto kp = crypto::KeyPair::deterministic(1);
+  const auto rogue = crypto::KeyPair::deterministic(2);  // never registered
+  Rng rng(0xBA7C4);
+
+  for (const std::size_t width : {2u, 4u, 8u}) {
+    Transport serial_t;
+    Transport pooled_t;
+    common::ThreadPool pool(width);
+    serial_t.register_node(NodeId::server(ServerId{0}), kp.public_key());
+    pooled_t.register_node(NodeId::server(ServerId{0}), kp.public_key());
+
+    std::vector<Envelope> envs;
+    std::size_t expected_rejections = 0;
+    for (int i = 0; i < 64; ++i) {
+      Envelope env = serial_t.seal(kp, NodeId::server(ServerId{0}), "msg",
+                                   to_bytes("payload-" + std::to_string(i)));
+      switch (rng.uniform(5)) {
+        case 0:  // valid
+          break;
+        case 1:  // tampered payload
+          env.payload[rng.uniform(env.payload.size())] ^= 0x40;
+          ++expected_rejections;
+          break;
+        case 2:  // wrong type tag
+          env.type = "other";
+          ++expected_rejections;
+          break;
+        case 3:  // unregistered sender
+          env = serial_t.seal(rogue, NodeId::server(ServerId{9}), "msg",
+                              to_bytes("rogue-" + std::to_string(i)));
+          ++expected_rejections;
+          break;
+        case 4:  // spoofed sender id (signature bound to the real sender)
+          env = serial_t.seal(rogue, NodeId::server(ServerId{9}), "msg",
+                              to_bytes("spoof-" + std::to_string(i)));
+          env.sender = NodeId::server(ServerId{0});
+          ++expected_rejections;
+          break;
+      }
+      envs.push_back(std::move(env));
+    }
+
+    std::vector<unsigned char> expected;
+    const auto serial_before_verified = serial_t.stats().signatures_verified.load();
+    for (const auto& e : envs) expected.push_back(serial_t.open(e, "msg") ? 1 : 0);
+    const std::vector<unsigned char> actual = pooled_t.open_all(envs, "msg", &pool);
+
+    EXPECT_EQ(actual, expected) << "pool width " << width;
+    EXPECT_EQ(pooled_t.stats().rejected.load(), expected_rejections);
+    EXPECT_EQ(pooled_t.stats().rejected.load(), serial_t.stats().rejected.load());
+    EXPECT_EQ(pooled_t.stats().signatures_verified.load(),
+              serial_t.stats().signatures_verified.load() - serial_before_verified);
+  }
+}
+
 TEST(ParallelRound, ParallelMerkleBuildMatchesSerial) {
   common::ThreadPool pool(4);
   std::vector<crypto::Digest> leaves;

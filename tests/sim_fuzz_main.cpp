@@ -1,0 +1,79 @@
+// fides_simfuzz — the standalone schedule-fuzz runner.
+//
+// Executes N seeded schedules (network faults × Byzantine deviations over
+// SimNet) and checks every safety invariant after each one. On the first
+// violation it prints the seed, the scenario, and the event-trace hash, then
+// exits non-zero — the seed alone reproduces the failure:
+//
+//   FIDES_SIM_SEED=<seed> ctest -R sim_fuzz_test        # or
+//   ./fides_simfuzz --base-seed <seed> --seeds 1
+//
+// Usage: fides_simfuzz [--seeds N] [--base-seed B] [--keep-going]
+// Env:   FIDES_SIM_SEEDS / FIDES_SIM_SEED override the defaults.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/schedule_fuzz.hpp"
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 1000;
+  std::uint64_t base = 1;
+  bool keep_going = false;
+
+  if (const char* env = std::getenv("FIDES_SIM_SEEDS")) {
+    seeds = std::strtoull(env, nullptr, 10);
+  }
+  if (const char* env = std::getenv("FIDES_SIM_SEED")) {
+    base = std::strtoull(env, nullptr, 10);
+    seeds = 1;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--base-seed") == 0 && i + 1 < argc) {
+      base = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--keep-going") == 0) {
+      keep_going = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seeds N] [--base-seed B] [--keep-going]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("fides_simfuzz: %" PRIu64 " schedules, seeds [%" PRIu64 ", %" PRIu64
+              ")\n",
+              seeds, base, base + seeds);
+
+  std::uint64_t failures = 0;
+  std::uint64_t byzantine = 0;
+  std::uint64_t detected = 0;
+  for (std::uint64_t seed = base; seed < base + seeds; ++seed) {
+    const fides::sim::FuzzOutcome out = fides::sim::run_schedule(seed);
+    byzantine += out.byzantine ? 1 : 0;
+    detected += out.detected ? 1 : 0;
+    if (!out.ok) {
+      ++failures;
+      std::printf("FAIL seed=%" PRIu64 "\n  scenario: %s\n  invariant: %s\n"
+                  "  trace-hash: %s\n  reproduce: FIDES_SIM_SEED=%" PRIu64
+                  " ctest -R sim_fuzz_test   (or --base-seed %" PRIu64
+                  " --seeds 1)\n",
+                  seed, out.scenario.c_str(), out.failure.c_str(),
+                  out.trace_hash.hex().c_str(), seed, seed);
+      if (!keep_going) return 1;
+    }
+    if ((seed - base + 1) % 100 == 0) {
+      std::printf("  ... %" PRIu64 "/%" PRIu64 " schedules, %" PRIu64
+                  " byzantine, %" PRIu64 " detected, %" PRIu64 " failures\n",
+                  seed - base + 1, seeds, byzantine, detected, failures);
+    }
+  }
+
+  std::printf("done: %" PRIu64 " schedules, %" PRIu64 " byzantine (%" PRIu64
+              " detected), %" PRIu64 " failures\n",
+              seeds, byzantine, detected, failures);
+  return failures == 0 ? 0 : 1;
+}
