@@ -11,21 +11,20 @@
 //   FIDES_BENCH_TXNS   client requests per data point   (default 200;
 //                      paper used 1000 — set 1000 for full fidelity)
 //   FIDES_BENCH_SEEDS  runs averaged per point          (default 2; paper 3)
-//   FIDES_THREADS      threads for the parallel round engine (default 1 =
-//                      the sequential driver; 0 or garbage falls back to 1
-//                      — set an explicit count to go parallel)
+//   FIDES_THREADS      threads for the round engine (default 1 = sequential)
+//   FIDES_PIPELINE     commit rounds in flight (default 1 = lock-step)
 //   FIDES_NET          "sim" routes commit rounds through the deterministic
-//                      SimNet (seeded by FIDES_SIM_SEED, default 1); the
-//                      modeled latency then reports the simulated
-//                      schedule's virtual network time instead of the fixed
-//                      per-leg constant
+//                      SimNet (seeded by FIDES_SIM_SEED, default 1)
+// See the README's "engine knobs" table for the full semantics.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "sim/simnet.hpp"
 #include "workload/driver.hpp"
 
 namespace fides::bench {
@@ -44,6 +43,11 @@ inline std::uint32_t bench_threads() {
   return static_cast<std::uint32_t>(env_size("FIDES_THREADS", 1));
 }
 
+/// Commit rounds in flight: FIDES_PIPELINE, default 1 (lock-step).
+inline std::uint32_t bench_pipeline() {
+  return static_cast<std::uint32_t>(env_size("FIDES_PIPELINE", 1));
+}
+
 inline std::vector<std::uint64_t> bench_seeds() {
   const std::size_t n = env_size("FIDES_BENCH_SEEDS", 2);
   std::vector<std::uint64_t> seeds;
@@ -55,8 +59,8 @@ inline void print_header(const char* title, const char* paper_shape) {
   std::printf("==============================================================\n");
   std::printf("%s\n", title);
   std::printf("paper shape: %s\n", paper_shape);
-  std::printf("txns/point=%zu, runs averaged=%zu, threads=%u\n", bench_txns(),
-              bench_seeds().size(), bench_threads());
+  std::printf("txns/point=%zu, runs averaged=%zu, threads=%u, pipeline=%u\n",
+              bench_txns(), bench_seeds().size(), bench_threads(), bench_pipeline());
   std::printf("==============================================================\n");
 }
 
@@ -74,9 +78,146 @@ inline workload::ExperimentResult run_point(workload::ExperimentConfig cfg) {
   cfg.total_txns = bench_txns();
   cfg.cluster.sign_data_path = false;  // §6 measures from end-transaction on
   cfg.cluster.num_threads = bench_threads();
+  cfg.cluster.pipeline_depth = bench_pipeline();
   apply_network_env(cfg.cluster);
   const auto seeds = bench_seeds();
   return workload::run_averaged(cfg, seeds);
+}
+
+// --- Pipeline depth sweep -----------------------------------------------------
+//
+// Mints a fixed stream of signed batches once (client transactions executed
+// against a pristine cluster, blocks never run), then replays the identical
+// stream on fresh clusters at pipeline depths 1, 2, and 4. Client keys are
+// deterministic per id, so the replay clusters verify the same signatures.
+// Reports measured throughput per depth and **exits non-zero** if any
+// depth's decisions or ledger diverge from depth 1 — the depth-equivalence
+// gate CI runs in Release mode.
+
+struct DepthRun {
+  std::vector<ledger::Decision> decisions;
+  std::vector<crypto::Digest> log_heads;     // per server
+  std::vector<crypto::Digest> merkle_roots;  // per server
+  std::size_t committed_txns{0};
+  double wall_us{0};
+
+  bool same_ledger(const DepthRun& o) const {
+    return decisions == o.decisions && log_heads == o.log_heads &&
+           merkle_roots == o.merkle_roots;
+  }
+};
+
+inline void pipeline_depth_section(std::uint32_t servers, std::size_t txns_per_block,
+                                   std::size_t blocks) {
+  ClusterConfig cfg;
+  cfg.num_servers = servers;
+  cfg.items_per_shard = 10000;
+  cfg.max_batch_size = txns_per_block;
+  cfg.sign_data_path = false;
+  // The depth > 1 gain is tail work (decision apply, next-round assembly)
+  // overlapping across rounds — visible only when every server has its own
+  // thread, so this section never runs below n+1 executors.
+  cfg.num_threads = std::max<std::uint32_t>(servers + 1, bench_threads());
+
+  // Mint the batch stream.
+  std::vector<std::vector<commit::SignedEndTxn>> batches;
+  {
+    Cluster mint(cfg);
+    Client& client = mint.make_client();
+    workload::YcsbWorkload workload(
+        {}, static_cast<std::uint64_t>(servers) * cfg.items_per_shard, cfg.seed);
+    commit::BatchBuilder batcher(txns_per_block);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      workload.begin_batch();
+      for (std::size_t i = 0; i < txns_per_block; ++i) {
+        batcher.enqueue(workload.run_transaction(client));
+      }
+    }
+    while (!batcher.empty()) batches.push_back(batcher.next_batch());
+  }
+
+  std::printf("\nPipelined engine: %u servers, %zu blocks x %zu txns, %u threads\n",
+              servers, batches.size(), txns_per_block, cfg.num_threads);
+  std::printf("%-8s %-14s %-16s %-10s %s\n", "depth", "wall_ms", "throughput_tps",
+              "speedup", "ledger");
+
+  std::vector<DepthRun> runs;
+  for (const std::uint32_t depth : {1u, 2u, 4u}) {
+    ClusterConfig run_cfg = cfg;
+    run_cfg.pipeline_depth = depth;
+    Cluster cluster(run_cfg);
+    cluster.make_client();  // registers the deterministic client key
+    DepthRun run;
+    const PipelineResult result = cluster.run_blocks(batches);
+    run.wall_us = result.wall_us;
+    for (const RoundMetrics& m : result.rounds) {
+      run.decisions.push_back(m.decision);
+      if (m.decision == ledger::Decision::kCommit) run.committed_txns += m.txns_in_block;
+    }
+    for (std::uint32_t i = 0; i < servers; ++i) {
+      const Server& s = cluster.server(ServerId{i});
+      run.log_heads.push_back(s.log().head_hash());
+      run.merkle_roots.push_back(s.shard().merkle_root());
+    }
+    runs.push_back(std::move(run));
+
+    const DepthRun& base = runs.front();
+    const DepthRun& cur = runs.back();
+    const bool identical = cur.same_ledger(base);
+    std::printf("%-8u %-14.2f %-16.0f %-10.2f %s\n", depth, cur.wall_us / 1000.0,
+                cur.committed_txns / (cur.wall_us / 1e6),
+                cur.wall_us > 0 ? base.wall_us / cur.wall_us : 0.0,
+                identical ? "identical" : "DIVERGED");
+    if (!identical) {
+      std::printf("ERROR: pipeline depth %u diverged from depth 1\n", depth);
+      std::exit(1);
+    }
+  }
+
+  // The same stream over SimNet, measured in deterministic *virtual* time:
+  // at depth > 1, round k+1's opening legs overlap round k's decision/apply
+  // legs on the simulated wire, so the virtual span shrinks — a
+  // seed-reproducible measurement of protocol-level pipelining, independent
+  // of host core count. (Depth 4 matches depth 2: the vote-needs-previous-
+  // apply data dependency caps effective overlap at two rounds.)
+  std::printf("%-8s %-14s %-16s %-10s %s\n", "depth", "virtual_ms", "virtual_tps",
+              "speedup", "ledger (SimNet)");
+  std::vector<DepthRun> sim_runs;
+  for (const std::uint32_t depth : {1u, 2u, 4u}) {
+    ClusterConfig run_cfg = cfg;
+    run_cfg.pipeline_depth = depth;
+    run_cfg.network.mode = sim::NetworkMode::kSimulated;
+    run_cfg.network.sim.seed = env_size("FIDES_SIM_SEED", 1);
+    Cluster cluster(run_cfg);
+    cluster.make_client();
+    DepthRun run;
+    const PipelineResult result = cluster.run_blocks(batches);
+    run.wall_us = cluster.simnet()->now_us();  // virtual span (fresh net starts at 0)
+    for (const RoundMetrics& m : result.rounds) {
+      run.decisions.push_back(m.decision);
+      if (m.decision == ledger::Decision::kCommit) run.committed_txns += m.txns_in_block;
+    }
+    for (std::uint32_t i = 0; i < servers; ++i) {
+      const Server& s = cluster.server(ServerId{i});
+      run.log_heads.push_back(s.log().head_hash());
+      run.merkle_roots.push_back(s.shard().merkle_root());
+    }
+    sim_runs.push_back(std::move(run));
+
+    const DepthRun& cur = sim_runs.back();
+    // Gate against the *direct* depth-1 run too: the simulated schedule must
+    // reproduce the exact same ledger as direct delivery at every depth.
+    const bool identical =
+        cur.same_ledger(sim_runs.front()) && cur.same_ledger(runs.front());
+    std::printf("%-8u %-14.2f %-16.0f %-10.2f %s\n", depth, cur.wall_us / 1000.0,
+                cur.committed_txns / (cur.wall_us / 1e6),
+                cur.wall_us > 0 ? sim_runs.front().wall_us / cur.wall_us : 0.0,
+                identical ? "identical" : "DIVERGED");
+    if (!identical) {
+      std::printf("ERROR: simulated pipeline depth %u diverged\n", depth);
+      std::exit(1);
+    }
+  }
 }
 
 }  // namespace fides::bench

@@ -3,6 +3,10 @@
 // Sweep: 5 servers, 10000 items/shard, 2..120 transactions per block.
 // Paper result: per-transaction commit latency drops ~2.6x and throughput
 // rises ~2.5x once >= 80 transactions are batched per block.
+//
+// Ends with the pipelined-engine section: the same batch stream replayed at
+// pipeline depths 1/2/4, reporting measured throughput per depth and
+// hard-failing on any ledger divergence (see bench_common.hpp).
 #include "bench_common.hpp"
 
 int main() {
@@ -11,8 +15,9 @@ int main() {
       "Figure 13: transactions per block, 5 servers",
       "latency/txn falls ~2.6x, throughput rises ~2.5x by batch >= 80");
 
-  std::printf("%-12s %-16s %-14s %-12s %-10s\n", "txns/block", "latency_ms(txn)",
-              "throughput_tps", "blocks", "aborted");
+  std::printf("%-12s %-16s %-16s %-14s %-14s %-12s %-10s\n", "txns/block",
+              "latency_ms(txn)", "measured_ms(txn)", "throughput_tps",
+              "measured_tps", "blocks", "aborted");
 
   for (const std::size_t batch : {2, 20, 40, 60, 80, 100, 120}) {
     workload::ExperimentConfig cfg;
@@ -25,8 +30,14 @@ int main() {
     // the batch (every transaction in the block terminates together).
     const double per_txn_ms =
         r.blocks > 0 ? r.avg_latency_ms / static_cast<double>(batch) : 0;
-    std::printf("%-12zu %-16.3f %-14.0f %-12zu %-10zu\n", batch, per_txn_ms,
-                r.throughput_tps, r.blocks, r.aborted_txns);
+    const double per_txn_measured_ms =
+        r.blocks > 0 ? r.avg_measured_ms / static_cast<double>(batch) : 0;
+    std::printf("%-12zu %-16.3f %-16.3f %-14.0f %-14.0f %-12zu %-10zu\n", batch,
+                per_txn_ms, per_txn_measured_ms, r.throughput_tps,
+                r.measured_throughput_tps, r.blocks, r.aborted_txns);
   }
+
+  bench::pipeline_depth_section(/*servers=*/4, /*txns_per_block=*/25,
+                                /*blocks=*/std::max<std::size_t>(8, bench::bench_txns() / 25));
   return 0;
 }

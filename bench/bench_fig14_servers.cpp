@@ -127,5 +127,7 @@ int main() {
   }
 
   parallel_engine_section();
+  bench::pipeline_depth_section(/*servers=*/4, /*txns_per_block=*/25,
+                                /*blocks=*/std::max<std::size_t>(8, bench::bench_txns() / 25));
   return 0;
 }

@@ -1,0 +1,89 @@
+#include "engine/inproc_scheduler.hpp"
+
+namespace fides::engine {
+
+void InProcScheduler::send(NodeId src, NodeId dst, Envelope env) {
+  Item item;
+  item.src = src;
+  item.env = std::move(env);
+  enqueue(dst, std::move(item));
+}
+
+void InProcScheduler::post(NodeId dst, std::function<void()> fn) {
+  Item item;
+  item.task = std::move(fn);
+  enqueue(dst, std::move(item));
+}
+
+void InProcScheduler::enqueue(NodeId dst, Item item) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queues_[dst].push_back(std::move(item));
+    if (active_.insert(dst).second) runnable_.push_back(dst);
+  }
+  cv_.notify_one();
+}
+
+void InProcScheduler::run(Dispatcher& dispatcher) {
+  // Every executor (pool workers + this thread) runs the same claim loop;
+  // with num_threads == 1 the pool spawns no workers and this degrades to a
+  // deterministic sequential drain on the caller.
+  pool_->parallel_for(pool_->concurrency(), [&](std::size_t) { worker(dispatcher); });
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (failed_) failed_ = false;  // exception already rethrown by parallel_for
+}
+
+void InProcScheduler::worker(Dispatcher& dispatcher) {
+  for (;;) {
+    NodeId dst;
+    std::deque<Item> items;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return !runnable_.empty() || busy_ == 0 || failed_; });
+      if (failed_) return;
+      if (runnable_.empty()) {
+        // busy_ == 0 and nothing runnable: no handler is in flight, so no
+        // new sends can appear — global quiescence.
+        cv_.notify_all();
+        return;
+      }
+      dst = runnable_.front();
+      runnable_.pop_front();
+      ++busy_;
+      items.swap(queues_[dst]);
+    }
+
+    for (;;) {
+      try {
+        for (Item& item : items) {
+          if (item.task) {
+            item.task();
+          } else {
+            dispatcher.dispatch(item.src, dst, item.env, *this);
+          }
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          failed_ = true;
+        }
+        cv_.notify_all();
+        throw;  // parallel_for captures and rethrows on the caller
+      }
+      std::unique_lock<std::mutex> lock(mutex_);
+      std::deque<Item>& queue = queues_[dst];
+      if (!queue.empty()) {
+        // Handlers (possibly our own) sent more to this dst while we were
+        // draining: keep the claim so per-dst FIFO order is preserved.
+        items.clear();
+        items.swap(queue);
+        continue;
+      }
+      active_.erase(dst);
+      if (--busy_ == 0 && runnable_.empty()) cv_.notify_all();
+      break;
+    }
+  }
+}
+
+}  // namespace fides::engine

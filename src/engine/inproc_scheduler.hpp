@@ -1,0 +1,63 @@
+// In-process delivery for the round engine.
+//
+// Replaces the old lock-step phase driver in fides/cluster.cpp: instead of
+// executing one protocol phase at a time with a barrier after each, every
+// node gets a FIFO work queue and the cluster's thread pool runs the queues
+// actor-style — deliveries to the *same* node execute in order on one
+// worker at a time (so node state needs no locking), deliveries to
+// *different* nodes execute concurrently. There is no barrier between
+// phases or rounds: a server that finishes applying block k's decision can
+// vote on block k+1 while a slower server is still applying — which is
+// where pipelined throughput comes from.
+//
+// Determinism: outcomes are interleaving-independent (see reactor.hpp), so
+// a width-1 run (num_threads == 1 — a plain sequential drain) and a
+// width-N run of the same batches produce identical decisions, blocks,
+// ledger state, and co-signs; only wall-clock time changes. The
+// parallel_round and engine_pipeline suites pin this.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/thread_pool.hpp"
+#include "engine/scheduler.hpp"
+
+namespace fides::engine {
+
+class InProcScheduler final : public Scheduler, private Outbox {
+ public:
+  explicit InProcScheduler(common::ThreadPool& pool) : pool_(&pool) {}
+
+  Outbox& outbox() override { return *this; }
+  void run(Dispatcher& dispatcher) override;
+  void post(NodeId dst, std::function<void()> fn) override;
+  std::size_t concurrency() const override { return pool_->concurrency(); }
+
+ private:
+  struct Item {
+    NodeId src;                  // valid when task == nullptr
+    Envelope env;                // valid when task == nullptr
+    std::function<void()> task;  // non-null for posted control actions
+  };
+
+  void send(NodeId src, NodeId dst, Envelope env) override;
+  void enqueue(NodeId dst, Item item);
+  /// One executor: claims runnable destinations and drains their queues
+  /// until global quiescence (all queues empty, no handler running).
+  void worker(Dispatcher& dispatcher);
+
+  common::ThreadPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<NodeId, std::deque<Item>> queues_;
+  std::deque<NodeId> runnable_;        ///< queued dsts not claimed by a worker
+  std::unordered_set<NodeId> active_;  ///< dsts in runnable_ or being drained
+  std::size_t busy_{0};                ///< workers currently draining a dst
+  bool failed_{false};                 ///< a handler threw; everyone bails out
+};
+
+}  // namespace fides::engine

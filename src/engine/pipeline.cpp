@@ -1,0 +1,304 @@
+#include "engine/pipeline.hpp"
+
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+#include "engine/reactor.hpp"
+
+namespace fides::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double since_us(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+/// Receiver-side at-most-once filter over (sender, receiver, type, epoch):
+/// the first copy of a logical message is processed, later copies (SimNet
+/// duplicates, retransmissions that crossed their original) are dropped
+/// before authentication — the idempotence a real node needs under
+/// at-least-once delivery.
+class Dedup {
+ public:
+  bool first(NodeId src, NodeId dst, const std::string& type, std::uint64_t epoch) {
+    return seen_.emplace(src, dst, type, epoch).second;
+  }
+
+ private:
+  std::set<std::tuple<NodeId, NodeId, std::string, std::uint64_t>> seen_;
+};
+
+/// Opening messages start a round at a cohort; they are the only messages
+/// that can causally overtake the previous round's decision, so they are
+/// the only ones the watermark gates.
+bool opens_round(const std::string& type) {
+  return type == "tf_get_vote" || type == "2pc_prepare";
+}
+
+class CommitPipeline final : public Dispatcher, public RoundObserver {
+ public:
+  CommitPipeline(Cluster& cluster, Protocol protocol,
+                 std::vector<std::vector<commit::SignedEndTxn>> batches,
+                 Scheduler& sched)
+      : cluster_(&cluster),
+        sched_(&sched),
+        n_(cluster.num_servers()),
+        coord_(cluster.coordinator_id().value),
+        depth_(std::max<std::uint32_t>(1, cluster.config().pipeline_depth)),
+        watermark_(n_, 0),
+        held_(n_) {
+    rounds_.reserve(batches.size());
+    for (auto& batch : batches) {
+      const std::uint64_t epoch = cluster.epochs().reserve();
+      RoundState rs;
+      rs.epoch = epoch;
+      if (protocol == Protocol::kTfCommit) {
+        rs.reactor = std::make_unique<TfCommitRound>(cluster, epoch, std::move(batch), this);
+      } else {
+        rs.reactor = std::make_unique<TwoPhaseRound>(cluster, epoch, std::move(batch), this);
+      }
+      epoch_to_round_.emplace(epoch, rounds_.size());
+      rounds_.push_back(std::move(rs));
+    }
+  }
+
+  PipelineResult run() {
+    const auto t0 = Clock::now();
+    launch_ready();
+    sched_->run(*this);
+
+    PipelineResult result;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (completed_ != rounds_.size()) {
+        throw std::logic_error("commit pipeline stalled: " +
+                               std::to_string(rounds_.size() - completed_) +
+                               " round(s) incomplete at quiescence");
+      }
+    }
+    const double one_way = cluster_->config().network.one_way_latency_us;
+    for (auto& rs : rounds_) {
+      rs.reactor->finalize();
+      RoundMetrics& m = rs.reactor->metrics();
+      m.threads_used = sched_->concurrency();
+      m.measured_latency_us =
+          std::chrono::duration<double, std::micro>(rs.wall_end - rs.wall_start).count();
+      // Direct mode: analytic network term (legs x one-way latency). Sim
+      // mode: the virtual time the round's schedule actually took.
+      const double net_term =
+          rs.has_virtual_time ? rs.virtual_end_us - rs.virtual_start_us
+                              : static_cast<double>(m.network_legs) * one_way;
+      m.modeled_latency_us = m.coordinator_us + m.cohort_critical_us + net_term;
+      result.rounds.push_back(std::move(m));
+    }
+    result.wall_us = since_us(t0);
+    return result;
+  }
+
+  // --- Dispatcher -------------------------------------------------------------
+
+  void dispatch(NodeId src, NodeId dst, const Envelope& env, Outbox& out) override {
+    const auto epoch = peek_epoch(env.payload);
+    if (!epoch.has_value()) return;  // not an engine frame; unreachable for sealed traffic
+    RoundReactor* reactor = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!dedup_.first(src, dst, env.type, *epoch)) return;
+      const auto it = epoch_to_round_.find(*epoch);
+      if (it == epoch_to_round_.end()) return;  // stale epoch from another run
+      const std::size_t k = it->second;
+      if (opens_round(env.type) && dst.kind == NodeId::Kind::kServer &&
+          watermark_[dst.id] < k) {
+        held_[dst.id].push_back(Held{src, dst, env, k});
+        return;
+      }
+      reactor = rounds_[k].reactor.get();
+    }
+    deliver(*reactor, src, dst, env, out);
+  }
+
+  // --- RoundObserver ----------------------------------------------------------
+
+  void on_decision_processed(std::uint64_t epoch, std::uint32_t server) override {
+    std::vector<Held> flush;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const std::size_t k = epoch_to_round_.at(epoch);
+      // Decisions are processed in round order at every server (round k+1's
+      // vote is gated on round k's decision), so the watermark is a count.
+      watermark_[server] = std::max<std::size_t>(watermark_[server], k + 1);
+      auto& hq = held_[server];
+      while (!hq.empty() && watermark_[server] >= hq.front().round) {
+        flush.push_back(std::move(hq.front()));
+        hq.pop_front();
+      }
+      RoundState& rs = rounds_[k];
+      if (++rs.processed == n_) {
+        rs.wall_end = Clock::now();
+        if (const auto v = sched_->virtual_now_us()) rs.virtual_end_us = *v;
+        ++completed_;
+      }
+    }
+    launch_ready();
+    // Flushed openings run here, on `server`'s serialized context (this
+    // callback sits inside that server's decision handler), preserving the
+    // apply-before-vote order the gate exists for.
+    for (Held& h : flush) {
+      RoundReactor* reactor = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        reactor = rounds_[h.round].reactor.get();
+      }
+      deliver(*reactor, h.src, h.dst, h.env, sched_->outbox());
+    }
+  }
+
+ private:
+  struct RoundState {
+    std::unique_ptr<RoundReactor> reactor;
+    std::uint64_t epoch{0};
+    bool started{false};
+    std::uint32_t processed{0};  ///< servers that handled the decision
+    Clock::time_point wall_start;
+    Clock::time_point wall_end;
+    bool has_virtual_time{false};
+    double virtual_start_us{0};
+    double virtual_end_us{0};
+  };
+  struct Held {
+    NodeId src;
+    NodeId dst;
+    Envelope env;
+    std::size_t round{0};
+  };
+
+  void deliver(RoundReactor& reactor, NodeId src, NodeId dst, const Envelope& env,
+               Outbox& out) {
+    const bool authentic = cluster_->transport().open(env, env.type);
+    reactor.on_deliver(src, dst, env, authentic, out);
+  }
+
+  /// Starts every admissible round. Starts execute on the coordinator's
+  /// serialized context (posted to its queue): start() reads the
+  /// coordinator's log head, which only its own decision handlers mutate.
+  void launch_ready() {
+    std::vector<std::size_t> starts;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (next_to_start_ < rounds_.size() && can_start_locked(next_to_start_)) {
+        rounds_[next_to_start_].started = true;
+        starts.push_back(next_to_start_++);
+      }
+    }
+    const NodeId coord_node = NodeId::server(ServerId{coord_});
+    for (const std::size_t k : starts) {
+      sched_->post(coord_node, [this, k] {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          rounds_[k].wall_start = Clock::now();
+          if (const auto v = sched_->virtual_now_us()) {
+            rounds_[k].has_virtual_time = true;
+            rounds_[k].virtual_start_us = *v;
+          }
+        }
+        rounds_[k].reactor->start(sched_->outbox());
+      });
+    }
+  }
+
+  bool can_start_locked(std::size_t k) const {
+    // Coordinator gate: its log head must already name round k's prev-hash.
+    if (k > 0 && watermark_[coord_] < k) return false;
+    // Depth gate: started-but-incomplete rounds stay under the limit.
+    return k - completed_ < depth_;
+  }
+
+  Cluster* cluster_;
+  Scheduler* sched_;
+  std::uint32_t n_;
+  std::uint32_t coord_;
+  std::uint32_t depth_;
+
+  std::mutex mutex_;
+  std::vector<RoundState> rounds_;
+  std::unordered_map<std::uint64_t, std::size_t> epoch_to_round_;
+  Dedup dedup_;
+  std::vector<std::size_t> watermark_;  ///< per server: decisions processed
+  std::vector<std::deque<Held>> held_;  ///< per server: gated openings
+  std::size_t next_to_start_{0};
+  std::size_t completed_{0};
+};
+
+/// Single-round dispatcher for the checkpoint CoSi round.
+class CheckpointDispatch final : public Dispatcher {
+ public:
+  CheckpointDispatch(Cluster& cluster, CheckpointRound& round)
+      : cluster_(&cluster), round_(&round) {}
+
+  void dispatch(NodeId src, NodeId dst, const Envelope& env, Outbox& out) override {
+    const auto epoch = peek_epoch(env.payload);
+    if (!epoch.has_value()) return;
+    {
+      // Concurrent in-process workers dispatch for different destinations;
+      // the dedup set is the one piece of state they share.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!dedup_.first(src, dst, env.type, *epoch)) return;
+    }
+    const bool authentic = cluster_->transport().open(env, env.type);
+    round_->on_deliver(src, dst, env, authentic, out);
+  }
+
+ private:
+  Cluster* cluster_;
+  CheckpointRound* round_;
+  std::mutex mutex_;
+  Dedup dedup_;
+};
+
+}  // namespace
+
+PipelineResult run_commit_rounds(Cluster& cluster, Protocol protocol,
+                                 std::vector<std::vector<commit::SignedEndTxn>> batches,
+                                 Scheduler& sched) {
+  if (batches.empty()) return {};
+  CommitPipeline pipeline(cluster, protocol, std::move(batches), sched);
+  return pipeline.run();
+}
+
+CheckpointOutcome run_checkpoint_round(Cluster& cluster, Scheduler& sched) {
+  const auto t0 = Clock::now();
+  const auto vstart = sched.virtual_now_us();
+
+  CheckpointRound round(cluster, cluster.epochs().reserve());
+  CheckpointDispatch dispatch(cluster, round);
+  sched.post(NodeId::server(cluster.coordinator_id()),
+             [&] { round.start(sched.outbox()); });
+  sched.run(dispatch);
+
+  round.finalize();
+  CheckpointOutcome outcome;
+  outcome.checkpoint = round.result();
+  outcome.metrics = round.metrics();
+  outcome.metrics.threads_used = sched.concurrency();
+  outcome.metrics.measured_latency_us = since_us(t0);
+  const double net_term =
+      vstart.has_value()
+          ? sched.virtual_now_us().value_or(*vstart) - *vstart
+          : static_cast<double>(outcome.metrics.network_legs) *
+                cluster.config().network.one_way_latency_us;
+  outcome.metrics.modeled_latency_us =
+      outcome.metrics.coordinator_us + outcome.metrics.cohort_critical_us + net_term;
+  if (outcome.checkpoint.has_value()) {
+    outcome.metrics.decision = ledger::Decision::kCommit;
+    outcome.metrics.cosign_valid = true;
+  }
+  return outcome;
+}
+
+}  // namespace fides::engine

@@ -1,0 +1,45 @@
+// The commit pipeline: multi-block round orchestration over any scheduler.
+//
+// run_commit_rounds() executes a stream of batches as TFCommit/2PC rounds
+// with up to ClusterConfig::pipeline_depth blocks in flight. The pipeline
+// owns everything the reactors must not know about:
+//
+//   * Admission — round k starts once the coordinator has processed round
+//     k-1's decision (its log head then names k's prev-hash) and fewer than
+//     `depth` rounds are incomplete. depth == 1 reproduces the classic
+//     lock-step engine exactly.
+//   * Gating — a cohort's copy of round k's opening message (get_vote /
+//     prepare) is held until that cohort has processed round k-1's decision,
+//     so its OCC validation and hypothetical Merkle root always build on the
+//     previous block's applied state. This is what makes the committed
+//     ledger bit-identical at every pipeline depth, even when SimNet
+//     reorders the opening past the previous decision.
+//   * Routing + dedup — deliveries carry the round's epoch in the engine
+//     frame; each is dispatched to its round's reactor at most once per
+//     (sender, receiver, type, epoch).
+//
+// The data dependency above (vote k+1 needs apply k) caps the *effective*
+// overlap at two rounds no matter how large `depth` is: the win is the
+// decision/apply tail of round k running concurrently with round k+1's
+// assembly and vote phase — across servers on the in-process scheduler,
+// across network legs on SimNet.
+#pragma once
+
+#include "engine/scheduler.hpp"
+#include "fides/cluster.hpp"
+
+namespace fides::engine {
+
+/// Runs one round per batch through `protocol`, pipelined at
+/// cluster.config().pipeline_depth. Throws std::logic_error if the
+/// scheduler goes quiescent with rounds incomplete (an engine bug, not a
+/// protocol outcome — the protocols always terminate).
+PipelineResult run_commit_rounds(Cluster& cluster, Protocol protocol,
+                                 std::vector<std::vector<commit::SignedEndTxn>> batches,
+                                 Scheduler& sched);
+
+/// Runs one checkpoint CoSi round; metrics are populated uniformly with the
+/// commit paths (modeled + measured latency, network legs, threads).
+CheckpointOutcome run_checkpoint_round(Cluster& cluster, Scheduler& sched);
+
+}  // namespace fides::engine

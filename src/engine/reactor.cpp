@@ -1,0 +1,462 @@
+#include "engine/reactor.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/cpu_time.hpp"
+#include "crypto/cosi.hpp"
+
+namespace fides::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double since_us(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+NodeId server_node(std::uint32_t i) { return NodeId::server(ServerId{i}); }
+
+/// ServerIds [0, n) — the cohort list of the global protocol (§4.1: every
+/// server, including the coordinator, participates in termination).
+std::vector<ServerId> all_server_ids(std::uint32_t n) {
+  std::vector<ServerId> ids;
+  ids.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) ids.push_back(ServerId{i});
+  return ids;
+}
+
+}  // namespace
+
+RoundReactor::RoundReactor(Cluster& cluster, std::uint64_t epoch, RoundObserver* observer)
+    : cluster_(&cluster),
+      transport_(&cluster.transport()),
+      n_(cluster.num_servers()),
+      coord_id_(cluster.coordinator_id()),
+      coord_node_(NodeId::server(cluster.coordinator_id())),
+      epoch_(epoch),
+      observer_(observer),
+      cohort_us_(n_, 0),
+      cohort_mht_us_(n_, 0) {}
+
+Envelope RoundReactor::seal_framed(const Server& sender, const char* type,
+                                   BytesView payload) const {
+  return transport_->seal(sender.keypair(), NodeId::server(sender.id()), type,
+                          frame_payload(epoch_, payload));
+}
+
+void RoundReactor::broadcast(Outbox& out, const Envelope& env) {
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (i > 0) transport_->count_copy(env);
+    out.send(env.sender, server_node(i), env);
+  }
+}
+
+void RoundReactor::finalize() {
+  metrics_.coordinator_us = coord_us_;
+  metrics_.cohort_critical_us =
+      *std::max_element(cohort_us_.begin(), cohort_us_.end());
+  metrics_.mht_us = *std::max_element(cohort_mht_us_.begin(), cohort_mht_us_.end());
+}
+
+// --- TFCommit -----------------------------------------------------------------
+
+TfCommitRound::TfCommitRound(Cluster& cluster, std::uint64_t epoch,
+                             std::vector<commit::SignedEndTxn> batch,
+                             RoundObserver* observer)
+    : RoundReactor(cluster, epoch, observer),
+      batch_(std::move(batch)),
+      cohort_ids_(all_server_ids(cluster.num_servers())),
+      coordinator_(cohort_ids_, cluster.server_keys()),
+      votes_(n_),
+      vote_in_(n_, 0),
+      responses_(n_),
+      resp_in_(n_, 0) {
+  metrics_.txns_in_block = batch_.size();
+  metrics_.network_legs = 6;  // end_txn + get_vote + vote + challenge + response + decision
+}
+
+void TfCommitRound::start(Outbox& out) {
+  commit::order_batch(batch_);
+  Server& coord = cluster_->server(coord_id_);
+
+  // Phase 1 <GetVote, SchAnnouncement> — assembled against the
+  // coordinator's current log head; everything after reacts to deliveries.
+  const auto t0 = Clock::now();
+  commit::Block partial = commit::TfCommitCoordinator::make_partial_block(
+      coord.log().size(), coord.log().head_hash(), commit::batch_txns(batch_),
+      cohort_ids_);
+  commit::GetVoteMsg get_vote = coordinator_.start(std::move(partial), std::move(batch_));
+  const Envelope env = seal_framed(coord, "tf_get_vote", get_vote.serialize());
+  coord_us_ += since_us(t0);
+
+  broadcast(out, env);
+}
+
+void TfCommitRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
+                               bool authentic, Outbox& out) {
+  const BytesView body = unframe_payload(env.payload);
+
+  if (env.type == "tf_get_vote") {
+    // Phase 2 <Vote, SchCommitment> at cohort dst.
+    Server& server = cluster_->server(ServerId{dst.id});
+    const double tc = common::thread_cpu_time_us();
+    commit::VoteMsg vote;
+    if (authentic) {
+      if (const auto msg = commit::GetVoteMsg::deserialize(body)) {
+        commit::CohortFaults faults = server.faults().cohort;
+        if (!verify_touching_requests(*transport_, server, msg->requests)) {
+          faults.always_vote_abort = true;  // refuse forged requests
+        }
+        vote = server.tf_cohort().handle_get_vote(*msg, faults);
+        server.add_mht_time_us(server.tf_cohort().last_root_compute_us());
+        cohort_mht_us_[dst.id] =
+            std::max(cohort_mht_us_[dst.id], server.tf_cohort().last_root_compute_us());
+      }
+    }
+    Envelope vote_env = seal_framed(server, "tf_vote", vote.serialize());
+    cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
+    out.send(NodeId::server(server.id()), coord_node_, std::move(vote_env));
+
+  } else if (env.type == "tf_vote") {
+    // Phase 3 <null, SchChallenge> at the coordinator, once the last vote is
+    // in. Votes land in cohort order regardless of arrival order.
+    const auto t = Clock::now();
+    if (src.id < n_ && !vote_in_[src.id]) {
+      // An unauthenticated or malformed vote is never ingested; the slot is
+      // conservatively filled with an involved abort so the round still
+      // terminates — with a deny.
+      commit::VoteMsg vote;
+      vote.cohort = ServerId{src.id};
+      vote.involved = true;
+      vote.abort_reason = "vote envelope failed authentication";
+      if (authentic) {
+        if (const auto msg = commit::VoteMsg::deserialize(body)) vote = *msg;
+      }
+      votes_[src.id] = std::move(vote);
+      vote_in_[src.id] = 1;
+      ++votes_seen_;
+    }
+    if (votes_seen_ == n_ && challenges_.empty()) {
+      Server& coord = cluster_->server(coord_id_);
+      challenges_ = coordinator_.on_votes(votes_, coord.faults().coordinator);
+      // Honest coordinators broadcast one challenge; an equivocating one
+      // signs a divergent envelope per cohort.
+      std::vector<Envelope> challenge_envs;
+      challenge_envs.reserve(challenges_.size());
+      for (const auto& ch : challenges_) {
+        challenge_envs.push_back(seal_framed(coord, "tf_challenge", ch.serialize()));
+      }
+      for (std::uint32_t i = 0; i < n_; ++i) {
+        const std::size_t slot = challenges_.size() == 1 ? 0 : i;
+        if (challenges_.size() == 1 && i > 0) transport_->count_copy(challenge_envs[0]);
+        out.send(coord_node_, server_node(i), challenge_envs[slot]);
+      }
+    }
+    coord_us_ += since_us(t);
+
+  } else if (env.type == "tf_challenge") {
+    // Phase 4 <null, SchResponse> at cohort dst.
+    Server& server = cluster_->server(ServerId{dst.id});
+    const double tc = common::thread_cpu_time_us();
+    commit::ResponseMsg resp;
+    resp.cohort = server.id();
+    if (authentic) {
+      if (const auto msg = commit::ChallengeMsg::deserialize(body)) {
+        resp = server.tf_cohort().handle_challenge(*msg, server.faults().cohort);
+      } else {
+        resp.refused = true;
+        resp.refusal_reason = "malformed challenge payload";
+      }
+    } else {
+      resp.refused = true;
+      resp.refusal_reason = "challenge envelope failed authentication";
+    }
+    Envelope resp_env = seal_framed(server, "tf_response", resp.serialize());
+    cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
+    out.send(NodeId::server(server.id()), coord_node_, std::move(resp_env));
+
+  } else if (env.type == "tf_response") {
+    // Phase 5 <Decision, null> at the coordinator, once all responses are
+    // in: aggregate the co-sign and broadcast the finalized block.
+    const auto t = Clock::now();
+    if (src.id < n_ && !resp_in_[src.id]) {
+      commit::ResponseMsg resp;
+      resp.cohort = ServerId{src.id};
+      resp.refused = true;
+      resp.refusal_reason = "response envelope failed authentication";
+      if (authentic) {
+        if (const auto msg = commit::ResponseMsg::deserialize(body)) resp = *msg;
+      }
+      responses_[src.id] = std::move(resp);
+      resp_in_[src.id] = 1;
+      ++resps_seen_;
+    }
+    if (resps_seen_ == n_ && !outcome_.has_value()) {
+      outcome_ = coordinator_.on_responses(responses_);
+      const commit::DecisionMsg decision{outcome_->block};
+      const Envelope decision_env =
+          seal_framed(cluster_->server(coord_id_), "tf_decision", decision.serialize());
+      broadcast(out, decision_env);
+    }
+    coord_us_ += since_us(t);
+
+  } else if (env.type == "tf_decision") {
+    // Log append + datastore update at server dst (steps 6-7). The apply
+    // step rebuilds Merkle leaves — folded into mht_us.
+    Server& server = cluster_->server(ServerId{dst.id});
+    const double tc = common::thread_cpu_time_us();
+    const double mht_before = server.mht_time_us();
+    if (authentic) {
+      if (const auto msg = commit::DecisionMsg::deserialize(body)) {
+        server.handle_decision(*msg, cluster_->server_keys());
+      }
+    }
+    cohort_mht_us_[dst.id] =
+        std::max(cohort_mht_us_[dst.id], server.mht_time_us() - mht_before);
+    cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
+    if (observer_ != nullptr) observer_->on_decision_processed(epoch_, dst.id);
+  }
+}
+
+void TfCommitRound::finalize() {
+  RoundReactor::finalize();
+  if (outcome_.has_value()) {
+    metrics_.decision = outcome_->decision;
+    metrics_.cosign_valid = outcome_->cosign_valid;
+    metrics_.faulty_cosigners = outcome_->faulty_cosigners;
+    metrics_.refusals = outcome_->refusals;
+  }
+}
+
+// --- 2PC ----------------------------------------------------------------------
+
+TwoPhaseRound::TwoPhaseRound(Cluster& cluster, std::uint64_t epoch,
+                             std::vector<commit::SignedEndTxn> batch,
+                             RoundObserver* observer)
+    : RoundReactor(cluster, epoch, observer),
+      batch_(std::move(batch)),
+      cohort_ids_(all_server_ids(cluster.num_servers())),
+      coordinator_(cohort_ids_),
+      votes_(n_),
+      vote_in_(n_, 0) {
+  metrics_.txns_in_block = batch_.size();
+  metrics_.network_legs = 4;  // end_txn + prepare + vote + decision
+}
+
+void TwoPhaseRound::start(Outbox& out) {
+  commit::order_batch(batch_);
+  Server& coord = cluster_->server(coord_id_);
+
+  const auto t0 = Clock::now();
+  commit::Block partial = commit::TfCommitCoordinator::make_partial_block(
+      coord.log().size(), coord.log().head_hash(), commit::batch_txns(batch_),
+      cohort_ids_);
+  commit::PrepareMsg prepare = coordinator_.start(std::move(partial), std::move(batch_));
+  const Envelope env = seal_framed(coord, "2pc_prepare", prepare.serialize());
+  coord_us_ += since_us(t0);
+
+  broadcast(out, env);
+}
+
+void TwoPhaseRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
+                               bool authentic, Outbox& out) {
+  const BytesView body = unframe_payload(env.payload);
+
+  if (env.type == "2pc_prepare") {
+    Server& server = cluster_->server(ServerId{dst.id});
+    const double tc = common::thread_cpu_time_us();
+    commit::PrepareVoteMsg vote;
+    if (authentic) {
+      if (const auto msg = commit::PrepareMsg::deserialize(body)) {
+        const bool requests_ok =
+            verify_touching_requests(*transport_, server, msg->requests);
+        vote = server.tpc_cohort().handle_prepare(*msg);
+        if (!requests_ok) {
+          vote.vote = txn::Vote::kAbort;
+          vote.abort_reason = "client request signature invalid";
+        }
+      }
+    }
+    Envelope vote_env = seal_framed(server, "2pc_vote", vote.serialize());
+    cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
+    out.send(NodeId::server(server.id()), coord_node_, std::move(vote_env));
+
+  } else if (env.type == "2pc_vote") {
+    const auto t = Clock::now();
+    if (src.id < n_ && !vote_in_[src.id]) {
+      commit::PrepareVoteMsg vote;
+      vote.cohort = ServerId{src.id};
+      vote.involved = true;
+      vote.abort_reason = "vote envelope failed authentication";
+      if (authentic) {
+        if (const auto msg = commit::PrepareVoteMsg::deserialize(body)) vote = *msg;
+      }
+      votes_[src.id] = std::move(vote);
+      vote_in_[src.id] = 1;
+      ++votes_seen_;
+    }
+    if (votes_seen_ == n_ && !outcome_.has_value()) {
+      outcome_ = coordinator_.on_votes(votes_);
+      const commit::CommitDecisionMsg decision{outcome_->block};
+      const Envelope decision_env =
+          seal_framed(cluster_->server(coord_id_), "2pc_decision", decision.serialize());
+      broadcast(out, decision_env);
+    }
+    coord_us_ += since_us(t);
+
+  } else if (env.type == "2pc_decision") {
+    Server& server = cluster_->server(ServerId{dst.id});
+    const double tc = common::thread_cpu_time_us();
+    if (authentic) {
+      if (const auto msg = commit::CommitDecisionMsg::deserialize(body)) {
+        server.handle_decision_2pc(*msg);
+      }
+    }
+    cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
+    if (observer_ != nullptr) observer_->on_decision_processed(epoch_, dst.id);
+  }
+}
+
+void TwoPhaseRound::finalize() {
+  RoundReactor::finalize();
+  if (outcome_.has_value()) metrics_.decision = outcome_->decision;
+}
+
+// --- Checkpoint ---------------------------------------------------------------
+
+CheckpointRound::CheckpointRound(Cluster& cluster, std::uint64_t epoch)
+    : RoundReactor(cluster, epoch, nullptr),
+      secrets_(n_),
+      commitments_(n_),
+      agrees_(n_, 0),
+      commit_in_(n_, 0),
+      responses_(n_),
+      resp_in_(n_, 0) {
+  metrics_.network_legs = 4;  // propose + commit + challenge + response
+}
+
+void CheckpointRound::start(Outbox& out) {
+  Server& coord = cluster_->server(coord_id_);
+  const auto t0 = Clock::now();
+  cp_ = ledger::make_checkpoint(coord.log().blocks(), all_server_ids(n_));
+  record_ = cp_.signing_bytes();
+  const Envelope env = seal_framed(coord, "cp_propose", cp_.serialize());
+  coord_us_ += since_us(t0);
+
+  broadcast(out, env);
+}
+
+void CheckpointRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
+                                 bool authentic, Outbox& out) {
+  const BytesView body = unframe_payload(env.payload);
+
+  if (env.type == "cp_propose") {
+    // A server contributes its CoSi commitment only after verifying that the
+    // proposal matches its own log (same height, same head hash).
+    Server& server = cluster_->server(ServerId{dst.id});
+    const double tc = common::thread_cpu_time_us();
+    Writer w;
+    w.u32(dst.id);
+    bool agree = false;
+    if (authentic) {
+      if (const auto prop = ledger::Checkpoint::deserialize(body)) {
+        agree = server.log().size() == prop->height &&
+                server.log().head_hash() == prop->head_hash;
+        if (agree) {
+          secrets_[dst.id] =
+              crypto::cosi_commit(server.keypair(), prop->signing_bytes(),
+                                  ledger::checkpoint_cosi_round(prop->height));
+        }
+      }
+    }
+    w.boolean(agree);
+    if (agree) w.bytes(secrets_[dst.id].v.serialize());
+    Envelope commit_env = seal_framed(server, "cp_commit", std::move(w).take());
+    cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
+    out.send(NodeId::server(server.id()), coord_node_, std::move(commit_env));
+
+  } else if (env.type == "cp_commit") {
+    // The authenticated sender — not the payload — names the slot; an
+    // unauthenticated or mislabelled commit counts as a refusal.
+    const auto t = Clock::now();
+    if (src.id < n_ && !commit_in_[src.id]) {
+      commit_in_[src.id] = 1;
+      ++commits_seen_;
+      if (authentic) {
+        Reader r(body);
+        const std::uint32_t i = r.u32();
+        const bool agree = r.boolean();
+        if (i == src.id && agree) {
+          if (const auto pt = crypto::AffinePoint::deserialize(r.bytes())) {
+            agrees_[src.id] = 1;
+            commitments_[src.id] = *pt;
+          }
+        }
+      }
+    }
+    if (commits_seen_ == n_) {
+      for (std::uint32_t j = 0; j < n_; ++j) {
+        if (!agrees_[j]) refused_ = true;
+      }
+      if (!refused_) {
+        const crypto::AffinePoint v = crypto::cosi_aggregate_commitments(commitments_);
+        challenge_ = crypto::cosi_challenge(v, record_);
+        cp_.cosign = crypto::CosiSignature{v, crypto::U256{}};  // r filled later
+        Writer w;
+        const auto cb = challenge_.to_bytes_be();
+        w.raw(BytesView(cb.data(), cb.size()));
+        const Envelope challenge_env =
+            seal_framed(cluster_->server(coord_id_), "cp_challenge", std::move(w).take());
+        broadcast(out, challenge_env);
+      }
+    }
+    coord_us_ += since_us(t);
+
+  } else if (env.type == "cp_challenge") {
+    Server& server = cluster_->server(ServerId{dst.id});
+    const double tc = common::thread_cpu_time_us();
+    if (!authentic) return;
+    Reader r(body);
+    const crypto::U256 c = crypto::U256::from_bytes_be(r.raw(32));
+    Writer w;
+    w.u32(dst.id);
+    const auto rb =
+        crypto::cosi_respond(server.keypair(), secrets_[dst.id].secret, c).to_bytes_be();
+    w.raw(BytesView(rb.data(), rb.size()));
+    Envelope resp_env = seal_framed(server, "cp_response", std::move(w).take());
+    cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
+    out.send(NodeId::server(server.id()), coord_node_, std::move(resp_env));
+
+  } else if (env.type == "cp_response") {
+    const auto t = Clock::now();
+    if (src.id < n_ && !resp_in_[src.id]) {
+      resp_in_[src.id] = 1;
+      ++resps_seen_;
+      if (authentic) {
+        Reader r(body);
+        const std::uint32_t i = r.u32();
+        const crypto::U256 ri = crypto::U256::from_bytes_be(r.raw(32));
+        // Unauthenticated => the share stays zero and the aggregate co-sign
+        // fails validation, sinking the checkpoint.
+        if (i == src.id) responses_[src.id] = ri;
+      }
+    }
+    if (resps_seen_ == n_ && !finalized_) {
+      finalized_ = true;
+      cp_.cosign->r = crypto::cosi_aggregate_responses(responses_);
+    }
+    coord_us_ += since_us(t);
+  }
+}
+
+void CheckpointRound::finalize() { RoundReactor::finalize(); }
+
+std::optional<ledger::Checkpoint> CheckpointRound::result() const {
+  if (refused_ || !finalized_ || !cp_.cosign.has_value()) return std::nullopt;
+  if (!ledger::validate_checkpoint(cp_, cluster_->server_keys())) return std::nullopt;
+  return cp_;
+}
+
+}  // namespace fides::engine

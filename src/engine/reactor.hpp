@@ -1,0 +1,162 @@
+// Protocol round reactors — the one definition of the commit/checkpoint
+// choreography.
+//
+// Each reactor drives one round of its protocol as a message-consuming state
+// machine: start() emits the opening broadcast, on_deliver() handles one
+// arrived envelope (already authenticated by the dispatcher) and emits the
+// follow-up sends. The same reactors run under the in-process scheduler
+// (replacing the old lock-step driver in fides/cluster.cpp) and over SimNet
+// (replacing the hand-written drivers in sim/sim_round.cpp) — there is no
+// second copy of the phase logic anywhere.
+//
+// Thread-safety contract (what makes the concurrent in-process scheduler
+// deterministic): all state a handler touches is either (a) owned by the
+// destination node — server objects, coordinator inboxes — and the
+// scheduler serializes deliveries per destination, or (b) a per-slot array
+// indexed by the authenticated sender, written by exactly one handler.
+// Aggregation fires when the last expected message arrives, regardless of
+// arrival order, so outcomes do not depend on the interleaving.
+#pragma once
+
+#include <optional>
+
+#include "engine/scheduler.hpp"
+#include "fides/cluster.hpp"
+
+namespace fides::engine {
+
+/// Progress callbacks from a round reactor to its pipeline.
+class RoundObserver {
+ public:
+  virtual ~RoundObserver() = default;
+  /// `server` fully processed the round's decision message (log append +
+  /// datastore apply attempted). This is the pipelining watermark: it gates
+  /// delivery of the *next* round's opening message at that server, and —
+  /// at the coordinator — admission of the next round.
+  virtual void on_decision_processed(std::uint64_t epoch, std::uint32_t server) = 0;
+};
+
+/// Shared wiring of the coordinator/cohort reactors.
+class RoundReactor {
+ public:
+  RoundReactor(Cluster& cluster, std::uint64_t epoch, RoundObserver* observer);
+  virtual ~RoundReactor() = default;
+
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Emits the round's opening broadcast. Must run in the coordinator's
+  /// serialized context (it reads the coordinator's log head).
+  virtual void start(Outbox& out) = 0;
+
+  /// Handles one delivered envelope. `authentic` is the transport.open()
+  /// verdict, computed by the dispatcher — handlers must not re-open.
+  virtual void on_deliver(NodeId src, NodeId dst, const Envelope& env, bool authentic,
+                          Outbox& out) = 0;
+
+  /// Folds the per-slot timing state into metrics_ once the round is over
+  /// (no handler may still be running). Subclasses add outcome fields.
+  virtual void finalize();
+
+  RoundMetrics& metrics() { return metrics_; }
+
+ protected:
+  Envelope seal_framed(const Server& sender, const char* type, BytesView payload) const;
+  /// Seal-once / count-every-copy broadcast to servers [0, n).
+  void broadcast(Outbox& out, const Envelope& env);
+
+  Cluster* cluster_;
+  Transport* transport_;
+  std::uint32_t n_;
+  ServerId coord_id_;
+  NodeId coord_node_;
+  std::uint64_t epoch_;
+  RoundObserver* observer_;
+
+  RoundMetrics metrics_;
+  double coord_us_{0};                  ///< coordinator-side handler time (wall)
+  std::vector<double> cohort_us_;       ///< per-cohort handler CPU time
+  std::vector<double> cohort_mht_us_;   ///< per-cohort max single Merkle stint
+};
+
+/// One TFCommit round (Figure 7): get_vote -> votes -> challenge ->
+/// responses -> decision -> log append + datastore update.
+class TfCommitRound final : public RoundReactor {
+ public:
+  TfCommitRound(Cluster& cluster, std::uint64_t epoch,
+                std::vector<commit::SignedEndTxn> batch, RoundObserver* observer);
+
+  void start(Outbox& out) override;
+  void on_deliver(NodeId src, NodeId dst, const Envelope& env, bool authentic,
+                  Outbox& out) override;
+  void finalize() override;
+
+ private:
+  std::vector<commit::SignedEndTxn> batch_;
+  std::vector<ServerId> cohort_ids_;
+  commit::TfCommitCoordinator coordinator_;
+
+  std::vector<commit::VoteMsg> votes_;
+  std::vector<unsigned char> vote_in_;
+  std::size_t votes_seen_{0};
+  std::vector<commit::ChallengeMsg> challenges_;
+  std::vector<commit::ResponseMsg> responses_;
+  std::vector<unsigned char> resp_in_;
+  std::size_t resps_seen_{0};
+  std::optional<commit::TfCommitOutcome> outcome_;
+};
+
+/// One 2PC round (baseline, §6.1): prepare -> votes -> decision -> apply.
+class TwoPhaseRound final : public RoundReactor {
+ public:
+  TwoPhaseRound(Cluster& cluster, std::uint64_t epoch,
+                std::vector<commit::SignedEndTxn> batch, RoundObserver* observer);
+
+  void start(Outbox& out) override;
+  void on_deliver(NodeId src, NodeId dst, const Envelope& env, bool authentic,
+                  Outbox& out) override;
+  void finalize() override;
+
+ private:
+  std::vector<commit::SignedEndTxn> batch_;
+  std::vector<ServerId> cohort_ids_;
+  commit::TwoPhaseCommitCoordinator coordinator_;
+
+  std::vector<commit::PrepareVoteMsg> votes_;
+  std::vector<unsigned char> vote_in_;
+  std::size_t votes_seen_{0};
+  std::optional<commit::TwoPhaseCommitOutcome> outcome_;
+};
+
+/// The checkpoint CoSi round (§3.3): propose -> commit -> challenge ->
+/// response. Every server contributes only after verifying the proposal
+/// against its own log; one refusal sinks the checkpoint.
+class CheckpointRound final : public RoundReactor {
+ public:
+  CheckpointRound(Cluster& cluster, std::uint64_t epoch);
+
+  void start(Outbox& out) override;
+  void on_deliver(NodeId src, NodeId dst, const Envelope& env, bool authentic,
+                  Outbox& out) override;
+  void finalize() override;
+
+  /// The formed-and-validated checkpoint, or nullopt (a server's log
+  /// disagreed, or the aggregate co-sign failed validation).
+  std::optional<ledger::Checkpoint> result() const;
+
+ private:
+  ledger::Checkpoint cp_;
+  Bytes record_;
+  std::vector<crypto::CosiCommitment> secrets_;
+  std::vector<crypto::AffinePoint> commitments_;
+  std::vector<unsigned char> agrees_;
+  std::vector<unsigned char> commit_in_;
+  std::size_t commits_seen_{0};
+  std::vector<crypto::U256> responses_;
+  std::vector<unsigned char> resp_in_;
+  std::size_t resps_seen_{0};
+  crypto::U256 challenge_;
+  bool refused_{false};
+  bool finalized_{false};
+};
+
+}  // namespace fides::engine

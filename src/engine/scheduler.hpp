@@ -1,0 +1,102 @@
+// The execution substrate of the round engine.
+//
+// The engine splits protocol choreography from message delivery:
+//
+//   * A *reactor* (engine/reactor.hpp) is a pure event handler for one
+//     protocol round: it consumes delivered envelopes and emits sends into
+//     an Outbox. It never decides *when* anything runs.
+//   * A *scheduler* owns delivery. Two implementations exist: the
+//     in-process scheduler (engine/inproc_scheduler.hpp), which executes
+//     deliveries immediately — serialized per destination node, concurrent
+//     across nodes on the cluster's thread pool — and the SimNet adapter
+//     (sim/sim_round.hpp), which replays the same reactors over the seeded
+//     discrete-event network.
+//
+// Because reactors are schedule-oblivious and all protocol state lives in
+// per-node / per-slot structures, a round's outcome (decisions, blocks,
+// co-signs, ledger state) is a function of the message *contents* only —
+// which is exactly the property the schedule fuzzer checks en masse, and
+// what makes the in-process and simulated paths bit-identical.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/serde.hpp"
+#include "fides/transport.hpp"
+
+namespace fides::engine {
+
+/// Sink for outbound protocol messages. Reactors call this; the scheduler
+/// decides when (and, for SimNet, with what delay/faults) delivery happens.
+class Outbox {
+ public:
+  virtual ~Outbox() = default;
+  virtual void send(NodeId src, NodeId dst, Envelope env) = 0;
+};
+
+/// Receiver side: every delivery the scheduler performs funnels through one
+/// dispatch call (the pipeline's, which dedups, gates, routes, and invokes
+/// the owning reactor).
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+  virtual void dispatch(NodeId src, NodeId dst, const Envelope& env, Outbox& out) = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual Outbox& outbox() = 0;
+
+  /// Delivers until quiescent: returns when every queued message (and
+  /// everything transitively sent by its handlers) has been dispatched.
+  virtual void run(Dispatcher& dispatcher) = 0;
+
+  /// Enqueues a node-local control action (e.g. "coordinator: start the
+  /// next round") serialized with `dst`'s deliveries. The default executes
+  /// inline, which is correct for single-threaded schedulers; concurrent
+  /// schedulers must route it through dst's delivery queue.
+  virtual void post(NodeId dst, std::function<void()> fn) {
+    (void)dst;
+    fn();
+  }
+
+  /// Virtual network time, when the substrate models one (SimNet). The
+  /// pipeline uses it for the network term of the modeled critical path;
+  /// schedulers without a clock (in-process) return nullopt and the modeled
+  /// term falls back to network_legs x one-way latency.
+  virtual std::optional<double> virtual_now_us() const { return std::nullopt; }
+
+  /// Threads handlers may execute on (RoundMetrics::threads_used).
+  virtual std::size_t concurrency() const { return 1; }
+};
+
+// --- Engine frame -------------------------------------------------------------
+//
+// With pipelining, several rounds are in flight on one wire, so every engine
+// payload is prefixed with the round's epoch (a u64 handed out by the
+// ordserv epoch counter). The frame is part of the signed envelope payload —
+// a Byzantine node cannot re-tag a message into another round without
+// breaking the sender signature. Client data-path traffic is not framed; it
+// never crosses the engine dispatcher.
+
+inline Bytes frame_payload(std::uint64_t epoch, BytesView payload) {
+  Writer w;
+  w.u64(epoch);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+/// Epoch of a framed payload, or nullopt for a malformed (short) frame.
+inline std::optional<std::uint64_t> peek_epoch(BytesView payload) {
+  if (payload.size() < 8) return std::nullopt;
+  Reader r(payload);
+  return r.u64();
+}
+
+/// The protocol message bytes behind the frame header.
+inline BytesView unframe_payload(BytesView payload) { return payload.subspan(8); }
+
+}  // namespace fides::engine

@@ -1,23 +1,11 @@
 #include "fides/cluster.hpp"
 
-#include <algorithm>
-#include <chrono>
-
-#include "common/cpu_time.hpp"
+#include "engine/inproc_scheduler.hpp"
+#include "engine/pipeline.hpp"
 #include "sim/sim_round.hpp"
 #include "sim/simnet.hpp"
 
 namespace fides {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double since_us(Clock::time_point start) {
-  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
-}
-
-}  // namespace
 
 bool verify_touching_requests(Transport& transport, const Server& server,
                               std::span<const commit::SignedEndTxn> requests) {
@@ -153,248 +141,42 @@ WriteAck Cluster::client_write(Client& client, TxnId txn, ItemId item, Bytes val
   return ack;
 }
 
-// --- TFCommit round ------------------------------------------------------------
+// --- Commit rounds through the engine ----------------------------------------
 
-RoundMetrics Cluster::run_tfcommit_block(std::vector<commit::SignedEndTxn> batch) {
+template <typename Fn>
+auto Cluster::with_scheduler(Fn&& body) {
   if (simnet_ != nullptr) {
-    return sim::run_tfcommit_block_sim(*this, std::move(batch), *simnet_);
+    sim::SimNetScheduler sched(*simnet_);
+    return body(static_cast<engine::Scheduler&>(sched));
   }
-  RoundMetrics metrics;
-  metrics.txns_in_block = batch.size();
-  metrics.threads_used = round_threads();
-  const auto round_start = Clock::now();
-  commit::order_batch(batch);
-
-  const std::uint32_t n = config_.num_servers;
-  Server& coord_server = *servers_[coordinator_id().value];
-  const NodeId coord_node = NodeId::server(coordinator_id());
-
-  std::vector<ServerId> cohort_ids;
-  for (std::uint32_t i = 0; i < n; ++i) cohort_ids.push_back(ServerId{i});
-  commit::TfCommitCoordinator coordinator(cohort_ids, server_keys_);
-
-  // Phase 1 <GetVote, SchAnnouncement> — coordinator assembles and signs.
-  auto t0 = Clock::now();
-  commit::Block partial = commit::TfCommitCoordinator::make_partial_block(
-      coord_server.log().size(), coord_server.log().head_hash(), commit::batch_txns(batch),
-      cohort_ids);
-  commit::GetVoteMsg get_vote = coordinator.start(std::move(partial), batch);
-  // Broadcast: sign once, every cohort gets (and verifies) the same envelope.
-  const Envelope get_vote_env = transport_.seal(coord_server.keypair(), coord_node,
-                                                "tf_get_vote", get_vote.serialize());
-  for (std::uint32_t i = 1; i < n; ++i) {
-    transport_.count_copy(get_vote_env);
-  }
-  metrics.coordinator_us += since_us(t0);
-
-  // Phase 2 <Vote, SchCommitment> — every cohort concurrently on the pool
-  // (each worker touches only its own server and its own output slots).
-  std::vector<commit::VoteMsg> votes(n);
-  std::vector<Envelope> vote_envs(n);
-  std::vector<double> phase2_us(n, 0);
-  std::vector<double> phase2_mht_us(n, 0);
-  for_each_server([&](std::size_t i) {
-    Server& server = *servers_[i];
-    const double tc = common::thread_cpu_time_us();
-    commit::VoteMsg vote;
-    if (transport_.open(get_vote_env, "tf_get_vote")) {
-      const bool requests_ok =
-          verify_touching_requests(transport_, server, get_vote.requests);
-      commit::CohortFaults faults = server.faults().cohort;
-      if (!requests_ok) faults.always_vote_abort = true;  // refuse forged requests
-      vote = server.tf_cohort().handle_get_vote(get_vote, faults);
-      server.add_mht_time_us(server.tf_cohort().last_root_compute_us());
-      phase2_mht_us[i] = server.tf_cohort().last_root_compute_us();
-    }
-    vote_envs[i] = transport_.seal(server.keypair(), NodeId::server(server.id()),
-                                   "tf_vote", vote.serialize());
-    votes[i] = std::move(vote);
-    phase2_us[i] = common::thread_cpu_time_us() - tc;
-  });
-  metrics.cohort_critical_us += *std::max_element(phase2_us.begin(), phase2_us.end());
-  metrics.mht_us = std::max(
-      metrics.mht_us, *std::max_element(phase2_mht_us.begin(), phase2_mht_us.end()));
-
-  // Phase 3 <null, SchChallenge> — coordinator verifies the vote envelopes
-  // (in parallel: n independent Schnorr checks) then aggregates.
-  t0 = Clock::now();
-  transport_.open_all(vote_envs, "tf_vote", pool_.get());
-  std::vector<commit::ChallengeMsg> challenges =
-      coordinator.on_votes(votes, coord_server.faults().coordinator);
-  // Honest coordinators broadcast one challenge (single-element vector);
-  // an equivocating one crafts and signs divergent envelopes per cohort.
-  std::vector<Envelope> challenge_envs;
-  challenge_envs.reserve(challenges.size());
-  for (const auto& ch : challenges) {
-    challenge_envs.push_back(transport_.seal(coord_server.keypair(), coord_node,
-                                             "tf_challenge", ch.serialize()));
-  }
-  for (std::uint32_t i = 1; challenges.size() == 1 && i < n; ++i) {
-    transport_.count_copy(challenge_envs[0]);
-  }
-  metrics.coordinator_us += since_us(t0);
-
-  // Phase 4 <null, SchResponse> — cohorts validate the block and respond,
-  // concurrently.
-  std::vector<commit::ResponseMsg> responses(n);
-  std::vector<Envelope> response_envs(n);
-  std::vector<double> phase4_us(n, 0);
-  for_each_server([&](std::size_t i) {
-    Server& server = *servers_[i];
-    const double tc = common::thread_cpu_time_us();
-    const std::size_t slot = challenges.size() == 1 ? 0 : i;
-    commit::ResponseMsg resp;
-    if (transport_.open(challenge_envs[slot], "tf_challenge")) {
-      resp = server.tf_cohort().handle_challenge(challenges[slot],
-                                                 server.faults().cohort);
-    } else {
-      resp.cohort = server.id();
-      resp.refused = true;
-      resp.refusal_reason = "challenge envelope failed authentication";
-    }
-    response_envs[i] = transport_.seal(server.keypair(), NodeId::server(server.id()),
-                                       "tf_response", resp.serialize());
-    responses[i] = std::move(resp);
-    phase4_us[i] = common::thread_cpu_time_us() - tc;
-  });
-  metrics.cohort_critical_us += *std::max_element(phase4_us.begin(), phase4_us.end());
-
-  // Phase 5 <Decision, null> — coordinator verifies the response envelopes
-  // in parallel and finalizes the co-sign.
-  t0 = Clock::now();
-  transport_.open_all(response_envs, "tf_response", pool_.get());
-  commit::TfCommitOutcome outcome = coordinator.on_responses(responses);
-  metrics.cosign_valid = outcome.cosign_valid;
-  metrics.faulty_cosigners = outcome.faulty_cosigners;
-  metrics.refusals = outcome.refusals;
-  metrics.decision = outcome.decision;
-
-  commit::DecisionMsg decision{outcome.block};
-  const Envelope decision_env = transport_.seal(coord_server.keypair(), coord_node,
-                                                "tf_decision", decision.serialize());
-  for (std::uint32_t i = 1; i < n; ++i) {
-    transport_.count_copy(decision_env);
-  }
-  metrics.coordinator_us += since_us(t0);
-
-  // Log append + datastore update at every server (steps 6-7), concurrently:
-  // each server verifies the co-sign, appends to its own log, and applies
-  // the writes to its own shard.
-  std::vector<double> apply_us(n, 0);
-  std::vector<double> apply_mht_us(n, 0);
-  for_each_server([&](std::size_t i) {
-    Server& server = *servers_[i];
-    const double tc = common::thread_cpu_time_us();
-    const double mht_before = server.mht_time_us();
-    if (transport_.open(decision_env, "tf_decision")) {
-      server.handle_decision(decision, server_keys_);
-    }
-    apply_mht_us[i] = server.mht_time_us() - mht_before;
-    apply_us[i] = common::thread_cpu_time_us() - tc;
-  });
-  metrics.cohort_critical_us += *std::max_element(apply_us.begin(), apply_us.end());
-  metrics.mht_us = std::max(
-      metrics.mht_us, *std::max_element(apply_mht_us.begin(), apply_mht_us.end()));
-
-  // end_txn (client->coord) + get_vote + vote + challenge + response +
-  // decision (coord->cohorts/client in parallel) = 6 one-way legs.
-  metrics.network_legs = 6;
-  metrics.modeled_latency_us =
-      metrics.coordinator_us + metrics.cohort_critical_us +
-      static_cast<double>(metrics.network_legs) * config_.network.one_way_latency_us;
-  metrics.measured_latency_us = since_us(round_start);
-  return metrics;
+  engine::InProcScheduler sched(*pool_);
+  return body(static_cast<engine::Scheduler&>(sched));
 }
 
-// --- 2PC round -----------------------------------------------------------------
+PipelineResult Cluster::run_blocks(std::vector<std::vector<commit::SignedEndTxn>> batches) {
+  return with_scheduler([&](engine::Scheduler& sched) {
+    return engine::run_commit_rounds(*this, config_.protocol, std::move(batches), sched);
+  });
+}
+
+RoundMetrics Cluster::run_tfcommit_block(std::vector<commit::SignedEndTxn> batch) {
+  return with_scheduler([&](engine::Scheduler& sched) {
+           std::vector<std::vector<commit::SignedEndTxn>> batches;
+           batches.push_back(std::move(batch));
+           return engine::run_commit_rounds(*this, Protocol::kTfCommit,
+                                            std::move(batches), sched);
+         })
+      .rounds.at(0);
+}
 
 RoundMetrics Cluster::run_2pc_block(std::vector<commit::SignedEndTxn> batch) {
-  if (simnet_ != nullptr) {
-    return sim::run_2pc_block_sim(*this, std::move(batch), *simnet_);
-  }
-  RoundMetrics metrics;
-  metrics.txns_in_block = batch.size();
-  metrics.threads_used = round_threads();
-  const auto round_start = Clock::now();
-  commit::order_batch(batch);
-
-  const std::uint32_t n = config_.num_servers;
-  Server& coord_server = *servers_[coordinator_id().value];
-  const NodeId coord_node = NodeId::server(coordinator_id());
-
-  std::vector<ServerId> cohort_ids;
-  for (std::uint32_t i = 0; i < n; ++i) cohort_ids.push_back(ServerId{i});
-  commit::TwoPhaseCommitCoordinator coordinator(cohort_ids);
-
-  // Prepare phase.
-  auto t0 = Clock::now();
-  commit::Block partial = commit::TfCommitCoordinator::make_partial_block(
-      coord_server.log().size(), coord_server.log().head_hash(), commit::batch_txns(batch),
-      cohort_ids);
-  commit::PrepareMsg prepare = coordinator.start(std::move(partial), batch);
-  const Envelope prepare_env = transport_.seal(coord_server.keypair(), coord_node,
-                                               "2pc_prepare", prepare.serialize());
-  for (std::uint32_t i = 1; i < n; ++i) {
-    transport_.count_copy(prepare_env);
-  }
-  metrics.coordinator_us += since_us(t0);
-
-  // Vote phase — all cohorts concurrently.
-  std::vector<commit::PrepareVoteMsg> votes(n);
-  std::vector<Envelope> vote_envs(n);
-  std::vector<double> vote_us(n, 0);
-  for_each_server([&](std::size_t i) {
-    Server& server = *servers_[i];
-    const double tc = common::thread_cpu_time_us();
-    commit::PrepareVoteMsg vote;
-    if (transport_.open(prepare_env, "2pc_prepare")) {
-      const bool requests_ok =
-          verify_touching_requests(transport_, server, prepare.requests);
-      vote = server.tpc_cohort().handle_prepare(prepare);
-      if (!requests_ok) {
-        vote.vote = txn::Vote::kAbort;
-        vote.abort_reason = "client request signature invalid";
-      }
-    }
-    vote_envs[i] = transport_.seal(server.keypair(), NodeId::server(server.id()),
-                                   "2pc_vote", vote.serialize());
-    votes[i] = std::move(vote);
-    vote_us[i] = common::thread_cpu_time_us() - tc;
-  });
-  metrics.cohort_critical_us += *std::max_element(vote_us.begin(), vote_us.end());
-
-  // Decision phase — vote envelopes verified in parallel at the coordinator.
-  t0 = Clock::now();
-  transport_.open_all(vote_envs, "2pc_vote", pool_.get());
-  commit::TwoPhaseCommitOutcome outcome = coordinator.on_votes(votes);
-  metrics.decision = outcome.decision;
-  commit::CommitDecisionMsg decision{outcome.block};
-  const Envelope decision_env = transport_.seal(coord_server.keypair(), coord_node,
-                                                "2pc_decision", decision.serialize());
-  for (std::uint32_t i = 1; i < n; ++i) {
-    transport_.count_copy(decision_env);
-  }
-  metrics.coordinator_us += since_us(t0);
-
-  // Log append + apply at every server, concurrently.
-  std::vector<double> apply_us(n, 0);
-  for_each_server([&](std::size_t i) {
-    Server& server = *servers_[i];
-    const double tc = common::thread_cpu_time_us();
-    if (transport_.open(decision_env, "2pc_decision")) {
-      server.handle_decision_2pc(decision);
-    }
-    apply_us[i] = common::thread_cpu_time_us() - tc;
-  });
-  metrics.cohort_critical_us += *std::max_element(apply_us.begin(), apply_us.end());
-
-  // end_txn + prepare + vote + decision = 4 one-way legs.
-  metrics.network_legs = 4;
-  metrics.modeled_latency_us =
-      metrics.coordinator_us + metrics.cohort_critical_us +
-      static_cast<double>(metrics.network_legs) * config_.network.one_way_latency_us;
-  metrics.measured_latency_us = since_us(round_start);
-  return metrics;
+  return with_scheduler([&](engine::Scheduler& sched) {
+           std::vector<std::vector<commit::SignedEndTxn>> batches;
+           batches.push_back(std::move(batch));
+           return engine::run_commit_rounds(*this, Protocol::kTwoPhaseCommit,
+                                            std::move(batches), sched);
+         })
+      .rounds.at(0);
 }
 
 RoundMetrics Cluster::run_block(std::vector<commit::SignedEndTxn> batch) {
@@ -403,55 +185,23 @@ RoundMetrics Cluster::run_block(std::vector<commit::SignedEndTxn> batch) {
 }
 
 std::vector<RoundMetrics> Cluster::drain(commit::BatchBuilder& builder) {
-  std::vector<RoundMetrics> rounds;
+  // The builder's batch selection depends only on its queue, so popping
+  // everything up front yields the same batch sequence as popping one per
+  // round — and hands the whole stream to the pipeline at once.
+  std::vector<std::vector<commit::SignedEndTxn>> batches;
   while (!builder.empty()) {
-    rounds.push_back(run_block(builder.next_batch()));
+    batches.push_back(builder.next_batch());
   }
-  return rounds;
+  return run_blocks(std::move(batches)).rounds;
+}
+
+CheckpointOutcome Cluster::run_checkpoint_round() {
+  return with_scheduler(
+      [&](engine::Scheduler& sched) { return engine::run_checkpoint_round(*this, sched); });
 }
 
 std::optional<ledger::Checkpoint> Cluster::create_checkpoint() {
-  if (simnet_ != nullptr) {
-    return sim::create_checkpoint_sim(*this, *simnet_);
-  }
-  std::vector<ServerId> signers;
-  for (std::uint32_t i = 0; i < config_.num_servers; ++i) signers.push_back(ServerId{i});
-
-  // The coordinator proposes a checkpoint over its own log.
-  ledger::Checkpoint cp = ledger::make_checkpoint(
-      servers_[coordinator_id().value]->log().blocks(), signers);
-  const Bytes record = cp.signing_bytes();
-
-  // CoSi round: each server only contributes after verifying that the
-  // proposal matches its own log (same height, same head hash) — a server
-  // with a divergent log refuses, and the checkpoint cannot form. The
-  // per-server commitment and response computations fan out over the pool.
-  const std::uint32_t n = config_.num_servers;
-  std::vector<crypto::AffinePoint> commitments(n);
-  std::vector<crypto::CosiCommitment> secrets(n);
-  std::vector<unsigned char> agrees(n, 0);
-  for_each_server([&](std::size_t i) {
-    const Server& server = *servers_[i];
-    if (server.log().size() != cp.height || !(server.log().head_hash() == cp.head_hash)) {
-      return;  // agrees[i] stays 0: this server refuses
-    }
-    agrees[i] = 1;
-    secrets[i] = crypto::cosi_commit(server.keypair(), record,
-                                     ledger::checkpoint_cosi_round(cp.height));
-    commitments[i] = secrets[i].v;
-  });
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (!agrees[i]) return std::nullopt;
-  }
-  const crypto::AffinePoint v = crypto::cosi_aggregate_commitments(commitments);
-  const crypto::U256 challenge = crypto::cosi_challenge(v, record);
-  std::vector<crypto::U256> responses(n);
-  for_each_server([&](std::size_t i) {
-    responses[i] = crypto::cosi_respond(servers_[i]->keypair(), secrets[i].secret, challenge);
-  });
-  cp.cosign = crypto::CosiSignature{v, crypto::cosi_aggregate_responses(responses)};
-  if (!ledger::validate_checkpoint(cp, server_keys_)) return std::nullopt;
-  return cp;
+  return run_checkpoint_round().checkpoint;
 }
 
 }  // namespace fides

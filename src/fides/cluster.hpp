@@ -1,29 +1,31 @@
-// Cluster wiring and the commit-round driver.
+// Cluster wiring and the commit-round entry points.
 //
 // The cluster owns all servers and the transport, executes the client data
-// path, and drives whole TFCommit / 2PC rounds through the protocol state
-// machines, message by message, over signed envelopes.
+// path, and hands commit rounds to the engine (src/engine/): one set of
+// event-driven protocol reactors runs under two interchangeable schedulers —
+// the in-process scheduler (per-server FIFO queues drained concurrently on
+// the cluster's thread pool) and the seeded discrete-event SimNet
+// (ClusterConfig::network.mode == kSimulated).
 //
-// Timing model: all nodes run in one process. The driver reports two
-// latencies per round:
+// Timing model: all nodes run in one process. Every round reports two
+// latencies:
 //
 //   * modeled_latency_us — the analytical critical path: coordinator work
-//     plus, per phase, the slowest cohort (cohorts of one phase run in
-//     parallel in a real deployment), plus one modeled network leg per
-//     protocol message hop. This is what lets the Figure 14 shape (more
-//     servers => more parallel Merkle work => higher throughput) emerge even
-//     on a single core.
+//     plus the slowest cohort's compute, plus a network term (one modeled
+//     leg per protocol hop in direct mode; the schedule's virtual time in
+//     simulated mode). This is what lets the Figure 14 shape (more servers
+//     => more parallel Merkle work => higher throughput) emerge even on a
+//     single core.
 //   * measured_latency_us — the wall clock the round actually took in this
-//     process. With ClusterConfig::num_threads > 1 the driver executes each
-//     phase's per-cohort work concurrently on a thread pool, so on
-//     multi-core hardware the measured number exhibits the same parallelism
-//     the model assumes — and validates the model against real concurrency.
+//     process. With ClusterConfig::num_threads > 1 the engine executes
+//     per-server work concurrently, so on multi-core hardware the measured
+//     number exhibits the parallelism the model assumes.
 //
-// Parallel execution is deterministic: every phase fans out over the cohort
-// index, each worker writes only its own slot (its server's state, its vote,
-// its envelope), and the driver joins before aggregating, so a 1-thread and
-// an N-thread run of the same batch produce identical decisions, blocks, and
-// ledger state.
+// Execution is deterministic: protocol state is per-server (serialized by
+// the scheduler) or per-slot (one writer), and aggregation fires on message
+// counts, not arrival order — so a 1-thread and an N-thread run, and a
+// depth-1 and a depth-K pipelined run, of the same batches produce
+// identical decisions, blocks, ledger state, and co-signs.
 #pragma once
 
 #include <memory>
@@ -33,11 +35,15 @@
 #include "fides/client.hpp"
 #include "fides/server.hpp"
 #include "ledger/checkpoint.hpp"
+#include "ordserv/sequencer.hpp"
 
 namespace fides {
 
 namespace sim {
 class SimNet;
+}
+namespace engine {
+class Scheduler;
 }
 
 /// Everything a commit round reports to the harness.
@@ -45,33 +51,49 @@ struct RoundMetrics {
   ledger::Decision decision{ledger::Decision::kAbort};
   std::size_t txns_in_block{0};
 
-  double coordinator_us{0};     ///< total coordinator compute
-  double cohort_critical_us{0};  ///< sum over phases of max cohort compute
+  double coordinator_us{0};      ///< total coordinator compute
+  double cohort_critical_us{0};  ///< slowest cohort's total compute
   double mht_us{0};              ///< max per-server Merkle time in this round
   std::size_t network_legs{0};   ///< protocol message hops on the latency path
 
-  /// critical-path compute + network_legs * one-way latency.
+  /// critical-path compute + the network term (legs x one-way latency in
+  /// direct mode; the schedule's virtual time in simulated mode).
   double modeled_latency_us{0};
 
   /// Wall clock this process actually spent on the round (thread-pool
-  /// fan-out included, modeled network legs excluded). The measured
-  /// counterpart of the modeled critical path above.
+  /// fan-out included, modeled network legs excluded). At pipeline depth
+  /// > 1 rounds overlap, so per-round measured latencies do not sum to the
+  /// run's wall time — use PipelineResult::wall_us for throughput.
   double measured_latency_us{0};
 
-  /// Threads the round executed on (1 = sequential driver).
+  /// Threads the round executed on (1 = sequential or simulated driver).
   std::size_t threads_used{1};
 
-  /// Cosign health (TFCommit only).
+  /// Cosign health (TFCommit and checkpoint rounds).
   bool cosign_valid{false};
   std::vector<ServerId> faulty_cosigners;
   std::vector<std::pair<ServerId, std::string>> refusals;
 };
 
+/// A batched run of commit rounds: per-round metrics (in round order) plus
+/// the whole call's wall time.
+struct PipelineResult {
+  std::vector<RoundMetrics> rounds;
+  double wall_us{0};
+};
+
+/// A checkpoint CoSi round's outcome, with metrics populated uniformly with
+/// the commit paths (modeled + measured latency, legs, threads).
+struct CheckpointOutcome {
+  std::optional<ledger::Checkpoint> checkpoint;
+  RoundMetrics metrics;
+};
+
 /// "Every cohort verifies ... the encapsulated client request": Schnorr
 /// check of every request touching `server`'s shard, counting one
 /// verification per checked request and failing fast on the first bad
-/// signature. One definition shared by the direct and simulated round
-/// drivers — their outcomes and stats accounting must stay bit-identical.
+/// signature. One definition for every scheduler — outcomes and stats
+/// accounting must stay bit-identical across them.
 bool verify_touching_requests(Transport& transport, const Server& server,
                               std::span<const commit::SignedEndTxn> requests);
 
@@ -99,6 +121,13 @@ class Cluster {
   /// Threads commit rounds run on (1 when sequential).
   std::size_t round_threads() const;
 
+  /// This cluster's per-block epoch source (an ordserv::EpochCounter, the
+  /// same mechanism OrdServ uses for group-commit round ids — but its own
+  /// domain): every engine round — commit or checkpoint — reserves one
+  /// epoch, which tags its messages on the wire so pipelined rounds route
+  /// and deduplicate correctly within this cluster's transport.
+  ordserv::EpochCounter& epochs() { return epochs_; }
+
   /// The simulated network carrying commit-round and checkpoint traffic, or
   /// nullptr in direct-delivery mode. One instance persists across rounds:
   /// the virtual clock, RNG stream, and trace hash cover the whole run, so
@@ -120,6 +149,11 @@ class Cluster {
 
   // --- Commit rounds ---------------------------------------------------------
 
+  /// Runs one round per batch through the engine, with up to
+  /// config().pipeline_depth blocks in flight (Figure 7 phases per block;
+  /// ledger append order stays sequential at every depth).
+  PipelineResult run_blocks(std::vector<std::vector<commit::SignedEndTxn>> batches);
+
   /// Runs one full TFCommit round over `batch` (Figure 7): get_vote, votes,
   /// challenge, responses, decision, log append + datastore update.
   RoundMetrics run_tfcommit_block(std::vector<commit::SignedEndTxn> batch);
@@ -130,18 +164,27 @@ class Cluster {
   /// Dispatches on config().protocol.
   RoundMetrics run_block(std::vector<commit::SignedEndTxn> batch);
 
-  /// Runs batches from `builder` until it drains; returns per-round metrics.
+  /// Runs batches from `builder` until it drains — pipelined when
+  /// config().pipeline_depth > 1; returns per-round metrics.
   std::vector<RoundMetrics> drain(commit::BatchBuilder& builder);
 
   /// Runs a collective-signing round over a checkpoint summarizing the
   /// current log (§3.3's checkpointing optimization): every server verifies
-  /// the summary against its own log before contributing its share. Returns
-  /// nullopt if any server's log disagrees (the co-sign would not form).
+  /// the summary against its own log before contributing its share. The
+  /// checkpoint is nullopt if any server's log disagrees (the co-sign would
+  /// not form).
+  CheckpointOutcome run_checkpoint_round();
+
+  /// run_checkpoint_round() without the metrics.
   std::optional<ledger::Checkpoint> create_checkpoint();
 
  private:
   /// Runs fn(i) for every server index, on the pool when parallel.
   void for_each_server(const std::function<void(std::size_t)>& fn);
+
+  /// Runs `body` with the scheduler matching config().network.mode.
+  template <typename Fn>
+  auto with_scheduler(Fn&& body);
 
   ClusterConfig config_;
   Transport transport_;
@@ -152,6 +195,7 @@ class Cluster {
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<crypto::PublicKey> server_keys_;
+  ordserv::EpochCounter epochs_;
 };
 
 }  // namespace fides

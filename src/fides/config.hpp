@@ -54,6 +54,18 @@ struct ClusterConfig {
   /// blocks, and ledger state — only wall-clock time changes.
   std::uint32_t num_threads{1};
 
+  /// Commit rounds in flight in the engine pipeline. 1 = lock-step, one
+  /// block at a time (bit-identical to the pre-pipelining engine). K > 1
+  /// admits block k+1 into its vote phase while block k's decision/apply
+  /// tail is still draining at slower servers. Ledger append order stays
+  /// sequential and the committed ledger is identical at every depth: a
+  /// cohort never votes on block k+1 before applying block k (the engine
+  /// gates the opening message on the per-server apply watermark), because
+  /// its hypothetical Merkle root must build on the applied state. That
+  /// data dependency also caps effective overlap at ~2 rounds regardless
+  /// of K.
+  std::uint32_t pipeline_depth{1};
+
   /// Sign/verify every message envelope (the system-model requirement,
   /// §3.1). Commit-protocol messages are always signed; this toggle lets
   /// benchmarks skip signatures on the *data path* (begin/read/write), whose

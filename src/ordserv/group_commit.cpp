@@ -74,7 +74,9 @@ GroupRoundResult GroupCommitRunner::run_group_block(
   commit::Block partial = commit::TfCommitCoordinator::make_partial_block(
       /*height=*/0, crypto::Digest::zero(), std::move(txns), group.members);
   commit::GetVoteMsg get_vote = coordinator.start(std::move(partial), std::move(batch));
-  get_vote.round = ++round_counter_;  // unique CoSi nonce domain per round
+  // OrdServ hands out the epoch: a unique CoSi nonce domain per round, even
+  // when multiple group coordinators terminate batches concurrently.
+  get_vote.round = sequencer_->epochs().reserve();
 
   std::vector<commit::VoteMsg> votes;
   votes.reserve(group.members.size());

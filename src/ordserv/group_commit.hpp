@@ -54,7 +54,6 @@ class GroupCommitRunner {
   Cluster* cluster_;
   Sequencer* sequencer_;
   std::vector<std::vector<SequencedBlock>> delivered_;  // per server
-  std::uint64_t round_counter_{0};
 };
 
 }  // namespace fides::ordserv

@@ -5,6 +5,7 @@
 namespace fides::ordserv {
 
 std::uint64_t Sequencer::submit(ledger::Block block, ServerGroup group) {
+  std::lock_guard<std::mutex> lock(mutex_);
   SequencedBlock entry;
   entry.group = std::move(group);
 
@@ -40,10 +41,18 @@ std::uint64_t Sequencer::submit(ledger::Block block, ServerGroup group) {
 }
 
 std::vector<const SequencedBlock*> Sequencer::fetch_new(ServerId server) {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t& cur = cursor_[server.value];
   std::vector<const SequencedBlock*> out;
+  // deque never invalidates element addresses on push_back, so handing out
+  // pointers is safe even while other threads keep submitting.
   while (cur < stream_.size()) out.push_back(&stream_[cur++]);
   return out;
+}
+
+std::size_t Sequencer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stream_.size();
 }
 
 }  // namespace fides::ordserv

@@ -12,19 +12,42 @@
 // tests can verify the contract (the ParBlock-style dependency tracking the
 // paper plans to integrate).
 //
+// OrdServ also hands out per-block epochs (EpochCounter below): group
+// coordinators publishing through one sequencer draw their CoSi round ids
+// from its counter, giving unique nonce domains across concurrent groups.
+// A Cluster embeds its own EpochCounter for the round engine's wire tags —
+// a separate domain; engine epochs only need uniqueness within that
+// cluster's transport. Epoch reservation and stream submission are
+// thread-safe — multiple group coordinators may race.
+//
 // The paper suggests PBFT among coordinators or Apache Kafka as concrete
 // OrdServ instances; this in-process sequencer implements the same abstract
 // contract — a single consistently ordered, dependency-respecting stream —
 // which is all §4.6 requires of it.
 #pragma once
 
+#include <atomic>
 #include <deque>
+#include <mutex>
 #include <unordered_map>
 
 #include "ledger/block.hpp"
 #include "ordserv/group.hpp"
 
 namespace fides::ordserv {
+
+/// Thread-safe monotone epoch source. reserve() hands out 1, 2, 3, ... —
+/// each caller gets a distinct epoch, with no gaps, under any interleaving.
+class EpochCounter {
+ public:
+  std::uint64_t reserve() { return next_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  /// Epochs handed out so far.
+  std::uint64_t issued() const { return next_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> next_{0};
+};
 
 struct SequencedBlock {
   ledger::Block block;       ///< height/prev_hash filled by the sequencer
@@ -37,18 +60,26 @@ class Sequencer {
   /// Accepts a block published by a group coordinator. `block.height` and
   /// `block.prev_hash` are overwritten; the co-sign must already cover the
   /// transactions (the signed bytes bind txns + roots + decision + signers;
-  /// see note below). Returns the assigned global height.
+  /// see note below). Returns the assigned global height. Thread-safe:
+  /// concurrent submissions serialize into one consistent chain.
   std::uint64_t submit(ledger::Block block, ServerGroup group);
 
-  /// Blocks sequenced so far, in broadcast order.
+  /// The per-block epoch source (see EpochCounter).
+  EpochCounter& epochs() { return epochs_; }
+
+  /// Blocks sequenced so far, in broadcast order. Safe to read once
+  /// submitters are quiescent (the harness's post-run inspection).
   const std::deque<SequencedBlock>& stream() const { return stream_; }
 
   /// Drains blocks not yet delivered to `server` (at-most-once per server).
+  /// Thread-safe against concurrent submit and fetch_new calls.
   std::vector<const SequencedBlock*> fetch_new(ServerId server);
 
-  std::size_t size() const { return stream_.size(); }
+  std::size_t size() const;
 
  private:
+  mutable std::mutex mutex_;
+  EpochCounter epochs_;
   std::deque<SequencedBlock> stream_;
   crypto::Digest head_hash_{};  // zero for genesis
   std::unordered_map<ItemId, std::uint64_t> last_touch_;   // item -> height

@@ -87,7 +87,7 @@ struct Scenario {
   std::string description;
 };
 
-Scenario derive_scenario(std::uint64_t seed) {
+Scenario derive_scenario(std::uint64_t seed, bool force_pipeline) {
   // Independent stream from SimNet's (which gets its own derived seed), so
   // scenario shape and schedule don't alias.
   Rng rng(seed ^ 0x51AF'F00D'5EED'F00DULL);
@@ -98,6 +98,12 @@ Scenario derive_scenario(std::uint64_t seed) {
   cfg.items_per_shard = 24;
   cfg.max_batch_size = 8;
   cfg.num_threads = 1 + static_cast<std::uint32_t>(rng.uniform(2));
+  // A fraction of seeds run the noise phase with blocks in flight; the
+  // safety oracles are depth-oblivious, so pipelining must change nothing
+  // they can see.
+  cfg.pipeline_depth = 1 + static_cast<std::uint32_t>(rng.uniform(4));  // 1..4
+  if (rng.uniform01() < 0.55 && !force_pipeline) cfg.pipeline_depth = 1;
+  if (force_pipeline && cfg.pipeline_depth == 1) cfg.pipeline_depth = 2;
   cfg.seed = seed;
   cfg.versioning = rng.uniform(2) == 0 ? store::VersioningMode::kSingle
                                        : store::VersioningMode::kMulti;
@@ -145,7 +151,8 @@ Scenario derive_scenario(std::uint64_t seed) {
 
   std::ostringstream d;
   d << (use_2pc ? "2pc" : "tfcommit") << " n=" << cfg.num_servers
-    << " threads=" << cfg.num_threads << " drop=" << net.link.drop_prob
+    << " threads=" << cfg.num_threads << " pipe=" << cfg.pipeline_depth
+    << " drop=" << net.link.drop_prob
     << " dup=" << net.link.dup_prob << " reorder=" << net.link.reorder_prob
     << (partitioned ? " partition" : "") << " fault=" << fault_name(s.fault);
   if (s.fault != Fault::kNone) d << "@S" << s.culprit;
@@ -173,11 +180,11 @@ void fold(crypto::Digest& acc, BytesView data) {
 
 }  // namespace
 
-FuzzOutcome run_schedule(std::uint64_t seed) {
+FuzzOutcome run_schedule(std::uint64_t seed, const FuzzOptions& options) {
   FuzzOutcome out;
   out.seed = seed;
 
-  const Scenario scenario = derive_scenario(seed);
+  const Scenario scenario = derive_scenario(seed, options.force_pipeline);
   out.scenario = scenario.description;
   out.byzantine = scenario.fault != Fault::kNone;
   const Fault fault = scenario.fault;
@@ -251,20 +258,33 @@ FuzzOutcome run_schedule(std::uint64_t seed) {
   std::vector<RoundMetrics> rounds;
   std::map<ItemId, Bytes> committed;  // last committed value per item
 
-  auto run_round = [&](std::vector<commit::SignedEndTxn> batch) {
-    std::vector<std::pair<ItemId, Bytes>> writes;
-    for (const auto& req : batch) {
-      for (const auto& w : req.request.txn.rw.writes) {
-        writes.emplace_back(w.id, w.new_value);
+  // Runs a stream of batches through the (possibly pipelined) engine and
+  // folds each round's writes into the committed map in round order —
+  // ledger append order stays sequential at every pipeline depth.
+  auto run_rounds = [&](std::vector<std::vector<commit::SignedEndTxn>> batches) {
+    std::vector<std::vector<std::pair<ItemId, Bytes>>> writes(batches.size());
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      for (const auto& req : batches[b]) {
+        for (const auto& w : req.request.txn.rw.writes) {
+          writes[b].emplace_back(w.id, w.new_value);
+        }
       }
     }
-    RoundMetrics m = cluster.run_block(std::move(batch));
-    const bool applied =
-        m.decision == ledger::Decision::kCommit && (use_2pc || m.cosign_valid);
-    if (applied) {
-      for (auto& [item, value] : writes) committed[item] = std::move(value);
+    PipelineResult result = cluster.run_blocks(std::move(batches));
+    for (std::size_t b = 0; b < result.rounds.size(); ++b) {
+      RoundMetrics& m = result.rounds[b];
+      const bool applied =
+          m.decision == ledger::Decision::kCommit && (use_2pc || m.cosign_valid);
+      if (applied) {
+        for (auto& [item, value] : writes[b]) committed[item] = std::move(value);
+      }
+      rounds.push_back(std::move(m));
     }
-    rounds.push_back(std::move(m));
+  };
+  auto run_round = [&](std::vector<commit::SignedEndTxn> batch) {
+    std::vector<std::vector<commit::SignedEndTxn>> batches;
+    batches.push_back(std::move(batch));
+    run_rounds(std::move(batches));
   };
 
   if (fault == Fault::kForceCommit) {
@@ -277,16 +297,25 @@ FuzzOutcome run_schedule(std::uint64_t seed) {
   } else {
     run_round({scripted_txn(cluster, client, {item_a, item_b}, "r0")});
     run_round({scripted_txn(cluster, client, {item_a, item_b}, "r1")});
-    // Noise round: workload transactions over the whole keyspace.
+    // Noise rounds: workload transactions over the whole keyspace. At
+    // pipeline_depth > 1 several noise blocks go through one pipelined
+    // call, so rounds are genuinely in flight together under the scenario's
+    // network faults and Byzantine deviation.
     workload::YcsbWorkload workload(
         {}, static_cast<std::uint64_t>(n) * scenario.cfg.items_per_shard, seed);
     workload.begin_batch();
-    std::vector<commit::SignedEndTxn> batch;
-    const std::size_t noise = 1 + rng.uniform(3);
-    for (std::size_t i = 0; i < noise; ++i) {
-      batch.push_back(workload.run_transaction(client));
+    const std::size_t noise_blocks =
+        scenario.cfg.pipeline_depth > 1 ? 2 + rng.uniform(2) : 1;
+    std::vector<std::vector<commit::SignedEndTxn>> noise;
+    for (std::size_t b = 0; b < noise_blocks; ++b) {
+      std::vector<commit::SignedEndTxn> batch;
+      const std::size_t txns = 1 + rng.uniform(3);
+      for (std::size_t i = 0; i < txns; ++i) {
+        batch.push_back(workload.run_transaction(client));
+      }
+      noise.push_back(std::move(batch));
     }
-    run_round(std::move(batch));
+    run_rounds(std::move(noise));
   }
 
   // --- Checkpoint round (TFCommit): must form whenever honest logs agree ------

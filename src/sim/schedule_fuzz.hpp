@@ -41,7 +41,15 @@ struct FuzzOutcome {
   bool detected{false};   ///< the deviation left the expected evidence
 };
 
+struct FuzzOptions {
+  /// Force a pipelined scenario (pipeline_depth in 2..4) even for seeds
+  /// that would organically draw depth 1 — the pipelined smoke sweep. The
+  /// agreement/durability/detection oracles are unchanged: pipelining must
+  /// be invisible to every safety property.
+  bool force_pipeline{false};
+};
+
 /// Executes the scenario derived from `seed` and checks all invariants.
-FuzzOutcome run_schedule(std::uint64_t seed);
+FuzzOutcome run_schedule(std::uint64_t seed, const FuzzOptions& options = {});
 
 }  // namespace fides::sim

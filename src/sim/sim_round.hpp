@@ -1,20 +1,12 @@
-// Event-driven commit-round drivers over SimNet.
+// SimNet as a round-engine scheduler.
 //
-// The direct-mode engine in fides/cluster.cpp executes each protocol phase
-// as a lock-step loop over cohorts — delivery is a function call, so there
-// is exactly one schedule. These drivers run the *same* protocol state
-// machines (commit/tfcommit, commit/two_phase_commit, the checkpoint CoSi
-// round) but trigger every handler from a SimNet delivery event: a cohort
-// votes when its get_vote envelope *arrives*, the coordinator aggregates
-// when the last vote *arrives*, and so on. Message payloads cross the
-// simulated wire as canonical bytes and are deserialized at the receiver,
-// so the serialization layer is exercised on every hop.
-//
-// Duplicates are suppressed receiver-side (at most one logical message per
-// (sender, receiver, type) per round — the idempotence a real node needs
-// under at-least-once delivery), and SimNet's bounded retransmission
-// guarantees every logical message eventually arrives, so a round always
-// terminates with the queue drained.
+// All commit-round and checkpoint choreography lives in src/engine/ — one
+// set of reactors shared with the in-process path. This adapter is the only
+// simulation-specific piece: it turns engine sends into SimNet events and
+// SimNet deliveries into engine dispatches, so the same protocol logic runs
+// under seeded delay/reorder/drop/duplication/partition schedules. Message
+// payloads cross the simulated wire as canonical bytes and are deserialized
+// at the receiver, so the serialization layer is exercised on every hop.
 //
 // For an honest cluster the outcome is bit-identical to direct mode:
 // decisions, blocks, co-signs (deterministic nonces), and ledger state do
@@ -22,26 +14,37 @@
 // schedule fuzzer (sim/schedule_fuzz.*) checks en masse.
 #pragma once
 
-#include "fides/cluster.hpp"
+#include "engine/scheduler.hpp"
+#include "sim/simnet.hpp"
 
 namespace fides::sim {
 
-class SimNet;
+class SimNetScheduler final : public engine::Scheduler, private engine::Outbox {
+ public:
+  explicit SimNetScheduler(SimNet& net) : net_(&net) {}
 
-/// One full TFCommit round over `batch`, all five phases driven by SimNet
-/// delivery events. Mirrors Cluster::run_tfcommit_block.
-RoundMetrics run_tfcommit_block_sim(Cluster& cluster,
-                                    std::vector<commit::SignedEndTxn> batch,
-                                    SimNet& net);
+  engine::Outbox& outbox() override { return *this; }
 
-/// One 2PC round over `batch`, driven by SimNet delivery events.
-RoundMetrics run_2pc_block_sim(Cluster& cluster,
-                               std::vector<commit::SignedEndTxn> batch, SimNet& net);
+  void run(engine::Dispatcher& dispatcher) override {
+    net_->run([&](NodeId src, NodeId dst, const Envelope& env) {
+      dispatcher.dispatch(src, dst, env, *this);
+    });
+  }
 
-/// The checkpoint CoSi round (propose / commit / challenge / response) over
-/// SimNet. Returns nullopt when any server's log disagrees with the
-/// proposal or the final co-sign does not validate — same contract as
-/// Cluster::create_checkpoint.
-std::optional<ledger::Checkpoint> create_checkpoint_sim(Cluster& cluster, SimNet& net);
+  // post() keeps the default inline execution: the event loop is
+  // single-threaded, so node-local control actions need no queueing.
+
+  std::optional<double> virtual_now_us() const override { return net_->now_us(); }
+
+  /// The event loop is single-threaded by design.
+  std::size_t concurrency() const override { return 1; }
+
+ private:
+  void send(NodeId src, NodeId dst, Envelope env) override {
+    net_->send(src, dst, std::move(env));
+  }
+
+  SimNet* net_;
+};
 
 }  // namespace fides::sim

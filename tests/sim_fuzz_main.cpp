@@ -8,8 +8,10 @@
 //   FIDES_SIM_SEED=<seed> ctest -R sim_fuzz_test        # or
 //   ./fides_simfuzz --base-seed <seed> --seeds 1
 //
-// Usage: fides_simfuzz [--seeds N] [--base-seed B] [--keep-going]
+// Usage: fides_simfuzz [--seeds N] [--base-seed B] [--keep-going] [--pipeline]
 // Env:   FIDES_SIM_SEEDS / FIDES_SIM_SEED override the defaults.
+// --pipeline forces every scenario to run with pipeline_depth in 2..4 (the
+// pipelined smoke sweep; oracles unchanged).
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +23,7 @@ int main(int argc, char** argv) {
   std::uint64_t seeds = 1000;
   std::uint64_t base = 1;
   bool keep_going = false;
+  fides::sim::FuzzOptions options;
 
   if (const char* env = std::getenv("FIDES_SIM_SEEDS")) {
     seeds = std::strtoull(env, nullptr, 10);
@@ -36,9 +39,11 @@ int main(int argc, char** argv) {
       base = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--keep-going") == 0) {
       keep_going = true;
+    } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+      options.force_pipeline = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--seeds N] [--base-seed B] [--keep-going]\n",
+                   "usage: %s [--seeds N] [--base-seed B] [--keep-going] [--pipeline]\n",
                    argv[0]);
       return 2;
     }
@@ -52,7 +57,7 @@ int main(int argc, char** argv) {
   std::uint64_t byzantine = 0;
   std::uint64_t detected = 0;
   for (std::uint64_t seed = base; seed < base + seeds; ++seed) {
-    const fides::sim::FuzzOutcome out = fides::sim::run_schedule(seed);
+    const fides::sim::FuzzOutcome out = fides::sim::run_schedule(seed, options);
     byzantine += out.byzantine ? 1 : 0;
     detected += out.detected ? 1 : 0;
     if (!out.ok) {
