@@ -45,7 +45,11 @@ struct SignedEndTxn {
 struct GetVoteMsg {
   Block partial_block;
   std::vector<SignedEndTxn> requests;
-  std::uint64_t round{0};  ///< CoSi round id (== block height)
+  /// CoSi round id — the nonce domain and the cohort's round-state key.
+  /// TfCommitCoordinator::start defaults it to the block height; the round
+  /// engine and OrdServ group commit overwrite it with an epoch so ids stay
+  /// unique even when aborted rounds reuse heights.
+  std::uint64_t round{0};
 
   Bytes serialize() const;
   static std::optional<GetVoteMsg> deserialize(BytesView b);

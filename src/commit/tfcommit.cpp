@@ -56,21 +56,24 @@ bool TfCommitCohort::involved_in(const Block& block) const {
 }
 
 VoteMsg TfCommitCohort::handle_get_vote(const GetVoteMsg& msg, const CohortFaults& faults) {
-  round_ = msg.round;
-  involved_ = involved_in(msg.partial_block);
-  sent_root_.reset();
+  RoundState state;
+  state.involved = involved_in(msg.partial_block);
+  state.partial = msg.partial_block;
 
   // CoSi commitment over the partial block — every cohort participates in
   // co-signing even when its shard is untouched (§4.1 simplification).
-  commitment_ = crypto::cosi_commit(*keypair_, msg.partial_block.signing_bytes(), round_);
+  state.commitment =
+      crypto::cosi_commit(*keypair_, msg.partial_block.signing_bytes(), msg.round);
 
   VoteMsg vote;
   vote.cohort = id_;
   vote.sch_commitment =
-      faults.corrupt_sch_commitment ? bogus_point() : commitment_->v;
-  vote.involved = involved_;
-  if (!involved_) {
-    last_vote_ = txn::Vote::kCommit;  // uninvolved cohorts never veto
+      faults.corrupt_sch_commitment ? bogus_point() : state.commitment.v;
+  vote.involved = state.involved;
+  if (!state.involved) {
+    state.vote = txn::Vote::kCommit;  // uninvolved cohorts never veto
+    last_vote_ = state.vote;
+    store_round(msg.round, std::move(state));
     return vote;
   }
 
@@ -86,6 +89,7 @@ VoteMsg TfCommitCohort::handle_get_vote(const GetVoteMsg& msg, const CohortFault
   }
   if (faults.always_vote_abort) result = {txn::Vote::kAbort, "byzantine veto"};
 
+  state.vote = result.vote;
   last_vote_ = result.vote;
   vote.vote = result.vote;
   vote.abort_reason = result.reason;
@@ -102,10 +106,11 @@ VoteMsg TfCommitCohort::handle_get_vote(const GetVoteMsg& msg, const CohortFault
     // Thread CPU time: the Figure 14 "MHT update time" series must not be
     // inflated by time slices when cohorts run concurrently on the pool.
     const double start = common::thread_cpu_time_us();
-    sent_root_ = shard_->root_after(writes);
+    state.sent_root = shard_->root_after(writes);
     last_root_compute_us_ = common::thread_cpu_time_us() - start;
-    vote.root = sent_root_;
+    vote.root = state.sent_root;
   }
+  store_round(msg.round, std::move(state));
   return vote;
 }
 
@@ -114,11 +119,13 @@ ResponseMsg TfCommitCohort::handle_challenge(const ChallengeMsg& msg,
   ResponseMsg resp;
   resp.cohort = id_;
 
-  if (!commitment_) {
+  const RoundState* found = find_round(msg.block);
+  if (found == nullptr) {
     resp.refused = true;
     resp.refusal_reason = "challenge received without a pending round";
     return resp;
   }
+  const RoundState& state = *found;
 
   const Block& block = msg.block;
 
@@ -126,7 +133,7 @@ ResponseMsg TfCommitCohort::handle_challenge(const ChallengeMsg& msg,
   // a root from every involved server; an abort block must be missing at
   // least one.
   if (block.decision == Decision::kCommit) {
-    if (involved_) {
+    if (state.involved) {
       const crypto::Digest* mine = block.root_of(id_);
       if (!faults.skip_root_check) {
         if (mine == nullptr) {
@@ -134,12 +141,12 @@ ResponseMsg TfCommitCohort::handle_challenge(const ChallengeMsg& msg,
           resp.refusal_reason = "commit block missing my root";
           return resp;
         }
-        if (!sent_root_ || !(*mine == *sent_root_)) {
+        if (!state.sent_root || !(*mine == *state.sent_root)) {
           resp.refused = true;
           resp.refusal_reason = "root in block does not match the root I sent";
           return resp;
         }
-        if (last_vote_ == txn::Vote::kAbort) {
+        if (state.vote == txn::Vote::kAbort) {
           resp.refused = true;
           resp.refusal_reason = "commit decision despite my abort vote";
           return resp;
@@ -164,11 +171,98 @@ ResponseMsg TfCommitCohort::handle_challenge(const ChallengeMsg& msg,
     }
   }
 
-  crypto::U256 r = crypto::cosi_respond(*keypair_, commitment_->secret, msg.challenge);
+  crypto::U256 r =
+      crypto::cosi_respond(*keypair_, state.commitment.secret, msg.challenge);
   if (faults.corrupt_sch_response) {
     r = crypto::U256(0xBADBAD);
   }
   resp.sch_response = r;
+  return resp;
+}
+
+void TfCommitCohort::store_round(std::uint64_t round, RoundState state) {
+  rounds_[round] = std::move(state);
+  // Bounded memory: only the pipeline window (plus stale redeliveries) is
+  // ever consulted; evict the oldest rounds beyond it.
+  while (rounds_.size() > kMaxRounds) rounds_.erase(rounds_.begin());
+}
+
+bool TfCommitCohort::has_pending(std::uint64_t round, const Block& partial) const {
+  const auto it = rounds_.find(round);
+  return it != rounds_.end() && it->second.partial == partial;
+}
+
+const TfCommitCohort::RoundState* TfCommitCohort::find_round(const Block& block) const {
+  // The completed block differs from the stored partial exactly in the
+  // fields the coordinator fills (decision, roots, cosign) — including an
+  // equivocating coordinator's variants, which the caller must still
+  // process (and refuse via the challenge check). Everything else
+  // identifies the round, even when CoSi round ids are not block heights
+  // (OrdServ group commit hands out epochs).
+  const auto matches = [&](const RoundState& st) {
+    return st.partial.height == block.height && st.partial.prev_hash == block.prev_hash &&
+           st.partial.signers == block.signers && st.partial.txns == block.txns;
+  };
+  const auto it = rounds_.find(block.height);
+  if (it != rounds_.end() && matches(it->second)) return &it->second;
+  for (auto rit = rounds_.rbegin(); rit != rounds_.rend(); ++rit) {
+    if (matches(rit->second)) return &rit->second;
+  }
+  return nullptr;
+}
+
+const Block* TfCommitCohort::partial_of(std::uint64_t round) const {
+  const auto it = rounds_.find(round);
+  return it == rounds_.end() ? nullptr : &it->second.partial;
+}
+
+std::optional<crypto::AffinePoint> TfCommitCohort::term_commitment(
+    std::uint64_t round) const {
+  const auto it = rounds_.find(round);
+  if (it == rounds_.end()) return std::nullopt;
+  return crypto::cosi_commit(*keypair_, it->second.partial.signing_bytes(),
+                             term_round(round))
+      .v;
+}
+
+ResponseMsg TfCommitCohort::handle_term_challenge(std::uint64_t round,
+                                                  const ChallengeMsg& msg) {
+  ResponseMsg resp;
+  resp.cohort = id_;
+
+  const auto it = rounds_.find(round);
+  if (it == rounds_.end()) {
+    resp.refused = true;
+    resp.refusal_reason = "termination challenge for an unknown round";
+    return resp;
+  }
+  const Block& mine = it->second.partial;
+  if (msg.block.height != mine.height || !(msg.block.prev_hash == mine.prev_hash) ||
+      !(msg.block.txns == mine.txns)) {
+    // Signers legitimately shrink to the survivor set; nothing else may
+    // differ from the opening this cohort received.
+    resp.refused = true;
+    resp.refusal_reason = "termination block does not match the opening I received";
+    return resp;
+  }
+  if (msg.block.decision != Decision::kAbort) {
+    // Only the coordinator path can justify a commit (it alone collects all
+    // votes); a termination backup may never manufacture one.
+    resp.refused = true;
+    resp.refusal_reason = "termination block must carry an abort decision";
+    return resp;
+  }
+  const crypto::U256 expected =
+      crypto::cosi_challenge(msg.aggregate_commitment, msg.block.signing_bytes());
+  if (!(expected == msg.challenge)) {
+    resp.refused = true;
+    resp.refusal_reason = "termination challenge does not match the block";
+    return resp;
+  }
+
+  const crypto::CosiCommitment nonce = crypto::cosi_commit(
+      *keypair_, it->second.partial.signing_bytes(), term_round(round));
+  resp.sch_response = crypto::cosi_respond(*keypair_, nonce.secret, msg.challenge);
   return resp;
 }
 

@@ -17,6 +17,7 @@
 // every step the paper analyses (Lemmas 4 and 5, Scenario 2).
 #pragma once
 
+#include <map>
 #include <span>
 
 #include "commit/messages.hpp"
@@ -52,9 +53,16 @@ struct CoordinatorFaults {
   bool force_commit{false};
 };
 
-/// Cohort-side state machine. One instance per server; a new round starts
-/// with each handle_get_vote. Works against the server's shard (validation,
-/// hypothetical roots) and keypair (CoSi).
+/// Cohort-side state machine. One instance per server; handle_get_vote
+/// opens a round, keyed by the CoSi round id from the GetVoteMsg — the
+/// engine and OrdServ group commit both hand out *epochs* here (unique even
+/// when aborted rounds reuse block heights; heights appear only in direct
+/// unit-test drivers) — so stale redeliveries and pipelined rounds each
+/// find their own state. Works against the server's shard (validation,
+/// hypothetical roots) and keypair (CoSi). All round state is volatile: a
+/// crashed server rebuilds it by reprocessing the (retransmitted) get_vote
+/// — deterministic nonces make the rebuilt commitments bit-identical to the
+/// lost ones.
 class TfCommitCohort {
  public:
   TfCommitCohort(ServerId id, const crypto::KeyPair& keypair, store::Shard& shard)
@@ -74,7 +82,40 @@ class TfCommitCohort {
   /// Whether this cohort's shard is touched by any transaction in `block`.
   bool involved_in(const Block& block) const;
 
-  /// The vote this cohort cast in the current round (for tests/telemetry).
+  /// Whether state exists for `round` *and* matches this partial block —
+  /// i.e. the opening is a redelivery, not a fresh round that happens to
+  /// reuse a round id (aborted rounds reuse heights; OrdServ epochs do
+  /// not). Absent after a crash until the opening is reprocessed.
+  bool has_pending(std::uint64_t round, const Block& partial) const;
+
+  /// Whether this cohort can answer a challenge for `block` (see
+  /// find_round).
+  bool has_state_for(const Block& block) const { return find_round(block) != nullptr; }
+
+  /// The partial block this cohort received for `round`, or nullptr. A
+  /// termination backup rebuilds the round from its own copy.
+  const Block* partial_of(std::uint64_t round) const;
+
+  // --- Cooperative termination (coordinator crash) ---------------------------
+  //
+  // When the coordinator dies mid-round, the surviving cohorts finish the
+  // round themselves with a *fresh* CoSi exchange (a distinct nonce round —
+  // reusing the original commitment under a second challenge would leak the
+  // key). The decision is the conservative abort: no commit decision can
+  // exist, because a TFCommit decision needs every signer's response.
+
+  /// This cohort's termination commitment for `round`, or nullopt if it
+  /// never saw the round's opening.
+  std::optional<crypto::AffinePoint> term_commitment(std::uint64_t round) const;
+
+  /// Verifies and co-signs a termination (abort) block for `round`. Refuses
+  /// a non-abort decision, an unknown round, a block whose contents differ
+  /// from the opening this cohort saw, or a challenge that does not match
+  /// the block — a Byzantine backup cannot smuggle a commit (or different
+  /// transactions) through the termination path.
+  ResponseMsg handle_term_challenge(std::uint64_t round, const ChallengeMsg& msg);
+
+  /// The vote this cohort cast in the most recent round (tests/telemetry).
   txn::Vote last_vote() const { return last_vote_; }
 
   /// Wall time the last handle_get_vote spent computing the hypothetical
@@ -82,17 +123,36 @@ class TfCommitCohort {
   double last_root_compute_us() const { return last_root_compute_us_; }
 
  private:
+  struct RoundState {
+    crypto::CosiCommitment commitment;
+    std::optional<crypto::Digest> sent_root;
+    txn::Vote vote{txn::Vote::kAbort};
+    bool involved{false};
+    Block partial;  ///< as received; the termination backup's block source
+  };
+
+  /// Nonce round id of the termination CoSi exchange for `round`.
+  static std::uint64_t term_round(std::uint64_t round) {
+    return round | (1ULL << 63);
+  }
+
+  void store_round(std::uint64_t round, RoundState state);
+  /// Round state for a completed/challenge block. The ChallengeMsg carries
+  /// no round id, so the lookup matches on block content (height, prev
+  /// hash, signers, txns — everything the coordinator does not fill in);
+  /// the height probe is just a cheap first guess before the scan over the
+  /// at-most-kMaxRounds live entries, and only the content match decides.
+  const RoundState* find_round(const Block& block) const;
+
   ServerId id_;
   const crypto::KeyPair* keypair_;
   store::Shard* shard_;
 
-  // Round state (reset by handle_get_vote).
-  std::optional<crypto::CosiCommitment> commitment_;
-  std::optional<crypto::Digest> sent_root_;
+  std::map<std::uint64_t, RoundState> rounds_;  ///< bounded (see kMaxRounds)
   txn::Vote last_vote_{txn::Vote::kAbort};
-  bool involved_{false};
-  std::uint64_t round_{0};
   double last_root_compute_us_{0};
+
+  static constexpr std::size_t kMaxRounds = 8;
 };
 
 /// Result of a full TFCommit round at the coordinator.

@@ -23,11 +23,34 @@ double since_us(Clock::time_point start) {
 /// the first copy of a logical message is processed, later copies (SimNet
 /// duplicates, retransmissions that crossed their original) are dropped
 /// before authentication — the idempotence a real node needs under
-/// at-least-once delivery.
+/// at-least-once delivery. A crash erases the receiver's filter state with
+/// the rest of its memory (forget_dst); a recovered coordinator's restarted
+/// round re-asks everyone, so its epochs are forgotten wholesale
+/// (forget_epoch).
 class Dedup {
  public:
   bool first(NodeId src, NodeId dst, const std::string& type, std::uint64_t epoch) {
     return seen_.emplace(src, dst, type, epoch).second;
+  }
+
+  void forget_dst(NodeId dst) {
+    for (auto it = seen_.begin(); it != seen_.end();) {
+      if (std::get<1>(*it) == dst) {
+        it = seen_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void forget_epoch(std::uint64_t epoch) {
+    for (auto it = seen_.begin(); it != seen_.end();) {
+      if (std::get<3>(*it) == epoch) {
+        it = seen_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 
  private:
@@ -41,6 +64,30 @@ bool opens_round(const std::string& type) {
   return type == "tf_get_vote" || type == "2pc_prepare";
 }
 
+/// Transition-triggered crash points, shared by the commit pipeline and the
+/// checkpoint dispatcher: after `dst` finished processing a delivery of
+/// `type`, fell a configured crash on it. Returns true if the node died.
+bool poll_transition_crash(Cluster& cluster, Scheduler& sched, NodeId dst,
+                           const std::string& type) {
+  if (!sched.supports_crashes() || dst.kind != NodeId::Kind::kServer) return false;
+  const auto cf = cluster.poll_crash_point(dst.id, type);
+  if (!cf.has_value()) return false;
+  sched.crash_node(dst);
+  sched.schedule_recover(dst, cf->downtime_us);
+  return true;
+}
+
+/// Engine-side crash bookkeeping (the substrate side — dropping deliveries
+/// — is the scheduler's). Arms the termination timer when the coordinator
+/// died.
+void apply_crash(Cluster& cluster, Scheduler& sched, NodeId node) {
+  cluster.crash_server(ServerId{node.id});
+  const double timeout = cluster.config().termination_timeout_us;
+  if (node.id == cluster.coordinator_id().value && timeout > 0) {
+    sched.schedule_failure_probe(node, timeout);
+  }
+}
+
 class CommitPipeline final : public Dispatcher, public RoundObserver {
  public:
   CommitPipeline(Cluster& cluster, Protocol protocol,
@@ -51,6 +98,7 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
         n_(cluster.num_servers()),
         coord_(cluster.coordinator_id().value),
         depth_(std::max<std::uint32_t>(1, cluster.config().pipeline_depth)),
+        base_height_(cluster.server(cluster.coordinator_id()).log().size()),
         watermark_(n_, 0),
         held_(n_) {
     rounds_.reserve(batches.size());
@@ -104,23 +152,30 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
   // --- Dispatcher -------------------------------------------------------------
 
   void dispatch(NodeId src, NodeId dst, const Envelope& env, Outbox& out) override {
-    const auto epoch = peek_epoch(env.payload);
-    if (!epoch.has_value()) return;  // not an engine frame; unreachable for sealed traffic
-    RoundReactor* reactor = nullptr;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!dedup_.first(src, dst, env.type, *epoch)) return;
-      const auto it = epoch_to_round_.find(*epoch);
-      if (it == epoch_to_round_.end()) return;  // stale epoch from another run
-      const std::size_t k = it->second;
-      if (opens_round(env.type) && dst.kind == NodeId::Kind::kServer &&
-          watermark_[dst.id] < k) {
-        held_[dst.id].push_back(Held{src, dst, env, k});
-        return;
-      }
-      reactor = rounds_[k].reactor.get();
+    dispatch_impl(src, dst, env, out, /*replay=*/false);
+  }
+
+  void dispatch_replay(NodeId src, NodeId dst, const Envelope& env, Outbox& out) override {
+    dispatch_impl(src, dst, env, out, /*replay=*/true);
+  }
+
+  void on_control(const ControlEvent& ev, Outbox& out) override {
+    switch (ev.kind) {
+      case ControlEvent::Kind::kCrash:
+        handle_crash(ev.node);
+        break;
+      case ControlEvent::Kind::kRecover:
+        handle_recover(ev.node, out);
+        break;
+      case ControlEvent::Kind::kCoordinatorTimeout:
+        // The probe raced recovery; only a still-dead coordinator triggers
+        // cohort-driven termination.
+        if (!cluster_->is_crashed(ServerId{ev.node.id})) break;
+        for (RoundState& rs : incomplete_started_rounds()) {
+          rs.reactor->begin_termination(out);
+        }
+        break;
     }
-    deliver(*reactor, src, dst, env, out);
   }
 
   // --- RoundObserver ----------------------------------------------------------
@@ -178,10 +233,97 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
     std::size_t round{0};
   };
 
+  void dispatch_impl(NodeId src, NodeId dst, const Envelope& env, Outbox& out,
+                     bool replay) {
+    const auto epoch = peek_epoch(env.payload);
+    if (!epoch.has_value()) return;  // not an engine frame; unreachable for sealed traffic
+    RoundReactor* reactor = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Replay deliveries are the recovery catch-up stream: deliberate
+      // re-sends of tuples the filter has usually seen. Record them (so any
+      // further normal copy is still deduplicated) but never drop them.
+      const bool fresh = dedup_.first(src, dst, env.type, *epoch);
+      if (!fresh && !replay) return;
+      const auto it = epoch_to_round_.find(*epoch);
+      if (it == epoch_to_round_.end()) return;  // stale epoch from another run
+      const std::size_t k = it->second;
+      if (opens_round(env.type) && dst.kind == NodeId::Kind::kServer &&
+          watermark_[dst.id] < k) {
+        held_[dst.id].push_back(Held{src, dst, env, k});
+        return;
+      }
+      reactor = rounds_[k].reactor.get();
+    }
+    deliver(*reactor, src, dst, env, out);
+  }
+
   void deliver(RoundReactor& reactor, NodeId src, NodeId dst, const Envelope& env,
                Outbox& out) {
+    // A held opening can be flushed after its destination died (sim mode):
+    // the node's volatile state — including anything queued at it — is
+    // gone; the recovery replay re-supplies what still matters.
+    if (dst.kind == NodeId::Kind::kServer && cluster_->is_crashed(ServerId{dst.id})) {
+      return;
+    }
     const bool authentic = cluster_->transport().open(env, env.type);
     reactor.on_deliver(src, dst, env, authentic, out);
+    if (poll_transition_crash(*cluster_, *sched_, dst, env.type)) handle_crash(dst);
+  }
+
+  void handle_crash(NodeId node) {
+    apply_crash(*cluster_, *sched_, node);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (node.kind == NodeId::Kind::kServer && node.id < n_) held_[node.id].clear();
+  }
+
+  void handle_recover(NodeId node, Outbox& out) {
+    if (!cluster_->recover_server(ServerId{node.id})) {
+      // The durable log failed its integrity check: the server must not
+      // rejoin. Mark it dead on the substrate again (no recovery scheduled:
+      // it stays dead); the run surfaces the stall as a pipeline error.
+      sched_->crash_node(node);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      dedup_.forget_dst(node);
+      held_[node.id].clear();
+      // The apply watermark is *recovered from the durable log*: blocks the
+      // server re-ingested during restore are exactly the decisions it had
+      // processed, so pipelined depth-K runs resume where the log says.
+      const std::size_t durable = cluster_->server(ServerId{node.id}).log().size();
+      if (durable > base_height_) {
+        watermark_[node.id] =
+            std::max<std::size_t>(watermark_[node.id], durable - base_height_);
+      }
+      if (node.id == coord_) {
+        // A restarted round re-asks everything; let the re-asks through.
+        for (const RoundState& rs : rounds_) {
+          if (rs.started && rs.processed < n_) dedup_.forget_epoch(rs.epoch);
+        }
+      }
+    }
+    // Catch up only the rounds this server has not yet processed — its
+    // watermark (recovered above) already covers everything durable, and
+    // re-driving a processed round would double-count it at the observer.
+    const std::size_t from = watermark_[node.id];
+    for (std::size_t k = from; k < rounds_.size(); ++k) {
+      RoundState& rs = rounds_[k];
+      if (!rs.started || rs.processed >= n_) continue;
+      rs.reactor->on_recover(node.id, out);
+    }
+    launch_ready();
+  }
+
+  /// Started-but-unfinished rounds in round order. Sim mode only (the event
+  /// loop is single-threaded), so iterating without the lock is safe.
+  std::vector<std::reference_wrapper<RoundState>> incomplete_started_rounds() {
+    std::vector<std::reference_wrapper<RoundState>> out;
+    for (RoundState& rs : rounds_) {
+      if (rs.started && rs.processed < n_) out.emplace_back(rs);
+    }
+    return out;
   }
 
   /// Starts every admissible round. Starts execute on the coordinator's
@@ -213,6 +355,8 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
   }
 
   bool can_start_locked(std::size_t k) const {
+    // A dead coordinator admits nothing; admission resumes with recovery.
+    if (cluster_->is_crashed(ServerId{coord_})) return false;
     // Coordinator gate: its log head must already name round k's prev-hash.
     if (k > 0 && watermark_[coord_] < k) return false;
     // Depth gate: started-but-incomplete rounds stay under the limit.
@@ -224,6 +368,7 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
   std::uint32_t n_;
   std::uint32_t coord_;
   std::uint32_t depth_;
+  std::size_t base_height_;  ///< ledger height when this pipeline began
 
   std::mutex mutex_;
   std::vector<RoundState> rounds_;
@@ -238,25 +383,66 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
 /// Single-round dispatcher for the checkpoint CoSi round.
 class CheckpointDispatch final : public Dispatcher {
  public:
-  CheckpointDispatch(Cluster& cluster, CheckpointRound& round)
-      : cluster_(&cluster), round_(&round) {}
+  CheckpointDispatch(Cluster& cluster, CheckpointRound& round, Scheduler& sched)
+      : cluster_(&cluster), round_(&round), sched_(&sched) {}
 
   void dispatch(NodeId src, NodeId dst, const Envelope& env, Outbox& out) override {
+    dispatch_impl(src, dst, env, out, /*replay=*/false);
+  }
+
+  void dispatch_replay(NodeId src, NodeId dst, const Envelope& env, Outbox& out) override {
+    dispatch_impl(src, dst, env, out, /*replay=*/true);
+  }
+
+  void on_control(const ControlEvent& ev, Outbox& out) override {
+    switch (ev.kind) {
+      case ControlEvent::Kind::kCrash:
+        apply_crash(*cluster_, *sched_, ev.node);
+        break;
+      case ControlEvent::Kind::kRecover:
+        if (!cluster_->recover_server(ServerId{ev.node.id})) {
+          sched_->crash_node(ev.node);
+          return;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          dedup_.forget_dst(ev.node);
+          if (ev.node.id == cluster_->coordinator_id().value) {
+            dedup_.forget_epoch(round_->epoch());
+          }
+        }
+        round_->on_recover(ev.node.id, out);
+        break;
+      case ControlEvent::Kind::kCoordinatorTimeout:
+        break;  // the checkpoint is an optimization: it simply waits
+    }
+  }
+
+ private:
+  void dispatch_impl(NodeId src, NodeId dst, const Envelope& env, Outbox& out,
+                     bool replay) {
     const auto epoch = peek_epoch(env.payload);
     if (!epoch.has_value()) return;
     {
       // Concurrent in-process workers dispatch for different destinations;
       // the dedup set is the one piece of state they share.
       std::lock_guard<std::mutex> lock(mutex_);
-      if (!dedup_.first(src, dst, env.type, *epoch)) return;
+      const bool fresh = dedup_.first(src, dst, env.type, *epoch);
+      if (!fresh && !replay) return;
+    }
+    if (dst.kind == NodeId::Kind::kServer && cluster_->is_crashed(ServerId{dst.id})) {
+      return;
     }
     const bool authentic = cluster_->transport().open(env, env.type);
     round_->on_deliver(src, dst, env, authentic, out);
+    if (poll_transition_crash(*cluster_, *sched_, dst, env.type)) {
+      apply_crash(*cluster_, *sched_, dst);
+    }
   }
 
- private:
   Cluster* cluster_;
   CheckpointRound* round_;
+  Scheduler* sched_;
   std::mutex mutex_;
   Dedup dedup_;
 };
@@ -276,7 +462,7 @@ CheckpointOutcome run_checkpoint_round(Cluster& cluster, Scheduler& sched) {
   const auto vstart = sched.virtual_now_us();
 
   CheckpointRound round(cluster, cluster.epochs().reserve());
-  CheckpointDispatch dispatch(cluster, round);
+  CheckpointDispatch dispatch(cluster, round, sched);
   sched.post(NodeId::server(cluster.coordinator_id()),
              [&] { round.start(sched.outbox()); });
   sched.run(dispatch);

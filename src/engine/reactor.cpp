@@ -38,7 +38,9 @@ RoundReactor::RoundReactor(Cluster& cluster, std::uint64_t epoch, RoundObserver*
       epoch_(epoch),
       observer_(observer),
       cohort_us_(n_, 0),
-      cohort_mht_us_(n_, 0) {}
+      cohort_mht_us_(n_, 0),
+      vote_bytes_seen_(n_),
+      vote_noted_(n_, 0) {}
 
 Envelope RoundReactor::seal_framed(const Server& sender, const char* type,
                                    BytesView payload) const {
@@ -50,6 +52,41 @@ void RoundReactor::broadcast(Outbox& out, const Envelope& env) {
   for (std::uint32_t i = 0; i < n_; ++i) {
     if (i > 0) transport_->count_copy(env);
     out.send(env.sender, server_node(i), env);
+  }
+}
+
+void RoundReactor::note_vote_bytes(std::uint32_t src, BytesView payload) {
+  if (src >= n_) return;
+  if (!vote_noted_[src]) {
+    vote_noted_[src] = 1;
+    vote_bytes_seen_[src].assign(payload.begin(), payload.end());
+    return;
+  }
+  const Bytes& first = vote_bytes_seen_[src];
+  const bool same = first.size() == payload.size() &&
+                    std::equal(first.begin(), first.end(), payload.begin());
+  if (!same) {
+    const ServerId id{src};
+    auto& eq = metrics_.vote_equivocators;
+    if (std::find(eq.begin(), eq.end(), id) == eq.end()) eq.push_back(id);
+  }
+}
+
+void RoundReactor::decision_processed(Server& server, const char* msg_type,
+                                      const ledger::Block& block,
+                                      Server::ApplyResult result) {
+  if (result == Server::ApplyResult::kApplied) {
+    server.record_decision(epoch_, msg_type, block);
+  }
+  // kApplied and kRejected are this round's decision being *processed* (an
+  // invalid co-sign is refused, but the round is over at this server).
+  // kStale was counted when the block was first applied; kFuture is an
+  // out-of-order straggler the recovery replay will re-supply in order —
+  // counting either would advance the watermark for work not done.
+  if ((result == Server::ApplyResult::kApplied ||
+       result == Server::ApplyResult::kRejected) &&
+      observer_ != nullptr) {
+    observer_->on_decision_processed(epoch_, server.id().value);
   }
 }
 
@@ -67,12 +104,20 @@ TfCommitRound::TfCommitRound(Cluster& cluster, std::uint64_t epoch,
                              RoundObserver* observer)
     : RoundReactor(cluster, epoch, observer),
       batch_(std::move(batch)),
+      pristine_batch_(batch_),
       cohort_ids_(all_server_ids(cluster.num_servers())),
       coordinator_(cohort_ids_, cluster.server_keys()),
       votes_(n_),
       vote_in_(n_, 0),
       responses_(n_),
-      resp_in_(n_, 0) {
+      resp_in_(n_, 0),
+      term_live_(n_, 0),
+      term_votes_(n_),
+      term_commitments_(n_),
+      term_vote_in_(n_, 0),
+      term_waiting_(n_, 0),
+      term_responses_(n_),
+      term_resp_in_(n_, 0) {
   metrics_.txns_in_block = batch_.size();
   metrics_.network_legs = 6;  // end_txn + get_vote + vote + challenge + response + decision
 }
@@ -87,11 +132,70 @@ void TfCommitRound::start(Outbox& out) {
   commit::Block partial = commit::TfCommitCoordinator::make_partial_block(
       coord.log().size(), coord.log().head_hash(), commit::batch_txns(batch_),
       cohort_ids_);
+  height_ = partial.height;
   commit::GetVoteMsg get_vote = coordinator_.start(std::move(partial), std::move(batch_));
-  const Envelope env = seal_framed(coord, "tf_get_vote", get_vote.serialize());
+  // The engine's CoSi round id is the epoch, not the height: aborted rounds
+  // reuse heights, and nonce domains (and cohort round state) must never
+  // collide across rounds.
+  get_vote.round = epoch_;
+  opening_env_ = seal_framed(coord, "tf_get_vote", get_vote.serialize());
+  opening_sent_ = true;
   coord_us_ += since_us(t0);
 
-  broadcast(out, env);
+  broadcast(out, opening_env_);
+}
+
+void TfCommitRound::handle_get_vote(NodeId dst, BytesView body, bool authentic,
+                                    Outbox& out) {
+  // Phase 2 <Vote, SchCommitment> at cohort dst.
+  Server& server = cluster_->server(ServerId{dst.id});
+  const double tc = common::thread_cpu_time_us();
+  commit::VoteMsg empty_vote;
+  Bytes vote_bytes = empty_vote.serialize();
+  bool respond = true;
+  if (authentic) {
+    if (const auto msg = commit::GetVoteMsg::deserialize(body)) {
+      const bool already_decided = server.log().size() > msg->partial_block.height;
+      const Bytes* logged = server.logged_vote(epoch_);
+      if (already_decided && logged == nullptr) {
+        // The round closed without this server's vote (cohort termination
+        // while it was down); nobody needs one now.
+        respond = false;
+      } else {
+        if (!already_decided &&
+            !server.tf_cohort().has_pending(msg->round, msg->partial_block)) {
+          // First sight — or a rebuild after a crash wiped the volatile
+          // round state. Recomputation is deterministic, and the bytes that
+          // leave the node below come from the durable log when one exists.
+          commit::CohortFaults faults = server.faults().cohort;
+          if (!verify_touching_requests(*transport_, server, msg->requests)) {
+            faults.always_vote_abort = true;  // refuse forged requests
+          }
+          commit::VoteMsg vote = server.tf_cohort().handle_get_vote(*msg, faults);
+          server.add_mht_time_us(server.tf_cohort().last_root_compute_us());
+          cohort_mht_us_[dst.id] =
+              std::max(cohort_mht_us_[dst.id], server.tf_cohort().last_root_compute_us());
+          vote_bytes = vote.serialize();
+        }
+        vote_bytes = logged != nullptr
+                         ? *logged
+                         : server.vote_once(epoch_, "tf_vote", std::move(vote_bytes));
+      }
+    }
+  }
+  if (respond) {
+    Envelope vote_env = seal_framed(server, "tf_vote", vote_bytes);
+    cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
+    out.send(NodeId::server(server.id()), coord_node_, std::move(vote_env));
+  } else {
+    cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
+  }
+  // A termination query arrived before this cohort had voted: settle the
+  // deferred reply now that it has.
+  if (term_started_ && term_waiting_[dst.id] && server.logged_vote(epoch_) != nullptr) {
+    term_waiting_[dst.id] = 0;
+    send_term_vote(server, out);
+  }
 }
 
 void TfCommitRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
@@ -99,30 +203,13 @@ void TfCommitRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
   const BytesView body = unframe_payload(env.payload);
 
   if (env.type == "tf_get_vote") {
-    // Phase 2 <Vote, SchCommitment> at cohort dst.
-    Server& server = cluster_->server(ServerId{dst.id});
-    const double tc = common::thread_cpu_time_us();
-    commit::VoteMsg vote;
-    if (authentic) {
-      if (const auto msg = commit::GetVoteMsg::deserialize(body)) {
-        commit::CohortFaults faults = server.faults().cohort;
-        if (!verify_touching_requests(*transport_, server, msg->requests)) {
-          faults.always_vote_abort = true;  // refuse forged requests
-        }
-        vote = server.tf_cohort().handle_get_vote(*msg, faults);
-        server.add_mht_time_us(server.tf_cohort().last_root_compute_us());
-        cohort_mht_us_[dst.id] =
-            std::max(cohort_mht_us_[dst.id], server.tf_cohort().last_root_compute_us());
-      }
-    }
-    Envelope vote_env = seal_framed(server, "tf_vote", vote.serialize());
-    cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
-    out.send(NodeId::server(server.id()), coord_node_, std::move(vote_env));
+    handle_get_vote(dst, body, authentic, out);
 
   } else if (env.type == "tf_vote") {
     // Phase 3 <null, SchChallenge> at the coordinator, once the last vote is
     // in. Votes land in cohort order regardless of arrival order.
     const auto t = Clock::now();
+    if (authentic && src.id < n_) note_vote_bytes(src.id, body);
     if (src.id < n_ && !vote_in_[src.id]) {
       // An unauthenticated or malformed vote is never ingested; the slot is
       // conservatively filled with an involved abort so the round still
@@ -143,15 +230,15 @@ void TfCommitRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
       challenges_ = coordinator_.on_votes(votes_, coord.faults().coordinator);
       // Honest coordinators broadcast one challenge; an equivocating one
       // signs a divergent envelope per cohort.
-      std::vector<Envelope> challenge_envs;
-      challenge_envs.reserve(challenges_.size());
+      challenge_envs_.clear();
+      challenge_envs_.reserve(challenges_.size());
       for (const auto& ch : challenges_) {
-        challenge_envs.push_back(seal_framed(coord, "tf_challenge", ch.serialize()));
+        challenge_envs_.push_back(seal_framed(coord, "tf_challenge", ch.serialize()));
       }
       for (std::uint32_t i = 0; i < n_; ++i) {
         const std::size_t slot = challenges_.size() == 1 ? 0 : i;
-        if (challenges_.size() == 1 && i > 0) transport_->count_copy(challenge_envs[0]);
-        out.send(coord_node_, server_node(i), challenge_envs[slot]);
+        if (challenges_.size() == 1 && i > 0) transport_->count_copy(challenge_envs_[0]);
+        out.send(coord_node_, server_node(i), challenge_envs_[slot]);
       }
     }
     coord_us_ += since_us(t);
@@ -164,6 +251,14 @@ void TfCommitRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
     resp.cohort = server.id();
     if (authentic) {
       if (const auto msg = commit::ChallengeMsg::deserialize(body)) {
+        if (!server.tf_cohort().has_state_for(msg->block) &&
+            server.logged_vote(epoch_) != nullptr) {
+          // Recovering cohort: a stray duplicate challenge outran the
+          // replayed opening that rebuilds its round state. Stay silent —
+          // the replay stream re-sends the challenge in causal order.
+          cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
+          return;
+        }
         resp = server.tf_cohort().handle_challenge(*msg, server.faults().cohort);
       } else {
         resp.refused = true;
@@ -196,27 +291,242 @@ void TfCommitRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
     if (resps_seen_ == n_ && !outcome_.has_value()) {
       outcome_ = coordinator_.on_responses(responses_);
       const commit::DecisionMsg decision{outcome_->block};
-      const Envelope decision_env =
+      decision_env_ =
           seal_framed(cluster_->server(coord_id_), "tf_decision", decision.serialize());
-      broadcast(out, decision_env);
+      broadcast(out, decision_env_);
     }
     coord_us_ += since_us(t);
 
-  } else if (env.type == "tf_decision") {
+  } else if (env.type == "tf_decision" || env.type == "tf_term_decision") {
     // Log append + datastore update at server dst (steps 6-7). The apply
     // step rebuilds Merkle leaves — folded into mht_us.
     Server& server = cluster_->server(ServerId{dst.id});
     const double tc = common::thread_cpu_time_us();
     const double mht_before = server.mht_time_us();
+    bool processed = false;
+    ledger::Block block;
+    Server::ApplyResult result = Server::ApplyResult::kRejected;
     if (authentic) {
       if (const auto msg = commit::DecisionMsg::deserialize(body)) {
-        server.handle_decision(*msg, cluster_->server_keys());
+        result = server.apply_decision(*msg, cluster_->server_keys());
+        block = msg->final_block;
+        processed = true;
       }
     }
     cohort_mht_us_[dst.id] =
         std::max(cohort_mht_us_[dst.id], server.mht_time_us() - mht_before);
     cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
-    if (observer_ != nullptr) observer_->on_decision_processed(epoch_, dst.id);
+    if (processed) {
+      decision_processed(server, env.type.c_str(), block, result);
+    }
+
+  } else if (env.type == "tf_term_query") {
+    // Termination step 1: the backup asks every surviving cohort for its
+    // recorded vote plus a fresh CoSi commitment.
+    if (!authentic || !term_started_) return;
+    Server& server = cluster_->server(ServerId{dst.id});
+    if (server.logged_vote(epoch_) == nullptr) {
+      term_waiting_[dst.id] = 1;  // reply once the opening reaches us
+      return;
+    }
+    send_term_vote(server, out);
+
+  } else if (env.type == "tf_term_vote") {
+    // Termination step 2, at the backup: collect votes from the live set.
+    if (!authentic || !term_started_ || dst.id != term_backup_) return;
+    if (src.id >= n_ || !term_live_[src.id] || term_vote_in_[src.id]) return;
+    try {
+      Reader r(body);
+      const Bytes vote_bytes = r.bytes();
+      const Bytes commit_bytes = r.bytes();
+      r.expect_done();
+      const auto vote = commit::VoteMsg::deserialize(vote_bytes);
+      const auto point = crypto::AffinePoint::deserialize(commit_bytes);
+      if (!vote || !point) return;
+      note_vote_bytes(src.id, vote_bytes);
+      term_votes_[src.id] = *vote;
+      term_commitments_[src.id] = *point;
+      term_vote_in_[src.id] = 1;
+      ++term_votes_seen_;
+    } catch (const DecodeError&) {
+      return;
+    }
+    if (term_votes_seen_ == live_expected() && !term_block_built_ && !term_decided_) {
+      // All survivors reported. The coordinator's vote is unknowable, so the
+      // only safe decision is abort — and no commit block can exist, because
+      // a TFCommit decision needs every signer's co-sign response.
+      Server& backup = cluster_->server(ServerId{term_backup_});
+      const ledger::Block* partial = backup.tf_cohort().partial_of(epoch_);
+      if (partial == nullptr) return;  // backup never saw the opening: wait for recovery
+      ledger::Block block = *partial;
+      block.decision = ledger::Decision::kAbort;
+      block.roots.clear();
+      std::vector<ServerId> signers;
+      std::vector<crypto::AffinePoint> commitments;
+      for (std::uint32_t i = 0; i < n_; ++i) {
+        if (!term_live_[i]) continue;
+        signers.push_back(ServerId{i});
+        commitments.push_back(term_commitments_[i]);
+        const commit::VoteMsg& v = term_votes_[i];
+        if (v.involved && v.root) block.set_root(v.cohort, *v.root);
+      }
+      block.signers = std::move(signers);
+      term_agg_ = crypto::cosi_aggregate_commitments(commitments);
+      term_challenge_ = crypto::cosi_challenge(term_agg_, block.signing_bytes());
+      term_block_ = block;
+      term_block_built_ = true;
+
+      commit::ChallengeMsg challenge;
+      challenge.challenge = term_challenge_;
+      challenge.aggregate_commitment = term_agg_;
+      challenge.block = term_block_;
+      const Envelope env_out =
+          seal_framed(backup, "tf_term_challenge", challenge.serialize());
+      for (std::uint32_t i = 0; i < n_; ++i) {
+        if (!term_live_[i]) continue;
+        if (i != term_backup_) transport_->count_copy(env_out);
+        out.send(server_node(term_backup_), server_node(i), env_out);
+      }
+    }
+
+  } else if (env.type == "tf_term_challenge") {
+    // Termination step 3: survivors verify the abort block and co-sign it
+    // with their fresh termination nonces.
+    if (!authentic) return;
+    Server& server = cluster_->server(ServerId{dst.id});
+    const auto msg = commit::ChallengeMsg::deserialize(body);
+    if (!msg) return;
+    commit::ResponseMsg resp;
+    resp.cohort = server.id();
+    if (server.log().size() > height_) {
+      // This server already holds a decided block at this height — it must
+      // never co-sign a second variant.
+      resp.refused = true;
+      resp.refusal_reason = "already decided this height";
+    } else {
+      resp = server.tf_cohort().handle_term_challenge(epoch_, *msg);
+    }
+    Envelope resp_env = seal_framed(server, "tf_term_response", resp.serialize());
+    out.send(NodeId::server(server.id()), server_node(term_backup_),
+             std::move(resp_env));
+
+  } else if (env.type == "tf_term_response") {
+    // Termination step 4, at the backup: aggregate, validate, broadcast.
+    if (!authentic || !term_started_ || dst.id != term_backup_) return;
+    if (src.id >= n_ || !term_live_[src.id] || term_resp_in_[src.id]) return;
+    const auto msg = commit::ResponseMsg::deserialize(body);
+    if (!msg) return;
+    if (msg->refused) return;  // a survivor holds a decided block: stand down
+    term_responses_[src.id] = msg->sch_response;
+    term_resp_in_[src.id] = 1;
+    ++term_resps_seen_;
+    if (term_resps_seen_ == live_expected() && !term_decided_) {
+      std::vector<crypto::U256> shares;
+      std::vector<crypto::PublicKey> keys;
+      for (std::uint32_t i = 0; i < n_; ++i) {
+        if (!term_live_[i]) continue;
+        shares.push_back(term_responses_[i]);
+        keys.push_back(cluster_->server_keys()[i]);
+      }
+      ledger::Block block = term_block_;
+      block.cosign =
+          crypto::CosiSignature{term_agg_, crypto::cosi_aggregate_responses(shares)};
+      if (!crypto::cosi_verify(block.signing_bytes(), *block.cosign, keys)) return;
+      term_decided_ = true;
+      metrics_.terminated_by_cohorts = true;
+      const commit::DecisionMsg decision{block};
+      term_decision_env_ = seal_framed(cluster_->server(ServerId{term_backup_}),
+                                       "tf_term_decision", decision.serialize());
+      broadcast(out, term_decision_env_);
+    }
+  }
+}
+
+void TfCommitRound::send_term_vote(Server& server, Outbox& out) {
+  const Bytes* vote = server.logged_vote(epoch_);
+  const auto commitment = server.tf_cohort().term_commitment(epoch_);
+  if (vote == nullptr || !commitment.has_value()) return;
+  Writer w;
+  w.bytes(*vote);
+  w.bytes(commitment->serialize());
+  Envelope env = seal_framed(server, "tf_term_vote", std::move(w).take());
+  out.send(NodeId::server(server.id()), server_node(term_backup_), std::move(env));
+}
+
+std::size_t TfCommitRound::live_expected() const {
+  std::size_t live = 0;
+  for (std::uint32_t i = 0; i < n_; ++i) live += term_live_[i] ? 1 : 0;
+  return live;
+}
+
+void TfCommitRound::begin_termination(Outbox& out) {
+  // Already decided (the decision is on the wire and will land everywhere),
+  // already terminating, or never opened: nothing for the cohorts to do.
+  if (outcome_.has_value() || term_started_ || term_decided_ || !opening_sent_) return;
+  const auto backup = cluster_->backup_for(coord_id_);
+  if (!backup.has_value()) return;
+  Server& b = cluster_->server(*backup);
+  if (b.tf_cohort().partial_of(epoch_) == nullptr) return;  // backup lacks the opening
+  term_started_ = true;
+  term_backup_ = backup->value;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    term_live_[i] = cluster_->is_crashed(ServerId{i}) ? 0 : 1;
+  }
+  const Envelope query = seal_framed(b, "tf_term_query", Bytes{});
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (!term_live_[i]) continue;
+    if (i != term_backup_) transport_->count_copy(query);
+    out.send(server_node(term_backup_), server_node(i), query);
+  }
+}
+
+void TfCommitRound::restart(Outbox& out) {
+  coordinator_ = commit::TfCommitCoordinator(cohort_ids_, cluster_->server_keys());
+  votes_.assign(n_, {});
+  vote_in_.assign(n_, 0);
+  votes_seen_ = 0;
+  challenges_.clear();
+  challenge_envs_.clear();
+  responses_.assign(n_, {});
+  resp_in_.assign(n_, 0);
+  resps_seen_ = 0;
+  outcome_.reset();
+  batch_ = pristine_batch_;
+  // Deterministic re-run: the same log head, batch, recorded votes, and
+  // nonces reproduce the identical block — survivors answer every re-ask
+  // from their round logs, so nothing can diverge from the uncrashed run.
+  start(out);
+}
+
+void TfCommitRound::on_recover(std::uint32_t server, Outbox& out) {
+  const NodeId node = server_node(server);
+  if (term_decided_) {
+    out.send_replay(server_node(term_backup_), node, term_decision_env_);
+    return;
+  }
+  if (server == coord_id_.value) {
+    if (outcome_.has_value()) {
+      // Decision already broadcast; the coordinator only missed its own copy.
+      out.send_replay(coord_node_, node, decision_env_);
+    } else if (term_started_) {
+      // The survivors own this round now: restarting it here would race
+      // their in-flight termination co-sign and fork the chain. Their
+      // tf_term_decision broadcast reaches this (now live) node normally.
+    } else if (opening_sent_) {
+      restart(out);
+    }
+    return;
+  }
+  // Cohort catch-up, in causal order over the FIFO replay stream.
+  if (outcome_.has_value()) {
+    out.send_replay(coord_node_, node, decision_env_);
+    return;
+  }
+  if (!opening_sent_) return;
+  out.send_replay(coord_node_, node, opening_env_);
+  if (!challenge_envs_.empty() && !resp_in_[server]) {
+    const std::size_t slot = challenge_envs_.size() == 1 ? 0 : server;
+    out.send_replay(coord_node_, node, challenge_envs_[slot]);
   }
 }
 
@@ -227,6 +537,9 @@ void TfCommitRound::finalize() {
     metrics_.cosign_valid = outcome_->cosign_valid;
     metrics_.faulty_cosigners = outcome_->faulty_cosigners;
     metrics_.refusals = outcome_->refusals;
+  } else if (term_decided_) {
+    metrics_.decision = term_block_.decision;
+    metrics_.cosign_valid = true;
   }
 }
 
@@ -237,6 +550,7 @@ TwoPhaseRound::TwoPhaseRound(Cluster& cluster, std::uint64_t epoch,
                              RoundObserver* observer)
     : RoundReactor(cluster, epoch, observer),
       batch_(std::move(batch)),
+      pristine_batch_(batch_),
       cohort_ids_(all_server_ids(cluster.num_servers())),
       coordinator_(cohort_ids_),
       votes_(n_),
@@ -254,10 +568,11 @@ void TwoPhaseRound::start(Outbox& out) {
       coord.log().size(), coord.log().head_hash(), commit::batch_txns(batch_),
       cohort_ids_);
   commit::PrepareMsg prepare = coordinator_.start(std::move(partial), std::move(batch_));
-  const Envelope env = seal_framed(coord, "2pc_prepare", prepare.serialize());
+  opening_env_ = seal_framed(coord, "2pc_prepare", prepare.serialize());
+  opening_sent_ = true;
   coord_us_ += since_us(t0);
 
-  broadcast(out, env);
+  broadcast(out, opening_env_);
 }
 
 void TwoPhaseRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
@@ -268,23 +583,39 @@ void TwoPhaseRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
     Server& server = cluster_->server(ServerId{dst.id});
     const double tc = common::thread_cpu_time_us();
     commit::PrepareVoteMsg vote;
+    Bytes vote_bytes = vote.serialize();
+    bool respond = true;
     if (authentic) {
       if (const auto msg = commit::PrepareMsg::deserialize(body)) {
-        const bool requests_ok =
-            verify_touching_requests(*transport_, server, msg->requests);
-        vote = server.tpc_cohort().handle_prepare(*msg);
-        if (!requests_ok) {
-          vote.vote = txn::Vote::kAbort;
-          vote.abort_reason = "client request signature invalid";
+        const bool already_decided = server.log().size() > msg->partial_block.height;
+        const Bytes* logged = server.logged_vote(epoch_);
+        if (already_decided && logged == nullptr) {
+          respond = false;
+        } else if (logged != nullptr) {
+          vote_bytes = *logged;  // vote-once across restarts
+        } else {
+          const bool requests_ok =
+              verify_touching_requests(*transport_, server, msg->requests);
+          vote = server.tpc_cohort().handle_prepare(*msg);
+          if (!requests_ok) {
+            vote.vote = txn::Vote::kAbort;
+            vote.abort_reason = "client request signature invalid";
+          }
+          vote_bytes = server.vote_once(epoch_, "2pc_vote", vote.serialize());
         }
       }
     }
-    Envelope vote_env = seal_framed(server, "2pc_vote", vote.serialize());
-    cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
-    out.send(NodeId::server(server.id()), coord_node_, std::move(vote_env));
+    if (respond) {
+      Envelope vote_env = seal_framed(server, "2pc_vote", vote_bytes);
+      cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
+      out.send(NodeId::server(server.id()), coord_node_, std::move(vote_env));
+    } else {
+      cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
+    }
 
   } else if (env.type == "2pc_vote") {
     const auto t = Clock::now();
+    if (authentic && src.id < n_) note_vote_bytes(src.id, body);
     if (src.id < n_ && !vote_in_[src.id]) {
       commit::PrepareVoteMsg vote;
       vote.cohort = ServerId{src.id};
@@ -300,22 +631,60 @@ void TwoPhaseRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
     if (votes_seen_ == n_ && !outcome_.has_value()) {
       outcome_ = coordinator_.on_votes(votes_);
       const commit::CommitDecisionMsg decision{outcome_->block};
-      const Envelope decision_env =
+      decision_env_ =
           seal_framed(cluster_->server(coord_id_), "2pc_decision", decision.serialize());
-      broadcast(out, decision_env);
+      broadcast(out, decision_env_);
     }
     coord_us_ += since_us(t);
 
   } else if (env.type == "2pc_decision") {
     Server& server = cluster_->server(ServerId{dst.id});
     const double tc = common::thread_cpu_time_us();
+    bool processed = false;
+    ledger::Block block;
+    Server::ApplyResult result = Server::ApplyResult::kStale;
     if (authentic) {
       if (const auto msg = commit::CommitDecisionMsg::deserialize(body)) {
-        server.handle_decision_2pc(*msg);
+        result = server.apply_decision_2pc(*msg);
+        block = msg->final_block;
+        processed = true;
       }
     }
     cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
-    if (observer_ != nullptr) observer_->on_decision_processed(epoch_, dst.id);
+    if (processed) {
+      decision_processed(server, "2pc_decision", block, result);
+    }
+  }
+}
+
+void TwoPhaseRound::restart(Outbox& out) {
+  coordinator_ = commit::TwoPhaseCommitCoordinator(cohort_ids_);
+  votes_.assign(n_, {});
+  vote_in_.assign(n_, 0);
+  votes_seen_ = 0;
+  outcome_.reset();
+  batch_ = pristine_batch_;
+  start(out);
+}
+
+void TwoPhaseRound::on_recover(std::uint32_t server, Outbox& out) {
+  const NodeId node = server_node(server);
+  if (server == coord_id_.value) {
+    // 2PC has no cohort-driven termination: the whole round waited for this
+    // moment (the paper's blocking argument). Resume it.
+    if (outcome_.has_value()) {
+      out.send_replay(coord_node_, node, decision_env_);
+    } else if (opening_sent_) {
+      restart(out);
+    }
+    return;
+  }
+  if (outcome_.has_value()) {
+    out.send_replay(coord_node_, node, decision_env_);
+    return;
+  }
+  if (opening_sent_ && !vote_in_[server]) {
+    out.send_replay(coord_node_, node, opening_env_);
   }
 }
 
@@ -342,10 +711,11 @@ void CheckpointRound::start(Outbox& out) {
   const auto t0 = Clock::now();
   cp_ = ledger::make_checkpoint(coord.log().blocks(), all_server_ids(n_));
   record_ = cp_.signing_bytes();
-  const Envelope env = seal_framed(coord, "cp_propose", cp_.serialize());
+  propose_env_ = seal_framed(coord, "cp_propose", cp_.serialize());
+  propose_sent_ = true;
   coord_us_ += since_us(t0);
 
-  broadcast(out, env);
+  broadcast(out, propose_env_);
 }
 
 void CheckpointRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
@@ -396,7 +766,7 @@ void CheckpointRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
         }
       }
     }
-    if (commits_seen_ == n_) {
+    if (commits_seen_ == n_ && !challenge_sent_) {
       for (std::uint32_t j = 0; j < n_; ++j) {
         if (!agrees_[j]) refused_ = true;
       }
@@ -407,9 +777,10 @@ void CheckpointRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
         Writer w;
         const auto cb = challenge_.to_bytes_be();
         w.raw(BytesView(cb.data(), cb.size()));
-        const Envelope challenge_env =
+        challenge_env_ =
             seal_framed(cluster_->server(coord_id_), "cp_challenge", std::move(w).take());
-        broadcast(out, challenge_env);
+        challenge_sent_ = true;
+        broadcast(out, challenge_env_);
       }
     }
     coord_us_ += since_us(t);
@@ -448,6 +819,38 @@ void CheckpointRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
       cp_.cosign->r = crypto::cosi_aggregate_responses(responses_);
     }
     coord_us_ += since_us(t);
+  }
+}
+
+void CheckpointRound::restart(Outbox& out) {
+  commitments_.assign(n_, {});
+  agrees_.assign(n_, 0);
+  commit_in_.assign(n_, 0);
+  commits_seen_ = 0;
+  responses_.assign(n_, {});
+  resp_in_.assign(n_, 0);
+  resps_seen_ = 0;
+  refused_ = false;
+  finalized_ = false;
+  challenge_sent_ = false;
+  // Deterministic nonces make the rebuilt checkpoint — including the
+  // aggregate signature bits — identical to an uncrashed run's.
+  start(out);
+}
+
+void CheckpointRound::on_recover(std::uint32_t server, Outbox& out) {
+  const NodeId node = server_node(server);
+  if (server == coord_id_.value) {
+    if (!finalized_ && propose_sent_) restart(out);
+    return;
+  }
+  if (finalized_) return;  // the round no longer needs this witness
+  if (!propose_sent_) return;
+  if (!commit_in_[server]) {
+    out.send_replay(coord_node_, node, propose_env_);
+  }
+  if (challenge_sent_ && !resp_in_[server]) {
+    out.send_replay(coord_node_, node, challenge_env_);
   }
 }
 

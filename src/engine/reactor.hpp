@@ -53,6 +53,24 @@ class RoundReactor {
   virtual void on_deliver(NodeId src, NodeId dst, const Envelope& env, bool authentic,
                           Outbox& out) = 0;
 
+  /// Re-synchronizes a just-restored server with this round (simulated
+  /// schedules; the dispatcher already restored the server from its round
+  /// log and cleared its dedup state). Implementations re-send, over the
+  /// ideal replay stream and in causal order, exactly the messages the
+  /// server needs: the opening (to rebuild volatile cohort state — votes
+  /// re-emitted from the durable log, never recomputed differently), the
+  /// challenge if one is pending, or the decision if the round already
+  /// decided. A recovered *coordinator* instead restarts the round's
+  /// aggregation from the top; surviving cohorts answer every re-ask with
+  /// their recorded bytes, so the restarted round finishes bit-identical.
+  virtual void on_recover(std::uint32_t server, Outbox& out) = 0;
+
+  /// Coordinator-death termination (TFCommit only): the lowest-id surviving
+  /// cohort drives the in-flight round to a co-signed abort instead of
+  /// blocking until the coordinator returns. Default: no termination — the
+  /// 2PC baseline blocks, which is the paper's headline contrast.
+  virtual void begin_termination(Outbox& out) { (void)out; }
+
   /// Folds the per-slot timing state into metrics_ once the round is over
   /// (no handler may still be running). Subclasses add outcome fields.
   virtual void finalize();
@@ -63,6 +81,18 @@ class RoundReactor {
   Envelope seal_framed(const Server& sender, const char* type, BytesView payload) const;
   /// Seal-once / count-every-copy broadcast to servers [0, n).
   void broadcast(Outbox& out, const Envelope& env);
+
+  /// Records the first authentic vote bytes per sender and flags any later
+  /// authentic copy that differs — the cross-restart no-equivocation oracle
+  /// (RoundMetrics::vote_equivocators).
+  void note_vote_bytes(std::uint32_t src, BytesView payload);
+
+  /// Decision bookkeeping shared by every decision-shaped handler: durably
+  /// records applied blocks and advances the pipeline watermark exactly
+  /// when the server processed this round's decision (applied or refused —
+  /// not stale/future recovery stragglers).
+  void decision_processed(Server& server, const char* msg_type,
+                          const ledger::Block& block, Server::ApplyResult result);
 
   Cluster* cluster_;
   Transport* transport_;
@@ -76,10 +106,19 @@ class RoundReactor {
   double coord_us_{0};                  ///< coordinator-side handler time (wall)
   std::vector<double> cohort_us_;       ///< per-cohort handler CPU time
   std::vector<double> cohort_mht_us_;   ///< per-cohort max single Merkle stint
+  std::vector<Bytes> vote_bytes_seen_;  ///< first authentic vote per sender
+  std::vector<unsigned char> vote_noted_;
 };
 
 /// One TFCommit round (Figure 7): get_vote -> votes -> challenge ->
 /// responses -> decision -> log append + datastore update.
+///
+/// Crash-tolerant: every vote leaves through Server::vote_once, the
+/// decision is re-derivable bit-for-bit from re-collected votes
+/// (deterministic CoSi nonces), and a coordinator that stays dead past the
+/// termination timeout is routed around by the surviving cohorts
+/// (begin_termination) — they finish the round as a co-signed abort among
+/// themselves, which the 2PC baseline cannot do.
 class TfCommitRound final : public RoundReactor {
  public:
   TfCommitRound(Cluster& cluster, std::uint64_t epoch,
@@ -88,12 +127,26 @@ class TfCommitRound final : public RoundReactor {
   void start(Outbox& out) override;
   void on_deliver(NodeId src, NodeId dst, const Envelope& env, bool authentic,
                   Outbox& out) override;
+  void on_recover(std::uint32_t server, Outbox& out) override;
+  void begin_termination(Outbox& out) override;
   void finalize() override;
 
  private:
+  /// Rebuilds the coordinator's aggregation state from scratch and re-runs
+  /// the round (recovered coordinator; cohorts answer from their logs).
+  void restart(Outbox& out);
+  void handle_get_vote(NodeId dst, BytesView body, bool authentic, Outbox& out);
+  void send_term_vote(Server& server, Outbox& out);
+  std::size_t live_expected() const;
+
   std::vector<commit::SignedEndTxn> batch_;
+  std::vector<commit::SignedEndTxn> pristine_batch_;  ///< for coordinator restart
   std::vector<ServerId> cohort_ids_;
   commit::TfCommitCoordinator coordinator_;
+  /// This round's block height, set by start(). Not the CoSi round id
+  /// (that is epoch_ — heights recur when aborted rounds retry); used for
+  /// the "already decided this height" guard on termination co-signing.
+  std::uint64_t height_{0};
 
   std::vector<commit::VoteMsg> votes_;
   std::vector<unsigned char> vote_in_;
@@ -103,9 +156,38 @@ class TfCommitRound final : public RoundReactor {
   std::vector<unsigned char> resp_in_;
   std::size_t resps_seen_{0};
   std::optional<commit::TfCommitOutcome> outcome_;
+
+  // Stored wire copies for the recovery replay stream.
+  Envelope opening_env_;
+  bool opening_sent_{false};
+  std::vector<Envelope> challenge_envs_;
+  Envelope decision_env_;
+
+  // Cooperative termination state (backup-side slots are per-sender; the
+  // deferred-reply flags are per-destination cohort state).
+  bool term_started_{false};
+  std::uint32_t term_backup_{0};
+  std::vector<unsigned char> term_live_;     ///< live set frozen at term start
+  std::vector<commit::VoteMsg> term_votes_;
+  std::vector<crypto::AffinePoint> term_commitments_;
+  std::vector<unsigned char> term_vote_in_;
+  std::size_t term_votes_seen_{0};
+  std::vector<unsigned char> term_waiting_;  ///< cohort owes a term_vote
+  bool term_block_built_{false};
+  ledger::Block term_block_;
+  crypto::AffinePoint term_agg_;
+  crypto::U256 term_challenge_;
+  std::vector<crypto::U256> term_responses_;
+  std::vector<unsigned char> term_resp_in_;
+  std::size_t term_resps_seen_{0};
+  bool term_decided_{false};
+  Envelope term_decision_env_;
 };
 
 /// One 2PC round (baseline, §6.1): prepare -> votes -> decision -> apply.
+/// Crash-tolerant for cohort failures (vote-once + replay stream), but a
+/// dead coordinator blocks the round until it recovers — 2PC has no
+/// cohort-driven termination, which is exactly the paper's argument.
 class TwoPhaseRound final : public RoundReactor {
  public:
   TwoPhaseRound(Cluster& cluster, std::uint64_t epoch,
@@ -114,10 +196,14 @@ class TwoPhaseRound final : public RoundReactor {
   void start(Outbox& out) override;
   void on_deliver(NodeId src, NodeId dst, const Envelope& env, bool authentic,
                   Outbox& out) override;
+  void on_recover(std::uint32_t server, Outbox& out) override;
   void finalize() override;
 
  private:
+  void restart(Outbox& out);
+
   std::vector<commit::SignedEndTxn> batch_;
+  std::vector<commit::SignedEndTxn> pristine_batch_;
   std::vector<ServerId> cohort_ids_;
   commit::TwoPhaseCommitCoordinator coordinator_;
 
@@ -125,6 +211,10 @@ class TwoPhaseRound final : public RoundReactor {
   std::vector<unsigned char> vote_in_;
   std::size_t votes_seen_{0};
   std::optional<commit::TwoPhaseCommitOutcome> outcome_;
+
+  Envelope opening_env_;
+  bool opening_sent_{false};
+  Envelope decision_env_;
 };
 
 /// The checkpoint CoSi round (§3.3): propose -> commit -> challenge ->
@@ -137,6 +227,7 @@ class CheckpointRound final : public RoundReactor {
   void start(Outbox& out) override;
   void on_deliver(NodeId src, NodeId dst, const Envelope& env, bool authentic,
                   Outbox& out) override;
+  void on_recover(std::uint32_t server, Outbox& out) override;
   void finalize() override;
 
   /// The formed-and-validated checkpoint, or nullopt (a server's log
@@ -144,8 +235,14 @@ class CheckpointRound final : public RoundReactor {
   std::optional<ledger::Checkpoint> result() const;
 
  private:
+  void restart(Outbox& out);
+
   ledger::Checkpoint cp_;
   Bytes record_;
+  // secrets_[i] is witness i's round state. It survives a crash of server i
+  // here in the reactor, but that is observationally equivalent to the
+  // strict model: cosi_commit nonces are deterministic, so a rebuilt server
+  // reprocessing the proposal regenerates the identical secret.
   std::vector<crypto::CosiCommitment> secrets_;
   std::vector<crypto::AffinePoint> commitments_;
   std::vector<unsigned char> agrees_;
@@ -157,6 +254,11 @@ class CheckpointRound final : public RoundReactor {
   crypto::U256 challenge_;
   bool refused_{false};
   bool finalized_{false};
+
+  Envelope propose_env_;
+  bool propose_sent_{false};
+  Envelope challenge_env_;
+  bool challenge_sent_{false};
 };
 
 }  // namespace fides::engine

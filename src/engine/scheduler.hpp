@@ -33,6 +33,27 @@ class Outbox {
  public:
   virtual ~Outbox() = default;
   virtual void send(NodeId src, NodeId dst, Envelope env) = 0;
+
+  /// Recovery catch-up stream: delivered in send order over an ideal link
+  /// (modeling the reliable retransmission channel a rejoining node opens),
+  /// and flagged as a replay so the receiver-side dedup filter lets the
+  /// re-sent copies through. Default: indistinguishable from send(), which
+  /// is correct for FIFO in-process delivery.
+  virtual void send_replay(NodeId src, NodeId dst, Envelope env) {
+    send(src, dst, std::move(env));
+  }
+};
+
+/// A node-level control transition surfaced by the substrate: the node
+/// died, the node came back, or a failure-detection timeout fired.
+struct ControlEvent {
+  enum class Kind : std::uint8_t {
+    kCrash,               ///< node lost all volatile state; deliveries to it now drop
+    kRecover,             ///< node restarts from its durable round log
+    kCoordinatorTimeout,  ///< termination timer: check the coordinator, act if dead
+  };
+  Kind kind{Kind::kCrash};
+  NodeId node;
 };
 
 /// Receiver side: every delivery the scheduler performs funnels through one
@@ -42,6 +63,19 @@ class Dispatcher {
  public:
   virtual ~Dispatcher() = default;
   virtual void dispatch(NodeId src, NodeId dst, const Envelope& env, Outbox& out) = 0;
+
+  /// Replay deliveries (recovery catch-up stream) bypass the at-most-once
+  /// filter; everything else is dispatch().
+  virtual void dispatch_replay(NodeId src, NodeId dst, const Envelope& env, Outbox& out) {
+    dispatch(src, dst, env, out);
+  }
+
+  /// Crash/recover/timeout transitions from the substrate. Default: ignore
+  /// (schedulers without a failure model never emit them).
+  virtual void on_control(const ControlEvent& ev, Outbox& out) {
+    (void)ev;
+    (void)out;
+  }
 };
 
 class Scheduler {
@@ -71,6 +105,34 @@ class Scheduler {
 
   /// Threads handlers may execute on (RoundMetrics::threads_used).
   virtual std::size_t concurrency() const { return 1; }
+
+  // --- Failure model ----------------------------------------------------------
+  //
+  // Node crash/recovery is a property of the delivery substrate: the
+  // substrate decides that deliveries to a dead node are lost and when the
+  // ControlEvents fire. SimNet implements these; schedulers without a
+  // failure model keep the no-op defaults, which disables transition-
+  // triggered crash points and termination timers under them.
+
+  virtual bool supports_crashes() const { return false; }
+
+  /// Marks `node` dead immediately: subsequent deliveries to it are lost
+  /// until a scheduled recovery (none scheduled => it stays dead).
+  virtual void crash_node(NodeId node) { (void)node; }
+
+  /// Fires a kRecover ControlEvent for `node` after `delay_us` of substrate
+  /// time.
+  virtual void schedule_recover(NodeId node, double delay_us) {
+    (void)node;
+    (void)delay_us;
+  }
+
+  /// Fires a kCoordinatorTimeout ControlEvent for `node` after `delay_us` —
+  /// the failure-detection probe behind cohort-driven termination.
+  virtual void schedule_failure_probe(NodeId node, double delay_us) {
+    (void)node;
+    (void)delay_us;
+  }
 };
 
 // --- Engine frame -------------------------------------------------------------

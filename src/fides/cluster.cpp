@@ -27,9 +27,22 @@ bool verify_touching_requests(Transport& transport, const Server& server,
 
 Cluster::Cluster(ClusterConfig config)
     : config_(std::move(config)),
-      pool_(std::make_unique<common::ThreadPool>(config_.num_threads)) {
+      pool_(std::make_unique<common::ThreadPool>(config_.num_threads)),
+      crashed_(config_.num_servers, 0),
+      saved_faults_(config_.num_servers) {
   if (config_.network.mode == sim::NetworkMode::kSimulated) {
     simnet_ = std::make_unique<sim::SimNet>(config_.network.sim);
+  }
+  // Durable round logs are owned here: a Server object dies with a crash,
+  // its round log does not.
+  round_logs_.resize(config_.num_servers);
+  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+    if (config_.round_log_dir.empty()) {
+      round_logs_[i] = std::make_unique<ledger::MemRoundLog>();
+    } else {
+      round_logs_[i] = std::make_unique<ledger::FileRoundLog>(
+          config_.round_log_dir + "/server-" + std::to_string(i) + ".rlog");
+    }
   }
   // Server provisioning builds a full Merkle tree over every shard; with a
   // parallel pool the servers provision concurrently (and each server's tree
@@ -37,13 +50,25 @@ Cluster::Cluster(ClusterConfig config)
   servers_.resize(config_.num_servers);
   for_each_server([this](std::size_t i) {
     servers_[i] = std::make_unique<Server>(ServerId{static_cast<std::uint32_t>(i)},
-                                           config_, pool_.get());
+                                           config_, pool_.get(), round_logs_[i].get());
   });
   // Key registration mutates the shared transport registry: sequential.
   server_keys_.reserve(config_.num_servers);
   for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
     server_keys_.push_back(servers_[i]->public_key());
     transport_.register_node(NodeId::server(ServerId{i}), server_keys_.back());
+  }
+  // Crash/recover schedules: time triggers go straight onto the SimNet
+  // clock; transition triggers arm a watch the engine polls per delivery.
+  for (const CrashFault& cf : config_.crashes) {
+    if (cf.server >= config_.num_servers) continue;
+    if (!cf.after_type.empty()) {
+      crash_watch_.push_back(CrashWatch{cf, 0, false});
+    } else if (simnet_ != nullptr && cf.at_us >= 0) {
+      const NodeId node = NodeId::server(ServerId{cf.server});
+      simnet_->schedule_crash(node, cf.at_us);
+      simnet_->schedule_recover(node, cf.at_us + cf.downtime_us);
+    }
   }
 }
 
@@ -64,6 +89,45 @@ Client& Cluster::make_client() {
 
 ServerId Cluster::owner_of(ItemId item) const {
   return ServerId{store::shard_for_item(item, config_.num_servers).value};
+}
+
+// --- Crash / recovery ---------------------------------------------------------
+
+void Cluster::crash_server(ServerId id) {
+  if (crashed_[id.value] != 0) return;
+  saved_faults_[id.value] = servers_[id.value]->faults();
+  servers_[id.value].reset();  // volatile state is gone, not hidden
+  crashed_[id.value] = 1;
+}
+
+bool Cluster::recover_server(ServerId id) {
+  if (crashed_[id.value] == 0) return true;
+  auto fresh = std::make_unique<Server>(id, config_, pool_.get(),
+                                        round_logs_[id.value].get());
+  if (!fresh->restore()) return false;  // tampered round log: refuse to rejoin
+  fresh->faults() = saved_faults_[id.value];
+  servers_[id.value] = std::move(fresh);
+  crashed_[id.value] = 0;
+  return true;
+}
+
+std::optional<ServerId> Cluster::backup_for(ServerId dead) const {
+  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+    if (i != dead.value && crashed_[i] == 0) return ServerId{i};
+  }
+  return std::nullopt;
+}
+
+std::optional<CrashFault> Cluster::poll_crash_point(std::uint32_t server,
+                                                    const std::string& type) {
+  for (CrashWatch& w : crash_watch_) {
+    if (w.fired || w.fault.server != server || w.fault.after_type != type) continue;
+    if (++w.seen >= w.fault.after_count) {
+      w.fired = true;
+      return w.fault;
+    }
+  }
+  return std::nullopt;
 }
 
 // --- Data path ---------------------------------------------------------------
@@ -148,6 +212,13 @@ auto Cluster::with_scheduler(Fn&& body) {
   if (simnet_ != nullptr) {
     sim::SimNetScheduler sched(*simnet_);
     return body(static_cast<engine::Scheduler&>(sched));
+  }
+  for (std::uint32_t i = 0; i < config_.num_servers; ++i) {
+    if (crashed_[i] != 0) {
+      throw std::logic_error("direct-mode round with server S" + std::to_string(i) +
+                             " down: recover_server it first (mid-round "
+                             "crash/recovery runs over SimNet)");
+    }
   }
   engine::InProcScheduler sched(*pool_);
   return body(static_cast<engine::Scheduler&>(sched));

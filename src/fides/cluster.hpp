@@ -29,6 +29,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "commit/batch.hpp"
 #include "common/thread_pool.hpp"
@@ -73,6 +74,16 @@ struct RoundMetrics {
   bool cosign_valid{false};
   std::vector<ServerId> faulty_cosigners;
   std::vector<std::pair<ServerId, std::string>> refusals;
+
+  /// Servers observed sending two *different* authentic votes for this
+  /// round — must stay empty for honest servers across any schedule,
+  /// including crash/restore cycles (the vote-once safety oracle).
+  std::vector<ServerId> vote_equivocators;
+
+  /// The round was finished by the surviving cohorts after a coordinator
+  /// crash (TFCommit cooperative termination) rather than by its
+  /// coordinator.
+  bool terminated_by_cohorts{false};
 };
 
 /// A batched run of commit rounds: per-round metrics (in round order) plus
@@ -141,6 +152,36 @@ class Cluster {
   /// Which server owns an item.
   ServerId owner_of(ItemId item) const;
 
+  // --- Crash / recovery -------------------------------------------------------
+
+  /// Crashes a server: the Server object — shard, ledger, cohort round
+  /// state, write buffer, client-message log — is destroyed outright. Only
+  /// the durable round log (owned here, not by the Server) survives. In
+  /// simulated mode the engine invokes this from CrashFault schedules; the
+  /// public API exists so direct-mode tests drive the same path between
+  /// rounds. Accessing server(id) while it is down is a programming error.
+  void crash_server(ServerId id);
+
+  /// Rebuilds the server from scratch and replays its durable round log
+  /// (ledger blocks re-appended, committed writes re-applied, recorded
+  /// votes reloaded for vote-once). Returns false — and leaves the server
+  /// down — if the log fails its chained integrity check. Byzantine fault
+  /// flags installed before the crash survive it (they model the server's
+  /// code, not its memory).
+  bool recover_server(ServerId id);
+
+  bool is_crashed(ServerId id) const { return crashed_[id.value] != 0; }
+
+  /// Lowest-id live server other than `dead` — the cohort that drives
+  /// TFCommit termination when the coordinator dies. Nullopt if none.
+  std::optional<ServerId> backup_for(ServerId dead) const;
+
+  /// Transition-triggered crash points: called by the engine after `server`
+  /// finishes processing a delivery of `type`; returns the matching
+  /// CrashFault exactly once when its occurrence count is reached.
+  std::optional<CrashFault> poll_crash_point(std::uint32_t server,
+                                             const std::string& type);
+
   // --- Data path (called by Client) -----------------------------------------
 
   store::ReadResult client_read(Client& client, TxnId txn, ItemId item);
@@ -182,7 +223,9 @@ class Cluster {
   /// Runs fn(i) for every server index, on the pool when parallel.
   void for_each_server(const std::function<void(std::size_t)>& fn);
 
-  /// Runs `body` with the scheduler matching config().network.mode.
+  /// Runs `body` with the scheduler matching config().network.mode. Direct
+  /// mode requires every server to be live (mid-round crash/recovery is a
+  /// simulated-schedule feature).
   template <typename Fn>
   auto with_scheduler(Fn&& body);
 
@@ -192,10 +235,22 @@ class Cluster {
   // Declared before servers_: shards keep a pointer to the pool for Merkle
   // rebuilds, so the pool must outlive them.
   std::unique_ptr<common::ThreadPool> pool_;
+  // Declared before servers_: servers keep a pointer into their round log,
+  // which must outlive them (it IS the state that survives a crash).
+  std::vector<std::unique_ptr<ledger::RoundLog>> round_logs_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<crypto::PublicKey> server_keys_;
   ordserv::EpochCounter epochs_;
+
+  std::vector<unsigned char> crashed_;
+  std::vector<FaultConfig> saved_faults_;  ///< reinstalled on recovery
+  struct CrashWatch {
+    CrashFault fault;
+    std::uint32_t seen{0};
+    bool fired{false};
+  };
+  std::vector<CrashWatch> crash_watch_;  ///< transition-triggered crash points
 };
 
 }  // namespace fides

@@ -6,12 +6,38 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "sim/sim_config.hpp"
 #include "store/shard.hpp"
 
 namespace fides {
+
+/// One scheduled crash/recover cycle of a server (simulated mode). A crash
+/// discards every volatile structure on the node — shard, ledger, cohort
+/// round state, queued deliveries — leaving only the durable RoundLog;
+/// recovery rebuilds the server from that log and rejoins mid-round. Two
+/// trigger styles:
+///
+///   * virtual-time (`at_us` >= 0): the node dies when the SimNet clock
+///     reaches at_us — how the fuzzer composes crashes with delay/loss/
+///     partition schedules.
+///   * transition (`after_type` non-empty): the node dies immediately after
+///     it finishes processing its `after_count`-th delivery of that message
+///     type — how the crash-point matrix pins a crash to an exact reactor
+///     state transition.
+///
+/// Every crash recovers after `downtime_us` of virtual time; permanent
+/// failure (membership change) is out of scope — see ROADMAP.
+struct CrashFault {
+  std::uint32_t server{0};
+  double at_us{-1.0};
+  std::string after_type;
+  std::uint32_t after_count{1};
+  double downtime_us{2000.0};
+};
 
 enum class Protocol : std::uint8_t {
   kTwoPhaseCommit,  ///< trusted baseline (§6.1)
@@ -72,6 +98,25 @@ struct ClusterConfig {
   /// cost is not part of commit latency — the paper measures from the
   /// end-transaction request onward.
   bool sign_data_path{true};
+
+  // --- Crash/recovery -------------------------------------------------------
+
+  /// Scheduled crash/recover cycles (simulated mode; see CrashFault). In
+  /// direct mode use Cluster::crash_server / recover_server between rounds.
+  std::vector<CrashFault> crashes;
+
+  /// TFCommit cooperative termination: when the *coordinator* has been down
+  /// for this much virtual time with a round still in flight, the lowest-id
+  /// surviving cohort drives the round to a co-signed abort — the paper's
+  /// headline contrast with 2PC, which blocks until the coordinator
+  /// recovers. 0 disables termination (rounds wait for recovery, preserving
+  /// bit-identity with an uncrashed run).
+  double termination_timeout_us{0.0};
+
+  /// Directory for file-backed per-server round logs ("<dir>/server-<id>.
+  /// rlog"). Empty = in-memory logs (still durable across a simulated
+  /// server crash: the Cluster owns them, the Server objects do not).
+  std::string round_log_dir;
 };
 
 }  // namespace fides

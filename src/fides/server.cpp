@@ -5,7 +5,8 @@
 
 namespace fides {
 
-Server::Server(ServerId id, const ClusterConfig& config, common::ThreadPool* pool)
+Server::Server(ServerId id, const ClusterConfig& config, common::ThreadPool* pool,
+               ledger::RoundLog* durable)
     : id_(id),
       keypair_(crypto::KeyPair::deterministic(0x5EB0'0000ULL + id.value)),
       shard_(ShardId{id.value},
@@ -13,7 +14,13 @@ Server::Server(ServerId id, const ClusterConfig& config, common::ThreadPool* poo
                                     config.items_per_shard),
              config.initial_value, config.versioning, pool),
       tf_cohort_(id, keypair_, shard_),
-      tpc_cohort_(id, shard_) {}
+      tpc_cohort_(id, shard_),
+      round_log_(durable) {
+  if (round_log_ == nullptr) {
+    owned_round_log_ = std::make_unique<ledger::MemRoundLog>();
+    round_log_ = owned_round_log_.get();
+  }
+}
 
 void Server::handle_begin(ClientId /*client*/, TxnId /*txn*/) {
   // Begin Transaction carries no state in this design: reads/writes name
@@ -58,27 +65,88 @@ WriteAck Server::handle_write(ClientId /*client*/, TxnId txn, ItemId item, Bytes
   return ack;
 }
 
-bool Server::handle_decision(const commit::DecisionMsg& msg,
-                             std::span<const crypto::PublicKey> all_server_keys) {
+Server::ApplyResult Server::apply_decision(const commit::DecisionMsg& msg,
+                                           std::span<const crypto::PublicKey> all_server_keys) {
   const ledger::Block& block = msg.final_block;
-  if (!block.cosign || block.signers.empty()) return false;
+  if (!block.cosign || block.signers.empty()) return ApplyResult::kRejected;
   std::vector<crypto::PublicKey> signer_keys;
   signer_keys.reserve(block.signers.size());
   for (const ServerId s : block.signers) {
-    if (s.value >= all_server_keys.size()) return false;
+    if (s.value >= all_server_keys.size()) return ApplyResult::kRejected;
     signer_keys.push_back(all_server_keys[s.value]);
   }
   if (!crypto::cosi_verify(block.signing_bytes(), *block.cosign, signer_keys)) {
-    return false;
+    return ApplyResult::kRejected;
   }
-  log_.append(block);
-  if (block.committed()) apply_block(block);
-  return true;
+  if (block.height < log_.size()) return ApplyResult::kStale;
+  if (block.height > log_.size()) return ApplyResult::kFuture;
+  ingest_block(block);
+  return ApplyResult::kApplied;
+}
+
+bool Server::handle_decision(const commit::DecisionMsg& msg,
+                             std::span<const crypto::PublicKey> all_server_keys) {
+  return apply_decision(msg, all_server_keys) == ApplyResult::kApplied;
+}
+
+Server::ApplyResult Server::apply_decision_2pc(const commit::CommitDecisionMsg& msg) {
+  if (msg.final_block.height < log_.size()) return ApplyResult::kStale;
+  if (msg.final_block.height > log_.size()) return ApplyResult::kFuture;
+  ingest_block(msg.final_block);
+  return ApplyResult::kApplied;
 }
 
 void Server::handle_decision_2pc(const commit::CommitDecisionMsg& msg) {
-  log_.append(msg.final_block);
-  if (msg.final_block.committed()) apply_block(msg.final_block);
+  apply_decision_2pc(msg);
+}
+
+void Server::ingest_block(const ledger::Block& block) {
+  log_.append(block);
+  if (block.committed()) apply_block(block);
+}
+
+Bytes Server::vote_once(std::uint64_t epoch, const std::string& msg_type,
+                        Bytes computed) {
+  const auto it = votes_by_epoch_.find(epoch);
+  if (it != votes_by_epoch_.end()) return it->second;
+  ledger::RoundRecord rec;
+  rec.type = ledger::RoundRecord::Type::kVote;
+  rec.epoch = epoch;
+  rec.msg_type = msg_type;
+  rec.payload = computed;
+  round_log_->append(rec);
+  votes_by_epoch_.emplace(epoch, computed);
+  return computed;
+}
+
+const Bytes* Server::logged_vote(std::uint64_t epoch) const {
+  const auto it = votes_by_epoch_.find(epoch);
+  return it == votes_by_epoch_.end() ? nullptr : &it->second;
+}
+
+void Server::record_decision(std::uint64_t epoch, const std::string& msg_type,
+                             const ledger::Block& block) {
+  ledger::RoundRecord rec;
+  rec.type = ledger::RoundRecord::Type::kDecision;
+  rec.epoch = epoch;
+  rec.msg_type = msg_type;
+  rec.payload = block.serialize();
+  round_log_->append(rec);
+}
+
+bool Server::restore() {
+  const auto records = round_log_->replay();
+  if (!records.has_value()) return false;  // integrity violation: refuse
+  for (const ledger::RoundRecord& rec : *records) {
+    if (rec.type == ledger::RoundRecord::Type::kVote) {
+      votes_by_epoch_.emplace(rec.epoch, rec.payload);
+    } else {
+      const auto block = ledger::Block::deserialize(rec.payload);
+      if (!block.has_value()) return false;
+      ingest_block(*block);
+    }
+  }
+  return true;
 }
 
 void Server::apply_block(const ledger::Block& block) {

@@ -10,12 +10,15 @@
 // says; everything else stays honest, so each test isolates one failure.
 #pragma once
 
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "commit/two_phase_commit.hpp"
 #include "fides/fault_config.hpp"
 #include "fides/transport.hpp"
 #include "ledger/log.hpp"
+#include "ledger/round_log.hpp"
 #include "store/write_buffer.hpp"
 
 namespace fides {
@@ -42,7 +45,14 @@ class Server {
   /// `pool`, when given, parallelizes this server's Merkle tree builds
   /// (initial provisioning, audit rebuilds). Not owned; must outlive the
   /// server. Null keeps everything on the calling thread.
-  Server(ServerId id, const ClusterConfig& config, common::ThreadPool* pool = nullptr);
+  ///
+  /// `durable`, when given, is the server's crash-surviving round log — it
+  /// outlives this object (the Cluster owns it), so a replacement Server
+  /// can restore() from it after a crash. Null gives the server a private
+  /// in-memory log (durability scoped to the object's lifetime — enough for
+  /// the unit tests that construct Servers directly).
+  Server(ServerId id, const ClusterConfig& config, common::ThreadPool* pool = nullptr,
+         ledger::RoundLog* durable = nullptr);
 
   ServerId id() const { return id_; }
   const crypto::KeyPair& keypair() const { return keypair_; }
@@ -72,15 +82,58 @@ class Server {
   commit::TfCommitCohort& tf_cohort() { return tf_cohort_; }
   commit::TwoPhaseCommitCohort& tpc_cohort() { return tpc_cohort_; }
 
+  /// What a delivered decision did to this server's state. The engine fires
+  /// the pipeline watermark only for kApplied/kRejected (the server
+  /// *processed* this round's decision); kStale and kFuture are recovery-era
+  /// stragglers that change nothing.
+  enum class ApplyResult {
+    kApplied,   ///< appended (and applied when committed)
+    kRejected,  ///< bad co-sign: processed and refused — never appended
+    kStale,     ///< block already in the log (redelivery after restore)
+    kFuture,    ///< ahead of this log's head (in-flight copy outran the
+                ///< recovery replay stream; the replay re-supplies order)
+  };
+
   /// Phase-5 handling: verify the co-sign, append the block to the log, and
   /// on commit apply the writes to the datastore (steps 6-7 of §4.1). The
-  /// datastore-layer faults strike inside this application step. Returns
-  /// false if the block was rejected (bad co-sign).
+  /// datastore-layer faults strike inside this application step.
+  ApplyResult apply_decision(const commit::DecisionMsg& msg,
+                             std::span<const crypto::PublicKey> all_server_keys);
+
+  /// apply_decision() == kApplied, for call sites that only distinguish
+  /// "accepted" from "refused".
   bool handle_decision(const commit::DecisionMsg& msg,
                        std::span<const crypto::PublicKey> all_server_keys);
 
-  /// 2PC decision handling: append + apply without signature machinery.
+  /// 2PC decision handling: append + apply without signature machinery
+  /// (kRejected cannot occur — 2PC trusts the coordinator).
+  ApplyResult apply_decision_2pc(const commit::CommitDecisionMsg& msg);
   void handle_decision_2pc(const commit::CommitDecisionMsg& msg);
+
+  // --- Crash durability (ledger/round_log.hpp) -------------------------------
+
+  ledger::RoundLog& round_log() { return *round_log_; }
+
+  /// Vote-once across restarts: returns the durably recorded vote bytes for
+  /// `epoch` if one exists, otherwise records `computed` under (epoch,
+  /// msg_type) and returns it. The caller sends exactly the returned bytes,
+  /// so a server can never emit two different votes for one round — even
+  /// when the second emission happens after a crash and restore.
+  Bytes vote_once(std::uint64_t epoch, const std::string& msg_type, Bytes computed);
+
+  /// The durably recorded vote for `epoch`, if any.
+  const Bytes* logged_vote(std::uint64_t epoch) const;
+
+  /// Durably records a decision the server has appended and applied; replay
+  /// of these records is what restore() rebuilds the ledger and shard from.
+  void record_decision(std::uint64_t epoch, const std::string& msg_type,
+                       const ledger::Block& block);
+
+  /// Rebuilds ledger, shard, and the vote map from the durable round log.
+  /// Returns false — leaving the server empty — if the log fails its
+  /// chained integrity check (a tampered log must refuse to restore: its
+  /// recorded votes can no longer be trusted not to equivocate).
+  bool restore();
 
   // --- Audit interface -------------------------------------------------------
 
@@ -113,6 +166,8 @@ class Server {
 
  private:
   void apply_block(const ledger::Block& block);
+  /// Shared append+apply step of decision handling and restore replay.
+  void ingest_block(const ledger::Block& block);
 
   ServerId id_;
   crypto::KeyPair keypair_;
@@ -124,6 +179,10 @@ class Server {
   FaultConfig faults_;
   std::vector<Envelope> client_messages_;
   double mht_time_us_{0};
+
+  std::unique_ptr<ledger::RoundLog> owned_round_log_;  ///< when not given one
+  ledger::RoundLog* round_log_;
+  std::map<std::uint64_t, Bytes> votes_by_epoch_;  ///< durable votes, replayed
 };
 
 }  // namespace fides

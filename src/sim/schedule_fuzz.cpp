@@ -84,10 +84,13 @@ struct Scenario {
   ClusterConfig cfg;
   Fault fault{Fault::kNone};
   std::uint32_t culprit{0};
+  bool crash{false};
+  std::uint32_t crash_victim{0};
   std::string description;
 };
 
-Scenario derive_scenario(std::uint64_t seed, bool force_pipeline) {
+Scenario derive_scenario(std::uint64_t seed, const FuzzOptions& options) {
+  const bool force_pipeline = options.force_pipeline;
   // Independent stream from SimNet's (which gets its own derived seed), so
   // scenario shape and schedule don't alias.
   Rng rng(seed ^ 0x51AF'F00D'5EED'F00DULL);
@@ -149,6 +152,36 @@ Scenario derive_scenario(std::uint64_t seed, bool force_pipeline) {
                   ? 0
                   : static_cast<std::uint32_t>(rng.uniform(cfg.num_servers));
 
+  // Crash/recover cycle (--crash): one server dies at a drawn virtual time
+  // and restores from its durable round log after a drawn downtime. The
+  // cycle composes with the scenario's network faults and (non-colliding)
+  // Byzantine deviation; Byzantine victims are avoided because a crash
+  // would *heal* a corrupted store or tampered log and the detection
+  // oracles would then rightly complain about missing evidence.
+  double term_timeout = 0;
+  if (options.with_crash) {
+    s.crash = true;
+    s.crash_victim = static_cast<std::uint32_t>(rng.uniform(cfg.num_servers));
+    if (s.fault != Fault::kNone && s.crash_victim == s.culprit) {
+      s.crash_victim = (s.crash_victim + 1) % cfg.num_servers;
+    }
+    CrashFault cf;
+    cf.server = s.crash_victim;
+    cf.at_us = 50 + rng.uniform01() * 2500;
+    cf.downtime_us = 500 + rng.uniform01() * 5000;
+    if (s.crash_victim == 0 && !use_2pc && s.fault == Fault::kNone &&
+        rng.uniform(2) == 0) {
+      // Coordinator death: half the fault-free seeds arm cohort-driven
+      // termination (fires iff the coordinator is still down when the probe
+      // pops). Byzantine scenarios keep the pure restart path: termination
+      // aborts the scripted rounds, and an aborted history carries no
+      // committed evidence for the detection oracles to find.
+      term_timeout = 300 + rng.uniform01() * 0.8 * cf.downtime_us;
+      cfg.termination_timeout_us = term_timeout;
+    }
+    cfg.crashes.push_back(cf);
+  }
+
   std::ostringstream d;
   d << (use_2pc ? "2pc" : "tfcommit") << " n=" << cfg.num_servers
     << " threads=" << cfg.num_threads << " pipe=" << cfg.pipeline_depth
@@ -156,6 +189,11 @@ Scenario derive_scenario(std::uint64_t seed, bool force_pipeline) {
     << " dup=" << net.link.dup_prob << " reorder=" << net.link.reorder_prob
     << (partitioned ? " partition" : "") << " fault=" << fault_name(s.fault);
   if (s.fault != Fault::kNone) d << "@S" << s.culprit;
+  if (s.crash) {
+    d << " crash@S" << s.crash_victim << "(t=" << cfg.crashes[0].at_us
+      << ",down=" << cfg.crashes[0].downtime_us << ")";
+    if (term_timeout > 0) d << " term=" << term_timeout;
+  }
   s.description = d.str();
   return s;
 }
@@ -184,9 +222,10 @@ FuzzOutcome run_schedule(std::uint64_t seed, const FuzzOptions& options) {
   FuzzOutcome out;
   out.seed = seed;
 
-  const Scenario scenario = derive_scenario(seed, options.force_pipeline);
+  const Scenario scenario = derive_scenario(seed, options);
   out.scenario = scenario.description;
   out.byzantine = scenario.fault != Fault::kNone;
+  out.crashed = scenario.crash;
   const Fault fault = scenario.fault;
   const bool use_2pc = scenario.cfg.protocol == Protocol::kTwoPhaseCommit;
   const std::uint32_t n = scenario.cfg.num_servers;
@@ -370,12 +409,35 @@ FuzzOutcome run_schedule(std::uint64_t seed, const FuzzOptions& options) {
   }
 
   // --- Invariant 2: no committed transaction is lost ---------------------------
+  // With a crash in the scenario this doubles as the recovery-durability
+  // oracle: the victim's store was rebuilt from its round log mid-run, so a
+  // lost write here would mean the log replay dropped a committed block.
   for (const auto& [item, value] : committed) {
     const std::uint32_t owner = cluster.owner_of(item).value;
     if (std::find(honest.begin(), honest.end(), owner) == honest.end()) continue;
     if (cluster.server(ServerId{owner}).shard().peek(item).value != value) {
       fail("committed write to item " + std::to_string(item) +
            " lost on honest server S" + std::to_string(owner));
+    }
+  }
+
+  // --- Crash/recovery oracles ---------------------------------------------------
+  if (scenario.crash) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (cluster.is_crashed(ServerId{i})) {
+        fail("server S" + std::to_string(i) + " still down at end of run");
+      }
+    }
+    // Invariant 1 already pinned the recovered victim's ledger bit-identical
+    // to the survivors' (it is in the honest set unless it is the culprit).
+  }
+  for (std::size_t r = 0; r < rounds.size(); ++r) {
+    out.terminated = out.terminated || rounds[r].terminated_by_cohorts;
+    for (const ServerId eq : rounds[r].vote_equivocators) {
+      if (effective_fault == Fault::kNone || eq.value != culprit) {
+        fail("server S" + std::to_string(eq.value) + " equivocated its vote in round " +
+             std::to_string(r));
+      }
     }
   }
 

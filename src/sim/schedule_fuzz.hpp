@@ -39,6 +39,9 @@ struct FuzzOutcome {
 
   bool byzantine{false};  ///< a Byzantine deviation was injected
   bool detected{false};   ///< the deviation left the expected evidence
+
+  bool crashed{false};     ///< a crash/recover cycle was injected
+  bool terminated{false};  ///< a round finished via cohort-driven termination
 };
 
 struct FuzzOptions {
@@ -47,6 +50,16 @@ struct FuzzOptions {
   /// agreement/durability/detection oracles are unchanged: pipelining must
   /// be invisible to every safety property.
   bool force_pipeline{false};
+
+  /// Add a seeded crash/recover cycle to every scenario: one server loses
+  /// all volatile state at a drawn virtual time and restores from its
+  /// durable round log after a drawn downtime — composable with the
+  /// existing network faults and Byzantine deviations. Coordinator crashes
+  /// under TFCommit sometimes arm the cooperative-termination timeout. The
+  /// oracles gain: recovered servers agree bit-for-bit with survivors, no
+  /// committed write is lost across the crash, and no server ever sends two
+  /// different votes for one round (vote-once across restarts).
+  bool with_crash{false};
 };
 
 /// Executes the scenario derived from `seed` and checks all invariants.

@@ -40,6 +40,18 @@ struct LinkFaults {
   double reorder_extra_us{1000.0};
 };
 
+/// Overrides the fault/delay model of one directed server→server link.
+/// Without an override a link uses SimNetConfig::link — the global profile;
+/// with one, every draw for that (src, dst) pair comes from `faults`
+/// instead. This is what lets a schedule degrade exactly one path (e.g. the
+/// link into a server that is about to crash) while the rest of the mesh
+/// stays healthy.
+struct LinkOverride {
+  std::uint32_t src{0};
+  std::uint32_t dst{0};
+  LinkFaults faults;
+};
+
 /// A temporary network partition: while the virtual clock is inside
 /// [start_us, heal_us), traffic between `island` servers and the rest is
 /// held and released at heal time (plus a normal link delay). Partitions
@@ -59,6 +71,8 @@ enum class NetworkMode : std::uint8_t {
 struct SimNetConfig {
   std::uint64_t seed{1};
   LinkFaults link;
+  /// Per-link profiles taking precedence over `link` (first match wins).
+  std::vector<LinkOverride> link_overrides;
   std::vector<Partition> partitions;
 
   /// Backoff before a dropped copy is retransmitted.

@@ -26,9 +26,15 @@ class SimNetScheduler final : public engine::Scheduler, private engine::Outbox {
   engine::Outbox& outbox() override { return *this; }
 
   void run(engine::Dispatcher& dispatcher) override {
-    net_->run([&](NodeId src, NodeId dst, const Envelope& env) {
-      dispatcher.dispatch(src, dst, env, *this);
-    });
+    net_->run(
+        [&](NodeId src, NodeId dst, const Envelope& env, bool replay) {
+          if (replay) {
+            dispatcher.dispatch_replay(src, dst, env, *this);
+          } else {
+            dispatcher.dispatch(src, dst, env, *this);
+          }
+        },
+        [&](const engine::ControlEvent& ev) { dispatcher.on_control(ev, *this); });
   }
 
   // post() keeps the default inline execution: the event loop is
@@ -39,9 +45,25 @@ class SimNetScheduler final : public engine::Scheduler, private engine::Outbox {
   /// The event loop is single-threaded by design.
   std::size_t concurrency() const override { return 1; }
 
+  bool supports_crashes() const override { return true; }
+
+  void crash_node(NodeId node) override { net_->crash_now(node); }
+
+  void schedule_recover(NodeId node, double delay_us) override {
+    net_->schedule_recover(node, net_->now_us() + delay_us);
+  }
+
+  void schedule_failure_probe(NodeId node, double delay_us) override {
+    net_->schedule_timeout(node, net_->now_us() + delay_us);
+  }
+
  private:
   void send(NodeId src, NodeId dst, Envelope env) override {
     net_->send(src, dst, std::move(env));
+  }
+
+  void send_replay(NodeId src, NodeId dst, Envelope env) override {
+    net_->send_sequenced(src, dst, std::move(env));
   }
 
   SimNet* net_;

@@ -5,22 +5,31 @@
 // an event on a virtual clock. Per-link delays are drawn from a seeded RNG,
 // so delivery *order* is a deterministic function of the seed — and the
 // fuzzer can enumerate thousands of distinct schedules (reorderings, losses
-// with retransmission, duplicates, partition/heal windows) simply by
-// enumerating seeds.
+// with retransmission, duplicates, partition/heal windows, node crash and
+// recovery) simply by enumerating seeds.
+//
+// Node faults: crash/recover events are scheduled on the same virtual
+// clock. While a node is down, every delivery addressed to it is lost (the
+// process is not listening); on recovery the control callback fires and the
+// engine replays the node's durable state and opens an ideal-link catch-up
+// stream (send_sequenced) for the messages it missed.
 //
 // Determinism contract: SimNet is single-threaded and every random draw
 // happens in a fixed program order, so two runs with the same seed and the
 // same send sequence produce byte-identical event traces. The running trace
-// hash (SHA-256 folded over every SEND/DROP/DUP/HOLD/DELIVER event,
-// including payload digests) is the reproduction token: equal hashes mean
-// equal schedules, and a failing fuzz case reproduces from its seed alone.
+// hash (SHA-256 folded over every SEND/DROP/DUP/HOLD/DELIVER/LOST/CRASH/
+// RECOVER event, including payload digests) is the reproduction token:
+// equal hashes mean equal schedules, and a failing fuzz case reproduces
+// from its seed alone.
 #pragma once
 
 #include <functional>
 #include <queue>
+#include <set>
 
 #include "common/rng.hpp"
 #include "crypto/sha256.hpp"
+#include "engine/scheduler.hpp"
 #include "fides/transport.hpp"
 
 namespace fides::sim {
@@ -33,26 +42,53 @@ class SimNet {
     std::uint64_t dropped{0};     ///< copies lost; each costs one retransmit
     std::uint64_t duplicated{0};  ///< extra copies delivered
     std::uint64_t held{0};        ///< copies delayed by an active partition
+    std::uint64_t lost_down{0};   ///< copies addressed to a crashed node
   };
 
   /// Delivery callback: the receiver-side dispatch. `dst` is the addressee;
   /// `env` is the (signed) envelope as sent — SimNet never mutates payloads.
-  using DeliverFn =
-      std::function<void(NodeId src, NodeId dst, const Envelope& env)>;
+  /// `replay` marks a recovery catch-up copy (send_sequenced).
+  using DeliverFn = std::function<void(NodeId src, NodeId dst, const Envelope& env,
+                                       bool replay)>;
+  /// Crash/recover/timeout callback, fired as control events pop.
+  using ControlFn = std::function<void(const engine::ControlEvent& ev)>;
 
   explicit SimNet(SimNetConfig config);
 
   /// Schedules delivery of `env` from src to dst. Draws delay/drop/dup
-  /// choices from the seeded RNG; a dropped copy is retransmitted after the
-  /// configured timeout (bounded by max_attempts, last attempt always
-  /// delivered), and traffic crossing an active partition is held until the
-  /// heal time. May be called from inside a delivery callback.
+  /// choices from the seeded RNG (per-link overrides honoured); a dropped
+  /// copy is retransmitted after the configured timeout (bounded by
+  /// max_attempts, last attempt always delivered), and traffic crossing an
+  /// active partition is held until the heal time. May be called from
+  /// inside a delivery callback.
   void send(NodeId src, NodeId dst, Envelope env);
 
+  /// Recovery catch-up stream: ideal link, fixed small delay, no fault or
+  /// delay draws (the RNG stream — and hence every other link's schedule —
+  /// is independent of recovery traffic), delivered in send order and
+  /// flagged `replay` at the receiver.
+  void send_sequenced(NodeId src, NodeId dst, Envelope env);
+
   /// Pops events in virtual-time order, invoking `on_deliver` for each
-  /// delivery, until the queue drains. Handlers may call send() to schedule
-  /// further traffic — the loop keeps going until the network is quiescent.
-  void run(const DeliverFn& on_deliver);
+  /// delivery and `on_control` (when given) for each crash/recover/timeout,
+  /// until the queue drains. Handlers may call send() to schedule further
+  /// traffic — the loop keeps going until the network is quiescent.
+  void run(const DeliverFn& on_deliver, const ControlFn& on_control = {});
+
+  // --- Node fault schedule ----------------------------------------------------
+
+  void schedule_crash(NodeId node, double at_us);
+  void schedule_recover(NodeId node, double at_us);
+  /// Failure-detection probe: fires kCoordinatorTimeout at `at_us`; the
+  /// engine decides whether the watched node is still dead.
+  void schedule_timeout(NodeId node, double at_us);
+
+  /// Immediate crash at the current virtual time (transition-triggered
+  /// crash points). Marks the node down and folds the trace event; the
+  /// caller performs the engine-side bookkeeping itself.
+  void crash_now(NodeId node);
+
+  bool is_down(NodeId node) const { return down_.count(node) != 0; }
 
   /// Virtual time of the most recently processed event.
   double now_us() const { return now_us_; }
@@ -69,6 +105,8 @@ class SimNet {
 
  private:
   struct Event {
+    enum class Kind : std::uint8_t { kDeliver, kControl };
+    Kind kind{Kind::kDeliver};
     double at_us{0};
     std::uint64_t seq{0};  ///< scheduling order; total-orders equal times
     NodeId src;
@@ -76,6 +114,8 @@ class SimNet {
     Envelope env;
     crypto::Digest payload_digest;  ///< computed once per send()
     bool duplicate{false};
+    bool replay{false};  ///< recovery catch-up copy
+    engine::ControlEvent ctrl;  ///< valid when kind == kControl
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -84,15 +124,20 @@ class SimNet {
     }
   };
 
-  double draw_delay();
+  /// The fault/delay profile governing src→dst (per-link override when one
+  /// matches, the global profile otherwise).
+  const LinkFaults& link_for(NodeId src, NodeId dst) const;
+  double draw_delay(const LinkFaults& lf);
   /// Earliest time >= `t` at which src->dst traffic is not partitioned.
   double release_time(NodeId src, NodeId dst, double t, bool& was_held) const;
   void schedule(double at_us, NodeId src, NodeId dst, Envelope env,
-                const crypto::Digest& payload_digest, bool duplicate);
+                const crypto::Digest& payload_digest, bool duplicate, bool replay);
+  void schedule_control(engine::ControlEvent::Kind kind, NodeId node, double at_us);
   /// `payload_digest` = sha256 of the envelope payload, computed once per
   /// send (SimNet never mutates payloads).
   void fold_event(const char* tag, double at_us, NodeId src, NodeId dst,
                   const Envelope& env, const crypto::Digest& payload_digest);
+  void fold_node_event(const char* tag, double at_us, NodeId node);
 
   SimNetConfig config_;
   Rng rng_;
@@ -101,6 +146,7 @@ class SimNet {
   double now_us_{0};
   Stats stats_;
   crypto::Digest trace_hash_;
+  std::set<NodeId> down_;
 };
 
 }  // namespace fides::sim

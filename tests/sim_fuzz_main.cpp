@@ -9,9 +9,16 @@
 //   ./fides_simfuzz --base-seed <seed> --seeds 1
 //
 // Usage: fides_simfuzz [--seeds N] [--base-seed B] [--keep-going] [--pipeline]
-// Env:   FIDES_SIM_SEEDS / FIDES_SIM_SEED override the defaults.
+//                      [--crash]
+// Env:   FIDES_SIM_SEEDS / FIDES_SIM_SEED override the defaults;
+//        FIDES_CRASH=1 is equivalent to --crash.
 // --pipeline forces every scenario to run with pipeline_depth in 2..4 (the
 // pipelined smoke sweep; oracles unchanged).
+// --crash adds a seeded crash/recover cycle to every scenario (composable
+// with --pipeline): a server loses all volatile state mid-schedule and
+// restores from its durable round log; coordinator crashes sometimes arm
+// TFCommit's cohort-driven termination. Adds the recovery oracles
+// (bit-identical rejoin, no lost committed writes, vote-once).
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +39,9 @@ int main(int argc, char** argv) {
     base = std::strtoull(env, nullptr, 10);
     seeds = 1;
   }
+  if (const char* env = std::getenv("FIDES_CRASH")) {
+    options.with_crash = std::strcmp(env, "0") != 0;
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       seeds = std::strtoull(argv[++i], nullptr, 10);
@@ -41,9 +51,12 @@ int main(int argc, char** argv) {
       keep_going = true;
     } else if (std::strcmp(argv[i], "--pipeline") == 0) {
       options.force_pipeline = true;
+    } else if (std::strcmp(argv[i], "--crash") == 0) {
+      options.with_crash = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--seeds N] [--base-seed B] [--keep-going] [--pipeline]\n",
+                   "usage: %s [--seeds N] [--base-seed B] [--keep-going] [--pipeline] "
+                   "[--crash]\n",
                    argv[0]);
       return 2;
     }
@@ -56,10 +69,14 @@ int main(int argc, char** argv) {
   std::uint64_t failures = 0;
   std::uint64_t byzantine = 0;
   std::uint64_t detected = 0;
+  std::uint64_t crashed = 0;
+  std::uint64_t terminated = 0;
   for (std::uint64_t seed = base; seed < base + seeds; ++seed) {
     const fides::sim::FuzzOutcome out = fides::sim::run_schedule(seed, options);
     byzantine += out.byzantine ? 1 : 0;
     detected += out.detected ? 1 : 0;
+    crashed += out.crashed ? 1 : 0;
+    terminated += out.terminated ? 1 : 0;
     if (!out.ok) {
       ++failures;
       std::printf("FAIL seed=%" PRIu64 "\n  scenario: %s\n  invariant: %s\n"
@@ -78,7 +95,8 @@ int main(int argc, char** argv) {
   }
 
   std::printf("done: %" PRIu64 " schedules, %" PRIu64 " byzantine (%" PRIu64
-              " detected), %" PRIu64 " failures\n",
-              seeds, byzantine, detected, failures);
+              " detected), %" PRIu64 " crash cycles (%" PRIu64
+              " cohort-terminated), %" PRIu64 " failures\n",
+              seeds, byzantine, detected, crashed, terminated, failures);
   return failures == 0 ? 0 : 1;
 }

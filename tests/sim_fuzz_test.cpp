@@ -39,7 +39,7 @@ TEST(SimNet, DeliversInVirtualTimeOrderDeterministically) {
                plain_envelope("m", "msg-" + std::to_string(i)));
     }
     std::vector<std::string> order;
-    net.run([&](NodeId, NodeId, const Envelope& env) {
+    net.run([&](NodeId, NodeId, const Envelope& env, bool) {
       order.push_back(to_string(BytesView(env.payload)));
     });
     return std::pair(order, net.trace_hash());
@@ -58,7 +58,7 @@ TEST(SimNet, DeliversInVirtualTimeOrderDeterministically) {
   sim::SimNet net(other);
   net.send(NodeId::server(ServerId{0}), NodeId::server(ServerId{1}),
            plain_envelope("m", "msg-0"));
-  net.run([](NodeId, NodeId, const Envelope&) {});
+  net.run([](NodeId, NodeId, const Envelope&, bool) {});
   EXPECT_FALSE(net.trace_hash() == hash1);  // different seed, different trace
 }
 
@@ -74,7 +74,7 @@ TEST(SimNet, DropRetransmitsUntilDelivered) {
              plain_envelope("m", std::to_string(i)));
   }
   std::size_t delivered = 0;
-  net.run([&](NodeId, NodeId, const Envelope&) { ++delivered; });
+  net.run([&](NodeId, NodeId, const Envelope&, bool) { ++delivered; });
   EXPECT_EQ(delivered, static_cast<std::size_t>(kMessages));  // nothing lost forever
   EXPECT_GT(net.stats().dropped, 0u);
 }
@@ -89,7 +89,7 @@ TEST(SimNet, DuplicatesDeliverExtraCopies) {
              plain_envelope("m", std::to_string(i)));
   }
   std::size_t delivered = 0;
-  net.run([&](NodeId, NodeId, const Envelope&) { ++delivered; });
+  net.run([&](NodeId, NodeId, const Envelope&, bool) { ++delivered; });
   EXPECT_EQ(delivered, 20u);
   EXPECT_EQ(net.stats().duplicated, 10u);
 }
@@ -111,7 +111,7 @@ TEST(SimNet, PartitionHoldsTrafficUntilHeal) {
   net.send(NodeId::server(ServerId{1}), NodeId::server(ServerId{2}),
            plain_envelope("m", "inside"));
   std::vector<std::pair<std::string, double>> deliveries;
-  net.run([&](NodeId, NodeId, const Envelope& env) {
+  net.run([&](NodeId, NodeId, const Envelope& env, bool) {
     deliveries.emplace_back(to_string(BytesView(env.payload)), net.now_us());
   });
   ASSERT_EQ(deliveries.size(), 2u);
@@ -137,8 +137,97 @@ TEST(SimNet, ChainedPartitionWindowsHoldUntilTheLastHeal) {
   net.send(NodeId::server(ServerId{0}), NodeId::server(ServerId{1}),
            plain_envelope("m", "x"));
   double delivered_at = -1;
-  net.run([&](NodeId, NodeId, const Envelope&) { delivered_at = net.now_us(); });
+  net.run([&](NodeId, NodeId, const Envelope&, bool) { delivered_at = net.now_us(); });
   EXPECT_GE(delivered_at, 300.0);
+}
+
+TEST(SimNet, PerLinkOverridesApplyToThatLinkOnly) {
+  // One directed link (0 -> 1) is degraded far beyond the global profile;
+  // the reverse direction and every other link keep the fast global model.
+  sim::SimNetConfig cfg;
+  cfg.seed = 21;
+  cfg.link.min_delay_us = 1;
+  cfg.link.max_delay_us = 5;
+  sim::LinkOverride slow;
+  slow.src = 0;
+  slow.dst = 1;
+  slow.faults.min_delay_us = 10000;
+  slow.faults.max_delay_us = 10001;
+  cfg.link_overrides.push_back(slow);
+
+  sim::SimNet net(cfg);
+  net.send(NodeId::server(ServerId{0}), NodeId::server(ServerId{1}),
+           plain_envelope("m", "slow"));
+  net.send(NodeId::server(ServerId{1}), NodeId::server(ServerId{0}),
+           plain_envelope("m", "fast-reverse"));
+  net.send(NodeId::server(ServerId{0}), NodeId::server(ServerId{2}),
+           plain_envelope("m", "fast-other"));
+  std::vector<std::pair<std::string, double>> deliveries;
+  net.run([&](NodeId, NodeId, const Envelope& env, bool) {
+    deliveries.emplace_back(to_string(BytesView(env.payload)), net.now_us());
+  });
+  ASSERT_EQ(deliveries.size(), 3u);
+  for (const auto& [what, at] : deliveries) {
+    if (what == "slow") {
+      EXPECT_GE(at, 10000.0);
+    } else {
+      EXPECT_LT(at, 100.0) << what;
+    }
+  }
+}
+
+TEST(SimNet, CrashDropsDeliveriesUntilRecovery) {
+  sim::SimNetConfig cfg;
+  cfg.seed = 13;
+  cfg.link.min_delay_us = 10;
+  cfg.link.max_delay_us = 20;
+  sim::SimNet net(cfg);
+  const NodeId a = NodeId::server(ServerId{0});
+  const NodeId b = NodeId::server(ServerId{1});
+  net.schedule_crash(b, 100);
+  net.schedule_recover(b, 1000);
+  net.send(a, b, plain_envelope("m", "before"));  // lands ~t=15: delivered
+  std::vector<std::string> got;
+  std::vector<std::string> control;
+  net.run(
+      [&](NodeId, NodeId, const Envelope& env, bool) {
+        got.push_back(to_string(BytesView(env.payload)));
+      },
+      [&](const engine::ControlEvent& ev) {
+        control.push_back(ev.kind == engine::ControlEvent::Kind::kCrash ? "crash"
+                                                                        : "recover");
+        if (control.back() == "crash") {
+          // Lands ~15us into the outage: the addressee is dead — lost.
+          net.send(a, b, plain_envelope("m", "during"));
+        } else {
+          net.send(a, b, plain_envelope("m", "after"));
+        }
+      });
+  EXPECT_EQ(got, (std::vector<std::string>{"before", "after"}));
+  EXPECT_EQ(control, (std::vector<std::string>{"crash", "recover"}));
+  EXPECT_EQ(net.stats().lost_down, 1u);
+  EXPECT_FALSE(net.is_down(b));
+}
+
+TEST(SimNet, SequencedSendsDeliverInOrderAndFlagReplay) {
+  sim::SimNetConfig cfg;
+  cfg.seed = 3;
+  cfg.link.min_delay_us = 1;
+  cfg.link.max_delay_us = 2000;  // wild reorder for normal sends
+  sim::SimNet net(cfg);
+  const NodeId a = NodeId::server(ServerId{0});
+  const NodeId b = NodeId::server(ServerId{1});
+  for (int i = 0; i < 8; ++i) {
+    net.send_sequenced(a, b, plain_envelope("m", "seq-" + std::to_string(i)));
+  }
+  std::vector<std::string> order;
+  net.run([&](NodeId, NodeId, const Envelope& env, bool replay) {
+    EXPECT_TRUE(replay);
+    order.push_back(to_string(BytesView(env.payload)));
+  });
+  std::vector<std::string> expected;
+  for (int i = 0; i < 8; ++i) expected.push_back("seq-" + std::to_string(i));
+  EXPECT_EQ(order, expected);  // FIFO despite the chaotic normal-link profile
 }
 
 TEST(SimNet, SelfDeliveryIsIdealAndUnfaulted) {
@@ -150,7 +239,7 @@ TEST(SimNet, SelfDeliveryIsIdealAndUnfaulted) {
   net.send(NodeId::server(ServerId{0}), NodeId::server(ServerId{0}),
            plain_envelope("m", "self"));
   std::size_t delivered = 0;
-  net.run([&](NodeId, NodeId, const Envelope&) { ++delivered; });
+  net.run([&](NodeId, NodeId, const Envelope&, bool) { ++delivered; });
   EXPECT_EQ(delivered, 1u);
   EXPECT_EQ(net.stats().dropped, 0u);
   EXPECT_EQ(net.stats().duplicated, 0u);
