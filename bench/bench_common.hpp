@@ -48,6 +48,13 @@ inline std::uint32_t bench_pipeline() {
   return static_cast<std::uint32_t>(env_size("FIDES_PIPELINE", 1));
 }
 
+/// Speculative voting: FIDES_SPEC=1 drops the apply-watermark gate on round
+/// openings (TFCommit; see ClusterConfig::speculate). Default off.
+inline bool bench_speculate() {
+  const char* v = std::getenv("FIDES_SPEC");
+  return v != nullptr && std::string(v) != "0";
+}
+
 inline std::vector<std::uint64_t> bench_seeds() {
   const std::size_t n = env_size("FIDES_BENCH_SEEDS", 2);
   std::vector<std::uint64_t> seeds;
@@ -79,6 +86,7 @@ inline workload::ExperimentResult run_point(workload::ExperimentConfig cfg) {
   cfg.cluster.sign_data_path = false;  // §6 measures from end-transaction on
   cfg.cluster.num_threads = bench_threads();
   cfg.cluster.pipeline_depth = bench_pipeline();
+  cfg.cluster.speculate = bench_speculate();
   apply_network_env(cfg.cluster);
   const auto seeds = bench_seeds();
   return workload::run_averaged(cfg, seeds);
@@ -138,39 +146,44 @@ inline void pipeline_depth_section(std::uint32_t servers, std::size_t txns_per_b
 
   std::printf("\nPipelined engine: %u servers, %zu blocks x %zu txns, %u threads\n",
               servers, batches.size(), txns_per_block, cfg.num_threads);
-  std::printf("%-8s %-14s %-16s %-10s %s\n", "depth", "wall_ms", "throughput_tps",
-              "speedup", "ledger");
+  std::printf("%-8s %-6s %-14s %-16s %-10s %s\n", "depth", "spec", "wall_ms",
+              "throughput_tps", "speedup", "ledger");
 
   std::vector<DepthRun> runs;
-  for (const std::uint32_t depth : {1u, 2u, 4u}) {
-    ClusterConfig run_cfg = cfg;
-    run_cfg.pipeline_depth = depth;
-    Cluster cluster(run_cfg);
-    cluster.make_client();  // registers the deterministic client key
-    DepthRun run;
-    const PipelineResult result = cluster.run_blocks(batches);
-    run.wall_us = result.wall_us;
-    for (const RoundMetrics& m : result.rounds) {
-      run.decisions.push_back(m.decision);
-      if (m.decision == ledger::Decision::kCommit) run.committed_txns += m.txns_in_block;
-    }
-    for (std::uint32_t i = 0; i < servers; ++i) {
-      const Server& s = cluster.server(ServerId{i});
-      run.log_heads.push_back(s.log().head_hash());
-      run.merkle_roots.push_back(s.shard().merkle_root());
-    }
-    runs.push_back(std::move(run));
+  for (const bool speculate : {false, true}) {
+    for (const std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+      ClusterConfig run_cfg = cfg;
+      run_cfg.pipeline_depth = depth;
+      run_cfg.speculate = speculate;
+      Cluster cluster(run_cfg);
+      cluster.make_client();  // registers the deterministic client key
+      DepthRun run;
+      const PipelineResult result = cluster.run_blocks(batches);
+      run.wall_us = result.wall_us;
+      for (const RoundMetrics& m : result.rounds) {
+        run.decisions.push_back(m.decision);
+        if (m.decision == ledger::Decision::kCommit) run.committed_txns += m.txns_in_block;
+      }
+      for (std::uint32_t i = 0; i < servers; ++i) {
+        const Server& s = cluster.server(ServerId{i});
+        run.log_heads.push_back(s.log().head_hash());
+        run.merkle_roots.push_back(s.shard().merkle_root());
+      }
+      runs.push_back(std::move(run));
 
-    const DepthRun& base = runs.front();
-    const DepthRun& cur = runs.back();
-    const bool identical = cur.same_ledger(base);
-    std::printf("%-8u %-14.2f %-16.0f %-10.2f %s\n", depth, cur.wall_us / 1000.0,
-                cur.committed_txns / (cur.wall_us / 1e6),
-                cur.wall_us > 0 ? base.wall_us / cur.wall_us : 0.0,
-                identical ? "identical" : "DIVERGED");
-    if (!identical) {
-      std::printf("ERROR: pipeline depth %u diverged from depth 1\n", depth);
-      std::exit(1);
+      const DepthRun& base = runs.front();
+      const DepthRun& cur = runs.back();
+      const bool identical = cur.same_ledger(base);
+      std::printf("%-8u %-6s %-14.2f %-16.0f %-10.2f %s\n", depth,
+                  speculate ? "on" : "off", cur.wall_us / 1000.0,
+                  cur.committed_txns / (cur.wall_us / 1e6),
+                  cur.wall_us > 0 ? base.wall_us / cur.wall_us : 0.0,
+                  identical ? "identical" : "DIVERGED");
+      if (!identical) {
+        std::printf("ERROR: pipeline depth %u (spec %s) diverged from depth 1\n",
+                    depth, speculate ? "on" : "off");
+        std::exit(1);
+      }
     }
   }
 
@@ -178,45 +191,63 @@ inline void pipeline_depth_section(std::uint32_t servers, std::size_t txns_per_b
   // at depth > 1, round k+1's opening legs overlap round k's decision/apply
   // legs on the simulated wire, so the virtual span shrinks — a
   // seed-reproducible measurement of protocol-level pipelining, independent
-  // of host core count. (Depth 4 matches depth 2: the vote-needs-previous-
-  // apply data dependency caps effective overlap at two rounds.)
-  std::printf("%-8s %-14s %-16s %-10s %s\n", "depth", "virtual_ms", "virtual_tps",
-              "speedup", "ledger (SimNet)");
+  // of host core count. Gated runs plateau at ~1.2x past depth 2 (the
+  // vote-needs-previous-apply data dependency); speculative voting breaks
+  // that cap, and the sweep *asserts* depth-4 speculation beats the gated
+  // depth-1 baseline by >= 1.5x on the virtual clock.
+  std::printf("%-8s %-6s %-14s %-16s %-10s %s\n", "depth", "spec", "virtual_ms",
+              "virtual_tps", "speedup", "ledger (SimNet)");
   std::vector<DepthRun> sim_runs;
-  for (const std::uint32_t depth : {1u, 2u, 4u}) {
-    ClusterConfig run_cfg = cfg;
-    run_cfg.pipeline_depth = depth;
-    run_cfg.network.mode = sim::NetworkMode::kSimulated;
-    run_cfg.network.sim.seed = env_size("FIDES_SIM_SEED", 1);
-    Cluster cluster(run_cfg);
-    cluster.make_client();
-    DepthRun run;
-    const PipelineResult result = cluster.run_blocks(batches);
-    run.wall_us = cluster.simnet()->now_us();  // virtual span (fresh net starts at 0)
-    for (const RoundMetrics& m : result.rounds) {
-      run.decisions.push_back(m.decision);
-      if (m.decision == ledger::Decision::kCommit) run.committed_txns += m.txns_in_block;
-    }
-    for (std::uint32_t i = 0; i < servers; ++i) {
-      const Server& s = cluster.server(ServerId{i});
-      run.log_heads.push_back(s.log().head_hash());
-      run.merkle_roots.push_back(s.shard().merkle_root());
-    }
-    sim_runs.push_back(std::move(run));
+  double lockstep_d1_us = 0;
+  double spec_d4_us = 0;
+  for (const bool speculate : {false, true}) {
+    for (const std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+      ClusterConfig run_cfg = cfg;
+      run_cfg.pipeline_depth = depth;
+      run_cfg.speculate = speculate;
+      run_cfg.network.mode = sim::NetworkMode::kSimulated;
+      run_cfg.network.sim.seed = env_size("FIDES_SIM_SEED", 1);
+      Cluster cluster(run_cfg);
+      cluster.make_client();
+      DepthRun run;
+      const PipelineResult result = cluster.run_blocks(batches);
+      run.wall_us = cluster.simnet()->now_us();  // virtual span (fresh net starts at 0)
+      for (const RoundMetrics& m : result.rounds) {
+        run.decisions.push_back(m.decision);
+        if (m.decision == ledger::Decision::kCommit) run.committed_txns += m.txns_in_block;
+      }
+      for (std::uint32_t i = 0; i < servers; ++i) {
+        const Server& s = cluster.server(ServerId{i});
+        run.log_heads.push_back(s.log().head_hash());
+        run.merkle_roots.push_back(s.shard().merkle_root());
+      }
+      sim_runs.push_back(std::move(run));
+      if (!speculate && depth == 1) lockstep_d1_us = run.wall_us;
+      if (speculate && depth == 4) spec_d4_us = run.wall_us;
 
-    const DepthRun& cur = sim_runs.back();
-    // Gate against the *direct* depth-1 run too: the simulated schedule must
-    // reproduce the exact same ledger as direct delivery at every depth.
-    const bool identical =
-        cur.same_ledger(sim_runs.front()) && cur.same_ledger(runs.front());
-    std::printf("%-8u %-14.2f %-16.0f %-10.2f %s\n", depth, cur.wall_us / 1000.0,
-                cur.committed_txns / (cur.wall_us / 1e6),
-                cur.wall_us > 0 ? sim_runs.front().wall_us / cur.wall_us : 0.0,
-                identical ? "identical" : "DIVERGED");
-    if (!identical) {
-      std::printf("ERROR: simulated pipeline depth %u diverged\n", depth);
-      std::exit(1);
+      const DepthRun& cur = sim_runs.back();
+      // Gate against the *direct* depth-1 run too: the simulated schedule must
+      // reproduce the exact same ledger as direct delivery at every depth.
+      const bool identical =
+          cur.same_ledger(sim_runs.front()) && cur.same_ledger(runs.front());
+      std::printf("%-8u %-6s %-14.2f %-16.0f %-10.2f %s\n", depth,
+                  speculate ? "on" : "off", cur.wall_us / 1000.0,
+                  cur.committed_txns / (cur.wall_us / 1e6),
+                  cur.wall_us > 0 ? sim_runs.front().wall_us / cur.wall_us : 0.0,
+                  identical ? "identical" : "DIVERGED");
+      if (!identical) {
+        std::printf("ERROR: simulated pipeline depth %u (spec %s) diverged\n",
+                    depth, speculate ? "on" : "off");
+        std::exit(1);
+      }
     }
+  }
+  const double spec_speedup = spec_d4_us > 0 ? lockstep_d1_us / spec_d4_us : 0.0;
+  std::printf("speculative depth-4 virtual speedup over lock-step depth-1: %.2fx\n",
+              spec_speedup);
+  if (spec_speedup < 1.5) {
+    std::printf("ERROR: speculation failed the 1.5x virtual-time bar\n");
+    std::exit(1);
   }
 }
 

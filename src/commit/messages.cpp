@@ -87,6 +87,7 @@ Bytes GetVoteMsg::serialize() const {
   w.u32(static_cast<std::uint32_t>(requests.size()));
   for (const auto& req : requests) encode_signed_end_txn(w, req);
   w.u64(round);
+  w.boolean(spec);
   return std::move(w).take();
 }
 
@@ -95,11 +96,27 @@ std::optional<GetVoteMsg> GetVoteMsg::deserialize(BytesView b) {
     GetVoteMsg m;
     m.partial_block = decode_block(r);
     const std::uint32_t n = r.u32();
-    m.requests.reserve(n);
+    m.requests.reserve(std::min<std::uint32_t>(n, 4096));
     for (std::uint32_t i = 0; i < n; ++i) m.requests.push_back(decode_signed_end_txn(r));
     m.round = r.u64();
+    m.spec = r.boolean();
     return m;
   });
+}
+
+std::uint64_t VoteMsg::base_key() const {
+  if (spec_assumed.empty()) return 0;
+  Writer w;
+  for (const SpecAssumption& a : spec_assumed) {
+    w.u64(a.epoch);
+    w.boolean(a.applied);
+  }
+  w.boolean(spec_base_root.has_value());
+  if (spec_base_root) encode_digest(w, *spec_base_root);
+  const crypto::Digest d = crypto::sha256(w.data());
+  std::uint64_t key = 0;
+  for (std::size_t i = 0; i < 8; ++i) key = (key << 8) | d.bytes[i];
+  return key != 0 ? key : 1;  // 0 is reserved for the empty tag
 }
 
 Bytes VoteMsg::serialize() const {
@@ -111,6 +128,13 @@ Bytes VoteMsg::serialize() const {
   w.str(abort_reason);
   w.boolean(root.has_value());
   if (root) encode_digest(w, *root);
+  w.u32(static_cast<std::uint32_t>(spec_assumed.size()));
+  for (const SpecAssumption& a : spec_assumed) {
+    w.u64(a.epoch);
+    w.boolean(a.applied);
+  }
+  w.boolean(spec_base_root.has_value());
+  if (spec_base_root) encode_digest(w, *spec_base_root);
   return std::move(w).take();
 }
 
@@ -125,6 +149,17 @@ std::optional<VoteMsg> VoteMsg::deserialize(BytesView b) {
     m.vote = static_cast<txn::Vote>(v);
     m.abort_reason = r.str();
     if (r.boolean()) m.root = decode_digest(r);
+    const std::uint32_t na = r.u32();
+    // A forged count must not pre-allocate gigabytes before the truncated
+    // read fails; real tags are bounded by the pipeline window.
+    m.spec_assumed.reserve(std::min<std::uint32_t>(na, 64));
+    for (std::uint32_t i = 0; i < na; ++i) {
+      SpecAssumption a;
+      a.epoch = r.u64();
+      a.applied = r.boolean();
+      m.spec_assumed.push_back(a);
+    }
+    if (r.boolean()) m.spec_base_root = decode_digest(r);
     return m;
   });
 }
@@ -194,7 +229,7 @@ std::optional<PrepareMsg> PrepareMsg::deserialize(BytesView b) {
     PrepareMsg m;
     m.partial_block = decode_block(r);
     const std::uint32_t n = r.u32();
-    m.requests.reserve(n);
+    m.requests.reserve(std::min<std::uint32_t>(n, 4096));
     for (std::uint32_t i = 0; i < n; ++i) m.requests.push_back(decode_signed_end_txn(r));
     return m;
   });

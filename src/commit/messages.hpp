@@ -50,9 +50,27 @@ struct GetVoteMsg {
   /// engine and OrdServ group commit overwrite it with an epoch so ids stay
   /// unique even when aborted rounds reuse heights.
   std::uint64_t round{0};
+  /// Speculative opening (engine pipelining, ClusterConfig::speculate): the
+  /// partial block's height is projected and its prev_hash is unknowable
+  /// (earlier blocks are still deciding). The cohort votes on top of the
+  /// *pending* update set of its in-flight rounds and tags the vote with
+  /// the base it assumed; the true chain position arrives with the
+  /// challenge. When false the opening is chain-anchored, exactly as in
+  /// the paper's lock-step protocol.
+  bool spec{false};
 
   Bytes serialize() const;
   static std::optional<GetVoteMsg> deserialize(BytesView b);
+};
+
+/// One entry of a speculative vote's base tag: the cohort assumed the block
+/// of engine round `epoch` was (or was not) applied to its shard when it
+/// computed OCC validation and the hypothetical root.
+struct SpecAssumption {
+  std::uint64_t epoch{0};
+  bool applied{false};
+
+  friend bool operator==(const SpecAssumption&, const SpecAssumption&) = default;
 };
 
 /// Phase 2 <Vote, SchCommitment>: cohort -> coordinator. Every cohort sends
@@ -65,6 +83,28 @@ struct VoteMsg {
   txn::Vote vote{txn::Vote::kAbort};
   std::string abort_reason;
   std::optional<crypto::Digest> root;  ///< root_mht, iff involved && commit
+
+  /// Speculated base tag: the in-flight rounds (and their assumed
+  /// outcomes) this vote's state was built on, in round order. Empty for a
+  /// vote computed on fully-applied state — including every vote of the
+  /// non-speculative protocol. The coordinator validates each assumption
+  /// against the actual decision before it may count the vote; a vote with
+  /// a mis-speculated base is discarded and the cohort re-votes once the
+  /// truth reaches it.
+  std::vector<SpecAssumption> spec_assumed;
+  /// Predicted root of this cohort's shard for the speculated base (before
+  /// this round's own writes) — the "(epoch, root)" base identity, cross-
+  /// checked against the roots earlier decided blocks actually carried.
+  std::optional<crypto::Digest> spec_base_root;
+
+  /// True iff the vote was computed on a speculated (not yet applied) base.
+  bool speculative() const { return !spec_assumed.empty(); }
+
+  /// 64-bit discriminator of the speculated base, 0 for an empty tag. A
+  /// re-vote after a changed base is a *different logical vote*: it gets its
+  /// own durable log record keyed (epoch, base) and its own wire identity —
+  /// never an equivocation of the original.
+  std::uint64_t base_key() const;
 
   Bytes serialize() const;
   static std::optional<VoteMsg> deserialize(BytesView b);

@@ -59,73 +59,193 @@ VoteMsg TfCommitCohort::handle_get_vote(const GetVoteMsg& msg, const CohortFault
   RoundState state;
   state.involved = involved_in(msg.partial_block);
   state.partial = msg.partial_block;
+  state.spec = msg.spec;
+  state.faults = faults;
 
-  // CoSi commitment over the partial block — every cohort participates in
-  // co-signing even when its shard is untouched (§4.1 simplification).
+  // CoSi commitment over the round's vote identity (txns + witness set) —
+  // every cohort participates in co-signing even when its shard is
+  // untouched (§4.1 simplification). The chain position (height/prev-hash)
+  // is deliberately outside the nonce record: a speculative opening does
+  // not know it yet, and the commitment must come out bit-identical either
+  // way for speculative and gated runs to co-sign identical blocks.
   state.commitment =
-      crypto::cosi_commit(*keypair_, msg.partial_block.signing_bytes(), msg.round);
+      crypto::cosi_commit(*keypair_, msg.partial_block.vote_bytes(), msg.round);
 
+  VoteMsg vote = compute_vote(msg.round, state);
+  store_round(msg.round, std::move(state));
+  if (msg.spec &&
+      std::find(pending_.begin(), pending_.end(), msg.round) == pending_.end()) {
+    pending_.push_back(msg.round);
+  }
+  return vote;
+}
+
+VoteMsg TfCommitCohort::compute_vote(std::uint64_t round, RoundState& state) {
   VoteMsg vote;
   vote.cohort = id_;
   vote.sch_commitment =
-      faults.corrupt_sch_commitment ? bogus_point() : state.commitment.v;
+      state.faults.corrupt_sch_commitment ? bogus_point() : state.commitment.v;
   vote.involved = state.involved;
+  state.assumed.clear();
+  state.base_root.reset();
   if (!state.involved) {
-    state.vote = txn::Vote::kCommit;  // uninvolved cohorts never veto
+    // Uninvolved cohorts never veto — and no in-flight block this round
+    // could stack on touches their shard's relevance, so the vote carries
+    // no speculation tag and can never mis-speculate.
+    state.vote = txn::Vote::kCommit;
     last_vote_ = state.vote;
-    store_round(msg.round, std::move(state));
     return vote;
   }
 
+  // Speculated base: the shard as it would look once the in-flight rounds
+  // below this one resolve the way this cohort predicts. The prediction per
+  // round is the cohort's own vote — it cannot know the other shards'
+  // verdicts — and every assumption is recorded so the coordinator can
+  // check it against the real decisions.
+  store::ShardOverlay base(*shard_);
+  std::vector<std::vector<std::pair<ItemId, Bytes>>> staged;
+  for (const std::uint64_t e : pending_) {
+    if (e == round) break;  // stack strictly below the round being voted
+    const auto it = rounds_.find(e);
+    if (it == rounds_.end()) continue;
+    const RoundState& st = it->second;
+    if (!st.involved) continue;  // cannot touch this shard either way
+    const bool assume_applied = st.vote == txn::Vote::kCommit;
+    state.assumed.push_back(SpecAssumption{e, assume_applied});
+    if (!assume_applied) continue;
+    std::vector<std::pair<ItemId, Bytes>> writes;
+    for (const auto& t : st.partial.txns) {
+      // Mirrors Server::apply_block: install writes, then advance rts on
+      // every touched item.
+      for (const auto& w : t.rw.writes) {
+        if (!shard_->contains(w.id)) continue;
+        base.stage_write(w.id, w.new_value, t.commit_ts);
+        writes.emplace_back(w.id, w.new_value);
+      }
+      for (const ItemId item : t.rw.touched_items()) {
+        if (shard_->contains(item)) base.bump_rts(item, t.commit_ts);
+      }
+    }
+    staged.push_back(std::move(writes));
+  }
+
   // Local 2PC vote: the batch must be internally non-conflicting (§4.6) and
-  // every transaction touching this shard must pass OCC validation.
+  // every transaction touching this shard must pass OCC validation — on the
+  // speculated base, which equals the real shard when nothing is in flight.
   txn::ValidationResult result{txn::Vote::kCommit, {}};
-  if (!batch_non_conflicting(msg.partial_block.txns)) {
+  if (!batch_non_conflicting(state.partial.txns)) {
     result = {txn::Vote::kAbort, "block packs conflicting transactions"};
   }
-  for (const auto& t : msg.partial_block.txns) {
+  for (const auto& t : state.partial.txns) {
     if (!result.ok()) break;
-    result = txn::validate_occ(*shard_, t);
+    result = txn::validate_occ(base, t);
   }
-  if (faults.always_vote_abort) result = {txn::Vote::kAbort, "byzantine veto"};
+  if (state.faults.always_vote_abort) result = {txn::Vote::kAbort, "byzantine veto"};
 
   state.vote = result.vote;
   last_vote_ = result.vote;
   vote.vote = result.vote;
   vote.abort_reason = result.reason;
+  vote.spec_assumed = state.assumed;
   last_root_compute_us_ = 0;
+  state.sent_root.reset();
+  // Thread CPU time: the Figure 14 "MHT update time" series must not be
+  // inflated by time slices when cohorts run concurrently on the pool.
+  const double start = common::thread_cpu_time_us();
+  if (!state.assumed.empty()) {
+    // Base identity: the predicted root of this shard *before* this round's
+    // own writes — what the decided chain must actually produce for the
+    // vote to count.
+    state.base_root = shard_->root_after_chain(staged);
+    vote.spec_base_root = state.base_root;
+  }
   if (result.ok()) {
-    // Hypothetical root: the shard state as if the block committed. The
-    // datastore itself is untouched until the decision arrives.
+    // Hypothetical root: the shard state as if the in-flight base and then
+    // this block committed. The datastore itself is untouched until the
+    // decisions arrive.
     std::vector<std::pair<ItemId, Bytes>> writes;
-    for (const auto& t : msg.partial_block.txns) {
+    for (const auto& t : state.partial.txns) {
       for (const auto& w : t.rw.writes) {
         if (shard_->contains(w.id)) writes.emplace_back(w.id, w.new_value);
       }
     }
-    // Thread CPU time: the Figure 14 "MHT update time" series must not be
-    // inflated by time slices when cohorts run concurrently on the pool.
-    const double start = common::thread_cpu_time_us();
-    state.sent_root = shard_->root_after(writes);
-    last_root_compute_us_ = common::thread_cpu_time_us() - start;
+    staged.push_back(std::move(writes));
+    state.sent_root = shard_->root_after_chain(staged);
     vote.root = state.sent_root;
   }
-  store_round(msg.round, std::move(state));
+  last_root_compute_us_ = common::thread_cpu_time_us() - start;
   return vote;
+}
+
+std::vector<TfCommitCohort::ReVote> TfCommitCohort::resolve_decision(std::uint64_t round,
+                                                                     bool applied) {
+  std::vector<ReVote> revotes;
+  const auto pos = std::find(pending_.begin(), pending_.end(), round);
+  if (pos == pending_.end()) return revotes;
+  pending_.erase(pos);
+  // Recompute in round order: a re-vote of round m feeds the prediction an
+  // even later round's re-vote stacks on.
+  for (const std::uint64_t later : pending_) {
+    if (later < round) continue;
+    const auto it = rounds_.find(later);
+    if (it == rounds_.end()) continue;
+    RoundState& st = it->second;
+    if (!st.involved) continue;
+    const auto a = std::find_if(st.assumed.begin(), st.assumed.end(),
+                                [&](const SpecAssumption& s) { return s.epoch == round; });
+    if (a == st.assumed.end() || a->applied == applied) continue;  // prediction held
+    ReVote rv;
+    rv.round = later;
+    rv.vote = compute_vote(later, st);
+    revotes.push_back(std::move(rv));
+  }
+  return revotes;
 }
 
 ResponseMsg TfCommitCohort::handle_challenge(const ChallengeMsg& msg,
                                              const CohortFaults& faults) {
-  ResponseMsg resp;
-  resp.cohort = id_;
-
-  const RoundState* found = find_round(msg.block);
+  RoundState* found = find_round(msg.block);
   if (found == nullptr) {
+    ResponseMsg resp;
+    resp.cohort = id_;
     resp.refused = true;
     resp.refusal_reason = "challenge received without a pending round";
     return resp;
   }
-  const RoundState& state = *found;
+  return respond_to_challenge(*found, msg, faults);
+}
+
+ResponseMsg TfCommitCohort::handle_challenge(std::uint64_t round, const ChallengeMsg& msg,
+                                             const CohortFaults& faults) {
+  ResponseMsg resp;
+  resp.cohort = id_;
+  const auto it = rounds_.find(round);
+  if (it == rounds_.end()) {
+    resp.refused = true;
+    resp.refusal_reason = "challenge received without a pending round";
+    return resp;
+  }
+  RoundState& state = it->second;
+  // A speculative opening carried a projected height and no prev-hash; the
+  // completed block pins the real chain position, which this cohort checks
+  // at apply time instead. Everything content-ful must still match the
+  // opening it voted on.
+  const bool match =
+      state.partial.txns == msg.block.txns && state.partial.signers == msg.block.signers &&
+      (state.spec || (state.partial.height == msg.block.height &&
+                      state.partial.prev_hash == msg.block.prev_hash));
+  if (!match) {
+    resp.refused = true;
+    resp.refusal_reason = "challenge block does not match the round I voted on";
+    return resp;
+  }
+  return respond_to_challenge(state, msg, faults);
+}
+
+ResponseMsg TfCommitCohort::respond_to_challenge(RoundState& state, const ChallengeMsg& msg,
+                                                 const CohortFaults& faults) {
+  ResponseMsg resp;
+  resp.cohort = id_;
 
   const Block& block = msg.block;
 
@@ -171,11 +291,23 @@ ResponseMsg TfCommitCohort::handle_challenge(const ChallengeMsg& msg,
     }
   }
 
+  // Nonce protection: the deterministic round nonce must never answer two
+  // distinct challenges (a second response under the same nonce would leak
+  // the key). Deterministic restarts re-ask the identical challenge, which
+  // re-derives the identical response.
+  if (state.responded && !(state.responded_challenge == msg.challenge)) {
+    resp.refused = true;
+    resp.refusal_reason = "already responded to a different challenge this round";
+    return resp;
+  }
+
   crypto::U256 r =
       crypto::cosi_respond(*keypair_, state.commitment.secret, msg.challenge);
   if (faults.corrupt_sch_response) {
     r = crypto::U256(0xBADBAD);
   }
+  state.responded = true;
+  state.responded_challenge = msg.challenge;
   resp.sch_response = r;
   return resp;
 }
@@ -184,7 +316,12 @@ void TfCommitCohort::store_round(std::uint64_t round, RoundState state) {
   rounds_[round] = std::move(state);
   // Bounded memory: only the pipeline window (plus stale redeliveries) is
   // ever consulted; evict the oldest rounds beyond it.
-  while (rounds_.size() > kMaxRounds) rounds_.erase(rounds_.begin());
+  while (rounds_.size() > kMaxRounds) {
+    const std::uint64_t evicted = rounds_.begin()->first;
+    const auto pos = std::find(pending_.begin(), pending_.end(), evicted);
+    if (pos != pending_.end()) pending_.erase(pos);
+    rounds_.erase(rounds_.begin());
+  }
 }
 
 bool TfCommitCohort::has_pending(std::uint64_t round, const Block& partial) const {
@@ -192,7 +329,7 @@ bool TfCommitCohort::has_pending(std::uint64_t round, const Block& partial) cons
   return it != rounds_.end() && it->second.partial == partial;
 }
 
-const TfCommitCohort::RoundState* TfCommitCohort::find_round(const Block& block) const {
+TfCommitCohort::RoundState* TfCommitCohort::find_round(const Block& block) {
   // The completed block differs from the stored partial exactly in the
   // fields the coordinator fills (decision, roots, cosign) — including an
   // equivocating coordinator's variants, which the caller must still
@@ -211,6 +348,10 @@ const TfCommitCohort::RoundState* TfCommitCohort::find_round(const Block& block)
   return nullptr;
 }
 
+const TfCommitCohort::RoundState* TfCommitCohort::find_round(const Block& block) const {
+  return const_cast<TfCommitCohort*>(this)->find_round(block);
+}
+
 const Block* TfCommitCohort::partial_of(std::uint64_t round) const {
   const auto it = rounds_.find(round);
   return it == rounds_.end() ? nullptr : &it->second.partial;
@@ -220,7 +361,10 @@ std::optional<crypto::AffinePoint> TfCommitCohort::term_commitment(
     std::uint64_t round) const {
   const auto it = rounds_.find(round);
   if (it == rounds_.end()) return std::nullopt;
-  return crypto::cosi_commit(*keypair_, it->second.partial.signing_bytes(),
+  // Same record discipline as the vote commitment (the termination block's
+  // chain position can be fixed up after a speculative opening); the
+  // distinct term_round id keeps the nonce domains apart.
+  return crypto::cosi_commit(*keypair_, it->second.partial.vote_bytes(),
                              term_round(round))
       .v;
 }
@@ -237,10 +381,14 @@ ResponseMsg TfCommitCohort::handle_term_challenge(std::uint64_t round,
     return resp;
   }
   const Block& mine = it->second.partial;
-  if (msg.block.height != mine.height || !(msg.block.prev_hash == mine.prev_hash) ||
-      !(msg.block.txns == mine.txns)) {
-    // Signers legitimately shrink to the survivor set; nothing else may
-    // differ from the opening this cohort received.
+  // Signers legitimately shrink to the survivor set, and for a speculative
+  // opening the backup fills in the real chain position (the projected
+  // height/absent prev-hash in the opening could never match); nothing else
+  // may differ from the opening this cohort received.
+  const bool chain_ok =
+      it->second.spec ||
+      (msg.block.height == mine.height && msg.block.prev_hash == mine.prev_hash);
+  if (!chain_ok || !(msg.block.txns == mine.txns)) {
     resp.refused = true;
     resp.refusal_reason = "termination block does not match the opening I received";
     return resp;
@@ -261,7 +409,7 @@ ResponseMsg TfCommitCohort::handle_term_challenge(std::uint64_t round,
   }
 
   const crypto::CosiCommitment nonce = crypto::cosi_commit(
-      *keypair_, it->second.partial.signing_bytes(), term_round(round));
+      *keypair_, it->second.partial.vote_bytes(), term_round(round));
   resp.sch_response = crypto::cosi_respond(*keypair_, nonce.secret, msg.challenge);
   return resp;
 }

@@ -63,6 +63,17 @@ struct CoordinatorFaults {
 /// crashed server rebuilds it by reprocessing the (retransmitted) get_vote
 /// — deterministic nonces make the rebuilt commitments bit-identical to the
 /// lost ones.
+///
+/// Speculative voting (GetVoteMsg::spec): a speculative opening arrives
+/// while earlier rounds this cohort has voted on are still deciding. The
+/// cohort predicts each in-flight block's fate from its own vote (it never
+/// vetoed a block it voted commit on; another cohort still might), stacks
+/// the predicted-applied update sets into a store::ShardOverlay + chained
+/// Merkle overlay, and votes against that base — tagging the vote with the
+/// exact assumptions so the coordinator can validate them against the real
+/// decisions. resolve_decision() is the truth feed: when an assumption
+/// proves wrong, the affected later votes are recomputed on the corrected
+/// base and re-sent as *new* logical votes (new (epoch, base) log records).
 class TfCommitCohort {
  public:
   TfCommitCohort(ServerId id, const crypto::KeyPair& keypair, store::Shard& shard)
@@ -78,6 +89,27 @@ class TfCommitCohort {
   /// (root echo, decision/roots consistency, challenge correctness) and
   /// responds or refuses.
   ResponseMsg handle_challenge(const ChallengeMsg& msg, const CohortFaults& faults = {});
+
+  /// Engine variant: the challenge of engine round `round` (the dispatcher
+  /// knows the epoch from the wire frame). Required for speculative rounds,
+  /// whose stored partial carries a projected height and no prev-hash — the
+  /// completed block's chain position cannot identify them by content.
+  ResponseMsg handle_challenge(std::uint64_t round, const ChallengeMsg& msg,
+                               const CohortFaults& faults = {});
+
+  /// A recomputed vote for a round whose speculated base proved wrong.
+  struct ReVote {
+    std::uint64_t round{0};
+    VoteMsg vote;
+  };
+
+  /// Truth feed for speculation: round `round` decided, and `applied` says
+  /// whether its block changed this shard (committed with a valid co-sign).
+  /// Pops the round off the pending stack and recomputes the vote of every
+  /// later in-flight round whose last vote assumed the opposite — those
+  /// come back as ReVotes the caller must log (vote-once per (epoch, base))
+  /// and re-send. No-op for gated (non-speculative) rounds.
+  std::vector<ReVote> resolve_decision(std::uint64_t round, bool applied);
 
   /// Whether this cohort's shard is touched by any transaction in `block`.
   bool involved_in(const Block& block) const;
@@ -129,6 +161,18 @@ class TfCommitCohort {
     txn::Vote vote{txn::Vote::kAbort};
     bool involved{false};
     Block partial;  ///< as received; the termination backup's block source
+    /// Speculative round: partial.height is projected, prev_hash unknowable.
+    bool spec{false};
+    /// Faults in force when the opening was processed (re-votes must deviate
+    /// — or not — exactly like the original vote did).
+    CohortFaults faults;
+    /// Base tag of the last vote computed for this round.
+    std::vector<SpecAssumption> assumed;
+    std::optional<crypto::Digest> base_root;
+    /// Nonce protection: at most one distinct challenge is ever answered per
+    /// round (deterministic restarts re-ask the identical challenge).
+    bool responded{false};
+    crypto::U256 responded_challenge;
   };
 
   /// Nonce round id of the termination CoSi exchange for `round`.
@@ -142,17 +186,30 @@ class TfCommitCohort {
   /// hash, signers, txns — everything the coordinator does not fill in);
   /// the height probe is just a cheap first guess before the scan over the
   /// at-most-kMaxRounds live entries, and only the content match decides.
+  RoundState* find_round(const Block& block);
   const RoundState* find_round(const Block& block) const;
+
+  /// OCC + hypothetical root over the (possibly speculated) base, shared by
+  /// the first vote and every re-vote of a round. Reads the pending stack
+  /// strictly below `round` and records the assumption tag into `state`.
+  VoteMsg compute_vote(std::uint64_t round, RoundState& state);
+
+  /// The §4.3.1 phase-4 verification against one round's stored state.
+  ResponseMsg respond_to_challenge(RoundState& state, const ChallengeMsg& msg,
+                                   const CohortFaults& faults);
 
   ServerId id_;
   const crypto::KeyPair* keypair_;
   store::Shard* shard_;
 
   std::map<std::uint64_t, RoundState> rounds_;  ///< bounded (see kMaxRounds)
+  /// Speculative rounds opened but not yet resolved, in round order — the
+  /// overlay stack later speculative votes build on.
+  std::vector<std::uint64_t> pending_;
   txn::Vote last_vote_{txn::Vote::kAbort};
   double last_root_compute_us_{0};
 
-  static constexpr std::size_t kMaxRounds = 8;
+  static constexpr std::size_t kMaxRounds = 16;  ///< >= max pipeline depth + slack
 };
 
 /// Result of a full TFCommit round at the coordinator.
@@ -182,6 +239,14 @@ class TfCommitCoordinator {
                                   std::vector<ServerId> signers);
 
   GetVoteMsg start(Block partial_block, std::vector<SignedEndTxn> requests);
+
+  /// Pins the real chain position of a speculatively opened round (the
+  /// opening carried a projected height and no prev-hash) — must run before
+  /// on_votes() computes the challenge over the completed block.
+  void rebase(std::uint64_t height, const crypto::Digest& prev_hash) {
+    block_.height = height;
+    block_.prev_hash = prev_hash;
+  }
 
   /// Phase 3: consumes all votes (one per cohort, in cohort order) and
   /// produces the challenge messages. An honest coordinator broadcasts —

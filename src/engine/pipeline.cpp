@@ -64,6 +64,14 @@ bool opens_round(const std::string& type) {
   return type == "tf_get_vote" || type == "2pc_prepare";
 }
 
+/// Decision-shaped TFCommit messages. The speculative pipeline gates these
+/// per server (decisions apply strictly in round order — with the opening
+/// gate dropped, a later round's decision can otherwise overtake an earlier
+/// one on a reordering network and be lost as kFuture).
+bool is_tf_decision(const std::string& type) {
+  return type == "tf_decision" || type == "tf_term_decision";
+}
+
 /// Transition-triggered crash points, shared by the commit pipeline and the
 /// checkpoint dispatcher: after `dst` finished processing a delivery of
 /// `type`, fell a configured crash on it. Returns true if the node died.
@@ -88,7 +96,7 @@ void apply_crash(Cluster& cluster, Scheduler& sched, NodeId node) {
   }
 }
 
-class CommitPipeline final : public Dispatcher, public RoundObserver {
+class CommitPipeline final : public Dispatcher, public RoundObserver, public SpecContext {
  public:
   CommitPipeline(Cluster& cluster, Protocol protocol,
                  std::vector<std::vector<commit::SignedEndTxn>> batches,
@@ -98,16 +106,32 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
         n_(cluster.num_servers()),
         coord_(cluster.coordinator_id().value),
         depth_(std::max<std::uint32_t>(1, cluster.config().pipeline_depth)),
+        speculate_(cluster.config().speculate && protocol == Protocol::kTfCommit),
         base_height_(cluster.server(cluster.coordinator_id()).log().size()),
         watermark_(n_, 0),
-        held_(n_) {
+        opened_(n_, 0),
+        held_(n_),
+        held_dec_(n_),
+        dec_height_(base_height_),
+        dec_head_(cluster.server(cluster.coordinator_id()).log().head_hash()),
+        shard_roots_(n_) {
+    if (speculate_) {
+      // Authoritative shard roots start from the live servers' trees; a
+      // committed block's Σroots advance them as rounds decide.
+      for (std::uint32_t i = 0; i < n_; ++i) {
+        if (!cluster.is_crashed(ServerId{i})) {
+          shard_roots_[i] = cluster.server(ServerId{i}).shard().merkle_root();
+        }
+      }
+    }
     rounds_.reserve(batches.size());
     for (auto& batch : batches) {
       const std::uint64_t epoch = cluster.epochs().reserve();
       RoundState rs;
       rs.epoch = epoch;
       if (protocol == Protocol::kTfCommit) {
-        rs.reactor = std::make_unique<TfCommitRound>(cluster, epoch, std::move(batch), this);
+        rs.reactor = std::make_unique<TfCommitRound>(cluster, epoch, std::move(batch),
+                                                     this, speculate_ ? this : nullptr);
       } else {
         rs.reactor = std::make_unique<TwoPhaseRound>(cluster, epoch, std::move(batch), this);
       }
@@ -171,8 +195,16 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
         // The probe raced recovery; only a still-dead coordinator triggers
         // cohort-driven termination.
         if (!cluster_->is_crashed(ServerId{ev.node.id})) break;
-        for (RoundState& rs : incomplete_started_rounds()) {
-          rs.reactor->begin_termination(out);
+        if (!speculate_) {
+          for (RoundState& rs : incomplete_started_rounds()) {
+            rs.reactor->begin_termination(out);
+          }
+        } else {
+          // Speculative windows can hold several undecided rounds; their
+          // co-signed aborts must chain, so terminations run one at a time
+          // in round order (on_outcome starts the next).
+          term_mode_ = true;
+          begin_next_termination(out);
         }
         break;
     }
@@ -182,16 +214,25 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
 
   void on_decision_processed(std::uint64_t epoch, std::uint32_t server) override {
     std::vector<Held> flush;
+    std::size_t new_watermark = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       const std::size_t k = epoch_to_round_.at(epoch);
-      // Decisions are processed in round order at every server (round k+1's
-      // vote is gated on round k's decision), so the watermark is a count.
+      // Decisions are processed in round order at every server (gated —
+      // round k+1's opening in lock-step mode, round k+1's decision under
+      // speculation), so the watermark is a count.
       watermark_[server] = std::max<std::size_t>(watermark_[server], k + 1);
-      auto& hq = held_[server];
-      while (!hq.empty() && watermark_[server] >= hq.front().round) {
-        flush.push_back(std::move(hq.front()));
-        hq.pop_front();
+      new_watermark = watermark_[server];
+      // Flush everything now admissible. The queue is scanned, not just its
+      // head: a reordering network can enqueue round k+2 ahead of k+1.
+      auto& hq = speculate_ ? held_dec_[server] : held_[server];
+      for (auto it = hq.begin(); it != hq.end();) {
+        if (it->round <= watermark_[server]) {
+          flush.push_back(std::move(*it));
+          it = hq.erase(it);
+        } else {
+          ++it;
+        }
       }
       RoundState& rs = rounds_[k];
       if (++rs.processed == n_) {
@@ -201,9 +242,9 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
       }
     }
     launch_ready();
-    // Flushed openings run here, on `server`'s serialized context (this
+    // Flushed messages run here, on `server`'s serialized context (this
     // callback sits inside that server's decision handler), preserving the
-    // apply-before-vote order the gate exists for.
+    // in-order processing the gate exists for.
     for (Held& h : flush) {
       RoundReactor* reactor = nullptr;
       {
@@ -212,6 +253,94 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
       }
       deliver(*reactor, h.src, h.dst, h.env, sched_->outbox());
     }
+    if (speculate_) {
+      // Processing a decision implies the round's opening phase is behind
+      // this server (decided rounds never replay their openings, so the
+      // opening watermark must ride on the apply watermark or recovery
+      // would gate held openings forever).
+      note_opened(server, new_watermark - 1, sched_->outbox());
+    }
+  }
+
+  void on_outcome(std::uint64_t epoch, const ledger::Block& block, bool appended,
+                  Outbox& out) override {
+    if (!speculate_) return;
+    RoundReactor* next = nullptr;
+    bool terminate = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const std::size_t k = epoch_to_round_.at(epoch);
+      RoundState& rs = rounds_[k];
+      if (rs.decided) return;  // a restarted round re-decides deterministically
+      rs.decided = true;
+      rs.applied = appended && block.committed();
+      if (appended) {
+        dec_height_ = block.height + 1;
+        dec_head_ = block.digest();
+      }
+      if (rs.applied) {
+        for (const auto& r : block.roots) {
+          if (r.server.value < n_) shard_roots_[r.server.value] = r.root;
+        }
+      }
+      ++decided_rounds_;
+      if (decided_rounds_ < rounds_.size()) {
+        RoundState& nrs = rounds_[decided_rounds_];
+        if (nrs.started && nrs.processed < n_) next = nrs.reactor.get();
+      }
+      terminate = term_mode_ && cluster_->is_crashed(ServerId{coord_});
+    }
+    // Outside the lock: the next round validates its buffered votes (and
+    // may fire its challenge) — or, mid-termination, the survivors take it
+    // over now that its chain position is pinned.
+    if (next != nullptr) {
+      if (terminate) {
+        next->begin_termination(out);
+      } else {
+        next->on_base_resolved(out);
+      }
+    }
+  }
+
+  // --- SpecContext ------------------------------------------------------------
+
+  SpecContext::ChainPos opening_base(std::uint64_t epoch) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t k = epoch_to_round_.at(epoch);
+    const std::size_t undecided = k - std::min(decided_rounds_, k);
+    ChainPos pos;
+    // Projection: every undecided round below appends one block. A rejected
+    // block (invalid co-sign) makes later projected heights overshoot —
+    // harmless, cohorts treat speculative heights as advisory and the
+    // challenge carries the real position.
+    pos.height = dec_height_ + undecided;
+    pos.prev_hash = undecided == 0 ? dec_head_ : crypto::Digest::zero();
+    return pos;
+  }
+
+  bool base_resolved(std::uint64_t epoch) const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return decided_rounds_ >= epoch_to_round_.at(epoch);
+  }
+
+  std::optional<bool> applied(std::uint64_t epoch) const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = epoch_to_round_.find(epoch);
+    if (it == epoch_to_round_.end()) return std::nullopt;
+    const RoundState& rs = rounds_[it->second];
+    if (!rs.decided) return std::nullopt;
+    return rs.applied;
+  }
+
+  const crypto::Digest* shard_root(std::uint32_t server) const override {
+    // Read/written only on the coordinator's serialized context.
+    if (server >= n_ || !shard_roots_[server].has_value()) return nullptr;
+    return &*shard_roots_[server];
+  }
+
+  SpecContext::ChainPos decided_base() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ChainPos{dec_height_, dec_head_};
   }
 
  private:
@@ -220,6 +349,8 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
     std::uint64_t epoch{0};
     bool started{false};
     std::uint32_t processed{0};  ///< servers that handled the decision
+    bool decided{false};         ///< outcome exists (speculative bookkeeping)
+    bool applied{false};         ///< block committed with a valid co-sign
     Clock::time_point wall_start;
     Clock::time_point wall_end;
     bool has_virtual_time{false};
@@ -238,6 +369,7 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
     const auto epoch = peek_epoch(env.payload);
     if (!epoch.has_value()) return;  // not an engine frame; unreachable for sealed traffic
     RoundReactor* reactor = nullptr;
+    std::size_t round_index = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       // Replay deliveries are the recovery catch-up stream: deliberate
@@ -248,14 +380,69 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
       const auto it = epoch_to_round_.find(*epoch);
       if (it == epoch_to_round_.end()) return;  // stale epoch from another run
       const std::size_t k = it->second;
-      if (opens_round(env.type) && dst.kind == NodeId::Kind::kServer &&
-          watermark_[dst.id] < k) {
-        held_[dst.id].push_back(Held{src, dst, env, k});
-        return;
+      round_index = k;
+      if (dst.kind == NodeId::Kind::kServer) {
+        if (opens_round(env.type)) {
+          // Lock-step: hold round k's opening until k-1's decision applied
+          // (votes build on applied state). Speculating: hold only until
+          // the previous *opening* was processed — votes build on the
+          // pending overlay, but the stack must grow in round order.
+          if (speculate_ && watermark_[dst.id] > k) {
+            // The round is already over at this server (it processed the
+            // decision — a terminated round, or recovery replay): a late
+            // opening must not enter the pending stack.
+            return;
+          }
+          const std::size_t gate = speculate_ ? opened_[dst.id] : watermark_[dst.id];
+          if (gate < k) {
+            held_[dst.id].push_back(Held{src, dst, env, k});
+            return;
+          }
+        } else if (speculate_ && is_tf_decision(env.type) && watermark_[dst.id] < k) {
+          // With the opening gate dropped, decisions can overtake each
+          // other; they must still apply strictly in round order.
+          held_dec_[dst.id].push_back(Held{src, dst, env, k});
+          return;
+        }
       }
       reactor = rounds_[k].reactor.get();
     }
     deliver(*reactor, src, dst, env, out);
+    if (speculate_ && opens_round(env.type) && dst.kind == NodeId::Kind::kServer) {
+      note_opened(dst.id, round_index, out);
+    }
+  }
+
+  /// The cohort processed round k's opening: advance its opening watermark
+  /// and release the next held opening (recursing until the queue is in
+  /// step again — held entries can sit out of round order after reordering).
+  void note_opened(std::uint32_t server, std::size_t k, Outbox& out) {
+    std::optional<Held> next;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (opened_[server] < k + 1) opened_[server] = k + 1;
+      auto& hq = held_[server];
+      for (auto it = hq.begin(); it != hq.end();) {
+        if (it->round < watermark_[server]) {
+          it = hq.erase(it);  // the round decided while its opening was held
+        } else if (it->round <= opened_[server]) {
+          next = std::move(*it);
+          hq.erase(it);
+          break;
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (next.has_value()) {
+      RoundReactor* reactor = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        reactor = rounds_[next->round].reactor.get();
+      }
+      deliver(*reactor, next->src, next->dst, next->env, out);
+      note_opened(server, next->round, out);
+    }
   }
 
   void deliver(RoundReactor& reactor, NodeId src, NodeId dst, const Envelope& env,
@@ -274,7 +461,10 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
   void handle_crash(NodeId node) {
     apply_crash(*cluster_, *sched_, node);
     std::lock_guard<std::mutex> lock(mutex_);
-    if (node.kind == NodeId::Kind::kServer && node.id < n_) held_[node.id].clear();
+    if (node.kind == NodeId::Kind::kServer && node.id < n_) {
+      held_[node.id].clear();
+      held_dec_[node.id].clear();
+    }
   }
 
   void handle_recover(NodeId node, Outbox& out) {
@@ -289,6 +479,7 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
       std::lock_guard<std::mutex> lock(mutex_);
       dedup_.forget_dst(node);
       held_[node.id].clear();
+      held_dec_[node.id].clear();
       // The apply watermark is *recovered from the durable log*: blocks the
       // server re-ingested during restore are exactly the decisions it had
       // processed, so pipelined depth-K runs resume where the log says.
@@ -297,6 +488,10 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
         watermark_[node.id] =
             std::max<std::size_t>(watermark_[node.id], durable - base_height_);
       }
+      // The pending-opening stack died with the node; the replay stream
+      // re-supplies openings from the watermark up, and the gate must make
+      // it re-process them in round order.
+      opened_[node.id] = watermark_[node.id];
       if (node.id == coord_) {
         // A restarted round re-asks everything; let the re-asks through.
         for (const RoundState& rs : rounds_) {
@@ -324,6 +519,17 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
       if (rs.started && rs.processed < n_) out.emplace_back(rs);
     }
     return out;
+  }
+
+  /// First started round that has no outcome yet gets terminated; the rest
+  /// follow one by one as on_outcome advances the decided chain (their
+  /// abort blocks must extend it). Sim mode only.
+  void begin_next_termination(Outbox& out) {
+    for (RoundState& rs : rounds_) {
+      if (!rs.started || rs.processed >= n_ || rs.decided) continue;
+      rs.reactor->begin_termination(out);
+      return;
+    }
   }
 
   /// Starts every admissible round. Starts execute on the coordinator's
@@ -357,8 +563,10 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
   bool can_start_locked(std::size_t k) const {
     // A dead coordinator admits nothing; admission resumes with recovery.
     if (cluster_->is_crashed(ServerId{coord_})) return false;
-    // Coordinator gate: its log head must already name round k's prev-hash.
-    if (k > 0 && watermark_[coord_] < k) return false;
+    // Coordinator gate (lock-step only): its log head must already name
+    // round k's prev-hash. A speculative opening projects the position, so
+    // admission is bounded by the depth window alone.
+    if (!speculate_ && k > 0 && watermark_[coord_] < k) return false;
     // Depth gate: started-but-incomplete rounds stay under the limit.
     return k - completed_ < depth_;
   }
@@ -368,16 +576,28 @@ class CommitPipeline final : public Dispatcher, public RoundObserver {
   std::uint32_t n_;
   std::uint32_t coord_;
   std::uint32_t depth_;
+  bool speculate_;           ///< ClusterConfig::speculate, TFCommit only
   std::size_t base_height_;  ///< ledger height when this pipeline began
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::vector<RoundState> rounds_;
   std::unordered_map<std::uint64_t, std::size_t> epoch_to_round_;
   Dedup dedup_;
   std::vector<std::size_t> watermark_;  ///< per server: decisions processed
+  std::vector<std::size_t> opened_;     ///< per server: openings processed (spec)
   std::vector<std::deque<Held>> held_;  ///< per server: gated openings
+  std::vector<std::deque<Held>> held_dec_;  ///< per server: gated decisions (spec)
   std::size_t next_to_start_{0};
   std::size_t completed_{0};
+
+  // Decided-chain registry (speculation): what the coordinator knows once a
+  // round's outcome exists — the chain head every later opening projects
+  // from, and the authoritative per-shard roots vote tags validate against.
+  std::uint64_t dec_height_{0};
+  crypto::Digest dec_head_;
+  std::size_t decided_rounds_{0};
+  std::vector<std::optional<crypto::Digest>> shard_roots_;
+  bool term_mode_{false};  ///< coordinator-death terminations in progress
 };
 
 /// Single-round dispatcher for the checkpoint CoSi round.

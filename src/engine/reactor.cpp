@@ -27,6 +27,22 @@ std::vector<ServerId> all_server_ids(std::uint32_t n) {
   return ids;
 }
 
+/// Wire type of a TFCommit vote. Speculative re-votes are distinct logical
+/// messages: the base key lands in the type tag so the engine's at-most-once
+/// filter (keyed on sender/receiver/type/epoch) admits one copy of *each*
+/// vote variant instead of swallowing the corrected vote as a duplicate.
+std::string tf_vote_type(std::uint64_t base) {
+  if (base == 0) return "tf_vote";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "tf_vote~%016llx",
+                static_cast<unsigned long long>(base));
+  return buf;
+}
+
+bool is_tf_vote_type(const std::string& type) {
+  return type == "tf_vote" || type.compare(0, 8, "tf_vote~") == 0;
+}
+
 }  // namespace
 
 RoundReactor::RoundReactor(Cluster& cluster, std::uint64_t epoch, RoundObserver* observer)
@@ -39,8 +55,7 @@ RoundReactor::RoundReactor(Cluster& cluster, std::uint64_t epoch, RoundObserver*
       observer_(observer),
       cohort_us_(n_, 0),
       cohort_mht_us_(n_, 0),
-      vote_bytes_seen_(n_),
-      vote_noted_(n_, 0) {}
+      vote_bytes_seen_(n_) {}
 
 Envelope RoundReactor::seal_framed(const Server& sender, const char* type,
                                    BytesView payload) const {
@@ -55,14 +70,13 @@ void RoundReactor::broadcast(Outbox& out, const Envelope& env) {
   }
 }
 
-void RoundReactor::note_vote_bytes(std::uint32_t src, BytesView payload) {
+void RoundReactor::note_vote_bytes(std::uint32_t src, std::uint64_t base,
+                                   BytesView payload) {
   if (src >= n_) return;
-  if (!vote_noted_[src]) {
-    vote_noted_[src] = 1;
-    vote_bytes_seen_[src].assign(payload.begin(), payload.end());
-    return;
-  }
-  const Bytes& first = vote_bytes_seen_[src];
+  const auto [it, fresh] = vote_bytes_seen_[src].emplace(
+      base, Bytes(payload.begin(), payload.end()));
+  if (fresh) return;
+  const Bytes& first = it->second;
   const bool same = first.size() == payload.size() &&
                     std::equal(first.begin(), first.end(), payload.begin());
   if (!same) {
@@ -74,7 +88,8 @@ void RoundReactor::note_vote_bytes(std::uint32_t src, BytesView payload) {
 
 void RoundReactor::decision_processed(Server& server, const char* msg_type,
                                       const ledger::Block& block,
-                                      Server::ApplyResult result) {
+                                      Server::ApplyResult result,
+                                      const std::function<void()>& on_resolved) {
   if (result == Server::ApplyResult::kApplied) {
     server.record_decision(epoch_, msg_type, block);
   }
@@ -83,9 +98,16 @@ void RoundReactor::decision_processed(Server& server, const char* msg_type,
   // kStale was counted when the block was first applied; kFuture is an
   // out-of-order straggler the recovery replay will re-supply in order —
   // counting either would advance the watermark for work not done.
-  if ((result == Server::ApplyResult::kApplied ||
-       result == Server::ApplyResult::kRejected) &&
-      observer_ != nullptr) {
+  if (result != Server::ApplyResult::kApplied &&
+      result != Server::ApplyResult::kRejected) {
+    return;
+  }
+  // Speculation re-votes (when any) must leave before the observer runs:
+  // advancing the watermark can flush the *next* held decision into this
+  // server inline, and the re-votes must reflect this round's state, not a
+  // later one's.
+  if (on_resolved) on_resolved();
+  if (observer_ != nullptr) {
     observer_->on_decision_processed(epoch_, server.id().value);
   }
 }
@@ -101,14 +123,16 @@ void RoundReactor::finalize() {
 
 TfCommitRound::TfCommitRound(Cluster& cluster, std::uint64_t epoch,
                              std::vector<commit::SignedEndTxn> batch,
-                             RoundObserver* observer)
+                             RoundObserver* observer, SpecContext* spec)
     : RoundReactor(cluster, epoch, observer),
       batch_(std::move(batch)),
       pristine_batch_(batch_),
       cohort_ids_(all_server_ids(cluster.num_servers())),
       coordinator_(cohort_ids_, cluster.server_keys()),
+      spec_(spec),
       votes_(n_),
       vote_in_(n_, 0),
+      buffered_votes_(n_),
       responses_(n_),
       resp_in_(n_, 0),
       term_live_(n_, 0),
@@ -127,17 +151,30 @@ void TfCommitRound::start(Outbox& out) {
   Server& coord = cluster_->server(coord_id_);
 
   // Phase 1 <GetVote, SchAnnouncement> — assembled against the
-  // coordinator's current log head; everything after reacts to deliveries.
+  // coordinator's current log head (or, speculating, the projected chain
+  // position); everything after reacts to deliveries. The partial is cached
+  // so a restart after a coordinator crash re-broadcasts the identical
+  // opening even though the chain may have moved on since.
   const auto t0 = Clock::now();
-  commit::Block partial = commit::TfCommitCoordinator::make_partial_block(
-      coord.log().size(), coord.log().head_hash(), commit::batch_txns(batch_),
-      cohort_ids_);
+  if (!first_partial_.has_value()) {
+    if (spec_ != nullptr) {
+      const SpecContext::ChainPos base = spec_->opening_base(epoch_);
+      first_partial_ = commit::TfCommitCoordinator::make_partial_block(
+          base.height, base.prev_hash, commit::batch_txns(batch_), cohort_ids_);
+    } else {
+      first_partial_ = commit::TfCommitCoordinator::make_partial_block(
+          coord.log().size(), coord.log().head_hash(), commit::batch_txns(batch_),
+          cohort_ids_);
+    }
+  }
+  commit::Block partial = *first_partial_;
   height_ = partial.height;
   commit::GetVoteMsg get_vote = coordinator_.start(std::move(partial), std::move(batch_));
   // The engine's CoSi round id is the epoch, not the height: aborted rounds
   // reuse heights, and nonce domains (and cohort round state) must never
   // collide across rounds.
   get_vote.round = epoch_;
+  get_vote.spec = spec_ != nullptr;
   opening_env_ = seal_framed(coord, "tf_get_vote", get_vote.serialize());
   opening_sent_ = true;
   coord_us_ += since_us(t0);
@@ -152,6 +189,7 @@ void TfCommitRound::handle_get_vote(NodeId dst, BytesView body, bool authentic,
   const double tc = common::thread_cpu_time_us();
   commit::VoteMsg empty_vote;
   Bytes vote_bytes = empty_vote.serialize();
+  std::uint64_t base = 0;
   bool respond = true;
   if (authentic) {
     if (const auto msg = commit::GetVoteMsg::deserialize(body)) {
@@ -176,15 +214,23 @@ void TfCommitRound::handle_get_vote(NodeId dst, BytesView body, bool authentic,
           cohort_mht_us_[dst.id] =
               std::max(cohort_mht_us_[dst.id], server.tf_cohort().last_root_compute_us());
           vote_bytes = vote.serialize();
+          base = vote.base_key();
         }
-        vote_bytes = logged != nullptr
-                         ? *logged
-                         : server.vote_once(epoch_, "tf_vote", std::move(vote_bytes));
+        if (logged != nullptr) {
+          // The durable log wins over any recomputation, and the wire
+          // identity must match the recorded vote's base.
+          vote_bytes = *logged;
+          if (const auto prev = commit::VoteMsg::deserialize(*logged)) {
+            base = prev->base_key();
+          }
+        } else {
+          vote_bytes = server.vote_once(epoch_, base, "tf_vote", std::move(vote_bytes));
+        }
       }
     }
   }
   if (respond) {
-    Envelope vote_env = seal_framed(server, "tf_vote", vote_bytes);
+    Envelope vote_env = seal_framed(server, tf_vote_type(base).c_str(), vote_bytes);
     cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
     out.send(NodeId::server(server.id()), coord_node_, std::move(vote_env));
   } else {
@@ -205,12 +251,13 @@ void TfCommitRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
   if (env.type == "tf_get_vote") {
     handle_get_vote(dst, body, authentic, out);
 
-  } else if (env.type == "tf_vote") {
+  } else if (is_tf_vote_type(env.type)) {
     // Phase 3 <null, SchChallenge> at the coordinator, once the last vote is
-    // in. Votes land in cohort order regardless of arrival order.
+    // in. Votes land in cohort order regardless of arrival order. Under
+    // speculation a vote is first parked per (sender, base) and only counts
+    // once its base assumptions survive the decided chain.
     const auto t = Clock::now();
-    if (authentic && src.id < n_) note_vote_bytes(src.id, body);
-    if (src.id < n_ && !vote_in_[src.id]) {
+    if (src.id < n_) {
       // An unauthenticated or malformed vote is never ingested; the slot is
       // conservatively filled with an involved abort so the round still
       // terminates — with a deny.
@@ -218,28 +265,15 @@ void TfCommitRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
       vote.cohort = ServerId{src.id};
       vote.involved = true;
       vote.abort_reason = "vote envelope failed authentication";
+      bool parsed = false;
       if (authentic) {
-        if (const auto msg = commit::VoteMsg::deserialize(body)) vote = *msg;
+        if (const auto msg = commit::VoteMsg::deserialize(body)) {
+          vote = *msg;
+          parsed = true;
+        }
+        note_vote_bytes(src.id, parsed ? vote.base_key() : 0, body);
       }
-      votes_[src.id] = std::move(vote);
-      vote_in_[src.id] = 1;
-      ++votes_seen_;
-    }
-    if (votes_seen_ == n_ && challenges_.empty()) {
-      Server& coord = cluster_->server(coord_id_);
-      challenges_ = coordinator_.on_votes(votes_, coord.faults().coordinator);
-      // Honest coordinators broadcast one challenge; an equivocating one
-      // signs a divergent envelope per cohort.
-      challenge_envs_.clear();
-      challenge_envs_.reserve(challenges_.size());
-      for (const auto& ch : challenges_) {
-        challenge_envs_.push_back(seal_framed(coord, "tf_challenge", ch.serialize()));
-      }
-      for (std::uint32_t i = 0; i < n_; ++i) {
-        const std::size_t slot = challenges_.size() == 1 ? 0 : i;
-        if (challenges_.size() == 1 && i > 0) transport_->count_copy(challenge_envs_[0]);
-        out.send(coord_node_, server_node(i), challenge_envs_[slot]);
-      }
+      ingest_vote(src.id, std::move(vote), out);
     }
     coord_us_ += since_us(t);
 
@@ -251,7 +285,7 @@ void TfCommitRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
     resp.cohort = server.id();
     if (authentic) {
       if (const auto msg = commit::ChallengeMsg::deserialize(body)) {
-        if (!server.tf_cohort().has_state_for(msg->block) &&
+        if (server.tf_cohort().partial_of(epoch_) == nullptr &&
             server.logged_vote(epoch_) != nullptr) {
           // Recovering cohort: a stray duplicate challenge outran the
           // replayed opening that rebuilds its round state. Stay silent —
@@ -259,7 +293,23 @@ void TfCommitRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
           cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
           return;
         }
-        resp = server.tf_cohort().handle_challenge(*msg, server.faults().cohort);
+        // The engine knows the round id from the wire frame; content-based
+        // lookup cannot identify a speculative round (its stored partial
+        // carries a projected chain position).
+        resp = server.tf_cohort().handle_challenge(epoch_, *msg, server.faults().cohort);
+        if (!resp.refused) {
+          // Durable respond-once: the cohort's in-memory guard dies with a
+          // crash, but the deterministic nonce does not — without this
+          // record a coordinator could harvest a second response to a
+          // different challenge after a restore and extract the key.
+          const auto cb = msg->challenge.to_bytes_be();
+          if (!server.respond_once(epoch_, Bytes(cb.begin(), cb.end()))) {
+            resp = commit::ResponseMsg{};
+            resp.cohort = server.id();
+            resp.refused = true;
+            resp.refusal_reason = "already responded to a different challenge this round";
+          }
+        }
       } else {
         resp.refused = true;
         resp.refusal_reason = "malformed challenge payload";
@@ -294,6 +344,9 @@ void TfCommitRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
       decision_env_ =
           seal_framed(cluster_->server(coord_id_), "tf_decision", decision.serialize());
       broadcast(out, decision_env_);
+      if (observer_ != nullptr) {
+        observer_->on_outcome(epoch_, outcome_->block, outcome_->cosign_valid, out);
+      }
     }
     coord_us_ += since_us(t);
 
@@ -317,7 +370,25 @@ void TfCommitRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
         std::max(cohort_mht_us_[dst.id], server.mht_time_us() - mht_before);
     cohort_us_[dst.id] += common::thread_cpu_time_us() - tc;
     if (processed) {
-      decision_processed(server, env.type.c_str(), block, result);
+      // Speculation truth feed: this decision may contradict the base of
+      // later in-flight votes at this cohort — those are recomputed on the
+      // corrected state and re-sent as new logical votes.
+      const auto resolve_speculation = [&] {
+        if (spec_ == nullptr) return;
+        const bool applied_to_shard =
+            result == Server::ApplyResult::kApplied && block.committed();
+        auto revotes = server.tf_cohort().resolve_decision(epoch_, applied_to_shard);
+        for (auto& rv : revotes) {
+          const std::uint64_t base = rv.vote.base_key();
+          const Bytes vb =
+              server.vote_once(rv.round, base, "tf_vote", rv.vote.serialize());
+          Envelope env_out = transport_->seal(server.keypair(), NodeId::server(server.id()),
+                                              tf_vote_type(base).c_str(),
+                                              frame_payload(rv.round, vb));
+          out.send(NodeId::server(server.id()), coord_node_, std::move(env_out));
+        }
+      };
+      decision_processed(server, env.type.c_str(), block, result, resolve_speculation);
     }
 
   } else if (env.type == "tf_term_query") {
@@ -343,7 +414,7 @@ void TfCommitRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
       const auto vote = commit::VoteMsg::deserialize(vote_bytes);
       const auto point = crypto::AffinePoint::deserialize(commit_bytes);
       if (!vote || !point) return;
-      note_vote_bytes(src.id, vote_bytes);
+      note_vote_bytes(src.id, vote->base_key(), vote_bytes);
       term_votes_[src.id] = *vote;
       term_commitments_[src.id] = *point;
       term_vote_in_[src.id] = 1;
@@ -359,6 +430,16 @@ void TfCommitRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
       const ledger::Block* partial = backup.tf_cohort().partial_of(epoch_);
       if (partial == nullptr) return;  // backup never saw the opening: wait for recovery
       ledger::Block block = *partial;
+      if (spec_ != nullptr) {
+        // A speculative opening carried a projected chain position; the
+        // termination abort must extend the decided chain for real (the
+        // pipeline sequences terminations in round order, so the decided
+        // head already covers every round below this one).
+        const SpecContext::ChainPos base = spec_->decided_base();
+        block.height = base.height;
+        block.prev_hash = base.prev_hash;
+        height_ = base.height;
+      }
       block.decision = ledger::Decision::kAbort;
       block.roots.clear();
       std::vector<ServerId> signers;
@@ -405,6 +486,18 @@ void TfCommitRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
       resp.refusal_reason = "already decided this height";
     } else {
       resp = server.tf_cohort().handle_term_challenge(epoch_, *msg);
+      if (!resp.refused) {
+        // Respond-once for the termination nonce domain (epoch | top bit,
+        // mirroring the cohort's term_round id) — same crash-window leak as
+        // the commit challenge above.
+        const auto cb = msg->challenge.to_bytes_be();
+        if (!server.respond_once(epoch_ | (1ULL << 63), Bytes(cb.begin(), cb.end()))) {
+          resp = commit::ResponseMsg{};
+          resp.cohort = server.id();
+          resp.refused = true;
+          resp.refusal_reason = "already responded to a different challenge this round";
+        }
+      }
     }
     Envelope resp_env = seal_framed(server, "tf_term_response", resp.serialize());
     out.send(NodeId::server(server.id()), server_node(term_backup_),
@@ -434,12 +527,102 @@ void TfCommitRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
       if (!crypto::cosi_verify(block.signing_bytes(), *block.cosign, keys)) return;
       term_decided_ = true;
       metrics_.terminated_by_cohorts = true;
+      term_block_ = block;
       const commit::DecisionMsg decision{block};
       term_decision_env_ = seal_framed(cluster_->server(ServerId{term_backup_}),
                                        "tf_term_decision", decision.serialize());
       broadcast(out, term_decision_env_);
+      if (observer_ != nullptr) {
+        observer_->on_outcome(epoch_, block, /*appended=*/true, out);
+      }
     }
   }
+}
+
+void TfCommitRound::ingest_vote(std::uint32_t src, commit::VoteMsg vote, Outbox& out) {
+  if (vote_in_[src]) return;  // a validated vote already holds the slot
+  if (spec_ == nullptr) {
+    votes_[src] = std::move(vote);
+    vote_in_[src] = 1;
+    ++votes_seen_;
+    maybe_fire_challenge(out);
+    return;
+  }
+  buffered_votes_[src][vote.base_key()] = std::move(vote);
+  try_accept_votes(out);
+}
+
+bool TfCommitRound::spec_base_valid(const commit::VoteMsg& vote) const {
+  for (const commit::SpecAssumption& a : vote.spec_assumed) {
+    const std::optional<bool> actual = spec_->applied(a.epoch);
+    if (!actual.has_value() || *actual != a.applied) return false;
+  }
+  if (vote.spec_base_root.has_value()) {
+    // The "(epoch, root)" base identity: the decided chain must actually
+    // have produced the shard root the cohort voted on top of.
+    const crypto::Digest* root = spec_->shard_root(vote.cohort.value);
+    if (root != nullptr && !(*root == *vote.spec_base_root)) return false;
+  }
+  return true;
+}
+
+void TfCommitRound::try_accept_votes(Outbox& out) {
+  if (spec_ == nullptr || !spec_->base_resolved(epoch_)) return;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    auto& candidates = buffered_votes_[i];
+    if (vote_in_[i]) {
+      candidates.clear();
+      continue;
+    }
+    for (auto it = candidates.begin(); it != candidates.end();) {
+      if (spec_base_valid(it->second)) {
+        votes_[i] = std::move(it->second);
+        vote_in_[i] = 1;
+        ++votes_seen_;
+        candidates.clear();
+        break;
+      }
+      // Mis-speculated base: the decided chain contradicts what this vote
+      // was computed on. Discard it — the cohort's decision handler will
+      // have produced (or will produce) the corrected re-vote.
+      ++metrics_.spec_revotes;
+      it = candidates.erase(it);
+    }
+  }
+  maybe_fire_challenge(out);
+}
+
+void TfCommitRound::maybe_fire_challenge(Outbox& out) {
+  if (votes_seen_ != n_ || !challenges_.empty()) return;
+  if (spec_ != nullptr) {
+    // Pin the true chain position before the challenge block is hashed —
+    // every round below has decided (base_resolved gated the acceptance).
+    const SpecContext::ChainPos base = spec_->decided_base();
+    coordinator_.rebase(base.height, base.prev_hash);
+    height_ = base.height;
+  }
+  Server& coord = cluster_->server(coord_id_);
+  challenges_ = coordinator_.on_votes(votes_, coord.faults().coordinator);
+  // Honest coordinators broadcast one challenge; an equivocating one
+  // signs a divergent envelope per cohort.
+  challenge_envs_.clear();
+  challenge_envs_.reserve(challenges_.size());
+  for (const auto& ch : challenges_) {
+    challenge_envs_.push_back(seal_framed(coord, "tf_challenge", ch.serialize()));
+  }
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    const std::size_t slot = challenges_.size() == 1 ? 0 : i;
+    if (challenges_.size() == 1 && i > 0) transport_->count_copy(challenge_envs_[0]);
+    out.send(coord_node_, server_node(i), challenge_envs_[slot]);
+  }
+}
+
+void TfCommitRound::on_base_resolved(Outbox& out) {
+  if (outcome_.has_value() || term_decided_) return;
+  if (cluster_->is_crashed(coord_id_)) return;  // the round is the survivors' now
+  const auto t = Clock::now();
+  try_accept_votes(out);
+  coord_us_ += since_us(t);
 }
 
 void TfCommitRound::send_term_vote(Server& server, Outbox& out) {
@@ -484,6 +667,7 @@ void TfCommitRound::restart(Outbox& out) {
   coordinator_ = commit::TfCommitCoordinator(cohort_ids_, cluster_->server_keys());
   votes_.assign(n_, {});
   vote_in_.assign(n_, 0);
+  for (auto& b : buffered_votes_) b.clear();
   votes_seen_ = 0;
   challenges_.clear();
   challenge_envs_.clear();
@@ -615,7 +799,7 @@ void TwoPhaseRound::on_deliver(NodeId src, NodeId dst, const Envelope& env,
 
   } else if (env.type == "2pc_vote") {
     const auto t = Clock::now();
-    if (authentic && src.id < n_) note_vote_bytes(src.id, body);
+    if (authentic && src.id < n_) note_vote_bytes(src.id, 0, body);
     if (src.id < n_ && !vote_in_[src.id]) {
       commit::PrepareVoteMsg vote;
       vote.cohort = ServerId{src.id};

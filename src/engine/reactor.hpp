@@ -18,6 +18,7 @@
 // arrival order, so outcomes do not depend on the interleaving.
 #pragma once
 
+#include <map>
 #include <optional>
 
 #include "engine/scheduler.hpp"
@@ -34,6 +35,57 @@ class RoundObserver {
   /// delivery of the *next* round's opening message at that server, and —
   /// at the coordinator — admission of the next round.
   virtual void on_decision_processed(std::uint64_t epoch, std::uint32_t server) = 0;
+
+  /// The round's final block exists (coordinator aggregation finished, or
+  /// the surviving cohorts co-signed a termination abort). `appended` says
+  /// whether the block extends the chain (its co-sign verified); fired at
+  /// most once per round, in round order. The speculative pipeline feeds
+  /// its decided-chain registry — projected opening positions, vote-tag
+  /// validation, authoritative shard roots — from exactly this event.
+  virtual void on_outcome(std::uint64_t epoch, const ledger::Block& block,
+                          bool appended, Outbox& out) {
+    (void)epoch;
+    (void)block;
+    (void)appended;
+    (void)out;
+  }
+};
+
+/// What a speculating TfCommitRound may ask the pipeline about the rest of
+/// the in-flight window. Every call happens on the coordinator's serialized
+/// context (vote/response handlers and outcome notifications), which is the
+/// only writer of the underlying decided-chain state.
+class SpecContext {
+ public:
+  virtual ~SpecContext() = default;
+
+  struct ChainPos {
+    std::uint64_t height{0};
+    crypto::Digest prev_hash;
+  };
+
+  /// Projected chain position for this round's opening: the decided head
+  /// plus one height per undecided round below it. prev_hash is the zero
+  /// digest while any lower round is still deciding (unknowable until
+  /// then); cohorts defer the chain check to apply time.
+  virtual ChainPos opening_base(std::uint64_t epoch) = 0;
+
+  /// True once every round below `epoch` has an outcome — the point where
+  /// this round's speculative votes become checkable and its true chain
+  /// position is pinned.
+  virtual bool base_resolved(std::uint64_t epoch) const = 0;
+
+  /// Whether round `epoch`'s block changed shard state (committed with a
+  /// valid co-sign); nullopt while it is still deciding.
+  virtual std::optional<bool> applied(std::uint64_t epoch) const = 0;
+
+  /// Authoritative Merkle root of `server`'s shard after the decided
+  /// prefix, or nullptr when no decided block has pinned it yet.
+  virtual const crypto::Digest* shard_root(std::uint32_t server) const = 0;
+
+  /// The decided chain head — the true (height, prev_hash) a resolved
+  /// round's completed block must carry.
+  virtual ChainPos decided_base() const = 0;
 };
 
 /// Shared wiring of the coordinator/cohort reactors.
@@ -71,6 +123,11 @@ class RoundReactor {
   /// 2PC baseline blocks, which is the paper's headline contrast.
   virtual void begin_termination(Outbox& out) { (void)out; }
 
+  /// Every round below this one has decided (speculative pipelining): the
+  /// round's true chain position is pinned and buffered speculative votes
+  /// can be validated. Invoked on the coordinator's serialized context.
+  virtual void on_base_resolved(Outbox& out) { (void)out; }
+
   /// Folds the per-slot timing state into metrics_ once the round is over
   /// (no handler may still be running). Subclasses add outcome fields.
   virtual void finalize();
@@ -82,17 +139,22 @@ class RoundReactor {
   /// Seal-once / count-every-copy broadcast to servers [0, n).
   void broadcast(Outbox& out, const Envelope& env);
 
-  /// Records the first authentic vote bytes per sender and flags any later
-  /// authentic copy that differs — the cross-restart no-equivocation oracle
-  /// (RoundMetrics::vote_equivocators).
-  void note_vote_bytes(std::uint32_t src, BytesView payload);
+  /// Records the first authentic vote bytes per (sender, speculated base)
+  /// and flags any later authentic copy that differs — the cross-restart
+  /// no-equivocation oracle (RoundMetrics::vote_equivocators). A re-vote on
+  /// a *different* base is a distinct logical vote, never an equivocation.
+  void note_vote_bytes(std::uint32_t src, std::uint64_t base, BytesView payload);
 
   /// Decision bookkeeping shared by every decision-shaped handler: durably
   /// records applied blocks and advances the pipeline watermark exactly
   /// when the server processed this round's decision (applied or refused —
-  /// not stale/future recovery stragglers).
+  /// not stale/future recovery stragglers). `on_resolved` (when non-null)
+  /// runs between the durable record and the watermark callback — the slot
+  /// where speculative re-votes must leave the node, after this decision's
+  /// effects but before the pipeline can push the next decision through.
   void decision_processed(Server& server, const char* msg_type,
-                          const ledger::Block& block, Server::ApplyResult result);
+                          const ledger::Block& block, Server::ApplyResult result,
+                          const std::function<void()>& on_resolved = {});
 
   Cluster* cluster_;
   Transport* transport_;
@@ -103,11 +165,11 @@ class RoundReactor {
   RoundObserver* observer_;
 
   RoundMetrics metrics_;
-  double coord_us_{0};                  ///< coordinator-side handler time (wall)
-  std::vector<double> cohort_us_;       ///< per-cohort handler CPU time
-  std::vector<double> cohort_mht_us_;   ///< per-cohort max single Merkle stint
-  std::vector<Bytes> vote_bytes_seen_;  ///< first authentic vote per sender
-  std::vector<unsigned char> vote_noted_;
+  double coord_us_{0};                 ///< coordinator-side handler time (wall)
+  std::vector<double> cohort_us_;      ///< per-cohort handler CPU time
+  std::vector<double> cohort_mht_us_;  ///< per-cohort max single Merkle stint
+  /// First authentic vote bytes per (sender, speculated base).
+  std::vector<std::map<std::uint64_t, Bytes>> vote_bytes_seen_;
 };
 
 /// One TFCommit round (Figure 7): get_vote -> votes -> challenge ->
@@ -121,14 +183,21 @@ class RoundReactor {
 /// themselves, which the 2PC baseline cannot do.
 class TfCommitRound final : public RoundReactor {
  public:
+  /// `spec` non-null runs the round speculatively (see ClusterConfig::
+  /// speculate): the opening goes out on a projected chain position, votes
+  /// carry base tags the coordinator validates against `spec`'s decided
+  /// chain, and mis-speculated votes are discarded to await the cohort's
+  /// deterministic re-vote. Null reproduces the gated protocol exactly.
   TfCommitRound(Cluster& cluster, std::uint64_t epoch,
-                std::vector<commit::SignedEndTxn> batch, RoundObserver* observer);
+                std::vector<commit::SignedEndTxn> batch, RoundObserver* observer,
+                SpecContext* spec = nullptr);
 
   void start(Outbox& out) override;
   void on_deliver(NodeId src, NodeId dst, const Envelope& env, bool authentic,
                   Outbox& out) override;
   void on_recover(std::uint32_t server, Outbox& out) override;
   void begin_termination(Outbox& out) override;
+  void on_base_resolved(Outbox& out) override;
   void finalize() override;
 
  private:
@@ -136,6 +205,13 @@ class TfCommitRound final : public RoundReactor {
   /// the round (recovered coordinator; cohorts answer from their logs).
   void restart(Outbox& out);
   void handle_get_vote(NodeId dst, BytesView body, bool authentic, Outbox& out);
+  void ingest_vote(std::uint32_t src, commit::VoteMsg vote, Outbox& out);
+  /// Validates buffered speculative votes against the decided chain, fills
+  /// slots with the survivors, and fires the challenge once all n are in.
+  void try_accept_votes(Outbox& out);
+  /// All of `vote`'s base assumptions hold against the decided chain.
+  bool spec_base_valid(const commit::VoteMsg& vote) const;
+  void maybe_fire_challenge(Outbox& out);
   void send_term_vote(Server& server, Outbox& out);
   std::size_t live_expected() const;
 
@@ -143,14 +219,23 @@ class TfCommitRound final : public RoundReactor {
   std::vector<commit::SignedEndTxn> pristine_batch_;  ///< for coordinator restart
   std::vector<ServerId> cohort_ids_;
   commit::TfCommitCoordinator coordinator_;
-  /// This round's block height, set by start(). Not the CoSi round id
-  /// (that is epoch_ — heights recur when aborted rounds retry); used for
-  /// the "already decided this height" guard on termination co-signing.
+  SpecContext* spec_{nullptr};
+  /// This round's block height, set by start() (projected for speculative
+  /// rounds until the base resolves). Not the CoSi round id (that is
+  /// epoch_ — heights recur when aborted rounds retry); used for the
+  /// "already decided this height" guard on termination co-signing.
   std::uint64_t height_{0};
+  /// The opening's partial block, cached so a coordinator restart
+  /// re-broadcasts the identical opening (a speculative projection must not
+  /// be recomputed against a chain that has moved on since).
+  std::optional<commit::Block> first_partial_;
 
   std::vector<commit::VoteMsg> votes_;
   std::vector<unsigned char> vote_in_;
   std::size_t votes_seen_{0};
+  /// Speculative rounds: votes parked per (sender, base) until the base
+  /// resolves and their assumptions can be checked.
+  std::vector<std::map<std::uint64_t, commit::VoteMsg>> buffered_votes_;
   std::vector<commit::ChallengeMsg> challenges_;
   std::vector<commit::ResponseMsg> responses_;
   std::vector<unsigned char> resp_in_;

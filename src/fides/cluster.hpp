@@ -84,6 +84,12 @@ struct RoundMetrics {
   /// crash (TFCommit cooperative termination) rather than by its
   /// coordinator.
   bool terminated_by_cohorts{false};
+
+  /// Speculative pipelining: vote variants the coordinator discarded
+  /// because their speculated base did not match the decided chain (each
+  /// one was superseded by a deterministic re-vote). Always 0 when
+  /// ClusterConfig::speculate is off.
+  std::size_t spec_revotes{0};
 };
 
 /// A batched run of commit rounds: per-round metrics (in round order) plus

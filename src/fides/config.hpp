@@ -88,9 +88,26 @@ struct ClusterConfig {
   /// cohort never votes on block k+1 before applying block k (the engine
   /// gates the opening message on the per-server apply watermark), because
   /// its hypothetical Merkle root must build on the applied state. That
-  /// data dependency also caps effective overlap at ~2 rounds regardless
-  /// of K.
+  /// data dependency caps effective overlap at ~2 rounds regardless of K —
+  /// unless `speculate` lifts it.
   std::uint32_t pipeline_depth{1};
+
+  /// Speculative voting (TFCommit only): drops the apply watermark gate on
+  /// round openings. Round k+1 opens as soon as the depth window allows —
+  /// before round k has even decided — with a projected height and no
+  /// prev-hash; each cohort computes OCC validation and its hypothetical
+  /// Merkle root on top of the *pending* update set of its in-flight
+  /// rounds (predicting each block's fate from its own vote), and tags the
+  /// vote with the assumed base. The coordinator validates every
+  /// assumption against the real decisions before counting a vote: a
+  /// mis-speculated vote is discarded and the cohort deterministically
+  /// re-votes once the truth reaches it, so the committed ledger stays
+  /// bit-identical to a non-speculative run at every depth, thread count,
+  /// and scheduler. The win: the vote exchange of round k+1 overlaps the
+  /// challenge/response and decision legs of round k, breaking the
+  /// ~2-round effective overlap cap (depth >= 4 shows real pipelining on
+  /// the SimNet virtual clock). 2PC ignores this knob.
+  bool speculate{false};
 
   /// Sign/verify every message envelope (the system-model requirement,
   /// §3.1). Commit-protocol messages are always signed; this toggle lets

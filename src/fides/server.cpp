@@ -80,6 +80,13 @@ Server::ApplyResult Server::apply_decision(const commit::DecisionMsg& msg,
   }
   if (block.height < log_.size()) return ApplyResult::kStale;
   if (block.height > log_.size()) return ApplyResult::kFuture;
+  if (!(block.prev_hash == log_.head_hash())) {
+    // Right height, wrong chain: a block whose prev-hash this server's log
+    // cannot host (e.g. a forged chain position smuggled past a speculative
+    // cohort, which defers the chain check to exactly this point). Refuse
+    // rather than let the log's append discipline throw mid-round.
+    return ApplyResult::kRejected;
+  }
   ingest_block(block);
   return ApplyResult::kApplied;
 }
@@ -105,23 +112,44 @@ void Server::ingest_block(const ledger::Block& block) {
   if (block.committed()) apply_block(block);
 }
 
-Bytes Server::vote_once(std::uint64_t epoch, const std::string& msg_type,
-                        Bytes computed) {
-  const auto it = votes_by_epoch_.find(epoch);
-  if (it != votes_by_epoch_.end()) return it->second;
+Bytes Server::vote_once(std::uint64_t epoch, std::uint64_t base,
+                        const std::string& msg_type, Bytes computed) {
+  const auto it = votes_by_epoch_base_.find({epoch, base});
+  if (it != votes_by_epoch_base_.end()) return it->second;
   ledger::RoundRecord rec;
   rec.type = ledger::RoundRecord::Type::kVote;
   rec.epoch = epoch;
+  rec.base = base;
   rec.msg_type = msg_type;
   rec.payload = computed;
   round_log_->append(rec);
-  votes_by_epoch_.emplace(epoch, computed);
+  votes_by_epoch_base_.emplace(std::make_pair(epoch, base), computed);
+  latest_vote_base_[epoch] = base;
   return computed;
 }
 
 const Bytes* Server::logged_vote(std::uint64_t epoch) const {
-  const auto it = votes_by_epoch_.find(epoch);
-  return it == votes_by_epoch_.end() ? nullptr : &it->second;
+  const auto it = latest_vote_base_.find(epoch);
+  if (it == latest_vote_base_.end()) return nullptr;
+  return logged_vote(epoch, it->second);
+}
+
+const Bytes* Server::logged_vote(std::uint64_t epoch, std::uint64_t base) const {
+  const auto it = votes_by_epoch_base_.find({epoch, base});
+  return it == votes_by_epoch_base_.end() ? nullptr : &it->second;
+}
+
+bool Server::respond_once(std::uint64_t nonce_round, const Bytes& challenge_bytes) {
+  const auto it = responded_by_round_.find(nonce_round);
+  if (it != responded_by_round_.end()) return it->second == challenge_bytes;
+  ledger::RoundRecord rec;
+  rec.type = ledger::RoundRecord::Type::kResponse;
+  rec.epoch = nonce_round;
+  rec.msg_type = "tf_response";
+  rec.payload = challenge_bytes;
+  round_log_->append(rec);
+  responded_by_round_.emplace(nonce_round, challenge_bytes);
+  return true;
 }
 
 void Server::record_decision(std::uint64_t epoch, const std::string& msg_type,
@@ -139,7 +167,10 @@ bool Server::restore() {
   if (!records.has_value()) return false;  // integrity violation: refuse
   for (const ledger::RoundRecord& rec : *records) {
     if (rec.type == ledger::RoundRecord::Type::kVote) {
-      votes_by_epoch_.emplace(rec.epoch, rec.payload);
+      votes_by_epoch_base_.emplace(std::make_pair(rec.epoch, rec.base), rec.payload);
+      latest_vote_base_[rec.epoch] = rec.base;  // replay order = record order
+    } else if (rec.type == ledger::RoundRecord::Type::kResponse) {
+      responded_by_round_.emplace(rec.epoch, rec.payload);
     } else {
       const auto block = ledger::Block::deserialize(rec.payload);
       if (!block.has_value()) return false;

@@ -115,14 +115,32 @@ class Server {
   ledger::RoundLog& round_log() { return *round_log_; }
 
   /// Vote-once across restarts: returns the durably recorded vote bytes for
-  /// `epoch` if one exists, otherwise records `computed` under (epoch,
-  /// msg_type) and returns it. The caller sends exactly the returned bytes,
-  /// so a server can never emit two different votes for one round — even
-  /// when the second emission happens after a crash and restore.
-  Bytes vote_once(std::uint64_t epoch, const std::string& msg_type, Bytes computed);
+  /// (epoch, base) if one exists, otherwise records `computed` under it and
+  /// returns it. The caller sends exactly the returned bytes, so a server
+  /// can never emit two different votes for one (round, speculated base) —
+  /// even when the second emission happens after a crash and restore. A
+  /// re-vote on a *changed* base is a new logical vote and gets a new
+  /// record; `base` is 0 for votes on fully-applied state (every vote of
+  /// the non-speculative protocol).
+  Bytes vote_once(std::uint64_t epoch, std::uint64_t base, const std::string& msg_type,
+                  Bytes computed);
+  Bytes vote_once(std::uint64_t epoch, const std::string& msg_type, Bytes computed) {
+    return vote_once(epoch, 0, msg_type, std::move(computed));
+  }
 
-  /// The durably recorded vote for `epoch`, if any.
+  /// The most recently recorded vote for `epoch` (any base), if any.
   const Bytes* logged_vote(std::uint64_t epoch) const;
+
+  /// The recorded vote for exactly (epoch, base), if any.
+  const Bytes* logged_vote(std::uint64_t epoch, std::uint64_t base) const;
+
+  /// Respond-once across restarts: the deterministic CoSi nonce of round
+  /// `nonce_round` must never sign two distinct challenges (the algebra
+  /// would leak the key). Records `challenge_bytes` durably (write-ahead,
+  /// like votes) on first call and returns true; returns true again for the
+  /// identical challenge (deterministic restarts re-ask it) and false for a
+  /// different one — the caller must refuse to respond.
+  bool respond_once(std::uint64_t nonce_round, const Bytes& challenge_bytes);
 
   /// Durably records a decision the server has appended and applied; replay
   /// of these records is what restore() rebuilds the ledger and shard from.
@@ -182,7 +200,13 @@ class Server {
 
   std::unique_ptr<ledger::RoundLog> owned_round_log_;  ///< when not given one
   ledger::RoundLog* round_log_;
-  std::map<std::uint64_t, Bytes> votes_by_epoch_;  ///< durable votes, replayed
+  /// Durable votes, replayed: (epoch, speculated-base key) -> vote bytes.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Bytes> votes_by_epoch_base_;
+  /// Most recently recorded base per epoch (what a redelivered opening or a
+  /// termination query answers with).
+  std::map<std::uint64_t, std::uint64_t> latest_vote_base_;
+  /// Durable respond-once state: nonce round -> the challenge answered.
+  std::map<std::uint64_t, Bytes> responded_by_round_;
 };
 
 }  // namespace fides

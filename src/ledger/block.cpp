@@ -54,6 +54,15 @@ Bytes Block::signing_bytes() const {
   return std::move(w).take();
 }
 
+Bytes Block::vote_bytes() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(txns.size()));
+  for (const auto& t : txns) t.encode(w);
+  w.u32(static_cast<std::uint32_t>(signers.size()));
+  for (const ServerId s : signers) w.u32(s.value);
+  return std::move(w).take();
+}
+
 Bytes Block::serialize() const {
   Writer w;
   encode_body(*this, w);

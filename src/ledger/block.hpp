@@ -65,6 +65,15 @@ struct Block {
   /// Canonical bytes without the co-sign: the CoSi record.
   Bytes signing_bytes() const;
 
+  /// Canonical bytes of the round's *vote identity*: the transactions and
+  /// the witness set, without height/prev-hash/decision/roots. This is the
+  /// record a cohort derives its deterministic CoSi nonce from — the part
+  /// of a partial block that is already final when a speculative opening is
+  /// issued (the chain position is only pinned once the previous block
+  /// decides), so gated and speculative openings of the same round yield
+  /// bit-identical commitments and hence bit-identical co-signs.
+  Bytes vote_bytes() const;
+
   /// Canonical bytes of the full block (co-sign included if present).
   Bytes serialize() const;
 

@@ -10,6 +10,7 @@ Bytes RoundRecord::encode() const {
   Writer w;
   w.u8(static_cast<std::uint8_t>(type));
   w.u64(epoch);
+  w.u64(base);
   w.str(msg_type);
   w.bytes(payload);
   return std::move(w).take();
@@ -21,11 +22,13 @@ std::optional<RoundRecord> RoundRecord::decode(BytesView b) {
     RoundRecord rec;
     const std::uint8_t t = r.u8();
     if (t != static_cast<std::uint8_t>(Type::kVote) &&
-        t != static_cast<std::uint8_t>(Type::kDecision)) {
+        t != static_cast<std::uint8_t>(Type::kDecision) &&
+        t != static_cast<std::uint8_t>(Type::kResponse)) {
       return std::nullopt;
     }
     rec.type = static_cast<Type>(t);
     rec.epoch = r.u64();
+    rec.base = r.u64();
     rec.msg_type = r.str();
     rec.payload = r.bytes();
     r.expect_done();

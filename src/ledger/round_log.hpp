@@ -38,10 +38,18 @@ struct RoundRecord {
   enum class Type : std::uint8_t {
     kVote = 1,      ///< payload = serialized vote message bytes
     kDecision = 2,  ///< payload = serialized finalized Block
+    kResponse = 3,  ///< payload = the CoSi challenge answered (respond-once:
+                    ///< the deterministic round nonce must never sign two
+                    ///< distinct challenges, even across a crash/restore)
   };
 
   Type type{Type::kVote};
   std::uint64_t epoch{0};    ///< engine epoch the record belongs to
+  /// Speculated-base discriminator of a vote (VoteMsg::base_key; 0 for a
+  /// vote on fully-applied state and for every decision). A re-vote after a
+  /// mis-speculated base is a distinct logical vote: it gets its own
+  /// (epoch, base) record, and the vote-once guarantee is per (epoch, base).
+  std::uint64_t base{0};
   std::string msg_type;      ///< wire type tag ("tf_vote", "2pc_vote", ...)
   Bytes payload;
 

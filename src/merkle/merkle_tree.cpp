@@ -1,5 +1,6 @@
 #include "merkle/merkle_tree.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -7,9 +8,24 @@ namespace fides::merkle {
 
 namespace {
 std::size_t next_pow2(std::size_t n) {
+  // Beyond SIZE_MAX/2 + 1 the doubling below wraps to 0 and loops forever —
+  // and the node array needs 2*capacity slots, so the largest usable
+  // capacity is one power of two lower still (SIZE_MAX/4 + 1): anything
+  // above would wrap 2*cap_ to 0 and hand out an empty node array.
+  constexpr std::size_t kMax = (std::numeric_limits<std::size_t>::max() / 4) + 1;
+  if (n > kMax) throw std::length_error("MerkleTree: leaf count overflows capacity");
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
+}
+
+/// Domain-separated root of the zero-leaf tree. Without it, an empty tree's
+/// root would be the raw zero digest — the same bytes a one-leaf tree whose
+/// leaf happens to be Digest::zero() exposes (build_interior never hashes
+/// anything at cap_ == 1, so the leaf IS the root).
+const Digest& empty_tree_root() {
+  static const Digest root = crypto::sha256(to_bytes("fides-merkle-empty-tree"));
+  return root;
 }
 }  // namespace
 
@@ -18,6 +34,7 @@ MerkleTree::MerkleTree(std::size_t leaf_count, DeferInterior) : leaf_count_(leaf
   depth_ = 0;
   for (std::size_t c = cap_; c > 1; c >>= 1) ++depth_;
   nodes_.assign(2 * cap_, Digest::zero());
+  if (leaf_count_ == 0) nodes_[1] = empty_tree_root();
 }
 
 MerkleTree::MerkleTree(std::size_t leaf_count) : MerkleTree(leaf_count, DeferInterior{}) {
@@ -111,6 +128,26 @@ Digest MerkleTree::root_after(
     frontier = std::move(parents);
   }
   return read(1);
+}
+
+Digest MerkleTree::root_after_chain(
+    std::span<const std::span<const std::pair<std::size_t, Digest>>> batches) const {
+  // Later batches overwrite earlier ones per leaf — exactly what applying
+  // the batches in order to a real tree would produce, since a leaf digest
+  // depends only on its final value.
+  std::unordered_map<std::size_t, std::size_t> slot_of;  // leaf -> merged slot
+  std::vector<std::pair<std::size_t, Digest>> merged;
+  for (const auto& batch : batches) {
+    for (const auto& [leaf, digest] : batch) {
+      const auto [it, fresh] = slot_of.emplace(leaf, merged.size());
+      if (fresh) {
+        merged.emplace_back(leaf, digest);
+      } else {
+        merged[it->second].second = digest;
+      }
+    }
+  }
+  return root_after(merged);
 }
 
 std::vector<Digest> MerkleTree::sibling_path(std::size_t i) const {

@@ -52,6 +52,14 @@ class MerkleTree {
   /// itself is not modified. Cost O(k·log n) time and space for k updates.
   Digest root_after(std::span<const std::pair<std::size_t, Digest>> updates) const;
 
+  /// Stacked overlay: the root after hypothetically applying `batches` in
+  /// order (batch i+1 on top of batch i on top of the real tree). This is
+  /// the speculative-voting computation: each batch is the update set of one
+  /// in-flight block, and the last batch is the round being voted on. The
+  /// tree is not modified; cost O(K·log n) for K total updates.
+  Digest root_after_chain(
+      std::span<const std::span<const std::pair<std::size_t, Digest>>> batches) const;
+
   /// Sibling path for leaf i, bottom-up — the Verification Object of §2.3.
   std::vector<Digest> sibling_path(std::size_t i) const;
 

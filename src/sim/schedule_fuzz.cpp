@@ -138,6 +138,17 @@ Scenario derive_scenario(std::uint64_t seed, const FuzzOptions& options) {
   const bool use_2pc = rng.uniform(5) == 0;
   cfg.protocol = use_2pc ? Protocol::kTwoPhaseCommit : Protocol::kTfCommit;
 
+  // Speculative voting is a fuzzed dimension of its own (TFCommit only):
+  // about half the seeds run with the opening gate dropped and pipeline
+  // depth pushed to 1..8 — composed with every network fault, Byzantine
+  // deviation, and crash cycle below.
+  const bool draw_spec = rng.uniform(2) == 0;
+  if (!use_2pc && (draw_spec || options.force_speculation)) {
+    cfg.speculate = true;
+    cfg.pipeline_depth = 1 + static_cast<std::uint32_t>(rng.uniform(8));  // 1..8
+    if (options.force_speculation && cfg.pipeline_depth == 1) cfg.pipeline_depth = 2;
+  }
+
   // Byzantine deviations exist in the TFCommit stack only; 2PC schedules
   // fuzz the network dimension alone.
   if (!use_2pc && rng.uniform01() < 0.65) {
@@ -185,7 +196,7 @@ Scenario derive_scenario(std::uint64_t seed, const FuzzOptions& options) {
   std::ostringstream d;
   d << (use_2pc ? "2pc" : "tfcommit") << " n=" << cfg.num_servers
     << " threads=" << cfg.num_threads << " pipe=" << cfg.pipeline_depth
-    << " drop=" << net.link.drop_prob
+    << (cfg.speculate ? " spec" : "") << " drop=" << net.link.drop_prob
     << " dup=" << net.link.dup_prob << " reorder=" << net.link.reorder_prob
     << (partitioned ? " partition" : "") << " fault=" << fault_name(s.fault);
   if (s.fault != Fault::kNone) d << "@S" << s.culprit;
@@ -226,6 +237,7 @@ FuzzOutcome run_schedule(std::uint64_t seed, const FuzzOptions& options) {
   out.scenario = scenario.description;
   out.byzantine = scenario.fault != Fault::kNone;
   out.crashed = scenario.crash;
+  out.speculative = scenario.cfg.speculate;
   const Fault fault = scenario.fault;
   const bool use_2pc = scenario.cfg.protocol == Protocol::kTwoPhaseCommit;
   const std::uint32_t n = scenario.cfg.num_servers;
@@ -317,6 +329,7 @@ FuzzOutcome run_schedule(std::uint64_t seed, const FuzzOptions& options) {
       if (applied) {
         for (auto& [item, value] : writes[b]) committed[item] = std::move(value);
       }
+      out.spec_revotes += m.spec_revotes;
       rounds.push_back(std::move(m));
     }
   };
@@ -336,6 +349,22 @@ FuzzOutcome run_schedule(std::uint64_t seed, const FuzzOptions& options) {
   } else {
     run_round({scripted_txn(cluster, client, {item_a, item_b}, "r0")});
     run_round({scripted_txn(cluster, client, {item_a, item_b}, "r1")});
+    if (scenario.cfg.speculate) {
+      // Abort-heavy pipelined stream: block c1 aborts on item_b's stale
+      // read while item_a2's owner voted commit — so that owner's
+      // speculative vote for block c2 stacks a write that never lands and
+      // must be discarded and deterministically re-voted. This is the
+      // mis-speculation pressure every speculative seed gets for free.
+      const ItemId item_a2 = item_a + n;  // same shard as item_a, untouched
+      std::vector<std::vector<commit::SignedEndTxn>> conflict;
+      auto c0 = scripted_txn(cluster, client, {item_a, item_b}, "c0");
+      auto c1 = scripted_txn(cluster, client, {item_a2, item_b}, "c1");
+      auto c2 = scripted_txn(cluster, client, {item_a2}, "c2");
+      conflict.push_back({std::move(c0)});
+      conflict.push_back({std::move(c1)});
+      conflict.push_back({std::move(c2)});
+      run_rounds(std::move(conflict));
+    }
     // Noise rounds: workload transactions over the whole keyspace. At
     // pipeline_depth > 1 several noise blocks go through one pipelined
     // call, so rounds are genuinely in flight together under the scenario's

@@ -42,6 +42,9 @@ struct FuzzOutcome {
 
   bool crashed{false};     ///< a crash/recover cycle was injected
   bool terminated{false};  ///< a round finished via cohort-driven termination
+
+  bool speculative{false};     ///< the scenario ran with speculative voting on
+  std::size_t spec_revotes{0}; ///< mis-speculated vote variants discarded
 };
 
 struct FuzzOptions {
@@ -60,6 +63,14 @@ struct FuzzOptions {
   /// committed write is lost across the crash, and no server ever sends two
   /// different votes for one round (vote-once across restarts).
   bool with_crash{false};
+
+  /// Force ClusterConfig::speculate on for every TFCommit scenario (with
+  /// pipeline_depth drawn from 2..8). Without it, speculation is still a
+  /// fuzzed dimension — roughly half of the TFCommit seeds draw it, with
+  /// depth 1..8 and an extra abort-heavy scripted stream that reliably
+  /// forces mis-speculated bases and re-votes. The oracles are unchanged:
+  /// speculation must be invisible to every safety property.
+  bool force_speculation{false};
 };
 
 /// Executes the scenario derived from `seed` and checks all invariants.

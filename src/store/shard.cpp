@@ -77,6 +77,24 @@ crypto::Digest Shard::root_after(
   return tree_.root_after(updates);
 }
 
+crypto::Digest Shard::root_after_chain(
+    std::span<const std::vector<std::pair<ItemId, Bytes>>> write_batches) const {
+  std::vector<std::vector<std::pair<std::size_t, crypto::Digest>>> digests;
+  digests.reserve(write_batches.size());
+  for (const auto& batch : write_batches) {
+    std::vector<std::pair<std::size_t, crypto::Digest>> updates;
+    updates.reserve(batch.size());
+    for (const auto& [item, value] : batch) {
+      updates.emplace_back(leaf_index(item), item_leaf_digest(item, value));
+    }
+    digests.push_back(std::move(updates));
+  }
+  std::vector<std::span<const std::pair<std::size_t, crypto::Digest>>> spans;
+  spans.reserve(digests.size());
+  for (const auto& d : digests) spans.emplace_back(d);
+  return tree_.root_after_chain(spans);
+}
+
 merkle::VerificationObject Shard::current_vo(ItemId item) const {
   return merkle::make_vo(tree_, leaf_index(item));
 }
@@ -133,6 +151,23 @@ void Shard::corrupt_value(ItemId item, Bytes bogus_value) {
 bool Shard::corrupt_version(ItemId item, const Timestamp& ts, Bytes bogus_value) {
   if (mode_ != VersioningMode::kMulti) return false;
   return chains_[leaf_index(item)].corrupt_version_at(ts, std::move(bogus_value));
+}
+
+ItemRecord& ShardOverlay::entry(ItemId item) {
+  const auto it = overlay_.find(item);
+  if (it != overlay_.end()) return it->second;
+  return overlay_.emplace(item, base_->peek(item)).first->second;
+}
+
+void ShardOverlay::stage_write(ItemId item, BytesView value, const Timestamp& ts) {
+  ItemRecord& rec = entry(item);
+  rec.value.assign(value.begin(), value.end());
+  rec.wts = ts;
+}
+
+void ShardOverlay::bump_rts(ItemId item, const Timestamp& ts) {
+  ItemRecord& rec = entry(item);
+  rec.rts = std::max(rec.rts, ts);
 }
 
 ShardId shard_for_item(ItemId item, std::uint32_t num_shards) {

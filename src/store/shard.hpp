@@ -75,6 +75,13 @@ class Shard {
   crypto::Digest root_after(
       std::span<const std::pair<ItemId, Bytes>> writes) const;
 
+  /// Stacked variant: the root after applying the write batches in order
+  /// (each batch on top of the previous, all on top of the real tree) —
+  /// the speculative vote-phase computation when earlier blocks are still
+  /// in flight. Nothing is mutated.
+  crypto::Digest root_after_chain(
+      std::span<const std::vector<std::pair<ItemId, Bytes>>> write_batches) const;
+
   /// Verification Object for an item against the *current* tree.
   merkle::VerificationObject current_vo(ItemId item) const;
 
@@ -115,6 +122,40 @@ class Shard {
   merkle::MerkleTree tree_;
   common::ThreadPool* pool_{nullptr};              // not owned; may be null
   ShardStats stats_;
+};
+
+/// A speculative view of a shard: the base state plus the staged effects of
+/// in-flight blocks that have not been applied yet. This is what a TFCommit
+/// cohort validates against when it votes on block k while block k-1's
+/// decision is still on the wire (speculative pipelining): reads fall
+/// through to the real shard unless an overlay entry shadows them. The
+/// shard itself is never mutated — if the speculation proves wrong, the
+/// view is simply discarded and the vote recomputed.
+class ShardOverlay {
+ public:
+  explicit ShardOverlay(const Shard& base) : base_(&base) {}
+
+  bool contains(ItemId item) const { return base_->contains(item); }
+
+  /// Item state as it would be after the staged blocks applied.
+  const ItemRecord& peek(ItemId item) const {
+    const auto it = overlay_.find(item);
+    return it != overlay_.end() ? it->second : base_->peek(item);
+  }
+
+  /// Stages one committed write (mirrors Shard::apply_write + the write-set
+  /// rts bump of the server's apply step).
+  void stage_write(ItemId item, BytesView value, const Timestamp& ts);
+
+  /// Stages the rts advance a committed transaction performs on every item
+  /// it touched (mirrors Shard::update_read_ts).
+  void bump_rts(ItemId item, const Timestamp& ts);
+
+ private:
+  ItemRecord& entry(ItemId item);
+
+  const Shard* base_;
+  std::unordered_map<ItemId, ItemRecord> overlay_;
 };
 
 /// Deterministic placement: item -> shard, round-robin by id. All clients and

@@ -2,44 +2,6 @@
 
 namespace fides::txn {
 
-ValidationResult validate_occ(const store::Shard& shard, const Transaction& txn) {
-  const Timestamp ts = txn.commit_ts;
-
-  for (const auto& r : txn.rw.reads) {
-    if (!shard.contains(r.id)) continue;
-    const store::ItemRecord& cur = shard.peek(r.id);
-    if (cur.wts != r.wts) {
-      return {Vote::kAbort, "read of item " + std::to_string(r.id) +
-                                " is stale: item was rewritten after the read"};
-    }
-    if (!(cur.wts < ts)) {
-      return {Vote::kAbort, "RW-conflict: item " + std::to_string(r.id) +
-                                " carries a write timestamp >= commit timestamp"};
-    }
-  }
-
-  for (const auto& w : txn.rw.writes) {
-    if (!shard.contains(w.id)) continue;
-    const store::ItemRecord& cur = shard.peek(w.id);
-    if (!(cur.wts < ts)) {
-      return {Vote::kAbort, "WW-conflict: item " + std::to_string(w.id) +
-                                " was written at or after commit timestamp"};
-    }
-    if (!(cur.rts < ts)) {
-      return {Vote::kAbort, "WR-conflict: item " + std::to_string(w.id) +
-                                " was read at or after commit timestamp"};
-    }
-    // The write entry records the item state observed at access; a write
-    // over a version the client never saw (non-blind case) is stale.
-    if (!w.blind() && cur.wts != w.wts) {
-      return {Vote::kAbort, "write of item " + std::to_string(w.id) +
-                                " based on a stale read"};
-    }
-  }
-
-  return {Vote::kCommit, {}};
-}
-
 void apply_committed(store::Shard& shard, const Transaction& txn) {
   for (const auto& w : txn.rw.writes) {
     if (!shard.contains(w.id)) continue;

@@ -30,10 +30,49 @@ struct ValidationResult {
   bool ok() const { return vote == Vote::kCommit; }
 };
 
-/// Validates the sub-RwSet of `txn` that touches items owned by `shard`.
+/// Validates the sub-RwSet of `txn` that touches items owned by `state`.
 /// Items owned by other shards are ignored (each cohort validates only its
-/// own partition).
-ValidationResult validate_occ(const store::Shard& shard, const Transaction& txn);
+/// own partition). `state` is anything with Shard's contains()/peek()
+/// surface — the shard itself, or a store::ShardOverlay carrying the staged
+/// effects of in-flight blocks (speculative voting).
+template <typename StateT>
+ValidationResult validate_occ(const StateT& state, const Transaction& txn) {
+  const Timestamp ts = txn.commit_ts;
+
+  for (const auto& r : txn.rw.reads) {
+    if (!state.contains(r.id)) continue;
+    const store::ItemRecord& cur = state.peek(r.id);
+    if (cur.wts != r.wts) {
+      return {Vote::kAbort, "read of item " + std::to_string(r.id) +
+                                " is stale: item was rewritten after the read"};
+    }
+    if (!(cur.wts < ts)) {
+      return {Vote::kAbort, "RW-conflict: item " + std::to_string(r.id) +
+                                " carries a write timestamp >= commit timestamp"};
+    }
+  }
+
+  for (const auto& w : txn.rw.writes) {
+    if (!state.contains(w.id)) continue;
+    const store::ItemRecord& cur = state.peek(w.id);
+    if (!(cur.wts < ts)) {
+      return {Vote::kAbort, "WW-conflict: item " + std::to_string(w.id) +
+                                " was written at or after commit timestamp"};
+    }
+    if (!(cur.rts < ts)) {
+      return {Vote::kAbort, "WR-conflict: item " + std::to_string(w.id) +
+                                " was read at or after commit timestamp"};
+    }
+    // The write entry records the item state observed at access; a write
+    // over a version the client never saw (non-blind case) is stale.
+    if (!w.blind() && cur.wts != w.wts) {
+      return {Vote::kAbort, "write of item " + std::to_string(w.id) +
+                                " based on a stale read"};
+    }
+  }
+
+  return {Vote::kCommit, {}};
+}
 
 /// Applies the committed transaction's effects on `shard`: installs writes,
 /// advances rts on reads and rts+wts on writes to the commit timestamp

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "fides/cluster.hpp"
+#include "sim/simnet.hpp"
 #include "workload/ycsb.hpp"
 
 namespace fides {
@@ -305,6 +306,156 @@ TEST(EnginePipeline, CheckpointIdenticalAcrossSchedulersAfterPipelinedRun) {
   EXPECT_TRUE(direct->head_hash == simulated->head_hash);
   // Deterministic nonces: even the aggregate signature bits match.
   EXPECT_TRUE(direct->cosign == simulated->cosign);
+}
+
+// --- Speculative pipelining ---------------------------------------------------
+
+RunFingerprint replay_with_revotes(ClusterConfig cfg,
+                                   const std::vector<std::vector<commit::SignedEndTxn>>& batches,
+                                   std::size_t* revotes) {
+  Cluster cluster(cfg);
+  cluster.make_client();
+  const PipelineResult result = cluster.run_blocks(batches);
+  RunFingerprint fp;
+  *revotes = 0;
+  for (const RoundMetrics& m : result.rounds) {
+    fp.decisions.push_back(m.decision);
+    fp.cosigns_valid.push_back(m.cosign_valid ? 1 : 0);
+    *revotes += m.spec_revotes;
+  }
+  for (std::uint32_t i = 0; i < cluster.num_servers(); ++i) {
+    const Server& s = cluster.server(ServerId{i});
+    fp.log_sizes.push_back(s.log().size());
+    fp.head_hashes.push_back(s.log().head_hash());
+    fp.merkle_roots.push_back(s.shard().merkle_root());
+  }
+  for (const auto& block : cluster.server(ServerId{0}).log().blocks()) {
+    fp.block_digests.push_back(block.digest());
+  }
+  return fp;
+}
+
+TEST(EnginePipeline, SpeculationLedgerIdenticalAcrossDepthsAndThreads) {
+  // The headline speculation contract: dropping the apply-watermark gate and
+  // voting on pending overlays must be invisible in the committed ledger —
+  // at every depth and thread count, co-sign bits included.
+  const ClusterConfig cfg = base_config();
+  const auto batches = mint_batches(cfg, 6, 4);
+
+  ClusterConfig d1 = cfg;
+  d1.pipeline_depth = 1;
+  const RunFingerprint base = replay(d1, batches);
+  ASSERT_EQ(base.decisions.size(), 6u);
+
+  for (const std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+    for (const std::uint32_t threads : {1u, 0u}) {  // 0 = hardware concurrency
+      ClusterConfig sp = cfg;
+      sp.pipeline_depth = depth;
+      sp.num_threads = threads;
+      sp.speculate = true;
+      EXPECT_TRUE(replay(sp, batches) == base)
+          << "speculate depth " << depth << ", threads " << threads;
+    }
+  }
+}
+
+TEST(EnginePipeline, SpeculationLedgerIdenticalOverSimNet) {
+  const ClusterConfig cfg = base_config();
+  const auto batches = mint_batches(cfg, 5, 4);
+
+  ClusterConfig d1 = cfg;
+  d1.pipeline_depth = 1;
+  const RunFingerprint base = replay(d1, batches);
+
+  for (const std::uint64_t sim_seed : {1ULL, 7ULL, 99ULL}) {
+    for (const std::uint32_t depth : {2u, 4u, 8u}) {
+      ClusterConfig sp = cfg;
+      sp.pipeline_depth = depth;
+      sp.speculate = true;
+      sp.network.mode = sim::NetworkMode::kSimulated;
+      sp.network.sim.seed = sim_seed;
+      sp.network.sim.link.min_delay_us = 10;
+      sp.network.sim.link.max_delay_us = 900;  // wide window => heavy reorder
+      sp.network.sim.link.drop_prob = 0.2;
+      sp.network.sim.link.dup_prob = 0.2;
+      EXPECT_TRUE(replay(sp, batches) == base)
+          << "sim seed " << sim_seed << " depth " << depth;
+    }
+  }
+}
+
+TEST(EnginePipeline, MisSpeculatedRoundsRevoteToTheGatedLedger) {
+  // Abort-heavy cross-shard schedule: block 1 aborts on shard 1's veto
+  // (stale read of item 1) while shard 0 voted commit — so shard 0's
+  // speculative vote for block 2 stacks block 1's write of item 4 that
+  // never lands, votes abort on a phantom conflict, and must be discarded
+  // and re-voted once the truth arrives. The committed ledger still has to
+  // come out bit-identical to the lock-step run.
+  const ClusterConfig cfg = base_config();
+  std::vector<std::vector<commit::SignedEndTxn>> batches;
+  {
+    Cluster mint(cfg);
+    Client& client = mint.make_client();
+    auto t1 = simple_txn(mint, client, {0, 1}, "x");  // block 0: commits
+    auto t2 = simple_txn(mint, client, {4, 1}, "y");  // block 1: shard 1 vetoes
+    auto t3 = simple_txn(mint, client, {4}, "z");     // block 2: commits iff 1 aborted
+    batches.push_back({std::move(t1)});
+    batches.push_back({std::move(t2)});
+    batches.push_back({std::move(t3)});
+  }
+
+  ClusterConfig d1 = cfg;
+  d1.pipeline_depth = 1;
+  std::size_t base_revotes = 0;
+  const RunFingerprint base = replay_with_revotes(d1, batches, &base_revotes);
+  ASSERT_EQ(base.decisions,
+            (std::vector<ledger::Decision>{ledger::Decision::kCommit,
+                                           ledger::Decision::kAbort,
+                                           ledger::Decision::kCommit}));
+  EXPECT_EQ(base_revotes, 0u);
+
+  ClusterConfig sp = cfg;
+  sp.pipeline_depth = 4;
+  sp.speculate = true;
+  std::size_t revotes = 0;
+  EXPECT_TRUE(replay_with_revotes(sp, batches, &revotes) == base);
+  EXPECT_GT(revotes, 0u) << "schedule was meant to force a mis-speculation";
+
+  ClusterConfig sim = sp;
+  sim.network.mode = sim::NetworkMode::kSimulated;
+  sim.network.sim.seed = 21;
+  sim.network.sim.link.max_delay_us = 700;
+  sim.network.sim.link.dup_prob = 0.15;
+  std::size_t sim_revotes = 0;
+  EXPECT_TRUE(replay_with_revotes(sim, batches, &sim_revotes) == base);
+  EXPECT_GT(sim_revotes, 0u);
+}
+
+TEST(EnginePipeline, SpeculationShowsRealOverlapOnTheVirtualClock) {
+  // The point of the exercise: at depth 4 the vote exchange of round k+1
+  // overlaps round k's challenge/response and decision legs, so SimNet
+  // virtual time per round drops well below the lock-step engine's — the
+  // old watermark-gated pipeline plateaued at ~1.19x regardless of depth.
+  const ClusterConfig cfg = base_config();
+  const auto batches = mint_batches(cfg, 12, 3);
+
+  auto virtual_span = [&](std::uint32_t depth, bool speculate) {
+    ClusterConfig run = cfg;
+    run.pipeline_depth = depth;
+    run.speculate = speculate;
+    run.network.mode = sim::NetworkMode::kSimulated;
+    run.network.sim.seed = 5;
+    Cluster cluster(run);
+    cluster.make_client();
+    cluster.run_blocks(batches);
+    return cluster.simnet()->now_us();
+  };
+
+  const double lockstep_d1 = virtual_span(1, false);
+  const double spec_d4 = virtual_span(4, true);
+  EXPECT_GE(lockstep_d1 / spec_d4, 1.5)
+      << "lockstep depth1 " << lockstep_d1 << "us vs speculative depth4 "
+      << spec_d4 << "us";
 }
 
 TEST(EnginePipeline, EpochsAdvancePerRound) {

@@ -106,6 +106,64 @@ TEST(MerkleTree, SiblingUpdatesInOneOverlay) {
   EXPECT_EQ(t.root(), hypothetical);
 }
 
+TEST(MerkleTree, EmptyTreeRootIsDomainSeparated) {
+  // Regression: build_interior never runs at cap == 1, so an empty tree
+  // used to expose the raw zero digest as its root — indistinguishable from
+  // a one-leaf tree whose leaf happens to be Digest::zero().
+  MerkleTree empty(0);
+  MerkleTree one_zero_leaf(std::vector<Digest>{Digest::zero()});
+  EXPECT_NE(empty.root(), one_zero_leaf.root());
+  EXPECT_NE(empty.root(), Digest::zero());
+  EXPECT_EQ(empty.root(), sha256(to_bytes("fides-merkle-empty-tree")));
+  // The span constructor over zero leaves is the same empty tree.
+  EXPECT_EQ(MerkleTree(std::vector<Digest>{}).root(), empty.root());
+  // And root_after with no updates (the only legal batch) echoes it.
+  EXPECT_EQ(empty.root_after({}), empty.root());
+}
+
+TEST(MerkleTree, OverflowingLeafCountThrowsLengthError) {
+  // Regression: next_pow2 doubled forever once the capacity wrapped to 0.
+  constexpr std::size_t kTooBig = std::numeric_limits<std::size_t>::max();
+  EXPECT_THROW(MerkleTree t(kTooBig), std::length_error);
+  EXPECT_THROW(MerkleTree t(kTooBig / 2 + 2), std::length_error);
+  // The guard's own boundary: a capacity of SIZE_MAX/2 + 1 would not loop,
+  // but the 2*capacity node array would wrap to zero elements — counts in
+  // (SIZE_MAX/4 + 1, SIZE_MAX/2 + 1] must throw too, not write out of
+  // bounds into an empty vector.
+  EXPECT_THROW(MerkleTree t(kTooBig / 2 + 1), std::length_error);
+  EXPECT_THROW(MerkleTree t(kTooBig / 4 + 2), std::length_error);
+}
+
+TEST(MerkleTree, RootAfterChainMatchesSequentialApply) {
+  MerkleTree t(make_leaves(8));
+  const std::vector<std::pair<std::size_t, Digest>> b1 = {{1, leaf(70)}, {5, leaf(71)}};
+  const std::vector<std::pair<std::size_t, Digest>> b2 = {{5, leaf(72)}, {6, leaf(73)}};
+  const std::vector<std::pair<std::size_t, Digest>> b3 = {{1, leaf(74)}};
+  const std::vector<std::span<const std::pair<std::size_t, Digest>>> batches = {b1, b2, b3};
+  const Digest chained = t.root_after_chain(batches);
+
+  MerkleTree applied(make_leaves(8));
+  for (const auto& batch : {b1, b2, b3}) {
+    for (const auto& [i, d] : batch) applied.set_leaf(i, d);
+  }
+  EXPECT_EQ(chained, applied.root());
+  // Later batches must win over earlier ones per leaf.
+  MerkleTree wrong_order(make_leaves(8));
+  wrong_order.set_leaf(1, leaf(70));
+  wrong_order.set_leaf(5, leaf(72));
+  wrong_order.set_leaf(6, leaf(73));
+  wrong_order.set_leaf(1, leaf(74));
+  EXPECT_EQ(chained, wrong_order.root());
+}
+
+TEST(MerkleTree, RootAfterChainEmptyBatches) {
+  MerkleTree t(make_leaves(8));
+  EXPECT_EQ(t.root_after_chain({}), t.root());
+  const std::vector<std::pair<std::size_t, Digest>> none;
+  const std::vector<std::span<const std::pair<std::size_t, Digest>>> batches = {none, none};
+  EXPECT_EQ(t.root_after_chain(batches), t.root());
+}
+
 TEST(MerkleTree, OutOfRangeThrows) {
   MerkleTree t(make_leaves(4));
   EXPECT_THROW(t.set_leaf(4, leaf(1)), std::out_of_range);
@@ -182,6 +240,54 @@ TEST_P(MerklePropertyTest, IncrementalUpdatesMatchRebuildAndProofsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, MerklePropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 17, 64, 100, 1000));
+
+// Property sweep for the overlay paths: random update batches — duplicate
+// leaves, empty batches, full-tree updates — fed through root_after and the
+// chained (speculative) overlay must always agree with a tree rebuilt from
+// the final leaf values. Covers single-leaf trees, where the root IS the
+// sole leaf and the overlay fold degenerates.
+class OverlayPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OverlayPropertyTest, OverlayAndChainMatchFreshRebuild) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 131 + 3);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto original = make_leaves(n);
+    MerkleTree t(original);
+    auto expected = original;
+
+    std::vector<std::vector<std::pair<std::size_t, Digest>>> batches;
+    const std::size_t num_batches = rng.uniform(4);  // 0..3 (0 = empty chain)
+    for (std::size_t b = 0; b < num_batches; ++b) {
+      std::vector<std::pair<std::size_t, Digest>> batch;
+      std::size_t updates = rng.uniform(2 * n + 1);  // up to a full double pass
+      if (rng.uniform(5) == 0) updates = 0;          // empty batch
+      for (std::size_t u = 0; u < updates; ++u) {
+        // uniform(n) repeats indices freely => duplicate leaves in a batch.
+        const std::size_t idx = rng.uniform(n);
+        const Digest d = leaf(5000 + rng.uniform(1000000));
+        batch.emplace_back(idx, d);
+        expected[idx] = d;
+      }
+      batches.push_back(std::move(batch));
+    }
+
+    std::vector<std::span<const std::pair<std::size_t, Digest>>> spans;
+    for (const auto& b : batches) spans.emplace_back(b);
+    const Digest chained = t.root_after_chain(spans);
+    EXPECT_EQ(chained, MerkleTree(expected).root()) << "n=" << n;
+    EXPECT_EQ(t.root(), MerkleTree(original).root()) << "overlay must not mutate";
+
+    // The single-batch overlay agrees with the chain of one batch.
+    std::vector<std::pair<std::size_t, Digest>> flat;
+    for (const auto& b : batches) flat.insert(flat.end(), b.begin(), b.end());
+    EXPECT_EQ(t.root_after(flat), chained) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OverlayPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 33, 128));
 
 }  // namespace
 }  // namespace fides::merkle

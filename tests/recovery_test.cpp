@@ -22,6 +22,8 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <map>
+#include <set>
 #include <cstdlib>
 
 #include "ledger/round_log.hpp"
@@ -267,6 +269,114 @@ TEST(CrashMatrix, CheckpointEveryTransition) {
     EXPECT_TRUE(cp->cosign == base_cp->cosign)
         << what << ": checkpoint co-sign bits diverged";
   }
+}
+
+// --- Speculative pipelining under crashes --------------------------------------
+
+TEST(CrashMatrix, SpeculativeTfCommitEveryTransition) {
+  // Same transition matrix with speculation on and the gated depth-1 ledger
+  // as the reference: a crash in the middle of a speculative window —
+  // buffered votes, pending overlays, in-flight re-votes — must recover to
+  // the exact ledger the lock-step engine produces.
+  const std::vector<CrashPoint> points = {
+      {"tf_get_vote", 2},  // cohort dies after voting speculatively
+      {"tf_vote", 0},      // coordinator dies on buffered votes
+      {"tf_challenge", 1}, // cohort dies after responding
+      {"tf_response", 0},  // coordinator dies aggregating
+      {"tf_decision", 2},  // cohort dies after applying (pending stack live)
+      {"tf_decision", 0},  // coordinator dies after applying
+  };
+  const ClusterConfig gated = recovery_config(Protocol::kTfCommit, 1);
+  const auto batches = mint_batches(gated, 4);
+  const LedgerFingerprint base = run_commit(gated, batches, "gated uncrashed");
+  ASSERT_EQ(base.decisions.size(), 4u);
+
+  for (const std::uint32_t depth : {2u, 4u, 8u}) {
+    ClusterConfig spec = recovery_config(Protocol::kTfCommit, depth);
+    spec.speculate = true;
+    EXPECT_TRUE(run_commit(spec, batches, "speculative uncrashed") == base)
+        << "speculative depth " << depth << " diverged before any crash";
+    for (const CrashPoint& p : points) {
+      ClusterConfig crashed = spec;
+      CrashFault cf;
+      cf.server = p.server;
+      cf.after_type = p.type;
+      cf.after_count = 1;
+      cf.downtime_us = 1500;
+      crashed.crashes.push_back(cf);
+      const std::string what = std::string("spec ") + p.type + "@S" +
+                               std::to_string(p.server) + " depth=" + std::to_string(depth);
+      EXPECT_TRUE(run_commit(crashed, batches, what.c_str()) == base)
+          << "ledger diverged after crash at " << what;
+    }
+  }
+}
+
+TEST(SpeculativeRecovery, NeverDoubleLogsAVotePerEpochAndBase) {
+  // Abort-heavy cross-shard schedule (block 1 aborts on shard 1's veto, so
+  // shard 0 mis-speculates block 2 and must re-vote) plus a crash while the
+  // speculative window is live. The vote-once-per-(epoch, base) discipline
+  // must hold in every durable round log — a re-vote is a *new* (epoch,
+  // base) record, never a second record for an existing one.
+  ClusterConfig cfg = recovery_config(Protocol::kTfCommit, 4);
+  cfg.speculate = true;
+  std::vector<std::vector<commit::SignedEndTxn>> batches;
+  {
+    Cluster mint(cfg);
+    Client& client = mint.make_client();
+    auto txn = [&](std::vector<ItemId> items, const std::string& tag) {
+      ClientTxn t = client.begin();
+      mint.client_begin(client, t.id(), items);
+      for (const ItemId item : items) {
+        client.read(t, item);
+        client.write(t, item, to_bytes(tag + "-" + std::to_string(item)));
+      }
+      return client.end(std::move(t));
+    };
+    batches.push_back({txn({0, 1}, "x")});
+    batches.push_back({txn({4, 1}, "y")});
+    batches.push_back({txn({4}, "z")});
+    batches.push_back({txn({2, 3}, "w")});
+  }
+
+  CrashFault cf;
+  cf.server = 2;
+  cf.after_type = "tf_get_vote";
+  cf.after_count = 2;  // dies with several openings already speculated on
+  cf.downtime_us = 1200;
+  cfg.crashes.push_back(cf);
+
+  Cluster cluster(cfg);
+  cluster.make_client();
+  const PipelineResult result = cluster.run_blocks(batches);
+  ASSERT_EQ(result.rounds.size(), 4u);
+  EXPECT_EQ(result.rounds[1].decision, ledger::Decision::kAbort);
+  std::size_t revotes = 0;
+  for (const RoundMetrics& m : result.rounds) {
+    revotes += m.spec_revotes;
+    EXPECT_TRUE(m.vote_equivocators.empty());
+  }
+  EXPECT_GT(revotes, 0u) << "schedule was meant to force a mis-speculation";
+
+  bool saw_multiple_bases = false;
+  for (std::uint32_t i = 0; i < cluster.num_servers(); ++i) {
+    const auto records = cluster.server(ServerId{i}).round_log().replay();
+    ASSERT_TRUE(records.has_value()) << "S" << i << " round log failed integrity";
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+    std::map<std::uint64_t, std::set<std::uint64_t>> bases_per_epoch;
+    for (const ledger::RoundRecord& rec : *records) {
+      if (rec.type != ledger::RoundRecord::Type::kVote) continue;
+      EXPECT_TRUE(seen.emplace(rec.epoch, rec.base).second)
+          << "S" << i << " double-logged a vote for epoch " << rec.epoch
+          << " base " << rec.base;
+      bases_per_epoch[rec.epoch].insert(rec.base);
+    }
+    for (const auto& [epoch, bases] : bases_per_epoch) {
+      if (bases.size() > 1) saw_multiple_bases = true;
+    }
+  }
+  EXPECT_TRUE(saw_multiple_bases)
+      << "expected at least one re-vote under a distinct base somewhere";
 }
 
 // --- (ii) Direct-mode crash/recover API ---------------------------------------

@@ -9,9 +9,9 @@
 //   ./fides_simfuzz --base-seed <seed> --seeds 1
 //
 // Usage: fides_simfuzz [--seeds N] [--base-seed B] [--keep-going] [--pipeline]
-//                      [--crash]
+//                      [--crash] [--spec]
 // Env:   FIDES_SIM_SEEDS / FIDES_SIM_SEED override the defaults;
-//        FIDES_CRASH=1 is equivalent to --crash.
+//        FIDES_CRASH=1 is equivalent to --crash, FIDES_SPEC=1 to --spec.
 // --pipeline forces every scenario to run with pipeline_depth in 2..4 (the
 // pipelined smoke sweep; oracles unchanged).
 // --crash adds a seeded crash/recover cycle to every scenario (composable
@@ -19,6 +19,10 @@
 // restores from its durable round log; coordinator crashes sometimes arm
 // TFCommit's cohort-driven termination. Adds the recovery oracles
 // (bit-identical rejoin, no lost committed writes, vote-once).
+// --spec forces speculative voting on for every TFCommit scenario (depth
+// 2..8). Without it speculation is still drawn organically by ~half the
+// TFCommit seeds (depth 1..8, plus an abort-heavy scripted stream that
+// forces mis-speculated bases); composable with --crash and --pipeline.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +46,9 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("FIDES_CRASH")) {
     options.with_crash = std::strcmp(env, "0") != 0;
   }
+  if (const char* env = std::getenv("FIDES_SPEC")) {
+    options.force_speculation = std::strcmp(env, "0") != 0;
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       seeds = std::strtoull(argv[++i], nullptr, 10);
@@ -53,10 +60,12 @@ int main(int argc, char** argv) {
       options.force_pipeline = true;
     } else if (std::strcmp(argv[i], "--crash") == 0) {
       options.with_crash = true;
+    } else if (std::strcmp(argv[i], "--spec") == 0) {
+      options.force_speculation = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seeds N] [--base-seed B] [--keep-going] [--pipeline] "
-                   "[--crash]\n",
+                   "[--crash] [--spec]\n",
                    argv[0]);
       return 2;
     }
@@ -71,12 +80,16 @@ int main(int argc, char** argv) {
   std::uint64_t detected = 0;
   std::uint64_t crashed = 0;
   std::uint64_t terminated = 0;
+  std::uint64_t speculative = 0;
+  std::uint64_t revotes = 0;
   for (std::uint64_t seed = base; seed < base + seeds; ++seed) {
     const fides::sim::FuzzOutcome out = fides::sim::run_schedule(seed, options);
     byzantine += out.byzantine ? 1 : 0;
     detected += out.detected ? 1 : 0;
     crashed += out.crashed ? 1 : 0;
     terminated += out.terminated ? 1 : 0;
+    speculative += out.speculative ? 1 : 0;
+    revotes += out.spec_revotes;
     if (!out.ok) {
       ++failures;
       std::printf("FAIL seed=%" PRIu64 "\n  scenario: %s\n  invariant: %s\n"
@@ -96,7 +109,9 @@ int main(int argc, char** argv) {
 
   std::printf("done: %" PRIu64 " schedules, %" PRIu64 " byzantine (%" PRIu64
               " detected), %" PRIu64 " crash cycles (%" PRIu64
-              " cohort-terminated), %" PRIu64 " failures\n",
-              seeds, byzantine, detected, crashed, terminated, failures);
+              " cohort-terminated), %" PRIu64 " speculative (%" PRIu64
+              " re-votes), %" PRIu64 " failures\n",
+              seeds, byzantine, detected, crashed, terminated, speculative, revotes,
+              failures);
   return failures == 0 ? 0 : 1;
 }
