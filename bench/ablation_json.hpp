@@ -1,0 +1,51 @@
+// Maps the repo-wide `--json <path>` / FIDES_BENCH_JSON convention onto
+// Google Benchmark's own JSON reporter, so the ablation microbenches honour
+// the same knob as the figure benches. tools/bench_diff.py recognises the
+// Google-Benchmark format (top-level "context" key) and treats it as
+// informational only — wall-clock microbenchmarks are too noisy to gate.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace fides::bench {
+
+inline int ablation_main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::string json_path;
+  for (std::size_t i = 1; i + 1 < args.size(); ++i) {
+    if (args[i] == "--json") {
+      json_path = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      break;
+    }
+  }
+  if (json_path.empty()) {
+    const char* env = std::getenv("FIDES_BENCH_JSON");
+    if (env != nullptr) json_path = env;
+  }
+  if (!json_path.empty()) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(args.size());
+  for (std::string& a : args) cargv.push_back(a.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace fides::bench
+
+#define FIDES_ABLATION_MAIN()                        \
+  int main(int argc, char** argv) {                  \
+    return fides::bench::ablation_main(argc, argv);  \
+  }

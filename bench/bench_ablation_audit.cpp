@@ -8,10 +8,12 @@
 #include <cstdio>
 
 #include "audit/auditor.hpp"
+#include "bench_common.hpp"
 #include "workload/ycsb.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fides;
+  bench::BenchReport report("ablation_audit");
   std::printf("=========================================================\n");
   std::printf("Ablation: audit cost vs log length (3 servers, batch 10)\n");
   std::printf("=========================================================\n");
@@ -49,6 +51,16 @@ int main() {
                 std::chrono::duration<double, std::milli>(t1 - t0).count(),
                 std::chrono::duration<double, std::milli>(t2 - t1).count(),
                 full_report.items_authenticated);
+
+    bench::BenchPoint& p = report.point("blocks" + std::to_string(blocks));
+    p.exact.set("blocks_audited", static_cast<double>(history_report.blocks_audited));
+    p.exact.set("items_authenticated",
+                static_cast<double>(full_report.items_authenticated));
+    p.approx.set("history_audit_ms",
+                 std::chrono::duration<double, std::milli>(t1 - t0).count());
+    p.approx.set("exhaustive_audit_ms",
+                 std::chrono::duration<double, std::milli>(t2 - t1).count());
   }
+  bench::finish_report(report, argc, argv);
   return 0;
 }

@@ -6,6 +6,7 @@
 // aggregation) across witness counts matching the Figure 14 sweep.
 #include <benchmark/benchmark.h>
 
+#include "ablation_json.hpp"
 #include "crypto/cosi.hpp"
 
 namespace {
@@ -109,4 +110,4 @@ BENCHMARK(BM_Sha256Block)->Arg(64)->Arg(1024)->Arg(65536);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FIDES_ABLATION_MAIN()

@@ -7,11 +7,13 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "ordserv/group_commit.hpp"
 #include "workload/ycsb.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fides;
+  bench::BenchReport report("ablation_groupcommit");
   std::printf("============================================================\n");
   std::printf("Ablation: global TFCommit vs group commit (5-item txns)\n");
   std::printf("============================================================\n");
@@ -45,6 +47,12 @@ int main() {
     }
     std::printf("%-8u %-18u %-18.1f %-20.3f\n", servers, servers,
                 group_size_sum / kRounds, ms_sum / kRounds);
+
+    bench::BenchPoint& p = report.point("servers" + std::to_string(servers));
+    p.exact.set("global_signers", static_cast<double>(servers));
+    p.exact.set("group_signers_avg", group_size_sum / kRounds);
+    p.approx.set("group_round_ms_avg", ms_sum / kRounds);
   }
+  bench::finish_report(report, argc, argv);
   return 0;
 }

@@ -7,6 +7,7 @@
 // Tree sizes span the Figure 15 sweep (1k..10k leaves, plus extremes).
 #include <benchmark/benchmark.h>
 
+#include "ablation_json.hpp"
 #include "common/rng.hpp"
 #include "merkle/proof.hpp"
 
@@ -80,4 +81,4 @@ BENCHMARK(BM_FoldVerificationObject)->Arg(1000)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FIDES_ABLATION_MAIN()

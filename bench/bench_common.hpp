@@ -15,13 +15,21 @@
 //   FIDES_PIPELINE     commit rounds in flight (default 1 = lock-step)
 //   FIDES_NET          "sim" routes commit rounds through the deterministic
 //                      SimNet (seeded by FIDES_SIM_SEED, default 1)
+//   FIDES_ARRIVAL      "fixed" / "poisson" switches the driver to open-loop
+//                      load (requires FIDES_NET=sim); default closed loop
+//   FIDES_RATE         open-loop offered load in txns/sec (default 2000)
+//   FIDES_CLIENTS      open-loop client population (default 4)
+//   FIDES_BENCH_JSON   write a machine-readable fides-bench-v1 report to
+//                      this path (same as passing --json <path>)
 // See the README's "engine knobs" table for the full semantics.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/simnet.hpp"
@@ -34,6 +42,13 @@ inline std::size_t env_size(const char* name, std::size_t fallback) {
   if (v == nullptr) return fallback;
   const long parsed = std::atol(v);
   return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const double parsed = std::atof(v);
+  return parsed > 0 ? parsed : fallback;
 }
 
 inline std::size_t bench_txns() { return env_size("FIDES_BENCH_TXNS", 200); }
@@ -81,6 +96,26 @@ inline void apply_network_env(ClusterConfig& cluster) {
   }
 }
 
+/// Applies the open-loop knobs: FIDES_ARRIVAL ("fixed" / "poisson" /
+/// anything else = closed), FIDES_RATE, FIDES_CLIENTS. Only takes effect
+/// when the cluster runs on the simulated network.
+inline void apply_arrival_env(workload::ExperimentConfig& cfg) {
+  const char* v = std::getenv("FIDES_ARRIVAL");
+  if (v != nullptr) {
+    const std::string s(v);
+    if (s == "fixed") {
+      cfg.arrival.process = workload::ArrivalProcess::kFixedRate;
+    } else if (s == "poisson") {
+      cfg.arrival.process = workload::ArrivalProcess::kPoisson;
+    } else {
+      cfg.arrival.process = workload::ArrivalProcess::kClosed;
+    }
+  }
+  cfg.arrival.rate_tps = env_double("FIDES_RATE", cfg.arrival.rate_tps);
+  cfg.arrival.num_clients =
+      static_cast<std::uint32_t>(env_size("FIDES_CLIENTS", cfg.arrival.num_clients));
+}
+
 inline workload::ExperimentResult run_point(workload::ExperimentConfig cfg) {
   cfg.total_txns = bench_txns();
   cfg.cluster.sign_data_path = false;  // §6 measures from end-transaction on
@@ -88,8 +123,203 @@ inline workload::ExperimentResult run_point(workload::ExperimentConfig cfg) {
   cfg.cluster.pipeline_depth = bench_pipeline();
   cfg.cluster.speculate = bench_speculate();
   apply_network_env(cfg.cluster);
+  apply_arrival_env(cfg);
   const auto seeds = bench_seeds();
   return workload::run_averaged(cfg, seeds);
+}
+
+// --- Machine-readable reports (schema "fides-bench-v1") -------------------------
+//
+// Every bench binary can write its sweep as JSON: `--json <path>` or
+// FIDES_BENCH_JSON=<path>. tools/bench_diff.py compares these against the
+// committed bench/baseline/ to gate the performance trajectory in CI.
+//
+// Metrics are grouped by how they may be compared:
+//   exact  — deterministic given seed + config: protocol counts (txns,
+//            blocks, messages, bytes, signatures) and anything measured on
+//            the virtual clock (open-loop percentiles, spans, virtual tps).
+//            bench_diff compares these byte-for-byte.
+//   approx — contains measured wall/CPU time (modeled latency folds in the
+//            measured compute term); compared directionally with a noise
+//            tolerance (*_tps may not drop, *_ms may not rise).
+//   info   — context only (wall seconds, threads); never compared.
+
+struct MetricGroup {
+  std::vector<std::pair<std::string, double>> values;
+  void set(const std::string& key, double v) { values.emplace_back(key, v); }
+};
+
+struct BenchPoint {
+  std::string label;
+  MetricGroup exact;
+  MetricGroup approx;
+  MetricGroup info;
+};
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Records a config knob (emitted as a string so exact values survive).
+  void config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, value);
+  }
+  void config(const std::string& key, std::size_t value) {
+    config(key, std::to_string(value));
+  }
+
+  BenchPoint& point(const std::string& label) {
+    points_.emplace_back();
+    points_.back().label = label;
+    return points_.back();
+  }
+
+  /// Writes the report; returns false (with a note on stderr) on I/O error.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const char* commit = std::getenv("GITHUB_SHA");
+    if (commit == nullptr) commit = std::getenv("FIDES_COMMIT");
+    std::fprintf(f, "{\n  \"schema\": \"fides-bench-v1\",\n");
+    std::fprintf(f, "  \"name\": %s,\n", quoted(name_).c_str());
+    std::fprintf(f, "  \"commit\": %s,\n",
+                 quoted(commit != nullptr ? commit : "unknown").c_str());
+    std::fprintf(f, "  \"config\": {");
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      std::fprintf(f, "%s\n    %s: %s", i ? "," : "", quoted(config_[i].first).c_str(),
+                   quoted(config_[i].second).c_str());
+    }
+    std::fprintf(f, "%s},\n", config_.empty() ? "" : "\n  ");
+    std::fprintf(f, "  \"points\": [");
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      const BenchPoint& p = points_[i];
+      std::fprintf(f, "%s\n    {\n      \"label\": %s,\n", i ? "," : "",
+                   quoted(p.label).c_str());
+      write_group(f, "exact", p.exact);
+      std::fprintf(f, ",\n");
+      write_group(f, "approx", p.approx);
+      std::fprintf(f, ",\n");
+      write_group(f, "info", p.info);
+      std::fprintf(f, "\n    }");
+    }
+    std::fprintf(f, "%s]\n}\n", points_.empty() ? "" : "\n  ");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string quoted(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  static void write_group(std::FILE* f, const char* name, const MetricGroup& g) {
+    std::fprintf(f, "      \"%s\": {", name);
+    for (std::size_t i = 0; i < g.values.size(); ++i) {
+      // %.17g round-trips doubles exactly; non-finite values (a point that
+      // never completed) become null so the file stays valid JSON.
+      char buf[40];
+      if (std::isfinite(g.values[i].second)) {
+        std::snprintf(buf, sizeof buf, "%.17g", g.values[i].second);
+      } else {
+        std::snprintf(buf, sizeof buf, "null");
+      }
+      std::fprintf(f, "%s\n        %s: %s", i ? "," : "",
+                   quoted(g.values[i].first).c_str(), buf);
+    }
+    std::fprintf(f, "%s}", g.values.empty() ? "" : "\n      ");
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<BenchPoint> points_;
+};
+
+/// Resolves the report path: `--json <path>` beats FIDES_BENCH_JSON; empty
+/// string means "don't write a report".
+inline std::string bench_json_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  const char* env = std::getenv("FIDES_BENCH_JSON");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+/// Stamps the shared env knobs into the report so a baseline diff can tell a
+/// perf change from a config change.
+inline void stamp_config(BenchReport& report) {
+  report.config("txns", bench_txns());
+  report.config("seeds", bench_seeds().size());
+  report.config("threads", bench_threads());
+  report.config("pipeline", bench_pipeline());
+  report.config("speculate", bench_speculate() ? "1" : "0");
+  const char* net = std::getenv("FIDES_NET");
+  report.config("net", net != nullptr ? net : "direct");
+  const char* arrival = std::getenv("FIDES_ARRIVAL");
+  report.config("arrival", arrival != nullptr ? arrival : "closed");
+}
+
+/// Splits one experiment result into exact/approx/info groups. Open-loop
+/// percentiles and throughput live on the virtual clock, so they move to the
+/// exact group; closed-loop latency folds in measured compute time and stays
+/// approximate.
+inline void add_experiment_point(BenchReport& report, const std::string& label,
+                                 const workload::ExperimentResult& r) {
+  BenchPoint& p = report.point(label);
+  p.exact.set("committed_txns", static_cast<double>(r.committed_txns));
+  p.exact.set("aborted_txns", static_cast<double>(r.aborted_txns));
+  p.exact.set("blocks", static_cast<double>(r.blocks));
+  p.exact.set("net_messages", static_cast<double>(r.net.messages));
+  p.exact.set("net_bytes", static_cast<double>(r.net.bytes));
+  p.exact.set("signatures_created", static_cast<double>(r.net.signatures_created));
+  p.exact.set("signatures_verified", static_cast<double>(r.net.signatures_verified));
+  // Closed-loop percentiles derive from per-block modeled latency, which
+  // folds in measured compute time — their tails (one stray slow round) are
+  // far too noisy to gate, so they land in info. Open-loop percentiles are
+  // pure virtual time and gate exactly.
+  MetricGroup& timing = r.open_loop ? p.exact : p.info;
+  timing.set("p50_ms", r.p50_ms);
+  timing.set("p99_ms", r.p99_ms);
+  timing.set("p999_ms", r.p999_ms);
+  timing.set("max_ms", r.max_ms);
+  (r.open_loop ? p.exact : p.approx).set("throughput_tps", r.throughput_tps);
+  if (r.open_loop) {
+    p.exact.set("offered_tps", r.offered_tps);
+    p.exact.set("span_ms", r.span_ms);
+    p.exact.set("client_sends", static_cast<double>(r.client_sends));
+    p.exact.set("client_retries", static_cast<double>(r.client_retries));
+    p.exact.set("dup_responses", static_cast<double>(r.dup_responses));
+  }
+  p.approx.set("avg_latency_ms", r.avg_latency_ms);
+  p.approx.set("avg_measured_ms", r.avg_measured_ms);
+  p.approx.set("measured_throughput_tps", r.measured_throughput_tps);
+  p.approx.set("avg_mht_ms", r.avg_mht_ms);
+  p.info.set("wall_seconds", r.wall_seconds);
+  p.info.set("threads", static_cast<double>(r.threads));
+  p.info.set("pipeline_depth", static_cast<double>(r.pipeline_depth));
+}
+
+/// Writes the report if a path was requested. Call at the end of main().
+inline void finish_report(const BenchReport& report, int argc, char** argv) {
+  const std::string path = bench_json_path(argc, argv);
+  if (path.empty()) return;
+  if (report.write(path)) std::printf("wrote %s\n", path.c_str());
 }
 
 // --- Pipeline depth sweep -----------------------------------------------------
@@ -116,7 +346,8 @@ struct DepthRun {
 };
 
 inline void pipeline_depth_section(std::uint32_t servers, std::size_t txns_per_block,
-                                   std::size_t blocks) {
+                                   std::size_t blocks,
+                                   BenchReport* report = nullptr) {
   ClusterConfig cfg;
   cfg.num_servers = servers;
   cfg.items_per_shard = 10000;
@@ -184,6 +415,13 @@ inline void pipeline_depth_section(std::uint32_t servers, std::size_t txns_per_b
                     depth, speculate ? "on" : "off");
         std::exit(1);
       }
+      if (report != nullptr) {
+        BenchPoint& p = report->point("pipeline/direct/depth" + std::to_string(depth) +
+                                      "/spec_" + (speculate ? "on" : "off"));
+        p.exact.set("committed_txns", static_cast<double>(cur.committed_txns));
+        p.approx.set("wall_ms", cur.wall_us / 1000.0);
+        p.approx.set("throughput_tps", cur.committed_txns / (cur.wall_us / 1e6));
+      }
     }
   }
 
@@ -240,6 +478,16 @@ inline void pipeline_depth_section(std::uint32_t servers, std::size_t txns_per_b
                     depth, speculate ? "on" : "off");
         std::exit(1);
       }
+      if (report != nullptr) {
+        // Virtual-time sweep: fully deterministic given the SimNet seed, so
+        // the whole point is exact — CI catches any drift in the pipelined
+        // schedule itself, not just throughput regressions.
+        BenchPoint& p = report->point("pipeline/sim/depth" + std::to_string(depth) +
+                                      "/spec_" + (speculate ? "on" : "off"));
+        p.exact.set("committed_txns", static_cast<double>(cur.committed_txns));
+        p.exact.set("virtual_ms", cur.wall_us / 1000.0);
+        p.exact.set("virtual_tps", cur.committed_txns / (cur.wall_us / 1e6));
+      }
     }
   }
   const double spec_speedup = spec_d4_us > 0 ? lockstep_d1_us / spec_d4_us : 0.0;
@@ -248,6 +496,9 @@ inline void pipeline_depth_section(std::uint32_t servers, std::size_t txns_per_b
   if (spec_speedup < 1.5) {
     std::printf("ERROR: speculation failed the 1.5x virtual-time bar\n");
     std::exit(1);
+  }
+  if (report != nullptr) {
+    report->point("pipeline/sim/summary").exact.set("spec_d4_speedup", spec_speedup);
   }
 }
 

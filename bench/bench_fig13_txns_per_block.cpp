@@ -9,15 +9,18 @@
 // hard-failing on any ledger divergence (see bench_common.hpp).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fides;
   bench::print_header(
       "Figure 13: transactions per block, 5 servers",
       "latency/txn falls ~2.6x, throughput rises ~2.5x by batch >= 80");
 
-  std::printf("%-12s %-16s %-16s %-14s %-14s %-12s %-10s\n", "txns/block",
+  bench::BenchReport report("fig13_txns_per_block");
+  bench::stamp_config(report);
+
+  std::printf("%-12s %-16s %-16s %-14s %-14s %-10s %-12s %-10s\n", "txns/block",
               "latency_ms(txn)", "measured_ms(txn)", "throughput_tps",
-              "measured_tps", "blocks", "aborted");
+              "measured_tps", "p99_ms", "blocks", "aborted");
 
   for (const std::size_t batch : {2, 20, 40, 60, 80, 100, 120}) {
     workload::ExperimentConfig cfg;
@@ -32,12 +35,15 @@ int main() {
         r.blocks > 0 ? r.avg_latency_ms / static_cast<double>(batch) : 0;
     const double per_txn_measured_ms =
         r.blocks > 0 ? r.avg_measured_ms / static_cast<double>(batch) : 0;
-    std::printf("%-12zu %-16.3f %-16.3f %-14.0f %-14.0f %-12zu %-10zu\n", batch,
-                per_txn_ms, per_txn_measured_ms, r.throughput_tps,
-                r.measured_throughput_tps, r.blocks, r.aborted_txns);
+    std::printf("%-12zu %-16.3f %-16.3f %-14.0f %-14.0f %-10.3f %-12zu %-10zu\n",
+                batch, per_txn_ms, per_txn_measured_ms, r.throughput_tps,
+                r.measured_throughput_tps, r.p99_ms, r.blocks, r.aborted_txns);
+    bench::add_experiment_point(report, "batch" + std::to_string(batch), r);
   }
 
   bench::pipeline_depth_section(/*servers=*/4, /*txns_per_block=*/25,
-                                /*blocks=*/std::max<std::size_t>(8, bench::bench_txns() / 25));
+                                /*blocks=*/std::max<std::size_t>(8, bench::bench_txns() / 25),
+                                &report);
+  bench::finish_report(report, argc, argv);
   return 0;
 }

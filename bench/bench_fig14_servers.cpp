@@ -67,7 +67,7 @@ EngineRun run_engine(std::uint32_t servers, std::uint32_t num_threads,
   return run;
 }
 
-void parallel_engine_section() {
+void parallel_engine_section(bench::BenchReport& report) {
   const std::uint32_t servers = 8;
   // Same FIDES_THREADS knob as the sweep above, floored at 4: this section
   // exists to demonstrate the multi-thread engine, so it never runs below
@@ -101,18 +101,26 @@ void parallel_engine_section() {
     std::printf("ERROR: parallel run diverged from sequential run\n");
     std::exit(1);
   }
+  bench::BenchPoint& p = report.point("parallel_engine");
+  p.approx.set("seq_ms_per_round", seq.measured_us_per_round / 1000.0);
+  p.approx.set("par_ms_per_round", par.measured_us_per_round / 1000.0);
+  p.info.set("threads", threads);
+  p.info.set("speedup", speedup);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fides;
   bench::print_header(
       "Figure 14: number of servers, 100 txns/block",
       "throughput +~47%, latency -~33%, MHT update time falls, 3 -> 9 servers");
 
-  std::printf("%-8s %-14s %-14s %-16s %-14s %-10s\n", "servers", "modeled_ms",
-              "measured_ms", "throughput_tps", "mht_update_ms", "aborted");
+  bench::BenchReport report("fig14_servers");
+  bench::stamp_config(report);
+
+  std::printf("%-8s %-14s %-14s %-16s %-10s %-14s %-10s\n", "servers", "modeled_ms",
+              "measured_ms", "throughput_tps", "p99_ms", "mht_update_ms", "aborted");
 
   for (std::uint32_t servers = 3; servers <= 9; ++servers) {
     workload::ExperimentConfig cfg;
@@ -121,13 +129,16 @@ int main() {
     cfg.cluster.max_batch_size = 100;
     cfg.txns_per_block = 100;
     const auto r = bench::run_point(cfg);
-    std::printf("%-8u %-14.2f %-14.2f %-16.0f %-14.4f %-10zu\n", servers,
-                r.avg_latency_ms, r.avg_measured_ms, r.throughput_tps, r.avg_mht_ms,
-                r.aborted_txns);
+    std::printf("%-8u %-14.2f %-14.2f %-16.0f %-10.2f %-14.4f %-10zu\n", servers,
+                r.avg_latency_ms, r.avg_measured_ms, r.throughput_tps, r.p99_ms,
+                r.avg_mht_ms, r.aborted_txns);
+    bench::add_experiment_point(report, "servers" + std::to_string(servers), r);
   }
 
-  parallel_engine_section();
+  parallel_engine_section(report);
   bench::pipeline_depth_section(/*servers=*/4, /*txns_per_block=*/25,
-                                /*blocks=*/std::max<std::size_t>(8, bench::bench_txns() / 25));
+                                /*blocks=*/std::max<std::size_t>(8, bench::bench_txns() / 25),
+                                &report);
+  bench::finish_report(report, argc, argv);
   return 0;
 }

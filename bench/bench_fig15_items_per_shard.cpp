@@ -5,14 +5,17 @@
 // Merkle trees: updating a leaf touches ~10 nodes at 1k items, ~14 at 10k).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fides;
   bench::print_header(
       "Figure 15: items per shard, 5 servers, 100 txns/block",
       "latency rises ~15%, throughput falls ~14%, 1k -> 10k items/shard");
 
-  std::printf("%-14s %-14s %-14s %-16s %-14s\n", "items/shard", "latency_ms",
-              "measured_ms", "throughput_tps", "mht_update_ms");
+  bench::BenchReport report("fig15_items_per_shard");
+  bench::stamp_config(report);
+
+  std::printf("%-14s %-14s %-14s %-16s %-10s %-14s\n", "items/shard", "latency_ms",
+              "measured_ms", "throughput_tps", "p99_ms", "mht_update_ms");
 
   for (std::uint32_t items = 1000; items <= 10000; items += 1000) {
     workload::ExperimentConfig cfg;
@@ -21,8 +24,11 @@ int main() {
     cfg.cluster.max_batch_size = 100;
     cfg.txns_per_block = 100;
     const auto r = bench::run_point(cfg);
-    std::printf("%-14u %-14.2f %-14.2f %-16.0f %-14.4f\n", items, r.avg_latency_ms,
-                r.avg_measured_ms, r.throughput_tps, r.avg_mht_ms);
+    std::printf("%-14u %-14.2f %-14.2f %-16.0f %-10.2f %-14.4f\n", items,
+                r.avg_latency_ms, r.avg_measured_ms, r.throughput_tps, r.p99_ms,
+                r.avg_mht_ms);
+    bench::add_experiment_point(report, "items" + std::to_string(items), r);
   }
+  bench::finish_report(report, argc, argv);
   return 0;
 }

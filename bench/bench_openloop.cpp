@@ -1,0 +1,71 @@
+// Production-shaped load: open-loop clients on the simulated network.
+//
+// Unlike the figure benches (closed loop: the next block starts when the
+// previous one finishes), this bench offers load at a configured rate —
+// clients are SimNet nodes submitting on a fixed-rate or Poisson arrival
+// schedule, retrying on timeout, with per-transaction latency measured on
+// the virtual clock from submit to the signed commit response. That makes
+// the tail (p99/p999) meaningful: it captures queueing delay when the
+// offered rate approaches the pipeline's service rate.
+//
+// Everything here runs on virtual time, so every number in the table is
+// byte-reproducible from the seed — the whole sweep lands in the `exact`
+// group of the JSON report and is gated exactly by tools/bench_diff.py.
+//
+// Knobs: FIDES_RATE scales the sweep's center rate; FIDES_CLIENTS sizes the
+// client population; FIDES_BENCH_TXNS/SEEDS/PIPELINE/SPEC as usual.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fides;
+  bench::print_header(
+      "Open loop: offered-load sweep, 5 servers, 20 txns/block, SimNet",
+      "latency flat until the knee, then the tail (p99/p999) grows first");
+
+  bench::BenchReport report("openloop");
+  bench::stamp_config(report);
+
+  std::printf("%-9s %-12s %-10s %-10s %-10s %-10s %-10s %-9s %-9s\n", "arrival",
+              "offered_tps", "tput_tps", "p50_ms", "p99_ms", "p999_ms", "max_ms",
+              "retries", "aborted");
+
+  const double center = bench::env_double("FIDES_RATE", 2000.0);
+  for (const workload::ArrivalProcess process :
+       {workload::ArrivalProcess::kFixedRate, workload::ArrivalProcess::kPoisson}) {
+    for (const double scale : {0.25, 1.0, 4.0}) {
+      workload::ExperimentConfig cfg;
+      cfg.cluster.num_servers = 5;
+      cfg.cluster.items_per_shard = 10000;
+      cfg.cluster.max_batch_size = 20;
+      cfg.txns_per_block = 20;
+      cfg.cluster.network.mode = sim::NetworkMode::kSimulated;
+      cfg.cluster.network.sim.seed = bench::env_size("FIDES_SIM_SEED", 1);
+      cfg.arrival.process = process;
+      cfg.arrival.rate_tps = center * scale;
+      cfg.arrival.num_clients =
+          static_cast<std::uint32_t>(bench::env_size("FIDES_CLIENTS", 4));
+      cfg.total_txns = bench::bench_txns();
+      cfg.cluster.sign_data_path = false;
+      cfg.cluster.num_threads = bench::bench_threads();
+      cfg.cluster.pipeline_depth = bench::bench_pipeline();
+      cfg.cluster.speculate = bench::bench_speculate();
+
+      const auto seeds = bench::bench_seeds();
+      const auto r = workload::run_averaged(cfg, seeds);
+
+      const char* name =
+          process == workload::ArrivalProcess::kPoisson ? "poisson" : "fixed";
+      std::printf("%-9s %-12.0f %-10.0f %-10.3f %-10.3f %-10.3f %-10.3f %-9zu %-9zu\n",
+                  name, cfg.arrival.rate_tps, r.throughput_tps, r.p50_ms, r.p99_ms,
+                  r.p999_ms, r.max_ms, static_cast<std::size_t>(r.client_retries),
+                  r.aborted_txns);
+      bench::add_experiment_point(
+          report,
+          std::string(name) + "/rate" + std::to_string(static_cast<long>(cfg.arrival.rate_tps)),
+          r);
+    }
+  }
+
+  bench::finish_report(report, argc, argv);
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fides::common {
+
+std::size_t LogHistogram::bucket_index(double v) {
+  if (!(v > 0.0) || std::isnan(v)) return 0;  // zero, negative, NaN
+  int exp = 0;
+  // frexp: v = f * 2^exp with f in [0.5, 1). Bucket by (exp, linear
+  // position of f within its octave) — exact integer arithmetic after the
+  // decomposition, so the boundary functions below invert it precisely.
+  const double f = std::frexp(v, &exp);
+  if (exp <= kMinExp) return 0;
+  if (exp > kMaxExp) return num_buckets() - 1;
+  auto sub = static_cast<std::size_t>((f - 0.5) * 2.0 * static_cast<double>(kSubBuckets));
+  sub = std::min(sub, kSubBuckets - 1);
+  return 1 + static_cast<std::size_t>(exp - 1 - kMinExp) * kSubBuckets + sub;
+}
+
+double LogHistogram::bucket_upper(std::size_t idx) {
+  if (idx == 0) return std::ldexp(1.0, kMinExp);
+  if (idx >= num_buckets()) idx = num_buckets() - 1;
+  const std::size_t off = idx - 1;
+  const int exp = kMinExp + 1 + static_cast<int>(off / kSubBuckets);
+  const std::size_t sub = off % kSubBuckets;
+  // Upper edge of sub-bucket `sub` in octave [2^(exp-1), 2^exp).
+  const double frac = 0.5 + (static_cast<double>(sub + 1) / (2.0 * kSubBuckets));
+  return std::ldexp(frac, exp);
+}
+
+double LogHistogram::bucket_lower(std::size_t idx) {
+  if (idx == 0) return 0.0;
+  return bucket_upper(idx - 1);
+}
+
+void LogHistogram::record(double v) {
+  const std::size_t idx = bucket_index(v);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  ++counts_[idx];
+  if (count_ == 0) {
+    max_ = v;
+    min_ = v;
+  } else {
+    max_ = std::max(max_, v);
+    min_ = std::min(min_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (other.counts_.size() > counts_.size()) counts_.resize(other.counts_.size(), 0);
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    max_ = other.max_;
+    min_ = other.min_;
+  } else {
+    max_ = std::max(max_, other.max_);
+    min_ = std::min(min_, other.min_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) return std::min(bucket_upper(i), max_);
+  }
+  return max_;
+}
+
+bool operator==(const LogHistogram& a, const LogHistogram& b) {
+  // Compares the *distribution*: bucket counts, count, min, max — everything
+  // percentiles derive from. sum_ is deliberately excluded: floating-point
+  // addition is order-sensitive, so two histograms holding the same multiset
+  // of samples can differ in sum_ by an ulp depending on merge order.
+  if (a.count_ != b.count_) return false;
+  if (a.count_ > 0 && (a.max_ != b.max_ || a.min_ != b.min_)) return false;
+  const std::size_t n = std::max(a.counts_.size(), b.counts_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t ca = i < a.counts_.size() ? a.counts_[i] : 0;
+    const std::uint64_t cb = i < b.counts_.size() ? b.counts_[i] : 0;
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+}  // namespace fides::common

@@ -1,0 +1,79 @@
+// Log-bucketed latency histogram (HDR-histogram-style).
+//
+// Fixed relative precision instead of fixed absolute precision: values are
+// bucketed by binary exponent with kSubBuckets linear sub-buckets per
+// octave, so a microsecond-scale and a second-scale latency are both
+// resolved to ~2% without choosing a range up front. Recording is O(1),
+// memory is one counter per occupied bucket range, and merging two
+// histograms is elementwise addition — exact and associative, which is what
+// lets the experiment driver merge per-seed histograms in any order and
+// report identical percentiles.
+//
+// Percentiles are deterministic: percentile(p) returns the upper bound of
+// the bucket containing the p-th ranked sample (clamped to the exact
+// maximum), so the same multiset of samples always yields byte-identical
+// results — the property the bench JSON artifacts' exact-comparison gate
+// relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fides::common {
+
+class LogHistogram {
+ public:
+  /// Sub-buckets per power of two: 1/32 ≈ 3.1% worst-case relative error.
+  static constexpr std::size_t kSubBuckets = 32;
+  /// Smallest distinguishable positive value is 2^kMinExp; anything at or
+  /// below it (including zero and negatives) lands in bucket 0.
+  static constexpr int kMinExp = -16;
+  /// Largest representable exponent; larger values clamp into the top
+  /// bucket. 2^48 µs ≈ 8.9 years — far beyond any latency this records.
+  static constexpr int kMaxExp = 48;
+
+  /// Bucket index for a value. Monotone non-decreasing in `v`. A bucket
+  /// covers [bucket_lower, bucket_upper): a value on an exact sub-bucket
+  /// edge lands in the bucket it opens.
+  static std::size_t bucket_index(double v);
+  /// Upper bound of bucket `idx` (the percentile representative; >= every
+  /// value indexed into the bucket).
+  static double bucket_upper(std::size_t idx);
+  /// Lower bound of bucket `idx` (== bucket_upper(idx - 1)).
+  static double bucket_lower(std::size_t idx);
+  static constexpr std::size_t num_buckets() {
+    return 1 + static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets;
+  }
+
+  void record(double v);
+
+  /// Elementwise sum of bucket counts; min/max/count fold exactly, so the
+  /// merged *distribution* (and every percentile) is associative and
+  /// commutative. sum/mean accumulate in floating point and may differ by
+  /// ulps across merge orders; operator== ignores them for that reason.
+  void merge(const LogHistogram& other);
+
+  /// Upper bound of the bucket holding the sample of rank ceil(p/100 * n),
+  /// clamped to the recorded maximum. p in [0, 100]; 0 on an empty
+  /// histogram. Monotone non-decreasing in p.
+  double percentile(double p) const;
+
+  std::uint64_t count() const { return count_; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  const std::vector<std::uint64_t>& buckets() const { return counts_; }
+
+  friend bool operator==(const LogHistogram& a, const LogHistogram& b);
+
+ private:
+  std::vector<std::uint64_t> counts_;  ///< grown on demand, indexed by bucket
+  std::uint64_t count_{0};
+  double sum_{0};
+  double max_{0};
+  double min_{0};
+};
+
+}  // namespace fides::common

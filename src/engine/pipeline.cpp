@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "engine/reactor.hpp"
+#include "sim/simnet.hpp"
 
 namespace fides::engine {
 
@@ -98,9 +99,13 @@ void apply_crash(Cluster& cluster, Scheduler& sched, NodeId node) {
 
 class CommitPipeline final : public Dispatcher, public RoundObserver, public SpecContext {
  public:
+  /// `external_admission`: rounds additionally wait for admit_batch(k) —
+  /// the open-loop driver's "batch k fully arrived at the coordinator"
+  /// signal. Off (the default) reproduces the classic pipeline: every batch
+  /// is ready from the start.
   CommitPipeline(Cluster& cluster, Protocol protocol,
                  std::vector<std::vector<commit::SignedEndTxn>> batches,
-                 Scheduler& sched)
+                 Scheduler& sched, bool external_admission = false)
       : cluster_(&cluster),
         sched_(&sched),
         n_(cluster.num_servers()),
@@ -114,7 +119,8 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
         held_dec_(n_),
         dec_height_(base_height_),
         dec_head_(cluster.server(cluster.coordinator_id()).log().head_hash()),
-        shard_roots_(n_) {
+        shard_roots_(n_),
+        batch_ready_(batches.size(), external_admission ? 0 : 1) {
     if (speculate_) {
       // Authoritative shard roots start from the live servers' trees; a
       // committed block's Σroots advance them as rounds decide.
@@ -141,10 +147,38 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
   }
 
   PipelineResult run() {
-    const auto t0 = Clock::now();
-    launch_ready();
+    begin();
     sched_->run(*this);
+    return collect();
+  }
 
+  /// Starts the clock and admits whatever is ready. The open-loop driver
+  /// calls this itself because *its* dispatcher (the client session), not
+  /// the pipeline, must be what the scheduler runs.
+  void begin() {
+    t0_ = Clock::now();
+    launch_ready();
+  }
+
+  /// Open-loop admission signal: batch k is fully assembled at the
+  /// coordinator. Idempotent.
+  void admit_batch(std::size_t k) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (k >= batch_ready_.size() || batch_ready_[k] != 0) return;
+      batch_ready_[k] = 1;
+    }
+    launch_ready();
+  }
+
+  /// Fired (outside the pipeline lock) every time `server` finishes
+  /// processing round k's decision — the open-loop session's cue to send
+  /// client responses when `server` is the coordinator.
+  void set_decision_hook(std::function<void(std::size_t, std::uint32_t)> hook) {
+    decision_hook_ = std::move(hook);
+  }
+
+  PipelineResult collect() {
     PipelineResult result;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -169,7 +203,7 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
       m.modeled_latency_us = m.coordinator_us + m.cohort_critical_us + net_term;
       result.rounds.push_back(std::move(m));
     }
-    result.wall_us = since_us(t0);
+    result.wall_us = since_us(t0_);
     return result;
   }
 
@@ -215,9 +249,11 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
   void on_decision_processed(std::uint64_t epoch, std::uint32_t server) override {
     std::vector<Held> flush;
     std::size_t new_watermark = 0;
+    std::size_t round_index = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       const std::size_t k = epoch_to_round_.at(epoch);
+      round_index = k;
       // Decisions are processed in round order at every server (gated —
       // round k+1's opening in lock-step mode, round k+1's decision under
       // speculation), so the watermark is a count.
@@ -260,6 +296,7 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
       // would gate held openings forever).
       note_opened(server, new_watermark - 1, sched_->outbox());
     }
+    if (decision_hook_) decision_hook_(round_index, server);
   }
 
   void on_outcome(std::uint64_t epoch, const ledger::Block& block, bool appended,
@@ -561,6 +598,9 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
   }
 
   bool can_start_locked(std::size_t k) const {
+    // Open-loop admission: the batch must have fully arrived at the
+    // coordinator (always true for closed-loop pipelines).
+    if (batch_ready_[k] == 0) return false;
     // A dead coordinator admits nothing; admission resumes with recovery.
     if (cluster_->is_crashed(ServerId{coord_})) return false;
     // Coordinator gate (lock-step only): its log head must already name
@@ -598,6 +638,210 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
   std::size_t decided_rounds_{0};
   std::vector<std::optional<crypto::Digest>> shard_roots_;
   bool term_mode_{false};  ///< coordinator-death terminations in progress
+
+  Clock::time_point t0_;                     ///< set by begin()
+  std::vector<unsigned char> batch_ready_;   ///< open-loop admission flags
+  std::function<void(std::size_t, std::uint32_t)> decision_hook_;
+};
+
+/// The open-loop client layer: a dispatcher that owns the client-visible
+/// traffic — "client_submit"/"client_resp" envelopes and the kTimer control
+/// events driving submit/retry clocks — and delegates everything else (all
+/// engine-framed round traffic) to the commit pipeline. Runs only on the
+/// single-threaded SimNet event loop, so its state needs no lock.
+///
+/// Per-transaction choreography: the submit timer fires at the arrival
+/// time; the client seals its request once and sends it to its affinity
+/// server (client % num_servers), which relays it to the coordinator over a
+/// second simulated hop. A client that has not seen its response after
+/// ClientModel::retry_timeout_us re-sends the byte-identical envelope (up
+/// to max_retries); the coordinator dedups by transaction index and, once
+/// the round decided, replays its cached signed response. Latency is the
+/// virtual time from the submit timer to the response delivery — queueing
+/// at the coordinator included, which is the number closed-loop runs can
+/// never produce.
+class ClientSession final : public Dispatcher {
+ public:
+  ClientSession(Cluster& cluster, CommitPipeline& pipeline, sim::SimNet& net,
+                std::vector<OpenLoopTxn> txns, sim::ClientModel model,
+                std::size_t num_rounds)
+      : cluster_(&cluster),
+        pipeline_(&pipeline),
+        net_(&net),
+        model_(model),
+        coord_(NodeId::server(cluster.coordinator_id())),
+        pending_(num_rounds, 0),
+        round_responded_(num_rounds, 0) {
+    txns_.reserve(txns.size());
+    for (const OpenLoopTxn& t : txns) {
+      TxnState ts;
+      ts.info = t;
+      ts.affinity = ServerId{t.client % cluster.num_servers()};
+      ++pending_[t.round];
+      txns_.push_back(std::move(ts));
+    }
+    latency_us_.assign(txns_.size(), -1.0);
+  }
+
+  /// Puts every transaction's submit timer on the virtual clock.
+  void schedule_arrivals() {
+    for (std::size_t i = 0; i < txns_.size(); ++i) {
+      net_->schedule_timer(NodeId::client(ClientId{txns_[i].info.client}),
+                           txns_[i].info.arrival_us, i);
+    }
+  }
+
+  /// Round k's decision was processed by `server`. The coordinator's
+  /// processing is the moment the signed responses leave for the clients.
+  void on_round_decided(std::size_t k, std::uint32_t server, Outbox& out) {
+    if (server != coord_.id || k >= round_responded_.size() ||
+        round_responded_[k] != 0) {
+      return;
+    }
+    round_responded_[k] = 1;
+    Server& coord_server = cluster_->server(cluster_->coordinator_id());
+    for (std::size_t i = 0; i < txns_.size(); ++i) {
+      TxnState& t = txns_[i];
+      if (t.info.round != k) continue;
+      Writer w;
+      w.u64(i);
+      t.response = cluster_->transport().seal(coord_server.keypair(), coord_,
+                                              "client_resp", std::move(w).take());
+      t.response_ready = true;
+      out.send(coord_, NodeId::client(ClientId{t.info.client}), t.response);
+    }
+  }
+
+  void fill(OpenLoopOutcome& outcome) {
+    outcome.latency_us = std::move(latency_us_);
+    outcome.client_sends = sends_;
+    outcome.client_retries = retries_;
+    outcome.dup_responses = dups_;
+    outcome.span_us = span_us_;
+  }
+
+  // --- Dispatcher -------------------------------------------------------------
+
+  void dispatch(NodeId src, NodeId dst, const Envelope& env, Outbox& out) override {
+    if (env.type == "client_submit") {
+      handle_submit(dst, env, out);
+      return;
+    }
+    if (env.type == "client_resp") {
+      handle_resp(env);
+      return;
+    }
+    pipeline_->dispatch(src, dst, env, out);
+  }
+
+  void dispatch_replay(NodeId src, NodeId dst, const Envelope& env, Outbox& out) override {
+    if (env.type == "client_submit" || env.type == "client_resp") {
+      dispatch(src, dst, env, out);
+      return;
+    }
+    pipeline_->dispatch_replay(src, dst, env, out);
+  }
+
+  void on_control(const ControlEvent& ev, Outbox& out) override {
+    if (ev.kind == ControlEvent::Kind::kTimer) {
+      if (ev.node.kind == NodeId::Kind::kClient) handle_timer(ev, out);
+      return;
+    }
+    pipeline_->on_control(ev, out);
+  }
+
+ private:
+  struct TxnState {
+    OpenLoopTxn info;
+    ServerId affinity{0};
+    Envelope submit;    ///< sealed once; retries re-send these exact bytes
+    Envelope response;  ///< coordinator's cached response, replayed on late retries
+    bool submitted{false};
+    bool arrived{false};  ///< first copy reached the coordinator
+    bool response_ready{false};
+    bool responded{false};  ///< client saw the response
+    std::uint32_t retries{0};
+  };
+
+  void handle_timer(const ControlEvent& ev, Outbox& out) {
+    if (ev.tag >= txns_.size()) return;
+    TxnState& t = txns_[ev.tag];
+    if (t.responded) return;  // stale retry clock
+    const NodeId me = NodeId::client(ClientId{t.info.client});
+    if (!t.submitted) {
+      Client& c = cluster_->client(ClientId{t.info.client});
+      Writer w;
+      w.u64(ev.tag);
+      t.submit = cluster_->transport().seal(c.keypair(), me, "client_submit",
+                                            std::move(w).take());
+      t.submitted = true;
+    } else {
+      if (t.retries >= model_.max_retries) return;
+      ++t.retries;
+      ++retries_;
+      cluster_->transport().count_copy(t.submit);
+    }
+    ++sends_;
+    out.send(me, NodeId::server(t.affinity), t.submit);
+    if (t.retries < model_.max_retries) {
+      net_->schedule_timer(me, net_->now_us() + model_.retry_timeout_us, ev.tag);
+    }
+  }
+
+  void handle_submit(NodeId dst, const Envelope& env, Outbox& out) {
+    if (!cluster_->transport().open(env, "client_submit")) return;
+    Reader r(env.payload);
+    const std::uint64_t tag = r.u64();
+    if (tag >= txns_.size()) return;
+    TxnState& t = txns_[tag];
+    if (dst != coord_) {
+      // Session-affinity relay: the client's server forwards the (still
+      // client-signed) request on a second simulated hop. Every received
+      // copy is relayed; dedup is the coordinator's job.
+      cluster_->transport().count_copy(env);
+      out.send(dst, coord_, env);
+      return;
+    }
+    if (t.response_ready) {
+      // A retry arrived after the round decided: replay the cached signed
+      // response rather than re-admitting anything.
+      cluster_->transport().count_copy(t.response);
+      out.send(coord_, NodeId::client(ClientId{t.info.client}), t.response);
+      return;
+    }
+    if (t.arrived) return;  // duplicate submit before the decision
+    t.arrived = true;
+    if (--pending_[t.info.round] == 0) pipeline_->admit_batch(t.info.round);
+  }
+
+  void handle_resp(const Envelope& env) {
+    if (!cluster_->transport().open(env, "client_resp")) return;
+    Reader r(env.payload);
+    const std::uint64_t tag = r.u64();
+    if (tag >= txns_.size()) return;
+    TxnState& t = txns_[tag];
+    if (t.responded) {
+      ++dups_;
+      return;
+    }
+    t.responded = true;
+    latency_us_[tag] = net_->now_us() - t.info.arrival_us;
+    span_us_ = std::max(span_us_, net_->now_us());
+  }
+
+  Cluster* cluster_;
+  CommitPipeline* pipeline_;
+  sim::SimNet* net_;
+  sim::ClientModel model_;
+  NodeId coord_;
+  std::vector<TxnState> txns_;
+  std::vector<std::size_t> pending_;  ///< per round: submits not yet at coordinator
+  std::vector<unsigned char> round_responded_;
+  std::vector<double> latency_us_;
+  std::uint64_t sends_{0};
+  std::uint64_t retries_{0};
+  std::uint64_t dups_{0};
+  double span_us_{0};
 };
 
 /// Single-round dispatcher for the checkpoint CoSi round.
@@ -675,6 +919,28 @@ PipelineResult run_commit_rounds(Cluster& cluster, Protocol protocol,
   if (batches.empty()) return {};
   CommitPipeline pipeline(cluster, protocol, std::move(batches), sched);
   return pipeline.run();
+}
+
+OpenLoopOutcome run_open_loop_rounds(
+    Cluster& cluster, Protocol protocol,
+    std::vector<std::vector<commit::SignedEndTxn>> batches,
+    std::vector<OpenLoopTxn> txns, const sim::ClientModel& model, sim::SimNet& net,
+    Scheduler& sched) {
+  OpenLoopOutcome outcome;
+  if (batches.empty()) return outcome;
+  const std::size_t num_rounds = batches.size();
+  CommitPipeline pipeline(cluster, protocol, std::move(batches), sched,
+                          /*external_admission=*/true);
+  ClientSession session(cluster, pipeline, net, std::move(txns), model, num_rounds);
+  pipeline.set_decision_hook([&](std::size_t k, std::uint32_t server) {
+    session.on_round_decided(k, server, sched.outbox());
+  });
+  session.schedule_arrivals();
+  pipeline.begin();  // admits nothing yet: every batch awaits its arrivals
+  sched.run(session);
+  outcome.pipeline = pipeline.collect();
+  session.fill(outcome);
+  return outcome;
 }
 
 CheckpointOutcome run_checkpoint_round(Cluster& cluster, Scheduler& sched) {

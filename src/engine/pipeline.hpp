@@ -38,6 +38,18 @@ PipelineResult run_commit_rounds(Cluster& cluster, Protocol protocol,
                                  std::vector<std::vector<commit::SignedEndTxn>> batches,
                                  Scheduler& sched);
 
+/// Open-loop variant (simulated network only): clients are SimNet nodes
+/// submitting on `txns`' arrival schedule; each submit hops client →
+/// affinity server → coordinator over the simulated wire (with per-client
+/// retry timers from `model`), round k is admitted only once batch k fully
+/// arrived at the coordinator, and decisions travel back to the clients as
+/// signed responses. txns[i].round must name the batch containing txn i.
+OpenLoopOutcome run_open_loop_rounds(
+    Cluster& cluster, Protocol protocol,
+    std::vector<std::vector<commit::SignedEndTxn>> batches,
+    std::vector<OpenLoopTxn> txns, const sim::ClientModel& model, sim::SimNet& net,
+    Scheduler& sched);
+
 /// Runs one checkpoint CoSi round; metrics are populated uniformly with the
 /// commit paths (modeled + measured latency, network legs, threads).
 CheckpointOutcome run_checkpoint_round(Cluster& cluster, Scheduler& sched);

@@ -51,9 +51,13 @@ struct ControlEvent {
     kCrash,               ///< node lost all volatile state; deliveries to it now drop
     kRecover,             ///< node restarts from its durable round log
     kCoordinatorTimeout,  ///< termination timer: check the coordinator, act if dead
+    kTimer,               ///< generic node-local timer (client retry, open-loop submit)
   };
   Kind kind{Kind::kCrash};
   NodeId node;
+  /// Discriminates kTimer firings (e.g. which transaction's retry clock
+  /// expired); unused by the other kinds.
+  std::uint64_t tag{0};
 };
 
 /// Receiver side: every delivery the scheduler performs funnels through one

@@ -230,6 +230,18 @@ PipelineResult Cluster::run_blocks(std::vector<std::vector<commit::SignedEndTxn>
   });
 }
 
+OpenLoopOutcome Cluster::run_open_loop(
+    std::vector<std::vector<commit::SignedEndTxn>> batches,
+    std::vector<OpenLoopTxn> txns, const sim::ClientModel& model) {
+  if (simnet_ == nullptr) {
+    throw std::logic_error(
+        "open-loop runs require network.mode=simulated (clients are SimNet nodes)");
+  }
+  sim::SimNetScheduler sched(*simnet_);
+  return engine::run_open_loop_rounds(*this, config_.protocol, std::move(batches),
+                                      std::move(txns), model, *simnet_, sched);
+}
+
 RoundMetrics Cluster::run_tfcommit_block(std::vector<commit::SignedEndTxn> batch) {
   return with_scheduler([&](engine::Scheduler& sched) {
            std::vector<std::vector<commit::SignedEndTxn>> batches;

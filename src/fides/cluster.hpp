@@ -99,6 +99,30 @@ struct PipelineResult {
   double wall_us{0};
 };
 
+/// One open-loop transaction's client-side schedule (simulated-network
+/// runs): which client submits it, when on the virtual clock, and which
+/// block it was packed into.
+struct OpenLoopTxn {
+  std::uint32_t client{0};  ///< ClientId value; also fixes session affinity
+  double arrival_us{0};     ///< submit time on the SimNet virtual clock
+  std::size_t round{0};     ///< index of the batch the txn was packed into
+};
+
+/// Cluster::run_open_loop outcome: the per-round engine metrics plus the
+/// client-side view — per-transaction latency is the virtual time from the
+/// client's submit timer to the commit response arriving back at it, so it
+/// includes queueing at the coordinator, which closed-loop runs never see.
+struct OpenLoopOutcome {
+  PipelineResult pipeline;
+  /// Submit→response virtual µs, indexed like the txn list; -1 for a txn
+  /// whose response never reached its client.
+  std::vector<double> latency_us;
+  std::uint64_t client_sends{0};    ///< submit copies clients put on the wire
+  std::uint64_t client_retries{0};  ///< re-sends after a retry timeout
+  std::uint64_t dup_responses{0};   ///< response copies discarded at clients
+  double span_us{0};                ///< virtual time of the last client response
+};
+
 /// A checkpoint CoSi round's outcome, with metrics populated uniformly with
 /// the commit paths (modeled + measured latency, legs, threads).
 struct CheckpointOutcome {
@@ -155,6 +179,10 @@ class Cluster {
   /// Creates a client registered with the transport.
   Client& make_client();
 
+  /// Client `id` (created by make_client; ids are dense from 0).
+  Client& client(ClientId id) { return *clients_.at(id.value); }
+  std::size_t client_count() const { return clients_.size(); }
+
   /// Which server owns an item.
   ServerId owner_of(ItemId item) const;
 
@@ -200,6 +228,16 @@ class Cluster {
   /// config().pipeline_depth blocks in flight (Figure 7 phases per block;
   /// ledger append order stays sequential at every depth).
   PipelineResult run_blocks(std::vector<std::vector<commit::SignedEndTxn>> batches);
+
+  /// Open-loop run over the simulated network: clients are first-class
+  /// SimNet nodes; txns[i] submits at its arrival time (client → affinity
+  /// server → coordinator hops all traverse SimNet), round k is admitted
+  /// once every transaction of batch k reached the coordinator, and the
+  /// decision travels back to each submitting client as a signed response.
+  /// Throws std::logic_error unless network.mode == kSimulated.
+  OpenLoopOutcome run_open_loop(std::vector<std::vector<commit::SignedEndTxn>> batches,
+                                std::vector<OpenLoopTxn> txns,
+                                const sim::ClientModel& model);
 
   /// Runs one full TFCommit round over `batch` (Figure 7): get_vote, votes,
   /// challenge, responses, decision, log append + datastore update.

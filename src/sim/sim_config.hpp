@@ -68,6 +68,17 @@ enum class NetworkMode : std::uint8_t {
   kSimulated,  ///< delivery goes through the seeded discrete-event SimNet
 };
 
+/// Open-loop client behaviour when clients are modeled as SimNet nodes.
+/// A client that has not seen its commit response after retry_timeout_us
+/// re-sends the same (cached, identically signed) submit envelope, up to
+/// max_retries times; the coordinator dedups by transaction id and replays
+/// its response. Ignored entirely in direct mode (network.mode=direct),
+/// where client hops are function calls.
+struct ClientModel {
+  double retry_timeout_us{20000.0};
+  std::uint32_t max_retries{4};
+};
+
 struct SimNetConfig {
   std::uint64_t seed{1};
   LinkFaults link;

@@ -99,12 +99,12 @@ void SimNet::schedule(double at_us, NodeId src, NodeId dst, Envelope env,
 }
 
 void SimNet::schedule_control(engine::ControlEvent::Kind kind, NodeId node,
-                              double at_us) {
+                              double at_us, std::uint64_t tag) {
   Event ev;
   ev.kind = Event::Kind::kControl;
   ev.at_us = at_us;
   ev.seq = next_seq_++;
-  ev.ctrl = engine::ControlEvent{kind, node};
+  ev.ctrl = engine::ControlEvent{kind, node, tag};
   queue_.push(std::move(ev));
 }
 
@@ -118,6 +118,10 @@ void SimNet::schedule_recover(NodeId node, double at_us) {
 
 void SimNet::schedule_timeout(NodeId node, double at_us) {
   schedule_control(engine::ControlEvent::Kind::kCoordinatorTimeout, node, at_us);
+}
+
+void SimNet::schedule_timer(NodeId node, double at_us, std::uint64_t tag) {
+  schedule_control(engine::ControlEvent::Kind::kTimer, node, at_us, tag);
 }
 
 void SimNet::crash_now(NodeId node) {
@@ -205,6 +209,19 @@ void SimNet::run(const DeliverFn& on_deliver, const ControlFn& on_control) {
         case engine::ControlEvent::Kind::kCoordinatorTimeout:
           fold_node_event("TIMEOUT", ev.at_us, ev.ctrl.node);
           break;
+        case engine::ControlEvent::Kind::kTimer: {
+          // The tag folds too: two schedules that fire different timers at
+          // the same instant must hash differently.
+          Writer w;
+          w.raw(trace_hash_.view());
+          w.str("TIMER");
+          w.u64(std::bit_cast<std::uint64_t>(ev.at_us));
+          w.u8(static_cast<std::uint8_t>(ev.ctrl.node.kind));
+          w.u32(ev.ctrl.node.id);
+          w.u64(ev.ctrl.tag);
+          trace_hash_ = crypto::sha256(w.data());
+          break;
+        }
       }
       if (on_control) on_control(ev.ctrl);
       continue;

@@ -82,6 +82,10 @@ class SimNet {
   /// Failure-detection probe: fires kCoordinatorTimeout at `at_us`; the
   /// engine decides whether the watched node is still dead.
   void schedule_timeout(NodeId node, double at_us);
+  /// Generic node-local timer (client submit/retry clocks): fires a kTimer
+  /// control event carrying `tag` at `at_us`. Folded into the trace hash
+  /// like every other event, so timer-driven traffic stays reproducible.
+  void schedule_timer(NodeId node, double at_us, std::uint64_t tag);
 
   /// Immediate crash at the current virtual time (transition-triggered
   /// crash points). Marks the node down and folds the trace event; the
@@ -132,7 +136,8 @@ class SimNet {
   double release_time(NodeId src, NodeId dst, double t, bool& was_held) const;
   void schedule(double at_us, NodeId src, NodeId dst, Envelope env,
                 const crypto::Digest& payload_digest, bool duplicate, bool replay);
-  void schedule_control(engine::ControlEvent::Kind kind, NodeId node, double at_us);
+  void schedule_control(engine::ControlEvent::Kind kind, NodeId node, double at_us,
+                        std::uint64_t tag = 0);
   /// `payload_digest` = sha256 of the envelope payload, computed once per
   /// send (SimNet never mutates payloads).
   void fold_event(const char* tag, double at_us, NodeId src, NodeId dst,

@@ -1,0 +1,67 @@
+#include "workload/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace fides::workload {
+
+namespace {
+
+/// ln(x) for x in (0, 1], using only +,-,*,/ on doubles. std::log may
+/// differ by an ulp across libm versions, which would fork the Poisson
+/// arrival schedule — and with it every virtual-time metric the CI bench
+/// baseline compares exactly. IEEE basic operations are correctly rounded
+/// everywhere, so this evaluation is bit-identical on any platform (the
+/// repo builds without FP contraction on default x86-64 flags).
+double portable_log(double x) {
+  int e = 0;
+  double f = std::frexp(x, &e);  // x = f * 2^e, f in [0.5, 1)
+  // Fold f into [sqrt(1/2), sqrt(2)) so the series argument stays small.
+  if (f < 0.70710678118654752440) {
+    f *= 2.0;
+    e -= 1;
+  }
+  const double z = (f - 1.0) / (f + 1.0);  // |z| <= 0.1716
+  const double z2 = z * z;
+  // atanh series: ln(f) = 2z * (1 + z2/3 + z2^2/5 + ...); nine terms give
+  // ~1e-15 relative error at this argument range.
+  double p = 1.0 / 17.0;
+  p = p * z2 + 1.0 / 15.0;
+  p = p * z2 + 1.0 / 13.0;
+  p = p * z2 + 1.0 / 11.0;
+  p = p * z2 + 1.0 / 9.0;
+  p = p * z2 + 1.0 / 7.0;
+  p = p * z2 + 1.0 / 5.0;
+  p = p * z2 + 1.0 / 3.0;
+  p = p * z2 + 1.0;
+  return 2.0 * z * p + static_cast<double>(e) * 0.69314718055994530942;
+}
+
+}  // namespace
+
+std::vector<double> arrival_times_us(const ArrivalConfig& config, std::size_t n) {
+  std::vector<double> times;
+  times.reserve(n);
+  const double rate = std::max(config.rate_tps, 1e-6);
+  const double mean_gap_us = 1e6 / rate;
+  if (config.process == ArrivalProcess::kPoisson) {
+    Rng rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+    double t = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Inverse-CDF exponential draw; clamp the uniform away from 0 so the
+      // log is finite and gaps stay strictly positive.
+      const double u = std::max(rng.uniform01(), 1e-12);
+      t += -mean_gap_us * portable_log(u);
+      times.push_back(t);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      times.push_back(static_cast<double>(i + 1) * mean_gap_us);
+    }
+  }
+  return times;
+}
+
+}  // namespace fides::workload

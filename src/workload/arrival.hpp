@@ -1,0 +1,43 @@
+// Open-loop arrival processes (production-shaped load).
+//
+// The closed-loop driver feeds the engine as fast as rounds complete — the
+// paper's §6 measurement loop, which measures protocol capacity but can
+// never observe queueing delay. An *open-loop* run decouples offered load
+// from service rate: transactions arrive on the SimNet virtual clock at
+// times drawn from a configured process, queue at the coordinator until a
+// block fills, and each transaction's latency is the virtual time from its
+// client's submit to the client receiving the commit response — which is
+// where p99/p999 tails come from.
+//
+// Arrival times are a pure function of (process, rate, count, seed), so an
+// open-loop schedule reproduces exactly like every other SimNet schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fides::workload {
+
+enum class ArrivalProcess : std::uint8_t {
+  kClosed,     ///< no arrival model: the classic closed-loop window driver
+  kFixedRate,  ///< deterministic arrivals every 1/rate seconds
+  kPoisson,    ///< exponential inter-arrival gaps with mean 1/rate
+};
+
+struct ArrivalConfig {
+  ArrivalProcess process{ArrivalProcess::kClosed};
+  /// Offered load in transactions per second of virtual time.
+  double rate_tps{2000.0};
+  /// Client population submitting the stream (round-robin assignment). Each
+  /// client is a SimNet node with session affinity to one server.
+  std::uint32_t num_clients{4};
+  /// Seed for the Poisson gap draws (independent of the network seed, so
+  /// the same traffic pattern can replay over different schedules).
+  std::uint64_t seed{7};
+};
+
+/// Submit times in virtual microseconds for `n` transactions, strictly
+/// increasing, starting after time 0.
+std::vector<double> arrival_times_us(const ArrivalConfig& config, std::size_t n);
+
+}  // namespace fides::workload

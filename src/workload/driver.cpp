@@ -2,10 +2,128 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <stdexcept>
 
 namespace fides::workload {
 
+namespace {
+
+void fill_percentiles(ExperimentResult& result) {
+  result.p50_ms = result.latency_hist.percentile(50.0);
+  result.p99_ms = result.latency_hist.percentile(99.0);
+  result.p999_ms = result.latency_hist.percentile(99.9);
+  result.max_ms = result.latency_hist.max();
+}
+
+/// Open-loop measurement: clients are SimNet nodes submitting on the
+/// configured arrival schedule. The data path (reads/buffered writes) still
+/// executes up front — what traverses the simulated network is the commit
+/// request / response choreography, which is where queueing happens.
+ExperimentResult run_open_loop_experiment(const ExperimentConfig& config) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  Cluster cluster(config.cluster);
+  const std::uint32_t m = std::max<std::uint32_t>(1, config.arrival.num_clients);
+  std::vector<Client*> clients;
+  clients.reserve(m);
+  for (std::uint32_t i = 0; i < m; ++i) clients.push_back(&cluster.make_client());
+
+  const std::uint64_t total_items =
+      static_cast<std::uint64_t>(config.cluster.num_servers) *
+      config.cluster.items_per_shard;
+  YcsbWorkload workload(config.workload, total_items, config.cluster.seed);
+
+  const std::vector<double> arrivals = arrival_times_us(config.arrival, config.total_txns);
+
+  // Generate in arrival order, round-robin over the client population; the
+  // batcher then packs blocks exactly as the closed-loop driver would.
+  commit::BatchBuilder batcher(config.txns_per_block);
+  std::vector<OpenLoopTxn> txns(config.total_txns);
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::size_t> index_of;
+  for (std::size_t i = 0; i < config.total_txns; ++i) {
+    if (i % config.txns_per_block == 0) workload.begin_batch();
+    Client& client = *clients[i % m];
+    commit::SignedEndTxn req = workload.run_transaction(client);
+    index_of[{req.request.txn.id.client, req.request.txn.id.seq}] = i;
+    txns[i] = OpenLoopTxn{client.id().value, arrivals[i], 0};
+    batcher.enqueue(std::move(req));
+  }
+  std::vector<std::vector<commit::SignedEndTxn>> batches;
+  while (!batcher.empty()) batches.push_back(batcher.next_batch());
+  for (std::size_t k = 0; k < batches.size(); ++k) {
+    for (const commit::SignedEndTxn& req : batches[k]) {
+      txns.at(index_of.at({req.request.txn.id.client, req.request.txn.id.seq})).round = k;
+    }
+  }
+
+  const OpenLoopOutcome run =
+      cluster.run_open_loop(std::move(batches), std::move(txns), config.client_model);
+
+  ExperimentResult result;
+  result.open_loop = true;
+  result.offered_tps = config.arrival.rate_tps;
+  result.threads = cluster.round_threads();
+  result.pipeline_depth = std::max<std::uint32_t>(1, config.cluster.pipeline_depth);
+
+  double total_latency_us = 0;
+  double total_measured_us = 0;
+  double total_mht_us = 0;
+  for (const RoundMetrics& metrics : run.pipeline.rounds) {
+    ++result.blocks;
+    total_latency_us += metrics.modeled_latency_us;
+    total_measured_us += metrics.measured_latency_us;
+    total_mht_us += metrics.mht_us;
+    if (metrics.decision == ledger::Decision::kCommit) {
+      result.committed_txns += metrics.txns_in_block;
+    } else {
+      result.aborted_txns += metrics.txns_in_block;
+    }
+  }
+  if (result.blocks > 0) {
+    result.avg_latency_ms = total_latency_us / 1000.0 / static_cast<double>(result.blocks);
+    result.avg_measured_ms =
+        total_measured_us / 1000.0 / static_cast<double>(result.blocks);
+    result.avg_mht_ms = total_mht_us / 1000.0 / static_cast<double>(result.blocks);
+  }
+
+  for (const double us : run.latency_us) {
+    if (us >= 0) result.latency_hist.record(us / 1000.0);
+  }
+  fill_percentiles(result);
+  result.span_ms = run.span_us / 1000.0;
+  result.client_sends = run.client_sends;
+  result.client_retries = run.client_retries;
+  result.dup_responses = run.dup_responses;
+  // Open-loop throughput is committed work over the virtual span of the
+  // whole run (arrival of the first txn to the last response) — a pure
+  // virtual-time quantity, byte-reproducible from the seed.
+  if (run.span_us > 0) {
+    result.throughput_tps =
+        static_cast<double>(result.committed_txns) / (run.span_us / 1e6);
+  }
+  if (run.pipeline.wall_us > 0) {
+    result.measured_throughput_tps =
+        static_cast<double>(result.committed_txns) / (run.pipeline.wall_us / 1e6);
+  }
+  result.net = cluster.transport().stats();
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  return result;
+}
+
+}  // namespace
+
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+  // Open-loop shapes need clients on the simulated network; in direct mode
+  // the arrival/client knobs are ignored outright so direct-mode results
+  // stay bit-identical whatever those knobs say.
+  if (config.arrival.process != ArrivalProcess::kClosed &&
+      config.cluster.network.mode == sim::NetworkMode::kSimulated) {
+    return run_open_loop_experiment(config);
+  }
+
   const auto wall_start = std::chrono::steady_clock::now();
 
   Cluster cluster(config.cluster);
@@ -48,6 +166,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       total_latency_us += metrics.modeled_latency_us;
       total_measured_us += metrics.measured_latency_us;
       total_mht_us += metrics.mht_us;
+      // Closed loop: every transaction in the block experienced the block's
+      // modeled latency.
+      for (std::size_t t = 0; t < metrics.txns_in_block; ++t) {
+        result.latency_hist.record(metrics.modeled_latency_us / 1000.0);
+      }
       if (metrics.decision == ledger::Decision::kCommit) {
         result.committed_txns += metrics.txns_in_block;
       } else {
@@ -62,6 +185,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         total_measured_us / 1000.0 / static_cast<double>(result.blocks);
     result.avg_mht_ms = total_mht_us / 1000.0 / static_cast<double>(result.blocks);
   }
+  fill_percentiles(result);
   if (total_latency_us > 0) {
     result.throughput_tps =
         static_cast<double>(result.committed_txns) / (total_latency_us / 1e6);
@@ -98,6 +222,13 @@ ExperimentResult run_averaged(ExperimentConfig config,
     avg.net.bytes += r.net.bytes;
     avg.net.signatures_created += r.net.signatures_created;
     avg.net.signatures_verified += r.net.signatures_verified;
+    avg.latency_hist.merge(r.latency_hist);
+    avg.open_loop = r.open_loop;
+    avg.offered_tps = r.offered_tps;
+    avg.span_ms += r.span_ms;
+    avg.client_sends += r.client_sends;
+    avg.client_retries += r.client_retries;
+    avg.dup_responses += r.dup_responses;
   }
   const double n = static_cast<double>(seeds.size());
   if (n > 0) {
@@ -106,7 +237,11 @@ ExperimentResult run_averaged(ExperimentConfig config,
     avg.avg_mht_ms /= n;
     avg.avg_measured_ms /= n;
     avg.measured_throughput_tps /= n;
+    avg.span_ms /= n;
   }
+  // Percentiles come from the pooled (exactly merged) distribution, not an
+  // average of per-seed percentiles.
+  fill_percentiles(avg);
   return avg;
 }
 

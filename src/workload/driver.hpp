@@ -6,14 +6,26 @@
 // to the decision) and throughput (committed transactions per second) —
 // plus the Merkle-update time Figure 14 breaks out.
 //
-// The driver feeds the engine continuously: each iteration executes a
-// window of pipeline_depth blocks' worth of transactions on the data path,
-// then hands the whole window's batches to the cluster in one pipelined
-// call, so at depth > 1 the engine always has the next block ready to admit.
-// At depth 1 the window is a single block and the loop is the paper's
-// classic one-block-at-a-time measurement.
+// Two load shapes:
+//
+//   * Closed loop (ArrivalProcess::kClosed, the default): each iteration
+//     executes a window of pipeline_depth blocks' worth of transactions on
+//     the data path, then hands the whole window's batches to the cluster in
+//     one pipelined call — the paper's §6 measurement loop. Per-transaction
+//     latency is its block's modeled latency.
+//   * Open loop (kFixedRate / kPoisson, simulated network only): clients
+//     are SimNet nodes submitting on the configured arrival schedule;
+//     per-transaction latency is the virtual time from the client's submit
+//     to the commit response arriving back, so percentiles capture queueing
+//     delay. In direct mode the arrival/client knobs are ignored and the
+//     run is bit-identical to the closed-loop driver.
+//
+// Either way the latencies feed a log-bucketed histogram, so results report
+// p50/p99/p999 and max, not just means.
 #pragma once
 
+#include "common/histogram.hpp"
+#include "workload/arrival.hpp"
 #include "workload/ycsb.hpp"
 
 namespace fides::workload {
@@ -23,6 +35,12 @@ struct ExperimentConfig {
   WorkloadConfig workload;
   std::size_t total_txns{1000};
   std::size_t txns_per_block{100};
+
+  /// Open-loop load shape; kClosed keeps the classic driver. Only honoured
+  /// when cluster.network.mode == kSimulated (clients must be SimNet nodes).
+  ArrivalConfig arrival;
+  /// Client timeout/retry behaviour for open-loop runs.
+  sim::ClientModel client_model;
 };
 
 struct ExperimentResult {
@@ -51,6 +69,26 @@ struct ExperimentResult {
   /// Commit rounds in flight (ClusterConfig::pipeline_depth).
   std::size_t pipeline_depth{1};
 
+  // --- Per-transaction latency distribution ----------------------------------
+  //
+  // Closed loop: each transaction records its block's modeled latency (so
+  // the distribution reflects block-to-block variance). Open loop: each
+  // transaction records its own submit→response virtual time. The histogram
+  // merges exactly, so run_averaged pools the distribution across seeds.
+  common::LogHistogram latency_hist;  ///< milliseconds
+  double p50_ms{0};
+  double p99_ms{0};
+  double p999_ms{0};
+  double max_ms{0};
+
+  // --- Open-loop extras ------------------------------------------------------
+  bool open_loop{false};
+  double offered_tps{0};             ///< configured arrival rate
+  double span_ms{0};                 ///< virtual time to the last response
+  std::uint64_t client_sends{0};     ///< submit copies clients put on the wire
+  std::uint64_t client_retries{0};   ///< timeout-driven re-sends
+  std::uint64_t dup_responses{0};    ///< response copies discarded at clients
+
   double wall_seconds{0};  ///< harness wall time, for scheduling runs
   Transport::Stats net;
 };
@@ -59,7 +97,9 @@ struct ExperimentResult {
 /// this with three seeds and average).
 ExperimentResult run_experiment(const ExperimentConfig& config);
 
-/// Averages results over `seeds` runs, paper-style.
+/// Averages results over `seeds` runs, paper-style. Latency histograms are
+/// merged (exactly), and the percentile fields are recomputed from the
+/// pooled distribution.
 ExperimentResult run_averaged(ExperimentConfig config,
                               std::span<const std::uint64_t> seeds);
 

@@ -19,10 +19,28 @@ std::vector<ItemId> YcsbWorkload::pick_items() {
   const bool disjoint =
       config_.disjoint_batches &&
       batch_used_.size() + config_.ops_per_txn * 4 < total_items_;
+  const auto hot_items = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(total_items_) *
+                                    config_.hot_set_fraction));
   while (items.size() < config_.ops_per_txn) {
-    const ItemId candidate = config_.distribution == Distribution::kUniform
-                                 ? rng_.uniform(total_items_)
-                                 : zipf_.sample(rng_);
+    ItemId candidate = 0;
+    switch (config_.distribution) {
+      case Distribution::kUniform:
+        candidate = rng_.uniform(total_items_);
+        break;
+      case Distribution::kZipfian:
+        candidate = zipf_.sample(rng_);
+        break;
+      case Distribution::kHotspot:
+        // Hot keys occupy the front of the id range so they spread across
+        // shards (ids are striped round-robin over servers).
+        candidate = rng_.uniform01() < config_.hot_op_fraction
+                        ? rng_.uniform(hot_items)
+                        : hot_items + rng_.uniform(std::max<std::uint64_t>(
+                                          1, total_items_ - hot_items));
+        if (candidate >= total_items_) candidate = total_items_ - 1;
+        break;
+    }
     if (disjoint && batch_used_.count(candidate) != 0) continue;
     if (std::find(items.begin(), items.end(), candidate) == items.end()) {
       items.push_back(candidate);

@@ -15,12 +15,17 @@
 
 namespace fides::workload {
 
-enum class Distribution : std::uint8_t { kUniform, kZipfian };
+enum class Distribution : std::uint8_t { kUniform, kZipfian, kHotspot };
 
 struct WorkloadConfig {
   std::uint32_t ops_per_txn{5};
   Distribution distribution{Distribution::kUniform};
   double zipf_theta{0.99};
+  /// kHotspot: fraction of the keyspace forming the hot set (front of the
+  /// id range) and the probability an operation targets it. Defaults give
+  /// the classic 80/20 skew.
+  double hot_set_fraction{0.2};
+  double hot_op_fraction{0.8};
   /// Fraction of operations that only read (the rest read-modify-write).
   double read_only_fraction{0.0};
   /// Sample items without replacement within a batch window, so the

@@ -1,0 +1,150 @@
+// LogHistogram: bucket boundaries, percentile determinism/monotonicity, and
+// exact merge associativity — the properties the bench JSON artifacts'
+// exact-comparison gate relies on.
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fides::common {
+namespace {
+
+TEST(LogHistogram, BucketBoundariesBracketTheValue) {
+  // Every recorded value lies in [bucket_lower, bucket_upper) of its bucket
+  // (exact sub-bucket edges open a new bucket), and the reported upper bound
+  // is within one sub-bucket of relative error above the value.
+  for (const double v : {1e-4, 0.03, 0.5, 1.0, 1.5, 7.0, 1000.0, 3.7e6}) {
+    const std::size_t idx = LogHistogram::bucket_index(v);
+    EXPECT_GE(v, LogHistogram::bucket_lower(idx)) << v;
+    EXPECT_LT(v, LogHistogram::bucket_upper(idx)) << v;
+    const double rel =
+        (LogHistogram::bucket_upper(idx) - v) / v;
+    EXPECT_LE(rel, 1.0 / LogHistogram::kSubBuckets + 1e-12) << v;
+  }
+}
+
+TEST(LogHistogram, BucketIndexIsMonotone) {
+  double prev_v = 0.0;
+  std::size_t prev_idx = 0;
+  Rng rng(11);
+  std::vector<double> vs;
+  for (int i = 0; i < 2000; ++i) {
+    vs.push_back(rng.uniform01() * 1e5);
+  }
+  std::sort(vs.begin(), vs.end());
+  for (const double v : vs) {
+    const std::size_t idx = LogHistogram::bucket_index(v);
+    EXPECT_GE(idx, prev_idx) << "index decreased between " << prev_v << " and " << v;
+    prev_idx = idx;
+    prev_v = v;
+  }
+}
+
+TEST(LogHistogram, ZeroNegativeAndHugeValuesClampSafely) {
+  EXPECT_EQ(LogHistogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_index(-5.0), 0u);
+  EXPECT_LT(LogHistogram::bucket_index(1e30), LogHistogram::num_buckets());
+
+  LogHistogram h;
+  h.record(0.0);
+  h.record(-1.0);
+  h.record(1e30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), 1e30);
+}
+
+TEST(LogHistogram, EmptyHistogram) {
+  const LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogram, PercentilesAreMonotoneInP) {
+  LogHistogram h;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    h.record(0.1 + rng.uniform01() * 250.0);
+  }
+  double prev = 0.0;
+  for (double p = 0.0; p <= 100.0; p += 0.5) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+  EXPECT_EQ(h.percentile(100.0), h.max());
+  EXPECT_LE(h.percentile(0.0), h.percentile(100.0));
+}
+
+TEST(LogHistogram, PercentileBoundsTheTrueRankValue) {
+  // With the exact sorted samples in hand, percentile(p) must be >= the true
+  // rank value and within one bucket's relative error above it.
+  LogHistogram h;
+  Rng rng(23);
+  std::vector<double> vs;
+  for (int i = 0; i < 2000; ++i) {
+    vs.push_back(0.5 + rng.uniform01() * 99.5);
+  }
+  for (const double v : vs) h.record(v);
+  std::sort(vs.begin(), vs.end());
+  for (const double p : {50.0, 90.0, 99.0, 99.9}) {
+    std::size_t rank = static_cast<std::size_t>(p / 100.0 * vs.size());
+    if (rank >= vs.size()) rank = vs.size() - 1;
+    const double truth = vs[rank];
+    const double est = h.percentile(p);
+    EXPECT_GE(est, truth * (1.0 - 1.0 / LogHistogram::kSubBuckets)) << p;
+    EXPECT_LE(est, truth * (1.0 + 2.0 / LogHistogram::kSubBuckets)) << p;
+  }
+}
+
+TEST(LogHistogram, MergeIsExactAndAssociative) {
+  Rng rng(42);
+  LogHistogram a, b, c, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01() * 40.0;
+    if (i % 3 == 0) a.record(v);
+    if (i % 3 == 1) b.record(v);
+    if (i % 3 == 2) c.record(v);
+    all.record(v);
+  }
+
+  LogHistogram ab_c = a;   // (a + b) + c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  LogHistogram bc = b;     // a + (b + c)
+  bc.merge(c);
+  LogHistogram a_bc = a;
+  a_bc.merge(bc);
+
+  EXPECT_TRUE(ab_c == a_bc);
+  EXPECT_TRUE(ab_c == all);
+  EXPECT_EQ(ab_c.count(), all.count());
+  EXPECT_EQ(ab_c.max(), all.max());
+  EXPECT_EQ(ab_c.min(), all.min());
+  // Identical multisets => byte-identical percentiles, any merge order.
+  for (const double p : {50.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(ab_c.percentile(p), a_bc.percentile(p));
+    EXPECT_EQ(ab_c.percentile(p), all.percentile(p));
+  }
+}
+
+TEST(LogHistogram, MergeWithEmptyIsIdentity) {
+  LogHistogram a, empty;
+  a.record(3.0);
+  a.record(9.0);
+  LogHistogram merged = a;
+  merged.merge(empty);
+  EXPECT_TRUE(merged == a);
+  LogHistogram other = empty;
+  other.merge(a);
+  EXPECT_TRUE(other == a);
+}
+
+}  // namespace
+}  // namespace fides::common
