@@ -25,30 +25,54 @@
 #pragma once
 
 #include <algorithm>
+#include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include <filesystem>
+
+#include "net/process.hpp"
+#include "net/socket_round.hpp"
 #include "sim/simnet.hpp"
 #include "workload/driver.hpp"
 
 namespace fides::bench {
 
+// Env knobs parse strictly: a malformed value (trailing junk, overflow,
+// non-finite, non-positive) aborts the bench instead of silently running the
+// fallback configuration — a sweep mislabelled by a typo'd knob is worse
+// than no sweep.
 inline std::size_t env_size(const char* name, std::size_t fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr) return fallback;
-  const long parsed = std::atol(v);
-  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+  std::size_t parsed = 0;
+  const char* end = v + std::strlen(v);
+  const auto [ptr, ec] = std::from_chars(v, end, parsed);
+  if (ec != std::errc{} || ptr != end || v == end || parsed == 0) {
+    std::fprintf(stderr, "bench: %s=\"%s\" is not a positive integer\n", name, v);
+    std::exit(2);
+  }
+  return parsed;
 }
 
 inline double env_double(const char* name, double fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr) return fallback;
-  const double parsed = std::atof(v);
-  return parsed > 0 ? parsed : fallback;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0' || errno == ERANGE || !std::isfinite(parsed) ||
+      parsed <= 0.0) {
+    std::fprintf(stderr, "bench: %s=\"%s\" is not a positive finite number\n", name, v);
+    std::exit(2);
+  }
+  return parsed;
 }
 
 inline std::size_t bench_txns() { return env_size("FIDES_BENCH_TXNS", 200); }
@@ -499,6 +523,106 @@ inline void pipeline_depth_section(std::uint32_t servers, std::size_t txns_per_b
   }
   if (report != nullptr) {
     report->point("pipeline/sim/summary").exact.set("spec_d4_speedup", spec_speedup);
+  }
+
+  // The same stream a third time, over real loopback sockets: this process
+  // keeps server 0 and the client, every other server runs as a
+  // fides_serverd child speaking length-framed envelopes on unix-domain
+  // sockets. wall_ms here is genuine multi-process wall clock — the column
+  // to read next to SimNet's virtual one — and the committed ledger must be
+  // bit-identical to both single-process sweeps (remote state arrives as
+  // signed-state digests at shutdown).
+  std::printf("%-8s %-6s %-14s %-16s %s\n", "depth", "spec", "wall_ms",
+              "throughput_tps", "ledger (sockets)");
+  const std::string serverd = net::serverd_binary_path();
+  for (const bool speculate : {false, true}) {
+    for (const std::uint32_t depth : {1u, 2u, 4u}) {
+      char dir_template[] = "/tmp/fides_bench_socket_XXXXXX";
+      if (::mkdtemp(dir_template) == nullptr) {
+        std::printf("ERROR: mkdtemp failed for the socket sweep\n");
+        std::exit(1);
+      }
+      const std::string dir = dir_template;
+      std::vector<std::string> addrs;
+      for (std::uint32_t i = 0; i < servers; ++i) {
+        addrs.push_back("unix:" + dir + "/s" + std::to_string(i) + ".sock");
+      }
+      std::vector<pid_t> children;
+      for (std::uint32_t i = 1; i < servers; ++i) {
+        std::vector<std::string> child_argv = {
+            serverd,
+            "--self", std::to_string(i),
+            "--servers", std::to_string(servers),
+            "--rounds", std::to_string(batches.size()),
+            "--clients", "1",
+            "--items", std::to_string(cfg.items_per_shard),
+            "--batch", std::to_string(cfg.max_batch_size),
+            "--no-data-sigs",
+            "--pipeline", std::to_string(depth),
+            "--seed", std::to_string(cfg.seed),
+            "--log-dir", dir};
+        if (speculate) child_argv.push_back("--spec");
+        for (const auto& a : addrs) child_argv.push_back(a);
+        children.push_back(
+            net::spawn(child_argv, dir + "/serverd-" + std::to_string(i) + ".log"));
+      }
+
+      ClusterConfig run_cfg = cfg;
+      run_cfg.pipeline_depth = depth;
+      run_cfg.speculate = speculate;
+      run_cfg.round_log_dir = dir;
+      Cluster cluster(run_cfg);
+      cluster.make_client();
+      net::SocketOptions sopts;
+      sopts.addrs = addrs;
+      sopts.self = 0;
+      auto batch_copy = batches;
+      const net::SocketRunResult sock = net::run_commit_rounds_over_sockets(
+          cluster, run_cfg.protocol, std::move(batch_copy), sopts);
+
+      DepthRun run;
+      run.wall_us = sock.pipeline.wall_us;
+      for (const RoundMetrics& m : sock.pipeline.rounds) {
+        run.decisions.push_back(m.decision);
+        if (m.decision == ledger::Decision::kCommit) run.committed_txns += m.txns_in_block;
+      }
+      run.log_heads.push_back(cluster.server(ServerId{0}).log().head_hash());
+      run.merkle_roots.push_back(cluster.server(ServerId{0}).shard().merkle_root());
+      for (const net::PeerDigest& d : sock.digests) {
+        run.log_heads.push_back(d.log_head);
+        run.merkle_roots.push_back(d.shard_root);
+      }
+
+      bool clean = sock.digests.size() == static_cast<std::size_t>(servers) - 1;
+      for (std::size_t c = 0; c < children.size(); ++c) {
+        const int code = net::wait_exit(children[c]);
+        if (code != 0) {
+          std::printf("ERROR: serverd %zu exited %d (logs in %s)\n", c + 1, code,
+                      dir.c_str());
+          clean = false;
+        }
+      }
+      const bool identical =
+          clean && run.same_ledger(runs.front()) && run.same_ledger(sim_runs.front());
+      std::printf("%-8u %-6s %-14.2f %-16.0f %s\n", depth, speculate ? "on" : "off",
+                  run.wall_us / 1000.0, run.committed_txns / (run.wall_us / 1e6),
+                  identical ? "identical" : "DIVERGED");
+      if (!identical) {
+        std::printf("ERROR: socket pipeline depth %u (spec %s) diverged from the "
+                    "single-process runs (logs in %s)\n",
+                    depth, speculate ? "on" : "off", dir.c_str());
+        std::exit(1);
+      }
+      if (report != nullptr) {
+        BenchPoint& p = report->point("pipeline/socket/depth" + std::to_string(depth) +
+                                      "/spec_" + (speculate ? "on" : "off"));
+        p.exact.set("committed_txns", static_cast<double>(run.committed_txns));
+        p.approx.set("wall_ms", run.wall_us / 1000.0);
+        p.approx.set("throughput_tps", run.committed_txns / (run.wall_us / 1e6));
+      }
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);  // keep the dir only on failure paths
+    }
   }
 }
 

@@ -36,6 +36,10 @@ double LogHistogram::bucket_lower(std::size_t idx) {
 }
 
 void LogHistogram::record(double v) {
+  if (!std::isfinite(v)) {
+    ++rejected_;
+    return;
+  }
   const std::size_t idx = bucket_index(v);
   if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
   ++counts_[idx];
@@ -51,6 +55,7 @@ void LogHistogram::record(double v) {
 }
 
 void LogHistogram::merge(const LogHistogram& other) {
+  rejected_ += other.rejected_;
   if (other.count_ == 0) return;
   if (other.counts_.size() > counts_.size()) counts_.resize(other.counts_.size(), 0);
   for (std::size_t i = 0; i < other.counts_.size(); ++i) counts_[i] += other.counts_[i];

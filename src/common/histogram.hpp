@@ -45,6 +45,9 @@ class LogHistogram {
     return 1 + static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets;
   }
 
+  /// Records one sample. Non-finite values (NaN, ±inf) are rejected — they
+  /// would poison sum/min/max irreversibly — and tallied in rejected()
+  /// instead so callers can notice a broken timing source.
   void record(double v);
 
   /// Elementwise sum of bucket counts; min/max/count fold exactly, so the
@@ -59,6 +62,9 @@ class LogHistogram {
   double percentile(double p) const;
 
   std::uint64_t count() const { return count_; }
+  /// Non-finite samples dropped by record(). Folded by merge(); ignored by
+  /// operator== (it compares the recorded distribution only).
+  std::uint64_t rejected() const { return rejected_; }
   double max() const { return count_ > 0 ? max_ : 0.0; }
   double min() const { return count_ > 0 ? min_ : 0.0; }
   double sum() const { return sum_; }
@@ -71,6 +77,7 @@ class LogHistogram {
  private:
   std::vector<std::uint64_t> counts_;  ///< grown on demand, indexed by bucket
   std::uint64_t count_{0};
+  std::uint64_t rejected_{0};
   double sum_{0};
   double max_{0};
   double min_{0};

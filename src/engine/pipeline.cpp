@@ -121,6 +121,18 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
         dec_head_(cluster.server(cluster.coordinator_id()).log().head_hash()),
         shard_roots_(n_),
         batch_ready_(batches.size(), external_admission ? 0 : 1) {
+    // A server whose durable log is already past this pipeline's base (a
+    // restarted serverd process rejoining a socket run mid-stream) has, by
+    // construction, processed every decision up to its log head; its
+    // watermarks start there so the coordinator's replay stream — which
+    // resumes at that height — is not gated forever behind rounds this
+    // process will never see again. Single-process runs start every live
+    // server at base_height_, making this a no-op there.
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if (cluster.is_crashed(ServerId{i})) continue;
+      const std::size_t h = cluster.server(ServerId{i}).log().size();
+      if (h > base_height_) watermark_[i] = opened_[i] = h - base_height_;
+    }
     if (speculate_) {
       // Authoritative shard roots start from the live servers' trees; a
       // committed block's Σroots advance them as rounds decide.
@@ -147,6 +159,13 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
   }
 
   PipelineResult run() {
+    // Event-loop schedulers that wait on remote processes (sockets) cannot
+    // rely on quiescence; they poll this predicate to know when every round
+    // completed. Quiescence-driven schedulers ignore it.
+    sched_->set_completion([this] {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return completed_ == rounds_.size();
+    });
     begin();
     sched_->run(*this);
     return collect();
@@ -241,6 +260,21 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
           begin_next_termination(out);
         }
         break;
+      case ControlEvent::Kind::kPeerApplied: {
+        // A remote process reported that the server it hosts processed a
+        // round's decision. Control-plane input from the wire is untrusted:
+        // validate both coordinates before touching any table.
+        if (ev.node.kind != NodeId::Kind::kServer || ev.node.id >= n_) break;
+        bool known = false;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          known = epoch_to_round_.find(ev.tag) != epoch_to_round_.end();
+        }
+        if (known) on_decision_processed(ev.tag, ev.node.id);
+        break;
+      }
+      case ControlEvent::Kind::kTimer:
+        break;  // client-session clocks; never routed to the pipeline
     }
   }
 
@@ -250,9 +284,12 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
     std::vector<Held> flush;
     std::size_t new_watermark = 0;
     std::size_t round_index = 0;
+    bool fresh = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      const std::size_t k = epoch_to_round_.at(epoch);
+      const auto it_ep = epoch_to_round_.find(epoch);
+      if (it_ep == epoch_to_round_.end() || server >= n_) return;
+      const std::size_t k = it_ep->second;
       round_index = k;
       // Decisions are processed in round order at every server (gated —
       // round k+1's opening in lock-step mode, round k+1's decision under
@@ -270,12 +307,7 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
           ++it;
         }
       }
-      RoundState& rs = rounds_[k];
-      if (++rs.processed == n_) {
-        rs.wall_end = Clock::now();
-        if (const auto v = sched_->virtual_now_us()) rs.virtual_end_us = *v;
-        ++completed_;
-      }
+      fresh = mark_processed_locked(k, server);
     }
     launch_ready();
     // Flushed messages run here, on `server`'s serialized context (this
@@ -296,7 +328,13 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
       // would gate held openings forever).
       note_opened(server, new_watermark - 1, sched_->outbox());
     }
-    if (decision_hook_) decision_hook_(round_index, server);
+    if (fresh) {
+      // First time this (round, server) pair completed: tell the substrate
+      // (the socket scheduler forwards it to the coordinator process as a
+      // kPeerApplied frame) and the open-loop session.
+      sched_->notify_applied(server, epoch);
+      if (decision_hook_) decision_hook_(round_index, server);
+    }
   }
 
   void on_outcome(std::uint64_t epoch, const ledger::Block& block, bool appended,
@@ -385,7 +423,8 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
     std::unique_ptr<RoundReactor> reactor;
     std::uint64_t epoch{0};
     bool started{false};
-    std::uint32_t processed{0};  ///< servers that handled the decision
+    std::uint32_t processed{0};               ///< servers that handled the decision
+    std::vector<unsigned char> processed_by;  ///< which ones (lazily sized to n)
     bool decided{false};         ///< outcome exists (speculative bookkeeping)
     bool applied{false};         ///< block committed with a valid co-sign
     Clock::time_point wall_start;
@@ -400,6 +439,23 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
     Envelope env;
     std::size_t round{0};
   };
+
+  /// Records that `server` processed round k's decision; true on the first
+  /// call for this (round, server). Duplicates — a re-delivered kPeerApplied
+  /// frame, or recovery reconciliation racing the ACK it reconciles — are
+  /// absorbed instead of double-counting toward completion.
+  bool mark_processed_locked(std::size_t k, std::uint32_t server) {
+    RoundState& rs = rounds_[k];
+    if (rs.processed_by.empty()) rs.processed_by.assign(n_, 0);
+    if (rs.processed_by[server] != 0) return false;
+    rs.processed_by[server] = 1;
+    if (++rs.processed == n_) {
+      rs.wall_end = Clock::now();
+      if (const auto v = sched_->virtual_now_us()) rs.virtual_end_us = *v;
+      ++completed_;
+    }
+    return true;
+  }
 
   void dispatch_impl(NodeId src, NodeId dst, const Envelope& env, Outbox& out,
                      bool replay) {
@@ -418,6 +474,11 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
       if (it == epoch_to_round_.end()) return;  // stale epoch from another run
       const std::size_t k = it->second;
       round_index = k;
+      // Engine traffic for round k proves its coordinator — possibly in
+      // another process — started it; a serverd's recovery scan needs the
+      // flag to know which rounds are live. No-op in single-process runs,
+      // where launch_ready set it before the first send.
+      rounds_[k].started = true;
       if (dst.kind == NodeId::Kind::kServer) {
         if (opens_round(env.type)) {
           // Lock-step: hold round k's opening until k-1's decision applied
@@ -491,7 +552,14 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
       return;
     }
     const bool authentic = cluster_->transport().open(env, env.type);
-    reactor.on_deliver(src, dst, env, authentic, out);
+    try {
+      reactor.on_deliver(src, dst, env, authentic, out);
+    } catch (const DecodeError&) {
+      // Malformed bytes — a truncated frame from a corrupt or malicious
+      // peer — must never take down a server: drop the message and let the
+      // round proceed as if it was lost on the wire.
+      return;
+    }
     if (poll_transition_crash(*cluster_, *sched_, dst, env.type)) handle_crash(dst);
   }
 
@@ -524,6 +592,15 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
       if (durable > base_height_) {
         watermark_[node.id] =
             std::max<std::size_t>(watermark_[node.id], durable - base_height_);
+      }
+      // Reconcile completions the crash swallowed: every round below the
+      // recovered watermark was durably applied by this server, but over
+      // sockets its kPeerApplied frame may have died with the process (a
+      // serverd killed between the durable append and the ACK reaching the
+      // coordinator). Single-process substrates fire the observer in the
+      // same call stack as the append, so this loop finds nothing there.
+      for (std::size_t k = 0; k < watermark_[node.id] && k < rounds_.size(); ++k) {
+        mark_processed_locked(k, node.id);
       }
       // The pending-opening stack died with the node; the replay stream
       // re-supplies openings from the watermark up, and the gate must make
@@ -790,8 +867,13 @@ class ClientSession final : public Dispatcher {
 
   void handle_submit(NodeId dst, const Envelope& env, Outbox& out) {
     if (!cluster_->transport().open(env, "client_submit")) return;
-    Reader r(env.payload);
-    const std::uint64_t tag = r.u64();
+    std::uint64_t tag = 0;
+    try {
+      Reader r(env.payload);
+      tag = r.u64();
+    } catch (const DecodeError&) {
+      return;  // malformed submit: drop at the trust boundary
+    }
     if (tag >= txns_.size()) return;
     TxnState& t = txns_[tag];
     if (dst != coord_) {
@@ -816,8 +898,13 @@ class ClientSession final : public Dispatcher {
 
   void handle_resp(const Envelope& env) {
     if (!cluster_->transport().open(env, "client_resp")) return;
-    Reader r(env.payload);
-    const std::uint64_t tag = r.u64();
+    std::uint64_t tag = 0;
+    try {
+      Reader r(env.payload);
+      tag = r.u64();
+    } catch (const DecodeError&) {
+      return;  // malformed response: drop at the trust boundary
+    }
     if (tag >= txns_.size()) return;
     TxnState& t = txns_[tag];
     if (t.responded) {
@@ -879,6 +966,9 @@ class CheckpointDispatch final : public Dispatcher {
         break;
       case ControlEvent::Kind::kCoordinatorTimeout:
         break;  // the checkpoint is an optimization: it simply waits
+      case ControlEvent::Kind::kPeerApplied:
+      case ControlEvent::Kind::kTimer:
+        break;  // commit-pipeline / client-session events; not ours
     }
   }
 
@@ -898,7 +988,11 @@ class CheckpointDispatch final : public Dispatcher {
       return;
     }
     const bool authentic = cluster_->transport().open(env, env.type);
-    round_->on_deliver(src, dst, env, authentic, out);
+    try {
+      round_->on_deliver(src, dst, env, authentic, out);
+    } catch (const DecodeError&) {
+      return;  // malformed frame from the wire: drop it
+    }
     if (poll_transition_crash(*cluster_, *sched_, dst, env.type)) {
       apply_crash(*cluster_, *sched_, dst);
     }
@@ -919,6 +1013,22 @@ PipelineResult run_commit_rounds(Cluster& cluster, Protocol protocol,
   if (batches.empty()) return {};
   CommitPipeline pipeline(cluster, protocol, std::move(batches), sched);
   return pipeline.run();
+}
+
+void serve_commit_rounds(Cluster& cluster, Protocol protocol, std::size_t num_rounds,
+                         Scheduler& sched) {
+  if (num_rounds == 0) return;
+  // Empty batches: cohorts work purely from delivered wire bytes, but the
+  // pipeline still reserves one epoch per round — the identical sequence
+  // the coordinator process reserves, which is what routes its frames to
+  // the right reactors here.
+  std::vector<std::vector<commit::SignedEndTxn>> batches(num_rounds);
+  CommitPipeline pipeline(cluster, protocol, std::move(batches), sched);
+  pipeline.begin();
+  // No collect(): a cohort process can never observe global completion
+  // (its completed_ counts only locally processed decisions); the
+  // scheduler's run loop exits on the coordinator's shutdown frame.
+  sched.run(pipeline);
 }
 
 OpenLoopOutcome run_open_loop_rounds(

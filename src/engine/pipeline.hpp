@@ -38,6 +38,15 @@ PipelineResult run_commit_rounds(Cluster& cluster, Protocol protocol,
                                  std::vector<std::vector<commit::SignedEndTxn>> batches,
                                  Scheduler& sched);
 
+/// Cohort-side serving loop for a multi-process (socket) deployment: builds
+/// the same pipeline state machine as run_commit_rounds — identical epoch
+/// reservation, gating, dedup — but with empty batches (cohorts validate
+/// from delivered wire bytes, never from the coordinator's batch copy) and
+/// no completion check: the call returns when the scheduler's run loop
+/// stops, e.g. on the coordinator's shutdown frame.
+void serve_commit_rounds(Cluster& cluster, Protocol protocol, std::size_t num_rounds,
+                         Scheduler& sched);
+
 /// Open-loop variant (simulated network only): clients are SimNet nodes
 /// submitting on `txns`' arrival schedule; each submit hops client →
 /// affinity server → coordinator over the simulated wire (with per-client

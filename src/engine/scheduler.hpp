@@ -52,6 +52,7 @@ struct ControlEvent {
     kRecover,             ///< node restarts from its durable round log
     kCoordinatorTimeout,  ///< termination timer: check the coordinator, act if dead
     kTimer,               ///< generic node-local timer (client retry, open-loop submit)
+    kPeerApplied,         ///< remote process reports `node` processed epoch `tag`'s decision
   };
   Kind kind{Kind::kCrash};
   NodeId node;
@@ -137,6 +138,29 @@ class Scheduler {
     (void)node;
     (void)delay_us;
   }
+
+  // --- Distribution hooks -----------------------------------------------------
+  //
+  // A single-process scheduler sees every server's decision handler run
+  // locally, so the pipeline's completion bookkeeping is already global.
+  // The socket scheduler hosts one server per process: these two hooks let
+  // the pipeline (a) tell the substrate a hosted server finished processing
+  // a decision — which the substrate forwards to the coordinator process as
+  // a kPeerApplied ControlEvent — and (b) hand run() a completion predicate
+  // so the coordinator's event loop knows when to stop waiting for frames
+  // that only remote processes can produce. Both default to no-ops; the
+  // in-process and SimNet schedulers are quiescence-driven and never need
+  // them.
+
+  /// `server` (hosted by this process) finished processing the decision of
+  /// the round with epoch `epoch`.
+  virtual void notify_applied(std::uint32_t server, std::uint64_t epoch) {
+    (void)server;
+    (void)epoch;
+  }
+
+  /// Predicate run() may poll to decide whether all rounds completed.
+  virtual void set_completion(std::function<bool()> done) { (void)done; }
 };
 
 // --- Engine frame -------------------------------------------------------------
@@ -162,7 +186,15 @@ inline std::optional<std::uint64_t> peek_epoch(BytesView payload) {
   return r.u64();
 }
 
-/// The protocol message bytes behind the frame header.
-inline BytesView unframe_payload(BytesView payload) { return payload.subspan(8); }
+/// The protocol message bytes behind the frame header. Throws DecodeError on
+/// a short frame: with real sockets the payload arrives from an untrusted
+/// fd, and subspan(8) past the end would be UB, not a protocol outcome.
+/// Dispatchers at trust boundaries catch DecodeError and drop the frame.
+inline BytesView unframe_payload(BytesView payload) {
+  if (payload.size() < 8) {
+    throw DecodeError("engine frame shorter than its epoch header");
+  }
+  return payload.subspan(8);
+}
 
 }  // namespace fides::engine

@@ -1,0 +1,172 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace fides::net {
+
+namespace {
+
+void write_node(Writer& w, NodeId node) {
+  w.u8(static_cast<std::uint8_t>(node.kind));
+  w.u32(node.id);
+}
+
+NodeId read_node(Reader& r) {
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(NodeId::Kind::kClient)) {
+    throw DecodeError("wire frame: unknown node kind");
+  }
+  NodeId n;
+  n.kind = static_cast<NodeId::Kind>(kind);
+  n.id = r.u32();
+  return n;
+}
+
+crypto::Digest read_digest(Reader& r) {
+  const Bytes raw = r.raw(32);
+  crypto::Digest d;
+  std::memcpy(d.bytes.data(), raw.data(), 32);
+  return d;
+}
+
+/// Prepends the u32 little-endian length to a finished payload.
+Bytes with_length_prefix(Bytes payload) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+Writer begin_frame(FrameKind kind) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  return w;
+}
+
+}  // namespace
+
+Bytes encode_hello(NodeId node) {
+  Writer w = begin_frame(FrameKind::kHello);
+  write_node(w, node);
+  return with_length_prefix(std::move(w).take());
+}
+
+Bytes encode_envelope(NodeId src, NodeId dst, bool replay, const Envelope& env) {
+  Writer w = begin_frame(FrameKind::kEnvelope);
+  write_node(w, src);
+  write_node(w, dst);
+  w.u8(replay ? 1 : 0);
+  write_node(w, env.sender);
+  w.str(env.type);
+  w.bytes(env.payload);
+  w.bytes(env.signature.serialize());
+  return with_length_prefix(std::move(w).take());
+}
+
+Bytes encode_applied(std::uint32_t server, std::uint64_t epoch) {
+  Writer w = begin_frame(FrameKind::kApplied);
+  w.u32(server);
+  w.u64(epoch);
+  return with_length_prefix(std::move(w).take());
+}
+
+Bytes encode_shutdown() {
+  Writer w = begin_frame(FrameKind::kShutdown);
+  return with_length_prefix(std::move(w).take());
+}
+
+Bytes encode_digest_query(std::uint32_t server) {
+  Writer w = begin_frame(FrameKind::kDigestQuery);
+  w.u32(server);
+  return with_length_prefix(std::move(w).take());
+}
+
+Bytes encode_digest_reply(const PeerDigest& digest) {
+  Writer w = begin_frame(FrameKind::kDigestReply);
+  w.u32(digest.server);
+  w.u64(digest.log_height);
+  w.raw(digest.log_head.view());
+  w.raw(digest.shard_root.view());
+  return with_length_prefix(std::move(w).take());
+}
+
+Frame decode_frame(BytesView payload) {
+  Reader r(payload);
+  Frame f;
+  const std::uint8_t kind = r.u8();
+  switch (kind) {
+    case static_cast<std::uint8_t>(FrameKind::kHello):
+      f.kind = FrameKind::kHello;
+      f.hello_node = read_node(r);
+      break;
+    case static_cast<std::uint8_t>(FrameKind::kEnvelope): {
+      f.kind = FrameKind::kEnvelope;
+      f.src = read_node(r);
+      f.dst = read_node(r);
+      f.replay = r.u8() != 0;
+      f.envelope.sender = read_node(r);
+      f.envelope.type = r.str();
+      f.envelope.payload = r.bytes();
+      const Bytes sig = r.bytes();
+      const auto parsed = crypto::Signature::deserialize(sig);
+      if (!parsed.has_value()) throw DecodeError("wire frame: unparseable signature");
+      f.envelope.signature = *parsed;
+      break;
+    }
+    case static_cast<std::uint8_t>(FrameKind::kApplied):
+      f.kind = FrameKind::kApplied;
+      f.server = r.u32();
+      f.epoch = r.u64();
+      break;
+    case static_cast<std::uint8_t>(FrameKind::kShutdown):
+      f.kind = FrameKind::kShutdown;
+      break;
+    case static_cast<std::uint8_t>(FrameKind::kDigestQuery):
+      f.kind = FrameKind::kDigestQuery;
+      f.server = r.u32();
+      break;
+    case static_cast<std::uint8_t>(FrameKind::kDigestReply):
+      f.kind = FrameKind::kDigestReply;
+      f.digest.server = r.u32();
+      f.digest.log_height = r.u64();
+      f.digest.log_head = read_digest(r);
+      f.digest.shard_root = read_digest(r);
+      break;
+    default:
+      throw DecodeError("wire frame: unknown frame kind");
+  }
+  r.expect_done();
+  return f;
+}
+
+void FrameReader::feed(BytesView data) {
+  // Compact before growing: everything before pos_ has been consumed.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (std::size_t{1} << 20)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<Bytes> FrameReader::next() {
+  if (buf_.size() - pos_ < 4) return std::nullopt;
+  // The prefix is a serde u32: little-endian by definition, decoded
+  // explicitly so the reader is correct on any host endianness.
+  const std::uint32_t len = static_cast<std::uint32_t>(buf_[pos_]) |
+                            (static_cast<std::uint32_t>(buf_[pos_ + 1]) << 8) |
+                            (static_cast<std::uint32_t>(buf_[pos_ + 2]) << 16) |
+                            (static_cast<std::uint32_t>(buf_[pos_ + 3]) << 24);
+  if (len > max_frame_) {
+    throw DecodeError("wire frame exceeds the maximum frame size");
+  }
+  if (buf_.size() - pos_ - 4 < len) return std::nullopt;
+  Bytes payload(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4),
+                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+  pos_ += 4 + len;
+  return payload;
+}
+
+}  // namespace fides::net

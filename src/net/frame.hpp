@@ -1,0 +1,101 @@
+// Wire frames for the socket scheduler.
+//
+// Everything crossing a socket is one length-delimited frame: a u32
+// little-endian byte count followed by that many payload bytes. The payload
+// begins with a one-byte frame kind; the rest is the kind's canonical serde
+// encoding (common/serde.hpp — the same writer/reader pair that defines
+// block and envelope bytes, so an Envelope has exactly one representation
+// on disk, in a signature preimage, and on the wire).
+//
+// Trust model: envelope *contents* are authenticated end-to-end (the sender
+// signature crosses the wire inside the frame and the receiving dispatcher
+// verifies it), but the framing itself — kinds, node ids, the replay flag,
+// applied/digest control frames — is not. A malformed or malicious frame
+// must therefore never crash the process: every decode path throws
+// DecodeError on truncation, oversizing, or an out-of-range discriminant,
+// and the connection loop drops the frame (or the connection) instead of
+// dying. That boundary is what the truncation fuzz test exercises.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/serde.hpp"
+#include "crypto/sha256.hpp"
+#include "fides/transport.hpp"
+
+namespace fides::net {
+
+/// Hard ceiling on a single frame (64 MiB). A length prefix above this is
+/// treated as a protocol violation (DecodeError), not an allocation request:
+/// a hostile peer must not be able to make the receiver reserve gigabytes.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 26;
+
+enum class FrameKind : std::uint8_t {
+  kHello = 1,        ///< first frame on every connection: who is dialing
+  kEnvelope = 2,     ///< routed engine traffic (signed Envelope + src/dst/replay)
+  kApplied = 3,      ///< hosted server finished processing a round's decision
+  kShutdown = 4,     ///< coordinator: the run is over, exit cleanly
+  kDigestQuery = 5,  ///< coordinator asks for the peer's committed-state digest
+  kDigestReply = 6,  ///< log height + head hash + shard Merkle root
+};
+
+/// A peer's committed state, compared bit-for-bit against the coordinator's
+/// other runs of the same batch (the cross-scheduler identity gate).
+struct PeerDigest {
+  std::uint32_t server{0};
+  std::uint64_t log_height{0};
+  crypto::Digest log_head;
+  crypto::Digest shard_root;
+};
+
+/// Decoded frame. `kind` says which members are meaningful.
+struct Frame {
+  FrameKind kind{FrameKind::kHello};
+  NodeId hello_node;       ///< kHello: the node the dialing process hosts
+  NodeId src;              ///< kEnvelope
+  NodeId dst;              ///< kEnvelope
+  bool replay{false};      ///< kEnvelope: recovery catch-up stream flag
+  Envelope envelope;       ///< kEnvelope
+  std::uint32_t server{0}; ///< kApplied / kDigestQuery (queried server)
+  std::uint64_t epoch{0};  ///< kApplied
+  PeerDigest digest;       ///< kDigestReply
+};
+
+// --- Encoding (always produces the full wire bytes, length prefix included) --
+
+Bytes encode_hello(NodeId node);
+Bytes encode_envelope(NodeId src, NodeId dst, bool replay, const Envelope& env);
+Bytes encode_applied(std::uint32_t server, std::uint64_t epoch);
+Bytes encode_shutdown();
+Bytes encode_digest_query(std::uint32_t server);
+Bytes encode_digest_reply(const PeerDigest& digest);
+
+/// Decodes one frame payload (the bytes *after* the length prefix). Throws
+/// DecodeError on any malformation: unknown kind, truncation, trailing
+/// garbage, an unparseable signature.
+Frame decode_frame(BytesView payload);
+
+/// Incremental frame extractor over a byte stream. feed() appends whatever
+/// the socket produced; next() yields complete frame payloads in order.
+/// Throws DecodeError when the stream announces a frame larger than
+/// `max_frame` — the caller should drop the connection, since the stream
+/// can no longer be re-synchronized.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame = kMaxFrameBytes) : max_frame_(max_frame) {}
+
+  void feed(BytesView data);
+
+  /// The next complete frame payload, or nullopt if more bytes are needed.
+  std::optional<Bytes> next();
+
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  Bytes buf_;
+  std::size_t pos_{0};
+  std::size_t max_frame_;
+};
+
+}  // namespace fides::net

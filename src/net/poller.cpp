@@ -1,0 +1,76 @@
+#include "net/poller.hpp"
+
+#include <poll.h>
+
+#include <cerrno>
+
+namespace fides::net {
+
+void Poller::add(int fd, Callback cb) {
+  if (Entry* e = find(fd)) {
+    e->cb = std::move(cb);
+    e->want_write = false;
+    return;
+  }
+  entries_.push_back(Entry{fd, false, std::move(cb)});
+}
+
+void Poller::remove(int fd) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->fd == fd) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+bool Poller::contains(int fd) const { return find(fd) != nullptr; }
+
+void Poller::set_want_write(int fd, bool want) {
+  if (Entry* e = find(fd)) e->want_write = want;
+}
+
+int Poller::poll_once(int timeout_ms) {
+  if (entries_.empty()) return 0;
+  std::vector<pollfd> fds;
+  fds.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    pollfd p{};
+    p.fd = e.fd;
+    p.events = POLLIN;
+    if (e.want_write) p.events |= POLLOUT;
+    fds.push_back(p);
+  }
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n <= 0) return 0;  // timeout, or EINTR — the caller loops anyway
+  // Snapshot readiness, then dispatch: a callback may add or remove fds,
+  // so each ready fd is re-resolved against the live entry list.
+  std::vector<std::pair<int, short>> ready;
+  ready.reserve(static_cast<std::size_t>(n));
+  for (const pollfd& p : fds) {
+    if (p.revents != 0) ready.emplace_back(p.fd, p.revents);
+  }
+  for (const auto& [fd, revents] : ready) {
+    Entry* e = find(fd);
+    if (e == nullptr || !e->cb) continue;  // removed by an earlier callback
+    auto cb = e->cb;                       // copy: the callback may remove the entry
+    cb(fd, revents);
+  }
+  return n;
+}
+
+const Poller::Entry* Poller::find(int fd) const {
+  for (const Entry& e : entries_) {
+    if (e.fd == fd) return &e;
+  }
+  return nullptr;
+}
+
+Poller::Entry* Poller::find(int fd) {
+  for (Entry& e : entries_) {
+    if (e.fd == fd) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace fides::net

@@ -1,0 +1,51 @@
+// A poll(2)-based fd watcher set — the event-loop core of the socket
+// scheduler.
+//
+// Level-triggered by design (the FDWatcher + poll() pattern): every
+// registered fd is polled for readability on every iteration, plus
+// writability while its owner has buffered output pending (write-buffer
+// draining on POLLOUT). Callbacks fire from poll_once() on the caller's
+// thread; there is no internal threading. An fd may be removed from inside
+// its own callback — readiness results are snapshotted before dispatch and
+// entries are re-looked-up per fd, so removal mid-dispatch is safe.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace fides::net {
+
+class Poller {
+ public:
+  /// `revents` is the raw poll(2) readiness mask for the fd.
+  using Callback = std::function<void(int fd, short revents)>;
+
+  void add(int fd, Callback cb);
+  void remove(int fd);
+  bool contains(int fd) const;
+
+  /// Whether to also poll the fd for writability (POLLOUT) — set while the
+  /// connection has unsent buffered bytes, cleared when the buffer drains.
+  void set_want_write(int fd, bool want);
+
+  /// One poll(2) round: waits up to `timeout_ms` (0 = non-blocking probe,
+  /// -1 = indefinitely), then invokes callbacks for every ready fd.
+  /// Returns the number of fds that were ready.
+  int poll_once(int timeout_ms);
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    int fd{-1};
+    bool want_write{false};
+    Callback cb;
+  };
+
+  const Entry* find(int fd) const;
+  Entry* find(int fd);
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fides::net

@@ -1,0 +1,91 @@
+#include "net/process.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace fides::net {
+
+pid_t spawn(const std::vector<std::string>& argv, const std::string& stderr_path) {
+  if (argv.empty()) throw std::runtime_error("spawn: empty argv");
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("spawn: fork failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    const int fd = ::open(stderr_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, STDOUT_FILENO);
+      ::dup2(fd, STDERR_FILENO);
+      if (fd > STDERR_FILENO) ::close(fd);
+    }
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+  return pid;
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, 0);
+    if (r == pid) break;
+    if (r < 0 && errno == EINTR) continue;
+    return -1;
+  }
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return -WTERMSIG(status);
+  return -1;
+}
+
+bool try_wait(pid_t pid, int* code) {
+  int status = 0;
+  const pid_t r = ::waitpid(pid, &status, WNOHANG);
+  if (r != pid) return false;
+  if (WIFEXITED(status)) {
+    *code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    *code = -WTERMSIG(status);
+  } else {
+    *code = -1;
+  }
+  return true;
+}
+
+void kill_process(pid_t pid) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+}
+
+std::string serverd_binary_path() {
+  if (const char* env = std::getenv("FIDES_SERVERD"); env != nullptr && *env != '\0') {
+    return env;
+  }
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    std::string self(buf);
+    const auto slash = self.rfind('/');
+    if (slash != std::string::npos) {
+      return self.substr(0, slash + 1) + "fides_serverd";
+    }
+  }
+  return "./fides_serverd";  // last resort: CWD
+}
+
+}  // namespace fides::net

@@ -1,0 +1,35 @@
+// Child-process plumbing for multi-process runs: spawn a fides_serverd with
+// its stderr captured to a log file (the CI artifact on failure), wait for
+// or kill it, and locate the serverd binary next to the running executable.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace fides::net {
+
+/// fork+execv. argv[0] is the binary path; stderr (and stdout) are
+/// redirected to `stderr_path` (appended, so a respawn keeps the earlier
+/// incarnation's log). Throws std::runtime_error if the fork fails; an exec
+/// failure surfaces as the child exiting 127.
+pid_t spawn(const std::vector<std::string>& argv, const std::string& stderr_path);
+
+/// Blocks until the child exits. Returns its exit code, or -signal if it
+/// died on one.
+int wait_exit(pid_t pid);
+
+/// Non-blocking reap. True (and *code as in wait_exit) if the child has
+/// exited.
+bool try_wait(pid_t pid, int* code);
+
+/// SIGKILL + reap. Safe to call on an already-dead child.
+void kill_process(pid_t pid);
+
+/// Path to the fides_serverd binary: $FIDES_SERVERD if set, else
+/// "fides_serverd" in the directory of the running executable (so tests and
+/// benches work from any CWD).
+std::string serverd_binary_path();
+
+}  // namespace fides::net

@@ -1,0 +1,224 @@
+#include "net/serverd.hpp"
+
+#include <sys/stat.h>
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+#include "engine/pipeline.hpp"
+#include "net/socket_scheduler.hpp"
+
+namespace fides::net {
+
+namespace {
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc{} && ptr == last && first != last;
+}
+
+/// The previous incarnation's durable log, if any, has bytes in it; a file
+/// freshly created by Cluster construction is empty.
+bool durable_log_nonempty(const std::string& dir, std::uint32_t self) {
+  if (dir.empty()) return false;
+  struct stat st{};
+  const std::string path = dir + "/server-" + std::to_string(self) + ".rlog";
+  return ::stat(path.c_str(), &st) == 0 && st.st_size > 0;
+}
+
+}  // namespace
+
+std::optional<ServerdOptions> parse_serverd_args(int argc, char** argv,
+                                                 std::string* error) {
+  ServerdOptions o;
+  bool have_self = false;
+  auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto take_u64 = [&](std::uint64_t* out) -> bool {
+      const char* v = need_value(i);
+      if (v == nullptr || !parse_u64(v, out)) {
+        *error = "flag " + arg + " needs an unsigned integer value";
+        return false;
+      }
+      ++i;
+      return true;
+    };
+    std::uint64_t u = 0;
+    if (arg == "--self") {
+      if (!take_u64(&u)) return std::nullopt;
+      o.self = static_cast<std::uint32_t>(u);
+      have_self = true;
+    } else if (arg == "--servers") {
+      if (!take_u64(&u)) return std::nullopt;
+      o.num_servers = static_cast<std::uint32_t>(u);
+    } else if (arg == "--rounds") {
+      if (!take_u64(&u)) return std::nullopt;
+      o.rounds = u;
+    } else if (arg == "--clients") {
+      if (!take_u64(&u)) return std::nullopt;
+      o.clients = u;
+    } else if (arg == "--items") {
+      if (!take_u64(&u)) return std::nullopt;
+      o.items = static_cast<std::uint32_t>(u);
+    } else if (arg == "--batch") {
+      if (!take_u64(&u)) return std::nullopt;
+      o.max_batch = static_cast<std::uint32_t>(u);
+    } else if (arg == "--no-data-sigs") {
+      o.sign_data_path = false;
+    } else if (arg == "--pipeline") {
+      if (!take_u64(&u)) return std::nullopt;
+      o.pipeline = static_cast<std::uint32_t>(u);
+    } else if (arg == "--threads") {
+      if (!take_u64(&u)) return std::nullopt;
+      o.threads = static_cast<std::uint32_t>(u);
+    } else if (arg == "--seed") {
+      if (!take_u64(&u)) return std::nullopt;
+      o.seed = u;
+    } else if (arg == "--spec") {
+      o.speculate = true;
+    } else if (arg == "--protocol") {
+      const char* v = need_value(i);
+      if (v == nullptr) {
+        *error = "--protocol needs tfcommit or 2pc";
+        return std::nullopt;
+      }
+      const std::string p = v;
+      if (p == "tfcommit") {
+        o.protocol = Protocol::kTfCommit;
+      } else if (p == "2pc") {
+        o.protocol = Protocol::kTwoPhaseCommit;
+      } else {
+        *error = "--protocol must be tfcommit or 2pc, got " + p;
+        return std::nullopt;
+      }
+      ++i;
+    } else if (arg == "--log-dir") {
+      const char* v = need_value(i);
+      if (v == nullptr) {
+        *error = "--log-dir needs a directory";
+        return std::nullopt;
+      }
+      o.log_dir = v;
+      ++i;
+    } else if (arg == "--crash-after") {
+      // type:count — die right after the count-th processed delivery of
+      // that message type.
+      const char* v = need_value(i);
+      if (v == nullptr) {
+        *error = "--crash-after needs <message-type>:<count>";
+        return std::nullopt;
+      }
+      const std::string spec = v;
+      const auto colon = spec.rfind(':');
+      std::uint64_t count = 0;
+      if (colon == std::string::npos || colon == 0 ||
+          !parse_u64(spec.substr(colon + 1), &count) || count == 0) {
+        *error = "--crash-after wants <message-type>:<count>, got " + spec;
+        return std::nullopt;
+      }
+      o.crash_after_type = spec.substr(0, colon);
+      o.crash_after_count = static_cast<std::uint32_t>(count);
+      ++i;
+    } else if (!arg.empty() && arg[0] == '-') {
+      *error = "unknown flag " + arg;
+      return std::nullopt;
+    } else {
+      o.addrs.push_back(arg);  // positional: addrs[i] for server i, in order
+    }
+  }
+  if (!have_self || o.self == 0) {
+    *error = "--self must name a non-coordinator server (1..servers-1)";
+    return std::nullopt;
+  }
+  if (o.self >= o.num_servers) {
+    *error = "--self out of range for --servers";
+    return std::nullopt;
+  }
+  if (o.addrs.size() != o.num_servers) {
+    *error = "expected exactly one positional address per server (" +
+             std::to_string(o.num_servers) + "), got " +
+             std::to_string(o.addrs.size());
+    return std::nullopt;
+  }
+  if (o.rounds == 0) {
+    *error = "--rounds must be positive";
+    return std::nullopt;
+  }
+  if (o.log_dir.empty()) {
+    *error = "--log-dir is required (shared durable round-log directory)";
+    return std::nullopt;
+  }
+  return o;
+}
+
+int run_serverd(const ServerdOptions& options) {
+  std::fprintf(stderr, "[fides_serverd %u] starting: %u servers, %zu rounds, protocol %s%s\n",
+               options.self, options.num_servers, options.rounds,
+               options.protocol == Protocol::kTfCommit ? "tfcommit" : "2pc",
+               options.crash_after_type.empty() ? "" : ", crash point armed");
+  // The previous incarnation's log (if any) must be known *before* the
+  // cluster constructs: rejoining means crash+recover of our own replica.
+  const bool rejoin = durable_log_nonempty(options.log_dir, options.self);
+
+  ClusterConfig config;
+  config.num_servers = options.num_servers;
+  config.items_per_shard = options.items;
+  config.max_batch_size = options.max_batch;
+  config.sign_data_path = options.sign_data_path;
+  config.protocol = options.protocol;
+  config.pipeline_depth = options.pipeline;
+  config.speculate = options.speculate;
+  config.num_threads = options.threads;
+  config.seed = options.seed;
+  config.round_log_dir = options.log_dir;
+  if (!options.crash_after_type.empty()) {
+    CrashFault fault;
+    fault.server = options.self;
+    fault.after_type = options.crash_after_type;
+    fault.after_count = options.crash_after_count;
+    config.crashes.push_back(fault);
+  }
+
+  try {
+    Cluster cluster(config);
+    for (std::size_t c = 0; c < options.clients; ++c) cluster.make_client();
+    if (rejoin) {
+      std::fprintf(stderr, "[fides_serverd %u] durable log found; rejoining from it\n",
+                   options.self);
+      cluster.crash_server(ServerId{options.self});
+      if (!cluster.recover_server(ServerId{options.self})) {
+        std::fprintf(stderr,
+                     "[fides_serverd %u] durable log failed its integrity check; refusing to rejoin\n",
+                     options.self);
+        return 3;
+      }
+    }
+    SocketOptions sopts;
+    sopts.addrs = options.addrs;
+    sopts.self = options.self;
+    sopts.die_on_crash = true;
+    SocketScheduler sched(cluster, sopts);
+    engine::serve_commit_rounds(cluster, options.protocol, options.rounds, sched);
+    if (!sched.shutdown_received()) {
+      std::fprintf(stderr, "[fides_serverd %u] exiting without shutdown frame\n",
+                   options.self);
+      return 4;
+    }
+    std::fprintf(stderr, "[fides_serverd %u] clean shutdown (log height %zu)\n",
+                 options.self,
+                 cluster.server(ServerId{options.self}).log().size());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[fides_serverd %u] fatal: %s\n", options.self, e.what());
+    return 2;
+  }
+}
+
+}  // namespace fides::net

@@ -1,0 +1,52 @@
+// fides_serverd: one Server of a deterministic Cluster as its own process.
+//
+// The daemon constructs the identical Cluster the coordinator process
+// constructs (server and client keys are deterministic in the ids, epochs
+// come from a fresh per-cluster counter, shards provision from the shared
+// config), rejoins from its durable round log if one survives a previous
+// incarnation, then serves commit rounds over a SocketScheduler until the
+// coordinator broadcasts shutdown. The CLI lives here (not in the tool
+// main) so tests can exercise parsing and option plumbing directly.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fides/config.hpp"
+
+namespace fides::net {
+
+struct ServerdOptions {
+  std::uint32_t self{1};          ///< hosted server id (1..num_servers-1)
+  std::uint32_t num_servers{5};
+  std::vector<std::string> addrs; ///< one per server, positional args
+  std::size_t rounds{0};          ///< total rounds of the run (epoch alignment)
+  std::size_t clients{0};         ///< client count (key registry alignment)
+  Protocol protocol{Protocol::kTfCommit};
+  std::uint32_t items{10000};
+  std::uint32_t max_batch{100};
+  bool sign_data_path{true};
+  std::uint32_t pipeline{1};
+  bool speculate{false};
+  std::uint32_t threads{1};
+  std::string log_dir;            ///< shared durable round-log directory
+  std::uint64_t seed{42};
+  /// Crash point: die (std::_Exit) right after processing the
+  /// `crash_after_count`-th delivery of this message type. Empty = never.
+  std::string crash_after_type;
+  std::uint32_t crash_after_count{1};
+};
+
+/// Parses serverd CLI arguments. Returns nullopt and sets `error` on a bad
+/// flag or a missing required argument.
+std::optional<ServerdOptions> parse_serverd_args(int argc, char** argv,
+                                                 std::string* error);
+
+/// Runs the daemon to completion. Exit codes: 0 clean shutdown, 2 bad
+/// deployment (unreachable coordinator, addr mismatch), 3 durable log
+/// failed its integrity check, 4 coordinator connection lost mid-run.
+/// A configured crash point exits with SocketOptions::crash_exit_code (42).
+int run_serverd(const ServerdOptions& options);
+
+}  // namespace fides::net

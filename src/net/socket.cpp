@@ -1,0 +1,150 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace fides::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+int cloexec_socket(int domain) {
+  const int fd = ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) fail("socket()");
+  return fd;
+}
+
+sockaddr_un unix_sockaddr(const std::string& path) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(sa.sun_path)) {
+    throw std::runtime_error("unix socket path too long: " + path);
+  }
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+  return sa;
+}
+
+sockaddr_in tcp_sockaddr(const ParsedAddr& addr) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+    throw std::runtime_error("tcp address must be numeric IPv4: " + addr.host);
+  }
+  return sa;
+}
+
+}  // namespace
+
+ParsedAddr parse_addr(const std::string& addr) {
+  ParsedAddr out;
+  if (addr.rfind("unix:", 0) == 0) {
+    out.is_unix = true;
+    out.path = addr.substr(5);
+    if (out.path.empty()) throw std::runtime_error("empty unix socket path: " + addr);
+    return out;
+  }
+  if (addr.rfind("tcp:", 0) == 0) {
+    const std::string rest = addr.substr(4);
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+      throw std::runtime_error("tcp address must be tcp:host:port: " + addr);
+    }
+    out.host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long port = std::strtol(port_str.c_str(), &end, 10);
+    if (end == port_str.c_str() || *end != '\0' || port < 0 || port > 65535) {
+      throw std::runtime_error("bad tcp port: " + addr);
+    }
+    out.port = static_cast<std::uint16_t>(port);
+    return out;
+  }
+  throw std::runtime_error("unknown address scheme (want unix: or tcp:): " + addr);
+}
+
+int listen_on(const std::string& addr) {
+  const ParsedAddr parsed = parse_addr(addr);
+  if (parsed.is_unix) {
+    ::unlink(parsed.path.c_str());  // stale socket from a previous run
+    const int fd = cloexec_socket(AF_UNIX);
+    const sockaddr_un sa = unix_sockaddr(parsed.path);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+      ::close(fd);
+      fail("bind(" + parsed.path + ")");
+    }
+    if (::listen(fd, 64) != 0) {
+      ::close(fd);
+      fail("listen(" + parsed.path + ")");
+    }
+    set_nonblocking(fd);
+    return fd;
+  }
+  const int fd = cloexec_socket(AF_INET);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in sa = tcp_sockaddr(parsed);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    fail("bind(" + addr + ")");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    fail("listen(" + addr + ")");
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+int dial_once(const std::string& addr) {
+  const ParsedAddr parsed = parse_addr(addr);
+  if (parsed.is_unix) {
+    const int fd = cloexec_socket(AF_UNIX);
+    const sockaddr_un sa = unix_sockaddr(parsed.path);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  const int fd = cloexec_socket(AF_INET);
+  const sockaddr_in sa = tcp_sockaddr(parsed);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail("fcntl(O_NONBLOCK)");
+  }
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    fail("getsockname()");
+  }
+  return ntohs(sa.sin_port);
+}
+
+}  // namespace fides::net

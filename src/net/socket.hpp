@@ -1,0 +1,48 @@
+// Address parsing and socket setup for the socket scheduler.
+//
+// Two address schemes, chosen per server in the topology list:
+//
+//   unix:/path/to/socket   — Unix-domain stream socket (tests, single host)
+//   tcp:host:port          — TCP with TCP_NODELAY (host must be a numeric
+//                            IPv4 address; name resolution is deliberately
+//                            out of scope for a loopback-first transport)
+//
+// All fds are created close-on-exec so a forked serverd never inherits its
+// parent's connections. Listening and accepted fds are non-blocking (the
+// poll loop owns them); dialing is blocking with a caller-owned retry loop,
+// which is the behavior a joining serverd wants while the coordinator is
+// still provisioning.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fides::net {
+
+struct ParsedAddr {
+  bool is_unix{false};
+  std::string path;        ///< unix: filesystem path
+  std::string host;        ///< tcp: numeric IPv4 host
+  std::uint16_t port{0};   ///< tcp
+};
+
+/// Parses "unix:/path" or "tcp:host:port". Throws std::runtime_error on an
+/// unknown scheme or malformed port — a deployment error, not wire input.
+ParsedAddr parse_addr(const std::string& addr);
+
+/// Binds + listens on `addr` (unlinking a stale unix socket path first).
+/// Returns a non-blocking listening fd. Throws std::runtime_error on
+/// failure.
+int listen_on(const std::string& addr);
+
+/// One blocking connect attempt. Returns a connected fd (still blocking;
+/// the caller flips it) or -1 if the peer is not accepting yet.
+int dial_once(const std::string& addr);
+
+void set_nonblocking(int fd);
+
+/// The port a bound socket actually got — how tests ask the kernel for a
+/// free TCP port (bind to port 0, read it back, pass it to every process).
+std::uint16_t local_port(int fd);
+
+}  // namespace fides::net

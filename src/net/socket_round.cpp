@@ -1,0 +1,16 @@
+#include "net/socket_round.hpp"
+
+namespace fides::net {
+
+SocketRunResult run_commit_rounds_over_sockets(
+    Cluster& cluster, Protocol protocol,
+    std::vector<std::vector<commit::SignedEndTxn>> batches, const SocketOptions& opts) {
+  SocketRunResult result;
+  if (batches.empty()) return result;
+  SocketScheduler sched(cluster, opts);
+  result.pipeline = engine::run_commit_rounds(cluster, protocol, std::move(batches), sched);
+  result.digests = sched.finish();
+  return result;
+}
+
+}  // namespace fides::net

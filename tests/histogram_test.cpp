@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -132,6 +134,41 @@ TEST(LogHistogram, MergeIsExactAndAssociative) {
     EXPECT_EQ(ab_c.percentile(p), a_bc.percentile(p));
     EXPECT_EQ(ab_c.percentile(p), all.percentile(p));
   }
+}
+
+TEST(LogHistogram, NonFiniteSamplesAreRejectedNotRecorded) {
+  // Regression: NaN used to fold into sum_/min_/max_, poisoning mean() and
+  // every subsequent min/max comparison (NaN compares false, so min/max
+  // stuck on the NaN). Non-finite samples must leave the distribution
+  // untouched and be tallied separately.
+  LogHistogram h;
+  h.record(2.0);
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  h.record(std::numeric_limits<double>::infinity());
+  h.record(-std::numeric_limits<double>::infinity());
+  h.record(8.0);
+
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.rejected(), 3u);
+  EXPECT_EQ(h.min(), 2.0);
+  EXPECT_EQ(h.max(), 8.0);
+  EXPECT_EQ(h.sum(), 10.0);
+  EXPECT_EQ(h.mean(), 5.0);
+  EXPECT_FALSE(std::isnan(h.percentile(50.0)));
+
+  // A histogram fed the same finite samples (and no garbage) is equal: the
+  // rejection tally is bookkeeping, not part of the distribution.
+  LogHistogram clean;
+  clean.record(2.0);
+  clean.record(8.0);
+  EXPECT_TRUE(h == clean);
+
+  // merge() folds the tally so a per-seed reject count survives aggregation.
+  LogHistogram merged;
+  merged.merge(h);
+  merged.merge(clean);
+  EXPECT_EQ(merged.rejected(), 3u);
+  EXPECT_EQ(merged.count(), 4u);
 }
 
 TEST(LogHistogram, MergeWithEmptyIsIdentity) {

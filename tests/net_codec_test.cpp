@@ -1,0 +1,192 @@
+// Wire-frame codec: roundtrips for every frame kind, the FrameReader's
+// incremental reassembly, and the trust-boundary guarantee — any truncation
+// or corruption of bytes arriving off a socket raises DecodeError (or
+// parses as garbage), never crashes. Also covers engine::unframe_payload's
+// short-frame check, the in-process edge of the same boundary.
+#include "net/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "engine/scheduler.hpp"
+
+namespace fides::net {
+namespace {
+
+Envelope make_signed_envelope() {
+  const auto key = crypto::KeyPair::deterministic(0x5EB0'0000ULL);
+  Envelope env;
+  env.sender = NodeId::server(ServerId{0});
+  env.type = "vote";
+  env.payload = Bytes{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  env.signature = key.sign(env.payload);
+  return env;
+}
+
+/// Strips the u32 length prefix off full wire bytes.
+BytesView payload_of(const Bytes& wire) {
+  return BytesView(wire).subspan(4);
+}
+
+TEST(NetCodec, HelloRoundtrips) {
+  const Bytes wire = encode_hello(NodeId::server(ServerId{3}));
+  const Frame f = decode_frame(payload_of(wire));
+  EXPECT_EQ(f.kind, FrameKind::kHello);
+  EXPECT_EQ(f.hello_node, NodeId::server(ServerId{3}));
+}
+
+TEST(NetCodec, EnvelopeRoundtrips) {
+  const Envelope env = make_signed_envelope();
+  const Bytes wire = encode_envelope(NodeId::server(ServerId{0}),
+                                     NodeId::client(ClientId{2}), true, env);
+  const Frame f = decode_frame(payload_of(wire));
+  EXPECT_EQ(f.kind, FrameKind::kEnvelope);
+  EXPECT_EQ(f.src, NodeId::server(ServerId{0}));
+  EXPECT_EQ(f.dst, NodeId::client(ClientId{2}));
+  EXPECT_TRUE(f.replay);
+  EXPECT_EQ(f.envelope.sender, env.sender);
+  EXPECT_EQ(f.envelope.type, env.type);
+  EXPECT_EQ(f.envelope.payload, env.payload);
+  // The signature survives byte-exactly: its serialized form is canonical.
+  EXPECT_EQ(f.envelope.signature.serialize(), env.signature.serialize());
+}
+
+TEST(NetCodec, AppliedShutdownAndDigestRoundtrip) {
+  {
+    const Frame f = decode_frame(payload_of(encode_applied(4, 77)));
+    EXPECT_EQ(f.kind, FrameKind::kApplied);
+    EXPECT_EQ(f.server, 4u);
+    EXPECT_EQ(f.epoch, 77u);
+  }
+  {
+    const Frame f = decode_frame(payload_of(encode_shutdown()));
+    EXPECT_EQ(f.kind, FrameKind::kShutdown);
+  }
+  {
+    const Frame f = decode_frame(payload_of(encode_digest_query(2)));
+    EXPECT_EQ(f.kind, FrameKind::kDigestQuery);
+    EXPECT_EQ(f.server, 2u);
+  }
+  {
+    PeerDigest d;
+    d.server = 3;
+    d.log_height = 12;
+    for (std::size_t i = 0; i < d.log_head.bytes.size(); ++i) {
+      d.log_head.bytes[i] = static_cast<std::uint8_t>(i);
+      d.shard_root.bytes[i] = static_cast<std::uint8_t>(255 - i);
+    }
+    const Frame f = decode_frame(payload_of(encode_digest_reply(d)));
+    EXPECT_EQ(f.kind, FrameKind::kDigestReply);
+    EXPECT_EQ(f.digest.server, 3u);
+    EXPECT_EQ(f.digest.log_height, 12u);
+    EXPECT_EQ(f.digest.log_head.bytes, d.log_head.bytes);
+    EXPECT_EQ(f.digest.shard_root.bytes, d.shard_root.bytes);
+  }
+}
+
+TEST(NetCodec, RejectsUnknownKindAndTrailingGarbage) {
+  EXPECT_THROW(decode_frame(Bytes{0}), DecodeError);    // kind 0 unused
+  EXPECT_THROW(decode_frame(Bytes{99}), DecodeError);   // kind out of range
+  EXPECT_THROW(decode_frame(Bytes{}), DecodeError);     // empty payload
+
+  Bytes wire = encode_shutdown();
+  wire.push_back(0xAB);  // trailing garbage after a complete frame body
+  EXPECT_THROW(decode_frame(payload_of(wire)), DecodeError);
+}
+
+TEST(NetCodec, EveryTruncationOfEveryKindThrowsNotCrashes) {
+  const Envelope env = make_signed_envelope();
+  const std::vector<Bytes> wires = {
+      encode_hello(NodeId::client(ClientId{1})),
+      encode_envelope(NodeId::server(ServerId{1}), NodeId::server(ServerId{0}), false, env),
+      encode_applied(1, 5),
+      encode_digest_query(1),
+      encode_digest_reply(PeerDigest{2, 9, {}, {}}),
+  };
+  for (const Bytes& wire : wires) {
+    const BytesView payload = payload_of(wire);
+    // Every strict prefix of the payload is a truncated frame.
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+      EXPECT_THROW(decode_frame(payload.first(len)), DecodeError)
+          << "prefix of length " << len << " of a " << payload.size()
+          << "-byte payload decoded";
+    }
+    // The full payload decodes.
+    EXPECT_NO_THROW(decode_frame(payload));
+  }
+}
+
+TEST(NetCodec, RandomCorruptionNeverCrashes) {
+  // Fuzz the boundary: flip random bytes of a valid envelope frame payload.
+  // Any outcome except a crash is acceptable — most flips throw DecodeError,
+  // a flip inside the opaque payload bytes decodes to a (differently
+  // garbled) envelope that the signature check upstairs rejects.
+  const Envelope env = make_signed_envelope();
+  const Bytes wire =
+      encode_envelope(NodeId::server(ServerId{1}), NodeId::server(ServerId{0}), false, env);
+  Rng rng(2026);
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes mutated(wire.begin() + 4, wire.end());
+    const std::size_t at = rng.uniform(mutated.size());
+    mutated[at] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+    try {
+      (void)decode_frame(mutated);
+    } catch (const DecodeError&) {
+      // expected for most mutations
+    }
+  }
+}
+
+TEST(NetCodec, FrameReaderReassemblesAcrossArbitrarySplits) {
+  const Envelope env = make_signed_envelope();
+  Bytes stream;
+  std::vector<Bytes> expected;
+  for (int i = 0; i < 5; ++i) {
+    Bytes wire = encode_applied(static_cast<std::uint32_t>(i), 100 + i);
+    expected.emplace_back(wire.begin() + 4, wire.end());
+    stream.insert(stream.end(), wire.begin(), wire.end());
+    Bytes ewire = encode_envelope(NodeId::server(ServerId{0}),
+                                  NodeId::server(ServerId{1}), false, env);
+    expected.emplace_back(ewire.begin() + 4, ewire.end());
+    stream.insert(stream.end(), ewire.begin(), ewire.end());
+  }
+
+  // Feed the stream in every chunk size from 1 byte to the whole thing.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                                  stream.size()}) {
+    FrameReader reader;
+    std::vector<Bytes> got;
+    for (std::size_t off = 0; off < stream.size(); off += chunk) {
+      const std::size_t n = std::min(chunk, stream.size() - off);
+      reader.feed(BytesView(stream).subspan(off, n));
+      while (auto frame = reader.next()) got.push_back(std::move(*frame));
+    }
+    EXPECT_EQ(got, expected) << "chunk size " << chunk;
+    EXPECT_EQ(reader.buffered(), 0u);
+  }
+}
+
+TEST(NetCodec, FrameReaderRejectsOversizedAnnouncement) {
+  // A length prefix above the cap is a protocol violation, not an alloc.
+  FrameReader reader(/*max_frame=*/64);
+  const Bytes huge_prefix = {0xFF, 0xFF, 0xFF, 0x7F};
+  reader.feed(huge_prefix);
+  EXPECT_THROW(reader.next(), DecodeError);
+}
+
+TEST(NetCodec, UnframePayloadThrowsOnShortFrame) {
+  // Regression: a sub-8-byte engine payload used to take subspan(8) on a
+  // shorter span — UB. It must throw like every other malformed input.
+  const Bytes seven = {1, 2, 3, 4, 5, 6, 7};
+  EXPECT_THROW(engine::unframe_payload(seven), DecodeError);
+  EXPECT_THROW(engine::unframe_payload(Bytes{}), DecodeError);
+  Bytes nine = {0, 0, 0, 0, 0, 0, 0, 0, 42};
+  const BytesView rest = engine::unframe_payload(nine);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], 42);
+}
+
+}  // namespace
+}  // namespace fides::net

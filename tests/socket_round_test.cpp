@@ -1,0 +1,264 @@
+// Cross-scheduler identity over real processes: the same minted batch
+// stream, replayed under the in-process scheduler, over SimNet, and over
+// loopback sockets with every non-coordinator server as a fides_serverd
+// child, must commit the bit-identical ledger — decisions, per-server log
+// heads, and shard Merkle roots — at pipeline depths 1/2/4 with speculation
+// off and on. Remote state crosses back as committed-state digests at
+// shutdown. Also: a serverd SIGKILL'd by its own crash point mid-run maps
+// onto the engine's crash/recover model (disconnect = kCrash, the restarted
+// process's HELLO = kRecover + durable-log replay), and a TCP loopback run
+// (ports leased from the kernel via bind-to-0) matches too.
+//
+// Serverd stderr goes to serverd-logs/run_*/ under the test CWD — the tree
+// CI uploads when this suite fails.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "fides/cluster.hpp"
+#include "net/process.hpp"
+#include "net/socket.hpp"
+#include "net/socket_round.hpp"
+#include "sim/simnet.hpp"
+#include "workload/ycsb.hpp"
+
+namespace fides::net {
+namespace {
+
+ClusterConfig socket_config() {
+  ClusterConfig cfg;
+  cfg.num_servers = 3;
+  cfg.items_per_shard = 32;
+  cfg.max_batch_size = 8;
+  return cfg;
+}
+
+std::vector<std::vector<commit::SignedEndTxn>> mint_batches(const ClusterConfig& cfg,
+                                                            std::size_t blocks,
+                                                            std::size_t txns_per_block) {
+  Cluster mint(cfg);
+  Client& client = mint.make_client();
+  workload::YcsbWorkload workload(
+      {}, static_cast<std::uint64_t>(cfg.num_servers) * cfg.items_per_shard, cfg.seed);
+  std::vector<std::vector<commit::SignedEndTxn>> batches;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    workload.begin_batch();
+    std::vector<commit::SignedEndTxn> batch;
+    for (std::size_t i = 0; i < txns_per_block; ++i) {
+      batch.push_back(workload.run_transaction(client));
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+struct LedgerFingerprint {
+  std::vector<ledger::Decision> decisions;
+  std::vector<std::uint64_t> log_sizes;
+  std::vector<crypto::Digest> head_hashes;
+  std::vector<crypto::Digest> merkle_roots;
+
+  friend bool operator==(const LedgerFingerprint&, const LedgerFingerprint&) = default;
+};
+
+LedgerFingerprint run_single_process(ClusterConfig cfg,
+                                     const std::vector<std::vector<commit::SignedEndTxn>>& batches,
+                                     bool simnet) {
+  if (simnet) {
+    cfg.network.mode = sim::NetworkMode::kSimulated;
+    cfg.network.sim.seed = 1;
+  }
+  Cluster cluster(cfg);
+  cluster.make_client();
+  const PipelineResult result = cluster.run_blocks(batches);
+  LedgerFingerprint fp;
+  for (const RoundMetrics& m : result.rounds) fp.decisions.push_back(m.decision);
+  for (std::uint32_t i = 0; i < cluster.num_servers(); ++i) {
+    const Server& s = cluster.server(ServerId{i});
+    fp.log_sizes.push_back(s.log().size());
+    fp.head_hashes.push_back(s.log().head_hash());
+    fp.merkle_roots.push_back(s.shard().merkle_root());
+  }
+  return fp;
+}
+
+/// Fresh per-run directory for sockets, durable logs, and serverd stderr.
+std::string make_run_dir() {
+  ::mkdir("serverd-logs", 0755);
+  char tmpl[] = "serverd-logs/run_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    ADD_FAILURE() << "mkdtemp failed";
+    return "serverd-logs";
+  }
+  return tmpl;
+}
+
+std::vector<std::string> unix_addrs(const std::string& dir, std::uint32_t n) {
+  std::vector<std::string> addrs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    addrs.push_back("unix:" + dir + "/s" + std::to_string(i) + ".sock");
+  }
+  return addrs;
+}
+
+std::vector<std::string> serverd_argv(const ClusterConfig& cfg, const std::string& dir,
+                                      const std::vector<std::string>& addrs,
+                                      std::uint32_t self, std::size_t rounds,
+                                      const std::string& crash_after = "") {
+  std::vector<std::string> argv = {
+      serverd_binary_path(),
+      "--self", std::to_string(self),
+      "--servers", std::to_string(cfg.num_servers),
+      "--rounds", std::to_string(rounds),
+      "--clients", "1",
+      "--items", std::to_string(cfg.items_per_shard),
+      "--batch", std::to_string(cfg.max_batch_size),
+      "--pipeline", std::to_string(cfg.pipeline_depth),
+      "--seed", std::to_string(cfg.seed),
+      "--log-dir", dir};
+  if (cfg.speculate) argv.push_back("--spec");
+  if (!crash_after.empty()) {
+    argv.push_back("--crash-after");
+    argv.push_back(crash_after);
+  }
+  for (const auto& a : addrs) argv.push_back(a);
+  return argv;
+}
+
+/// Coordinator side of a socket run (serverds must already be spawned on
+/// `addrs`). Server 0's state is read locally; every other server's arrives
+/// as its shutdown-time digest.
+LedgerFingerprint coordinator_run(ClusterConfig cfg,
+                                  const std::vector<std::vector<commit::SignedEndTxn>>& batches,
+                                  const std::string& dir,
+                                  const std::vector<std::string>& addrs) {
+  cfg.round_log_dir = dir;
+  Cluster cluster(cfg);
+  cluster.make_client();
+  SocketOptions sopts;
+  sopts.addrs = addrs;
+  sopts.self = 0;
+  auto batch_copy = batches;
+  const SocketRunResult run = run_commit_rounds_over_sockets(
+      cluster, cfg.protocol, std::move(batch_copy), sopts);
+
+  LedgerFingerprint fp;
+  for (const RoundMetrics& m : run.pipeline.rounds) fp.decisions.push_back(m.decision);
+  const Server& s0 = cluster.server(ServerId{0});
+  fp.log_sizes.push_back(s0.log().size());
+  fp.head_hashes.push_back(s0.log().head_hash());
+  fp.merkle_roots.push_back(s0.shard().merkle_root());
+  EXPECT_EQ(run.digests.size(), static_cast<std::size_t>(cfg.num_servers) - 1)
+      << "missing a peer digest (run dir " << dir << ")";
+  for (const PeerDigest& d : run.digests) {
+    fp.log_sizes.push_back(d.log_height);
+    fp.head_hashes.push_back(d.log_head);
+    fp.merkle_roots.push_back(d.shard_root);
+  }
+  return fp;
+}
+
+TEST(SocketRound, LoopbackBitIdenticalToInProcessAndSimNetAtEveryDepth) {
+  const ClusterConfig base_cfg = socket_config();
+  const auto batches = mint_batches(base_cfg, 4, 3);
+
+  for (const bool speculate : {false, true}) {
+    for (const std::uint32_t depth : {1u, 2u, 4u}) {
+      ClusterConfig cfg = base_cfg;
+      cfg.pipeline_depth = depth;
+      cfg.speculate = speculate;
+      const std::string what =
+          "depth " + std::to_string(depth) + " spec " + (speculate ? "on" : "off");
+
+      const LedgerFingerprint direct = run_single_process(cfg, batches, false);
+      ASSERT_EQ(direct.decisions.size(), batches.size());
+      EXPECT_EQ(direct.decisions[0], ledger::Decision::kCommit) << what;
+      EXPECT_TRUE(run_single_process(cfg, batches, true) == direct) << what;
+
+      const std::string dir = make_run_dir();
+      const auto addrs = unix_addrs(dir, cfg.num_servers);
+      std::vector<pid_t> children;
+      for (std::uint32_t i = 1; i < cfg.num_servers; ++i) {
+        children.push_back(spawn(serverd_argv(cfg, dir, addrs, i, batches.size()),
+                                 dir + "/serverd-" + std::to_string(i) + ".log"));
+      }
+      const LedgerFingerprint sockets = coordinator_run(cfg, batches, dir, addrs);
+      for (std::size_t c = 0; c < children.size(); ++c) {
+        EXPECT_EQ(wait_exit(children[c]), 0)
+            << "serverd " << c + 1 << " unclean at " << what << " (logs in " << dir << ")";
+      }
+      EXPECT_TRUE(sockets == direct)
+          << "socket run diverged at " << what << " (logs in " << dir << ")";
+    }
+  }
+}
+
+TEST(SocketRound, ServerdDyingMidRoundMapsOntoCrashRecover) {
+  // Serverd 1 is armed to _Exit(42) right after casting its second vote; a
+  // watchdog respawns it (no crash point), and the restart rejoins from the
+  // shared durable round log. The coordinator sees the dead connection as
+  // kCrash and the rejoin HELLO as kRecover — the run must complete with
+  // the same ledger as a crashless single-process replay.
+  ClusterConfig cfg = socket_config();
+  cfg.pipeline_depth = 2;
+  const auto batches = mint_batches(cfg, 4, 3);
+  const LedgerFingerprint base = run_single_process(cfg, batches, false);
+
+  const std::string dir = make_run_dir();
+  const auto addrs = unix_addrs(dir, cfg.num_servers);
+  const pid_t doomed = spawn(serverd_argv(cfg, dir, addrs, 1, batches.size(),
+                                          "tf_get_vote:2"),
+                             dir + "/serverd-1.log");
+  const pid_t steady = spawn(serverd_argv(cfg, dir, addrs, 2, batches.size()),
+                             dir + "/serverd-2.log");
+
+  pid_t respawned = -1;
+  std::thread watchdog([&] {
+    EXPECT_EQ(wait_exit(doomed), 42) << "crash point did not fire";
+    respawned = spawn(serverd_argv(cfg, dir, addrs, 1, batches.size()),
+                      dir + "/serverd-1-respawn.log");
+  });
+
+  const LedgerFingerprint sockets = coordinator_run(cfg, batches, dir, addrs);
+  watchdog.join();
+  EXPECT_EQ(wait_exit(steady), 0) << "logs in " << dir;
+  ASSERT_GT(respawned, 0);
+  EXPECT_EQ(wait_exit(respawned), 0) << "logs in " << dir;
+  EXPECT_TRUE(sockets == base) << "post-recovery ledger diverged (logs in " << dir << ")";
+}
+
+TEST(SocketRound, TcpLoopbackMatchesUnixDomain) {
+  ClusterConfig cfg = socket_config();
+  const auto batches = mint_batches(cfg, 2, 3);
+  const LedgerFingerprint base = run_single_process(cfg, batches, false);
+
+  // Lease free ports from the kernel: bind to port 0, read the assignment
+  // back, release. (A racer could steal a port before the real listener
+  // binds; SO_REUSEADDR plus the immediacy of the respawn makes that
+  // vanishingly unlikely for a test.)
+  std::vector<std::string> addrs;
+  for (std::uint32_t i = 0; i < cfg.num_servers; ++i) {
+    const int fd = listen_on("tcp:127.0.0.1:0");
+    ASSERT_GE(fd, 0);
+    const std::uint16_t port = local_port(fd);
+    ASSERT_GT(port, 0);
+    ::close(fd);
+    addrs.push_back("tcp:127.0.0.1:" + std::to_string(port));
+  }
+
+  const std::string dir = make_run_dir();
+  std::vector<pid_t> children;
+  for (std::uint32_t i = 1; i < cfg.num_servers; ++i) {
+    children.push_back(spawn(serverd_argv(cfg, dir, addrs, i, batches.size()),
+                             dir + "/serverd-" + std::to_string(i) + ".log"));
+  }
+  const LedgerFingerprint sockets = coordinator_run(cfg, batches, dir, addrs);
+  for (const pid_t pid : children) EXPECT_EQ(wait_exit(pid), 0) << "logs in " << dir;
+  EXPECT_TRUE(sockets == base) << "TCP run diverged (logs in " << dir << ")";
+}
+
+}  // namespace
+}  // namespace fides::net

@@ -1,0 +1,27 @@
+// fides_serverd — one server of a Fides cluster as its own process.
+//
+// Usage:
+//   fides_serverd --self 1 --servers 5 --rounds 8 --clients 4 \
+//     --log-dir /tmp/run1 unix:/tmp/run1/s0.sock ... unix:/tmp/run1/s4.sock
+//
+// All option plumbing lives in src/net/serverd.cpp so the test suite can
+// drive it in-process.
+#include <cstdio>
+
+#include "net/serverd.hpp"
+
+int main(int argc, char** argv) {
+  std::string error;
+  const auto options = fides::net::parse_serverd_args(argc, argv, &error);
+  if (!options) {
+    std::fprintf(stderr, "fides_serverd: %s\n", error.c_str());
+    std::fprintf(stderr,
+                 "usage: fides_serverd --self N --servers N --rounds N --log-dir DIR\n"
+                 "         [--clients N] [--protocol tfcommit|2pc] [--items N]\n"
+                 "         [--batch N] [--no-data-sigs] [--pipeline N] [--spec]\n"
+                 "         [--threads N] [--seed N]\n"
+                 "         [--crash-after TYPE:COUNT] ADDR0 ADDR1 ... (one per server)\n");
+    return 2;
+  }
+  return fides::net::run_serverd(*options);
+}
