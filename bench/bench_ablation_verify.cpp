@@ -1,0 +1,145 @@
+// Ablation: Schnorr verification engine (§3.1 crypto hot path).
+//
+// Isolates the three rungs of the verification fast path on identical
+// signatures:
+//   single     — the pre-Strauss shape: s·G via the fixed-base table plus a
+//                plain double-and-add c·P, then a general add.
+//   mul_add    — one interleaved Strauss/wNAF ladder (what verify() runs).
+//   batched_N  — schnorr::batch_verify over batches of N: one RLC aggregate
+//                MSM amortizing the ladder doublings across the whole batch.
+//
+// Unlike the Google-Benchmark ablations, this emits a fides-bench-v1 report
+// directly (--json <path> / FIDES_BENCH_JSON): wall-clock rates land in the
+// info group — tracked in the bench trajectory, never gated.
+//
+// Knobs: FIDES_ABLATION_REPS (default 40) scales how many verifications each
+// mode times.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace {
+
+using namespace fides;
+using Clock = std::chrono::steady_clock;
+
+struct Signed {
+  crypto::PublicKey pk;
+  Bytes message;
+  crypto::Signature sig;
+};
+
+std::vector<Signed> make_corpus(std::size_t n) {
+  std::vector<Signed> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const crypto::KeyPair kp = crypto::KeyPair::deterministic(1000 + i);
+    Writer w;
+    w.str("ablation-verify-msg");
+    w.u64(i);
+    Bytes msg = std::move(w).take();
+    const crypto::Signature sig = kp.sign(msg);
+    out.push_back(Signed{kp.public_key(), std::move(msg), sig});
+  }
+  return out;
+}
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t reps = fides::bench::env_size("FIDES_ABLATION_REPS", 40);
+  const std::vector<Signed> corpus = make_corpus(64);
+  const crypto::Curve& curve = crypto::Curve::instance();
+
+  bench::BenchReport report("ablation_verify");
+  bench::stamp_config(report);
+  report.config("reps", reps);
+
+  std::printf("Schnorr verification ablation (%zu verifications per mode)\n", reps);
+  std::printf("%-14s %-16s %s\n", "mode", "verifies/sec", "us/verify");
+  const auto emit = [&](const std::string& label, std::size_t count, double secs) {
+    const double rate = secs > 0 ? count / secs : 0.0;
+    std::printf("%-14s %-16.0f %.1f\n", label.c_str(), rate, 1e6 * secs / count);
+    bench::BenchPoint& p = report.point(label);
+    p.info.set("verifies_per_sec", rate);
+    p.info.set("us_per_verify", 1e6 * secs / count);
+  };
+
+  // single: the two independent scalar multiplications verify() used before
+  // the joint ladder — kept here as the ablation baseline.
+  {
+    std::size_t good = 0;
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < reps; ++i) {
+      const Signed& s = corpus[i % corpus.size()];
+      // c = H(ser(R) || ser(P) || m) mod n, inline as verify() computes it.
+      crypto::Sha256 h;
+      h.update(s.sig.r.serialize());
+      h.update(s.pk.serialize());
+      h.update(s.message);
+      const crypto::U256 c = crypto::scalar_from_digest(h.finalize());
+      const crypto::Point lhs = curve.mul_g(s.sig.s);
+      const crypto::Point rhs = curve.add(
+          curve.from_affine(s.sig.r), curve.mul(c, curve.from_affine(s.pk.point)));
+      good += curve.equal(lhs, rhs) ? 1 : 0;
+    }
+    const double secs = seconds_since(t0);
+    if (good != reps) {
+      std::printf("ERROR: single-mode verification failed (%zu/%zu)\n", good, reps);
+      return 1;
+    }
+    emit("single", reps, secs);
+  }
+
+  // mul_add: the shipped verify() — one Strauss/wNAF ladder per signature.
+  {
+    std::size_t good = 0;
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < reps; ++i) {
+      const Signed& s = corpus[i % corpus.size()];
+      good += crypto::verify(s.pk, s.message, s.sig) ? 1 : 0;
+    }
+    const double secs = seconds_since(t0);
+    if (good != reps) {
+      std::printf("ERROR: mul_add-mode verification failed (%zu/%zu)\n", good, reps);
+      return 1;
+    }
+    emit("mul_add", reps, secs);
+  }
+
+  // batched_N: RLC aggregate over batches of N — one MSM per batch.
+  for (const std::size_t batch : {16UL, 64UL}) {
+    std::vector<crypto::BatchItem> items;
+    items.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const Signed& s = corpus[i % corpus.size()];
+      items.push_back(crypto::BatchItem{
+          &s.pk, BytesView(s.message.data(), s.message.size()), &s.sig});
+    }
+    const std::size_t iters = std::max<std::size_t>(1, reps / batch);
+    std::size_t good = 0;
+    const auto t0 = Clock::now();
+    for (std::size_t it = 0; it < iters; ++it) {
+      const auto verdicts = crypto::batch_verify(items);
+      for (const unsigned char v : verdicts) good += v;
+    }
+    const double secs = seconds_since(t0);
+    if (good != iters * batch) {
+      std::printf("ERROR: batched_%zu verification failed (%zu/%zu)\n", batch, good,
+                  iters * batch);
+      return 1;
+    }
+    emit("batched_" + std::to_string(batch), iters * batch, secs);
+  }
+
+  bench::finish_report(report, argc, argv);
+  return 0;
+}

@@ -19,6 +19,8 @@
 //                      load (requires FIDES_NET=sim); default closed loop
 //   FIDES_RATE         open-loop offered load in txns/sec (default 2000)
 //   FIDES_CLIENTS      open-loop client population (default 4)
+//   FIDES_BATCH_VERIFY "1" verifies inbox/request signatures through the RLC
+//                      aggregate path (ClusterConfig::batch_verify)
 //   FIDES_BENCH_JSON   write a machine-readable fides-bench-v1 report to
 //                      this path (same as passing --json <path>)
 // See the README's "engine knobs" table for the full semantics.
@@ -94,6 +96,14 @@ inline bool bench_speculate() {
   return v != nullptr && std::string(v) != "0";
 }
 
+/// Batched signature verification: FIDES_BATCH_VERIFY=1 routes inbox and
+/// request opens through the RLC aggregate path (ClusterConfig::batch_verify).
+/// Default off.
+inline bool bench_batch_verify() {
+  const char* v = std::getenv("FIDES_BATCH_VERIFY");
+  return v != nullptr && std::string(v) != "0";
+}
+
 inline std::vector<std::uint64_t> bench_seeds() {
   const std::size_t n = env_size("FIDES_BENCH_SEEDS", 2);
   std::vector<std::uint64_t> seeds;
@@ -146,6 +156,7 @@ inline workload::ExperimentResult run_point(workload::ExperimentConfig cfg) {
   cfg.cluster.num_threads = bench_threads();
   cfg.cluster.pipeline_depth = bench_pipeline();
   cfg.cluster.speculate = bench_speculate();
+  cfg.cluster.batch_verify = bench_batch_verify();
   apply_network_env(cfg.cluster);
   apply_arrival_env(cfg);
   const auto seeds = bench_seeds();
@@ -293,6 +304,7 @@ inline void stamp_config(BenchReport& report) {
   report.config("threads", bench_threads());
   report.config("pipeline", bench_pipeline());
   report.config("speculate", bench_speculate() ? "1" : "0");
+  report.config("batch_verify", bench_batch_verify() ? "1" : "0");
   const char* net = std::getenv("FIDES_NET");
   report.config("net", net != nullptr ? net : "direct");
   const char* arrival = std::getenv("FIDES_ARRIVAL");

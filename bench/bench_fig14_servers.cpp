@@ -32,13 +32,15 @@ struct EngineRun {
 /// cluster with `num_threads` workers and returns the measured per-round
 /// wall clock plus the final ledger fingerprint.
 EngineRun run_engine(std::uint32_t servers, std::uint32_t num_threads,
-                     std::size_t rounds, std::size_t txns_per_block) {
+                     std::size_t rounds, std::size_t txns_per_block,
+                     bool batch_verify = false) {
   ClusterConfig cfg;
   cfg.num_servers = servers;
   cfg.items_per_shard = 10000;
   cfg.max_batch_size = txns_per_block;
   cfg.num_threads = num_threads;
   cfg.sign_data_path = false;
+  cfg.batch_verify = batch_verify;
 
   Cluster cluster(cfg);
   Client& client = cluster.make_client();
@@ -108,6 +110,51 @@ void parallel_engine_section(bench::BenchReport& report) {
   p.info.set("speedup", speedup);
 }
 
+/// Wide-cohort rounds with FIDES_BATCH_VERIFY semantics off vs on: the same
+/// workload, threads, and seeds, with the only difference being whether the
+/// coordinator inbox and per-cohort request checks verify signatures one by
+/// one or as RLC aggregates. The ledger must be byte-identical either way;
+/// the wall clock must improve by >= 1.3x (the bench gate CI runs).
+void batch_verify_section(bench::BenchReport& report) {
+  const std::uint32_t servers = 9;
+  const std::uint32_t threads = std::max<std::uint32_t>(4, fides::bench::bench_threads());
+  const std::size_t rounds = std::max<std::size_t>(2, fides::bench::bench_txns() / 100);
+
+  std::printf("\nBatched verification: %u servers, %zu rounds of 100 txns, %u threads\n",
+              servers, rounds, threads);
+  const EngineRun off = run_engine(servers, threads, rounds, 100, /*batch_verify=*/false);
+  const EngineRun on = run_engine(servers, threads, rounds, 100, /*batch_verify=*/true);
+
+  const bool identical = off.decision == on.decision && off.log_heads == on.log_heads &&
+                         off.merkle_roots == on.merkle_roots;
+  const double speedup = on.measured_us_per_round > 0
+                             ? off.measured_us_per_round / on.measured_us_per_round
+                             : 0.0;
+  std::printf("%-24s %-18s %-18s %-9s %s\n", "", "measured_ms/round", "decision",
+              "speedup", "ledger");
+  std::printf("%-24s %-18.3f %-18s %-9s %s\n", "per-signature opens",
+              off.measured_us_per_round / 1000.0,
+              off.decision == ledger::Decision::kCommit ? "commit" : "abort", "1.00x", "-");
+  std::printf("%-24s %-18.3f %-18s %.2fx    %s\n", "batched opens",
+              on.measured_us_per_round / 1000.0,
+              on.decision == ledger::Decision::kCommit ? "commit" : "abort", speedup,
+              identical ? "identical" : "DIVERGED");
+  if (!identical) {
+    std::printf("ERROR: batched verification diverged from per-signature opens\n");
+    std::exit(1);
+  }
+  if (speedup < 1.3) {
+    std::printf("ERROR: batched verification failed the 1.3x wall-clock bar (%.2fx)\n",
+                speedup);
+    std::exit(1);
+  }
+  bench::BenchPoint& p = report.point("batch_verify_engine");
+  p.approx.set("unbatched_ms_per_round", off.measured_us_per_round / 1000.0);
+  p.approx.set("batched_ms_per_round", on.measured_us_per_round / 1000.0);
+  p.info.set("threads", threads);
+  p.info.set("speedup", speedup);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -136,6 +183,7 @@ int main(int argc, char** argv) {
   }
 
   parallel_engine_section(report);
+  batch_verify_section(report);
   bench::pipeline_depth_section(/*servers=*/4, /*txns_per_block=*/25,
                                 /*blocks=*/std::max<std::size_t>(8, bench::bench_txns() / 25),
                                 &report);

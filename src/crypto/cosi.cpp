@@ -87,20 +87,22 @@ bool cosi_verify(BytesView record, const CosiSignature& sig,
     if (pk.point.infinity || !curve.on_curve(pk.point)) return false;
     x_agg = curve.add(x_agg, curve.from_affine(pk.point));
   }
+  // r·G == V + c·X rearranged to r·G + (n-c)·X == V: one joint ladder.
   const U256 c = cosi_challenge(sig.v, record);
-  const Point lhs = curve.mul_g(sig.r);
-  const Point rhs = curve.add(curve.from_affine(sig.v), curve.mul(c, x_agg));
-  return curve.equal(lhs, rhs);
+  const auto& fn = curve.fn();
+  const U256 neg_c = fn.from_mont(fn.neg(fn.to_mont(c)));
+  const Point lhs = curve.mul_add(sig.r, neg_c, x_agg);
+  return curve.equal(lhs, curve.from_affine(sig.v));
 }
 
 bool cosi_verify_share(const AffinePoint& commitment, const U256& response,
                        const U256& challenge, const PublicKey& pk) {
   const Curve& curve = Curve::instance();
   if (!curve.on_curve(commitment) || !curve.on_curve(pk.point)) return false;
-  const Point lhs = curve.mul_g(response);
-  const Point rhs = curve.add(curve.from_affine(commitment),
-                              curve.mul(challenge, curve.from_affine(pk.point)));
-  return curve.equal(lhs, rhs);
+  const auto& fn = curve.fn();
+  const U256 neg_c = fn.from_mont(fn.neg(fn.to_mont(challenge)));
+  const Point lhs = curve.mul_add(response, neg_c, curve.from_affine(pk.point));
+  return curve.equal(lhs, curve.from_affine(commitment));
 }
 
 std::vector<std::size_t> cosi_find_faulty(std::span<const AffinePoint> commitments,
@@ -108,6 +110,15 @@ std::vector<std::size_t> cosi_find_faulty(std::span<const AffinePoint> commitmen
                                           const U256& challenge,
                                           std::span<const PublicKey> public_keys) {
   std::vector<std::size_t> faulty;
+  // A witness controls only its own share: mismatched span lengths mean the
+  // *caller* assembled the round wrong, and indexing past the shorter spans
+  // would read out of range. Treat every slot as unattested rather than
+  // guessing which spans line up.
+  if (responses.size() != commitments.size() || public_keys.size() != commitments.size()) {
+    faulty.resize(commitments.size());
+    for (std::size_t i = 0; i < faulty.size(); ++i) faulty[i] = i;
+    return faulty;
+  }
   for (std::size_t i = 0; i < commitments.size(); ++i) {
     if (!cosi_verify_share(commitments[i], responses[i], challenge, public_keys[i])) {
       faulty.push_back(i);

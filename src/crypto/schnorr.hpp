@@ -28,6 +28,9 @@ struct Signature {
   U256 s;         ///< response
 
   Bytes serialize() const;
+  /// Parses and structurally validates: R must be a non-infinity on-curve
+  /// point and s must be canonical (s < n). Malformed signatures are rejected
+  /// here, once, at the trust boundary — verify() never sees them.
   static std::optional<Signature> deserialize(BytesView b);
 };
 
@@ -54,5 +57,25 @@ class KeyPair {
 
 /// Verifies sig over message under pk. Cheap rejection on malformed points.
 bool verify(const PublicKey& pk, BytesView message, const Signature& sig);
+
+/// One signature in a batch_verify call. The referenced objects must outlive
+/// the call; no ownership is taken.
+struct BatchItem {
+  const PublicKey* pk;
+  BytesView message;
+  const Signature* sig;
+};
+
+/// Batch verification via a random linear combination: instead of n
+/// independent checks sᵢ·G == Rᵢ + cᵢ·Pᵢ, draw coefficients zᵢ and test
+///   (Σ zᵢsᵢ)·G == Σ zᵢ·Rᵢ + Σ (zᵢcᵢ)·Pᵢ
+/// with one multi-scalar multiplication. A forged signature survives only if
+/// the adversary predicts zᵢ, so the zᵢ are derived Fiat–Shamir-style from a
+/// hash of the whole batch (128-bit, forced nonzero) — deterministic across
+/// runs, unpredictable to a signer. When the aggregate check fails the batch
+/// is split recursively (reusing the same zᵢ), bottoming out in individual
+/// verifies, so exactly the bad indices are attributed. Returns one byte per
+/// item: 1 iff verify(pk, message, sig) would return true.
+std::vector<unsigned char> batch_verify(std::span<const BatchItem> items);
 
 }  // namespace fides::crypto

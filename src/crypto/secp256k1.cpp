@@ -16,6 +16,32 @@ constexpr U256 kGx = U256::from_limbs(0x59F2815B16F81798ULL, 0x029BFCDB2DCE28D9U
 constexpr U256 kGy = U256::from_limbs(0x9C47D08FFB10D4B8ULL, 0xFD17B448A6855419ULL,
                                       0x5DA4FBFC0E1108A8ULL, 0x483ADA7726A3C465ULL);
 
+/// Width-5 wNAF recoding: k == Σ out[i] * 2^i with out[i] odd in [-15, 15]
+/// or zero, and no two adjacent nonzero digits. At most 257 digits.
+std::vector<std::int8_t> wnaf5(const U256& k) {
+  std::vector<std::int8_t> out;
+  out.reserve(257);
+  U256 d = k;
+  while (!d.is_zero()) {
+    std::int8_t digit = 0;
+    if (d.w[0] & 1) {
+      const int val = static_cast<int>(d.w[0] & 31);
+      digit = static_cast<std::int8_t>(val > 16 ? val - 32 : val);
+      if (digit > 0) {
+        u256_sub(d, d, U256(static_cast<std::uint64_t>(digit)));
+      } else {
+        u256_add(d, d, U256(static_cast<std::uint64_t>(-digit)));
+      }
+    }
+    out.push_back(digit);
+    d.w[0] = (d.w[0] >> 1) | (d.w[1] << 63);
+    d.w[1] = (d.w[1] >> 1) | (d.w[2] << 63);
+    d.w[2] = (d.w[2] >> 1) | (d.w[3] << 63);
+    d.w[3] >>= 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 Bytes AffinePoint::serialize() const {
@@ -62,6 +88,15 @@ Curve::Curve() : fp_(kP), fn_(kN), b7_(fp_.to_mont(U256(7))) {
       g_table_[i][j] = add(g_table_[i][j - 1], window_base);
     }
     for (int d = 0; d < 4; ++d) window_base = dbl(window_base);
+  }
+  // One inversion normalizes the whole table; every fixed-base lookup can
+  // then go through the cheaper mixed addition.
+  std::vector<Point> flat;
+  flat.reserve(64 * 15);
+  for (const auto& row : g_table_) flat.insert(flat.end(), row.begin(), row.end());
+  batch_normalize(flat);
+  for (int i = 0; i < 64; ++i) {
+    for (int j = 0; j < 15; ++j) g_table_[i][j] = flat[static_cast<std::size_t>(i) * 15 + j];
   }
 }
 
@@ -134,6 +169,78 @@ Point Curve::add(const Point& p, const Point& q) const {
   return out;
 }
 
+Point Curve::add_mixed(const Point& p, const Point& q) const {
+  if (q.is_infinity()) return p;
+  if (p.is_infinity()) return q;
+  const auto& f = fp_;
+  // madd-2007-bl: general addition specialized for Z2 == 1.
+  const Fe z1z1 = f.sqr(p.z);
+  const Fe u2 = f.mul(q.x, z1z1);
+  const Fe s2 = f.mul(f.mul(q.y, p.z), z1z1);
+  if (u2 == p.x) {
+    if (s2 == p.y) return dbl(p);
+    return infinity();  // P + (-P)
+  }
+  const Fe h = f.sub(u2, p.x);
+  const Fe hh = f.sqr(h);
+  Fe i = f.add(hh, hh);
+  i = f.add(i, i);                             // I = 4*HH
+  const Fe j = f.mul(h, i);                    // J = H*I
+  Fe rr = f.sub(s2, p.y);
+  rr = f.add(rr, rr);                          // r = 2*(S2-Y1)
+  const Fe v = f.mul(p.x, i);                  // V = X1*I
+  Point out;
+  out.x = f.sub(f.sub(f.sqr(rr), j), f.add(v, v));  // X3 = r^2 - J - 2V
+  Fe y1j = f.mul(p.y, j);
+  y1j = f.add(y1j, y1j);
+  out.y = f.sub(f.mul(rr, f.sub(v, out.x)), y1j);   // Y3 = r*(V-X3) - 2*Y1*J
+  out.z = f.sub(f.sub(f.sqr(f.add(p.z, h)), z1z1), hh);  // Z3 = (Z1+H)^2-Z1Z1-HH
+  return out;
+}
+
+void Curve::batch_normalize(std::span<Point> pts) const {
+  const auto& f = fp_;
+  // Montgomery trick: prefix-multiply all Z's, invert the product once, then
+  // peel per-point inverses off walking backwards.
+  std::vector<Fe> prefix;
+  prefix.reserve(pts.size());
+  Fe acc = f.one();
+  for (const Point& p : pts) {
+    if (p.is_infinity()) continue;
+    prefix.push_back(acc);
+    acc = f.mul(acc, p.z);
+  }
+  if (prefix.empty()) return;
+  Fe inv = f.inverse(acc);
+  std::size_t k = prefix.size();
+  for (std::size_t idx = pts.size(); idx-- > 0;) {
+    Point& p = pts[idx];
+    if (p.is_infinity()) continue;
+    --k;
+    const Fe zinv = f.mul(inv, prefix[k]);
+    inv = f.mul(inv, p.z);
+    const Fe zinv2 = f.sqr(zinv);
+    p.x = f.mul(p.x, zinv2);
+    p.y = f.mul(p.y, f.mul(zinv2, zinv));
+    p.z = f.one();
+  }
+}
+
+std::vector<AffinePoint> Curve::batch_to_affine(std::span<const Point> pts) const {
+  std::vector<Point> norm(pts.begin(), pts.end());
+  batch_normalize(norm);
+  std::vector<AffinePoint> out(norm.size());
+  for (std::size_t i = 0; i < norm.size(); ++i) {
+    if (norm[i].is_infinity()) {
+      out[i].infinity = true;
+    } else {
+      out[i].x = fp_.from_mont(norm[i].x);
+      out[i].y = fp_.from_mont(norm[i].y);
+    }
+  }
+  return out;
+}
+
 Point Curve::mul(const U256& k, const Point& p) const {
   Point acc = infinity();
   const int top = k.bit_length();
@@ -148,7 +255,54 @@ Point Curve::mul_g(const U256& k) const {
   Point acc = infinity();
   for (int i = 0; i < 64; ++i) {
     const unsigned digit = static_cast<unsigned>((k.w[i / 16] >> (4 * (i % 16))) & 0xF);
-    if (digit != 0) acc = add(acc, g_table_[i][digit - 1]);
+    if (digit != 0) acc = add_mixed(acc, g_table_[i][digit - 1]);
+  }
+  return acc;
+}
+
+Point Curve::mul_add(const U256& a, const U256& b, const Point& p) const {
+  return msm(a, std::span<const U256>(&b, 1), std::span<const Point>(&p, 1));
+}
+
+Point Curve::msm(const U256& g_scalar, std::span<const U256> scalars,
+                 std::span<const Point> points) const {
+  if (scalars.size() != points.size()) {
+    throw std::invalid_argument("msm: scalars/points length mismatch");
+  }
+  const std::size_t n = points.size();
+  // Odd multiples 1P, 3P, ..., 15P per point (width-5 wNAF), all normalized
+  // with a single inversion so every ladder add is a mixed add.
+  std::vector<Point> tables(n * 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    tables[i * 8] = points[i];
+    const Point p2 = dbl(points[i]);
+    for (std::size_t j = 1; j < 8; ++j) {
+      tables[i * 8 + j] = add(tables[i * 8 + j - 1], p2);
+    }
+  }
+  batch_normalize(tables);
+  std::vector<std::vector<std::int8_t>> nafs;
+  nafs.reserve(n);
+  for (const U256& s : scalars) nafs.push_back(wnaf5(s));
+
+  // One shared ladder serves every scalar: the doublings are paid once. The
+  // fixed-base contribution digit_j * 16^j * G is injected as (digit_j * G)
+  // at ladder position 4j — the remaining 4j doublings scale it into place.
+  Point acc = infinity();
+  for (int i = 256; i >= 0; --i) {
+    acc = dbl(acc);
+    for (std::size_t s = 0; s < n; ++s) {
+      const auto& naf = nafs[s];
+      if (static_cast<std::size_t>(i) >= naf.size() || naf[i] == 0) continue;
+      const int d = naf[i];
+      const Point& entry = tables[s * 8 + static_cast<std::size_t>((d > 0 ? d : -d) - 1) / 2];
+      acc = add_mixed(acc, d > 0 ? entry : negate(entry));
+    }
+    if ((i & 3) == 0 && i <= 252) {
+      const int w = i / 4;
+      const unsigned digit = static_cast<unsigned>((g_scalar.w[w / 16] >> (4 * (w % 16))) & 0xF);
+      if (digit != 0) acc = add_mixed(acc, g_table_[0][digit - 1]);
+    }
   }
   return acc;
 }

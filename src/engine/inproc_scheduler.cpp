@@ -55,13 +55,29 @@ void InProcScheduler::worker(Dispatcher& dispatcher) {
 
     for (;;) {
       try {
+        // Contiguous envelope runs go through dispatch_batch so the
+        // dispatcher can pre-verify a whole claimed inbox at once; tasks are
+        // serialization points and flush the pending run first.
+        std::vector<Dispatcher::Delivery> run;
+        run.reserve(items.size());
+        const auto flush = [&] {
+          if (run.empty()) return;
+          if (run.size() == 1) {
+            dispatcher.dispatch(run[0].src, dst, *run[0].env, *this);
+          } else {
+            dispatcher.dispatch_batch(run, dst, *this);
+          }
+          run.clear();
+        };
         for (Item& item : items) {
           if (item.task) {
+            flush();
             item.task();
           } else {
-            dispatcher.dispatch(item.src, dst, item.env, *this);
+            run.push_back(Dispatcher::Delivery{item.src, &item.env});
           }
         }
+        flush();
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(mutex_);

@@ -73,6 +73,14 @@ bool is_tf_decision(const std::string& type) {
   return type == "tf_decision" || type == "tf_term_decision";
 }
 
+/// Phase traffic whose open() verdict may be hoisted out of dispatch_impl:
+/// the coordinator's vote/response inbox. These types are never gated or
+/// held (only openings and, under speculation, decisions are), so a
+/// pre-verified envelope reaches deliver() exactly as the serial path would.
+bool batchable_inbox(const std::string& type) {
+  return type == "tf_response" || type == "2pc_vote" || type.rfind("tf_vote", 0) == 0;
+}
+
 /// Transition-triggered crash points, shared by the commit pipeline and the
 /// checkpoint dispatcher: after `dst` finished processing a delivery of
 /// `type`, fell a configured crash on it. Returns true if the node died.
@@ -234,6 +242,41 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
 
   void dispatch_replay(NodeId src, NodeId dst, const Envelope& env, Outbox& out) override {
     dispatch_impl(src, dst, env, out, /*replay=*/true);
+  }
+
+  /// A scheduler drained one destination's queue: verify the batchable
+  /// envelopes (the coordinator's accumulated vote/response inbox) as one
+  /// RLC aggregate fanned over the cluster pool, then run the normal serial
+  /// dispatch loop with the cached verdicts. Delivery order, gating, and
+  /// dedup are untouched — only the signature checks are hoisted off the
+  /// destination actor.
+  void dispatch_batch(std::span<const Delivery> batch, NodeId dst, Outbox& out) override {
+    static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+    std::vector<unsigned char> verdicts;
+    std::vector<std::size_t> slot;
+    const bool dst_crashed =
+        dst.kind == NodeId::Kind::kServer && cluster_->is_crashed(ServerId{dst.id});
+    if (cluster_->transport().batch_verify() && cluster_->transport().crypto_enabled() &&
+        !dst_crashed) {
+      std::vector<const Envelope*> envs;
+      slot.assign(batch.size(), kNoSlot);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batchable_inbox(batch[i].env->type)) {
+          slot[i] = envs.size();
+          envs.push_back(batch[i].env);
+        }
+      }
+      if (envs.size() >= 2) {
+        verdicts = cluster_->transport().open_batch(envs, &cluster_->pool());
+      } else {
+        slot.clear();
+      }
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const unsigned char* v =
+          (!slot.empty() && slot[i] != kNoSlot) ? &verdicts[slot[i]] : nullptr;
+      dispatch_impl(batch[i].src, dst, *batch[i].env, out, /*replay=*/false, v);
+    }
   }
 
   void on_control(const ControlEvent& ev, Outbox& out) override {
@@ -457,8 +500,11 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
     return true;
   }
 
+  /// `verdict`, when non-null, is the pre-computed open() result for this
+  /// envelope (from dispatch_batch's aggregate verification); deliver() then
+  /// skips its own signature check.
   void dispatch_impl(NodeId src, NodeId dst, const Envelope& env, Outbox& out,
-                     bool replay) {
+                     bool replay, const unsigned char* verdict = nullptr) {
     const auto epoch = peek_epoch(env.payload);
     if (!epoch.has_value()) return;  // not an engine frame; unreachable for sealed traffic
     RoundReactor* reactor = nullptr;
@@ -505,7 +551,7 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
       }
       reactor = rounds_[k].reactor.get();
     }
-    deliver(*reactor, src, dst, env, out);
+    deliver(*reactor, src, dst, env, out, verdict);
     if (speculate_ && opens_round(env.type) && dst.kind == NodeId::Kind::kServer) {
       note_opened(dst.id, round_index, out);
     }
@@ -544,14 +590,15 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
   }
 
   void deliver(RoundReactor& reactor, NodeId src, NodeId dst, const Envelope& env,
-               Outbox& out) {
+               Outbox& out, const unsigned char* verdict = nullptr) {
     // A held opening can be flushed after its destination died (sim mode):
     // the node's volatile state — including anything queued at it — is
     // gone; the recovery replay re-supplies what still matters.
     if (dst.kind == NodeId::Kind::kServer && cluster_->is_crashed(ServerId{dst.id})) {
       return;
     }
-    const bool authentic = cluster_->transport().open(env, env.type);
+    const bool authentic =
+        verdict != nullptr ? *verdict != 0 : cluster_->transport().open(env, env.type);
     try {
       reactor.on_deliver(src, dst, env, authentic, out);
     } catch (const DecodeError&) {

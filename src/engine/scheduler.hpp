@@ -69,6 +69,23 @@ class Dispatcher {
   virtual ~Dispatcher() = default;
   virtual void dispatch(NodeId src, NodeId dst, const Envelope& env, Outbox& out) = 0;
 
+  /// One queued envelope delivery, as grouped by a scheduler's drain of a
+  /// destination queue. The envelope is owned by the scheduler and stays
+  /// alive for the duration of the dispatch_batch call.
+  struct Delivery {
+    NodeId src;
+    const Envelope* env;
+  };
+
+  /// A contiguous run of deliveries claimed for one destination in one drain
+  /// — the natural unit for verifying an inbox's signatures as a batch
+  /// before delivering. The default preserves exact per-item semantics;
+  /// overrides must too (same order, same outcomes), and may only hoist
+  /// order-independent work such as signature checks.
+  virtual void dispatch_batch(std::span<const Delivery> batch, NodeId dst, Outbox& out) {
+    for (const auto& d : batch) dispatch(d.src, dst, *d.env, out);
+  }
+
   /// Replay deliveries (recovery catch-up stream) bypass the at-most-once
   /// filter; everything else is dispatch().
   virtual void dispatch_replay(NodeId src, NodeId dst, const Envelope& env, Outbox& out) {

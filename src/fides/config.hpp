@@ -116,6 +116,16 @@ struct ClusterConfig {
   /// end-transaction request onward.
   bool sign_data_path{true};
 
+  /// Batched signature verification (FIDES_BATCH_VERIFY). When set, sites
+  /// that open many envelopes at once — the coordinator's per-phase vote and
+  /// response inbox (in-process scheduler drains), and each cohort's check of
+  /// the client requests inside a get-vote — verify them through one
+  /// random-linear-combination aggregate (crypto::batch_verify) instead of
+  /// one Schnorr check per signature, falling back to individual verifies to
+  /// attribute bad batches. Decisions, ledgers, and Merkle roots are
+  /// bit-identical with the knob on or off; only wall-clock time changes.
+  bool batch_verify{false};
+
   // --- Crash/recovery -------------------------------------------------------
 
   /// Scheduled crash/recover cycles (simulated mode; see CrashFault). In

@@ -119,12 +119,20 @@ class Transport {
   /// the key registry is read-only while rounds run).
   bool open(const Envelope& env, std::string_view expected_type);
 
-  /// Verifies a batch of envelopes, fanning the signature checks out over
-  /// `pool` when one is given — the coordinator's per-phase inbox (n vote or
-  /// response envelopes) verified in parallel. Result slot i is 1 iff
-  /// open(envelopes[i]) would return true; accounting is identical to
-  /// calling open() serially on each. (Plain bytes, not vector<bool>, so
-  /// pool workers write independently addressable slots.)
+  /// Verifies a batch of envelopes, each against its own type tag, through
+  /// one RLC aggregate check (crypto::batch_verify) instead of one Schnorr
+  /// verification per envelope — the coordinator's per-phase inbox opened as
+  /// a unit. Sub-batches fan out across `pool` when one is given. Result
+  /// slot i is 1 iff open(*envelopes[i], envelopes[i]->type) would return
+  /// true; Stats accounting is identical to calling open() serially on each.
+  /// (Plain bytes, not vector<bool>, so pool workers write independently
+  /// addressable slots.)
+  std::vector<unsigned char> open_batch(std::span<const Envelope* const> envelopes,
+                                        common::ThreadPool* pool = nullptr);
+
+  /// Homogeneous-type convenience over open_batch: envelopes whose type tag
+  /// differs from `expected_type` are rejected up front, the rest go through
+  /// the one batched verification entry point.
   std::vector<unsigned char> open_all(std::span<const Envelope> envelopes,
                                       std::string_view expected_type,
                                       common::ThreadPool* pool = nullptr);
@@ -137,6 +145,14 @@ class Transport {
   }
   bool crypto_enabled() const { return crypto_enabled_.load(std::memory_order_relaxed); }
 
+  /// Mirrors ClusterConfig::batch_verify so verification sites that only see
+  /// the transport (request checks, the pipeline's inbox seam) can route
+  /// through the batched path. Toggled only between rounds.
+  void set_batch_verify(bool enabled) {
+    batch_verify_.store(enabled, std::memory_order_relaxed);
+  }
+  bool batch_verify() const { return batch_verify_.load(std::memory_order_relaxed); }
+
   Stats& stats() { return stats_; }
   const Stats& stats() const { return stats_; }
 
@@ -146,6 +162,7 @@ class Transport {
   std::unordered_map<NodeId, crypto::PublicKey> registry_;
   Stats stats_;
   std::atomic<bool> crypto_enabled_{true};
+  std::atomic<bool> batch_verify_{false};
 };
 
 }  // namespace fides

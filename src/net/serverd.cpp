@@ -83,6 +83,8 @@ std::optional<ServerdOptions> parse_serverd_args(int argc, char** argv,
       o.seed = u;
     } else if (arg == "--spec") {
       o.speculate = true;
+    } else if (arg == "--batch-verify") {
+      o.batch_verify = true;
     } else if (arg == "--protocol") {
       const char* v = need_value(i);
       if (v == nullptr) {
@@ -175,6 +177,7 @@ int run_serverd(const ServerdOptions& options) {
   config.protocol = options.protocol;
   config.pipeline_depth = options.pipeline;
   config.speculate = options.speculate;
+  config.batch_verify = options.batch_verify;
   config.num_threads = options.threads;
   config.seed = options.seed;
   config.round_log_dir = options.log_dir;

@@ -29,6 +29,7 @@ struct ServerdOptions {
   bool sign_data_path{true};
   std::uint32_t pipeline{1};
   bool speculate{false};
+  bool batch_verify{false};       ///< RLC-aggregate signature opens
   std::uint32_t threads{1};
   std::string log_dir;            ///< shared durable round-log directory
   std::uint64_t seed{42};

@@ -219,6 +219,61 @@ TEST_F(CurveTest, FixedBaseTableMatchesGenericMul) {
   EXPECT_TRUE(c.equal(c.mul_g(big), c.mul(big, c.generator())));
 }
 
+TEST_F(CurveTest, MulAddMatchesSeparateMuls) {
+  // Strauss-joint ladder vs the textbook composition it replaces, over
+  // hash-derived (effectively random full-width) scalars and points.
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    const U256 a = scalar_from_digest(sha256(to_bytes("a" + std::to_string(trial))));
+    const U256 b = scalar_from_digest(sha256(to_bytes("b" + std::to_string(trial))));
+    const U256 k = scalar_from_digest(sha256(to_bytes("p" + std::to_string(trial))));
+    const Point p = c.mul_g(k);
+    const Point expect = c.add(c.mul_g(a), c.mul(b, p));
+    EXPECT_TRUE(c.equal(c.mul_add(a, b, p), expect)) << "trial " << trial;
+  }
+}
+
+TEST_F(CurveTest, MulAddEdgeScalars) {
+  const U256 k = scalar_from_digest(sha256(to_bytes("edge-point")));
+  const Point p = c.mul_g(k);
+  const U256 a = scalar_from_digest(sha256(to_bytes("edge-a")));
+  EXPECT_TRUE(c.equal(c.mul_add(U256(0), U256(1), p), p));
+  EXPECT_TRUE(c.equal(c.mul_add(a, U256(0), p), c.mul_g(a)));
+  EXPECT_TRUE(c.mul_add(U256(0), U256(0), p).is_infinity());
+  EXPECT_TRUE(c.equal(c.mul_add(U256(0), U256(5), c.infinity()), c.infinity()));
+}
+
+TEST_F(CurveTest, MsmMatchesSumOfMuls) {
+  std::vector<U256> scalars;
+  std::vector<Point> points;
+  const U256 g_scalar = scalar_from_digest(sha256(to_bytes("msm-g")));
+  Point expect = c.mul_g(g_scalar);
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    const U256 s = scalar_from_digest(sha256(to_bytes("msm-s" + std::to_string(i))));
+    const U256 k = scalar_from_digest(sha256(to_bytes("msm-p" + std::to_string(i))));
+    const Point p = c.mul_g(k);
+    scalars.push_back(s);
+    points.push_back(p);
+    expect = c.add(expect, c.mul(s, p));
+  }
+  EXPECT_TRUE(c.equal(c.msm(g_scalar, scalars, points), expect));
+  EXPECT_THROW(c.msm(g_scalar, scalars, std::span<const Point>(points.data(), 3)),
+               std::invalid_argument);
+}
+
+TEST_F(CurveTest, BatchToAffineMatchesToAffine) {
+  std::vector<Point> pts;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    pts.push_back(c.mul_g(scalar_from_digest(sha256(to_bytes("bn" + std::to_string(i))))));
+  }
+  pts.push_back(c.infinity());
+  const std::vector<AffinePoint> affine = c.batch_to_affine(pts);
+  ASSERT_EQ(affine.size(), pts.size());
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    EXPECT_TRUE(affine[i] == c.to_affine(pts[i])) << "point " << i;
+  }
+  EXPECT_TRUE(affine.back().infinity);
+}
+
 TEST_F(CurveTest, AddInfinityIdentity) {
   const Point inf = c.infinity();
   EXPECT_TRUE(c.equal(c.add(inf, c.generator()), c.generator()));
@@ -318,6 +373,138 @@ TEST(Schnorr, DeserializeRejectsGarbage) {
   EXPECT_FALSE(Signature::deserialize({}).has_value());
 }
 
+TEST(Schnorr, DeserializeRejectsNonCanonicalScalar) {
+  // s must be a reduced scalar: s == n (and anything above) is rejected even
+  // though s mod n would verify — non-canonical encodings are malleable.
+  const KeyPair kp = KeyPair::deterministic(6);
+  Signature sig = kp.sign(to_bytes("m"));
+  const U256 n = Curve::instance().order();
+  sig.s = n;
+  EXPECT_FALSE(Signature::deserialize(sig.serialize()).has_value());
+  u256_add(sig.s, n, U256(1));  // n + 1 (no 256-bit overflow: n < 2^256 - 1)
+  EXPECT_FALSE(Signature::deserialize(sig.serialize()).has_value());
+}
+
+TEST(Schnorr, DeserializeRejectsInfinityR) {
+  // R = k·G with k != 0 is never infinity; an infinity R encodes s·G == c·P,
+  // which a signer without the secret key could satisfy trivially for c == 0.
+  const KeyPair kp = KeyPair::deterministic(7);
+  Signature sig = kp.sign(to_bytes("m"));
+  sig.r = AffinePoint{};
+  sig.r.infinity = true;
+  EXPECT_FALSE(Signature::deserialize(sig.serialize()).has_value());
+}
+
+// --- Batched Schnorr verification ------------------------------------------------
+
+class BatchVerifyTest : public ::testing::Test {
+ protected:
+  struct Entry {
+    PublicKey pk;
+    Bytes message;
+    Signature sig;
+  };
+
+  void make_entries(std::size_t n, std::uint64_t seed_base = 500) {
+    entries.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const KeyPair kp = KeyPair::deterministic(seed_base + i);
+      Bytes msg = to_bytes("batch message " + std::to_string(i));
+      const Signature sig = kp.sign(msg);
+      entries.push_back(Entry{kp.public_key(), std::move(msg), sig});
+    }
+  }
+
+  std::vector<BatchItem> items() const {
+    std::vector<BatchItem> out;
+    out.reserve(entries.size());
+    for (const Entry& e : entries) {
+      out.push_back(BatchItem{&e.pk, BytesView(e.message.data(), e.message.size()),
+                              &e.sig});
+    }
+    return out;
+  }
+
+  std::vector<Entry> entries;
+};
+
+TEST_F(BatchVerifyTest, AllValidBatchAccepted) {
+  make_entries(9);
+  const auto verdicts = batch_verify(items());
+  ASSERT_EQ(verdicts.size(), entries.size());
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    EXPECT_EQ(verdicts[i], 1) << "item " << i;
+  }
+}
+
+TEST_F(BatchVerifyTest, EmptyAndSingletonBatches) {
+  EXPECT_TRUE(batch_verify({}).empty());
+  make_entries(1);
+  EXPECT_EQ(batch_verify(items()), std::vector<unsigned char>{1});
+  entries[0].message = to_bytes("tampered");
+  EXPECT_EQ(batch_verify(items()), std::vector<unsigned char>{0});
+}
+
+TEST_F(BatchVerifyTest, CorruptedSubsetsAttributedExactly) {
+  // Property: for any corrupted subset (drawn from a hash, covering empty,
+  // singleton, runs, and scattered patterns) the recursive split pins the
+  // exact bad indices — no false accepts and no collateral rejects.
+  const std::size_t n = 12;
+  const auto& fn = Curve::instance().fn();
+  for (std::uint64_t trial = 0; trial < 12; ++trial) {
+    make_entries(n, 500 + trial * 100);
+    const Digest d = sha256(to_bytes("corrupt-mask " + std::to_string(trial)));
+    const std::uint16_t mask =
+        static_cast<std::uint16_t>((d.bytes[0] | (d.bytes[1] << 8)) & 0x0FFF);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(mask >> i & 1)) continue;
+      // s += 1 mod n: structurally well-formed, cryptographically wrong.
+      entries[i].sig.s =
+          fn.from_mont(fn.add(fn.to_mont(entries[i].sig.s), fn.to_mont(U256(1))));
+    }
+    const auto verdicts = batch_verify(items());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(verdicts[i], (mask >> i & 1) ? 0 : 1)
+          << "trial " << trial << " item " << i << " mask " << mask;
+    }
+  }
+}
+
+TEST_F(BatchVerifyTest, CancellationPairCaught) {
+  // Two defects engineered to cancel under unit coefficients: s0 += d and
+  // s1 -= d leave Σsᵢ (and every other aggregate term) unchanged, so a naive
+  // z == 1 batch equation would accept both. The Fiat–Shamir zᵢ are fixed by
+  // the batch contents but not under the signer's control, so the weighted
+  // sum z₀·d - z₁·d vanishes only if z₀ == z₁ — and the split then verifies
+  // each signature individually anyway.
+  make_entries(6);
+  const auto& fn = Curve::instance().fn();
+  const Fe d = fn.to_mont(U256(123456789));
+  entries[0].sig.s = fn.from_mont(fn.add(fn.to_mont(entries[0].sig.s), d));
+  entries[1].sig.s = fn.from_mont(fn.sub(fn.to_mont(entries[1].sig.s), d));
+  ASSERT_FALSE(verify(entries[0].pk, entries[0].message, entries[0].sig));
+  ASSERT_FALSE(verify(entries[1].pk, entries[1].message, entries[1].sig));
+  const auto verdicts = batch_verify(items());
+  EXPECT_EQ(verdicts[0], 0);
+  EXPECT_EQ(verdicts[1], 0);
+  for (std::size_t i = 2; i < entries.size(); ++i) {
+    EXPECT_EQ(verdicts[i], 1) << "item " << i;
+  }
+}
+
+TEST_F(BatchVerifyTest, ScreensNonCanonicalItems) {
+  // The structural screen rejects malformed items without poisoning the
+  // aggregate: same strictness as Signature::deserialize, exercised through
+  // the batch path (s >= n and infinity R never reach the MSM).
+  make_entries(5);
+  entries[1].sig.s = Curve::instance().order();
+  entries[3].sig.r = AffinePoint{};
+  entries[3].sig.r.infinity = true;
+  const auto verdicts = batch_verify(items());
+  const std::vector<unsigned char> want{1, 0, 1, 0, 1};
+  EXPECT_EQ(verdicts, want);
+}
+
 // --- CoSi ------------------------------------------------------------------------
 
 class CosiTest : public ::testing::Test {
@@ -408,6 +595,20 @@ TEST_F(CosiTest, MultipleFaultyWitnessesIdentified) {
   responses[3] = U256(2);
   const auto faulty = cosi_find_faulty(vs, responses, challenge, pks);
   EXPECT_EQ(faulty, (std::vector<std::size_t>{0, 3}));
+}
+
+TEST_F(CosiTest, FindFaultyRejectsMismatchedSpans) {
+  // Regression: mismatched span lengths used to index past the shorter
+  // vector. A caller-assembly error now condemns every slot instead of
+  // reading out of bounds (or silently truncating the scan).
+  const Bytes record = to_bytes("block");
+  collective_sign(record, 6);
+  const std::vector<std::size_t> all{0, 1, 2, 3};
+  std::vector<U256> short_responses(responses.begin(), responses.end() - 1);
+  EXPECT_EQ(cosi_find_faulty(vs, short_responses, challenge, pks), all);
+  std::vector<PublicKey> short_pks(pks.begin(), pks.end() - 2);
+  EXPECT_EQ(cosi_find_faulty(vs, responses, challenge, short_pks), all);
+  EXPECT_TRUE(cosi_find_faulty({}, {}, challenge, {}).empty());
 }
 
 TEST_F(CosiTest, DistinctRoundsDistinctNonces) {

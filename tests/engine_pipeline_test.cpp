@@ -148,6 +148,53 @@ TEST(EnginePipeline, DepthsIdenticalOverSimNetReorderingSchedules) {
   }
 }
 
+TEST(EnginePipeline, BatchVerifyLedgerIdenticalEverywhere) {
+  // FIDES_BATCH_VERIFY changes which code path opens envelopes, never what
+  // the ledger says: batched opens must be bit-identical to per-signature
+  // opens across every scheduler (direct, in-process pool, SimNet), every
+  // depth, and with speculation on.
+  const ClusterConfig cfg = base_config();
+  const auto batches = mint_batches(cfg, 4, 4);
+
+  ClusterConfig off = cfg;
+  off.pipeline_depth = 1;
+  off.num_threads = 1;
+  const RunFingerprint base = replay(off, batches);
+  ASSERT_EQ(base.decisions.size(), 4u);
+
+  // Direct scheduler, single thread.
+  ClusterConfig direct = off;
+  direct.batch_verify = true;
+  EXPECT_TRUE(replay(direct, batches) == base) << "direct scheduler";
+
+  // In-process scheduler: pipelined, multi-threaded — the inbox-batching
+  // dispatch seam actually fires here.
+  for (const std::uint32_t threads : {2u, 4u}) {
+    ClusterConfig inproc = cfg;
+    inproc.batch_verify = true;
+    inproc.pipeline_depth = 4;
+    inproc.num_threads = threads;
+    EXPECT_TRUE(replay(inproc, batches) == base) << "inproc " << threads << " threads";
+  }
+
+  // SimNet under heavy reordering, with and without speculation.
+  for (const bool speculate : {false, true}) {
+    ClusterConfig sim = cfg;
+    sim.batch_verify = true;
+    sim.speculate = speculate;
+    sim.pipeline_depth = 4;
+    sim.network.mode = sim::NetworkMode::kSimulated;
+    sim.network.sim.seed = 7;
+    sim.network.sim.link.min_delay_us = 10;
+    sim.network.sim.link.max_delay_us = 900;
+    sim.network.sim.link.drop_prob = 0.2;
+    sim.network.sim.link.dup_prob = 0.2;
+    EXPECT_TRUE(replay(sim, batches) == base) << "simnet spec=" << speculate;
+    sim.batch_verify = false;
+    EXPECT_TRUE(replay(sim, batches) == base) << "simnet off spec=" << speculate;
+  }
+}
+
 TEST(EnginePipeline, TwoPhaseCommitDepthsIdenticalToo) {
   ClusterConfig cfg = base_config();
   cfg.protocol = Protocol::kTwoPhaseCommit;

@@ -305,6 +305,39 @@ TEST(ParallelRound, TransportOpenAllMixedBatchesAcrossPoolWidths) {
   }
 }
 
+TEST(ParallelRound, TransportOpenBatchHeterogeneousTypes) {
+  // open_batch takes envelopes of mixed types (each checked against its own
+  // env.type), which open_all cannot express: one RLC aggregate over a whole
+  // coordinator inbox of votes, responses, and 2PC messages.
+  Transport serial_t;
+  Transport batched_t;
+  common::ThreadPool pool(4);
+  const auto kp = crypto::KeyPair::deterministic(1);
+  serial_t.register_node(NodeId::server(ServerId{0}), kp.public_key());
+  batched_t.register_node(NodeId::server(ServerId{0}), kp.public_key());
+
+  const char* types[] = {"tf_vote", "tf_response", "2pc_vote"};
+  std::vector<Envelope> envs;
+  for (int i = 0; i < 24; ++i) {
+    envs.push_back(serial_t.seal(kp, NodeId::server(ServerId{0}), types[i % 3],
+                                 to_bytes("payload-" + std::to_string(i))));
+  }
+  envs[5].payload[0] ^= 1;  // tampered
+  envs[9].sender = NodeId::server(ServerId{7});  // unregistered sender
+
+  std::vector<unsigned char> expected;
+  std::vector<const Envelope*> ptrs;
+  for (const auto& e : envs) {
+    expected.push_back(serial_t.open(e, e.type) ? 1 : 0);
+    ptrs.push_back(&e);
+  }
+  const std::vector<unsigned char> actual = batched_t.open_batch(ptrs, &pool);
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(batched_t.stats().signatures_verified.load(),
+            serial_t.stats().signatures_verified.load());
+  EXPECT_EQ(batched_t.stats().rejected.load(), serial_t.stats().rejected.load());
+}
+
 TEST(ParallelRound, ParallelMerkleBuildMatchesSerial) {
   common::ThreadPool pool(4);
   std::vector<crypto::Digest> leaves;

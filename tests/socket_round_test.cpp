@@ -120,6 +120,7 @@ std::vector<std::string> serverd_argv(const ClusterConfig& cfg, const std::strin
       "--seed", std::to_string(cfg.seed),
       "--log-dir", dir};
   if (cfg.speculate) argv.push_back("--spec");
+  if (cfg.batch_verify) argv.push_back("--batch-verify");
   if (!crash_after.empty()) {
     argv.push_back("--crash-after");
     argv.push_back(crash_after);
@@ -194,6 +195,35 @@ TEST(SocketRound, LoopbackBitIdenticalToInProcessAndSimNetAtEveryDepth) {
           << "socket run diverged at " << what << " (logs in " << dir << ")";
     }
   }
+}
+
+TEST(SocketRound, BatchVerifyBitIdenticalOverSockets) {
+  // FIDES_BATCH_VERIFY over the socket scheduler: every serverd opens its
+  // block's client request signatures as one RLC aggregate, and the ledger
+  // must match a per-signature single-process run exactly.
+  ClusterConfig cfg = socket_config();
+  cfg.pipeline_depth = 2;
+  const auto batches = mint_batches(cfg, 4, 3);
+
+  const LedgerFingerprint base = run_single_process(cfg, batches, false);
+  ASSERT_EQ(base.decisions[0], ledger::Decision::kCommit);
+
+  cfg.batch_verify = true;
+  EXPECT_TRUE(run_single_process(cfg, batches, false) == base) << "batched direct run";
+
+  const std::string dir = make_run_dir();
+  const auto addrs = unix_addrs(dir, cfg.num_servers);
+  std::vector<pid_t> children;
+  for (std::uint32_t i = 1; i < cfg.num_servers; ++i) {
+    children.push_back(spawn(serverd_argv(cfg, dir, addrs, i, batches.size()),
+                             dir + "/serverd-" + std::to_string(i) + ".log"));
+  }
+  const LedgerFingerprint sockets = coordinator_run(cfg, batches, dir, addrs);
+  for (std::size_t c = 0; c < children.size(); ++c) {
+    EXPECT_EQ(wait_exit(children[c]), 0)
+        << "serverd " << c + 1 << " unclean (logs in " << dir << ")";
+  }
+  EXPECT_TRUE(sockets == base) << "batched socket run diverged (logs in " << dir << ")";
 }
 
 TEST(SocketRound, ServerdDyingMidRoundMapsOntoCrashRecover) {

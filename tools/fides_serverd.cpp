@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
                  "usage: fides_serverd --self N --servers N --rounds N --log-dir DIR\n"
                  "         [--clients N] [--protocol tfcommit|2pc] [--items N]\n"
                  "         [--batch N] [--no-data-sigs] [--pipeline N] [--spec]\n"
+                 "         [--batch-verify]\n"
                  "         [--threads N] [--seed N]\n"
                  "         [--crash-after TYPE:COUNT] ADDR0 ADDR1 ... (one per server)\n");
     return 2;
