@@ -99,6 +99,7 @@ bool cosi_verify_share(const AffinePoint& commitment, const U256& response,
                        const U256& challenge, const PublicKey& pk) {
   const Curve& curve = Curve::instance();
   if (!curve.on_curve(commitment) || !curve.on_curve(pk.point)) return false;
+  if (!u256_less(response, curve.order())) return false;  // msm precondition
   const auto& fn = curve.fn();
   const U256 neg_c = fn.from_mont(fn.neg(fn.to_mont(challenge)));
   const Point lhs = curve.mul_add(response, neg_c, curve.from_affine(pk.point));

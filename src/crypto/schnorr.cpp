@@ -190,10 +190,15 @@ std::vector<unsigned char> batch_verify(std::span<const BatchItem> items) {
   // Fiat–Shamir coefficient seed over the whole batch: the zᵢ are fixed by
   // the batch contents (deterministic replay) yet unpredictable to whoever
   // produced the signatures, which is what defeats crafted cancellations.
+  // The seed must commit to the COMPLETE signature, s included: with s left
+  // out, an adversary who knows its keys' discrete logs could compute every
+  // zᵢ up front and then solve Σ zᵢsᵢ = Σ zᵢ(rᵢ + cᵢxᵢ) for s values that
+  // pass the aggregate while failing individual verification. Hashing s
+  // makes any such solve change the coefficients out from under itself.
   Sha256 seed_h;
-  seed_h.update(to_bytes("fides-batch-verify-v1"));
+  seed_h.update(to_bytes("fides-batch-verify-v2"));
   for (const std::size_t i : live) {
-    seed_h.update(items[i].sig->r.serialize());
+    seed_h.update(items[i].sig->serialize());  // R and s
     seed_h.update(items[i].pk->serialize());
     seed_h.update(sha256(items[i].message).view());
   }

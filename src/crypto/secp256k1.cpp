@@ -269,6 +269,14 @@ Point Curve::msm(const U256& g_scalar, std::span<const U256> scalars,
   if (scalars.size() != points.size()) {
     throw std::invalid_argument("msm: scalars/points length mismatch");
   }
+  // wnaf5 recoding assumes its input never borrows past 2^256 when a window
+  // digit is subtracted, which holds exactly for scalars reduced mod n
+  // (n < 2^256 - 15). Enforce the precondition instead of silently wrapping.
+  for (const U256& s : scalars) {
+    if (!u256_less(s, kN)) {
+      throw std::invalid_argument("msm: scalar not reduced mod n");
+    }
+  }
   const std::size_t n = points.size();
   // Odd multiples 1P, 3P, ..., 15P per point (width-5 wNAF), all normalized
   // with a single inversion so every ladder add is a mixed add.

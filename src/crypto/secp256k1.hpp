@@ -80,12 +80,15 @@ class Curve {
   /// side reuses the fixed-base window table (adds only), the P side walks a
   /// width-5 wNAF over a batch-normalized odd-multiples table. One ladder's
   /// worth of doublings serves both scalars — the Schnorr verification shape.
+  /// `b` must be reduced mod n (throws std::invalid_argument otherwise).
   Point mul_add(const U256& a, const U256& b, const Point& p) const;
 
   /// Multi-scalar multiplication g_scalar*G + Σ scalars[i]*points[i] under a
   /// single shared double ladder (Strauss). All per-point odd-multiple tables
   /// are batch-normalized with one inversion, so every ladder add is a mixed
-  /// add. `scalars` and `points` must have equal length.
+  /// add. `scalars` and `points` must have equal length, and every entry of
+  /// `scalars` must be reduced mod n (the wNAF recoding is only correct for
+  /// k < 2^256 - 15); violations throw std::invalid_argument.
   Point msm(const U256& g_scalar, std::span<const U256> scalars,
             std::span<const Point> points) const;
 

@@ -2,6 +2,7 @@
 // secp256k1 group law, Schnorr signatures, CoSi collective signing.
 #include <gtest/gtest.h>
 
+#include "common/serde.hpp"
 #include "crypto/cosi.hpp"
 #include "crypto/schnorr.hpp"
 
@@ -260,6 +261,19 @@ TEST_F(CurveTest, MsmMatchesSumOfMuls) {
                std::invalid_argument);
 }
 
+TEST_F(CurveTest, MsmRejectsUnreducedScalars) {
+  // wnaf5 recoding is only correct for scalars < 2^256 - 15; msm enforces the
+  // stricter (and natural) precondition that wNAF scalars are reduced mod n.
+  const Point p = c.mul_g(U256(7));
+  const std::vector<Point> points{p};
+  std::vector<U256> scalars{c.order()};
+  EXPECT_THROW(c.msm(U256(1), scalars, points), std::invalid_argument);
+  EXPECT_THROW(c.mul_add(U256(1), c.order(), p), std::invalid_argument);
+  // One below n is fine.
+  u256_sub(scalars[0], c.order(), U256(1));
+  EXPECT_TRUE(c.equal(c.msm(U256(0), scalars, points), c.negate(p)));
+}
+
 TEST_F(CurveTest, BatchToAffineMatchesToAffine) {
   std::vector<Point> pts;
   for (std::uint64_t i = 0; i < 6; ++i) {
@@ -484,6 +498,57 @@ TEST_F(BatchVerifyTest, CancellationPairCaught) {
   entries[1].sig.s = fn.from_mont(fn.sub(fn.to_mont(entries[1].sig.s), d));
   ASSERT_FALSE(verify(entries[0].pk, entries[0].message, entries[0].sig));
   ASSERT_FALSE(verify(entries[1].pk, entries[1].message, entries[1].sig));
+  const auto verdicts = batch_verify(items());
+  EXPECT_EQ(verdicts[0], 0);
+  EXPECT_EQ(verdicts[1], 0);
+  for (std::size_t i = 2; i < entries.size(); ++i) {
+    EXPECT_EQ(verdicts[i], 1) << "item " << i;
+  }
+}
+
+TEST_F(BatchVerifyTest, CoefficientSolveForgeryRejected) {
+  // Regression: the RLC coefficient seed must commit to each signature's s.
+  // An earlier derivation hashed only (R, pk, m), so an adversary holding
+  // the batch's secret keys could compute every zᵢ before committing to the
+  // s values and then solve z₀·d₀ + z₁·d₁ == 0 (mod n) for offsets that
+  // leave Σ zᵢsᵢ — and hence the full-batch aggregate — unchanged while
+  // both signatures fail individual verification. Reproduce that exact
+  // solve against the s-free derivation and check the batch rejects it.
+  make_entries(6);
+  const auto& fn = Curve::instance().fn();
+
+  // The zᵢ exactly as the flawed scheme derived them: s absent from the seed.
+  Sha256 seed_h;
+  seed_h.update(to_bytes("fides-batch-verify-v1"));
+  for (const Entry& e : entries) {
+    seed_h.update(e.sig.r.serialize());
+    seed_h.update(e.pk.serialize());
+    seed_h.update(sha256(e.message).view());
+  }
+  const Digest seed = seed_h.finalize();
+  const auto coeff = [&seed](std::size_t i) {
+    Sha256 h;
+    h.update(seed.view());
+    Writer w;
+    w.u64(static_cast<std::uint64_t>(i));
+    h.update(w.data());
+    U256 zi = U256::from_bytes_be(h.finalize().view());
+    zi.w[2] = 0;
+    zi.w[3] = 0;
+    if (zi.is_zero()) zi = U256(1);
+    return zi;
+  };
+
+  // d₁ = -z₀·d₀ / z₁ mod n cancels the d₀ perturbation in the z-weighted sum.
+  const Fe z0 = fn.to_mont(coeff(0));
+  const Fe z1 = fn.to_mont(coeff(1));
+  const Fe d0 = fn.to_mont(U256(0xD00DFEEDULL));
+  const Fe d1 = fn.neg(fn.mul(fn.mul(z0, d0), fn.inverse(z1)));
+  entries[0].sig.s = fn.from_mont(fn.add(fn.to_mont(entries[0].sig.s), d0));
+  entries[1].sig.s = fn.from_mont(fn.add(fn.to_mont(entries[1].sig.s), d1));
+  ASSERT_FALSE(verify(entries[0].pk, entries[0].message, entries[0].sig));
+  ASSERT_FALSE(verify(entries[1].pk, entries[1].message, entries[1].sig));
+
   const auto verdicts = batch_verify(items());
   EXPECT_EQ(verdicts[0], 0);
   EXPECT_EQ(verdicts[1], 0);
