@@ -1,0 +1,201 @@
+// Group-commit scaling (§4.6): virtual-time throughput vs group count and
+// cross-group conflict rate, through the engine-routed multi-coordinator
+// dispatch (ordserv/group_engine.hpp).
+//
+// The 8-server cluster is partitioned into G disjoint server groups; each
+// round's batch touches every server of its group (G=1 reproduces the global
+// all-server round, G=8 is fully sharded). With probability `conflict` a
+// batch instead bridges two adjacent groups, serializing them through the
+// touch-order gates and the sequencer. Throughput is rounds per second of
+// SimNet *virtual* time — deterministic for a given seed, so the scaling
+// shape gates exactly:
+//
+//   * 4 disjoint groups must clear >= 2.5x the global-group throughput
+//     (the §4.6 scaling claim: disjoint groups pipeline independently);
+//   * rising conflict must degrade monotonically, not collapse: G=4 at 50%
+//     cross-group traffic still beats the global group.
+//
+// Knobs: FIDES_GROUPS caps the sweep's group count (default 8), plus the
+// usual FIDES_BENCH_TXNS / FIDES_PIPELINE / FIDES_SIM_SEED.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "ordserv/group_engine.hpp"
+
+namespace {
+
+using namespace fides;
+
+constexpr std::uint32_t kServers = 8;
+
+ClusterConfig scaling_config() {
+  ClusterConfig cfg;
+  cfg.num_servers = kServers;
+  cfg.items_per_shard = 512;
+  cfg.versioning = store::VersioningMode::kSingle;
+  cfg.sign_data_path = false;
+  cfg.network.mode = sim::NetworkMode::kSimulated;
+  cfg.network.sim.seed = bench::env_size("FIDES_SIM_SEED", 1);
+  cfg.pipeline_depth = static_cast<std::uint32_t>(
+      std::max<std::size_t>(bench::bench_pipeline(), 8));
+  cfg.speculate = true;
+  return cfg;
+}
+
+/// Deterministic per-round coin for the conflict draw (no std::rand: the
+/// sweep must reproduce bit-for-bit).
+bool bridge_round(std::uint32_t groups, double conflict, std::size_t round) {
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL ^ (round * 0xBF58476D1CE4E5B9ULL) ^
+                    (static_cast<std::uint64_t>(groups) << 32);
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<double>(x % 10000) < conflict * 10000.0;
+}
+
+/// Mints `rounds` one-txn batches: round i belongs to group i % G and writes
+/// one fresh item on every member server (item = server + kServers * k, so
+/// no item is ever reused and OCC never aborts — the sweep measures protocol
+/// concurrency, not abort rates). A bridging round touches two adjacent
+/// groups' servers instead.
+std::vector<std::vector<commit::SignedEndTxn>> mint_batches(const ClusterConfig& cfg,
+                                                            std::uint32_t groups,
+                                                            double conflict,
+                                                            std::size_t rounds) {
+  Cluster mint(cfg);
+  Client& client = mint.make_client();
+  const std::uint32_t width = kServers / groups;
+  std::vector<std::vector<commit::SignedEndTxn>> batches;
+  batches.reserve(rounds);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const std::uint32_t g = static_cast<std::uint32_t>(i % groups);
+    std::vector<ItemId> items;
+    auto touch_group = [&](std::uint32_t grp) {
+      for (std::uint32_t s = grp * width; s < (grp + 1) * width; ++s) {
+        items.push_back(ItemId{s + kServers * static_cast<std::uint32_t>(i + 1)});
+      }
+    };
+    touch_group(g);
+    if (groups > 1 && bridge_round(groups, conflict, i)) touch_group((g + 1) % groups);
+    ClientTxn txn = client.begin();
+    for (const ItemId item : items) {
+      client.read(txn, item);
+      client.write(txn, item, to_bytes("w" + std::to_string(i)));
+    }
+    batches.push_back({client.end(std::move(txn))});
+  }
+  return batches;
+}
+
+struct SweepPoint {
+  double vt_tps{0};
+  double span_ms{0};
+  std::size_t sequenced{0};
+};
+
+SweepPoint run_point(const ClusterConfig& cfg, std::uint32_t groups, double conflict,
+                     std::size_t rounds) {
+  const auto batches = mint_batches(cfg, groups, conflict, rounds);
+  Cluster cluster(cfg);
+  cluster.make_client();
+  ordserv::Sequencer seq;
+  const ordserv::GroupRunResult result = cluster.run_group_blocks(seq, batches);
+  for (const auto& refusal : result.delivery_refusals) {
+    if (refusal.has_value()) {
+      std::printf("ERROR: delivery refused at height %llu: %s\n",
+                  static_cast<unsigned long long>(refusal->height),
+                  refusal->reason.c_str());
+      std::exit(1);
+    }
+  }
+  SweepPoint p;
+  p.sequenced = seq.size();
+  p.span_ms = cluster.simnet()->now_us() / 1000.0;
+  p.vt_tps = p.span_ms > 0 ? static_cast<double>(rounds) / (p.span_ms / 1000.0) : 0;
+  if (p.sequenced != rounds) {
+    std::printf("ERROR: %zu rounds submitted, %zu sequenced\n", rounds, p.sequenced);
+    std::exit(1);
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fides;
+  bench::BenchReport report("group_scaling");
+  const ClusterConfig cfg = scaling_config();
+  const std::size_t rounds = std::max<std::size_t>(24, bench::bench_txns() / 4);
+  const std::uint32_t max_groups = static_cast<std::uint32_t>(
+      std::min<std::size_t>(bench::env_size("FIDES_GROUPS", 8), kServers));
+  const double conflicts[] = {0.0, 0.1, 0.5};
+
+  std::printf("============================================================\n");
+  std::printf("Group commit scaling: %u servers, %zu rounds, depth %u, SimNet seed %zu\n",
+              kServers, rounds, cfg.pipeline_depth,
+              static_cast<std::size_t>(cfg.network.sim.seed));
+  std::printf("engine-routed multi-coordinator dispatch; virtual-time throughput\n");
+  std::printf("============================================================\n");
+  std::printf("%-8s %-10s %-14s %-14s %s\n", "groups", "conflict", "span_ms",
+              "vt_blocks_ps", "scaling_vs_G1");
+
+  std::map<std::pair<std::uint32_t, int>, SweepPoint> sweep;
+  for (std::uint32_t groups = 1; groups <= max_groups; groups *= 2) {
+    for (int ci = 0; ci < 3; ++ci) {
+      const SweepPoint p = run_point(cfg, groups, conflicts[ci], rounds);
+      sweep[{groups, ci}] = p;
+      const double base = sweep.count({1, ci}) ? sweep[{1, ci}].vt_tps : 0;
+      std::printf("%-8u %-10.2f %-14.2f %-14.1f %.2fx\n", groups, conflicts[ci],
+                  p.span_ms, p.vt_tps, base > 0 ? p.vt_tps / base : 1.0);
+
+      bench::BenchPoint& bp =
+          report.point("G" + std::to_string(groups) + "_c" +
+                       std::to_string(static_cast<int>(conflicts[ci] * 100)));
+      bp.approx.set("vt_blocks_per_sec", p.vt_tps);
+      bp.approx.set("span_ms", p.span_ms);
+      bp.exact.set("sequenced", static_cast<double>(p.sequenced));
+    }
+  }
+
+  // --- Gates (deterministic virtual time; CI runs these in Release) ----------
+  if (max_groups >= 4) {
+    const double g1 = sweep[{1, 0}].vt_tps;
+    const double g4 = sweep[{4, 0}].vt_tps;
+    const double scaling = g1 > 0 ? g4 / g1 : 0;
+    std::printf("\n4-group scaling at zero conflict: %.2fx\n", scaling);
+    if (scaling < 2.5) {
+      std::printf("ERROR: 4 disjoint groups failed the 2.5x scaling bar (%.2fx)\n",
+                  scaling);
+      std::exit(1);
+    }
+    // Conflict must degrade monotonically (5% slack), never collapse below
+    // the global-group baseline.
+    for (std::uint32_t groups = 2; groups <= max_groups; groups *= 2) {
+      for (int ci = 1; ci < 3; ++ci) {
+        const double lo = sweep[{groups, ci}].vt_tps;
+        const double hi = sweep[{groups, ci - 1}].vt_tps;
+        if (lo > hi * 1.05) {
+          std::printf("ERROR: G=%u throughput rose with conflict (%.1f -> %.1f)\n",
+                      groups, hi, lo);
+          std::exit(1);
+        }
+      }
+    }
+    const double g4_hot = sweep[{4, 2}].vt_tps;
+    const double g1_hot = sweep[{1, 2}].vt_tps;
+    std::printf("4-group vs global at 50%% conflict: %.2fx\n",
+                g1_hot > 0 ? g4_hot / g1_hot : 0);
+    if (g4_hot < g1_hot * 1.2) {
+      std::printf("ERROR: G=4 collapsed under conflict (%.1f vs global %.1f)\n",
+                  g4_hot, g1_hot);
+      std::exit(1);
+    }
+    report.point("gates").exact.set("scaling_4g_pass", 1.0);
+  } else {
+    std::printf("\nFIDES_GROUPS=%u < 4: scaling gates skipped\n", max_groups);
+  }
+
+  bench::finish_report(report, argc, argv);
+  return 0;
+}

@@ -480,6 +480,10 @@ std::vector<ChallengeMsg> TfCommitCoordinator::on_votes(std::span<const VoteMsg>
     // Broadcast: one message, every cohort receives the same bytes.
     std::vector<ChallengeMsg> out;
     out.push_back(std::move(honest));
+    if (faults.drop_last_challenge) {
+      out.assign(cohorts_.size(), out.front());
+      out.pop_back();
+    }
     return out;
   }
 
@@ -502,6 +506,7 @@ std::vector<ChallengeMsg> TfCommitCoordinator::on_votes(std::span<const VoteMsg>
       if (victim < out.size()) out[victim] = lie;
     }
   }
+  if (faults.drop_last_challenge && !out.empty()) out.pop_back();
   return out;
 }
 

@@ -51,6 +51,12 @@ struct CoordinatorFaults {
   /// Ignore abort votes and declare commit anyway (atomicity attack; fails
   /// because vetoing cohorts' roots are missing and they refuse to co-sign).
   bool force_commit{false};
+
+  /// Emit a per-cohort challenge fan-out with the last message missing (a
+  /// broken coordinator truncating its send loop). The resulting vector size
+  /// matches neither the broadcast shape (1) nor the cohort count — drivers
+  /// must refuse the round instead of indexing into the vector by cohort.
+  bool drop_last_challenge{false};
 };
 
 /// Cohort-side state machine. One instance per server; handle_get_vote

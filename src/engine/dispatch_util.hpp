@@ -1,0 +1,80 @@
+// Dispatcher-side plumbing shared by every engine driver — the global commit
+// pipeline (pipeline.cpp), the checkpoint dispatcher, and the group-commit
+// engine (ordserv/group_engine.cpp): receiver-side deduplication and the
+// crash-point hooks that turn a configured CrashFault into scheduler events.
+#pragma once
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "engine/scheduler.hpp"
+#include "fides/cluster.hpp"
+
+namespace fides::engine {
+
+/// Receiver-side at-most-once filter over (sender, receiver, type, epoch):
+/// the first copy of a logical message is processed, later copies (SimNet
+/// duplicates, retransmissions that crossed their original) are dropped
+/// before authentication — the idempotence a real node needs under
+/// at-least-once delivery. A crash erases the receiver's filter state with
+/// the rest of its memory (forget_dst); a recovered coordinator's restarted
+/// round re-asks everyone, so its epochs are forgotten wholesale
+/// (forget_epoch).
+class Dedup {
+ public:
+  bool first(NodeId src, NodeId dst, const std::string& type, std::uint64_t epoch) {
+    return seen_.emplace(src, dst, type, epoch).second;
+  }
+
+  void forget_dst(NodeId dst) {
+    for (auto it = seen_.begin(); it != seen_.end();) {
+      if (std::get<1>(*it) == dst) {
+        it = seen_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void forget_epoch(std::uint64_t epoch) {
+    for (auto it = seen_.begin(); it != seen_.end();) {
+      if (std::get<3>(*it) == epoch) {
+        it = seen_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+ private:
+  std::set<std::tuple<NodeId, NodeId, std::string, std::uint64_t>> seen_;
+};
+
+/// Transition-triggered crash points, shared by every dispatcher: after
+/// `dst` finished processing a delivery of `type`, fell a configured crash
+/// on it. Returns true if the node died.
+inline bool poll_transition_crash(Cluster& cluster, Scheduler& sched, NodeId dst,
+                                  const std::string& type) {
+  if (!sched.supports_crashes() || dst.kind != NodeId::Kind::kServer) return false;
+  const auto cf = cluster.poll_crash_point(dst.id, type);
+  if (!cf.has_value()) return false;
+  sched.crash_node(dst);
+  sched.schedule_recover(dst, cf->downtime_us);
+  return true;
+}
+
+/// Engine-side crash bookkeeping (the substrate side — dropping deliveries
+/// — is the scheduler's). Arms the termination timer when the *global*
+/// coordinator died; group rounds have no termination story yet, so the
+/// group engine passes arm_termination = false.
+inline void apply_crash(Cluster& cluster, Scheduler& sched, NodeId node,
+                        bool arm_termination = true) {
+  cluster.crash_server(ServerId{node.id});
+  const double timeout = cluster.config().termination_timeout_us;
+  if (arm_termination && node.id == cluster.coordinator_id().value && timeout > 0) {
+    sched.schedule_failure_probe(node, timeout);
+  }
+}
+
+}  // namespace fides::engine

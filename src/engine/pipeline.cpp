@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "engine/dispatch_util.hpp"
 #include "engine/reactor.hpp"
 #include "sim/simnet.hpp"
 
@@ -19,44 +20,6 @@ using Clock = std::chrono::steady_clock;
 double since_us(Clock::time_point start) {
   return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
 }
-
-/// Receiver-side at-most-once filter over (sender, receiver, type, epoch):
-/// the first copy of a logical message is processed, later copies (SimNet
-/// duplicates, retransmissions that crossed their original) are dropped
-/// before authentication — the idempotence a real node needs under
-/// at-least-once delivery. A crash erases the receiver's filter state with
-/// the rest of its memory (forget_dst); a recovered coordinator's restarted
-/// round re-asks everyone, so its epochs are forgotten wholesale
-/// (forget_epoch).
-class Dedup {
- public:
-  bool first(NodeId src, NodeId dst, const std::string& type, std::uint64_t epoch) {
-    return seen_.emplace(src, dst, type, epoch).second;
-  }
-
-  void forget_dst(NodeId dst) {
-    for (auto it = seen_.begin(); it != seen_.end();) {
-      if (std::get<1>(*it) == dst) {
-        it = seen_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-
-  void forget_epoch(std::uint64_t epoch) {
-    for (auto it = seen_.begin(); it != seen_.end();) {
-      if (std::get<3>(*it) == epoch) {
-        it = seen_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-
- private:
-  std::set<std::tuple<NodeId, NodeId, std::string, std::uint64_t>> seen_;
-};
 
 /// Opening messages start a round at a cohort; they are the only messages
 /// that can causally overtake the previous round's decision, so they are
@@ -79,30 +42,6 @@ bool is_tf_decision(const std::string& type) {
 /// pre-verified envelope reaches deliver() exactly as the serial path would.
 bool batchable_inbox(const std::string& type) {
   return type == "tf_response" || type == "2pc_vote" || type.rfind("tf_vote", 0) == 0;
-}
-
-/// Transition-triggered crash points, shared by the commit pipeline and the
-/// checkpoint dispatcher: after `dst` finished processing a delivery of
-/// `type`, fell a configured crash on it. Returns true if the node died.
-bool poll_transition_crash(Cluster& cluster, Scheduler& sched, NodeId dst,
-                           const std::string& type) {
-  if (!sched.supports_crashes() || dst.kind != NodeId::Kind::kServer) return false;
-  const auto cf = cluster.poll_crash_point(dst.id, type);
-  if (!cf.has_value()) return false;
-  sched.crash_node(dst);
-  sched.schedule_recover(dst, cf->downtime_us);
-  return true;
-}
-
-/// Engine-side crash bookkeeping (the substrate side — dropping deliveries
-/// — is the scheduler's). Arms the termination timer when the coordinator
-/// died.
-void apply_crash(Cluster& cluster, Scheduler& sched, NodeId node) {
-  cluster.crash_server(ServerId{node.id});
-  const double timeout = cluster.config().termination_timeout_us;
-  if (node.id == cluster.coordinator_id().value && timeout > 0) {
-    sched.schedule_failure_probe(node, timeout);
-  }
 }
 
 class CommitPipeline final : public Dispatcher, public RoundObserver, public SpecContext {

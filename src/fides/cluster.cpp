@@ -2,6 +2,7 @@
 
 #include "engine/inproc_scheduler.hpp"
 #include "engine/pipeline.hpp"
+#include "ordserv/group_engine.hpp"
 #include "sim/sim_round.hpp"
 #include "sim/simnet.hpp"
 
@@ -311,6 +312,14 @@ std::vector<RoundMetrics> Cluster::drain(commit::BatchBuilder& builder) {
     batches.push_back(builder.next_batch());
   }
   return run_blocks(std::move(batches)).rounds;
+}
+
+ordserv::GroupRunResult Cluster::run_group_blocks(
+    ordserv::Sequencer& sequencer,
+    std::vector<std::vector<commit::SignedEndTxn>> batches) {
+  return with_scheduler([&](engine::Scheduler& sched) {
+    return ordserv::run_group_rounds(*this, sequencer, std::move(batches), sched);
+  });
 }
 
 CheckpointOutcome Cluster::run_checkpoint_round() {

@@ -46,6 +46,9 @@ class SimNet;
 namespace engine {
 class Scheduler;
 }
+namespace ordserv {
+struct GroupRunResult;
+}
 
 /// Everything a commit round reports to the harness.
 struct RoundMetrics {
@@ -252,6 +255,16 @@ class Cluster {
   /// Runs batches from `builder` until it drains — pipelined when
   /// config().pipeline_depth > 1; returns per-round metrics.
   std::vector<RoundMetrics> drain(commit::BatchBuilder& builder);
+
+  /// Group commit (§4.6) through the engine: each batch's ServerGroup runs
+  /// its own TFCommit round on the message reactors under the configured
+  /// scheduler, with pipeline_depth and speculate composing per group;
+  /// outcomes are serialized by `sequencer` and the hash-chained stream is
+  /// delivered (validated, durably logged) to every server. Bit-identical to
+  /// ordserv::GroupCommitRunner's sequential lock-step run.
+  ordserv::GroupRunResult run_group_blocks(
+      ordserv::Sequencer& sequencer,
+      std::vector<std::vector<commit::SignedEndTxn>> batches);
 
   /// Runs a collective-signing round over a checkpoint summarizing the
   /// current log (§3.3's checkpointing optimization): every server verifies

@@ -96,6 +96,26 @@ bool Server::handle_decision(const commit::DecisionMsg& msg,
   return apply_decision(msg, all_server_keys) == ApplyResult::kApplied;
 }
 
+Server::ApplyResult Server::apply_sequenced(const ledger::Block& block,
+                                            std::span<const crypto::PublicKey> all_server_keys) {
+  if (!block.cosign || block.signers.empty()) return ApplyResult::kRejected;
+  std::vector<crypto::PublicKey> signer_keys;
+  signer_keys.reserve(block.signers.size());
+  for (const ServerId s : block.signers) {
+    if (s.value >= all_server_keys.size()) return ApplyResult::kRejected;
+    signer_keys.push_back(all_server_keys[s.value]);
+  }
+  if (!crypto::cosi_verify(ledger::unchained_signing_bytes(block), *block.cosign,
+                           signer_keys)) {
+    return ApplyResult::kRejected;
+  }
+  if (block.height < log_.size()) return ApplyResult::kStale;
+  if (block.height > log_.size()) return ApplyResult::kFuture;
+  if (!(block.prev_hash == log_.head_hash())) return ApplyResult::kRejected;
+  ingest_block(block);
+  return ApplyResult::kApplied;
+}
+
 Server::ApplyResult Server::apply_decision_2pc(const commit::CommitDecisionMsg& msg) {
   if (msg.final_block.height < log_.size()) return ApplyResult::kStale;
   if (msg.final_block.height > log_.size()) return ApplyResult::kFuture;

@@ -105,6 +105,15 @@ class Server {
   bool handle_decision(const commit::DecisionMsg& msg,
                        std::span<const crypto::PublicKey> all_server_keys);
 
+  /// Group-commit delivery (§4.6): apply a block sequenced by OrdServ. Same
+  /// contract as apply_decision, except the co-sign is verified over the
+  /// *unchained* block bytes (the group signed height 0 / zero prev-hash;
+  /// OrdServ filled the chain position afterwards) under the block's own
+  /// signer set, while the chain checks run against the delivered
+  /// height/prev-hash exactly as for a global decision.
+  ApplyResult apply_sequenced(const ledger::Block& block,
+                              std::span<const crypto::PublicKey> all_server_keys);
+
   /// 2PC decision handling: append + apply without signature machinery
   /// (kRejected cannot occur — 2PC trusts the coordinator).
   ApplyResult apply_decision_2pc(const commit::CommitDecisionMsg& msg);

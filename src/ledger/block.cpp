@@ -73,6 +73,13 @@ Bytes Block::serialize() const {
 
 crypto::Digest Block::digest() const { return crypto::sha256(serialize()); }
 
+Bytes unchained_signing_bytes(const Block& block) {
+  Block copy = block;
+  copy.height = 0;
+  copy.prev_hash = crypto::Digest::zero();
+  return copy.signing_bytes();
+}
+
 std::optional<Block> Block::deserialize(BytesView bytes) {
   try {
     Reader r(bytes);

@@ -85,4 +85,13 @@ struct Block {
   friend bool operator==(const Block&, const Block&) = default;
 };
 
+/// The group-commit signing view (§4.6): the block with height zeroed and the
+/// prev-hash pointer cleared. A group co-signs a block *before* OrdServ
+/// assigns its chain position ("the coordinators of the groups do not fill in
+/// the hash of the previous block, rather it is filled by the OrdServ"), so
+/// every verifier of a sequenced entry — stream validators, delivering
+/// servers, recovery replay — must check the inner co-sign over exactly these
+/// bytes, plus the outer OrdServ hash chain.
+Bytes unchained_signing_bytes(const Block& block);
+
 }  // namespace fides::ledger

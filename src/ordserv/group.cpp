@@ -21,8 +21,10 @@ ServerGroup group_for(const std::vector<txn::Transaction>& txns,
   probe.txns = txns;
   ServerGroup g;
   g.members = commit::involved_servers(probe, num_servers);
-  if (g.members.empty()) g.members.push_back(ServerId{0});
-  g.coordinator = g.members.front();
+  // An empty batch (or one touching no shard) has no group: fabricating a
+  // {S0} group here would let a zero-transaction block get "committed" under
+  // server 0's lone co-sign. Callers must reject such batches at submission.
+  if (!g.members.empty()) g.coordinator = g.members.front();
   return g;
 }
 

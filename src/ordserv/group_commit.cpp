@@ -2,47 +2,66 @@
 
 #include <algorithm>
 
+#include "commit/batch.hpp"
 #include "txn/occ.hpp"
 
 namespace fides::ordserv {
 
-namespace {
+std::optional<std::string> StreamValidator::check(
+    const SequencedBlock& entry,
+    std::span<const crypto::PublicKey> all_server_keys) {
+  const ledger::Block& b = entry.block;
 
-/// The bytes the group actually co-signed: the block before OrdServ chained
-/// it (height and prev-hash zeroed).
-Bytes unchained_signing_bytes(const ledger::Block& block) {
-  ledger::Block copy = block;
-  copy.height = 0;
-  copy.prev_hash = crypto::Digest::zero();
-  return copy.signing_bytes();
+  if (b.height != next_height) {
+    return "height " + std::to_string(b.height) + " where " +
+           std::to_string(next_height) + " expected";
+  }
+  if (!(b.prev_hash == expected_prev)) return "prev-hash chain broken";
+
+  if (!b.cosign || b.signers.empty()) return "missing group co-sign";
+  std::vector<crypto::PublicKey> keys;
+  keys.reserve(b.signers.size());
+  for (const ServerId s : b.signers) {
+    if (s.value >= all_server_keys.size()) return "signer out of range";
+    keys.push_back(all_server_keys[s.value]);
+  }
+  if (!crypto::cosi_verify(ledger::unchained_signing_bytes(b), *b.cosign, keys)) {
+    return "group co-sign does not verify";
+  }
+
+  for (const std::uint64_t dep : entry.depends_on) {
+    if (dep >= b.height) return "dependency on a later block";
+  }
+  // `depends_on` is sequencer metadata, covered by no signature. Recompute
+  // the dependencies from the block's own (co-signed) transactions and make
+  // sure every one of them is declared — a lying OrdServ must not be able to
+  // hide a cross-group dependency. std::find, not binary_search: a tampered
+  // entry's list need not be sorted.
+  for (const auto& t : b.txns) {
+    for (const ItemId item : t.rw.touched_items()) {
+      const auto it = last_touch.find(item);
+      if (it == last_touch.end()) continue;
+      if (std::find(entry.depends_on.begin(), entry.depends_on.end(),
+                    it->second) == entry.depends_on.end()) {
+        return "under-reported dependency on height " + std::to_string(it->second);
+      }
+    }
+  }
+
+  for (const auto& t : b.txns) {
+    for (const ItemId item : t.rw.touched_items()) last_touch[item] = b.height;
+  }
+  expected_prev = b.digest();
+  ++next_height;
+  return std::nullopt;
 }
-
-}  // namespace
 
 std::optional<std::size_t> validate_stream(
     std::span<const SequencedBlock> stream,
     std::span<const crypto::PublicKey> all_server_keys) {
-  crypto::Digest expected_prev = crypto::Digest::zero();
+  StreamValidator v;
   for (std::size_t i = 0; i < stream.size(); ++i) {
-    const SequencedBlock& entry = stream[i];
-    const ledger::Block& b = entry.block;
-
-    if (b.height != i) return i;
-    if (!(b.prev_hash == expected_prev)) return i;
-
-    if (!b.cosign || b.signers.empty()) return i;
-    std::vector<crypto::PublicKey> keys;
-    keys.reserve(b.signers.size());
-    for (const ServerId s : b.signers) {
-      if (s.value >= all_server_keys.size()) return i;
-      keys.push_back(all_server_keys[s.value]);
-    }
-    if (!crypto::cosi_verify(unchained_signing_bytes(b), *b.cosign, keys)) return i;
-
-    for (const std::uint64_t dep : entry.depends_on) {
-      if (dep >= b.height) return i;  // dependency order broken
-    }
-    expected_prev = b.digest();
+    if (v.check(stream[i], all_server_keys)) return i;
   }
   return std::nullopt;
 }
@@ -51,17 +70,25 @@ GroupRoundResult GroupCommitRunner::run_group_block(
     std::vector<commit::SignedEndTxn> batch) {
   GroupRoundResult result;
 
-  std::sort(batch.begin(), batch.end(),
-            [](const commit::SignedEndTxn& a, const commit::SignedEndTxn& b) {
-              return a.request.txn.commit_ts < b.request.txn.commit_ts;
-            });
-  std::vector<txn::Transaction> txns;
-  txns.reserve(batch.size());
-  for (const auto& s : batch) txns.push_back(s.request.txn);
+  if (batch.empty()) {
+    // No transactions → no group. Without this refusal a fabricated
+    // single-server group would co-sign an empty "committed" block.
+    result.fault = "empty batch refused at submission";
+    return result;
+  }
+
+  // Same canonical order as the engine drivers: block bytes (and hence CoSi
+  // nonces and the sequenced stream) stay bit-identical across drivers.
+  commit::order_batch(batch);
+  std::vector<txn::Transaction> txns = commit::batch_txns(batch);
 
   const ServerGroup group = group_for(txns, cluster_->num_servers());
   result.group = group;
   result.group_size = group.members.size();
+  if (group.members.empty()) {
+    result.fault = "batch touches no shard";
+    return result;
+  }
 
   // TFCommit among the group members only.
   std::vector<crypto::PublicKey> group_keys;
@@ -75,8 +102,9 @@ GroupRoundResult GroupCommitRunner::run_group_block(
       /*height=*/0, crypto::Digest::zero(), std::move(txns), group.members);
   commit::GetVoteMsg get_vote = coordinator.start(std::move(partial), std::move(batch));
   // OrdServ hands out the epoch: a unique CoSi nonce domain per round, even
-  // when multiple group coordinators terminate batches concurrently.
-  get_vote.round = sequencer_->epochs().reserve();
+  // when multiple group coordinators terminate batches concurrently. The
+  // group-domain tag keeps it disjoint from the cluster engine's epochs.
+  get_vote.round = group_epoch(sequencer_->epochs().reserve());
 
   std::vector<commit::VoteMsg> votes;
   votes.reserve(group.members.size());
@@ -89,6 +117,16 @@ GroupRoundResult GroupCommitRunner::run_group_block(
   Server& coord_server = cluster_->server(group.coordinator);
   const std::vector<commit::ChallengeMsg> challenges =
       coordinator.on_votes(votes, coord_server.faults().coordinator);
+  if (challenges.size() != 1 && challenges.size() != group.members.size()) {
+    // A broadcast is one message; a per-cohort fan-out is |group| messages.
+    // Anything else is a malformed coordinator — refuse the round instead of
+    // indexing into the vector by cohort slot (which read out of bounds
+    // before this guard existed).
+    result.fault = "coordinator challenge fan-out mismatch (" +
+                   std::to_string(challenges.size()) + " messages for " +
+                   std::to_string(group.members.size()) + " cohorts)";
+    return result;
+  }
 
   std::vector<commit::ResponseMsg> responses;
   responses.reserve(group.members.size());
@@ -102,9 +140,12 @@ GroupRoundResult GroupCommitRunner::run_group_block(
   const commit::TfCommitOutcome outcome = coordinator.on_responses(responses);
   result.decision = outcome.decision;
   result.cosign_valid = outcome.cosign_valid;
+  result.refusals = outcome.refusals;
+  result.faulty_cosigners = outcome.faulty_cosigners;
   if (!outcome.cosign_valid) {
     // An unsignable block never reaches OrdServ; the group retries or aborts
     // out-of-band (and the refusals identify the culprit).
+    result.fault = "co-sign did not verify";
     return result;
   }
 
@@ -117,6 +158,15 @@ void GroupCommitRunner::deliver_all() {
   for (std::uint32_t s = 0; s < cluster_->num_servers(); ++s) {
     Server& server = cluster_->server(ServerId{s});
     for (const SequencedBlock* entry : sequencer_->fetch_new(ServerId{s})) {
+      if (refusals_[s]) continue;  // chain already broken at this server
+      // Nothing touches the shard before the entry validates: inner co-sign
+      // over the unchained bytes, outer hash chain, dependency completeness.
+      const auto bad =
+          validators_[s].check(*entry, cluster_->server_keys());
+      if (bad) {
+        refusals_[s] = DeliveryRefusal{entry->block.height, *bad};
+        continue;
+      }
       delivered_[s].push_back(*entry);
       if (entry->block.committed()) {
         for (const auto& t : entry->block.txns) {

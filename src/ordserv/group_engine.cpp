@@ -1,0 +1,1211 @@
+#include "ordserv/group_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "commit/batch.hpp"
+#include "engine/dispatch_util.hpp"
+
+namespace fides::ordserv {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double since_us(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+NodeId server_node(std::uint32_t i) { return NodeId::server(ServerId{i}); }
+
+/// Wire type of a group vote. Like the global pipeline's tf_vote~base tags:
+/// speculative re-votes are distinct logical messages, so the base key lands
+/// in the type tag and the at-most-once filter admits one copy of each
+/// variant instead of swallowing the corrected vote as a duplicate.
+std::string gtf_vote_type(std::uint64_t base) {
+  if (base == 0) return "gtf_vote";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "gtf_vote~%016llx",
+                static_cast<unsigned long long>(base));
+  return buf;
+}
+
+bool is_gtf_vote_type(const std::string& type) {
+  return type == "gtf_vote" || type.compare(0, 9, "gtf_vote~") == 0;
+}
+
+/// Wire codec for a sequenced OrdServ entry (SequencedBlock carries no serde
+/// of its own — it never crossed a wire before the group engine).
+Bytes encode_entry(const SequencedBlock& e) {
+  Writer w;
+  w.bytes(e.block.serialize());
+  w.u32(static_cast<std::uint32_t>(e.group.members.size()));
+  for (const ServerId s : e.group.members) w.u32(s.value);
+  w.u32(e.group.coordinator.value);
+  w.u32(static_cast<std::uint32_t>(e.depends_on.size()));
+  for (const std::uint64_t d : e.depends_on) w.u64(d);
+  return std::move(w).take();
+}
+
+std::optional<SequencedBlock> decode_entry(BytesView body) {
+  try {
+    Reader r(body);
+    const Bytes block_bytes = r.bytes();
+    const auto block = ledger::Block::deserialize(block_bytes);
+    if (!block.has_value()) return std::nullopt;
+    SequencedBlock e;
+    e.block = *block;
+    const std::uint32_t nm = r.u32();
+    e.group.members.reserve(nm);
+    for (std::uint32_t i = 0; i < nm; ++i) e.group.members.push_back(ServerId{r.u32()});
+    e.group.coordinator = ServerId{r.u32()};
+    const std::uint32_t nd = r.u32();
+    e.depends_on.reserve(nd);
+    for (std::uint32_t i = 0; i < nd; ++i) e.depends_on.push_back(r.u64());
+    r.expect_done();
+    return e;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+/// The engine: one Dispatcher owning every concurrent group round. Protocol
+/// state is per-round (like the pipeline's reactors); the cross-round state —
+/// per-server touch-order gates, the sequencing barrier, delivery validators
+/// — is what makes multi-coordinator dispatch compose with pipelining and
+/// speculation without a global coordinator.
+///
+/// A recursive mutex serializes all handlers: group throughput comes from
+/// virtual-time overlap of disjoint groups (what bench_group_scaling gates),
+/// not from parallel handler execution, and the recursion guard lets gate
+/// flushes deliver held openings inline from within a handler.
+class GroupEngine final : public engine::Dispatcher {
+ public:
+  GroupEngine(Cluster& cluster, Sequencer& seq,
+              std::vector<std::vector<commit::SignedEndTxn>> batches,
+              engine::Scheduler& sched)
+      : cluster_(&cluster),
+        transport_(&cluster.transport()),
+        seq_(&seq),
+        sched_(&sched),
+        n_(cluster.num_servers()),
+        depth_(std::min<std::size_t>(
+            std::max<std::size_t>(1, cluster.config().pipeline_depth), 8)),
+        speculate_(cluster.config().speculate),
+        touch_rounds_(n_),
+        gate_upto_(n_, 0),
+        started_upto_(n_, 0),
+        unresolved_(n_, 0),
+        decided_upto_(n_, 0),
+        shard_roots_(n_),
+        held_(n_),
+        pending_entries_(n_),
+        validators_(n_),
+        refusals_(n_) {
+    rounds_.reserve(batches.size());
+    for (auto& batch : batches) {
+      Round r;
+      r.batch = std::move(batch);
+      if (r.batch.empty()) {
+        // No transactions → no group. Without this refusal a fabricated
+        // single-server group would co-sign an empty "committed" block.
+        r.terminal = true;
+        r.fault = "empty batch refused at submission";
+      } else {
+        auto ordered = r.batch;
+        commit::order_batch(ordered);
+        r.group = group_for(commit::batch_txns(ordered), n_);
+        if (r.group.members.empty()) {
+          r.terminal = true;
+          r.fault = "batch touches no shard";
+        }
+      }
+      const std::size_t k = rounds_.size();
+      if (r.terminal) {
+        // Refused at admission: no epoch, no traffic, complete immediately.
+        r.decided = true;
+        r.completed = true;
+        ++completed_;
+      } else {
+        // OrdServ hands out the epoch — a unique CoSi nonce domain per round
+        // even when many group coordinators run concurrently; reserved for
+        // every admissible round up front, in round order, so the epoch
+        // sequence (and hence every signed byte) is schedule-independent.
+        r.epoch = group_epoch(seq_->epochs().reserve());
+        r.coord_node = server_node(r.group.coordinator.value);
+        const std::size_t members = r.group.members.size();
+        r.group_keys.reserve(members);
+        for (const ServerId m : r.group.members) {
+          r.group_keys.push_back(cluster_->server_keys()[m.value]);
+        }
+        r.votes.resize(members);
+        r.vote_in.assign(members, 0);
+        r.buffered_votes.resize(members);
+        r.responses.resize(members);
+        r.resp_in.assign(members, 0);
+        r.done_at.assign(n_, 0);
+        r.opened_at.assign(n_, 0);
+        r.target = n_;  // every server processes the sequenced entry
+        for (std::size_t i = 0; i < members; ++i) {
+          const std::uint32_t m = r.group.members[i].value;
+          r.member_slot[m] = i;
+          r.touch_pos[m] = touch_rounds_[m].size();
+          touch_rounds_[m].push_back(k);
+        }
+        epoch_to_round_[r.epoch] = k;
+      }
+      rounds_.push_back(std::move(r));
+    }
+    // Seed delivery validators from the servers' existing logs, so several
+    // engine runs can extend one cluster+sequencer stream (server logs are
+    // prefixes of the sequenced stream under engine delivery).
+    for (std::uint32_t s = 0; s < n_; ++s) reset_validator(s);
+  }
+
+  void begin() {
+    start_wall_ = Clock::now();
+    sched_->set_completion([this] {
+      std::lock_guard<std::recursive_mutex> lock(mutex_);
+      return completed_ == rounds_.size();
+    });
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    launch_ready(sched_->outbox());
+  }
+
+  GroupRunResult collect() {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    GroupRunResult result;
+    result.rounds.reserve(rounds_.size());
+    for (std::size_t k = 0; k < rounds_.size(); ++k) {
+      const Round& r = rounds_[k];
+      if (!r.completed) {
+        if (std::getenv("FIDES_GROUP_DEBUG")) {
+          for (std::uint32_t s = 0; s < n_; ++s) {
+            std::string touches;
+            for (const std::size_t t : touch_rounds_[s]) {
+              touches += std::to_string(t) + ",";
+            }
+            std::fprintf(stderr,
+                         "[grp] S%u gate=%zu started=%zu unresolved=%zu held=%zu "
+                         "pend=%zu decided_upto=%zu touch=[%s] crashed=%d\n",
+                         s, gate_upto_[s], started_upto_[s], unresolved_[s],
+                         held_[s].size(), pending_entries_[s].size(),
+                         decided_upto_[s], touches.c_str(),
+                         cluster_->is_crashed(ServerId{s}));
+          }
+          for (std::size_t j = 0; j < rounds_.size(); ++j) {
+            const Round& d = rounds_[j];
+            std::string members;
+            for (const ServerId m : d.group.members) {
+              members += std::to_string(m.value) + ",";
+            }
+            std::string slots;
+            for (std::size_t sl = 0; sl < d.group.members.size(); ++sl) {
+              slots += std::to_string(d.vote_in.size() > sl ? d.vote_in[sl] : 9);
+              slots += "/";
+              slots += std::to_string(d.buffered_votes.size() > sl
+                                          ? d.buffered_votes[sl].size()
+                                          : 9);
+              slots += ",";
+            }
+            std::fprintf(stderr,
+                         "[grp] round %zu grp={%s} started=%d votes=%zu "
+                         "slots(in/buf)=[%s] chal=%zu resps=%zu outcome=%d "
+                         "decided=%d refused=%d seq=%d done=%zu/%zu\n",
+                         j, members.c_str(), d.started, d.votes_seen, slots.c_str(),
+                         d.challenges.size(), d.resps_seen, d.outcome.has_value(),
+                         d.decided, d.refused, d.sequenced, d.done_count, d.target);
+          }
+        }
+        throw std::logic_error(
+            "group commit stalled: round " + std::to_string(k) + " saw " +
+            std::to_string(r.done_count) + "/" + std::to_string(r.target) +
+            " completions" + (r.fault.empty() ? "" : " (" + r.fault + ")"));
+      }
+      GroupRoundResult rr;
+      rr.group = r.group;
+      rr.group_size = r.group.members.size();
+      rr.fault = r.fault;
+      if (r.outcome.has_value()) {
+        rr.decision = r.outcome->decision;
+        rr.cosign_valid = r.outcome->cosign_valid;
+        rr.refusals = r.outcome->refusals;
+        rr.faulty_cosigners = r.outcome->faulty_cosigners;
+      }
+      if (r.entry.has_value()) rr.global_height = r.entry->block.height;
+      result.rounds.push_back(std::move(rr));
+    }
+    result.delivery_refusals = refusals_;
+    result.wall_us = since_us(start_wall_);
+    result.spec_revotes = spec_revotes_;
+    return result;
+  }
+
+  // --- Dispatcher --------------------------------------------------------------
+
+  void dispatch(NodeId src, NodeId dst, const Envelope& env, engine::Outbox& out) override {
+    dispatch_impl(src, dst, env, out, /*replay=*/false, std::nullopt);
+  }
+
+  void dispatch_replay(NodeId src, NodeId dst, const Envelope& env,
+                       engine::Outbox& out) override {
+    dispatch_impl(src, dst, env, out, /*replay=*/true, std::nullopt);
+  }
+
+  void dispatch_batch(std::span<const Delivery> batch, NodeId dst,
+                      engine::Outbox& out) override {
+    // Mirror of the pipeline's inbox seam: a drained run of votes/responses
+    // for one destination is signature-checked as one RLC aggregate; the
+    // verdicts thread into per-item dispatch so semantics stay exact.
+    const bool dst_crashed =
+        dst.kind == NodeId::Kind::kServer && cluster_->is_crashed(ServerId{dst.id});
+    const bool batched = transport_->batch_verify() && transport_->crypto_enabled() &&
+                         !dst_crashed && batch.size() >= 2;
+    if (!batched) {
+      for (const auto& d : batch) dispatch(d.src, dst, *d.env, out);
+      return;
+    }
+    constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> slot_of(batch.size(), kNoSlot);
+    std::vector<const Envelope*> envs;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::string& type = batch[i].env->type;
+      if (type == "gtf_response" || is_gtf_vote_type(type)) {
+        slot_of[i] = envs.size();
+        envs.push_back(batch[i].env);
+      }
+    }
+    if (envs.size() < 2) {
+      for (const auto& d : batch) dispatch(d.src, dst, *d.env, out);
+      return;
+    }
+    const std::vector<unsigned char> verdicts =
+        transport_->open_batch(envs, &cluster_->pool());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::optional<bool> verdict =
+          slot_of[i] == kNoSlot ? std::nullopt
+                                : std::optional<bool>(verdicts[slot_of[i]] != 0);
+      dispatch_impl(batch[i].src, dst, *batch[i].env, out, /*replay=*/false, verdict);
+    }
+  }
+
+  void on_control(const engine::ControlEvent& ev, engine::Outbox& out) override {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    switch (ev.kind) {
+      case engine::ControlEvent::Kind::kCrash:
+        handle_crash(ev.node);
+        break;
+      case engine::ControlEvent::Kind::kRecover:
+        handle_recover(ev.node, out);
+        break;
+      case engine::ControlEvent::Kind::kCoordinatorTimeout:
+      case engine::ControlEvent::Kind::kTimer:
+      case engine::ControlEvent::Kind::kPeerApplied:
+        // Group rounds have no cooperative-termination story yet (a crashed
+        // group coordinator restarts from its durable log instead), no
+        // timers, and no cross-process distribution.
+        break;
+    }
+  }
+
+ private:
+  struct Round {
+    // Immutable after construction.
+    std::vector<commit::SignedEndTxn> batch;  ///< pristine (unordered) batch
+    ServerGroup group;
+    std::vector<crypto::PublicKey> group_keys;
+    std::uint64_t epoch{0};
+    NodeId coord_node;
+    bool terminal{false};  ///< refused at admission; no protocol traffic
+    std::unordered_map<std::uint32_t, std::size_t> touch_pos;    ///< server → index in touch_rounds_
+    std::unordered_map<std::uint32_t, std::size_t> member_slot;  ///< server → cohort slot
+
+    // Coordinator-side volatile round state (rebuilt on restart).
+    std::unique_ptr<commit::TfCommitCoordinator> coordinator;
+    bool started{false};
+    bool opening_cached{false};
+    Envelope opening_env;
+    std::vector<commit::VoteMsg> votes;
+    std::vector<unsigned char> vote_in;
+    /// Speculation: votes parked per (slot, base key) until the base resolves.
+    std::vector<std::map<std::uint64_t, commit::VoteMsg>> buffered_votes;
+    std::size_t votes_seen{0};
+    std::vector<commit::ChallengeMsg> challenges;
+    std::vector<Envelope> challenge_envs;
+    std::vector<commit::ResponseMsg> responses;
+    std::vector<unsigned char> resp_in;
+    std::size_t resps_seen{0};
+    std::optional<commit::TfCommitOutcome> outcome;
+
+    // Sequencing / refusal.
+    bool decided{false};  ///< outcome or refusal known
+    bool refused{false};  ///< never reaches OrdServ; members told via gtf_refuse
+    std::string fault;
+    bool sequenced{false};
+    std::optional<SequencedBlock> entry;
+    Envelope entry_env;
+    Envelope refuse_env;
+    bool refuse_env_cached{false};
+
+    // Completion.
+    std::vector<unsigned char> done_at;    ///< per server: entry/refusal processed
+    std::vector<unsigned char> opened_at;  ///< per server: opening processed (spec gate)
+    std::size_t done_count{0};
+    std::size_t target{0};
+    bool completed{false};
+  };
+
+  struct Held {
+    NodeId src;
+    NodeId dst;
+    Envelope env;
+  };
+
+  // --- Gates -------------------------------------------------------------------
+
+  /// Whether touch position `pos` at server `s` is admissible for opening
+  /// processing: every earlier round touching s has passed (lock-step: its
+  /// decision processed; speculating: its opening processed).
+  void advance_gate(std::uint32_t s) {
+    const auto& tr = touch_rounds_[s];
+    while (gate_upto_[s] < tr.size()) {
+      const Round& r = rounds_[tr[gate_upto_[s]]];
+      const bool passed = r.done_at[s] != 0 || (speculate_ && r.opened_at[s] != 0);
+      if (!passed) break;
+      ++gate_upto_[s];
+    }
+  }
+
+  void flush_held(std::uint32_t s, engine::Outbox& out) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto it = held_[s].begin(); it != held_[s].end(); ++it) {
+        const auto ep = engine::peek_epoch(it->env.payload);
+        const auto rit = ep.has_value() ? epoch_to_round_.find(*ep)
+                                        : epoch_to_round_.end();
+        if (rit == epoch_to_round_.end()) {
+          held_[s].erase(it);
+          progress = true;
+          break;
+        }
+        const std::size_t k = rit->second;
+        Round& r = rounds_[k];
+        if (r.done_at[s] != 0) {  // round resolved while the opening waited
+          held_[s].erase(it);
+          progress = true;
+          break;
+        }
+        const auto tp = r.touch_pos.find(s);
+        if (tp == r.touch_pos.end() || tp->second <= gate_upto_[s]) {
+          Held h = std::move(*it);
+          held_[s].erase(it);
+          deliver(k, h.src, h.dst, h.env, out, std::nullopt);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // --- Admission ---------------------------------------------------------------
+
+  /// Starts every unstarted round whose members all have open pipeline
+  /// windows. Unlike the global pipeline this scans *all* unstarted rounds,
+  /// not just the next one — a depth-limited group must not stall a disjoint
+  /// group behind it; that independence is the point of §4.6. On shared
+  /// members, though, admission is strictly touch-ordered (started_upto_):
+  /// letting a later round claim a member's window slot before an earlier
+  /// toucher launched would deadlock the window against the opening gate.
+  void launch_ready(engine::Outbox& /*out*/) {
+    for (std::size_t k = 0; k < rounds_.size(); ++k) {
+      Round& r = rounds_[k];
+      if (r.terminal || r.started || r.decided) continue;
+      if (cluster_->is_crashed(r.group.coordinator)) continue;  // starts at recovery
+      bool window = true;
+      for (const ServerId m : r.group.members) {
+        const auto tp = r.touch_pos.find(m.value);
+        if (unresolved_[m.value] >= depth_ ||
+            (tp != r.touch_pos.end() && tp->second > started_upto_[m.value])) {
+          window = false;
+          break;
+        }
+      }
+      if (!window) continue;
+      r.started = true;
+      for (const ServerId m : r.group.members) {
+        ++unresolved_[m.value];
+        advance_started(m.value);
+      }
+      sched_->post(r.coord_node, [this, k] {
+        std::lock_guard<std::recursive_mutex> lock(mutex_);
+        begin_round(k, sched_->outbox());
+      });
+    }
+  }
+
+  void advance_started(std::uint32_t s) {
+    const auto& tr = touch_rounds_[s];
+    while (started_upto_[s] < tr.size() &&
+           (rounds_[tr[started_upto_[s]]].started || rounds_[tr[started_upto_[s]]].terminal)) {
+      ++started_upto_[s];
+    }
+  }
+
+  /// Phase 1 on the group coordinator's context: assemble and broadcast the
+  /// opening. Group partials carry height 0 / zero prev-hash — their chain
+  /// position is OrdServ's to assign — so unlike the global pipeline there
+  /// is no log-head dependence and the opening bytes are batch-determined.
+  /// The sealed opening is cached: a restart re-broadcasts the identical
+  /// envelope, keeping every replayed byte stable.
+  void begin_round(std::size_t k, engine::Outbox& out) {
+    Round& r = rounds_[k];
+    if (r.decided || r.outcome.has_value()) return;
+    if (cluster_->is_crashed(r.group.coordinator)) return;
+    Server& coord = cluster_->server(r.group.coordinator);
+
+    auto batch = r.batch;  // pristine copy: deterministic re-runs
+    commit::order_batch(batch);
+    std::vector<txn::Transaction> txns = commit::batch_txns(batch);
+    r.coordinator =
+        std::make_unique<commit::TfCommitCoordinator>(r.group.members, r.group_keys);
+    commit::Block partial = commit::TfCommitCoordinator::make_partial_block(
+        /*height=*/0, crypto::Digest::zero(), std::move(txns), r.group.members);
+    commit::GetVoteMsg get_vote = r.coordinator->start(std::move(partial), std::move(batch));
+    get_vote.round = r.epoch;
+    get_vote.spec = speculate_;
+    if (!r.opening_cached) {
+      r.opening_env = transport_->seal(coord.keypair(), r.coord_node, "gtf_get_vote",
+                                       engine::frame_payload(r.epoch, get_vote.serialize()));
+      r.opening_cached = true;
+    }
+    for (std::size_t i = 0; i < r.group.members.size(); ++i) {
+      if (i > 0) transport_->count_copy(r.opening_env);
+      out.send(r.coord_node, server_node(r.group.members[i].value), r.opening_env);
+    }
+  }
+
+  // --- Dispatch ----------------------------------------------------------------
+
+  void dispatch_impl(NodeId src, NodeId dst, const Envelope& env, engine::Outbox& out,
+                     bool replay, std::optional<bool> verdict) {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    const auto ep = engine::peek_epoch(env.payload);
+    if (!ep.has_value()) return;
+    const auto rit = epoch_to_round_.find(*ep);
+    if (rit == epoch_to_round_.end()) return;
+    const std::size_t k = rit->second;
+    Round& r = rounds_[k];
+    if (!replay && !dedup_.first(src, dst, env.type, *ep)) return;
+    if (env.type == "gtf_get_vote" && dst.kind == NodeId::Kind::kServer) {
+      const std::uint32_t s = dst.id;
+      const auto tp = r.touch_pos.find(s);
+      if (tp != r.touch_pos.end()) {
+        if (r.done_at[s] != 0) return;  // stale: round already resolved here
+        if (tp->second > gate_upto_[s]) {
+          held_[s].push_back(Held{src, dst, env});
+          return;
+        }
+      }
+    }
+    deliver(k, src, dst, env, out, verdict);
+  }
+
+  void deliver(std::size_t k, NodeId src, NodeId dst, const Envelope& env,
+               engine::Outbox& out, std::optional<bool> verdict) {
+    if (dst.kind == NodeId::Kind::kServer && cluster_->is_crashed(ServerId{dst.id})) {
+      return;
+    }
+    const bool authentic = verdict.has_value() ? *verdict : transport_->open(env, env.type);
+    try {
+      const BytesView body = engine::unframe_payload(env.payload);
+      if (env.type == "gtf_get_vote") {
+        handle_opening(k, dst, body, authentic, out);
+      } else if (is_gtf_vote_type(env.type)) {
+        handle_vote(k, src, dst, body, authentic, out);
+      } else if (env.type == "gtf_challenge") {
+        handle_challenge(k, dst, body, authentic, out);
+      } else if (env.type == "gtf_response") {
+        handle_response(k, src, dst, body, authentic, out);
+      } else if (env.type == "gtf_seq") {
+        handle_entry(k, dst, body, authentic, out);
+      } else if (env.type == "gtf_refuse") {
+        handle_refuse(k, dst, authentic, out);
+      }
+    } catch (const DecodeError&) {
+      return;  // malformed frame from an untrusted boundary: drop
+    }
+    if (engine::poll_transition_crash(*cluster_, *sched_, dst, env.type)) {
+      handle_crash(dst);
+    }
+  }
+
+  // --- Handlers ----------------------------------------------------------------
+
+  /// Phase 2 at member dst: vote, durable-log-first.
+  void handle_opening(std::size_t k, NodeId dst, BytesView body, bool authentic,
+                      engine::Outbox& out) {
+    Round& r = rounds_[k];
+    const std::uint32_t s = dst.id;
+    if (!r.member_slot.count(s)) return;
+    Server& server = cluster_->server(ServerId{s});
+    commit::VoteMsg empty_vote;
+    Bytes vote_bytes = empty_vote.serialize();
+    std::uint64_t base = 0;
+    if (authentic) {
+      if (const auto msg = commit::GetVoteMsg::deserialize(body)) {
+        if (!server.tf_cohort().has_pending(msg->round, msg->partial_block)) {
+          // First sight — or a rebuild after a crash wiped the volatile
+          // round state. Recomputation is deterministic against the restored
+          // durable state, and vote_once is idempotent per (epoch, base):
+          // replaying yields the logged bytes, so no base ever equivocates.
+          // Keying on the *recomputed* base matters after a crash: the
+          // latest pre-crash vote may stack on speculative assumptions that
+          // have since been decided differently — re-sending it would leave
+          // the coordinator waiting forever for a corrected re-vote the
+          // wiped pending stack can no longer produce.
+          commit::CohortFaults faults = server.faults().cohort;
+          if (!verify_touching_requests(*transport_, server, msg->requests)) {
+            faults.always_vote_abort = true;  // refuse forged requests
+          }
+          commit::VoteMsg vote = server.tf_cohort().handle_get_vote(*msg, faults);
+          server.add_mht_time_us(server.tf_cohort().last_root_compute_us());
+          base = vote.base_key();
+          vote_bytes = server.vote_once(r.epoch, base, "gtf_vote", vote.serialize());
+        } else if (const Bytes* logged = server.logged_vote(r.epoch)) {
+          // Duplicate opening for a live round: re-send the latest logged
+          // vote verbatim.
+          vote_bytes = *logged;
+          if (const auto prev = commit::VoteMsg::deserialize(*logged)) {
+            base = prev->base_key();
+          }
+        }
+      }
+    }
+    if (speculate_ && r.opened_at[s] == 0) {
+      r.opened_at[s] = 1;
+      advance_gate(s);
+    }
+    Envelope vote_env =
+        transport_->seal(server.keypair(), server_node(s), gtf_vote_type(base),
+                         engine::frame_payload(r.epoch, vote_bytes));
+    out.send(server_node(s), r.coord_node, std::move(vote_env));
+    flush_held(s, out);  // a speculative gate may have advanced
+  }
+
+  /// Phase 3 at the round's coordinator: collect votes in slot order.
+  void handle_vote(std::size_t k, NodeId src, NodeId dst, BytesView body, bool authentic,
+                   engine::Outbox& out) {
+    Round& r = rounds_[k];
+    if (dst != r.coord_node) return;
+    const auto sit = r.member_slot.find(src.id);
+    if (sit == r.member_slot.end()) return;
+    const std::size_t slot = sit->second;
+    if (r.vote_in[slot] || r.outcome.has_value() || r.refused) return;
+    // An unauthenticated or malformed vote is never ingested; the slot is
+    // conservatively filled with an involved abort so the round terminates
+    // with a deny.
+    commit::VoteMsg vote;
+    vote.cohort = ServerId{src.id};
+    vote.involved = true;
+    vote.abort_reason = "vote envelope failed authentication";
+    if (authentic) {
+      if (const auto msg = commit::VoteMsg::deserialize(body)) vote = *msg;
+    }
+    if (!speculate_) {
+      r.votes[slot] = std::move(vote);
+      r.vote_in[slot] = 1;
+      ++r.votes_seen;
+      maybe_fire(k, out);
+    } else {
+      r.buffered_votes[slot][vote.base_key()] = std::move(vote);
+      try_accept(k, out);
+    }
+  }
+
+  /// Speculation: whether this vote's base assumptions match the decided
+  /// truth. Engine-side analogue of the pipeline's SpecContext checks — the
+  /// assumptions reference group epochs, resolved against engine rounds, and
+  /// the base-root identity is pinned against the decided per-shard roots.
+  bool spec_vote_valid(const commit::VoteMsg& vote) const {
+    for (const commit::SpecAssumption& a : vote.spec_assumed) {
+      const auto rit = epoch_to_round_.find(a.epoch);
+      if (rit == epoch_to_round_.end()) return false;
+      const Round& ar = rounds_[rit->second];
+      if (!ar.decided) return false;
+      const bool applied = ar.outcome.has_value() && ar.outcome->cosign_valid &&
+                           ar.outcome->block.committed();
+      if (applied != a.applied) return false;
+    }
+    if (vote.spec_base_root.has_value() && vote.cohort.value < n_) {
+      const auto& root = shard_roots_[vote.cohort.value];
+      if (root.has_value() && !(*root == *vote.spec_base_root)) return false;
+    }
+    return true;
+  }
+
+  bool base_resolved(const Round& r) const {
+    for (const auto& [s, pos] : r.touch_pos) {
+      if (decided_upto_[s] < pos) return false;
+    }
+    return true;
+  }
+
+  void try_accept(std::size_t k, engine::Outbox& out) {
+    Round& r = rounds_[k];
+    if (!speculate_ || r.outcome.has_value() || r.refused || !r.challenges.empty()) return;
+    if (!r.started || !base_resolved(r)) return;
+    for (std::size_t slot = 0; slot < r.group.members.size(); ++slot) {
+      auto& candidates = r.buffered_votes[slot];
+      if (r.vote_in[slot]) {
+        candidates.clear();
+        continue;
+      }
+      for (auto it = candidates.begin(); it != candidates.end();) {
+        if (spec_vote_valid(it->second)) {
+          r.votes[slot] = std::move(it->second);
+          r.vote_in[slot] = 1;
+          ++r.votes_seen;
+          candidates.clear();
+          break;
+        }
+        // Mis-speculated base: discard; the member's decision handler has
+        // produced (or will produce) the corrected re-vote.
+        ++spec_revotes_;
+        it = candidates.erase(it);
+      }
+    }
+    maybe_fire(k, out);
+  }
+
+  /// Phase 3 fires once the last member vote is in. Group blocks need no
+  /// rebase: their signed chain position is 0 by construction.
+  void maybe_fire(std::size_t k, engine::Outbox& out) {
+    Round& r = rounds_[k];
+    if (r.votes_seen != r.group.members.size() || !r.challenges.empty()) return;
+    if (r.outcome.has_value() || r.refused) return;
+    // A speculative accept (mark_decided -> try_accept) can complete the vote
+    // set while the coordinator is down; its Server object no longer exists.
+    // Recovery restarts the round, so simply refuse to fire phase 3 here.
+    if (cluster_->is_crashed(r.group.coordinator)) return;
+    Server& coord = cluster_->server(r.group.coordinator);
+    r.challenges = r.coordinator->on_votes(r.votes, coord.faults().coordinator);
+    if (r.challenges.size() != 1 && r.challenges.size() != r.group.members.size()) {
+      // A broadcast is one message; a per-cohort fan-out is |group| messages.
+      // Anything else is a malformed coordinator — refuse the round instead
+      // of indexing into the vector by cohort slot.
+      refuse_round(k, "coordinator challenge fan-out mismatch (" +
+                          std::to_string(r.challenges.size()) + " messages for " +
+                          std::to_string(r.group.members.size()) + " cohorts)",
+                   out);
+      advance_sequencing(out);
+      return;
+    }
+    r.challenge_envs.clear();
+    r.challenge_envs.reserve(r.challenges.size());
+    for (const auto& ch : r.challenges) {
+      r.challenge_envs.push_back(
+          transport_->seal(coord.keypair(), r.coord_node, "gtf_challenge",
+                           engine::frame_payload(r.epoch, ch.serialize())));
+    }
+    for (std::size_t i = 0; i < r.group.members.size(); ++i) {
+      const std::size_t slot = r.challenges.size() == 1 ? 0 : i;
+      if (r.challenges.size() == 1 && i > 0) transport_->count_copy(r.challenge_envs[0]);
+      out.send(r.coord_node, server_node(r.group.members[i].value),
+               r.challenge_envs[slot]);
+    }
+  }
+
+  /// Phase 4 at member dst: verify the completed block and respond once.
+  void handle_challenge(std::size_t k, NodeId dst, BytesView body, bool authentic,
+                        engine::Outbox& out) {
+    Round& r = rounds_[k];
+    const std::uint32_t s = dst.id;
+    if (!r.member_slot.count(s)) return;
+    Server& server = cluster_->server(ServerId{s});
+    commit::ResponseMsg resp;
+    resp.cohort = server.id();
+    if (authentic) {
+      if (const auto msg = commit::ChallengeMsg::deserialize(body)) {
+        if (server.tf_cohort().partial_of(r.epoch) == nullptr &&
+            server.logged_vote(r.epoch) != nullptr) {
+          // Recovering cohort: a stray duplicate challenge outran the
+          // replayed opening that rebuilds its round state. Stay silent —
+          // the replay stream re-sends the challenge in causal order.
+          return;
+        }
+        resp = server.tf_cohort().handle_challenge(r.epoch, *msg, server.faults().cohort);
+        if (!resp.refused) {
+          // Durable respond-once: the deterministic CoSi nonce must never
+          // sign two distinct challenges, even across a crash.
+          const auto cb = msg->challenge.to_bytes_be();
+          if (!server.respond_once(r.epoch, Bytes(cb.begin(), cb.end()))) {
+            resp = commit::ResponseMsg{};
+            resp.cohort = server.id();
+            resp.refused = true;
+            resp.refusal_reason = "already responded to a different challenge this round";
+          }
+        }
+      } else {
+        resp.refused = true;
+        resp.refusal_reason = "malformed challenge payload";
+      }
+    } else {
+      resp.refused = true;
+      resp.refusal_reason = "challenge envelope failed authentication";
+    }
+    Envelope resp_env =
+        transport_->seal(server.keypair(), server_node(s), "gtf_response",
+                         engine::frame_payload(r.epoch, resp.serialize()));
+    out.send(server_node(s), r.coord_node, std::move(resp_env));
+  }
+
+  /// Phase 5 at the coordinator: aggregate the co-sign, decide, sequence.
+  void handle_response(std::size_t k, NodeId src, NodeId dst, BytesView body,
+                       bool authentic, engine::Outbox& out) {
+    Round& r = rounds_[k];
+    if (dst != r.coord_node) return;
+    const auto sit = r.member_slot.find(src.id);
+    if (sit == r.member_slot.end()) return;
+    const std::size_t slot = sit->second;
+    if (!r.resp_in[slot]) {
+      commit::ResponseMsg resp;
+      resp.cohort = ServerId{src.id};
+      resp.refused = true;
+      resp.refusal_reason = "response envelope failed authentication";
+      if (authentic) {
+        if (const auto msg = commit::ResponseMsg::deserialize(body)) resp = *msg;
+      }
+      r.responses[slot] = std::move(resp);
+      r.resp_in[slot] = 1;
+      ++r.resps_seen;
+    }
+    if (r.resps_seen == r.group.members.size() && !r.outcome.has_value() && !r.refused) {
+      r.outcome = r.coordinator->on_responses(r.responses);
+      mark_decided(k, out);
+      advance_sequencing(out);
+    }
+  }
+
+  // --- Sequencing --------------------------------------------------------------
+
+  void mark_decided(std::size_t k, engine::Outbox& out) {
+    Round& r = rounds_[k];
+    if (r.decided) return;
+    r.decided = true;
+    if (speculate_) {
+      for (const ServerId m : r.group.members) advance_decided(m.value);
+      for (std::size_t j = 0; j < rounds_.size(); ++j) try_accept(j, out);
+    }
+  }
+
+  void advance_decided(std::uint32_t s) {
+    const auto& tr = touch_rounds_[s];
+    while (decided_upto_[s] < tr.size()) {
+      const Round& q = rounds_[tr[decided_upto_[s]]];
+      if (!q.decided) break;
+      if (q.outcome.has_value() && q.outcome->cosign_valid && q.outcome->block.committed()) {
+        if (const crypto::Digest* root = q.outcome->block.root_of(ServerId{s})) {
+          shard_roots_[s] = *root;
+        }
+      }
+      ++decided_upto_[s];
+    }
+  }
+
+  /// Submits decided rounds to OrdServ strictly in round order — the barrier
+  /// that keeps the sequenced stream (heights, chain, dependency metadata)
+  /// schedule-independent even when later groups decide first.
+  void advance_sequencing(engine::Outbox& out) {
+    // Re-entrancy guard: refuse_round → mark_decided → try_accept can land
+    // back here while the loop below is mid-iteration; a nested walk would
+    // advance next_seq_ under the outer loop's ++ and skip a round.
+    if (advancing_) return;
+    advancing_ = true;
+    while (next_seq_ < rounds_.size()) {
+      Round& r = rounds_[next_seq_];
+      if (r.terminal || r.refused) {
+        ++next_seq_;
+        continue;
+      }
+      if (!r.outcome.has_value()) break;
+      if (!r.outcome->cosign_valid) {
+        // An unsignable block never reaches OrdServ; the members learn the
+        // round is over (and who to blame) via the refusal broadcast.
+        refuse_round(next_seq_, "co-sign did not verify", out);
+        ++next_seq_;
+        continue;
+      }
+      sequence_round(next_seq_, out);
+      ++next_seq_;
+    }
+    advancing_ = false;
+  }
+
+  void sequence_round(std::size_t k, engine::Outbox& out) {
+    Round& r = rounds_[k];
+    const std::uint64_t height = seq_->submit(r.outcome->block, r.group);
+    r.sequenced = true;
+    r.entry = seq_->stream()[height];
+    r.target = n_;
+    // The gtf_seq envelope is OrdServ speaking; modeled as trusted
+    // infrastructure, it borrows the lowest live server's keypair for
+    // transport authentication (the group coordinator may be down by now —
+    // the entry's *trust* comes from the inner co-sign, not this envelope).
+    const Server* signer = lowest_live_server();
+    if (signer == nullptr) {
+      throw std::logic_error("no live server to publish sequenced entry from");
+    }
+    r.entry_env = transport_->seal(signer->keypair(), server_node(signer->id().value),
+                                   "gtf_seq",
+                                   engine::frame_payload(r.epoch, encode_entry(*r.entry)));
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if (i > 0) transport_->count_copy(r.entry_env);
+      out.send(r.entry_env.sender, server_node(i), r.entry_env);
+    }
+  }
+
+  void refuse_round(std::size_t k, std::string fault, engine::Outbox& out) {
+    Round& r = rounds_[k];
+    if (r.refused || r.sequenced) return;
+    r.refused = true;
+    r.fault = std::move(fault);
+    r.target = r.group.members.size();  // only members processed the round
+    // Tell the members the round is over (their cohort state, and under
+    // speculation their pending stack, must resolve) with the completed
+    // block as evidence.
+    commit::DecisionMsg msg;
+    if (r.outcome.has_value()) {
+      msg.final_block = r.outcome->block;
+    } else if (r.coordinator != nullptr) {
+      msg.final_block = r.coordinator->block();
+    }
+    const Server* signer = cluster_->is_crashed(r.group.coordinator)
+                               ? lowest_live_server()
+                               : &cluster_->server(r.group.coordinator);
+    if (signer != nullptr) {
+      r.refuse_env = transport_->seal(signer->keypair(),
+                                      server_node(signer->id().value), "gtf_refuse",
+                                      engine::frame_payload(r.epoch, msg.serialize()));
+      r.refuse_env_cached = true;
+      for (std::size_t i = 0; i < r.group.members.size(); ++i) {
+        if (i > 0) transport_->count_copy(r.refuse_env);
+        out.send(r.refuse_env.sender, server_node(r.group.members[i].value),
+                 r.refuse_env);
+      }
+    }
+    mark_decided(k, out);
+    if (r.done_count >= r.target && !r.completed) {
+      r.completed = true;
+      ++completed_;
+    }
+  }
+
+  const Server* lowest_live_server() const {
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      if (!cluster_->is_crashed(ServerId{i})) return &cluster_->server(ServerId{i});
+    }
+    return nullptr;
+  }
+
+  // --- Delivery ----------------------------------------------------------------
+
+  /// A sequenced entry at server dst: buffered by height, drained in chain
+  /// order against the server's own log.
+  void handle_entry(std::size_t k, NodeId dst, BytesView body, bool authentic,
+                    engine::Outbox& out) {
+    if (!authentic || dst.kind != NodeId::Kind::kServer) return;
+    const std::uint32_t s = dst.id;
+    const auto entry = decode_entry(body);
+    if (!entry.has_value()) return;
+    Round& r = rounds_[k];
+    if (r.done_at[s] != 0) return;
+    pending_entries_[s].emplace(entry->block.height, PendingEntry{k, *entry});
+    drain_entries(s, out);
+  }
+
+  struct PendingEntry {
+    std::size_t round;
+    SequencedBlock entry;
+  };
+
+  void drain_entries(std::uint32_t s, engine::Outbox& out) {
+    Server& server = cluster_->server(ServerId{s});
+    auto& pending = pending_entries_[s];
+    while (!pending.empty()) {
+      auto it = refusals_[s].has_value() ? pending.begin()
+                                         : pending.find(server.log().size());
+      if (it == pending.end()) break;
+      PendingEntry pe = std::move(it->second);
+      pending.erase(it);
+      process_entry(pe.round, s, pe.entry, out);
+    }
+  }
+
+  void process_entry(std::size_t k, std::uint32_t s, const SequencedBlock& entry,
+                     engine::Outbox& out) {
+    Round& r = rounds_[k];
+    if (r.done_at[s] != 0) return;
+    Server& server = cluster_->server(ServerId{s});
+    bool applied_to_shard = false;
+    if (!refusals_[s].has_value()) {
+      // Nothing touches this server's log or shard before the entry
+      // validates: inner co-sign over the unchained bytes, outer hash chain,
+      // dependency completeness (recomputed, not trusted).
+      const auto bad = validators_[s].check(entry, cluster_->server_keys());
+      if (bad.has_value()) {
+        refusals_[s] = DeliveryRefusal{entry.block.height, *bad};
+      } else {
+        const Server::ApplyResult result =
+            server.apply_sequenced(entry.block, cluster_->server_keys());
+        if (result == Server::ApplyResult::kApplied) {
+          server.record_decision(r.epoch, "gtf_seq", entry.block);
+          applied_to_shard = entry.block.committed();
+        } else if (result == Server::ApplyResult::kRejected) {
+          refusals_[s] = DeliveryRefusal{entry.block.height,
+                                         "sequenced entry refused at apply"};
+        }
+        // kStale: already in the log (a duplicate raced the recovery
+        // replay); the round is done at this server either way.
+      }
+    }
+    resolve_member_decision(k, s, applied_to_shard, out);
+    mark_done(k, s, out);
+    sched_->notify_applied(s, r.epoch);
+  }
+
+  /// The round is over at member s: feed the truth to its cohort so the
+  /// speculation stack pops and contradicted later votes come back re-signed.
+  void resolve_member_decision(std::size_t k, std::uint32_t s, bool applied,
+                               engine::Outbox& out) {
+    Round& r = rounds_[k];
+    if (!speculate_ || !r.member_slot.count(s)) return;
+    Server& server = cluster_->server(ServerId{s});
+    auto revotes = server.tf_cohort().resolve_decision(r.epoch, applied);
+    for (auto& rv : revotes) {
+      const std::uint64_t base = rv.vote.base_key();
+      const Bytes vb = server.vote_once(rv.round, base, "gtf_vote", rv.vote.serialize());
+      const auto rit = epoch_to_round_.find(rv.round);
+      if (rit == epoch_to_round_.end()) continue;
+      Envelope env = transport_->seal(server.keypair(), server_node(s),
+                                      gtf_vote_type(base).c_str(),
+                                      engine::frame_payload(rv.round, vb));
+      out.send(server_node(s), rounds_[rit->second].coord_node, std::move(env));
+    }
+  }
+
+  /// A refusal broadcast at member s: no chain entry, but the round is over.
+  void handle_refuse(std::size_t k, NodeId dst, bool authentic, engine::Outbox& out) {
+    if (!authentic || dst.kind != NodeId::Kind::kServer) return;
+    Round& r = rounds_[k];
+    const std::uint32_t s = dst.id;
+    if (!r.member_slot.count(s) || r.done_at[s] != 0) return;
+    resolve_member_decision(k, s, /*applied=*/false, out);
+    mark_done(k, s, out);
+    sched_->notify_applied(s, r.epoch);
+  }
+
+  void mark_done(std::size_t k, std::uint32_t s, engine::Outbox& out,
+                 bool propagate = true) {
+    Round& r = rounds_[k];
+    if (r.done_at[s] != 0) return;
+    r.done_at[s] = 1;
+    ++r.done_count;
+    if (r.touch_pos.count(s) && r.started && unresolved_[s] > 0) --unresolved_[s];
+    if (r.done_count >= r.target && !r.completed) {
+      r.completed = true;
+      ++completed_;
+    }
+    advance_gate(s);
+    if (propagate) {
+      flush_held(s, out);
+      launch_ready(out);
+    }
+  }
+
+  // --- Crash / recovery --------------------------------------------------------
+
+  void handle_crash(NodeId node) {
+    engine::apply_crash(*cluster_, *sched_, node, /*arm_termination=*/false);
+    if (node.kind != NodeId::Kind::kServer || node.id >= n_) return;
+    held_[node.id].clear();
+    pending_entries_[node.id].clear();
+  }
+
+  void handle_recover(NodeId node, engine::Outbox& out) {
+    const std::uint32_t s = node.id;
+    if (node.kind != NodeId::Kind::kServer || s >= n_) return;
+    if (!cluster_->recover_server(ServerId{s})) {
+      // Tampered round log: the replacement refuses to restore. Stay dead.
+      sched_->crash_node(node);
+      return;
+    }
+    dedup_.forget_dst(node);
+    held_[s].clear();
+    pending_entries_[s].clear();
+    Server& server = cluster_->server(ServerId{s});
+
+    // The restored log is the truth: rebuild the delivery validator from it
+    // and reconcile which rounds this server already processed.
+    reset_validator(s);
+    const std::uint64_t applied = server.log().size();
+    for (std::size_t k = 0; k < rounds_.size(); ++k) {
+      Round& r = rounds_[k];
+      if (r.terminal) continue;
+      if (r.sequenced && r.entry->block.height < applied) {
+        mark_done(k, s, out, /*propagate=*/false);
+      }
+      if (r.done_at.size() > s && r.done_at[s] == 0) r.opened_at[s] = 0;
+    }
+    gate_upto_[s] = 0;
+    advance_gate(s);
+    std::size_t unresolved = 0;
+    for (const std::size_t k : touch_rounds_[s]) {
+      const Round& r = rounds_[k];
+      if (r.started && r.done_at[s] == 0) ++unresolved;
+    }
+    unresolved_[s] = unresolved;
+
+    // Catch-up replay, in causal order over the FIFO replay stream:
+    // sequenced entries this log is missing (height order), then refusals,
+    // then the in-flight rounds' openings and challenges. Replayed openings
+    // still pass the touch-order gates; re-sent votes are ordinary sends the
+    // receivers dedup.
+    std::vector<std::pair<std::uint64_t, std::size_t>> missing;
+    for (std::size_t k = 0; k < rounds_.size(); ++k) {
+      const Round& r = rounds_[k];
+      if (!r.terminal && r.sequenced && r.entry->block.height >= applied) {
+        missing.emplace_back(r.entry->block.height, k);
+      }
+    }
+    std::sort(missing.begin(), missing.end());
+    for (const auto& [height, k] : missing) {
+      out.send_replay(rounds_[k].entry_env.sender, node, rounds_[k].entry_env);
+    }
+    for (std::size_t k = 0; k < rounds_.size(); ++k) {
+      const Round& r = rounds_[k];
+      if (r.refused && r.refuse_env_cached && r.member_slot.count(s) &&
+          r.done_at[s] == 0) {
+        out.send_replay(r.refuse_env.sender, node, r.refuse_env);
+      }
+    }
+    for (std::size_t k = 0; k < rounds_.size(); ++k) {
+      Round& r = rounds_[k];
+      if (r.terminal || !r.started || r.refused) continue;
+      if (!r.decided && r.group.coordinator.value == s) {
+        // The recovered node coordinates this round: forget its epoch in the
+        // at-most-once filter (the re-broadcast opening must reach every
+        // member again) and restart it deterministically — the same batch,
+        // recorded votes, and nonces reproduce the identical block.
+        dedup_.forget_epoch(r.epoch);
+        restart_round(k, out);
+        continue;
+      }
+      if (r.member_slot.count(s) && r.done_at[s] == 0) {
+        // Replay the opening even for already-decided rounds: the member's
+        // wiped cohort state (pending stack, round partials) is rebuilt in
+        // touch order, which the gates on the later rounds' openings — and
+        // the challenge straggler guard — rely on.
+        out.send_replay(r.coord_node, node, r.opening_env);
+        const std::size_t slot = r.member_slot.at(s);
+        if (!r.challenge_envs.empty() && !r.resp_in[slot]) {
+          const std::size_t ci = r.challenge_envs.size() == 1 ? 0 : slot;
+          out.send_replay(r.coord_node, node, r.challenge_envs[ci]);
+        }
+      }
+    }
+    launch_ready(out);
+  }
+
+  void restart_round(std::size_t k, engine::Outbox& out) {
+    Round& r = rounds_[k];
+    const std::size_t members = r.group.members.size();
+    r.votes.assign(members, {});
+    r.vote_in.assign(members, 0);
+    for (auto& b : r.buffered_votes) b.clear();
+    r.votes_seen = 0;
+    r.challenges.clear();
+    r.challenge_envs.clear();
+    r.responses.assign(members, {});
+    r.resp_in.assign(members, 0);
+    r.resps_seen = 0;
+    r.outcome.reset();
+    begin_round(k, out);
+  }
+
+  void reset_validator(std::uint32_t s) {
+    const Server& server = cluster_->server(ServerId{s});
+    validators_[s] = StreamValidator{};
+    validators_[s].next_height = server.log().size();
+    validators_[s].expected_prev = server.log().head_hash();
+    for (const ledger::Block& b : server.log().blocks()) {
+      for (const auto& t : b.txns) {
+        for (const ItemId item : t.rw.touched_items()) {
+          validators_[s].last_touch[item] = b.height;
+        }
+      }
+    }
+  }
+
+  // --- State -------------------------------------------------------------------
+
+  Cluster* cluster_;
+  Transport* transport_;
+  Sequencer* seq_;
+  engine::Scheduler* sched_;
+  std::uint32_t n_;
+  std::size_t depth_;
+  bool speculate_;
+
+  std::recursive_mutex mutex_;
+  std::vector<Round> rounds_;
+  std::unordered_map<std::uint64_t, std::size_t> epoch_to_round_;
+  engine::Dedup dedup_;
+
+  /// Per server: rounds touching it, in round (= admission) order.
+  std::vector<std::vector<std::size_t>> touch_rounds_;
+  /// Per server: leading count of touch rounds that passed the opening gate.
+  std::vector<std::size_t> gate_upto_;
+  /// Per server: leading count of touch rounds already admitted (started).
+  /// Admission must respect per-server touch order: if a later round could
+  /// claim a member's depth window before an earlier toucher launched, the
+  /// window (which only frees on completion) and the opening gate (which
+  /// waits for the earlier round) would deadlock against each other.
+  std::vector<std::size_t> started_upto_;
+  /// Per server: started-but-unresolved touching rounds (the depth window).
+  std::vector<std::size_t> unresolved_;
+  /// Per server: leading count of decided touch rounds (speculation truth).
+  std::vector<std::size_t> decided_upto_;
+  /// Per server: the decided chain's last co-signed root of its shard.
+  std::vector<std::optional<crypto::Digest>> shard_roots_;
+
+  std::vector<std::vector<Held>> held_;  ///< gated openings, per server
+  std::vector<std::map<std::uint64_t, PendingEntry>> pending_entries_;  ///< per server
+  std::vector<StreamValidator> validators_;                   ///< per server
+  std::vector<std::optional<DeliveryRefusal>> refusals_;      ///< per server
+
+  std::size_t next_seq_{0};    ///< sequencing barrier: next round to submit
+  bool advancing_{false};      ///< re-entrancy guard for advance_sequencing
+  std::size_t completed_{0};
+  std::size_t spec_revotes_{0};
+  Clock::time_point start_wall_;
+};
+
+}  // namespace
+
+GroupRunResult run_group_rounds(Cluster& cluster, Sequencer& sequencer,
+                                std::vector<std::vector<commit::SignedEndTxn>> batches,
+                                engine::Scheduler& sched) {
+  GroupEngine eng(cluster, sequencer, std::move(batches), sched);
+  eng.begin();
+  sched.run(eng);
+  return eng.collect();
+}
+
+}  // namespace fides::ordserv

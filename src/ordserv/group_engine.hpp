@@ -1,0 +1,47 @@
+// Engine-routed group commit (§4.6): multi-coordinator dispatch.
+//
+// Each batch's ServerGroup runs its own TFCommit round on the engine's
+// message reactors, under any Scheduler (direct/inproc, SimNet) — there is no
+// single global coordinator. Per-group epochs compose with the cluster's
+// pipeline_depth and speculate knobs *independently per server*: disjoint
+// groups pipeline and speculate past each other without interference, while
+// overlapping (cross-group) transactions are serialized by the Sequencer's
+// dependency metadata and the per-server touch-order gates.
+//
+// Votes, CoSi responses, and delivered sequenced entries go through the
+// servers' durable RoundLogs (vote_once / respond_once / record_decision), so
+// a group-mode commit survives a crash: recovery replays the sequenced stream
+// plus any in-flight group rounds and converges on the same bit-identical
+// stream the uncrashed run produces.
+//
+// The sequential lock-step reference driver lives in group_commit.hpp
+// (GroupCommitRunner); the two drivers produce bit-identical sequenced
+// streams for the same batches.
+#pragma once
+
+#include "engine/scheduler.hpp"
+#include "ordserv/group_commit.hpp"
+
+namespace fides::ordserv {
+
+/// Result of an engine run over a sequence of group batches.
+struct GroupRunResult {
+  /// One per batch, in submission order (same shape as the runner's results).
+  std::vector<GroupRoundResult> rounds;
+  /// Per server: the refusal that halted delivery there, if any.
+  std::vector<std::optional<DeliveryRefusal>> delivery_refusals;
+  double wall_us{0};
+  /// Votes discarded for a mis-speculated base across all rounds. Telemetry:
+  /// the count depends on delivery interleaving (streams do not).
+  std::size_t spec_revotes{0};
+};
+
+/// Runs every batch as a group-local TFCommit round on the engine reactors
+/// under `sched`, sequencing valid outcomes through `sequencer` and
+/// delivering the hash-chained stream to every server (validated, durable).
+/// Throws std::logic_error if the schedule stalls before completion.
+GroupRunResult run_group_rounds(Cluster& cluster, Sequencer& sequencer,
+                                std::vector<std::vector<commit::SignedEndTxn>> batches,
+                                engine::Scheduler& sched);
+
+}  // namespace fides::ordserv

@@ -6,6 +6,7 @@
 
 #include "audit/auditor.hpp"
 #include "common/rng.hpp"
+#include "ordserv/group_engine.hpp"
 #include "sim/simnet.hpp"
 #include "workload/ycsb.hpp"
 
@@ -86,6 +87,11 @@ struct Scenario {
   std::uint32_t culprit{0};
   bool crash{false};
   std::uint32_t crash_victim{0};
+  /// §4.6 group-mode dimension: the scripted history runs as group-local
+  /// TFCommit rounds through the engine-routed multi-coordinator dispatch
+  /// (ordserv::run_group_rounds) and an OrdServ stream, instead of global
+  /// pipelined rounds.
+  bool group{false};
   std::string description;
 };
 
@@ -155,11 +161,28 @@ Scenario derive_scenario(std::uint64_t seed, const FuzzOptions& options) {
     if (options.force_speculation && cfg.pipeline_depth == 1) cfg.pipeline_depth = 2;
   }
 
+  // Group-mode dimension (§4.6): a quarter of the TFCommit seeds run their
+  // scripted history as group-local rounds through the engine-routed
+  // multi-coordinator dispatch. Derived from seed bits, not an rng draw, so
+  // the existing draw stream — and every minimized repro seed — keeps its
+  // shape.
+  s.group = !use_2pc && ((seed >> 1) & 3) == 3;
+
   // Byzantine deviations exist in the TFCommit stack only; 2PC schedules
   // fuzz the network dimension alone.
   if (!use_2pc && rng.uniform01() < 0.65) {
     s.fault = static_cast<Fault>(
         1 + rng.uniform(static_cast<std::uint64_t>(Fault::kCount_) - 1));
+  }
+  if (s.group && s.fault != Fault::kNone && s.fault != Fault::kCorruptCommitment &&
+      s.fault != Fault::kCorruptResponse && s.fault != Fault::kVoteAbort) {
+    // Group rounds exercise the cohort-layer menu: the coordinator faults are
+    // per-round volatile state the multi-coordinator dispatch does not model,
+    // and log faults would tamper a stream the delivery validator owns. Remap
+    // deterministically so the group dimension still sees every cohort fault.
+    static constexpr Fault kGroupMenu[] = {Fault::kCorruptCommitment,
+                                           Fault::kCorruptResponse, Fault::kVoteAbort};
+    s.fault = kGroupMenu[static_cast<std::uint8_t>(s.fault) % 3];
   }
   // Faults that rely on version history need the multi-versioned store.
   if (s.fault == Fault::kReadStale || s.fault == Fault::kCorruptAfterCommit) {
@@ -186,8 +209,11 @@ Scenario derive_scenario(std::uint64_t seed, const FuzzOptions& options) {
     cf.server = s.crash_victim;
     cf.at_us = 50 + rng.uniform01() * 2500;
     cf.downtime_us = 500 + rng.uniform01() * 5000;
-    if (s.crash_victim == 0 && !use_2pc && s.fault == Fault::kNone &&
+    if (s.crash_victim == 0 && !use_2pc && !s.group && s.fault == Fault::kNone &&
         rng.uniform(2) == 0) {
+      // (Group-mode rounds restart a dead coordinator deterministically
+      // instead of arming cohort-driven termination, so the timeout knob
+      // stays off for group seeds.)
       // Coordinator death: half the fault-free seeds arm cohort-driven
       // termination (fires iff the coordinator is still down when the probe
       // pops). Byzantine scenarios keep the pure restart path: termination
@@ -200,7 +226,8 @@ Scenario derive_scenario(std::uint64_t seed, const FuzzOptions& options) {
   }
 
   std::ostringstream d;
-  d << (use_2pc ? "2pc" : "tfcommit") << " n=" << cfg.num_servers
+  d << (use_2pc ? "2pc" : s.group ? "tfcommit-group" : "tfcommit")
+    << " n=" << cfg.num_servers
     << " threads=" << cfg.num_threads << " pipe=" << cfg.pipeline_depth
     << (cfg.speculate ? " spec" : "") << (cfg.batch_verify ? " bv" : "")
     << " drop=" << net.link.drop_prob
@@ -314,6 +341,7 @@ FuzzOutcome run_schedule(std::uint64_t seed, const FuzzOptions& options) {
 
   // --- Scripted history + noise ----------------------------------------------
   std::vector<RoundMetrics> rounds;
+  std::vector<ordserv::GroupRoundResult> group_rounds;  // group-mode scenarios
   std::map<ItemId, Bytes> committed;  // last committed value per item
 
   // Runs a stream of batches through the (possibly pipelined) engine and
@@ -346,7 +374,107 @@ FuzzOutcome run_schedule(std::uint64_t seed, const FuzzOptions& options) {
     run_rounds(std::move(batches));
   };
 
-  if (fault == Fault::kForceCommit) {
+  if (scenario.group) {
+    // §4.6 group mode: the scripted history runs as group-local TFCommit
+    // rounds on the engine's multi-coordinator dispatch, sequenced through
+    // one OrdServ stream and delivered (validated) at every server. Fresh
+    // items per round keep OCC out of the picture — except one deliberate
+    // cross-group item reuse that forces a declared dependency — so abort
+    // decisions are attributable to the injected cohort fault.
+    auto on = [&](std::uint32_t srv, std::uint32_t k) {
+      return ItemId{srv + static_cast<std::uint64_t>(n) * k};
+    };
+    const ItemId dep_item = on((culprit + 2) % n, 11);
+    constexpr std::size_t kGroupRounds = 8;
+    std::vector<std::vector<commit::SignedEndTxn>> batches;
+    std::vector<std::vector<std::pair<ItemId, Bytes>>> writes(kGroupRounds);
+    std::vector<bool> touches_culprit(kGroupRounds, false);
+    for (std::uint32_t i = 0; i < kGroupRounds; ++i) {
+      // Odd rounds run the culprit's own group so the fault is exercised;
+      // even rounds roam adjacent pairs so disjoint groups race in flight.
+      const std::uint32_t s1 = i % 2 == 1 ? culprit : i % n;
+      std::vector<ItemId> items = {on(s1, i + 1), on((s1 + 1) % n, i + 1)};
+      if (i == 2 || i == 6) items.push_back(dep_item);
+      auto txn = scripted_txn(cluster, client, items, "g" + std::to_string(i));
+      for (const auto& w : txn.request.txn.rw.writes) {
+        writes[i].emplace_back(w.id, w.new_value);
+      }
+      for (const ItemId item : items) {
+        if (cluster.owner_of(item).value == culprit) touches_culprit[i] = true;
+      }
+      batches.push_back({std::move(txn)});
+    }
+
+    ordserv::Sequencer seq;
+    ordserv::GroupRunResult gres = cluster.run_group_blocks(seq, std::move(batches));
+    out.spec_revotes += gres.spec_revotes;
+    for (std::size_t b = 0; b < gres.rounds.size(); ++b) {
+      const ordserv::GroupRoundResult& r = gres.rounds[b];
+      if (r.decision == ledger::Decision::kCommit && r.cosign_valid) {
+        for (auto& [item, value] : writes[b]) committed[item] = std::move(value);
+      }
+    }
+
+    // Group-mode oracles: refusal-free delivery (faulty rounds are refused
+    // before OrdServ, never at delivery), a stream that validates from
+    // genesis (inner co-signs, outer chain, recomputed dependencies), and
+    // epoch discipline — every admitted round drew exactly one epoch.
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (gres.delivery_refusals[i].has_value()) {
+        fail("group delivery refused at S" + std::to_string(i) + ": " +
+             gres.delivery_refusals[i]->reason);
+      }
+    }
+    const std::vector<ordserv::SequencedBlock> stream(seq.stream().begin(),
+                                                      seq.stream().end());
+    if (const auto bad = ordserv::validate_stream(stream, cluster.server_keys())) {
+      fail("group stream failed validation at height " + std::to_string(*bad));
+    }
+    if (seq.epochs().issued() != kGroupRounds) {
+      fail("group rounds drew " + std::to_string(seq.epochs().issued()) +
+           " epochs for " + std::to_string(kGroupRounds) + " rounds");
+    }
+    // Dependency-order oracle: whenever two sequenced entries touch the
+    // deliberately reused item, the later one must declare the earlier.
+    std::optional<std::uint64_t> dep_height;
+    for (const ordserv::SequencedBlock& e : stream) {
+      bool touches_dep = false;
+      for (const auto& t : e.block.txns) {
+        for (const ItemId item : t.rw.touched_items()) {
+          if (item == dep_item) touches_dep = true;
+        }
+      }
+      if (!touches_dep) continue;
+      if (dep_height.has_value() &&
+          std::find(e.depends_on.begin(), e.depends_on.end(), *dep_height) ==
+              e.depends_on.end()) {
+        fail("group stream hides the cross-group dependency at height " +
+             std::to_string(e.block.height));
+      }
+      dep_height = e.block.height;
+    }
+
+    // Detection (cohort menu only — see derive_scenario): bad co-sign shares
+    // are attributed to the culprit in-round; a vetoing cohort is visible as
+    // co-signed aborts on every round it participates in.
+    if (fault == Fault::kCorruptCommitment || fault == Fault::kCorruptResponse) {
+      out.detected = std::any_of(
+          gres.rounds.begin(), gres.rounds.end(), [&](const auto& r) {
+            return !r.cosign_valid &&
+                   std::find(r.faulty_cosigners.begin(), r.faulty_cosigners.end(),
+                             ServerId{culprit}) != r.faulty_cosigners.end();
+          });
+    } else if (fault == Fault::kVoteAbort) {
+      bool any = false, all_aborted = true;
+      for (std::size_t b = 0; b < gres.rounds.size(); ++b) {
+        if (!touches_culprit[b]) continue;
+        any = true;
+        if (gres.rounds[b].decision != ledger::Decision::kAbort) all_aborted = false;
+      }
+      out.detected = any && all_aborted;
+    }
+    group_rounds = std::move(gres.rounds);
+  } else if (fault == Fault::kForceCommit) {
     // The atomicity attack needs an abort vote to override: t2 reads B, then
     // t1 commits a newer version of B, then t2's block arrives stale.
     run_round({scripted_txn(cluster, client, {item_a, item_b}, "s0")});
@@ -394,7 +522,9 @@ FuzzOutcome run_schedule(std::uint64_t seed, const FuzzOptions& options) {
   }
 
   // --- Checkpoint round (TFCommit): must form whenever honest logs agree ------
-  if (!use_2pc && rng.uniform(2) == 0) {
+  // (Group-mode logs are the sequenced stream; validate_stream above is their
+  // whole-log check, so the checkpoint round stays a global-mode oracle.)
+  if (!use_2pc && !scenario.group && rng.uniform(2) == 0) {
     if (!cluster.create_checkpoint().has_value()) {
       fail("checkpoint co-sign failed to form on agreeing logs");
     }
@@ -491,7 +621,8 @@ FuzzOutcome run_schedule(std::uint64_t seed, const FuzzOptions& options) {
   };
 
   audit::AuditReport report;
-  if (!use_2pc && (effective_fault == Fault::kNone || is_audit_fault(effective_fault))) {
+  if (!use_2pc && !scenario.group &&
+      (effective_fault == Fault::kNone || is_audit_fault(effective_fault))) {
     audit::Auditor auditor(cluster);
     report = auditor.run();
   }
@@ -502,7 +633,8 @@ FuzzOutcome run_schedule(std::uint64_t seed, const FuzzOptions& options) {
     return false;
   };
 
-  switch (effective_fault) {
+  // (Group-mode detection ran inside the group branch above.)
+  if (!scenario.group) switch (effective_fault) {
     case Fault::kNone:
       if (!use_2pc && !report.clean()) {
         fail("honest run audited dirty: " + report.to_string());
@@ -573,6 +705,12 @@ FuzzOutcome run_schedule(std::uint64_t seed, const FuzzOptions& options) {
   for (const RoundMetrics& m : rounds) {
     Bytes d{static_cast<std::uint8_t>(m.decision == ledger::Decision::kCommit),
             static_cast<std::uint8_t>(m.cosign_valid)};
+    fold(acc, d);
+  }
+  for (const ordserv::GroupRoundResult& r : group_rounds) {
+    Bytes d{static_cast<std::uint8_t>(r.decision == ledger::Decision::kCommit),
+            static_cast<std::uint8_t>(r.cosign_valid),
+            static_cast<std::uint8_t>(r.fault.empty())};
     fold(acc, d);
   }
   for (const std::uint32_t i : honest) {

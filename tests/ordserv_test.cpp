@@ -185,6 +185,104 @@ TEST(GroupCommit, DependentGroupsKeepOrder) {
   EXPECT_EQ(stream[1].depends_on, (std::vector<std::uint64_t>{0}));
 }
 
+TEST(GroupCommit, EmptyBatchRefusedAtSubmission) {
+  // Regression: group_for used to fabricate a {S0} group for an empty txn
+  // list, letting an empty batch commit an empty co-signed block through a
+  // group no transaction ever touched.
+  Cluster cluster(config());
+  Sequencer seq;
+  GroupCommitRunner runner(cluster, seq);
+  const auto result = runner.run_group_block({});
+  EXPECT_EQ(result.fault, "empty batch refused at submission");
+  EXPECT_EQ(result.decision, ledger::Decision::kAbort);
+  EXPECT_TRUE(result.group.members.empty());
+  EXPECT_EQ(seq.size(), 0u);
+  EXPECT_EQ(seq.epochs().issued(), 0u);  // no epoch burned on a refused batch
+}
+
+TEST(GroupCommit, MalformedChallengeFanOutRefusedNotIndexed) {
+  // Regression: a coordinator emitting a challenge fan-out that matches
+  // neither the broadcast shape (1) nor the cohort count drove
+  // challenges[slot] out of bounds for the last cohort. The round must be
+  // refused instead — and must never reach OrdServ.
+  Cluster cluster(config());
+  Client& client = cluster.make_client();
+  Sequencer seq;
+  GroupCommitRunner runner(cluster, seq);
+
+  // Items {0, 6, 12} → servers {0, 1, 2}: a 3-member group, so N-1 = 2
+  // challenges match neither 1 nor N.
+  cluster.server(ServerId{0}).faults().coordinator.drop_last_challenge = true;
+  const auto result =
+      runner.run_group_block({rw_txn(cluster, client, {0, 6, 12}, "a")});
+  EXPECT_EQ(result.fault,
+            "coordinator challenge fan-out mismatch (2 messages for 3 cohorts)");
+  EXPECT_FALSE(result.cosign_valid);
+  EXPECT_EQ(seq.size(), 0u);
+  for (std::uint32_t i = 0; i < cluster.num_servers(); ++i) {
+    EXPECT_TRUE(runner.log_of(ServerId{i}).empty());
+  }
+}
+
+TEST(GroupCommit, DeliveryRefusesForgedSequencedBlock) {
+  // Regression: deliver_all used to apply whatever OrdServ broadcast without
+  // checking the inner co-sign, so a compromised sequencer could inject an
+  // unsigned "committed" block straight into every shard.
+  Cluster cluster(config());
+  Client& client = cluster.make_client();
+  Sequencer seq;
+  GroupCommitRunner runner(cluster, seq);
+  runner.run_group_block({rw_txn(cluster, client, {0}, "a")});
+
+  // Forge a block (no co-sign at all) and submit it to the sequencer
+  // directly, bypassing the group round.
+  ledger::Block forged;
+  forged.decision = ledger::Decision::kCommit;
+  forged.txns.push_back(touching({0}));
+  forged.txns[0].rw.writes[0].new_value = to_bytes("evil");
+  seq.submit(forged, group_for(forged.txns, cluster.num_servers()));
+  runner.deliver_pending();
+
+  for (std::uint32_t i = 0; i < cluster.num_servers(); ++i) {
+    const auto& refusal = runner.refusal_of(ServerId{i});
+    ASSERT_TRUE(refusal.has_value()) << "S" << i;
+    EXPECT_EQ(refusal->height, 1u);
+    EXPECT_EQ(refusal->reason, "missing group co-sign");
+    EXPECT_EQ(runner.log_of(ServerId{i}).size(), 1u);  // halted before the forgery
+  }
+  // The forged write never touched the shard.
+  EXPECT_EQ(to_string(cluster.server(ServerId{0}).shard().peek(0).value), "a-0");
+}
+
+TEST(GroupCommit, ValidatorRecomputesUnderReportedDependencies) {
+  // Regression: validate_stream used to trust the sequencer's depends_on
+  // metadata; a lying OrdServ could hide a cross-group dependency and
+  // re-order dependent blocks undetected. Dependencies are recomputed from
+  // the co-signed block contents.
+  Cluster cluster(config());
+  Client& client = cluster.make_client();
+  Sequencer seq;
+  GroupCommitRunner runner(cluster, seq);
+  runner.run_group_block({rw_txn(cluster, client, {0}, "a")});
+  auto t2 = rw_txn(cluster, client, {0}, "b");  // same item: depends on block 0
+  runner.run_group_block({t2});
+
+  auto stream = runner.log_of(ServerId{0});
+  ASSERT_EQ(stream.size(), 2u);
+  ASSERT_EQ(stream[1].depends_on, (std::vector<std::uint64_t>{0}));
+  stream[1].depends_on.clear();  // OrdServ under-reports the dependency
+  const auto bad = validate_stream(stream, cluster.server_keys());
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(*bad, 1u);
+
+  // Per-entry check() names the hidden dependency.
+  StreamValidator v;
+  EXPECT_FALSE(v.check(stream[0], cluster.server_keys()).has_value());
+  const auto reason = v.check(stream[1], cluster.server_keys());
+  ASSERT_TRUE(reason.has_value());
+  EXPECT_EQ(*reason, "under-reported dependency on height 0");
+}
+
 TEST(GroupCommit, ByzantineGroupMemberBlocksSigning) {
   Cluster cluster(config());
   Client& client = cluster.make_client();
