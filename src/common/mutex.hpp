@@ -1,0 +1,85 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers.
+//
+// Thin, zero-overhead shims over std::mutex / std::unique_lock /
+// std::condition_variable that carry the clang thread-safety attributes from
+// thread_annotations.hpp, so `-Wthread-safety` can prove the repo's locking
+// discipline at compile time. This is the ONLY file allowed to name the raw
+// std primitives — tools/fides_lint.py enforces that everything else goes
+// through these wrappers (rule: raw-mutex).
+//
+// Usage:
+//   common::Mutex mutex_;
+//   int value_ GUARDED_BY(mutex_);
+//   void touch() { common::MutexLock lock(mutex_); ++value_; }
+//
+// Condition waits use an explicit loop so the predicate is analyzed in the
+// caller's scope (a predicate lambda would be analyzed as a separate
+// function and spuriously warn on guarded reads):
+//   common::MutexLock lock(mutex_);
+//   while (!ready_) cv_.wait(lock);
+#pragma once
+
+#include <condition_variable>  // fides-lint: allow(raw-mutex) -- the sanctioned wrapper
+#include <mutex>               // fides-lint: allow(raw-mutex) -- the sanctioned wrapper
+
+#include "common/thread_annotations.hpp"
+
+namespace fides::common {
+
+class CondVar;
+
+/// A std::mutex carrying the `capability` attribute. Non-recursive (clang's
+/// analysis does not model recursive locking, and the repo has no recursive
+/// designs left — GroupEngine's was removed when posts were deferred).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }                            // fides-lint: allow(raw-mutex)
+  void unlock() RELEASE() { m_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex m_;  // fides-lint: allow(raw-mutex) -- the wrapped primitive
+};
+
+/// RAII scoped lock over Mutex (scoped_lockable). Holds for its full scope —
+/// there is deliberately no early unlock()/relock() surface: every critical
+/// section in the repo is a plain block, which keeps the analysis exact.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.m_) {}
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;  // fides-lint: allow(raw-mutex) -- the wrapped primitive
+};
+
+/// Condition variable paired with Mutex/MutexLock. wait() takes the scoped
+/// lock directly; callers loop on their predicate (see header comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, blocks, and re-acquires before returning.
+  /// The analysis treats the capability as held across the call (which is
+  /// what callers observe: the lock is held again when wait returns).
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // fides-lint: allow(raw-mutex) -- the wrapped primitive
+};
+
+}  // namespace fides::common

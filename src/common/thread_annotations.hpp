@@ -1,0 +1,87 @@
+// Clang Thread Safety Analysis annotations.
+//
+// These macros expand to clang's thread-safety attributes when compiling
+// under clang and vanish under every other compiler, so they are zero
+// runtime cost everywhere and zero *any* cost off-clang. With
+// `-Wthread-safety -Werror=thread-safety` (wired up automatically for clang
+// builds in CMakeLists.txt) the compiler then proves, per translation unit:
+//
+//   * every read/write of a `GUARDED_BY(mu)` field happens with `mu` held;
+//   * every call of a `REQUIRES(mu)` function happens with `mu` held;
+//   * `ACQUIRE`/`RELEASE` pairs balance on every path.
+//
+// Use the `Mutex`/`MutexLock`/`CondVar` wrappers in common/mutex.hpp rather
+// than annotating `std::mutex` directly — tools/fides_lint.py bans raw
+// `std::mutex` outside that header so the whole repo stays analyzable.
+//
+// Conventions used across the repo:
+//   * shared mutable state is `GUARDED_BY(mutex_)`;
+//   * state owned by a single logical thread (an actor's serialized context,
+//     or setup-time-only writes) carries a `confined(...)` comment tag that
+//     tools/fides_lint.py verifies instead — see the linter header for the
+//     tag grammar;
+//   * private helpers that assume the caller holds the lock are
+//     `REQUIRES(mutex_)` (and usually named `*_locked` when the distinction
+//     is easy to miss at call sites).
+//
+// Known analysis limits (why a handful of sites use
+// NO_THREAD_SAFETY_ANALYSIS, each with a justification comment):
+//   * the analysis is intra-procedural — a function that is *only ever*
+//     reachable when the system is quiescent cannot express that;
+//   * lambda bodies are analyzed as independent functions, so a
+//     condition-variable predicate lambda reading guarded fields would warn
+//     even though the wait holds the lock; the repo uses explicit
+//     `while (!cond) cv.wait(lock);` loops instead;
+//   * `std::recursive_mutex` is not supported — the repo has none.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define FIDES_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FIDES_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define CAPABILITY(x) FIDES_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY FIDES_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be accessed while holding the given capability.
+#define GUARDED_BY(x) FIDES_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the pointed-to data is guarded (the pointer itself is not).
+#define PT_GUARDED_BY(x) FIDES_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the listed capabilities (exclusively).
+#define REQUIRES(...) FIDES_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the listed capabilities at least shared.
+#define REQUIRES_SHARED(...) \
+  FIDES_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (and caller must not already hold it).
+#define ACQUIRE(...) FIDES_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (caller must hold it).
+#define RELEASE(...) FIDES_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define TRY_ACQUIRE(...) \
+  FIDES_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock prevention: the
+/// function acquires them itself).
+#define EXCLUDES(...) FIDES_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held; teaches the analysis the
+/// same fact without acquiring.
+#define ASSERT_CAPABILITY(x) FIDES_THREAD_ANNOTATION(assert_capability(x))
+
+/// Declares the return value is the capability guarding this object.
+#define RETURN_CAPABILITY(x) FIDES_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts a function out of the analysis. Every use must carry a comment
+/// explaining why the invariant holds anyway (quiescence, confinement, ...).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  FIDES_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,28 +1,30 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace fides::common {
 
 struct ThreadPool::Impl {
-  std::mutex mutex;
-  std::condition_variable work_available;
-  std::deque<std::function<void()>> queue;
-  std::vector<std::thread> workers;
-  bool stopping{false};
+  Mutex mutex;
+  CondVar work_available;
+  std::deque<std::function<void()>> queue GUARDED_BY(mutex);
+  std::vector<std::thread> workers;  // confined(ctor/dtor): spawned before any
+                                     // submit, joined by the destructor only
+  bool stopping GUARDED_BY(mutex) {false};
 
   void worker_loop() {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mutex);
-        work_available.wait(lock, [this] { return stopping || !queue.empty(); });
+        MutexLock lock(mutex);
+        while (!stopping && queue.empty()) work_available.wait(lock);
         if (queue.empty()) return;  // stopping and drained
         task = std::move(queue.front());
         queue.pop_front();
@@ -42,9 +44,9 @@ struct ForLoop {
   std::size_t n{0};
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex mutex;
-  std::condition_variable all_done;
-  std::exception_ptr error;  // first exception, guarded by mutex
+  Mutex mutex;
+  CondVar all_done;
+  std::exception_ptr error GUARDED_BY(mutex);  ///< first exception wins
 
   explicit ForLoop(std::function<void(std::size_t)> b, std::size_t count)
       : body(std::move(b)), n(count) {}
@@ -58,21 +60,21 @@ struct ForLoop {
       try {
         body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         if (!error) error = std::current_exception();
       }
       ++finished;
     }
     if (finished == 0) return;
     if (done.fetch_add(finished, std::memory_order_acq_rel) + finished == n) {
-      std::lock_guard<std::mutex> lock(mutex);  // pairs with the waiter
+      MutexLock lock(mutex);  // pairs with the waiter
       all_done.notify_all();
     }
   }
 
   void wait() {
-    std::unique_lock<std::mutex> lock(mutex);
-    all_done.wait(lock, [this] { return done.load(std::memory_order_acquire) == n; });
+    MutexLock lock(mutex);
+    while (done.load(std::memory_order_acquire) != n) all_done.wait(lock);
     if (error) std::rethrow_exception(error);
   }
 };
@@ -95,7 +97,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) : impl_(new Impl) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->stopping = true;
   }
   impl_->work_available.notify_all();
@@ -111,7 +113,7 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->queue.push_back(std::move(task));
   }
   impl_->work_available.notify_one();
@@ -127,7 +129,7 @@ void ThreadPool::parallel_for(std::size_t n, std::function<void(std::size_t)> bo
   // One helper task per worker (capped by n-1: the caller takes a share).
   const std::size_t helpers = std::min(impl_->workers.size(), n - 1);
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     for (std::size_t i = 0; i < helpers; ++i) {
       impl_->queue.push_back([loop] { loop->drain(); });
     }

@@ -18,6 +18,13 @@
 //     indices even if all workers are busy).
 //   * Exceptions thrown by the body are captured and the first one is
 //     rethrown on the calling thread after the loop completes.
+//
+// Concurrency protocol (checked by clang -Wthread-safety in the .cpp): the
+// task queue and the stopping flag are GUARDED_BY the pool mutex; the worker
+// vector is confined to the constructor (spawn) and destructor (join);
+// parallel_for's claim/done counters are atomics, with the final "all done"
+// edge published under the loop mutex so the waiter's condition variable
+// never misses the last notify.
 #pragma once
 
 #include <cstddef>
@@ -58,7 +65,7 @@ class ThreadPool {
 
  private:
   struct Impl;
-  Impl* impl_;
+  Impl* impl_;  // confined(ctor): set once; the Impl synchronizes internally
 };
 
 }  // namespace fides::common

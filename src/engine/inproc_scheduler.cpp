@@ -17,7 +17,7 @@ void InProcScheduler::post(NodeId dst, std::function<void()> fn) {
 
 void InProcScheduler::enqueue(NodeId dst, Item item) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     queues_[dst].push_back(std::move(item));
     if (active_.insert(dst).second) runnable_.push_back(dst);
   }
@@ -29,7 +29,7 @@ void InProcScheduler::run(Dispatcher& dispatcher) {
   // with num_threads == 1 the pool spawns no workers and this degrades to a
   // deterministic sequential drain on the caller.
   pool_->parallel_for(pool_->concurrency(), [&](std::size_t) { worker(dispatcher); });
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (failed_) failed_ = false;  // exception already rethrown by parallel_for
 }
 
@@ -38,8 +38,8 @@ void InProcScheduler::worker(Dispatcher& dispatcher) {
     NodeId dst;
     std::deque<Item> items;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return !runnable_.empty() || busy_ == 0 || failed_; });
+      common::MutexLock lock(mutex_);
+      while (runnable_.empty() && busy_ != 0 && !failed_) cv_.wait(lock);
       if (failed_) return;
       if (runnable_.empty()) {
         // busy_ == 0 and nothing runnable: no handler is in flight, so no
@@ -80,13 +80,13 @@ void InProcScheduler::worker(Dispatcher& dispatcher) {
         flush();
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          common::MutexLock lock(mutex_);
           failed_ = true;
         }
         cv_.notify_all();
         throw;  // parallel_for captures and rethrows on the caller
       }
-      std::unique_lock<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       std::deque<Item>& queue = queues_[dst];
       if (!queue.empty()) {
         // Handlers (possibly our own) sent more to this dst while we were

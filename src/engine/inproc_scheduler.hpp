@@ -17,12 +17,12 @@
 // parallel_round and engine_pipeline suites pin this.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "engine/scheduler.hpp"
 
@@ -45,19 +45,22 @@ class InProcScheduler final : public Scheduler, private Outbox {
   };
 
   void send(NodeId src, NodeId dst, Envelope env) override;
-  void enqueue(NodeId dst, Item item);
+  void enqueue(NodeId dst, Item item) EXCLUDES(mutex_);
   /// One executor: claims runnable destinations and drains their queues
   /// until global quiescence (all queues empty, no handler running).
-  void worker(Dispatcher& dispatcher);
+  /// Takes and drops mutex_ around each claim; never holds it while a
+  /// handler runs (handlers re-enter via send/post).
+  void worker(Dispatcher& dispatcher) EXCLUDES(mutex_);
 
-  common::ThreadPool* pool_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::unordered_map<NodeId, std::deque<Item>> queues_;
-  std::deque<NodeId> runnable_;        ///< queued dsts not claimed by a worker
-  std::unordered_set<NodeId> active_;  ///< dsts in runnable_ or being drained
-  std::size_t busy_{0};                ///< workers currently draining a dst
-  bool failed_{false};                 ///< a handler threw; everyone bails out
+  common::ThreadPool* pool_;  // confined(ctor): the pool synchronizes internally
+  common::Mutex mutex_;
+  common::CondVar cv_;
+  std::unordered_map<NodeId, std::deque<Item>> queues_ GUARDED_BY(mutex_);
+  std::deque<NodeId> runnable_ GUARDED_BY(mutex_);  ///< queued dsts not claimed
+  std::unordered_set<NodeId> active_
+      GUARDED_BY(mutex_);              ///< dsts in runnable_ or being drained
+  std::size_t busy_ GUARDED_BY(mutex_){0};  ///< workers draining a dst
+  bool failed_ GUARDED_BY(mutex_){false};   ///< a handler threw; all bail out
 };
 
 }  // namespace fides::engine

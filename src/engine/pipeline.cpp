@@ -2,11 +2,12 @@
 
 #include <chrono>
 #include <deque>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <tuple>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "engine/dispatch_util.hpp"
 #include "engine/reactor.hpp"
 #include "sim/simnet.hpp"
@@ -110,7 +111,7 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
     // rely on quiescence; they poll this predicate to know when every round
     // completed. Quiescence-driven schedulers ignore it.
     sched_->set_completion([this] {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       return completed_ == rounds_.size();
     });
     begin();
@@ -128,9 +129,9 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
 
   /// Open-loop admission signal: batch k is fully assembled at the
   /// coordinator. Idempotent.
-  void admit_batch(std::size_t k) {
+  void admit_batch(std::size_t k) EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       if (k >= batch_ready_.size() || batch_ready_[k] != 0) return;
       batch_ready_[k] = 1;
     }
@@ -144,15 +145,16 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
     decision_hook_ = std::move(hook);
   }
 
-  PipelineResult collect() {
+  PipelineResult collect() EXCLUDES(mutex_) {
     PipelineResult result;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (completed_ != rounds_.size()) {
-        throw std::logic_error("commit pipeline stalled: " +
-                               std::to_string(rounds_.size() - completed_) +
-                               " round(s) incomplete at quiescence");
-      }
+    // Called at quiescence (nothing concurrent remains), but holding the
+    // lock for the whole harvest keeps the analysis exact and costs nothing;
+    // finalize() is pure metric folding and never re-enters the pipeline.
+    common::MutexLock lock(mutex_);
+    if (completed_ != rounds_.size()) {
+      throw std::logic_error("commit pipeline stalled: " +
+                             std::to_string(rounds_.size() - completed_) +
+                             " round(s) incomplete at quiescence");
     }
     const double one_way = cluster_->config().network.one_way_latency_us;
     for (auto& rs : rounds_) {
@@ -226,22 +228,30 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
       case ControlEvent::Kind::kRecover:
         handle_recover(ev.node, out);
         break;
-      case ControlEvent::Kind::kCoordinatorTimeout:
+      case ControlEvent::Kind::kCoordinatorTimeout: {
         // The probe raced recovery; only a still-dead coordinator triggers
         // cohort-driven termination.
         if (!cluster_->is_crashed(ServerId{ev.node.id})) break;
-        if (!speculate_) {
-          for (RoundState& rs : incomplete_started_rounds()) {
-            rs.reactor->begin_termination(out);
+        std::vector<RoundReactor*> term;
+        {
+          common::MutexLock lock(mutex_);
+          if (!speculate_) {
+            for (RoundState& rs : rounds_) {
+              if (rs.started && rs.processed < n_) term.push_back(rs.reactor.get());
+            }
+          } else {
+            // Speculative windows can hold several undecided rounds; their
+            // co-signed aborts must chain, so terminations run one at a time
+            // in round order (on_outcome starts the next).
+            term_mode_ = true;
+            if (RoundReactor* r = next_termination_locked()) term.push_back(r);
           }
-        } else {
-          // Speculative windows can hold several undecided rounds; their
-          // co-signed aborts must chain, so terminations run one at a time
-          // in round order (on_outcome starts the next).
-          term_mode_ = true;
-          begin_next_termination(out);
         }
+        // Reactors run outside the lock, like every delivery path: their
+        // handlers call back into the observer/SpecContext, which locks.
+        for (RoundReactor* r : term) r->begin_termination(out);
         break;
+      }
       case ControlEvent::Kind::kPeerApplied: {
         // A remote process reported that the server it hosts processed a
         // round's decision. Control-plane input from the wire is untrusted:
@@ -249,7 +259,7 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
         if (ev.node.kind != NodeId::Kind::kServer || ev.node.id >= n_) break;
         bool known = false;
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          common::MutexLock lock(mutex_);
           known = epoch_to_round_.find(ev.tag) != epoch_to_round_.end();
         }
         if (known) on_decision_processed(ev.tag, ev.node.id);
@@ -268,7 +278,7 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
     std::size_t round_index = 0;
     bool fresh = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       const auto it_ep = epoch_to_round_.find(epoch);
       if (it_ep == epoch_to_round_.end() || server >= n_) return;
       const std::size_t k = it_ep->second;
@@ -298,7 +308,7 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
     for (Held& h : flush) {
       RoundReactor* reactor = nullptr;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        common::MutexLock lock(mutex_);
         reactor = rounds_[h.round].reactor.get();
       }
       deliver(*reactor, h.src, h.dst, h.env, sched_->outbox());
@@ -325,7 +335,7 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
     RoundReactor* next = nullptr;
     bool terminate = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       const std::size_t k = epoch_to_round_.at(epoch);
       RoundState& rs = rounds_[k];
       if (rs.decided) return;  // a restarted round re-decides deterministically
@@ -362,7 +372,7 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
   // --- SpecContext ------------------------------------------------------------
 
   SpecContext::ChainPos opening_base(std::uint64_t epoch) override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     const std::size_t k = epoch_to_round_.at(epoch);
     const std::size_t undecided = k - std::min(decided_rounds_, k);
     ChainPos pos;
@@ -376,12 +386,12 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
   }
 
   bool base_resolved(std::uint64_t epoch) const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return decided_rounds_ >= epoch_to_round_.at(epoch);
   }
 
   std::optional<bool> applied(std::uint64_t epoch) const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     const auto it = epoch_to_round_.find(epoch);
     if (it == epoch_to_round_.end()) return std::nullopt;
     const RoundState& rs = rounds_[it->second];
@@ -390,13 +400,17 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
   }
 
   const crypto::Digest* shard_root(std::uint32_t server) const override {
-    // Read/written only on the coordinator's serialized context.
+    // Called on the coordinator's serialized context, but on_outcome writes
+    // the roots from whichever worker decides the round — take the lock.
+    // The returned pointer stays valid: the vector is sized in the ctor and
+    // an engaged optional's payload address never changes on assignment.
+    common::MutexLock lock(mutex_);
     if (server >= n_ || !shard_roots_[server].has_value()) return nullptr;
     return &*shard_roots_[server];
   }
 
   SpecContext::ChainPos decided_base() const override {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return ChainPos{dec_height_, dec_head_};
   }
 
@@ -426,7 +440,7 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
   /// call for this (round, server). Duplicates — a re-delivered kPeerApplied
   /// frame, or recovery reconciliation racing the ACK it reconciles — are
   /// absorbed instead of double-counting toward completion.
-  bool mark_processed_locked(std::size_t k, std::uint32_t server) {
+  bool mark_processed_locked(std::size_t k, std::uint32_t server) REQUIRES(mutex_) {
     RoundState& rs = rounds_[k];
     if (rs.processed_by.empty()) rs.processed_by.assign(n_, 0);
     if (rs.processed_by[server] != 0) return false;
@@ -443,13 +457,14 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
   /// envelope (from dispatch_batch's aggregate verification); deliver() then
   /// skips its own signature check.
   void dispatch_impl(NodeId src, NodeId dst, const Envelope& env, Outbox& out,
-                     bool replay, const unsigned char* verdict = nullptr) {
+                     bool replay, const unsigned char* verdict = nullptr)
+      EXCLUDES(mutex_) {
     const auto epoch = peek_epoch(env.payload);
     if (!epoch.has_value()) return;  // not an engine frame; unreachable for sealed traffic
     RoundReactor* reactor = nullptr;
     std::size_t round_index = 0;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       // Replay deliveries are the recovery catch-up stream: deliberate
       // re-sends of tuples the filter has usually seen. Record them (so any
       // further normal copy is still deduplicated) but never drop them.
@@ -499,10 +514,11 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
   /// The cohort processed round k's opening: advance its opening watermark
   /// and release the next held opening (recursing until the queue is in
   /// step again — held entries can sit out of round order after reordering).
-  void note_opened(std::uint32_t server, std::size_t k, Outbox& out) {
+  void note_opened(std::uint32_t server, std::size_t k, Outbox& out)
+      EXCLUDES(mutex_) {
     std::optional<Held> next;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       if (opened_[server] < k + 1) opened_[server] = k + 1;
       auto& hq = held_[server];
       for (auto it = hq.begin(); it != hq.end();) {
@@ -520,7 +536,7 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
     if (next.has_value()) {
       RoundReactor* reactor = nullptr;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        common::MutexLock lock(mutex_);
         reactor = rounds_[next->round].reactor.get();
       }
       deliver(*reactor, next->src, next->dst, next->env, out);
@@ -549,16 +565,16 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
     if (poll_transition_crash(*cluster_, *sched_, dst, env.type)) handle_crash(dst);
   }
 
-  void handle_crash(NodeId node) {
+  void handle_crash(NodeId node) EXCLUDES(mutex_) {
     apply_crash(*cluster_, *sched_, node);
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (node.kind == NodeId::Kind::kServer && node.id < n_) {
       held_[node.id].clear();
       held_dec_[node.id].clear();
     }
   }
 
-  void handle_recover(NodeId node, Outbox& out) {
+  void handle_recover(NodeId node, Outbox& out) EXCLUDES(mutex_) {
     if (!cluster_->recover_server(ServerId{node.id})) {
       // The durable log failed its integrity check: the server must not
       // rejoin. Mark it dead on the substrate again (no recovery scheduled:
@@ -566,8 +582,9 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
       sched_->crash_node(node);
       return;
     }
+    std::vector<RoundReactor*> catch_up;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       dedup_.forget_dst(node);
       held_[node.id].clear();
       held_dec_[node.id].clear();
@@ -598,47 +615,37 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
           if (rs.started && rs.processed < n_) dedup_.forget_epoch(rs.epoch);
         }
       }
+      // Catch up only the rounds this server has not yet processed — its
+      // watermark (recovered above) already covers everything durable, and
+      // re-driving a processed round would double-count it at the observer.
+      for (std::size_t k = watermark_[node.id]; k < rounds_.size(); ++k) {
+        const RoundState& rs = rounds_[k];
+        if (!rs.started || rs.processed >= n_) continue;
+        catch_up.push_back(rs.reactor.get());
+      }
     }
-    // Catch up only the rounds this server has not yet processed — its
-    // watermark (recovered above) already covers everything durable, and
-    // re-driving a processed round would double-count it at the observer.
-    const std::size_t from = watermark_[node.id];
-    for (std::size_t k = from; k < rounds_.size(); ++k) {
-      RoundState& rs = rounds_[k];
-      if (!rs.started || rs.processed >= n_) continue;
-      rs.reactor->on_recover(node.id, out);
-    }
+    for (RoundReactor* r : catch_up) r->on_recover(node.id, out);
     launch_ready();
   }
 
-  /// Started-but-unfinished rounds in round order. Sim mode only (the event
-  /// loop is single-threaded), so iterating without the lock is safe.
-  std::vector<std::reference_wrapper<RoundState>> incomplete_started_rounds() {
-    std::vector<std::reference_wrapper<RoundState>> out;
-    for (RoundState& rs : rounds_) {
-      if (rs.started && rs.processed < n_) out.emplace_back(rs);
-    }
-    return out;
-  }
-
-  /// First started round that has no outcome yet gets terminated; the rest
-  /// follow one by one as on_outcome advances the decided chain (their
-  /// abort blocks must extend it). Sim mode only.
-  void begin_next_termination(Outbox& out) {
+  /// First started round that has no outcome yet is next in line for
+  /// termination; the rest follow one by one as on_outcome advances the
+  /// decided chain (their abort blocks must extend it).
+  RoundReactor* next_termination_locked() REQUIRES(mutex_) {
     for (RoundState& rs : rounds_) {
       if (!rs.started || rs.processed >= n_ || rs.decided) continue;
-      rs.reactor->begin_termination(out);
-      return;
+      return rs.reactor.get();
     }
+    return nullptr;
   }
 
   /// Starts every admissible round. Starts execute on the coordinator's
   /// serialized context (posted to its queue): start() reads the
   /// coordinator's log head, which only its own decision handlers mutate.
-  void launch_ready() {
+  void launch_ready() EXCLUDES(mutex_) {
     std::vector<std::size_t> starts;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       while (next_to_start_ < rounds_.size() && can_start_locked(next_to_start_)) {
         rounds_[next_to_start_].started = true;
         starts.push_back(next_to_start_++);
@@ -647,20 +654,22 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
     const NodeId coord_node = NodeId::server(ServerId{coord_});
     for (const std::size_t k : starts) {
       sched_->post(coord_node, [this, k] {
+        RoundReactor* reactor = nullptr;
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          common::MutexLock lock(mutex_);
           rounds_[k].wall_start = Clock::now();
           if (const auto v = sched_->virtual_now_us()) {
             rounds_[k].has_virtual_time = true;
             rounds_[k].virtual_start_us = *v;
           }
+          reactor = rounds_[k].reactor.get();
         }
-        rounds_[k].reactor->start(sched_->outbox());
+        reactor->start(sched_->outbox());
       });
     }
   }
 
-  bool can_start_locked(std::size_t k) const {
+  bool can_start_locked(std::size_t k) const REQUIRES(mutex_) {
     // Open-loop admission: the batch must have fully arrived at the
     // coordinator (always true for closed-loop pipelines).
     if (batch_ready_[k] == 0) return false;
@@ -674,36 +683,43 @@ class CommitPipeline final : public Dispatcher, public RoundObserver, public Spe
     return k - completed_ < depth_;
   }
 
-  Cluster* cluster_;
-  Scheduler* sched_;
-  std::uint32_t n_;
-  std::uint32_t coord_;
-  std::uint32_t depth_;
-  bool speculate_;           ///< ClusterConfig::speculate, TFCommit only
-  std::size_t base_height_;  ///< ledger height when this pipeline began
+  Cluster* cluster_;         // confined(ctor): immutable after construction
+  Scheduler* sched_;         // confined(ctor): immutable after construction
+  std::uint32_t n_;          // confined(ctor): immutable after construction
+  std::uint32_t coord_;      // confined(ctor): immutable after construction
+  std::uint32_t depth_;      // confined(ctor): immutable after construction
+  bool speculate_;           ///< TFCommit only -- confined(ctor)
+  std::size_t base_height_;  ///< height at pipeline start -- confined(ctor)
 
-  mutable std::mutex mutex_;
-  std::vector<RoundState> rounds_;
-  std::unordered_map<std::uint64_t, std::size_t> epoch_to_round_;
-  Dedup dedup_;
-  std::vector<std::size_t> watermark_;  ///< per server: decisions processed
-  std::vector<std::size_t> opened_;     ///< per server: openings processed (spec)
-  std::vector<std::deque<Held>> held_;  ///< per server: gated openings
-  std::vector<std::deque<Held>> held_dec_;  ///< per server: gated decisions (spec)
-  std::size_t next_to_start_{0};
-  std::size_t completed_{0};
+  mutable common::Mutex mutex_;
+  std::vector<RoundState> rounds_ GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, std::size_t> epoch_to_round_ GUARDED_BY(mutex_);
+  Dedup dedup_ GUARDED_BY(mutex_);
+  std::vector<std::size_t> watermark_
+      GUARDED_BY(mutex_);  ///< per server: decisions processed
+  std::vector<std::size_t> opened_
+      GUARDED_BY(mutex_);  ///< per server: openings processed (spec)
+  std::vector<std::deque<Held>> held_
+      GUARDED_BY(mutex_);  ///< per server: gated openings
+  std::vector<std::deque<Held>> held_dec_
+      GUARDED_BY(mutex_);  ///< per server: gated decisions (spec)
+  std::size_t next_to_start_ GUARDED_BY(mutex_){0};
+  std::size_t completed_ GUARDED_BY(mutex_){0};
 
   // Decided-chain registry (speculation): what the coordinator knows once a
   // round's outcome exists — the chain head every later opening projects
   // from, and the authoritative per-shard roots vote tags validate against.
-  std::uint64_t dec_height_{0};
-  crypto::Digest dec_head_;
-  std::size_t decided_rounds_{0};
-  std::vector<std::optional<crypto::Digest>> shard_roots_;
-  bool term_mode_{false};  ///< coordinator-death terminations in progress
+  std::uint64_t dec_height_ GUARDED_BY(mutex_){0};
+  crypto::Digest dec_head_ GUARDED_BY(mutex_);
+  std::size_t decided_rounds_ GUARDED_BY(mutex_){0};
+  std::vector<std::optional<crypto::Digest>> shard_roots_ GUARDED_BY(mutex_);
+  bool term_mode_ GUARDED_BY(mutex_){false};  ///< terminations in progress
 
-  Clock::time_point t0_;                     ///< set by begin()
-  std::vector<unsigned char> batch_ready_;   ///< open-loop admission flags
+  Clock::time_point t0_;  // confined(driver): begin()/collect() only, outside run()
+  std::vector<unsigned char> batch_ready_
+      GUARDED_BY(mutex_);  ///< open-loop admission flags
+  // confined(setup): installed before the scheduler runs, never reassigned
+  // after; handlers only invoke the stable target.
   std::function<void(std::size_t, std::uint32_t)> decision_hook_;
 };
 
@@ -902,19 +918,21 @@ class ClientSession final : public Dispatcher {
     span_us_ = std::max(span_us_, net_->now_us());
   }
 
-  Cluster* cluster_;
-  CommitPipeline* pipeline_;
-  sim::SimNet* net_;
-  sim::ClientModel model_;
-  NodeId coord_;
-  std::vector<TxnState> txns_;
-  std::vector<std::size_t> pending_;  ///< per round: submits not yet at coordinator
-  std::vector<unsigned char> round_responded_;
-  std::vector<double> latency_us_;
-  std::uint64_t sends_{0};
-  std::uint64_t retries_{0};
-  std::uint64_t dups_{0};
-  double span_us_{0};
+  // All state is confined(actor): ClientSession is only ever driven by the
+  // single-threaded SimNet event loop (see the class comment).
+  Cluster* cluster_;                  // confined(actor)
+  CommitPipeline* pipeline_;          // confined(actor)
+  sim::SimNet* net_;                  // confined(actor)
+  sim::ClientModel model_;            // confined(actor)
+  NodeId coord_;                      // confined(actor)
+  std::vector<TxnState> txns_;        // confined(actor)
+  std::vector<std::size_t> pending_;  ///< submits not at coord -- confined(actor)
+  std::vector<unsigned char> round_responded_;  // confined(actor)
+  std::vector<double> latency_us_;              // confined(actor)
+  std::uint64_t sends_{0};                      // confined(actor)
+  std::uint64_t retries_{0};                    // confined(actor)
+  std::uint64_t dups_{0};                       // confined(actor)
+  double span_us_{0};                           // confined(actor)
 };
 
 /// Single-round dispatcher for the checkpoint CoSi round.
@@ -942,7 +960,7 @@ class CheckpointDispatch final : public Dispatcher {
           return;
         }
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          common::MutexLock lock(mutex_);
           dedup_.forget_dst(ev.node);
           if (ev.node.id == cluster_->coordinator_id().value) {
             dedup_.forget_epoch(round_->epoch());
@@ -966,7 +984,7 @@ class CheckpointDispatch final : public Dispatcher {
     {
       // Concurrent in-process workers dispatch for different destinations;
       // the dedup set is the one piece of state they share.
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       const bool fresh = dedup_.first(src, dst, env.type, *epoch);
       if (!fresh && !replay) return;
     }
@@ -984,11 +1002,11 @@ class CheckpointDispatch final : public Dispatcher {
     }
   }
 
-  Cluster* cluster_;
-  CheckpointRound* round_;
-  Scheduler* sched_;
-  std::mutex mutex_;
-  Dedup dedup_;
+  Cluster* cluster_;        // confined(ctor): immutable after construction
+  CheckpointRound* round_;  // confined(ctor): immutable after construction
+  Scheduler* sched_;        // confined(ctor): immutable after construction
+  common::Mutex mutex_;
+  Dedup dedup_ GUARDED_BY(mutex_);
 };
 
 }  // namespace

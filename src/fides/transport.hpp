@@ -159,8 +159,12 @@ class Transport {
  private:
   static Bytes signing_preimage(const Envelope& env);
 
-  std::unordered_map<NodeId, crypto::PublicKey> registry_;
-  Stats stats_;
+  // Audited for the thread-safety pass: registry_ is written only during
+  // cluster setup (before any round traffic or pool fan-out exists) and is
+  // read-only while rounds run, so it needs no lock; everything mutated on
+  // the hot path (stats_ counters, the two mode flags) is atomic.
+  std::unordered_map<NodeId, crypto::PublicKey> registry_;  // confined(setup)
+  Stats stats_;  // confined(shared-atomics): every field is a relaxed atomic
   std::atomic<bool> crypto_enabled_{true};
   std::atomic<bool> batch_verify_{false};
 };

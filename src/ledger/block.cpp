@@ -24,6 +24,8 @@ void Block::set_root(ServerId server, const crypto::Digest& root) {
 
 namespace {
 
+// fides-lint: allow-file(serde-pairing) -- encode_body is a digest/signing
+// preimage, one-way by design; blocks travel serialized by serialize() below.
 void encode_body(const Block& b, Writer& w) {
   w.u64(b.height);
   w.u32(static_cast<std::uint32_t>(b.txns.size()));

@@ -4,6 +4,8 @@ namespace fides::ledger {
 
 namespace {
 
+// fides-lint: allow-file(serde-pairing) -- encode_body is a digest/signing
+// preimage, one-way by design; checkpoints travel via serialize() below.
 void encode_body(const Checkpoint& cp, Writer& w) {
   w.u64(cp.height);
   w.raw(cp.head_hash.view());

@@ -63,6 +63,10 @@ struct Frame {
 };
 
 // --- Encoding (always produces the full wire bytes, length prefix included) --
+//
+// fides-lint: allow-file(serde-pairing) -- decode_frame is the single
+// tagged-union decoder pairing every per-kind encode_* above; there is
+// deliberately no encode_frame or per-kind decode_*.
 
 Bytes encode_hello(NodeId node);
 Bytes encode_envelope(NodeId src, NodeId dst, bool replay, const Envelope& env);

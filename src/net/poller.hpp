@@ -45,7 +45,9 @@ class Poller {
   const Entry* find(int fd) const;
   Entry* find(int fd);
 
-  std::vector<Entry> entries_;
+  // Single-threaded by contract (see header comment): every mutation and
+  // every poll_once() happens on the owning event-loop thread, so no lock.
+  std::vector<Entry> entries_;  // confined(actor)
 };
 
 }  // namespace fides::net

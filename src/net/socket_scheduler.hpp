@@ -152,21 +152,24 @@ class SocketScheduler final : public engine::Scheduler, private engine::Outbox {
   /// teardown path, where losing buffered decisions would strand peers.
   void flush_all_blocking(double timeout_s);
 
-  Cluster* cluster_;
-  SocketOptions opts_;
-  Poller poller_;
-  int listen_fd_{-1};
-  std::string listen_path_;  ///< unix socket path to unlink on teardown
-  std::vector<std::unique_ptr<Conn>> conns_;
-  std::unordered_map<std::uint32_t, Conn*> conn_of_server_;
-  std::vector<unsigned char> peer_crashed_;
-  std::deque<LocalEvent> queue_;
-  engine::Dispatcher* dispatcher_{nullptr};
-  std::function<bool()> done_;
-  bool shutdown_{false};
-  bool coordinator_lost_{false};  ///< serverd: coordinator conn died un-shutdown
-  bool finished_{false};  ///< run() completed; disconnects are teardown, not crashes
-  std::vector<PeerDigest> digests_;
+  // Everything below is confined to the process's single event-loop thread
+  // (concurrency() == 1): construction, run(), finish(), and every poll
+  // callback execute on the same thread, so no field needs a lock.
+  Cluster* cluster_;         // confined(actor)
+  SocketOptions opts_;       // confined(actor)
+  Poller poller_;            // confined(actor)
+  int listen_fd_{-1};        // confined(actor)
+  std::string listen_path_;  // confined(actor) -- unix socket path, unlinked on teardown
+  std::vector<std::unique_ptr<Conn>> conns_;               // confined(actor)
+  std::unordered_map<std::uint32_t, Conn*> conn_of_server_;  // confined(actor)
+  std::vector<unsigned char> peer_crashed_;  // confined(actor)
+  std::deque<LocalEvent> queue_;             // confined(actor)
+  engine::Dispatcher* dispatcher_{nullptr};  // confined(actor)
+  std::function<bool()> done_;               // confined(actor)
+  bool shutdown_{false};                     // confined(actor)
+  bool coordinator_lost_{false};  // confined(actor) -- coordinator conn died un-shutdown
+  bool finished_{false};  // confined(actor) -- run() done; disconnects are teardown
+  std::vector<PeerDigest> digests_;  // confined(actor)
 };
 
 }  // namespace fides::net

@@ -6,11 +6,13 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 #include "commit/batch.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "engine/dispatch_util.hpp"
 
 namespace fides::ordserv {
@@ -81,10 +83,14 @@ std::optional<SequencedBlock> decode_entry(BytesView body) {
 /// — is what makes multi-coordinator dispatch compose with pipelining and
 /// speculation without a global coordinator.
 ///
-/// A recursive mutex serializes all handlers: group throughput comes from
+/// One plain mutex serializes all handlers: group throughput comes from
 /// virtual-time overlap of disjoint groups (what bench_group_scaling gates),
-/// not from parallel handler execution, and the recursion guard lets gate
-/// flushes deliver held openings inline from within a handler.
+/// not from parallel handler execution. Gate flushes deliver held openings
+/// inline from within a handler (all helpers REQUIRES the lock); the only
+/// thing that must escape the critical section is sched_->post — an inline
+/// scheduler (SimNet's default post) would re-enter dispatch — so admission
+/// queues round starts in pending_starts_ and every entry point drains them
+/// after releasing the lock. Clang's -Wthread-safety proves the discipline.
 class GroupEngine final : public engine::Dispatcher {
  public:
   GroupEngine(Cluster& cluster, Sequencer& seq,
@@ -168,18 +174,21 @@ class GroupEngine final : public engine::Dispatcher {
     for (std::uint32_t s = 0; s < n_; ++s) reset_validator(s);
   }
 
-  void begin() {
+  void begin() EXCLUDES(mutex_) {
     start_wall_ = Clock::now();
     sched_->set_completion([this] {
-      std::lock_guard<std::recursive_mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       return completed_ == rounds_.size();
     });
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
-    launch_ready(sched_->outbox());
+    {
+      common::MutexLock lock(mutex_);
+      launch_ready(sched_->outbox());
+    }
+    drain_starts();
   }
 
-  GroupRunResult collect() {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+  GroupRunResult collect() EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
     GroupRunResult result;
     result.rounds.reserve(rounds_.size());
     for (std::size_t k = 0; k < rounds_.size(); ++k) {
@@ -295,23 +304,27 @@ class GroupEngine final : public engine::Dispatcher {
     }
   }
 
-  void on_control(const engine::ControlEvent& ev, engine::Outbox& out) override {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
-    switch (ev.kind) {
-      case engine::ControlEvent::Kind::kCrash:
-        handle_crash(ev.node);
-        break;
-      case engine::ControlEvent::Kind::kRecover:
-        handle_recover(ev.node, out);
-        break;
-      case engine::ControlEvent::Kind::kCoordinatorTimeout:
-      case engine::ControlEvent::Kind::kTimer:
-      case engine::ControlEvent::Kind::kPeerApplied:
-        // Group rounds have no cooperative-termination story yet (a crashed
-        // group coordinator restarts from its durable log instead), no
-        // timers, and no cross-process distribution.
-        break;
+  void on_control(const engine::ControlEvent& ev, engine::Outbox& out) override
+      EXCLUDES(mutex_) {
+    {
+      common::MutexLock lock(mutex_);
+      switch (ev.kind) {
+        case engine::ControlEvent::Kind::kCrash:
+          handle_crash(ev.node);
+          break;
+        case engine::ControlEvent::Kind::kRecover:
+          handle_recover(ev.node, out);
+          break;
+        case engine::ControlEvent::Kind::kCoordinatorTimeout:
+        case engine::ControlEvent::Kind::kTimer:
+        case engine::ControlEvent::Kind::kPeerApplied:
+          // Group rounds have no cooperative-termination story yet (a crashed
+          // group coordinator restarts from its durable log instead), no
+          // timers, and no cross-process distribution.
+          break;
+      }
     }
+    drain_starts();  // recovery re-admits rounds
   }
 
  private:
@@ -372,7 +385,7 @@ class GroupEngine final : public engine::Dispatcher {
   /// Whether touch position `pos` at server `s` is admissible for opening
   /// processing: every earlier round touching s has passed (lock-step: its
   /// decision processed; speculating: its opening processed).
-  void advance_gate(std::uint32_t s) {
+  void advance_gate(std::uint32_t s) REQUIRES(mutex_) {
     const auto& tr = touch_rounds_[s];
     while (gate_upto_[s] < tr.size()) {
       const Round& r = rounds_[tr[gate_upto_[s]]];
@@ -382,7 +395,7 @@ class GroupEngine final : public engine::Dispatcher {
     }
   }
 
-  void flush_held(std::uint32_t s, engine::Outbox& out) {
+  void flush_held(std::uint32_t s, engine::Outbox& out) REQUIRES(mutex_) {
     bool progress = true;
     while (progress) {
       progress = false;
@@ -423,7 +436,7 @@ class GroupEngine final : public engine::Dispatcher {
   /// members, though, admission is strictly touch-ordered (started_upto_):
   /// letting a later round claim a member's window slot before an earlier
   /// toucher launched would deadlock the window against the opening gate.
-  void launch_ready(engine::Outbox& /*out*/) {
+  void launch_ready(engine::Outbox& /*out*/) REQUIRES(mutex_) {
     for (std::size_t k = 0; k < rounds_.size(); ++k) {
       Round& r = rounds_[k];
       if (r.terminal || r.started || r.decided) continue;
@@ -443,14 +456,37 @@ class GroupEngine final : public engine::Dispatcher {
         ++unresolved_[m.value];
         advance_started(m.value);
       }
-      sched_->post(r.coord_node, [this, k] {
-        std::lock_guard<std::recursive_mutex> lock(mutex_);
-        begin_round(k, sched_->outbox());
-      });
+      // Deferred: post() may execute inline (SimNet's default), and the
+      // posted start must run unlocked like every other entry point — the
+      // callers drain pending_starts_ after releasing the mutex. This is
+      // what lets the engine use a plain (analyzable) mutex instead of the
+      // recursive one it started with.
+      pending_starts_.emplace_back(k, r.coord_node);
     }
   }
 
-  void advance_started(std::uint32_t s) {
+  /// Posts every queued round start onto its coordinator's context. Called
+  /// by each entry point (begin / dispatch / on_control) after unlocking.
+  void drain_starts() EXCLUDES(mutex_) {
+    for (;;) {
+      std::vector<std::pair<std::size_t, NodeId>> starts;
+      {
+        common::MutexLock lock(mutex_);
+        starts.swap(pending_starts_);
+      }
+      if (starts.empty()) return;
+      for (const auto& start : starts) {
+        const std::size_t k = start.first;
+        sched_->post(start.second, [this, k] {
+          engine::Outbox& out = sched_->outbox();
+          common::MutexLock lock(mutex_);
+          begin_round(k, out);
+        });
+      }
+    }
+  }
+
+  void advance_started(std::uint32_t s) REQUIRES(mutex_) {
     const auto& tr = touch_rounds_[s];
     while (started_upto_[s] < tr.size() &&
            (rounds_[tr[started_upto_[s]]].started || rounds_[tr[started_upto_[s]]].terminal)) {
@@ -464,7 +500,7 @@ class GroupEngine final : public engine::Dispatcher {
   /// is no log-head dependence and the opening bytes are batch-determined.
   /// The sealed opening is cached: a restart re-broadcasts the identical
   /// envelope, keeping every replayed byte stable.
-  void begin_round(std::size_t k, engine::Outbox& out) {
+  void begin_round(std::size_t k, engine::Outbox& out) REQUIRES(mutex_) {
     Round& r = rounds_[k];
     if (r.decided || r.outcome.has_value()) return;
     if (cluster_->is_crashed(r.group.coordinator)) return;
@@ -494,8 +530,16 @@ class GroupEngine final : public engine::Dispatcher {
   // --- Dispatch ----------------------------------------------------------------
 
   void dispatch_impl(NodeId src, NodeId dst, const Envelope& env, engine::Outbox& out,
-                     bool replay, std::optional<bool> verdict) {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+                     bool replay, std::optional<bool> verdict) EXCLUDES(mutex_) {
+    {
+      common::MutexLock lock(mutex_);
+      dispatch_locked(src, dst, env, out, replay, verdict);
+    }
+    drain_starts();  // completions inside the handler may admit new rounds
+  }
+
+  void dispatch_locked(NodeId src, NodeId dst, const Envelope& env, engine::Outbox& out,
+                       bool replay, std::optional<bool> verdict) REQUIRES(mutex_) {
     const auto ep = engine::peek_epoch(env.payload);
     if (!ep.has_value()) return;
     const auto rit = epoch_to_round_.find(*ep);
@@ -518,7 +562,7 @@ class GroupEngine final : public engine::Dispatcher {
   }
 
   void deliver(std::size_t k, NodeId src, NodeId dst, const Envelope& env,
-               engine::Outbox& out, std::optional<bool> verdict) {
+               engine::Outbox& out, std::optional<bool> verdict) REQUIRES(mutex_) {
     if (dst.kind == NodeId::Kind::kServer && cluster_->is_crashed(ServerId{dst.id})) {
       return;
     }
@@ -550,7 +594,7 @@ class GroupEngine final : public engine::Dispatcher {
 
   /// Phase 2 at member dst: vote, durable-log-first.
   void handle_opening(std::size_t k, NodeId dst, BytesView body, bool authentic,
-                      engine::Outbox& out) {
+                      engine::Outbox& out) REQUIRES(mutex_) {
     Round& r = rounds_[k];
     const std::uint32_t s = dst.id;
     if (!r.member_slot.count(s)) return;
@@ -601,7 +645,7 @@ class GroupEngine final : public engine::Dispatcher {
 
   /// Phase 3 at the round's coordinator: collect votes in slot order.
   void handle_vote(std::size_t k, NodeId src, NodeId dst, BytesView body, bool authentic,
-                   engine::Outbox& out) {
+                   engine::Outbox& out) REQUIRES(mutex_) {
     Round& r = rounds_[k];
     if (dst != r.coord_node) return;
     const auto sit = r.member_slot.find(src.id);
@@ -633,7 +677,7 @@ class GroupEngine final : public engine::Dispatcher {
   /// truth. Engine-side analogue of the pipeline's SpecContext checks — the
   /// assumptions reference group epochs, resolved against engine rounds, and
   /// the base-root identity is pinned against the decided per-shard roots.
-  bool spec_vote_valid(const commit::VoteMsg& vote) const {
+  bool spec_vote_valid(const commit::VoteMsg& vote) const REQUIRES(mutex_) {
     for (const commit::SpecAssumption& a : vote.spec_assumed) {
       const auto rit = epoch_to_round_.find(a.epoch);
       if (rit == epoch_to_round_.end()) return false;
@@ -650,14 +694,14 @@ class GroupEngine final : public engine::Dispatcher {
     return true;
   }
 
-  bool base_resolved(const Round& r) const {
+  bool base_resolved(const Round& r) const REQUIRES(mutex_) {
     for (const auto& [s, pos] : r.touch_pos) {
       if (decided_upto_[s] < pos) return false;
     }
     return true;
   }
 
-  void try_accept(std::size_t k, engine::Outbox& out) {
+  void try_accept(std::size_t k, engine::Outbox& out) REQUIRES(mutex_) {
     Round& r = rounds_[k];
     if (!speculate_ || r.outcome.has_value() || r.refused || !r.challenges.empty()) return;
     if (!r.started || !base_resolved(r)) return;
@@ -686,7 +730,7 @@ class GroupEngine final : public engine::Dispatcher {
 
   /// Phase 3 fires once the last member vote is in. Group blocks need no
   /// rebase: their signed chain position is 0 by construction.
-  void maybe_fire(std::size_t k, engine::Outbox& out) {
+  void maybe_fire(std::size_t k, engine::Outbox& out) REQUIRES(mutex_) {
     Round& r = rounds_[k];
     if (r.votes_seen != r.group.members.size() || !r.challenges.empty()) return;
     if (r.outcome.has_value() || r.refused) return;
@@ -724,7 +768,7 @@ class GroupEngine final : public engine::Dispatcher {
 
   /// Phase 4 at member dst: verify the completed block and respond once.
   void handle_challenge(std::size_t k, NodeId dst, BytesView body, bool authentic,
-                        engine::Outbox& out) {
+                        engine::Outbox& out) REQUIRES(mutex_) {
     Round& r = rounds_[k];
     const std::uint32_t s = dst.id;
     if (!r.member_slot.count(s)) return;
@@ -768,7 +812,7 @@ class GroupEngine final : public engine::Dispatcher {
 
   /// Phase 5 at the coordinator: aggregate the co-sign, decide, sequence.
   void handle_response(std::size_t k, NodeId src, NodeId dst, BytesView body,
-                       bool authentic, engine::Outbox& out) {
+                       bool authentic, engine::Outbox& out) REQUIRES(mutex_) {
     Round& r = rounds_[k];
     if (dst != r.coord_node) return;
     const auto sit = r.member_slot.find(src.id);
@@ -795,7 +839,7 @@ class GroupEngine final : public engine::Dispatcher {
 
   // --- Sequencing --------------------------------------------------------------
 
-  void mark_decided(std::size_t k, engine::Outbox& out) {
+  void mark_decided(std::size_t k, engine::Outbox& out) REQUIRES(mutex_) {
     Round& r = rounds_[k];
     if (r.decided) return;
     r.decided = true;
@@ -805,7 +849,7 @@ class GroupEngine final : public engine::Dispatcher {
     }
   }
 
-  void advance_decided(std::uint32_t s) {
+  void advance_decided(std::uint32_t s) REQUIRES(mutex_) {
     const auto& tr = touch_rounds_[s];
     while (decided_upto_[s] < tr.size()) {
       const Round& q = rounds_[tr[decided_upto_[s]]];
@@ -822,7 +866,7 @@ class GroupEngine final : public engine::Dispatcher {
   /// Submits decided rounds to OrdServ strictly in round order — the barrier
   /// that keeps the sequenced stream (heights, chain, dependency metadata)
   /// schedule-independent even when later groups decide first.
-  void advance_sequencing(engine::Outbox& out) {
+  void advance_sequencing(engine::Outbox& out) REQUIRES(mutex_) {
     // Re-entrancy guard: refuse_round → mark_decided → try_accept can land
     // back here while the loop below is mid-iteration; a nested walk would
     // advance next_seq_ under the outer loop's ++ and skip a round.
@@ -848,11 +892,11 @@ class GroupEngine final : public engine::Dispatcher {
     advancing_ = false;
   }
 
-  void sequence_round(std::size_t k, engine::Outbox& out) {
+  void sequence_round(std::size_t k, engine::Outbox& out) REQUIRES(mutex_) {
     Round& r = rounds_[k];
     const std::uint64_t height = seq_->submit(r.outcome->block, r.group);
     r.sequenced = true;
-    r.entry = seq_->stream()[height];
+    r.entry = seq_->at(height);  // locked accessor: submit() may race
     r.target = n_;
     // The gtf_seq envelope is OrdServ speaking; modeled as trusted
     // infrastructure, it borrows the lowest live server's keypair for
@@ -871,7 +915,8 @@ class GroupEngine final : public engine::Dispatcher {
     }
   }
 
-  void refuse_round(std::size_t k, std::string fault, engine::Outbox& out) {
+  void refuse_round(std::size_t k, std::string fault, engine::Outbox& out)
+      REQUIRES(mutex_) {
     Round& r = rounds_[k];
     if (r.refused || r.sequenced) return;
     r.refused = true;
@@ -919,7 +964,7 @@ class GroupEngine final : public engine::Dispatcher {
   /// A sequenced entry at server dst: buffered by height, drained in chain
   /// order against the server's own log.
   void handle_entry(std::size_t k, NodeId dst, BytesView body, bool authentic,
-                    engine::Outbox& out) {
+                    engine::Outbox& out) REQUIRES(mutex_) {
     if (!authentic || dst.kind != NodeId::Kind::kServer) return;
     const std::uint32_t s = dst.id;
     const auto entry = decode_entry(body);
@@ -935,7 +980,7 @@ class GroupEngine final : public engine::Dispatcher {
     SequencedBlock entry;
   };
 
-  void drain_entries(std::uint32_t s, engine::Outbox& out) {
+  void drain_entries(std::uint32_t s, engine::Outbox& out) REQUIRES(mutex_) {
     Server& server = cluster_->server(ServerId{s});
     auto& pending = pending_entries_[s];
     while (!pending.empty()) {
@@ -949,7 +994,7 @@ class GroupEngine final : public engine::Dispatcher {
   }
 
   void process_entry(std::size_t k, std::uint32_t s, const SequencedBlock& entry,
-                     engine::Outbox& out) {
+                     engine::Outbox& out) REQUIRES(mutex_) {
     Round& r = rounds_[k];
     if (r.done_at[s] != 0) return;
     Server& server = cluster_->server(ServerId{s});
@@ -983,7 +1028,7 @@ class GroupEngine final : public engine::Dispatcher {
   /// The round is over at member s: feed the truth to its cohort so the
   /// speculation stack pops and contradicted later votes come back re-signed.
   void resolve_member_decision(std::size_t k, std::uint32_t s, bool applied,
-                               engine::Outbox& out) {
+                               engine::Outbox& out) REQUIRES(mutex_) {
     Round& r = rounds_[k];
     if (!speculate_ || !r.member_slot.count(s)) return;
     Server& server = cluster_->server(ServerId{s});
@@ -1001,7 +1046,8 @@ class GroupEngine final : public engine::Dispatcher {
   }
 
   /// A refusal broadcast at member s: no chain entry, but the round is over.
-  void handle_refuse(std::size_t k, NodeId dst, bool authentic, engine::Outbox& out) {
+  void handle_refuse(std::size_t k, NodeId dst, bool authentic, engine::Outbox& out)
+      REQUIRES(mutex_) {
     if (!authentic || dst.kind != NodeId::Kind::kServer) return;
     Round& r = rounds_[k];
     const std::uint32_t s = dst.id;
@@ -1012,7 +1058,7 @@ class GroupEngine final : public engine::Dispatcher {
   }
 
   void mark_done(std::size_t k, std::uint32_t s, engine::Outbox& out,
-                 bool propagate = true) {
+                 bool propagate = true) REQUIRES(mutex_) {
     Round& r = rounds_[k];
     if (r.done_at[s] != 0) return;
     r.done_at[s] = 1;
@@ -1031,14 +1077,14 @@ class GroupEngine final : public engine::Dispatcher {
 
   // --- Crash / recovery --------------------------------------------------------
 
-  void handle_crash(NodeId node) {
+  void handle_crash(NodeId node) REQUIRES(mutex_) {
     engine::apply_crash(*cluster_, *sched_, node, /*arm_termination=*/false);
     if (node.kind != NodeId::Kind::kServer || node.id >= n_) return;
     held_[node.id].clear();
     pending_entries_[node.id].clear();
   }
 
-  void handle_recover(NodeId node, engine::Outbox& out) {
+  void handle_recover(NodeId node, engine::Outbox& out) REQUIRES(mutex_) {
     const std::uint32_t s = node.id;
     if (node.kind != NodeId::Kind::kServer || s >= n_) return;
     if (!cluster_->recover_server(ServerId{s})) {
@@ -1123,7 +1169,7 @@ class GroupEngine final : public engine::Dispatcher {
     launch_ready(out);
   }
 
-  void restart_round(std::size_t k, engine::Outbox& out) {
+  void restart_round(std::size_t k, engine::Outbox& out) REQUIRES(mutex_) {
     Round& r = rounds_[k];
     const std::size_t members = r.group.members.size();
     r.votes.assign(members, {});
@@ -1139,7 +1185,7 @@ class GroupEngine final : public engine::Dispatcher {
     begin_round(k, out);
   }
 
-  void reset_validator(std::uint32_t s) {
+  void reset_validator(std::uint32_t s) REQUIRES(mutex_) {
     const Server& server = cluster_->server(ServerId{s});
     validators_[s] = StreamValidator{};
     validators_[s].next_height = server.log().size();
@@ -1155,46 +1201,52 @@ class GroupEngine final : public engine::Dispatcher {
 
   // --- State -------------------------------------------------------------------
 
-  Cluster* cluster_;
-  Transport* transport_;
-  Sequencer* seq_;
-  engine::Scheduler* sched_;
-  std::uint32_t n_;
-  std::size_t depth_;
-  bool speculate_;
+  Cluster* cluster_;           // confined(ctor): immutable after construction
+  Transport* transport_;       // confined(ctor): immutable after construction
+  Sequencer* seq_;             // confined(ctor): immutable after construction
+  engine::Scheduler* sched_;   // confined(ctor): immutable after construction
+  std::uint32_t n_;            // confined(ctor): immutable after construction
+  std::size_t depth_;          // confined(ctor): immutable after construction
+  bool speculate_;             // confined(ctor): immutable after construction
 
-  std::recursive_mutex mutex_;
-  std::vector<Round> rounds_;
-  std::unordered_map<std::uint64_t, std::size_t> epoch_to_round_;
-  engine::Dedup dedup_;
+  common::Mutex mutex_;
+  std::vector<Round> rounds_ GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, std::size_t> epoch_to_round_ GUARDED_BY(mutex_);
+  engine::Dedup dedup_ GUARDED_BY(mutex_);
 
   /// Per server: rounds touching it, in round (= admission) order.
-  std::vector<std::vector<std::size_t>> touch_rounds_;
+  std::vector<std::vector<std::size_t>> touch_rounds_ GUARDED_BY(mutex_);
   /// Per server: leading count of touch rounds that passed the opening gate.
-  std::vector<std::size_t> gate_upto_;
+  std::vector<std::size_t> gate_upto_ GUARDED_BY(mutex_);
   /// Per server: leading count of touch rounds already admitted (started).
   /// Admission must respect per-server touch order: if a later round could
   /// claim a member's depth window before an earlier toucher launched, the
   /// window (which only frees on completion) and the opening gate (which
   /// waits for the earlier round) would deadlock against each other.
-  std::vector<std::size_t> started_upto_;
+  std::vector<std::size_t> started_upto_ GUARDED_BY(mutex_);
   /// Per server: started-but-unresolved touching rounds (the depth window).
-  std::vector<std::size_t> unresolved_;
+  std::vector<std::size_t> unresolved_ GUARDED_BY(mutex_);
   /// Per server: leading count of decided touch rounds (speculation truth).
-  std::vector<std::size_t> decided_upto_;
+  std::vector<std::size_t> decided_upto_ GUARDED_BY(mutex_);
   /// Per server: the decided chain's last co-signed root of its shard.
-  std::vector<std::optional<crypto::Digest>> shard_roots_;
+  std::vector<std::optional<crypto::Digest>> shard_roots_ GUARDED_BY(mutex_);
 
-  std::vector<std::vector<Held>> held_;  ///< gated openings, per server
-  std::vector<std::map<std::uint64_t, PendingEntry>> pending_entries_;  ///< per server
-  std::vector<StreamValidator> validators_;                   ///< per server
-  std::vector<std::optional<DeliveryRefusal>> refusals_;      ///< per server
+  std::vector<std::vector<Held>> held_ GUARDED_BY(mutex_);  ///< gated openings
+  std::vector<std::map<std::uint64_t, PendingEntry>> pending_entries_
+      GUARDED_BY(mutex_);  ///< per server
+  std::vector<StreamValidator> validators_ GUARDED_BY(mutex_);  ///< per server
+  std::vector<std::optional<DeliveryRefusal>> refusals_
+      GUARDED_BY(mutex_);  ///< per server
 
-  std::size_t next_seq_{0};    ///< sequencing barrier: next round to submit
-  bool advancing_{false};      ///< re-entrancy guard for advance_sequencing
-  std::size_t completed_{0};
-  std::size_t spec_revotes_{0};
-  Clock::time_point start_wall_;
+  /// Round starts admitted under the lock, posted by drain_starts() after it
+  /// is released (a post may execute inline and re-enter dispatch).
+  std::vector<std::pair<std::size_t, NodeId>> pending_starts_ GUARDED_BY(mutex_);
+
+  std::size_t next_seq_ GUARDED_BY(mutex_){0};  ///< next round to submit
+  bool advancing_ GUARDED_BY(mutex_){false};    ///< advance_sequencing guard
+  std::size_t completed_ GUARDED_BY(mutex_){0};
+  std::size_t spec_revotes_ GUARDED_BY(mutex_){0};
+  Clock::time_point start_wall_;  // confined(driver): begin()/collect() only
 };
 
 }  // namespace

@@ -5,7 +5,7 @@
 namespace fides::ordserv {
 
 std::uint64_t Sequencer::submit(ledger::Block block, ServerGroup group) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   SequencedBlock entry;
   entry.group = std::move(group);
 
@@ -40,8 +40,15 @@ std::uint64_t Sequencer::submit(ledger::Block block, ServerGroup group) {
   return height;
 }
 
+const SequencedBlock& Sequencer::at(std::uint64_t height) const {
+  common::MutexLock lock(mutex_);
+  // Element addresses in a deque are stable across push_back and entries are
+  // immutable once sequenced, so the reference outlives the lock safely.
+  return stream_.at(height);
+}
+
 std::vector<const SequencedBlock*> Sequencer::fetch_new(ServerId server) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::size_t& cur = cursor_[server.value];
   std::vector<const SequencedBlock*> out;
   // deque never invalidates element addresses on push_back, so handing out
@@ -51,7 +58,7 @@ std::vector<const SequencedBlock*> Sequencer::fetch_new(ServerId server) {
 }
 
 std::size_t Sequencer::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return stream_.size();
 }
 

@@ -28,9 +28,10 @@
 
 #include <atomic>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "ledger/block.hpp"
 #include "ordserv/group.hpp"
 
@@ -62,28 +63,40 @@ class Sequencer {
   /// transactions (the signed bytes bind txns + roots + decision + signers;
   /// see note below). Returns the assigned global height. Thread-safe:
   /// concurrent submissions serialize into one consistent chain.
-  std::uint64_t submit(ledger::Block block, ServerGroup group);
+  std::uint64_t submit(ledger::Block block, ServerGroup group) EXCLUDES(mutex_);
 
   /// The per-block epoch source (see EpochCounter).
   EpochCounter& epochs() { return epochs_; }
 
-  /// Blocks sequenced so far, in broadcast order. Safe to read once
-  /// submitters are quiescent (the harness's post-run inspection).
-  const std::deque<SequencedBlock>& stream() const { return stream_; }
+  /// Blocks sequenced so far, in broadcast order. ONLY safe once submitters
+  /// are quiescent (the harness's post-run inspection) — it hands out an
+  /// unguarded reference into the guarded stream, which the analysis cannot
+  /// express; concurrent readers must use at() / fetch_new() instead.
+  const std::deque<SequencedBlock>& stream() const NO_THREAD_SAFETY_ANALYSIS {
+    return stream_;
+  }
+
+  /// The sequenced entry at `height`. Thread-safe against concurrent
+  /// submit: the deque never reallocates elements on push_back, so the
+  /// returned reference stays valid and immutable (entries are never
+  /// mutated after sequencing). Throws std::out_of_range beyond the head.
+  const SequencedBlock& at(std::uint64_t height) const EXCLUDES(mutex_);
 
   /// Drains blocks not yet delivered to `server` (at-most-once per server).
   /// Thread-safe against concurrent submit and fetch_new calls.
-  std::vector<const SequencedBlock*> fetch_new(ServerId server);
+  std::vector<const SequencedBlock*> fetch_new(ServerId server) EXCLUDES(mutex_);
 
-  std::size_t size() const;
+  std::size_t size() const EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  EpochCounter epochs_;
-  std::deque<SequencedBlock> stream_;
-  crypto::Digest head_hash_{};  // zero for genesis
-  std::unordered_map<ItemId, std::uint64_t> last_touch_;   // item -> height
-  std::unordered_map<std::uint32_t, std::size_t> cursor_;  // server -> next idx
+  mutable common::Mutex mutex_;
+  EpochCounter epochs_;  // confined(shared-atomics): one monotone atomic
+  std::deque<SequencedBlock> stream_ GUARDED_BY(mutex_);
+  crypto::Digest head_hash_ GUARDED_BY(mutex_){};  // zero for genesis
+  std::unordered_map<ItemId, std::uint64_t> last_touch_
+      GUARDED_BY(mutex_);  // item -> height
+  std::unordered_map<std::uint32_t, std::size_t> cursor_
+      GUARDED_BY(mutex_);  // server -> next idx
 };
 
 }  // namespace fides::ordserv

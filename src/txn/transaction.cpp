@@ -48,7 +48,12 @@ void RwSet::encode(Writer& w) const {
 
 RwSet RwSet::decode(Reader& r) {
   RwSet set;
+  // Entry counts arrive from untrusted peers: an announced count larger than
+  // the bytes left to decode is a protocol violation, not an allocation
+  // request (every entry consumes at least one byte), so it must never reach
+  // reserve(). Same doctrine as the frame-size cap in net/frame.hpp.
   const std::uint32_t nr = r.u32();
+  if (nr > r.remaining()) throw DecodeError("read-set count exceeds payload");
   set.reads.reserve(nr);
   for (std::uint32_t i = 0; i < nr; ++i) {
     ReadEntry e;
@@ -59,6 +64,7 @@ RwSet RwSet::decode(Reader& r) {
     set.reads.push_back(std::move(e));
   }
   const std::uint32_t nw = r.u32();
+  if (nw > r.remaining()) throw DecodeError("write-set count exceeds payload");
   set.writes.reserve(nw);
   for (std::uint32_t i = 0; i < nw; ++i) {
     WriteEntry e;

@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under clang -Werror=thread-safety: reads a GUARDED_BY
+// field without holding its mutex. The surrounding CMake harness asserts
+// that this translation unit is rejected; if it ever compiles, the analysis
+// has been silently disabled (wrong flags, annotations macroed away, ...).
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  int get_unlocked() const {
+    return n_;  // <-- reading n_ without mu_: -Wthread-safety error
+  }
+
+ private:
+  mutable fides::common::Mutex mu_;
+  int n_ GUARDED_BY(mu_){0};
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.get_unlocked();
+}

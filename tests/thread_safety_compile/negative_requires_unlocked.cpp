@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under clang -Werror=thread-safety: calls a
+// REQUIRES(mutex) helper without holding the mutex. The surrounding CMake
+// harness asserts that this translation unit is rejected.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_unlocked() {
+    bump_locked();  // <-- caller does not hold mu_: -Wthread-safety error
+  }
+
+ private:
+  void bump_locked() REQUIRES(mu_) { ++n_; }
+
+  fides::common::Mutex mu_;
+  int n_ GUARDED_BY(mu_){0};
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_unlocked();
+  return 0;
+}

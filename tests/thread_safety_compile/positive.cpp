@@ -1,0 +1,40 @@
+// Control case: correctly locked code must compile cleanly under
+// -Werror=thread-safety. If this file fails, the harness flags or include
+// paths are broken — the negative cases' failures would prove nothing.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    fides::common::MutexLock lock(mu_);
+    ++n_;
+  }
+
+  void bump_many(int k) {
+    fides::common::MutexLock lock(mu_);
+    for (int i = 0; i < k; ++i) bump_locked();
+  }
+
+  int get() const {
+    fides::common::MutexLock lock(mu_);
+    return n_;
+  }
+
+ private:
+  void bump_locked() REQUIRES(mu_) { ++n_; }
+
+  mutable fides::common::Mutex mu_;
+  int n_ GUARDED_BY(mu_){0};
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  c.bump_many(3);
+  return c.get() == 4 ? 0 : 1;
+}

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Gate clang-tidy output against a committed waiver list.
+
+Reads clang-tidy / run-clang-tidy output (stdin or --input), extracts every
+diagnostic of the form
+
+  /abs/or/rel/path.cpp:123:4: warning: message [check-id,maybe-more]
+
+normalizes the path to be repo-relative, dedupes (headers are re-diagnosed
+once per including TU), and fails unless every (path, check-id) pair appears
+in the waiver file (default tools/clang_tidy_waivers.txt). Line numbers are
+deliberately not part of the key -- waivers should survive unrelated edits.
+
+Exit status: 0 when every diagnostic is waived (or there are none),
+1 when new diagnostics are present, 2 on usage errors.
+
+Usage:
+  run-clang-tidy -p build | tee tidy.log
+  python3 tools/clang_tidy_gate.py --waivers tools/clang_tidy_waivers.txt < tidy.log
+
+  python3 tools/clang_tidy_gate.py --self-check
+"""
+
+import argparse
+import os
+import re
+import sys
+
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*\.(?:cpp|hpp|cc|h)):(?P<line>\d+):(?P<col>\d+):\s*"
+    r"(?:warning|error):\s*(?P<msg>.*?)\s*\[(?P<checks>[\w.,-]+)\]\s*$"
+)
+
+# Compiler noise that is not a clang-tidy finding.
+IGNORED_CHECK_PREFIXES = ("clang-diagnostic",)
+
+
+def normalize(path, root):
+    path = os.path.normpath(path)
+    if os.path.isabs(path):
+        rel = os.path.relpath(path, root)
+    else:
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+def parse_diagnostics(lines, root):
+    """Yields (path, check_id, lineno, message) for each diagnostic line."""
+    for line in lines:
+        m = DIAG_RE.match(line.rstrip("\n"))
+        if not m:
+            continue
+        path = normalize(m.group("path"), root)
+        if path.startswith(".."):
+            continue  # system/third-party header outside the repo
+        for check in m.group("checks").split(","):
+            check = check.strip()
+            if not check or check.startswith(IGNORED_CHECK_PREFIXES):
+                continue
+            yield path, check, int(m.group("line")), m.group("msg")
+
+
+def load_waivers(path):
+    waivers = set()
+    if not os.path.exists(path):
+        return waivers
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                print(
+                    "clang_tidy_gate: malformed waiver line: %r" % raw.rstrip(),
+                    file=sys.stderr,
+                )
+                sys.exit(2)
+            waivers.add((parts[0], parts[1]))
+    return waivers
+
+
+def gate(lines, waivers, root):
+    seen = {}
+    for path, check, lineno, msg in parse_diagnostics(lines, root):
+        seen.setdefault((path, check), (lineno, msg))
+    new = {k: v for k, v in seen.items() if k not in waivers}
+    for (path, check), (lineno, msg) in sorted(new.items()):
+        print("%s:%d: NEW [%s] %s" % (path, lineno, check, msg))
+    waived = len(seen) - len(new)
+    if new:
+        print(
+            "clang_tidy_gate: %d new diagnostic kind(s) (%d waived). Fix them, "
+            "or add '<path> <check-id>' lines to the waiver file if they are "
+            "being deliberately grandfathered." % (len(new), waived),
+            file=sys.stderr,
+        )
+        return 1
+    print("clang_tidy_gate: clean (%d diagnostic kind(s) waived)" % waived)
+    return 0
+
+
+def self_check():
+    sample = [
+        "src/foo/a.cpp:10:5: warning: do not use X [bugprone-use-after-move]",
+        "src/foo/a.cpp:99:5: warning: do not use X [bugprone-use-after-move]",
+        "src/foo/b.cpp:3:1: warning: slow [performance-for-range-copy]",
+        "/usr/include/c++/12/vector:1:1: warning: noisy [bugprone-something]",
+        "random build output line",
+        "src/foo/c.cpp:4:2: warning: diag [clang-diagnostic-unused-variable]",
+    ]
+    waivers = {("src/foo/a.cpp", "bugprone-use-after-move")}
+    failures = []
+    got = sorted(set((p, c) for p, c, _l, _m in parse_diagnostics(sample, os.getcwd())))
+    want = [
+        ("src/foo/a.cpp", "bugprone-use-after-move"),
+        ("src/foo/b.cpp", "performance-for-range-copy"),
+    ]
+    if got != want:
+        failures.append("parse: expected %s, got %s" % (want, got))
+    if gate(sample, waivers | {("src/foo/b.cpp", "performance-for-range-copy")},
+            os.getcwd()) != 0:
+        failures.append("fully waived input should pass")
+    if gate(sample, waivers, os.getcwd()) != 1:
+        failures.append("unwaived diagnostic should fail")
+    if failures:
+        for f in failures:
+            print("SELF-CHECK FAIL:", f, file=sys.stderr)
+        return 1
+    print("clang_tidy_gate self-check: passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--waivers", default="tools/clang_tidy_waivers.txt")
+    ap.add_argument("--input", default="-", help="clang-tidy log (default: stdin)")
+    ap.add_argument("--root", default=".", help="repo root for path normalization")
+    ap.add_argument("--self-check", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_check:
+        return self_check()
+
+    waivers = load_waivers(args.waivers)
+    if args.input == "-":
+        lines = sys.stdin.readlines()
+    else:
+        with open(args.input, encoding="utf-8") as f:
+            lines = f.readlines()
+    return gate(lines, waivers, os.path.abspath(args.root))
+
+
+if __name__ == "__main__":
+    sys.exit(main())
